@@ -1,0 +1,131 @@
+//! `bgpz-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N] [--out DIR]
+//!
+//!   IDS     comma-separated subset of: t1,t2,t3,t4,t5,f2,f3,f4,f5,f6,f7,cases
+//!           (default: all)
+//!   --scale experiment sizing (default: standard)
+//!   --seed  RNG seed (default: 42)
+//!   --out   directory for .txt/.csv/.json artifacts (default: results)
+//! ```
+
+use bgpz_analysis::experiments::{
+    self, beacon_bundle, replication_bundle, BeaconBundle, ExperimentOutput, ReplicationBundle,
+};
+use bgpz_analysis::Scale;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N] [--out DIR]\n\
+         IDS: comma-separated subset of t1,t2,t3,t4,t5,f2,f3,f4,f5,f6,f7,cases (default all)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::standard();
+    let mut seed: u64 = 42;
+    let mut out_dir = PathBuf::from("results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                scale = Scale::parse(&value).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                seed = value.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.extend(other.split(',').map(str::to_string)),
+        }
+    }
+    let all = [
+        "t1", "t2", "t3", "t4", "t5", "f2", "f3", "f4", "f5", "f6", "f7", "cases", "ablation",
+        "rv",
+    ];
+    if ids.is_empty() {
+        ids = all.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !all.contains(&id.as_str()) {
+            eprintln!("unknown experiment id: {id}");
+            usage();
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    println!("# scale={} seed={seed} out={}", scale.name, out_dir.display());
+
+    let needs_replication = ids.iter().any(|id| {
+        matches!(
+            id.as_str(),
+            "t1" | "t2" | "t3" | "t4" | "f5" | "f6" | "f7" | "ablation"
+        )
+    });
+    let needs_beacon = ids.iter().any(|id| matches!(id.as_str(), "t5" | "f2" | "f3" | "f4" | "cases"));
+
+    let replication: Option<ReplicationBundle> = needs_replication.then(|| {
+        let t0 = Instant::now();
+        let bundle = replication_bundle(&scale, seed);
+        println!("# replication bundle built in {:.1}s", t0.elapsed().as_secs_f64());
+        bundle
+    });
+    let beacon: Option<BeaconBundle> = needs_beacon.then(|| {
+        let t0 = Instant::now();
+        let bundle = beacon_bundle(&scale, seed);
+        println!("# beacon bundle built in {:.1}s", t0.elapsed().as_secs_f64());
+        bundle
+    });
+
+    let mut summary = Vec::new();
+    for id in &ids {
+        let t0 = Instant::now();
+        let output: ExperimentOutput = match id.as_str() {
+            "t1" => experiments::table1::run(replication.as_ref().expect("bundle")),
+            "t2" => experiments::table2::run(replication.as_ref().expect("bundle")),
+            "t3" => experiments::table3::run(replication.as_ref().expect("bundle")),
+            "t4" => experiments::table4::run(replication.as_ref().expect("bundle")),
+            "t5" => experiments::table5::run(beacon.as_ref().expect("bundle")),
+            "f2" => experiments::fig2::run(beacon.as_ref().expect("bundle")),
+            "f3" => experiments::fig3::run(beacon.as_ref().expect("bundle")),
+            "f4" => experiments::fig4::run(beacon.as_ref().expect("bundle")),
+            "f5" => experiments::fig5::run(replication.as_ref().expect("bundle")),
+            "f6" => experiments::fig6::run(replication.as_ref().expect("bundle")),
+            "f7" => experiments::fig7::run(replication.as_ref().expect("bundle")),
+            "cases" => experiments::cases::run(beacon.as_ref().expect("bundle")),
+            "ablation" => experiments::ablation::run(replication.as_ref().expect("bundle")),
+            "rv" => experiments::routeviews::run(&scale, seed),
+            _ => unreachable!("validated above"),
+        };
+        println!("\n=== {} ({:.1}s) ===\n", output.title, t0.elapsed().as_secs_f64());
+        println!("{}", output.text);
+
+        let txt_path = out_dir.join(format!("{id}.txt"));
+        std::fs::write(&txt_path, &output.text).expect("write text artifact");
+        for (name, contents) in &output.csv {
+            std::fs::write(out_dir.join(name), contents).expect("write csv artifact");
+        }
+        let json_path = out_dir.join(format!("{id}.json"));
+        let mut file = std::fs::File::create(&json_path).expect("create json artifact");
+        serde_json::to_writer_pretty(&mut file, &output.json).expect("write json artifact");
+        let _ = writeln!(file);
+        summary.push((id.clone(), output.title));
+    }
+
+    println!("\n# artifacts written to {}:", out_dir.display());
+    for (id, title) in &summary {
+        println!("#   {id}: {title}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Ablation study: how much each piece of the revised methodology
+//! matters. The paper argues for three revisions over the 2019 study —
+//! message-granular raw data with STATE handling, the Aggregator
+//! double-count filter, and noisy-peer exclusion. This experiment knocks
+//! each one out in turn and measures the damage, plus the looking-glass
+//! baseline as the "none of the above" endpoint.
+
+use super::{pct, ExperimentOutput, ReplicationBundle};
+use crate::render::TextTable;
+use bgpz_baseline::{classify_baseline, LookingGlassConfig};
+use bgpz_core::{classify, ClassifyOptions};
+use serde_json::json;
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Outbreaks found.
+    pub outbreaks: usize,
+    /// Zombie routes found.
+    pub routes: usize,
+    /// Relative to the full methodology (1.0 = identical counts).
+    pub outbreak_ratio: f64,
+}
+
+/// Computes the ablation table across all periods.
+pub fn compute(bundle: &ReplicationBundle) -> Vec<AblationRow> {
+    let mut variants: Vec<(String, usize, usize)> = vec![
+        ("full methodology".into(), 0, 0),
+        ("without Aggregator filter".into(), 0, 0),
+        ("without noisy-peer exclusion".into(), 0, 0),
+        ("without STATE handling".into(), 0, 0),
+        ("2019 looking-glass baseline".into(), 0, 0),
+    ];
+    for (run, scan) in &bundle.runs {
+        let excluded = vec![run.noisy_peer];
+        let configs = [
+            ClassifyOptions {
+                excluded_peers: excluded.clone(),
+                ..ClassifyOptions::default()
+            },
+            ClassifyOptions {
+                aggregator_filter: false,
+                excluded_peers: excluded.clone(),
+                ..ClassifyOptions::default()
+            },
+            ClassifyOptions::default(),
+            ClassifyOptions {
+                honor_state_messages: false,
+                excluded_peers: excluded.clone(),
+                ..ClassifyOptions::default()
+            },
+        ];
+        for (slot, options) in configs.iter().enumerate() {
+            let report = classify(scan, options);
+            variants[slot].1 += report.outbreak_count();
+            variants[slot].2 += report.route_count();
+        }
+        let baseline = classify_baseline(
+            scan,
+            &LookingGlassConfig {
+                excluded_peers: excluded,
+                ..LookingGlassConfig::default()
+            },
+        );
+        variants[4].1 += baseline.outbreak_count();
+        variants[4].2 += baseline.route_count();
+    }
+    let reference = variants[0].1.max(1) as f64;
+    variants
+        .into_iter()
+        .map(|(variant, outbreaks, routes)| AblationRow {
+            variant,
+            outbreaks,
+            routes,
+            outbreak_ratio: outbreaks as f64 / reference,
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders it.
+pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
+    let rows = compute(bundle);
+    let mut table = TextTable::new(["Variant", "outbreaks", "routes", "vs full"]);
+    for row in &rows {
+        table.row([
+            row.variant.clone(),
+            row.outbreaks.to_string(),
+            row.routes.to_string(),
+            format!("{:+}", pct(row.outbreak_ratio - 1.0)),
+        ]);
+    }
+    let text = format!(
+        "Ablation — each methodology revision knocked out in turn\n\n{}\n\
+         Reading: dropping the Aggregator filter re-introduces the double\n\
+         counting (more outbreaks); dropping the noisy-peer exclusion lets\n\
+         one broken peer dominate; dropping STATE handling turns every\n\
+         route pending at a collector-session drop into a false zombie;\n\
+         the looking-glass baseline compounds its own error classes.\n",
+        table.render(),
+    );
+    ExperimentOutput {
+        id: "ablation",
+        title: "Ablation: the value of each methodology revision".into(),
+        text,
+        csv: vec![("ablation.csv".into(), table.to_csv())],
+        json: json!({
+            "rows": rows.iter().map(|r| json!({
+                "variant": r.variant,
+                "outbreaks": r.outbreaks,
+                "routes": r.routes,
+                "outbreak_ratio": r.outbreak_ratio,
+            })).collect::<Vec<_>>(),
+        }),
+    }
+}

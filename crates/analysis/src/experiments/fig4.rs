@@ -1,0 +1,149 @@
+//! Fig. 4 — the timeline of 2a0d:3dc1:1851::/48: fully withdrawn, then
+//! resurrected twice, visible for a total of ~8.5 months.
+
+use super::{BeaconBundle, ExperimentOutput};
+use bgpz_core::track_lifespans;
+use bgpz_types::{Prefix, SimTime};
+use serde_json::json;
+use std::fmt::Write as _;
+
+/// The reconstructed timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Fig4 {
+    /// Visibility windows (start, end) across all peers.
+    pub visible: Vec<(SimTime, SimTime)>,
+    /// Invisibility gaps between sightings.
+    pub gaps: Vec<(SimTime, SimTime)>,
+    /// Resurrection count (per-peer reappearances).
+    pub resurrections: usize,
+    /// Total stuck span in days (withdrawal → last sighting).
+    pub total_days: f64,
+}
+
+/// The §5.1 prefix.
+pub fn resurrection_prefix() -> Prefix {
+    "2a0d:3dc1:1851::/48".parse().expect("static")
+}
+
+/// Computes the timeline.
+pub fn compute(bundle: &BeaconBundle) -> Fig4 {
+    let prefix = resurrection_prefix();
+    let finals: Vec<(Prefix, SimTime)> = bundle
+        .finals
+        .iter()
+        .copied()
+        .filter(|&(p, _)| p == prefix)
+        .collect();
+    // The paper's Fig. 4 tracks the prefix in *one* RIS peer's RIB (it
+    // "appeared again in a RIPE RIS peer's RIB") — the peer behind the
+    // resurrection chain. Restrict the lifespan to AS61573's router so
+    // coincidental background zombies elsewhere don't mask the gaps.
+    let lifespans = track_lifespans(&bundle.run.archive.rib_dumps, &finals, &[]);
+    let Some(mut lifespan) = lifespans.into_iter().next() else {
+        return Fig4::default();
+    };
+    lifespan
+        .spells
+        .retain(|s| s.peer.asn == bgpz_types::Asn(61_573));
+    lifespan
+        .resurrections
+        .retain(|r| r.peer.asn == bgpz_types::Asn(61_573));
+    if lifespan.spells.is_empty() {
+        return Fig4::default();
+    }
+    lifespan.first_seen = lifespan.spells.iter().map(|s| s.first).min().expect("spells");
+    lifespan.last_seen = lifespan.spells.iter().map(|s| s.last).max().expect("spells");
+    // Merge per-peer spells into global visibility windows.
+    let mut gaps = Vec::new();
+    // The paper's timeline starts at the withdrawal: if the zombie only
+    // became visible later (its first appearance was already a
+    // resurrection), that initial dark period is a gap too.
+    let mut resurrections = lifespan.resurrections.len();
+    if lifespan.first_seen.saturating_since(lifespan.withdrawn_at) > 24 * 3_600 {
+        gaps.push((lifespan.withdrawn_at, lifespan.first_seen));
+        resurrections += 1;
+    }
+    gaps.extend(lifespan.global_gaps());
+    let mut visible = Vec::new();
+    let mut cursor = lifespan.first_seen;
+    for &(gap_start, gap_end) in gaps.iter().skip_while(|&&(_, e)| e <= lifespan.first_seen) {
+        if gap_start > cursor {
+            visible.push((cursor, gap_start));
+        }
+        cursor = gap_end;
+    }
+    visible.push((cursor, lifespan.last_seen));
+    Fig4 {
+        visible,
+        gaps,
+        resurrections,
+        total_days: lifespan.duration_days(),
+    }
+}
+
+/// Runs the experiment and renders it.
+pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
+    let fig = compute(bundle);
+    let mut text = String::from(
+        "Fig. 4 — timeline of the resurrected zombie 2a0d:3dc1:1851::/48\n\n",
+    );
+    if fig.visible.is_empty() {
+        text.push_str("(prefix never stuck in this run — increase scale)\n");
+    } else {
+        // Merge both window kinds into one chronological timeline.
+        let mut timeline: Vec<(SimTime, SimTime, bool)> = fig
+            .visible
+            .iter()
+            .map(|&(a, b)| (a, b, true))
+            .chain(fig.gaps.iter().map(|&(a, b)| (a, b, false)))
+            .collect();
+        timeline.sort_by_key(|&(a, _, _)| a);
+        for (from, to, is_visible) in timeline {
+            let label = if is_visible {
+                "visible  "
+            } else {
+                "INVISIBLE"
+            };
+            let note = if is_visible { "" } else { "  ← withdrawn by all peers" };
+            let _ = writeln!(
+                text,
+                "  {label} {} → {}  ({:.1} days){note}",
+                from,
+                to,
+                (to.secs() as f64 - from.secs() as f64) / 86_400.0
+            );
+        }
+        let _ = writeln!(
+            text,
+            "\nTotal stuck span: {:.1} days; resurrections: {}\n\
+             (paper: ~8.5 months total, reappearing 2024-06-29 and 2024-11-29\n\
+             with no new beacon announcement)",
+            fig.total_days, fig.resurrections
+        );
+    }
+    ExperimentOutput {
+        id: "f4",
+        title: "Fig. 4: the twice-resurrected zombie timeline".into(),
+        text,
+        csv: vec![(
+            "fig4_timeline.csv".into(),
+            {
+                let mut csv = String::from("kind,from,to\n");
+                for &(a, b) in &fig.visible {
+                    let _ = writeln!(csv, "visible,{},{}", a.secs(), b.secs());
+                }
+                for &(a, b) in &fig.gaps {
+                    let _ = writeln!(csv, "gap,{},{}", a.secs(), b.secs());
+                }
+                csv
+            },
+        )],
+        json: json!({
+            "visible": fig.visible.iter().map(|&(a, b)| json!([a.secs(), b.secs()])).collect::<Vec<_>>(),
+            "gaps": fig.gaps.iter().map(|&(a, b)| json!([a.secs(), b.secs()])).collect::<Vec<_>>(),
+            "resurrections": fig.resurrections,
+            "total_days": fig.total_days,
+            "paper": {"total_days": 259, "gaps": 2},
+        }),
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 6 — CDFs of AS-path length for the three populations (normal path
+//! at normal peers, normal path at zombie peers, zombie path), per family
+//! and with/without the double-counting filter, plus the changed-path
+//! fractions.
+
+use super::{pct, ExperimentOutput, ReplicationBundle};
+use crate::render::{AsciiSeries, TextTable};
+use crate::stats::Ecdf;
+use bgpz_core::{path_length_samples, ClassifyOptions, PathLengthSamples};
+use bgpz_types::Afi;
+use serde_json::json;
+
+/// Samples per (family, filter) cell.
+#[derive(Debug, Clone, Default)]
+pub struct Fig6 {
+    /// (family label, filtered?, samples).
+    pub cells: Vec<(String, bool, PathLengthSamples)>,
+}
+
+/// Computes the samples over all periods (noisy peer excluded).
+pub fn compute(bundle: &ReplicationBundle) -> Fig6 {
+    let mut cells = Vec::new();
+    for (family, label) in [(Afi::Ipv4, "IPv4"), (Afi::Ipv6, "IPv6")] {
+        for filter in [false, true] {
+            let mut merged = PathLengthSamples::default();
+            for (run, scan) in &bundle.runs {
+                let samples = path_length_samples(
+                    scan,
+                    &ClassifyOptions {
+                        aggregator_filter: filter,
+                        excluded_peers: vec![run.noisy_peer],
+                        ..ClassifyOptions::default()
+                    },
+                    Some(family),
+                );
+                merged
+                    .normal_at_normal_peers
+                    .extend(samples.normal_at_normal_peers);
+                merged
+                    .normal_at_zombie_peers
+                    .extend(samples.normal_at_zombie_peers);
+                merged.zombie_paths.extend(samples.zombie_paths);
+                merged.changed += samples.changed;
+                merged.comparable += samples.comparable;
+            }
+            cells.push((label.to_string(), filter, merged));
+        }
+    }
+    Fig6 { cells }
+}
+
+/// Runs the experiment and renders it.
+pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
+    let fig = compute(bundle);
+    let mut summary = TextTable::new([
+        "Cell",
+        "normal@normal med",
+        "normal@zombie med",
+        "zombie med",
+        "changed",
+    ]);
+    let mut series = Vec::new();
+    let mut zombie_longer_everywhere = true;
+    for (label, filtered, samples) in &fig.cells {
+        let name = format!("{label} {}", if *filtered { "noDC" } else { "withDC" });
+        let nn = Ecdf::from_counts(samples.normal_at_normal_peers.iter().copied());
+        let nz = Ecdf::from_counts(samples.normal_at_zombie_peers.iter().copied());
+        let zz = Ecdf::from_counts(samples.zombie_paths.iter().copied());
+        if let (Some(n_med), Some(z_med)) = (nn.median(), zz.median()) {
+            if z_med < n_med {
+                zombie_longer_everywhere = false;
+            }
+        }
+        summary.row([
+            name.clone(),
+            format!("{:.1}", nn.median().unwrap_or(0.0)),
+            format!("{:.1}", nz.median().unwrap_or(0.0)),
+            format!("{:.1}", zz.median().unwrap_or(0.0)),
+            pct(samples.changed_fraction()),
+        ]);
+        if *filtered {
+            series.push(AsciiSeries::new(format!("{name} zombie"), zz.points()));
+            series.push(AsciiSeries::new(format!("{name} normal"), nn.points()));
+        }
+    }
+    let chart = AsciiSeries::chart(&series, 60, 14);
+    let text = format!(
+        "Fig. 6 — AS-path length CDFs (normal vs zombie paths)\n\n{}\n{}\n\
+         Shape to hold (paper): zombie paths are LONGER than normal paths —\n\
+         path hunting promotes routes BGP had not selected — and the vast\n\
+         majority of zombie paths differ from the pre-withdrawal path\n\
+         (paper: 96.1%/90.0% withDC, 95.5%/79.6% noDC for IPv4/IPv6).\n\
+         Zombie median >= normal median in every cell: {}\n",
+        summary.render(),
+        chart,
+        if zombie_longer_everywhere { "YES" } else { "no" },
+    );
+    ExperimentOutput {
+        id: "f6",
+        title: "Fig. 6: AS-path length CDFs".into(),
+        text,
+        csv: vec![
+            ("fig6.csv".into(), summary.to_csv()),
+            ("fig6_series.csv".into(), AsciiSeries::to_csv(&series)),
+        ],
+        json: json!({
+            "cells": fig.cells.iter().map(|(label, filtered, s)| json!({
+                "family": label,
+                "filtered": filtered,
+                "normal_at_normal": s.normal_at_normal_peers.len(),
+                "normal_at_zombie": s.normal_at_zombie_peers.len(),
+                "zombies": s.zombie_paths.len(),
+                "changed_fraction": s.changed_fraction(),
+            })).collect::<Vec<_>>(),
+            "zombie_longer_everywhere": zombie_longer_everywhere,
+            "paper": {"changed_v4_with": 0.961, "changed_v6_with": 0.9003,
+                       "changed_v4_without": 0.9554, "changed_v6_without": 0.7961},
+        }),
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig. 7 — CDF of the number of concurrent zombie outbreaks: for every
+//! outbreak, how many outbreaks of the same family started in the same
+//! beacon round. Frozen transit sessions affect *all* beacons at once, so
+//! a sizeable share of outbreaks emerge simultaneously for every prefix.
+
+use super::{pct, ExperimentOutput, ReplicationBundle};
+use crate::render::{AsciiSeries, TextTable};
+use crate::stats::Ecdf;
+use bgpz_core::{classify, ClassifyOptions, ZombieReport};
+use bgpz_types::{Afi, SimTime};
+use serde_json::json;
+use std::collections::HashMap;
+
+/// Concurrency samples per (family, filter).
+#[derive(Debug, Clone, Default)]
+pub struct Fig7 {
+    /// (family, filtered?, concurrency counts per outbreak).
+    pub cells: Vec<(String, bool, Vec<usize>)>,
+    /// Beacons per family (the concurrency ceiling).
+    pub beacons: (usize, usize),
+}
+
+/// Concurrency of each outbreak: outbreaks sharing its interval start and
+/// family.
+fn concurrency(report: &ZombieReport, family: Afi) -> Vec<usize> {
+    let mut per_round: HashMap<SimTime, usize> = HashMap::new();
+    for outbreak in &report.outbreaks {
+        if outbreak.interval.prefix.afi() == family {
+            *per_round.entry(outbreak.interval.start).or_insert(0) += 1;
+        }
+    }
+    report
+        .outbreaks
+        .iter()
+        .filter(|o| o.interval.prefix.afi() == family)
+        .map(|o| per_round[&o.interval.start])
+        .collect()
+}
+
+/// Computes the concurrency samples (noisy peer excluded).
+pub fn compute(bundle: &ReplicationBundle) -> Fig7 {
+    let mut fig = Fig7::default();
+    let mut beacons_v4 = std::collections::HashSet::new();
+    let mut beacons_v6 = std::collections::HashSet::new();
+    for (_, scan) in &bundle.runs {
+        for iv in &scan.intervals {
+            match iv.prefix.afi() {
+                Afi::Ipv4 => beacons_v4.insert(iv.prefix),
+                Afi::Ipv6 => beacons_v6.insert(iv.prefix),
+            };
+        }
+    }
+    fig.beacons = (beacons_v4.len(), beacons_v6.len());
+    for (family, label) in [(Afi::Ipv4, "IPv4"), (Afi::Ipv6, "IPv6")] {
+        for filter in [false, true] {
+            let mut samples = Vec::new();
+            for (run, scan) in &bundle.runs {
+                let report = classify(
+                    scan,
+                    &ClassifyOptions {
+                        aggregator_filter: filter,
+                        excluded_peers: vec![run.noisy_peer],
+                        ..ClassifyOptions::default()
+                    },
+                );
+                samples.extend(concurrency(&report, family));
+            }
+            fig.cells.push((label.to_string(), filter, samples));
+        }
+    }
+    fig
+}
+
+/// Runs the experiment and renders it.
+pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
+    let fig = compute(bundle);
+    let mut summary = TextTable::new(["Cell", "outbreaks", "single", "all-at-once"]);
+    let mut series = Vec::new();
+    for (label, filtered, samples) in &fig.cells {
+        let name = format!("{label} {}", if *filtered { "noDC" } else { "withDC" });
+        let ceiling = match label.as_str() {
+            "IPv4" => fig.beacons.0,
+            _ => fig.beacons.1,
+        };
+        let total = samples.len().max(1);
+        let single = samples.iter().filter(|&&c| c == 1).count();
+        let all = samples.iter().filter(|&&c| c >= ceiling.max(1)).count();
+        summary.row([
+            name.clone(),
+            samples.len().to_string(),
+            pct(single as f64 / total as f64),
+            pct(all as f64 / total as f64),
+        ]);
+        let cdf = Ecdf::from_counts(samples.iter().copied());
+        series.push(AsciiSeries::new(name, cdf.points()));
+    }
+    let chart = AsciiSeries::chart(&series, 60, 12);
+    let text = format!(
+        "Fig. 7 — CDF of concurrent zombie outbreaks\n\n{}\n{}\n\
+         Paper: 22.35% of IPv4 / 34.04% of IPv6 outbreaks occur singly\n\
+         (26.38% / 37.97% after filtering); ~27% of IPv4 outbreaks emerge\n\
+         simultaneously for ALL beacon prefixes. Shape to hold: a bimodal\n\
+         mix of single outbreaks and all-at-once bursts.\n",
+        summary.render(),
+        chart,
+    );
+    ExperimentOutput {
+        id: "f7",
+        title: "Fig. 7: concurrent zombie outbreaks CDF".into(),
+        text,
+        csv: vec![
+            ("fig7.csv".into(), summary.to_csv()),
+            ("fig7_series.csv".into(), AsciiSeries::to_csv(&series)),
+        ],
+        json: json!({
+            "cells": fig.cells.iter().map(|(label, filtered, samples)| {
+                let total = samples.len().max(1);
+                let single = samples.iter().filter(|&&c| c == 1).count();
+                json!({
+                    "family": label,
+                    "filtered": filtered,
+                    "outbreaks": samples.len(),
+                    "single_fraction": single as f64 / total as f64,
+                })
+            }).collect::<Vec<_>>(),
+            "paper": {"v4_single_with": 0.2235, "v6_single_with": 0.3404,
+                       "v4_single_without": 0.2638, "v6_single_without": 0.3797,
+                       "v4_all_at_once": 0.2696},
+        }),
+    }
+}

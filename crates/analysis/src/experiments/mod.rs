@@ -1,0 +1,103 @@
+//! One driver per paper table/figure. See the crate docs for the index.
+
+pub mod ablation;
+pub mod cases;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod routeviews;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use crate::worlds::{
+    final_withdrawals, replication_periods, run_beacon_study, run_replication, BeaconRun,
+    ReplicationRun, Scale,
+};
+use bgpz_core::{intervals_from_schedule, scan, BeaconInterval, ScanResult};
+use bgpz_types::time::HOUR;
+use bgpz_types::{Prefix, SimTime};
+use serde_json::Value;
+
+/// What every experiment produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Short id: `t1` … `t5`, `f2` … `f7`, `cases`.
+    pub id: &'static str,
+    /// Human title (the paper artifact it regenerates).
+    pub title: String,
+    /// Human-readable report (tables / ASCII charts / commentary).
+    pub text: String,
+    /// Machine-readable CSV artifacts as `(file name, contents)`.
+    pub csv: Vec<(String, String)>,
+    /// Structured results for EXPERIMENTS.md tooling.
+    pub json: Value,
+}
+
+/// The replication substrate, computed once and shared by T1–T4, F5–F7.
+pub struct ReplicationBundle {
+    /// One entry per paper period: the run and its scan.
+    pub runs: Vec<(ReplicationRun, ScanResult)>,
+}
+
+/// Window past each withdrawal that scans collect (covers the paper's
+/// 180-minute sweep ceiling).
+pub const SCAN_WINDOW: u64 = 4 * HOUR;
+
+/// Runs all three replication periods and scans their archives.
+pub fn replication_bundle(scale: &Scale, seed: u64) -> ReplicationBundle {
+    let runs = replication_periods(scale)
+        .iter()
+        .map(|period| {
+            let run = run_replication(period, scale, seed);
+            let intervals = intervals_from_schedule(&run.schedule);
+            let result = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
+            (run, result)
+        })
+        .collect();
+    ReplicationBundle { runs }
+}
+
+/// The beacon-study substrate, computed once and shared by T5, F2–F4 and
+/// the §5.2 case studies.
+pub struct BeaconBundle {
+    /// The run.
+    pub run: BeaconRun,
+    /// Scan of the update stream against the (pollution-cleaned)
+    /// intervals.
+    pub scan: ScanResult,
+    /// The intervals after dropping the footnote-3 polluted announcements.
+    pub intervals: Vec<BeaconInterval>,
+    /// Final withdrawal per prefix (for lifespan tracking).
+    pub finals: Vec<(Prefix, SimTime)>,
+}
+
+/// Runs the beacon study and scans it.
+pub fn beacon_bundle(scale: &Scale, seed: u64) -> BeaconBundle {
+    let run = run_beacon_study(scale, seed);
+    let mut intervals = intervals_from_schedule(&run.schedule);
+    // Footnote 3: drop the earlier announcement of each colliding pair.
+    intervals.retain(|iv| {
+        !run.polluted
+            .iter()
+            .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
+    });
+    let scan_result = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
+    let finals = final_withdrawals(&run.schedule);
+    BeaconBundle {
+        scan: scan_result,
+        intervals,
+        finals,
+        run,
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}

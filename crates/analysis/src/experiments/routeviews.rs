@@ -1,0 +1,139 @@
+//! §6 future work, built: combining RIPE RIS with a RouteViews-like
+//! second collection platform. The paper collected only RIS data
+//! ("acknowledging the potential omission of zombie routes"); this
+//! experiment quantifies that omission by running the beacon study with a
+//! second, independently-sampled peer set and comparing what each
+//! platform sees alone against the combination.
+
+use super::{pct, ExperimentOutput, SCAN_WINDOW};
+use crate::render::TextTable;
+use crate::worlds::{run_beacon_study_with_routeviews, Scale};
+use bgpz_core::{classify, intervals_from_schedule, scan, ClassifyOptions};
+use serde_json::json;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// Outbreak visibility across the two platforms.
+#[derive(Debug, Clone, Default)]
+pub struct RouteViews {
+    /// Outbreaks visible from RIS peers only.
+    pub ris_only: usize,
+    /// Outbreaks visible from RouteViews peers only.
+    pub rv_only: usize,
+    /// Outbreaks visible from both.
+    pub both: usize,
+    /// Total with the combined peer set.
+    pub combined: usize,
+    /// Announcements (denominator).
+    pub announcements: usize,
+}
+
+impl RouteViews {
+    /// The paper's "potential omission": the share of combined-visible
+    /// outbreaks a RIS-only study misses.
+    pub fn omission_fraction(&self) -> f64 {
+        if self.combined == 0 {
+            0.0
+        } else {
+            self.rv_only as f64 / self.combined as f64
+        }
+    }
+}
+
+/// Runs the two-platform beacon study and computes the visibility Venn.
+pub fn compute(scale: &Scale, seed: u64) -> RouteViews {
+    let run = run_beacon_study_with_routeviews(scale, seed);
+    let mut intervals = intervals_from_schedule(&run.schedule);
+    intervals.retain(|iv| {
+        !run.polluted
+            .iter()
+            .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
+    });
+    let result = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
+
+    // All peer routers seen in the archive, partitioned into RIS vs RV.
+    let rv: BTreeSet<IpAddr> = run.routeviews_routers.iter().copied().collect();
+    let ris_routers: Vec<IpAddr> = result
+        .peers
+        .iter()
+        .map(|p| p.addr)
+        .filter(|addr| !rv.contains(addr))
+        .collect();
+    let rv_routers: Vec<IpAddr> = rv.iter().copied().collect();
+
+    let outbreaks = |excluded: Vec<IpAddr>| -> BTreeSet<usize> {
+        let mut excluded = excluded;
+        excluded.extend(run.noisy_routers.iter().copied());
+        classify(
+            &result,
+            &ClassifyOptions {
+                excluded_peers: excluded,
+                ..ClassifyOptions::default()
+            },
+        )
+        .outbreak_keys()
+        .into_iter()
+        .collect()
+    };
+
+    let ris_set = outbreaks(rv_routers.clone());
+    let rv_set = outbreaks(ris_routers);
+    let combined_set = outbreaks(Vec::new());
+
+    RouteViews {
+        ris_only: ris_set.difference(&rv_set).count(),
+        rv_only: rv_set.difference(&ris_set).count(),
+        both: ris_set.intersection(&rv_set).count(),
+        combined: combined_set.len(),
+        announcements: result.announcement_count(),
+    }
+}
+
+/// Runs the experiment and renders it.
+pub fn run(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let venn = compute(scale, seed);
+    let mut table = TextTable::new(["Visibility", "outbreaks", "% of combined"]);
+    let denom = venn.combined.max(1) as f64;
+    table.row([
+        "RIS peers only".to_string(),
+        venn.ris_only.to_string(),
+        pct(venn.ris_only as f64 / denom),
+    ]);
+    table.row([
+        "RouteViews peers only".to_string(),
+        venn.rv_only.to_string(),
+        pct(venn.rv_only as f64 / denom),
+    ]);
+    table.row([
+        "both platforms".to_string(),
+        venn.both.to_string(),
+        pct(venn.both as f64 / denom),
+    ]);
+    table.row([
+        "combined total".to_string(),
+        venn.combined.to_string(),
+        pct(1.0),
+    ]);
+    let text = format!(
+        "RouteViews combination (§6 future work)\n\n{}\n\
+         A RIS-only study (like the paper's own §5) misses {} of the\n\
+         outbreaks the combined platforms see — the omission the paper\n\
+         acknowledges when it skips RouteViews \"due to limited resources\".\n",
+        table.render(),
+        pct(venn.omission_fraction()),
+    );
+    ExperimentOutput {
+        id: "rv",
+        title: "§6: combining RIS with RouteViews peers".into(),
+        text,
+        csv: vec![("routeviews.csv".into(), table.to_csv())],
+        json: json!({
+            "ris_only": venn.ris_only,
+            "rv_only": venn.rv_only,
+            "both": venn.both,
+            "combined": venn.combined,
+            "announcements": venn.announcements,
+            "omission_fraction": venn.omission_fraction(),
+        }),
+    }
+}

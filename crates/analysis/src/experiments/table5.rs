@@ -1,0 +1,119 @@
+//! Table 5 — the beacon study's three noisy peer routers: zombie routes
+//! and percentage of announcements affected, at 1.5 h and 3 h.
+
+use super::{pct, BeaconBundle, ExperimentOutput};
+use crate::render::TextTable;
+use bgpz_core::{classify, ClassifyOptions};
+use serde_json::json;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// One router's row: zombie route counts at the two thresholds.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Router address.
+    pub addr: IpAddr,
+    /// Router's AS number.
+    pub asn: u32,
+    /// Zombie routes at 1.5 h.
+    pub routes_90: usize,
+    /// Zombie routes at 3 h.
+    pub routes_180: usize,
+    /// Announcements total (denominator).
+    pub announcements: usize,
+}
+
+/// Computes Table 5.
+pub fn compute(bundle: &BeaconBundle) -> Vec<Table5Row> {
+    let mut counts: HashMap<IpAddr, (usize, usize, u32)> = bundle
+        .run
+        .noisy_routers
+        .iter()
+        .map(|&a| (a, (0, 0, 0)))
+        .collect();
+    for (slot, threshold) in [(0usize, 90 * 60u64), (1, 180 * 60)] {
+        let report = classify(
+            &bundle.scan,
+            &ClassifyOptions {
+                threshold,
+                ..ClassifyOptions::default()
+            },
+        );
+        for outbreak in &report.outbreaks {
+            for route in &outbreak.routes {
+                if let Some(entry) = counts.get_mut(&route.peer.addr) {
+                    if slot == 0 {
+                        entry.0 += 1;
+                    } else {
+                        entry.1 += 1;
+                    }
+                    entry.2 = route.peer.asn.0;
+                }
+            }
+        }
+    }
+    let announcements = bundle.scan.announcement_count();
+    let mut rows: Vec<Table5Row> = bundle
+        .run
+        .noisy_routers
+        .iter()
+        .map(|&addr| {
+            let (routes_90, routes_180, asn) = counts[&addr];
+            Table5Row {
+                addr,
+                asn,
+                routes_90,
+                routes_180,
+                announcements,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.routes_90));
+    rows
+}
+
+/// Runs the experiment and renders it.
+pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
+    let rows = compute(bundle);
+    let mut text_table = TextTable::new([
+        "Peer Address (ASN)",
+        "routes @1:30h",
+        "perc @1:30h",
+        "routes @3h",
+        "perc @3h",
+    ]);
+    for row in &rows {
+        let n = row.announcements.max(1) as f64;
+        text_table.row([
+            format!("{} ({})", row.addr, row.asn),
+            row.routes_90.to_string(),
+            pct(row.routes_90 as f64 / n),
+            row.routes_180.to_string(),
+            pct(row.routes_180 as f64 / n),
+        ]);
+    }
+    let text = format!(
+        "Table 5 — noisy peer routers of the beacon study (AS211380, AS211509)\n\n{}\n\
+         Paper: 163 routes (9.91%) per AS211509 router and 115 (7%) for the\n\
+         AS211380 router at 1.5 h; roughly stable at 3 h. Shape to hold: the\n\
+         same two ASes dominate at both thresholds, and the two AS211509\n\
+         routers show identical-looking counts (same AS-level feed).\n",
+        text_table.render(),
+    );
+    ExperimentOutput {
+        id: "t5",
+        title: "Table 5: the beacon study's noisy peer routers".into(),
+        text,
+        csv: vec![("table5.csv".into(), text_table.to_csv())],
+        json: json!({
+            "announcements": rows.first().map(|r| r.announcements).unwrap_or(0),
+            "rows": rows.iter().map(|r| json!({
+                "addr": r.addr.to_string(),
+                "asn": r.asn,
+                "routes_90": r.routes_90,
+                "routes_180": r.routes_180,
+            })).collect::<Vec<_>>(),
+            "paper": {"as211509_routes_90": 163, "as211380_routes_90": 115},
+        }),
+    }
+}

@@ -1,0 +1,35 @@
+//! # bgpz-analysis
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation, on top of the simulated substrate:
+//!
+//! | ID | Paper artifact | Driver |
+//! |----|----------------|--------|
+//! | T1 | Table 1 — outbreaks with/without double counting | [`experiments::table1`] |
+//! | T2 | Table 2 — prior study vs revised methodology | [`experiments::table2`] |
+//! | T3 | Table 3 — zombies each methodology misses | [`experiments::table3`] |
+//! | T4 | Table 4 — noisy peer AS16347 likelihoods | [`experiments::table4`] |
+//! | T5 | Table 5 — the beacon study's three noisy routers | [`experiments::table5`] |
+//! | F2 | Fig. 2 — threshold sweep with resurrection uptick | [`experiments::fig2`] |
+//! | F3 | Fig. 3 — outbreak duration CDF (≥ 1 day) | [`experiments::fig3`] |
+//! | F4 | Fig. 4 — the twice-resurrected zombie timeline | [`experiments::fig4`] |
+//! | F5 | Fig. 5 — zombie emergence rate CDF | [`experiments::fig5`] |
+//! | F6 | Fig. 6 — AS-path length CDFs | [`experiments::fig6`] |
+//! | F7 | Fig. 7 — concurrent outbreaks CDF | [`experiments::fig7`] |
+//! | C  | §5.2 — impactful / extremely long-lived cases | [`experiments::cases`] |
+//!
+//! Two simulated worlds feed the drivers: [`worlds::replication_world`]
+//! (the 2017/2018 RIS-beacon replication) and [`worlds::beacon_world`]
+//! (the 2024 deployment of the paper's own beacons). Both are
+//! deterministic in their seed and sized by a [`worlds::Scale`] knob so
+//! benches run in seconds while `--scale full` reproduces the paper's
+//! spans.
+
+pub mod experiments;
+pub mod render;
+pub mod stats;
+pub mod worlds;
+
+pub use render::{AsciiSeries, TextTable};
+pub use stats::Ecdf;
+pub use worlds::Scale;

@@ -1,0 +1,254 @@
+//! Plain-text rendering: aligned tables, ASCII series, CSV.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut TextTable {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        for _ in 0..total {
+            out.push('-');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — experiment cells never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// An (x, y) series rendered as a crude ASCII chart plus CSV — enough to
+/// eyeball the shape of every figure without a plotting stack.
+#[derive(Debug, Clone)]
+pub struct AsciiSeries {
+    /// Series name.
+    pub name: String,
+    /// The points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl AsciiSeries {
+    /// Creates a series.
+    pub fn new<S: Into<String>>(name: S, points: Vec<(f64, f64)>) -> AsciiSeries {
+        AsciiSeries {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Renders several series into one chart of `width`×`height` chars.
+    pub fn chart(series: &[AsciiSeries], width: usize, height: usize) -> String {
+        let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+        if all.is_empty() {
+            return String::from("(no data)\n");
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        let marks = ['*', 'o', '+', 'x', '#', '@'];
+        for (si, s) in series.iter().enumerate() {
+            let mark = marks[si % marks.len()];
+            for &(x, y) in &s.points {
+                let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+                let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - cy][cx.min(width - 1)] = mark;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "y: [{y_min:.3} .. {y_max:.3}]");
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        for _ in 0..width {
+            out.push('-');
+        }
+        out.push('\n');
+        let _ = writeln!(out, " x: [{x_min:.3} .. {x_max:.3}]");
+        for (si, s) in series.iter().enumerate() {
+            let _ = writeln!(out, "   {} = {}", marks[si % marks.len()], s.name);
+        }
+        out
+    }
+
+    /// CSV of several series: `x,name1,name2,...` rows on the union grid
+    /// (step interpolation, empty where a series has no data yet).
+    pub fn to_csv(series: &[AsciiSeries]) -> String {
+        let mut xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup();
+        let mut out = String::new();
+        let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+        let _ = writeln!(out, "x,{}", names.join(","));
+        for &x in &xs {
+            let mut row = format!("{x}");
+            for s in series {
+                // Last point with px <= x (step function).
+                let y = s
+                    .points
+                    .iter()
+                    .take_while(|&&(px, _)| px <= x)
+                    .last()
+                    .map(|&(_, y)| y);
+                match y {
+                    Some(y) => {
+                        let _ = write!(row, ",{y}");
+                    }
+                    None => row.push(','),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["Period", "IPv4", "IPv6"]);
+        t.row(["Jul 19 - Aug 31, 2018", "536", "745"]);
+        t.row(["Mar 01 - Apr 28, 2017", "1781", "610"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Period"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "536" and "1781" start at the same offset.
+        let off1 = lines[2].find("536").unwrap();
+        let off2 = lines[3].find("1781").unwrap();
+        assert_eq!(off1, off2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_csv() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only"]);
+        assert_eq!(t.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn chart_renders_marks() {
+        let s = AsciiSeries::new("test", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let chart = AsciiSeries::chart(&[s], 20, 5);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("test"));
+    }
+
+    #[test]
+    fn chart_handles_empty_and_flat() {
+        assert_eq!(AsciiSeries::chart(&[], 10, 3), "(no data)\n");
+        let flat = AsciiSeries::new("flat", vec![(1.0, 5.0), (2.0, 5.0)]);
+        let chart = AsciiSeries::chart(&[flat], 10, 3);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn series_csv_union_grid() {
+        let a = AsciiSeries::new("a", vec![(1.0, 10.0), (3.0, 30.0)]);
+        let b = AsciiSeries::new("b", vec![(2.0, 20.0)]);
+        let csv = AsciiSeries::to_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,10,20");
+        assert_eq!(lines[3], "3,30,20");
+    }
+}

@@ -1,0 +1,188 @@
+//! Small statistics toolkit: ECDFs, quantiles, summary stats.
+
+/// An empirical cumulative distribution function over f64 samples.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds from samples (NaNs are rejected with a panic — experiment
+    /// code must never produce them).
+    pub fn new<I: IntoIterator<Item = f64>>(samples: I) -> Ecdf {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(
+            sorted.iter().all(|v| !v.is_nan()),
+            "NaN sample in ECDF input"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Ecdf { sorted }
+    }
+
+    /// Builds from integer samples.
+    pub fn from_counts<I: IntoIterator<Item = usize>>(samples: I) -> Ecdf {
+        Ecdf::new(samples.into_iter().map(|v| v as f64))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// F(x): fraction of samples ≤ x.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse: the q-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The (x, F(x)) step points, deduplicated on x — ready to plot or to
+    /// dump as CSV.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+
+    /// Fraction of samples equal to zero (the paper quotes "18.76% of
+    /// pairs show no zombie occurrences at all").
+    pub fn fraction_zero(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.sorted.partition_point(|&v| v <= 0.0);
+        zeros as f64 / self.sorted.len() as f64
+    }
+}
+
+/// Mean of a slice (None when empty).
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Median of a slice (None when empty).
+pub fn median(values: &[f64]) -> Option<f64> {
+    Ecdf::new(values.iter().copied()).median()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_cdf() {
+        let e = Ecdf::new([1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.fraction_le(0.5), 0.0);
+        assert_eq!(e.fraction_le(1.0), 0.25);
+        assert_eq!(e.fraction_le(2.0), 0.75);
+        assert_eq!(e.fraction_le(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.median(), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(50.0));
+        assert_eq!(e.min(), Some(10.0));
+        assert_eq!(e.max(), Some(50.0));
+        assert_eq!(e.mean(), Some(30.0));
+    }
+
+    #[test]
+    fn points_deduplicate() {
+        let e = Ecdf::new([1.0, 1.0, 2.0]);
+        assert_eq!(
+            e.points(),
+            vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn zeros_fraction() {
+        let e = Ecdf::new([0.0, 0.0, 1.0, 3.0]);
+        assert_eq!(e.fraction_zero(), 0.5);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let e = Ecdf::default();
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_le(1.0), 0.0);
+        assert_eq!(e.median(), None);
+        assert_eq!(e.mean(), None);
+        assert!(e.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new([f64::NAN]);
+    }
+
+    #[test]
+    fn from_counts() {
+        let e = Ecdf::from_counts([1usize, 2, 3]);
+        assert_eq!(e.median(), Some(2.0));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+}

@@ -1,0 +1,1089 @@
+//! The two simulated worlds feeding every experiment.
+//!
+//! * [`run_replication`] — the 2017/2018 replication substrate: RIS
+//!   beacons from AS12654 over a generated topology, background freeze
+//!   faults calibrated so outbreak rates and the double-counting gap have
+//!   the paper's shape, plus the chronically noisy peer AS16347 (IPv6
+//!   sticky export + a months-long IPv4 export freeze — Table 4's
+//!   signature).
+//! * [`run_beacon_study`] — the 2024 deployment of the paper's own
+//!   beacons from AS210312: the named core of §5 (8298, 25091, 1299,
+//!   4637/Telstra, 33891/Core-Backbone, 9304/HGC, 3356 …), the three
+//!   noisy peer routers of RRC25, the scripted §5.1/§5.2 outbreaks, the
+//!   ROA removal, and a year of 8-hourly RIB dumps.
+//!
+//! Both are deterministic in `(scale, seed)`.
+
+use bgpz_beacon::{
+    apply_schedule, BeaconSchedule, PaperBeaconConfig, PaperBeacons, RisBeaconConfig, RisBeacons,
+};
+use bgpz_netsim::{
+    EpisodeEnd, FaultPlan, RovPolicy, Simulator, Tier, Topology, TopologyConfig,
+};
+use bgpz_rpki::beacon_roa_timeline;
+use bgpz_ris::{RisArchive, RisConfig, RisNetwork, RisPeerSpec};
+use bgpz_types::time::{DAY, HOUR, MINUTE};
+use bgpz_types::{Afi, Asn, Prefix, SimTime};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Experiment sizing knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Fraction of each paper period actually simulated (1.0 = the full
+    /// spans; the shape of every result is preserved at smaller
+    /// fractions, only the absolute counts shrink).
+    pub day_fraction: f64,
+    /// Stub ASes in the generated topology.
+    pub stubs: usize,
+    /// Tier-2 ASes in the generated topology.
+    pub tier2: usize,
+    /// Healthy RIS peer routers sampled from the topology.
+    pub ris_peers: usize,
+}
+
+impl Scale {
+    /// Minimal world for criterion benches (sub-second bundles).
+    pub fn bench() -> Scale {
+        Scale {
+            name: "bench",
+            day_fraction: 0.05,
+            stubs: 30,
+            tier2: 10,
+            ris_peers: 12,
+        }
+    }
+
+    /// Seconds-scale runs for benches and CI.
+    pub fn quick() -> Scale {
+        Scale {
+            name: "quick",
+            day_fraction: 0.12,
+            stubs: 60,
+            tier2: 16,
+            ris_peers: 20,
+        }
+    }
+
+    /// The default: full shape, reduced span.
+    pub fn standard() -> Scale {
+        Scale {
+            name: "standard",
+            day_fraction: 0.35,
+            stubs: 150,
+            tier2: 30,
+            ris_peers: 40,
+        }
+    }
+
+    /// The paper's full spans. Minutes of CPU.
+    pub fn full() -> Scale {
+        Scale {
+            name: "full",
+            day_fraction: 1.0,
+            stubs: 250,
+            tier2: 40,
+            ris_peers: 60,
+        }
+    }
+
+    /// Parses a scale name.
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "bench" => Some(Scale::bench()),
+            "quick" => Some(Scale::quick()),
+            "standard" => Some(Scale::standard()),
+            "full" => Some(Scale::full()),
+            _ => None,
+        }
+    }
+
+    /// Scales a day count.
+    fn days(&self, paper_days: u64) -> u64 {
+        ((paper_days as f64 * self.day_fraction).round() as u64).max(2)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replication world (paper §3)
+// ---------------------------------------------------------------------
+
+/// The RIS beacon origin in the replication world.
+pub const RIS_ORIGIN: Asn = Asn(12_654);
+
+/// The replication world's beacon origin sites: RIS announces each beacon
+/// from a different collector location. Site i = `RIS_SITE_BASE + i`.
+pub const RIS_SITE_BASE: u32 = 61_000;
+/// Number of origin sites (13 v4 + 14 v6 beacons round-robin over these).
+pub const RIS_SITE_COUNT: u32 = 14;
+
+/// The origin-site ASNs.
+pub fn ris_sites() -> Vec<Asn> {
+    (0..RIS_SITE_COUNT).map(|i| Asn(RIS_SITE_BASE + i)).collect()
+}
+/// The replication's noisy peer (Inherent Adista SAS).
+pub const NOISY_REPLICATION_PEER: Asn = Asn(16_347);
+
+/// One replication period, named as in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationPeriod {
+    /// Paper label.
+    pub name: &'static str,
+    /// Start of the simulated window.
+    pub start: SimTime,
+    /// End of the simulated window (scaled by [`Scale::day_fraction`]).
+    pub end: SimTime,
+    /// The paper's full length in days (for reference).
+    pub paper_days: u64,
+}
+
+/// The paper's three replication periods, spans scaled.
+pub fn replication_periods(scale: &Scale) -> Vec<ReplicationPeriod> {
+    let mk = |name, y, mo, d, paper_days| {
+        let start = SimTime::from_ymd_hms(y, mo, d, 0, 0, 0);
+        ReplicationPeriod {
+            name,
+            start,
+            end: start + scale.days(paper_days) * DAY,
+            paper_days,
+        }
+    };
+    vec![
+        mk("2018-07-19 – 2018-08-31", 2018, 7, 19, 44),
+        mk("2017-10-01 – 2017-12-28", 2017, 10, 1, 89),
+        mk("2017-03-01 – 2017-04-28", 2017, 3, 1, 59),
+    ]
+}
+
+/// Output of one replication-period run.
+pub struct ReplicationRun {
+    /// The produced archive (real MRT bytes).
+    pub archive: RisArchive,
+    /// The beacon schedule driving it.
+    pub schedule: BeaconSchedule,
+    /// The period.
+    pub period: ReplicationPeriod,
+    /// Ground truth: the noisy peer's router address.
+    pub noisy_peer: IpAddr,
+}
+
+/// Builds the replication topology: generated tiers plus the beacon
+/// origin (multi-homed) and the noisy peer AS.
+fn replication_topology(scale: &Scale, seed: u64) -> Topology {
+    let mut topo = Topology::generate(&TopologyConfig {
+        seed,
+        tier1: 6,
+        tier2: scale.tier2,
+        stubs: scale.stubs,
+        tier2_peering_prob: 0.08,
+        rov_fraction: 0.0, // no RPKI story in the 2017/2018 replication
+        rov_flawed_fraction: 0.0,
+        first_asn: 60_000,
+    });
+    // Re-build with the named ASes attached: origin multi-homed to three
+    // transits, the noisy peer dual-homed.
+    let t2_a = Asn(60_006); // first generated tier-2s
+    let t2_b = Asn(60_007);
+    let t2_c = Asn(60_008);
+    let mut builder = Topology::builder();
+    for i in 0..topo.len() {
+        builder = builder.node(topo.asn(i), topo.tier(i));
+    }
+    builder = builder
+        .node(RIS_ORIGIN, Tier::Stub)
+        .node(NOISY_REPLICATION_PEER, Tier::Stub);
+    for site in ris_sites() {
+        builder = builder.node(site, Tier::Stub);
+    }
+    for i in 0..topo.len() {
+        for &(j, rel) in topo.neighbors(i) {
+            if j > i {
+                match rel {
+                    bgpz_netsim::Relationship::Customer => {
+                        builder = builder.provider_customer(topo.asn(i), topo.asn(j));
+                    }
+                    bgpz_netsim::Relationship::Provider => {
+                        builder = builder.provider_customer(topo.asn(j), topo.asn(i));
+                    }
+                    bgpz_netsim::Relationship::Peer => {
+                        builder = builder.peering(topo.asn(i), topo.asn(j));
+                    }
+                }
+            }
+        }
+    }
+    builder = builder
+        .provider_customer(t2_a, RIS_ORIGIN)
+        .provider_customer(t2_b, RIS_ORIGIN)
+        .provider_customer(t2_c, RIS_ORIGIN)
+        .provider_customer(t2_a, NOISY_REPLICATION_PEER)
+        .provider_customer(t2_b, NOISY_REPLICATION_PEER);
+    // Each origin site is dual-homed to a pair of generated Tier-2s.
+    for (i, site) in ris_sites().into_iter().enumerate() {
+        let t2_count = scale.tier2 as u32;
+        let p1 = Asn(60_006 + (i as u32 * 2) % t2_count);
+        let p2 = Asn(60_006 + (i as u32 * 2 + 1) % t2_count);
+        builder = builder
+            .provider_customer(p1, site)
+            .provider_customer(p2, site);
+    }
+    let built = builder.build();
+    topo = built;
+    topo
+}
+
+/// Undirected edge list of a topology, ordered so the first element is
+/// the provider (or the lower-indexed peer): random freezes biased
+/// "forward" then freeze the provider→customer direction — the common,
+/// low-impact zombie (stuck in one customer's cone).
+pub fn edge_list(topo: &Topology) -> Vec<(Asn, Asn)> {
+    let mut edges = Vec::new();
+    for i in 0..topo.len() {
+        for &(j, rel) in topo.neighbors(i) {
+            if j > i {
+                // `rel` is what j is to i.
+                match rel {
+                    bgpz_netsim::Relationship::Customer => {
+                        edges.push((topo.asn(i), topo.asn(j)))
+                    }
+                    bgpz_netsim::Relationship::Provider => {
+                        edges.push((topo.asn(j), topo.asn(i)))
+                    }
+                    bgpz_netsim::Relationship::Peer => edges.push((topo.asn(i), topo.asn(j))),
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Runs one replication period end to end, producing the MRT archive.
+pub fn run_replication(period: &ReplicationPeriod, scale: &Scale, seed: u64) -> ReplicationRun {
+    let topo = replication_topology(scale, seed);
+    let edges = edge_list(&topo);
+    let span = period.end - period.start;
+
+    // Background faults: short freeze episodes (hours) make transient
+    // zombies; long ones (days) make the multi-interval zombies whose
+    // recounting is the double-counting bug. Rates calibrated so roughly
+    // 5–15% of announcements produce an outbreak and the Aggregator
+    // filter removes a 2018-like share.
+    // Absolute fleet-wide episode rates, spread over the edges: zombie
+    // *fractions* then stay comparable across scales. Short episodes
+    // produce fresh single-interval zombies; the rarer long ones survive
+    // several beacon intervals and are the double-counting source.
+    let short_per_day = 3.0;
+    let long_per_day = 0.8;
+    let plan = FaultPlan::none()
+        .with_random_freezes(
+            &edges,
+            period.start,
+            span,
+            short_per_day / edges.len() as f64,
+            30 * MINUTE,
+            4 * HOUR,
+            0.55, // resume fraction (rest reset = zombie death)
+            0.88, // mostly provider→customer: low-impact zombies
+            seed ^ 0xF00D,
+        )
+        .with_random_freezes(
+            &edges,
+            period.start,
+            span,
+            long_per_day / edges.len() as f64,
+            4 * HOUR,
+            36 * HOUR,
+            0.7,
+            0.88,
+            seed ^ 0xD00D,
+        )
+        .with_random_resets(&edges, period.start, span, 0.002, seed ^ 0xBEEF);
+
+    // The noisy AS16347's Table 4 signature: a long IPv4-only session
+    // freeze from its primary upstream leaves one stale v4 route that it
+    // keeps *re-announcing* at every beacon interval with the original
+    // Aggregator clock (it is dual-homed, so path hunting falls back to
+    // the frozen entry each time) — pure double counting, collapsing to
+    // almost nothing once filtered.
+    let v4_freeze_start = (period.start + span / 10).align_down(4 * HOUR) + 30 * MINUTE;
+    let v4_freeze_len = (span / 20).max(16 * HOUR);
+    // Freeze the higher-ASN (less-preferred) upstream so the fresh route
+    // wins each announce phase and the fallback re-announces the stale
+    // entry — the visible duplicate stream of Table 4.
+    let mut plan = plan.freeze_family(
+        Asn(60_007),
+        NOISY_REPLICATION_PEER,
+        v4_freeze_start,
+        v4_freeze_start + v4_freeze_len,
+        EpisodeEnd::Resume,
+        Some(Afi::Ipv4),
+    );
+
+    // RIS deployment: sampled healthy peers + the noisy AS16347 router on
+    // RRC21 — IPv6 sticky export at the paper's ~43%.
+    let mut exclude = vec![RIS_ORIGIN, NOISY_REPLICATION_PEER];
+    exclude.extend(ris_sites());
+    let mut config = RisConfig::sample_from_topology(
+        &topo,
+        4,
+        scale.ris_peers,
+        &exclude,
+        seed ^ 0xA5A5,
+    );
+    let noisy_addr: IpAddr = "2001:db8:163:47::1".parse().expect("static");
+    config = config.with_peer(
+        RisPeerSpec::healthy(NOISY_REPLICATION_PEER, noisy_addr, 1)
+            .with_sticky_family(0.0, 0.43),
+    );
+
+    // Collector-session outages on a few peers: the down/up STATE
+    // messages are in the archive, and the §3.1 methodology must honor
+    // them — a detector that ignores STATE would count the routes pending
+    // at the down edge as zombies (the ablation experiment measures how
+    // many).
+    let n_outages = (((span / DAY) as f64 * 0.4).ceil() as usize).max(2);
+    for k in 0..n_outages {
+        let idx = (seed as usize + 11 * k) % config.peers.len();
+        if config.peers[idx].asn == NOISY_REPLICATION_PEER {
+            continue;
+        }
+        // Down 30 minutes into an up-phase, back up ~7 hours later (past
+        // the next check time).
+        let down = (period.start + (2 * k as u64 + 1) * span / (2 * n_outages as u64))
+            .align_down(4 * HOUR)
+            + 30 * MINUTE;
+        let up = down + 7 * HOUR;
+        let peer = config.peers[idx].clone().with_outage(down, up);
+        config.peers[idx] = peer;
+    }
+
+    // Anchor episodes: deterministic freezes on multihomed RIS peers so
+    // every scale reproduces the paper's fresh/duplicate mix (the random
+    // background adds variance on top). Short anchors create
+    // single-interval zombies; long anchors span several intervals and
+    // feed the double-counting columns — with the IPv4-only variants
+    // giving IPv4 the stronger reduction the paper's Table 1 shows.
+    let days = span / DAY;
+    // Single-route anchors: one RIS peer's RIB glitches on one prefix for
+    // one beacon interval (withdrawal dropped, next announcement
+    // refreshes) — the common, low-impact zombie that dominates the
+    // paper's Fig. 5 per-pair rates and Fig. 7's single-outbreak mode.
+    let beacon_prefixes: Vec<Prefix> = {
+        let mut out: Vec<Prefix> = RisBeaconConfig::historical_distributed(&ris_sites())
+            .beacons
+            .iter()
+            .map(|b| b.prefix)
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    let n_single = ((days as f64 * 5.0).ceil() as usize).max(6);
+    let peer_asns = config.peer_asns();
+    for k in 0..n_single {
+        let peer = peer_asns[(seed as usize + 3 * k) % peer_asns.len()];
+        if peer == NOISY_REPLICATION_PEER {
+            continue;
+        }
+        let prefix = beacon_prefixes[(seed as usize + 5 * k) % beacon_prefixes.len()];
+        let at = (period.start + (k as u64 + 1) * span / (n_single as u64 + 1))
+            .align_down(4 * HOUR);
+        plan = plan.sticky_window(peer, prefix, at, at + 4 * HOUR);
+    }
+    let n_short = ((days as f64 * 0.18).ceil() as usize).max(1);
+    let n_long = ((days as f64 * 0.10).ceil() as usize).max(2);
+    let multihomed: Vec<(Asn, Asn)> = config
+        .peers
+        .iter()
+        .filter_map(|peer| {
+            let node = topo.index_of(peer.asn)?;
+            let providers: Vec<Asn> = topo
+                .neighbors(node)
+                .iter()
+                .filter(|&&(_, rel)| rel == bgpz_netsim::Relationship::Provider)
+                .map(|&(j, _)| topo.asn(j))
+                .collect();
+            // Freeze the *least preferred* provider (highest ASN loses
+            // the selection tie-break), so each beacon round the fresh
+            // route wins and the withdrawal falls back to the frozen
+            // stale entry — producing the re-announcements with an old
+            // Aggregator clock that the paper's filter catches.
+            let frozen_provider = providers.iter().copied().max()?;
+            (providers.len() >= 2).then_some((frozen_provider, peer.asn))
+        })
+        .collect();
+    if !multihomed.is_empty() {
+        let total = n_short + n_long;
+        for k in 0..total {
+            let (provider, peer) = multihomed[(seed as usize + k) % multihomed.len()];
+            if peer == NOISY_REPLICATION_PEER {
+                continue;
+            }
+            // Start inside an up-phase (announce + 30 min), spread evenly.
+            let at = (period.start + (k as u64 + 1) * span / (total as u64 + 1))
+                .align_down(4 * HOUR)
+                + 30 * MINUTE;
+            let (dur, afi) = if k < n_short {
+                (2 * HOUR, None)
+            } else if k % 2 == 0 {
+                (9 * HOUR, None) // spans ~2 intervals → 1 duplicate round
+            } else {
+                (9 * HOUR, Some(Afi::Ipv4)) // v4-only, ~2 intervals
+            };
+            plan = plan.freeze_family(provider, peer, at, at + dur, EpisodeEnd::Resume, afi);
+        }
+    }
+
+    let beacons = RisBeacons::new(RisBeaconConfig::historical_distributed(&ris_sites()));
+    let schedule = beacons.schedule(period.start, period.end);
+
+    let mut sim = Simulator::new(topo, &plan, seed);
+    let mut ris = RisNetwork::new(config, period.start, seed ^ 0x5151);
+    ris.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    ris.advance(&mut sim, period.end + 4 * HOUR);
+
+    ReplicationRun {
+        archive: ris.finish(),
+        schedule,
+        period: *period,
+        noisy_peer: noisy_addr,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Beacon-study world (paper §4–§5)
+// ---------------------------------------------------------------------
+
+/// The paper's beacon origin.
+pub const BEACON_ORIGIN: Asn = Asn(210_312);
+
+/// Named ASes of the beacon study (§5 case studies).
+pub mod named {
+    use bgpz_types::Asn;
+    /// Direct upstream of the origin.
+    pub const UPSTREAM: Asn = Asn(8_298);
+    /// Second-hop transit.
+    pub const TRANSIT: Asn = Asn(25_091);
+    /// Tier-1 (Twelve99/Arelion).
+    pub const T1_1299: Asn = Asn(1_299);
+    /// Telstra Global — root cause of the Fig. 2 late resurrections.
+    pub const TELSTRA: Asn = Asn(4_637);
+    /// Core-Backbone — root cause of the §5.2 impactful outbreak.
+    pub const CORE_BACKBONE: Asn = Asn(33_891);
+    /// HGC Global Communications — the extremely long-lived outbreak.
+    pub const HGC: Asn = Asn(9_304);
+    /// Hurricane Electric (transit of the HGC chain).
+    pub const HE: Asn = Asn(6_939);
+    /// Transit between 25091 and HE in the HGC chain.
+    pub const T43100: Asn = Asn(43_100);
+    /// Lumen (Tier-1, resurrection chain).
+    pub const LUMEN: Asn = Asn(3_356);
+    /// The infected AS of the Fig. 4 resurrection chain.
+    pub const INFECTED_34549: Asn = Asn(34_549);
+    /// Interoute/GTT-ish Tier-1 of the resurrection chain.
+    pub const T12956: Asn = Asn(12_956);
+    /// Resurrection chain middle ASes.
+    pub const T10429: Asn = Asn(10_429);
+    /// Resurrection chain middle ASes.
+    pub const T28598: Asn = Asn(28_598);
+    /// The RIS peer that sees the resurrected route.
+    pub const PEER_61573: Asn = Asn(61_573);
+    /// RIS peer behind the noisy AS211509 (35–37-day cluster of Fig. 3).
+    pub const PEER_207301: Asn = Asn(207_301);
+    /// Noisy peer AS (one router).
+    pub const NOISY_211380: Asn = Asn(211_380);
+    /// Noisy peer AS (two routers).
+    pub const NOISY_211509: Asn = Asn(211_509);
+    /// HGC-cone RIS peers.
+    pub const PEER_17639: Asn = Asn(17_639);
+    /// HGC-cone RIS peers.
+    pub const PEER_142271: Asn = Asn(142_271);
+}
+
+/// Output of the beacon-study run.
+pub struct BeaconRun {
+    /// The archive: update stream + ~a year of RIB dumps.
+    pub archive: RisArchive,
+    /// Combined schedule (daily + 15-day approaches).
+    pub schedule: BeaconSchedule,
+    /// Ground truth: the three noisy peer routers.
+    pub noisy_routers: Vec<IpAddr>,
+    /// RouteViews peer routers (empty unless the run was built with
+    /// [`run_beacon_study_with_routeviews`]): a second, independent
+    /// collection platform whose peers see different slices of the
+    /// Internet — the paper's §6 "combining RIS and RouteViews" future
+    /// work.
+    pub routeviews_routers: Vec<IpAddr>,
+    /// ROA removal instant (2024-06-22 19:49 UTC).
+    pub roa_removal: SimTime,
+    /// End of the observation window.
+    pub observed_until: SimTime,
+    /// Customer cone sizes of the case-study ASes (ground truth for the
+    /// §5.2 narrative), as (ASN, cone size).
+    pub customer_cones: Vec<(Asn, usize)>,
+    /// The footnote-3 polluted announcements (earlier halves of prefix
+    /// collisions) to drop from interval analyses.
+    pub polluted: Vec<(Prefix, SimTime)>,
+}
+
+/// Builds the beacon-study topology: generated tiers plus the named core.
+fn beacon_topology(scale: &Scale, seed: u64) -> Topology {
+    use named::*;
+    let generated = Topology::generate(&TopologyConfig {
+        seed,
+        tier1: 5,
+        tier2: scale.tier2,
+        stubs: scale.stubs,
+        tier2_peering_prob: 0.08,
+        rov_fraction: 0.25,
+        rov_flawed_fraction: 0.2,
+        first_asn: 60_000,
+    });
+    let mut builder = Topology::builder();
+    for i in 0..generated.len() {
+        builder = builder.node(generated.asn(i), generated.tier(i));
+    }
+    // The named core.
+    builder = builder
+        .node(BEACON_ORIGIN, Tier::Stub)
+        .node(UPSTREAM, Tier::Tier2)
+        .node(TRANSIT, Tier::Tier2)
+        .node(T1_1299, Tier::Tier1)
+        .node(TELSTRA, Tier::Tier2)
+        .node(CORE_BACKBONE, Tier::Tier2)
+        .node(HGC, Tier::Tier2)
+        .node(HE, Tier::Tier1)
+        .node(T43100, Tier::Tier2)
+        .node(LUMEN, Tier::Tier1)
+        .node(INFECTED_34549, Tier::Tier2)
+        .node(T12956, Tier::Tier1)
+        .node(T10429, Tier::Tier2)
+        .node(T28598, Tier::Tier2)
+        .node(PEER_61573, Tier::Stub)
+        .node(PEER_207301, Tier::Stub)
+        .node(NOISY_211380, Tier::Stub)
+        .node(NOISY_211509, Tier::Stub)
+        .node(PEER_17639, Tier::Stub)
+        .node(PEER_142271, Tier::Stub);
+    // Copy generated edges.
+    for i in 0..generated.len() {
+        for &(j, rel) in generated.neighbors(i) {
+            if j > i {
+                builder = match rel {
+                    bgpz_netsim::Relationship::Customer => {
+                        builder.provider_customer(generated.asn(i), generated.asn(j))
+                    }
+                    bgpz_netsim::Relationship::Provider => {
+                        builder.provider_customer(generated.asn(j), generated.asn(i))
+                    }
+                    bgpz_netsim::Relationship::Peer => {
+                        builder.peering(generated.asn(i), generated.asn(j))
+                    }
+                };
+            }
+        }
+    }
+    // Wire the named core along the paper's observed paths.
+    let g_t1 = Asn(60_000); // a generated tier-1 for interconnection
+    let g_t1b = Asn(60_001);
+    builder = builder
+        // Origin chain: 210312 ← 8298 ← {25091, 34549}.
+        .provider_customer(UPSTREAM, BEACON_ORIGIN)
+        .provider_customer(TRANSIT, UPSTREAM)
+        .provider_customer(INFECTED_34549, UPSTREAM)
+        // 25091's providers: 1299, 33891, 43100 and a generated T1.
+        .provider_customer(T1_1299, TRANSIT)
+        .provider_customer(CORE_BACKBONE, TRANSIT)
+        .provider_customer(T43100, TRANSIT)
+        .provider_customer(g_t1, TRANSIT)
+        // Telstra under 1299.
+        .provider_customer(T1_1299, TELSTRA)
+        // HGC chain: 43100 ← 6939 (peerings upward) ; 9304 under 6939.
+        .peering(HE, T1_1299)
+        .provider_customer(HE, T43100)
+        .provider_customer(HE, HGC)
+        .provider_customer(HGC, PEER_17639)
+        .provider_customer(HGC, PEER_142271)
+        // Resurrection chain: 34549 ← 3356 ← peering 12956 ← 10429 ← 28598
+        // ← 61573.
+        .provider_customer(LUMEN, INFECTED_34549)
+        .peering(LUMEN, T12956)
+        .provider_customer(T12956, T10429)
+        .provider_customer(T10429, T28598)
+        .provider_customer(T28598, PEER_61573)
+        // Noisy peers and 207301 multihomed below generated transit.
+        .provider_customer(g_t1, NOISY_211380)
+        .provider_customer(g_t1b, NOISY_211509)
+        .provider_customer(NOISY_211509, PEER_207301)
+        .provider_customer(g_t1, PEER_207301)
+        // Tie the named T1s into the generated clique.
+        .peering(T1_1299, g_t1)
+        .peering(T1_1299, g_t1b)
+        .peering(LUMEN, g_t1)
+        .peering(LUMEN, g_t1b)
+        .peering(T12956, g_t1)
+        .peering(HE, g_t1b)
+        .peering(LUMEN, T1_1299)
+        .peering(T12956, T1_1299)
+        .peering(HE, LUMEN)
+        .peering(HE, T12956);
+
+    // Telstra's dedicated customers: multihomed (Telstra + a generated
+    // Tier-1) so they withdraw cleanly through the healthy provider and
+    // re-learn the stale route from Telstra on a late session reset —
+    // the Fig. 2 resurrection uptick.
+    for k in 0..6u32 {
+        let asn = Asn(64_800 + k);
+        builder = builder
+            .node(asn, Tier::Stub)
+            .provider_customer(TELSTRA, asn)
+            .provider_customer(g_t1b, asn);
+    }
+    // Core-Backbone's customer cone: stub customers, most of which peer
+    // with RIS (wired in the RIS config).
+    for k in 0..21u32 {
+        let asn = Asn(65_100 + k);
+        builder = builder
+            .node(asn, Tier::Stub)
+            .provider_customer(CORE_BACKBONE, asn);
+    }
+    let mut topo = builder.build();
+    // ROV pins for the Fig. 3 story: the HGC-cone peers do not validate
+    // (they keep RPKI-invalid zombies), one Telstra customer validates
+    // strictly.
+    topo.set_rov(PEER_17639, RovPolicy::None);
+    topo.set_rov(PEER_142271, RovPolicy::ImportOnly);
+    topo.set_rov(Asn(64_800), RovPolicy::Strict);
+    topo
+}
+
+/// Runs the full beacon study (both approaches + the year of dumps).
+pub fn run_beacon_study(scale: &Scale, seed: u64) -> BeaconRun {
+    run_beacon_study_inner(scale, seed, false)
+}
+
+/// Like [`run_beacon_study`] but with a second, RouteViews-like peer set
+/// collected alongside the RIS peers (paper §6). The extra routers are
+/// listed in [`BeaconRun::routeviews_routers`]; detection over subsets is
+/// done with `ClassifyOptions::excluded_peers`.
+pub fn run_beacon_study_with_routeviews(scale: &Scale, seed: u64) -> BeaconRun {
+    run_beacon_study_inner(scale, seed, true)
+}
+
+fn run_beacon_study_inner(scale: &Scale, seed: u64, routeviews: bool) -> BeaconRun {
+    use named::*;
+    let topo = beacon_topology(scale, seed);
+    // Background faults stay off the scripted edges: a random session
+    // reset on, say, 34549–3356 would fire the Fig. 4 resurrection early.
+    let scripted_edges: Vec<(Asn, Asn)> = vec![
+        (UPSTREAM, INFECTED_34549),
+        (INFECTED_34549, LUMEN),
+        (TRANSIT, CORE_BACKBONE),
+        (HE, HGC),
+        (HGC, PEER_142271),
+        (HGC, PEER_17639),
+        (Asn(60_001), NOISY_211509),
+        (NOISY_211509, PEER_207301),
+        (T1_1299, TELSTRA),
+    ];
+    let edges: Vec<(Asn, Asn)> = edge_list(&topo)
+        .into_iter()
+        .filter(|&(a, b)| {
+            let telstra_customer = |x: Asn| (64_800..64_806).contains(&x.0);
+            let scripted = scripted_edges.contains(&(a, b))
+                || scripted_edges.contains(&(b, a))
+                || (a == TELSTRA && telstra_customer(b))
+                || (b == TELSTRA && telstra_customer(a));
+            !scripted
+        })
+        .collect();
+
+    let daily = PaperBeacons::new(PaperBeaconConfig::paper_daily());
+    let fifteen = PaperBeacons::new(PaperBeaconConfig::paper_fifteen_day());
+    let mut schedule = daily.schedule();
+    schedule.events.extend(fifteen.schedule().events.iter().copied());
+    schedule.normalize();
+    let polluted = fifteen.polluted_announcements();
+
+    let start = SimTime::from_ymd_hms(2024, 6, 4, 0, 0, 0);
+    let beacons_end = SimTime::from_ymd_hms(2024, 6, 22, 17, 30, 0);
+    // Observation tail scaled: full = the paper's 2025-05-09.
+    let full_tail_days: u64 = 320;
+    let observed_until = beacons_end + scale.days(full_tail_days) * DAY;
+    let roa_removal = SimTime::from_ymd_hms(2024, 6, 22, 19, 49, 0);
+
+    // ---- fault plan -------------------------------------------------
+    // Background: many short freeze episodes during the beacon window
+    // (transient zombies that die between 90 and 180 minutes — the Fig. 2
+    // decay), some long ones (Fig. 3 tail), plus background resets over
+    // the whole year so long-lived zombies eventually die.
+    let beacon_span = beacons_end - start;
+    let total_span = observed_until - start;
+    // Short episodes: one zombie prefix each (the beacon up at freeze
+    // start); Reset-ended ones die within hours — the Fig. 2 decay.
+    let short_per_day = 18.0;
+    // Long episodes: the Fig. 3 multi-day tail.
+    let long_per_day = 0.10;
+    let mut plan = FaultPlan::none()
+        .with_random_freezes(
+            &edges,
+            start,
+            beacon_span,
+            short_per_day / edges.len() as f64,
+            100 * MINUTE,
+            190 * MINUTE,
+            0.12, // almost all short episodes end with a reset = death
+            0.9,  // mostly provider→customer
+            seed ^ 0x0001,
+        )
+        .with_random_freezes(
+            &edges,
+            start,
+            beacon_span,
+            long_per_day / edges.len() as f64,
+            12 * HOUR,
+            (total_span / 3).max(DAY),
+            0.6,
+            0.95,
+            seed ^ 0x0002,
+        )
+        .with_random_resets(&edges, start, total_span, 0.0015, seed ^ 0x0003);
+
+    // ---- scripted cases ---------------------------------------------
+    let fifteen_clock = fifteen.clock();
+
+    // §5.2 impactful outbreak: 2a0d:3dc1:2233::/48 announced 2024-06-18
+    // 22:30, withdrawn 22:45; freeze 25091→33891 over the withdrawal;
+    // the whole Core-Backbone cone keeps it for 4 days, then a session
+    // reset clears everything.
+    let t_2233 = SimTime::from_ymd_hms(2024, 6, 18, 22, 30, 0);
+    debug_assert_eq!(
+        fifteen_clock.encode(t_2233).to_string(),
+        "2a0d:3dc1:2233::/48"
+    );
+    plan = plan.freeze(
+        TRANSIT,
+        CORE_BACKBONE,
+        t_2233 + 10 * MINUTE,
+        t_2233 + 4 * DAY,
+        EpisodeEnd::Reset,
+    );
+
+    // §5.2 extremely long-lived: 2a0d:3dc1:163::/48 announced 2024-06-18
+    // 16:00; freeze 6939→9304 for ~4.5 months (ends 2024-11-03, reset);
+    // AS142271's copy dies earlier (2024-10-25) via a session reset.
+    let t_163 = SimTime::from_ymd_hms(2024, 6, 18, 16, 0, 0);
+    debug_assert_eq!(
+        fifteen_clock.encode(t_163).to_string(),
+        "2a0d:3dc1:163::/48"
+    );
+    plan = plan
+        .freeze(
+            HE,
+            HGC,
+            t_163 + 10 * MINUTE,
+            SimTime::from_ymd_hms(2024, 11, 3, 12, 0, 0).min(observed_until),
+            EpisodeEnd::Reset,
+        )
+        .reset(
+            HGC,
+            PEER_142271,
+            SimTime::from_ymd_hms(2024, 10, 25, 6, 0, 0).min(observed_until),
+        );
+
+    // §5.1 resurrection: 2a0d:3dc1:1851::/48 announced 2024-06-21 18:45.
+    // 34549 gets stuck (freeze 8298→34549 over the withdrawal, resumes);
+    // its export to 3356 is frozen from *before* the announcement, so the
+    // zombie is invisible; the session resets on 2024-06-29 (visible),
+    // goes dark on 2024-10-04 (freeze + flush), resets again on
+    // 2024-11-29 (visible), and the 8298–34549 session finally resets on
+    // 2025-03-11, killing the zombie.
+    let t_1851 = SimTime::from_ymd_hms(2024, 6, 21, 18, 45, 0);
+    debug_assert_eq!(
+        fifteen_clock.encode(t_1851).to_string(),
+        "2a0d:3dc1:1851::/48"
+    );
+    let vis1 = SimTime::from_ymd_hms(2024, 6, 29, 9, 0, 0).min(observed_until);
+    let dark = SimTime::from_ymd_hms(2024, 10, 4, 3, 0, 0).min(observed_until + 1);
+    let vis2 = SimTime::from_ymd_hms(2024, 11, 29, 15, 0, 0).min(observed_until + 2);
+    let death = SimTime::from_ymd_hms(2025, 3, 11, 8, 0, 0).min(observed_until + 3);
+    plan = plan
+        .freeze(
+            UPSTREAM,
+            INFECTED_34549,
+            t_1851 + 10 * MINUTE,
+            death,
+            EpisodeEnd::Reset,
+        )
+        .freeze(
+            INFECTED_34549,
+            LUMEN,
+            SimTime(t_1851.secs() - 5 * MINUTE),
+            vis1,
+            EpisodeEnd::Reset,
+        )
+        // The second dark period is a real session outage: routes flush
+        // when it opens (2024-10-04) and resurrect at re-establishment
+        // (2024-11-29).
+        .outage(INFECTED_34549, LUMEN, dark, vis2);
+
+    // Fig. 3's 35–37-day cluster at peer 207301 through noisy AS211509:
+    // 211509 (the AS) gets stuck for the tail of the 15-day window; its
+    // export to 207301 is dark until ~30 days after the withdrawals, then
+    // resyncs; a final reset at ~+37 days kills it.
+    let w_cluster = SimTime::from_ymd_hms(2024, 6, 22, 12, 0, 0);
+    let cluster_visible = (w_cluster + 30 * DAY).min(observed_until);
+    let cluster_death = (w_cluster + 37 * DAY).min(observed_until + 1);
+    plan = plan
+        // Withdraw-only wedge: every beacon withdrawn in the last hours of
+        // the experiment gets stuck at AS211509 (announcements pass).
+        .freeze_withdrawals(
+            Asn(60_001),
+            NOISY_211509,
+            w_cluster,
+            cluster_death,
+            EpisodeEnd::Reset,
+        )
+        .freeze(
+            NOISY_211509,
+            PEER_207301,
+            SimTime(w_cluster.secs() - HOUR),
+            cluster_visible,
+            EpisodeEnd::Reset,
+        );
+
+    // Fig. 2's post-160-minute uptick: Telstra drops the withdrawal of
+    // six specific beacons (announced on 2024-06-21, four hours apart).
+    // Every Telstra customer's session is dark across each target's
+    // detection window and resets ~170 minutes after the withdrawal: the
+    // resync re-announces the stale route, so the prefix *becomes* an
+    // outbreak between the 160- and 180-minute thresholds — the paper's
+    // "resurrected 20 minutes later" routes, all sharing the subpath
+    // 4637 1299 25091 8298 210312.
+    let mut telstra_targets: Vec<(Prefix, SimTime)> = Vec::new();
+    for k in 0..12u64 {
+        let announce = SimTime::from_ymd_hms(2024, 6, 20 + k / 6, 4 * (k % 6), 0, 0);
+        let prefix = fifteen_clock.encode(announce);
+        let withdrawal = announce + 15 * MINUTE;
+        telstra_targets.push((prefix, withdrawal));
+        plan = plan.sticky_prefix(TELSTRA, prefix);
+        for c in 0..6u32 {
+            let customer = Asn(64_800 + c);
+            plan = plan.freeze(
+                TELSTRA,
+                customer,
+                SimTime(withdrawal.secs() - 20 * MINUTE),
+                withdrawal + 170 * MINUTE + c as u64 * 20,
+                EpisodeEnd::Reset,
+            );
+        }
+    }
+
+    // ---- RIS deployment ----------------------------------------------
+    let exclude: Vec<Asn> = vec![
+        BEACON_ORIGIN,
+        UPSTREAM,
+        TRANSIT,
+        TELSTRA,
+        NOISY_211380,
+        NOISY_211509,
+    ];
+    let mut config = RisConfig::sample_from_topology(
+        &topo,
+        6,
+        scale.ris_peers,
+        &exclude,
+        seed ^ 0xA5A5,
+    );
+    // Named RIS peers.
+    let named_peers: Vec<(Asn, &str)> = vec![
+        (PEER_61573, "2001:db8:6157:3::1"),
+        (PEER_207301, "2a0c:b641:780:7::feca"),
+        (HGC, "2001:db8:9304::1"),
+        (PEER_17639, "2001:db8:1763:9::1"),
+        (PEER_142271, "2001:db8:1422:71::1"),
+    ];
+    for (asn, addr) in &named_peers {
+        if !config.peers.iter().any(|p| p.asn == *asn) {
+            config = config.with_peer(RisPeerSpec::healthy(*asn, addr.parse().expect("static"), 5));
+        }
+    }
+    // Telstra's multihomed customers peer with RIS — they are the
+    // "specific peers" of the Fig. 2 uptick.
+    for k in 0..6u32 {
+        let asn = Asn(64_800 + k);
+        let addr: IpAddr = format!("2001:db8:6480:{k}::1").parse().expect("static");
+        config = config.with_peer(RisPeerSpec::healthy(asn, addr, k as usize % 6));
+    }
+    // Core-Backbone cone peers: 21 ASes, 24 routers (3 dual-router).
+    for k in 0..21u32 {
+        let asn = Asn(65_100 + k);
+        let addr: IpAddr = format!("2001:db8:6510:{k}::1").parse().expect("static");
+        config = config.with_peer(RisPeerSpec::healthy(asn, addr, k as usize % 6));
+        if k < 3 {
+            let addr2: IpAddr = format!("2001:db8:6510:{k}::2").parse().expect("static");
+            config = config.with_peer(RisPeerSpec::healthy(asn, addr2, k as usize % 6));
+        }
+    }
+    // Optionally, a RouteViews-like platform: additional volunteer peers
+    // sampled independently (disjoint from the RIS sample), seeing
+    // different slices of the topology.
+    let mut routeviews_routers: Vec<IpAddr> = Vec::new();
+    if routeviews {
+        let mut rv_exclude = exclude.clone();
+        rv_exclude.extend(config.peer_asns());
+        let rv = RisConfig::sample_from_topology(
+            &topo,
+            6,
+            scale.ris_peers / 2 + 2,
+            &rv_exclude,
+            seed ^ 0x7272,
+        );
+        for (i, peer) in rv.peers.iter().enumerate() {
+            let addr: IpAddr = format!("2001:db8:7270:{i:x}::1").parse().expect("static");
+            routeviews_routers.push(addr);
+            config = config.with_peer(RisPeerSpec::healthy(peer.asn, addr, i % 6));
+        }
+    }
+
+    // The three noisy peer routers on RRC25 (collector index 5 here):
+    // AS211380's router and AS211509's two routers (one on an IPv4
+    // session). Sticky rates from Table 5.
+    let noisy_routers: Vec<IpAddr> = vec![
+        "2a0c:9a40:1031::504".parse().expect("static"),
+        "2001:678:3f4:5::1".parse().expect("static"),
+        "176.119.234.201".parse().expect("static"),
+    ];
+    config = config
+        .with_peer(
+            RisPeerSpec::healthy(NOISY_211380, noisy_routers[0], 5).with_sticky_family(0.0, 0.075),
+        )
+        .with_peer(
+            RisPeerSpec::healthy(NOISY_211509, noisy_routers[1], 5).with_sticky_family(0.0, 0.105),
+        )
+        .with_peer(
+            RisPeerSpec::healthy(NOISY_211509, noisy_routers[2], 5).with_sticky_family(0.0, 0.105),
+        );
+
+    // ---- run ----------------------------------------------------------
+    let customer_cones = [TELSTRA, CORE_BACKBONE, HGC]
+        .iter()
+        .map(|&asn| {
+            let idx = topo.index_of(asn).expect("named AS");
+            (asn, topo.customer_cone(idx))
+        })
+        .collect();
+
+    let mut sim = Simulator::new(topo, &plan, seed);
+    sim.set_rpki(
+        Arc::new(beacon_roa_timeline(
+            "2a0d:3dc1::/32".parse().expect("static"),
+            BEACON_ORIGIN,
+            Some(roa_removal),
+        )),
+        6 * HOUR,
+    );
+    let mut ris = RisNetwork::new(config, start, seed ^ 0x5151);
+    ris.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    ris.advance(&mut sim, observed_until);
+
+    BeaconRun {
+        archive: ris.finish(),
+        schedule,
+        noisy_routers,
+        routeviews_routers,
+        roa_removal,
+        observed_until,
+        customer_cones,
+        polluted,
+    }
+}
+
+/// Final withdrawal instant of every prefix in a schedule — the reference
+/// point for lifespan tracking.
+pub fn final_withdrawals(schedule: &BeaconSchedule) -> Vec<(Prefix, SimTime)> {
+    let mut map = std::collections::HashMap::new();
+    for event in &schedule.events {
+        if matches!(event.kind, bgpz_beacon::BeaconEventKind::Withdraw) {
+            let entry = map.entry(event.prefix).or_insert(event.time);
+            if event.time > *entry {
+                *entry = event.time;
+            }
+        }
+    }
+    let mut out: Vec<(Prefix, SimTime)> = map.into_iter().collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("quick").unwrap().name, "quick");
+        assert_eq!(Scale::parse("standard").unwrap().name, "standard");
+        assert_eq!(Scale::parse("full").unwrap().name, "full");
+        assert!(Scale::parse("bogus").is_none());
+        assert_eq!(Scale::full().days(44), 44);
+        assert!(Scale::quick().days(44) < 10);
+    }
+
+    #[test]
+    fn replication_periods_scale() {
+        let full = replication_periods(&Scale::full());
+        assert_eq!(full.len(), 3);
+        assert_eq!((full[0].end - full[0].start) / DAY, 44);
+        let quick = replication_periods(&Scale::quick());
+        assert!((quick[0].end - quick[0].start) / DAY < 10);
+    }
+
+    #[test]
+    fn replication_topology_wires_named_ases() {
+        let topo = replication_topology(&Scale::quick(), 1);
+        let origin = topo.index_of(RIS_ORIGIN).unwrap();
+        assert!(topo.neighbors(origin).len() >= 3);
+        assert!(topo.index_of(NOISY_REPLICATION_PEER).is_some());
+    }
+
+    #[test]
+    fn beacon_topology_has_paper_paths() {
+        use named::*;
+        let topo = beacon_topology(&Scale::quick(), 1);
+        for asn in [
+            BEACON_ORIGIN,
+            UPSTREAM,
+            TRANSIT,
+            TELSTRA,
+            CORE_BACKBONE,
+            HGC,
+            INFECTED_34549,
+            PEER_61573,
+        ] {
+            assert!(topo.index_of(asn).is_some(), "{asn} missing");
+        }
+        // Core-Backbone's cone includes its 21 stub customers.
+        let cb = topo.index_of(CORE_BACKBONE).unwrap();
+        assert!(topo.customer_cone(cb) >= 22);
+        // Telstra's cone includes its 6 customers.
+        let telstra = topo.index_of(TELSTRA).unwrap();
+        assert!(topo.customer_cone(telstra) >= 7);
+    }
+
+    #[test]
+    fn final_withdrawals_pick_latest() {
+        let beacons = RisBeacons::new(RisBeaconConfig::historical(RIS_ORIGIN));
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let schedule = beacons.schedule(start, start + 2 * DAY);
+        let finals = final_withdrawals(&schedule);
+        assert_eq!(finals.len(), 27);
+        for &(_, t) in &finals {
+            assert_eq!(t, start + DAY + 20 * HOUR + 2 * HOUR);
+        }
+    }
+}
+

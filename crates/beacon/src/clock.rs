@@ -1,0 +1,335 @@
+//! BGP clocks: timestamps smuggled through BGP attributes and prefix bits.
+//!
+//! Two codecs live here:
+//!
+//! 1. The **Aggregator clock** of the RIPE RIS beacons: the Aggregator IP
+//!    address is `10.x.y.z` where `x.y.z` is the 24-bit number of seconds
+//!    between midnight UTC on the 1st of the month and the announcement.
+//!    The paper's §3.1 uses it to decide whether a stuck route belongs to
+//!    the current beacon interval (fresh zombie) or to an earlier one
+//!    (already counted — double counting eliminated).
+//! 2. The **prefix clock** of the paper's own beacons: the announcement
+//!    time encoded in the third hextet of `2a0d:3dc1:xxxx::/48`, with two
+//!    formats depending on the recycle mode — including the ambiguous
+//!    concatenation of the 15-day format that produces the footnote-3
+//!    collisions.
+
+use bgpz_types::time;
+use bgpz_types::{Ipv6Net, Prefix, SimTime};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Builds the RIS beacon Aggregator IP (`10.x.y.z`) for an announcement at
+/// `t`. Truncates to 24 bits exactly like the real beacons (a month is at
+/// most 2,678,400 s < 2^24, so no truncation occurs in practice).
+pub fn aggregator_clock(t: SimTime) -> Ipv4Addr {
+    let secs = t.secs_into_month() & 0xFF_FFFF;
+    Ipv4Addr::new(10, (secs >> 16) as u8, (secs >> 8) as u8, secs as u8)
+}
+
+/// Decodes an Aggregator clock IP back to an absolute announcement time,
+/// interpreting it relative to the month containing `reference` (the paper
+/// notes the ambiguity across months; like the paper we take the best-case,
+/// most recent interpretation at or before `reference`).
+///
+/// Returns `None` if `addr` is not in `10.0.0.0/8`.
+pub fn decode_aggregator_clock(addr: Ipv4Addr, reference: SimTime) -> Option<SimTime> {
+    let oct = addr.octets();
+    if oct[0] != 10 {
+        return None;
+    }
+    let secs = ((oct[1] as u64) << 16) | ((oct[2] as u64) << 8) | oct[3] as u64;
+    let this_month = reference.start_of_month() + secs;
+    if this_month <= reference {
+        return Some(this_month);
+    }
+    // The encoded instant is later in the month than `reference`: it must
+    // come from a previous month. Step back one month.
+    let (mut year, mut month, _) = reference.ymd();
+    if month == 1 {
+        year -= 1;
+        month = 12;
+    } else {
+        month -= 1;
+    }
+    Some(SimTime::from_ymd_hms(year, month, 1, 0, 0, 0) + secs)
+}
+
+/// The two prefix-recycling approaches of the paper's §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecycleMode {
+    /// First approach: `2a0d:3dc1:(HHMM)::/48`, each prefix reused every
+    /// 24 hours. Ran 2024-06-04 11:45 → 2024-06-10 09:30 UTC.
+    Daily,
+    /// Second approach: `2a0d:3dc1:(HH)(minute+day%15)::/48`, each prefix
+    /// reused every 15 days. Ran 2024-06-10 11:30 → 2024-06-22 17:30 UTC.
+    /// The decimal concatenation is ambiguous (footnote 3): e.g. on a day
+    /// with `day%15 == 0`, 00:30 gives `"0"+"30"` and 03:00 gives
+    /// `"3"+"0"`, both parsing to hextet `0x30`.
+    FifteenDay,
+}
+
+/// The paper's prefix clock under a `/32` covering block.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixClock {
+    /// Covering block; the clock hextet is the third 16-bit group.
+    pub covering: Ipv6Net,
+    /// Encoding format.
+    pub mode: RecycleMode,
+}
+
+impl PrefixClock {
+    /// The paper's deployment: `2a0d:3dc1::/32`.
+    pub fn paper(mode: RecycleMode) -> PrefixClock {
+        PrefixClock {
+            covering: Ipv6Net::new("2a0d:3dc1::".parse().unwrap(), 32).expect("static"),
+            mode,
+        }
+    }
+
+    /// Encodes the beacon prefix announced at `t` (which must lie on a
+    /// quarter-hour boundary).
+    pub fn encode(&self, t: SimTime) -> Prefix {
+        let (h, m, s) = t.hms();
+        assert_eq!(s, 0, "beacon slots are on whole minutes");
+        assert_eq!(m % 15, 0, "beacon slots are on quarter hours");
+        let hextet = match self.mode {
+            RecycleMode::Daily => {
+                // Decimal digits HHMM read as a hexadecimal number.
+                let digits = format!("{h:02}{m:02}");
+                u16::from_str_radix(&digits, 16).expect("decimal digits are valid hex")
+            }
+            RecycleMode::FifteenDay => {
+                // Unpadded decimal concatenation of HH and minute+day%15 —
+                // the faithful reproduction of the buggy format.
+                let (_, _, day) = t.ymd();
+                let digits = format!("{}{}", h, m + day % 15);
+                u16::from_str_radix(&digits, 16).expect("decimal digits are valid hex")
+            }
+        };
+        let mut segs = [0u16; 8];
+        let covering_segs = self.covering.addr().segments();
+        segs[0] = covering_segs[0];
+        segs[1] = covering_segs[1];
+        segs[2] = hextet;
+        Prefix::V6(Ipv6Net::new(Ipv6Addr::from(segs), 48).expect("len 48 valid"))
+    }
+
+    /// Decodes a beacon prefix back to its time-of-day slot(s).
+    ///
+    /// For [`RecycleMode::Daily`] the result is unambiguous: at most one
+    /// `(hour, minute)`. For [`RecycleMode::FifteenDay`] the result is the
+    /// set of `(hour, minute+day%15)` readings consistent with the hextet —
+    /// more than one when the collision bug strikes.
+    pub fn decode_slots(&self, prefix: Prefix) -> Vec<(u64, u64)> {
+        let Prefix::V6(net) = prefix else {
+            return Vec::new();
+        };
+        if !self.covering.contains(net) || net.len() != 48 {
+            return Vec::new();
+        }
+        let hextet = net.addr().segments()[2];
+        // Exhaustive inverse of the encoder: enumerate every legal slot
+        // reading and keep those whose encoding matches the hextet. The
+        // domains are tiny (96 and 1 440 combinations), and this is the
+        // only decode that survives the hex rendering dropping leading
+        // zeros (e.g. "030" and "30" are the same hextet 0x30).
+        match self.mode {
+            RecycleMode::Daily => {
+                let mut slots = Vec::new();
+                for h in 0..24u64 {
+                    for m in [0u64, 15, 30, 45] {
+                        let digits = format!("{h:02}{m:02}");
+                        if u16::from_str_radix(&digits, 16).expect("decimal digits") == hextet {
+                            slots.push((h, m));
+                        }
+                    }
+                }
+                slots
+            }
+            RecycleMode::FifteenDay => {
+                // Readings are (hour, minute + day%15) with minute on a
+                // quarter hour and day%15 in 0..15, i.e. rest in 0..60.
+                let mut slots = Vec::new();
+                for h in 0..24u64 {
+                    for rest in 0..60u64 {
+                        let digits = format!("{h}{rest}");
+                        if digits.len() <= 4
+                            && u16::from_str_radix(&digits, 16).expect("decimal digits") == hextet
+                        {
+                            slots.push((h, rest));
+                        }
+                    }
+                }
+                slots
+            }
+        }
+    }
+}
+
+/// Convenience: the exact Aggregator-clock example from the paper's §3.1.
+///
+/// `10.19.29.192` received on 2018-07-19 02:00:02 decodes to 1,252,800
+/// seconds after 2018-07-01, i.e. the announcement of 2018-07-15 12:00 UTC.
+pub fn paper_aggregator_example() -> (Ipv4Addr, SimTime) {
+    (
+        Ipv4Addr::new(10, 19, 29, 192),
+        SimTime::from_ymd_hms(2018, 7, 15, 12, 0, 0),
+    )
+}
+
+/// True if `t` is on a beacon quarter-hour boundary.
+pub fn is_quarter_hour(t: SimTime) -> bool {
+    t.secs().is_multiple_of(15 * time::MINUTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_roundtrip_same_month() {
+        let announce = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let clock = aggregator_clock(announce);
+        let reference = SimTime::from_ymd_hms(2018, 7, 19, 2, 0, 2);
+        assert_eq!(decode_aggregator_clock(clock, reference), Some(announce));
+    }
+
+    #[test]
+    fn aggregator_paper_example() {
+        let (addr, want) = paper_aggregator_example();
+        let reference = SimTime::from_ymd_hms(2018, 7, 19, 2, 0, 2);
+        assert_eq!(decode_aggregator_clock(addr, reference), Some(want));
+        // And the encoder produces the same address.
+        assert_eq!(aggregator_clock(want), addr);
+    }
+
+    #[test]
+    fn aggregator_previous_month_interpretation() {
+        // Announced late in June, observed early in July: the in-month
+        // reading would be in the future, so decode falls back one month.
+        let announce = SimTime::from_ymd_hms(2018, 6, 28, 12, 0, 0);
+        let clock = aggregator_clock(announce);
+        let reference = SimTime::from_ymd_hms(2018, 7, 2, 0, 0, 0);
+        assert_eq!(decode_aggregator_clock(clock, reference), Some(announce));
+        // Year boundary: December → January.
+        let announce = SimTime::from_ymd_hms(2017, 12, 30, 4, 0, 0);
+        let clock = aggregator_clock(announce);
+        let reference = SimTime::from_ymd_hms(2018, 1, 1, 8, 0, 0);
+        assert_eq!(decode_aggregator_clock(clock, reference), Some(announce));
+    }
+
+    #[test]
+    fn aggregator_rejects_non_rfc1918_clock() {
+        let reference = SimTime::from_ymd_hms(2018, 7, 19, 2, 0, 2);
+        assert_eq!(
+            decode_aggregator_clock(Ipv4Addr::new(193, 0, 4, 28), reference),
+            None
+        );
+    }
+
+    #[test]
+    fn daily_encoding_examples() {
+        let clock = PrefixClock::paper(RecycleMode::Daily);
+        let t = SimTime::from_ymd_hms(2024, 6, 4, 11, 45, 0);
+        assert_eq!(clock.encode(t).to_string(), "2a0d:3dc1:1145::/48");
+        let t0 = SimTime::from_ymd_hms(2024, 6, 5, 0, 15, 0);
+        assert_eq!(clock.encode(t0).to_string(), "2a0d:3dc1:15::/48");
+        let midnight = SimTime::from_ymd_hms(2024, 6, 5, 0, 0, 0);
+        assert_eq!(clock.encode(midnight).to_string(), "2a0d:3dc1::/48");
+    }
+
+    #[test]
+    fn daily_decode_roundtrip_all_slots() {
+        let clock = PrefixClock::paper(RecycleMode::Daily);
+        for h in 0..24 {
+            for m in [0u64, 15, 30, 45] {
+                let t = SimTime::from_ymd_hms(2024, 6, 7, h, m, 0);
+                let prefix = clock.encode(t);
+                assert_eq!(clock.decode_slots(prefix), vec![(h, m)], "{h}:{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn daily_prefixes_unique_within_day() {
+        let clock = PrefixClock::paper(RecycleMode::Daily);
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..24 {
+            for m in [0u64, 15, 30, 45] {
+                let t = SimTime::from_ymd_hms(2024, 6, 7, h, m, 0);
+                assert!(seen.insert(clock.encode(t)), "duplicate at {h}:{m}");
+            }
+        }
+        assert_eq!(seen.len(), 96);
+    }
+
+    #[test]
+    fn fifteen_day_encoding_paper_examples() {
+        let clock = PrefixClock::paper(RecycleMode::FifteenDay);
+        // Resurrected zombie 2a0d:3dc1:1851::/48: 18:45 on 2024-06-21
+        // (21 % 15 = 6; 45 + 6 = 51).
+        let t = SimTime::from_ymd_hms(2024, 6, 21, 18, 45, 0);
+        assert_eq!(clock.encode(t).to_string(), "2a0d:3dc1:1851::/48");
+        // Footnote 3 collision on 2024-06-15 (15 % 15 = 0): 00:30 and
+        // 03:00 both give 2a0d:3dc1:30::/48.
+        let a = SimTime::from_ymd_hms(2024, 6, 15, 0, 30, 0);
+        let b = SimTime::from_ymd_hms(2024, 6, 15, 3, 0, 0);
+        assert_eq!(clock.encode(a).to_string(), "2a0d:3dc1:30::/48");
+        assert_eq!(clock.encode(a), clock.encode(b));
+    }
+
+    #[test]
+    fn fifteen_day_decode_reports_ambiguity() {
+        let clock = PrefixClock::paper(RecycleMode::FifteenDay);
+        let prefix: Prefix = "2a0d:3dc1:30::/48".parse().unwrap();
+        let slots = clock.decode_slots(prefix);
+        assert!(slots.contains(&(0, 30)));
+        assert!(slots.contains(&(3, 0)));
+    }
+
+    #[test]
+    fn fifteen_day_collision_count_per_day() {
+        // Count distinct prefixes among the 96 slots of a day with
+        // day%15 == 0: the bug collapses some pairs.
+        let clock = PrefixClock::paper(RecycleMode::FifteenDay);
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for h in 0..24 {
+            for m in [0u64, 15, 30, 45] {
+                let t = SimTime::from_ymd_hms(2024, 6, 15, h, m, 0);
+                seen.insert(clock.encode(t));
+                total += 1;
+            }
+        }
+        assert_eq!(total, 96);
+        assert!(
+            seen.len() < total,
+            "footnote-3 collisions must exist on 2024-06-15"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_foreign_prefixes() {
+        let clock = PrefixClock::paper(RecycleMode::Daily);
+        assert!(clock
+            .decode_slots("2001:db8:1145::/48".parse().unwrap())
+            .is_empty());
+        assert!(clock
+            .decode_slots("2a0d:3dc1:1145::/56".parse().unwrap())
+            .is_empty());
+        // Hex digits outside 0-9 are not clock values.
+        assert!(clock
+            .decode_slots("2a0d:3dc1:1a45::/48".parse().unwrap())
+            .is_empty());
+        // Valid digits but not a quarter-hour.
+        assert!(clock
+            .decode_slots("2a0d:3dc1:1146::/48".parse().unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn quarter_hour_check() {
+        assert!(is_quarter_hour(SimTime::from_ymd_hms(2024, 6, 4, 11, 45, 0)));
+        assert!(!is_quarter_hour(SimTime::from_ymd_hms(2024, 6, 4, 11, 46, 0)));
+    }
+}

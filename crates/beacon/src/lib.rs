@@ -1,0 +1,31 @@
+//! # bgpz-beacon
+//!
+//! The two beacon systems the paper works with:
+//!
+//! * [`ris`] — the RIPE RIS routing beacons: fixed IPv4/IPv6 prefixes
+//!   announced every 4 hours and withdrawn 2 hours later, carrying a BGP
+//!   clock in the **Aggregator IP address** (`10.x.y.z` = 24-bit seconds
+//!   since the start of the month). Used for the replication study (§3).
+//! * [`paper`] — the paper's own beaconing methodology (§4): 96 fresh IPv6
+//!   `/48`s per day under `2a0d:3dc1::/32`, announced on every quarter hour
+//!   and withdrawn 15 minutes later, with the announcement time encoded in
+//!   the **prefix bits** — `2a0d:3dc1:(HHMM)::/48` for the 24-hour-recycle
+//!   approach, `2a0d:3dc1:(HH)(minute+day%15)::/48` for the 15-day one.
+//!   The second encoding has the collision bug of the paper's footnote 3,
+//!   reproduced faithfully (and exploited by the tests).
+//!
+//! [`clock`] implements both clock codecs; [`schedule`] defines the common
+//! event form and the driver that feeds a schedule into a
+//! [`bgpz_netsim::Simulator`].
+
+pub mod clock;
+pub mod paper;
+pub mod ris;
+pub mod schedule;
+pub mod v4clock;
+
+pub use clock::{aggregator_clock, decode_aggregator_clock, PrefixClock, RecycleMode};
+pub use paper::{PaperBeaconConfig, PaperBeacons};
+pub use ris::{RisBeaconConfig, RisBeacons};
+pub use schedule::{apply_schedule, BeaconEvent, BeaconEventKind, BeaconSchedule};
+pub use v4clock::{V4PrefixClock, V4RecycleMode};

@@ -1,0 +1,254 @@
+//! The paper's own beaconing methodology (§4).
+//!
+//! Every quarter hour (:00, :15, :30, :45) a *different* IPv6 `/48` under
+//! `2a0d:3dc1::/32` is announced by AS210312 and withdrawn 15 minutes
+//! later. The announcement timestamp is encoded in the prefix bits; a
+//! prefix is re-announced only after 24 hours (first approach) or 15 days
+//! (second approach). The experiment windows:
+//!
+//! * Daily recycle:  2024-06-04 11:45 → 2024-06-10 09:30 UTC
+//! * 15-day recycle: 2024-06-10 11:30 → 2024-06-22 17:30 UTC
+//!
+//! The 15-day encoding carries the footnote-3 bug: on some days two of the
+//! 96 daily slots map to the same prefix. Like the paper, consumers study
+//! only the *latter* announcement of such a colliding pair (the schedule
+//! keeps both events — the wire really carried both — and exposes
+//! [`PaperBeacons::collisions`] so analyses can drop the earlier one).
+
+use crate::clock::{PrefixClock, RecycleMode};
+use crate::schedule::{BeaconEvent, BeaconEventKind, BeaconSchedule};
+use bgpz_types::time::MINUTE;
+use bgpz_types::{Asn, Prefix, SimTime};
+use std::collections::HashMap;
+
+/// Configuration of the paper's beacon deployment.
+#[derive(Debug, Clone)]
+pub struct PaperBeaconConfig {
+    /// Origin AS (AS210312 in the paper).
+    pub origin: Asn,
+    /// Recycle mode / prefix encoding.
+    pub mode: RecycleMode,
+    /// First announcement instant (must be on a quarter hour).
+    pub start: SimTime,
+    /// End of the experiment (exclusive).
+    pub end: SimTime,
+    /// Seconds a beacon stays announced (15 minutes in the paper).
+    pub up_time: u64,
+}
+
+impl PaperBeaconConfig {
+    /// The paper's first (daily-recycle) run.
+    pub fn paper_daily() -> PaperBeaconConfig {
+        PaperBeaconConfig {
+            origin: Asn::BEACON_ORIGIN,
+            mode: RecycleMode::Daily,
+            start: SimTime::from_ymd_hms(2024, 6, 4, 11, 45, 0),
+            end: SimTime::from_ymd_hms(2024, 6, 10, 9, 30, 0),
+            up_time: 15 * MINUTE,
+        }
+    }
+
+    /// The paper's second (15-day-recycle) run.
+    pub fn paper_fifteen_day() -> PaperBeaconConfig {
+        PaperBeaconConfig {
+            origin: Asn::BEACON_ORIGIN,
+            mode: RecycleMode::FifteenDay,
+            start: SimTime::from_ymd_hms(2024, 6, 10, 11, 30, 0),
+            end: SimTime::from_ymd_hms(2024, 6, 22, 17, 30, 0),
+            up_time: 15 * MINUTE,
+        }
+    }
+}
+
+/// Schedule generator for the paper's beacons.
+#[derive(Debug, Clone)]
+pub struct PaperBeacons {
+    config: PaperBeaconConfig,
+    clock: PrefixClock,
+}
+
+impl PaperBeacons {
+    /// Creates the generator.
+    pub fn new(config: PaperBeaconConfig) -> PaperBeacons {
+        assert_eq!(
+            config.start.secs() % (15 * MINUTE),
+            0,
+            "start must be on a quarter hour"
+        );
+        let clock = PrefixClock::paper(config.mode);
+        PaperBeacons { config, clock }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PaperBeaconConfig {
+        &self.config
+    }
+
+    /// The prefix clock in use.
+    pub fn clock(&self) -> &PrefixClock {
+        &self.clock
+    }
+
+    /// Builds the full announce/withdraw schedule.
+    pub fn schedule(&self) -> BeaconSchedule {
+        let mut schedule = BeaconSchedule::default();
+        let mut t = self.config.start;
+        while t < self.config.end {
+            let prefix = self.clock.encode(t);
+            schedule.events.push(BeaconEvent {
+                time: t,
+                prefix,
+                origin: self.config.origin,
+                kind: BeaconEventKind::Announce { aggregator: None },
+            });
+            let down = t + self.config.up_time;
+            if down < self.config.end {
+                schedule.events.push(BeaconEvent {
+                    time: down,
+                    prefix,
+                    origin: self.config.origin,
+                    kind: BeaconEventKind::Withdraw,
+                });
+            }
+            t += 15 * MINUTE;
+        }
+        schedule.normalize();
+        schedule
+    }
+
+    /// The footnote-3 collisions: pairs of announcement instants within
+    /// one UTC day that map to the same prefix, as `(prefix, earlier,
+    /// later)`. Analyses study only the later announcement.
+    pub fn collisions(&self) -> Vec<(Prefix, SimTime, SimTime)> {
+        let mut by_day_prefix: HashMap<(u64, u64, u64, Prefix), Vec<SimTime>> = HashMap::new();
+        let mut t = self.config.start;
+        while t < self.config.end {
+            let prefix = self.clock.encode(t);
+            let (y, m, d) = t.ymd();
+            by_day_prefix.entry((y, m, d, prefix)).or_default().push(t);
+            t += 15 * MINUTE;
+        }
+        let mut out = Vec::new();
+        for ((_, _, _, prefix), mut times) in by_day_prefix {
+            if times.len() > 1 {
+                times.sort_unstable();
+                for pair in times.windows(2) {
+                    out.push((prefix, pair[0], pair[1]));
+                }
+            }
+        }
+        out.sort_by_key(|&(p, a, _)| (a, p));
+        out
+    }
+
+    /// Announcement instants whose observation window is polluted by a
+    /// colliding later announcement of the same prefix — these are the
+    /// "earlier of the pair" instants the paper drops.
+    pub fn polluted_announcements(&self) -> Vec<(Prefix, SimTime)> {
+        self.collisions()
+            .into_iter()
+            .map(|(prefix, earlier, _)| (prefix, earlier))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_run_counts() {
+        let beacons = PaperBeacons::new(PaperBeaconConfig::paper_daily());
+        let schedule = beacons.schedule();
+        // 2024-06-04 11:45 → 2024-06-10 09:30 is 5 days 21:45 = 567 slots.
+        let expected_slots = (SimTime::from_ymd_hms(2024, 6, 10, 9, 30, 0)
+            - SimTime::from_ymd_hms(2024, 6, 4, 11, 45, 0))
+            / (15 * MINUTE);
+        assert_eq!(schedule.announcement_count() as u64, expected_slots);
+        // 96 distinct prefixes per 24 hours.
+        assert_eq!(schedule.prefixes().len(), 96);
+        // No collisions in the daily format.
+        assert!(beacons.collisions().is_empty());
+    }
+
+    #[test]
+    fn fifteen_day_run_counts_and_collisions() {
+        let beacons = PaperBeacons::new(PaperBeaconConfig::paper_fifteen_day());
+        let schedule = beacons.schedule();
+        assert!(schedule.announcement_count() > 1_000);
+        let collisions = beacons.collisions();
+        assert!(
+            !collisions.is_empty(),
+            "footnote-3 collisions must appear in the 15-day window"
+        );
+        // The canonical example: 2024-06-15, 00:30 vs 03:00 on
+        // 2a0d:3dc1:30::/48.
+        let prefix: Prefix = "2a0d:3dc1:30::/48".parse().unwrap();
+        let a = SimTime::from_ymd_hms(2024, 6, 15, 0, 30, 0);
+        let b = SimTime::from_ymd_hms(2024, 6, 15, 3, 0, 0);
+        assert!(
+            collisions.contains(&(prefix, a, b)),
+            "canonical collision missing: {collisions:?}"
+        );
+        // Polluted = earlier halves.
+        assert!(beacons.polluted_announcements().contains(&(prefix, a)));
+    }
+
+    #[test]
+    fn each_announce_has_matching_withdraw_15_minutes_later() {
+        let beacons = PaperBeacons::new(PaperBeaconConfig::paper_daily());
+        let schedule = beacons.schedule();
+        let mut announces = 0;
+        for event in schedule.announcements() {
+            announces += 1;
+            let down = event.time + 15 * MINUTE;
+            if down < beacons.config().end {
+                assert!(
+                    schedule.events.iter().any(|e| e.time == down
+                        && e.prefix == event.prefix
+                        && e.kind == BeaconEventKind::Withdraw),
+                    "missing withdraw for {} at {}",
+                    event.prefix,
+                    down
+                );
+            }
+        }
+        assert!(announces > 0);
+    }
+
+    #[test]
+    fn prefixes_are_under_the_covering_block() {
+        let beacons = PaperBeacons::new(PaperBeaconConfig::paper_fifteen_day());
+        let covering: Prefix = "2a0d:3dc1::/32".parse().unwrap();
+        for prefix in beacons.schedule().prefixes() {
+            assert!(covering.contains(prefix), "{prefix} outside covering");
+            assert_eq!(prefix.len(), 48);
+        }
+    }
+
+    #[test]
+    fn daily_recycle_means_same_slot_same_prefix_next_day() {
+        let beacons = PaperBeacons::new(PaperBeaconConfig::paper_daily());
+        let clock = beacons.clock();
+        let a = clock.encode(SimTime::from_ymd_hms(2024, 6, 5, 8, 15, 0));
+        let b = clock.encode(SimTime::from_ymd_hms(2024, 6, 6, 8, 15, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fifteen_day_recycle_same_slot_differs_across_days() {
+        let beacons = PaperBeacons::new(PaperBeaconConfig::paper_fifteen_day());
+        let clock = beacons.clock();
+        let a = clock.encode(SimTime::from_ymd_hms(2024, 6, 11, 8, 15, 0));
+        let b = clock.encode(SimTime::from_ymd_hms(2024, 6, 12, 8, 15, 0));
+        assert_ne!(a, b, "day component must differentiate prefixes");
+    }
+
+    #[test]
+    #[should_panic(expected = "quarter hour")]
+    fn start_must_be_quarter_hour() {
+        let mut config = PaperBeaconConfig::paper_daily();
+        config.start += 60;
+        let _ = PaperBeacons::new(config);
+    }
+}

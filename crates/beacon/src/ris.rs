@@ -1,0 +1,252 @@
+//! The RIPE RIS routing-beacon system (replication study, paper §3).
+//!
+//! Every beacon prefix is announced at 00:00, 04:00, ... 20:00 UTC and
+//! withdrawn two hours later. At the time of the Fontugne et al. study the
+//! set was 13 IPv4 + 14 IPv6 prefixes (27 in total — which is why the
+//! paper's Table 1 reports 7,126 visible prefixes for the 44-day 2018
+//! window: 44 × 6 × 27 ≈ 7,128, minus edge effects). Announcements carry
+//! the Aggregator BGP clock.
+
+use crate::clock::aggregator_clock;
+use crate::schedule::{BeaconEvent, BeaconEventKind, BeaconSchedule};
+use bgpz_types::attrs::Aggregator;
+use bgpz_types::time::HOUR;
+use bgpz_types::{Asn, Prefix, SimTime};
+
+/// One RIS beacon: a prefix and the AS originating it (a RIS collector
+/// location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RisBeacon {
+    /// The beacon prefix.
+    pub prefix: Prefix,
+    /// The origin AS (RIPE NCC's AS12654 in reality; configurable so the
+    /// simulation can spread beacons across origins).
+    pub origin: Asn,
+}
+
+/// Configuration of the RIS beacon system.
+#[derive(Debug, Clone)]
+pub struct RisBeaconConfig {
+    /// The beacons.
+    pub beacons: Vec<RisBeacon>,
+    /// Seconds between announcements (4 h for RIS).
+    pub period: u64,
+    /// Seconds from announcement to withdrawal (2 h for RIS).
+    pub up_time: u64,
+}
+
+impl RisBeaconConfig {
+    /// The historical 2017/2018-era beacon set: 13 IPv4 `/24`s under
+    /// `84.205.64.0/19`-ish space and 14 IPv6 `/48`s under
+    /// `2001:7fb:fe00::/40`, all originated by `origin`.
+    pub fn historical(origin: Asn) -> RisBeaconConfig {
+        RisBeaconConfig::historical_distributed(&[origin])
+    }
+
+    /// The historical beacon set spread over several origin sites,
+    /// round-robin: beacon *i* of each family is originated by
+    /// `origins[i % origins.len()]`. This mirrors reality — each RIS
+    /// collector site announces its own beacon — and is what makes some
+    /// zombie outbreaks *single-prefix* (a fault near one site) while
+    /// others hit every beacon at once (a fault near a peer), the Fig. 7
+    /// bimodality.
+    pub fn historical_distributed(origins: &[Asn]) -> RisBeaconConfig {
+        assert!(!origins.is_empty(), "at least one origin required");
+        let mut beacons = Vec::new();
+        for i in 0..13usize {
+            beacons.push(RisBeacon {
+                prefix: Prefix::v4(84, 205, 64 + i as u8, 0, 24),
+                origin: origins[i % origins.len()],
+            });
+        }
+        for i in 0..14usize {
+            beacons.push(RisBeacon {
+                prefix: Prefix::v6([0x2001, 0x07fb, 0xfe00 + i as u16, 0, 0, 0, 0, 0], 48),
+                origin: origins[i % origins.len()],
+            });
+        }
+        RisBeaconConfig {
+            beacons,
+            period: 4 * HOUR,
+            up_time: 2 * HOUR,
+        }
+    }
+
+    /// Number of beacons.
+    pub fn len(&self) -> usize {
+        self.beacons.len()
+    }
+
+    /// True if no beacons are configured.
+    pub fn is_empty(&self) -> bool {
+        self.beacons.is_empty()
+    }
+}
+
+/// Schedule generator for the RIS beacons.
+#[derive(Debug, Clone)]
+pub struct RisBeacons {
+    config: RisBeaconConfig,
+}
+
+impl RisBeacons {
+    /// Creates the generator.
+    pub fn new(config: RisBeaconConfig) -> RisBeacons {
+        RisBeacons { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RisBeaconConfig {
+        &self.config
+    }
+
+    /// Builds the announce/withdraw schedule over `[start, end)`.
+    ///
+    /// Interval starts are aligned to multiples of the period from
+    /// midnight (00:00, 04:00, ...), matching RIS. The Aggregator clock is
+    /// stamped with each announcement instant.
+    pub fn schedule(&self, start: SimTime, end: SimTime) -> BeaconSchedule {
+        let mut schedule = BeaconSchedule::default();
+        let mut t = start.align_down(self.config.period);
+        if t < start {
+            t += self.config.period;
+        }
+        while t < end {
+            for beacon in &self.config.beacons {
+                schedule.events.push(BeaconEvent {
+                    time: t,
+                    prefix: beacon.prefix,
+                    origin: beacon.origin,
+                    kind: BeaconEventKind::Announce {
+                        aggregator: Some(Aggregator {
+                            asn: beacon.origin,
+                            addr: aggregator_clock(t),
+                        }),
+                    },
+                });
+                let down = t + self.config.up_time;
+                if down < end {
+                    schedule.events.push(BeaconEvent {
+                        time: down,
+                        prefix: beacon.prefix,
+                        origin: beacon.origin,
+                        kind: BeaconEventKind::Withdraw,
+                    });
+                }
+            }
+            t += self.config.period;
+        }
+        schedule.normalize();
+        schedule
+    }
+
+    /// The interval starts (announcement instants) within `[start, end)`.
+    pub fn interval_starts(&self, start: SimTime, end: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = start.align_down(self.config.period);
+        if t < start {
+            t += self.config.period;
+        }
+        while t < end {
+            out.push(t);
+            t += self.config.period;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORIGIN: Asn = Asn(12_654);
+
+    #[test]
+    fn historical_set_is_27() {
+        let config = RisBeaconConfig::historical(ORIGIN);
+        assert_eq!(config.len(), 27);
+        let v4 = config
+            .beacons
+            .iter()
+            .filter(|b| matches!(b.prefix, Prefix::V4(_)))
+            .count();
+        assert_eq!(v4, 13);
+        assert_eq!(config.len() - v4, 14);
+    }
+
+    #[test]
+    fn table1_visible_prefix_count_2018() {
+        // 2018-07-19 00:00 → 2018-08-31 24:00 with 27 beacons every 4 h:
+        // the paper reports 7,126 visible prefixes; exact alignment gives
+        // 44 days × 6 × 27 = 7,128.
+        let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let end = SimTime::from_ymd_hms(2018, 9, 1, 0, 0, 0);
+        let schedule = beacons.schedule(start, end);
+        assert_eq!(schedule.announcement_count(), 44 * 6 * 27);
+    }
+
+    #[test]
+    fn four_hour_cadence_and_two_hour_uptime() {
+        let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let end = SimTime::from_ymd_hms(2018, 7, 20, 0, 0, 0);
+        let schedule = beacons.schedule(start, end);
+        // 6 intervals × 27 × (announce + withdraw).
+        assert_eq!(schedule.events.len(), 6 * 27 * 2);
+        let one_prefix: Vec<&BeaconEvent> = schedule
+            .events
+            .iter()
+            .filter(|e| e.prefix == Prefix::v4(84, 205, 64, 0, 24))
+            .collect();
+        assert_eq!(one_prefix.len(), 12);
+        assert_eq!(one_prefix[0].time.hms(), (0, 0, 0));
+        assert!(matches!(
+            one_prefix[0].kind,
+            BeaconEventKind::Announce { .. }
+        ));
+        assert_eq!(one_prefix[1].time.hms(), (2, 0, 0));
+        assert_eq!(one_prefix[1].kind, BeaconEventKind::Withdraw);
+        assert_eq!(one_prefix[2].time.hms(), (4, 0, 0));
+    }
+
+    #[test]
+    fn aggregator_clock_is_stamped() {
+        let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let end = start + 4 * HOUR;
+        let schedule = beacons.schedule(start, end);
+        for event in schedule.announcements() {
+            let BeaconEventKind::Announce { aggregator } = event.kind else {
+                unreachable!()
+            };
+            let agg = aggregator.expect("RIS beacons always stamp the clock");
+            assert_eq!(agg.asn, ORIGIN);
+            assert_eq!(
+                crate::clock::decode_aggregator_clock(agg.addr, event.time),
+                Some(event.time)
+            );
+        }
+    }
+
+    #[test]
+    fn unaligned_start_rounds_up() {
+        let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 1, 30, 0);
+        let starts = beacons.interval_starts(start, start + 8 * HOUR);
+        assert_eq!(starts.len(), 2);
+        assert_eq!(starts[0].hms(), (4, 0, 0));
+        assert_eq!(starts[1].hms(), (8, 0, 0));
+    }
+
+    #[test]
+    fn withdrawal_not_emitted_past_end() {
+        let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        // End exactly at the withdraw instant: withdraw excluded.
+        let end = start + 2 * HOUR;
+        let schedule = beacons.schedule(start, end);
+        assert_eq!(schedule.announcement_count(), 27);
+        assert_eq!(schedule.events.len(), 27);
+    }
+}

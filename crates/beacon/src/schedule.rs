@@ -1,0 +1,151 @@
+//! Common beacon schedule form and the simulator driver.
+
+use bgpz_netsim::{RouteMeta, Simulator};
+use bgpz_types::attrs::Aggregator;
+use bgpz_types::{Asn, Prefix, SimTime};
+
+/// What a beacon does at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeaconEventKind {
+    /// Announce, carrying the Aggregator BGP clock if the system sets one.
+    Announce {
+        /// Aggregator attribute (ASN + clock IP), if used.
+        aggregator: Option<Aggregator>,
+    },
+    /// Withdraw.
+    Withdraw,
+}
+
+/// One scheduled beacon action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconEvent {
+    /// When.
+    pub time: SimTime,
+    /// Which prefix.
+    pub prefix: Prefix,
+    /// Origin AS performing the action.
+    pub origin: Asn,
+    /// Announce or withdraw.
+    pub kind: BeaconEventKind,
+}
+
+/// A complete, time-ordered schedule.
+#[derive(Debug, Clone, Default)]
+pub struct BeaconSchedule {
+    /// Events sorted by time (ties broken by prefix).
+    pub events: Vec<BeaconEvent>,
+}
+
+impl BeaconSchedule {
+    /// Number of announcement events (the paper's "visible prefixes" count
+    /// in Table 1 is exactly this).
+    pub fn announcement_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, BeaconEventKind::Announce { .. }))
+            .count()
+    }
+
+    /// All distinct prefixes in the schedule, sorted.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        let mut out: Vec<Prefix> = self.events.iter().map(|e| e.prefix).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The announcement events, in order.
+    pub fn announcements(&self) -> impl Iterator<Item = &BeaconEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, BeaconEventKind::Announce { .. }))
+    }
+
+    /// Sorts events by (time, prefix) — generators call this last.
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| (e.time, e.prefix));
+    }
+}
+
+/// Feeds a schedule into the simulator: each announce/withdraw becomes an
+/// origination event, with a fresh ground-truth generation per announce.
+pub fn apply_schedule(sim: &mut Simulator, schedule: &BeaconSchedule) {
+    for event in &schedule.events {
+        match event.kind {
+            BeaconEventKind::Announce { aggregator } => {
+                let generation = sim.next_generation();
+                sim.schedule_announce(
+                    event.time,
+                    event.origin,
+                    event.prefix,
+                    RouteMeta {
+                        aggregator,
+                        origin_time: event.time,
+                        generation,
+                    },
+                );
+            }
+            BeaconEventKind::Withdraw => {
+                sim.schedule_withdraw(event.time, event.origin, event.prefix);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_netsim::{FaultPlan, Tier, Topology};
+
+    #[test]
+    fn schedule_counts_and_prefixes() {
+        let prefix: Prefix = "2a0d:3dc1:30::/48".parse().unwrap();
+        let mut schedule = BeaconSchedule::default();
+        schedule.events.push(BeaconEvent {
+            time: SimTime(900),
+            prefix,
+            origin: Asn(210_312),
+            kind: BeaconEventKind::Withdraw,
+        });
+        schedule.events.push(BeaconEvent {
+            time: SimTime(0),
+            prefix,
+            origin: Asn(210_312),
+            kind: BeaconEventKind::Announce { aggregator: None },
+        });
+        schedule.normalize();
+        assert_eq!(schedule.events[0].time, SimTime(0));
+        assert_eq!(schedule.announcement_count(), 1);
+        assert_eq!(schedule.prefixes(), vec![prefix]);
+        assert_eq!(schedule.announcements().count(), 1);
+    }
+
+    #[test]
+    fn apply_schedule_drives_simulator() {
+        let topo = Topology::builder()
+            .node(Asn(1), Tier::Tier1)
+            .node(Asn(210_312), Tier::Stub)
+            .provider_customer(Asn(1), Asn(210_312))
+            .build();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let prefix: Prefix = "2a0d:3dc1:30::/48".parse().unwrap();
+        let mut schedule = BeaconSchedule::default();
+        schedule.events.push(BeaconEvent {
+            time: SimTime(0),
+            prefix,
+            origin: Asn(210_312),
+            kind: BeaconEventKind::Announce { aggregator: None },
+        });
+        schedule.events.push(BeaconEvent {
+            time: SimTime(900),
+            prefix,
+            origin: Asn(210_312),
+            kind: BeaconEventKind::Withdraw,
+        });
+        apply_schedule(&mut sim, &schedule);
+        sim.run_until(SimTime(600));
+        assert!(sim.holds_prefix(Asn(1), prefix));
+        sim.run_to_completion();
+        assert!(!sim.holds_prefix(Asn(1), prefix));
+    }
+}

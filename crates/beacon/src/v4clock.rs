@@ -1,0 +1,256 @@
+//! An IPv4 beacon prefix clock (paper §6, designed and built).
+//!
+//! The paper's own beacons are IPv6-only — "IPv4 prefix offers only a
+//! limited number of bits for timestamp encoding ... a compact encoding
+//! schema of the announcement time is necessary to maximize space
+//! utilization". This module is that schema: beacons are `/24`s under a
+//! `/16`, so exactly **one octet** carries the clock.
+//!
+//! * [`V4RecycleMode::Daily`] — a beacon every 15 minutes, third octet =
+//!   the quarter-hour slot of the day (`0..96`). 96 prefixes, recycled
+//!   every 24 h — the IPv4 twin of `2a0d:3dc1:(HHMM)::/48`.
+//! * [`V4RecycleMode::FifteenDay`] — a beacon every 90 minutes, third
+//!   octet = `slot_90min * 15 + day % 15` (`0..240`). 240 prefixes,
+//!   recycled every 15 days. The coarser cadence is the price of fitting
+//!   the day residue into the remaining bits.
+//!
+//! Unlike the paper's IPv6 15-day format, the arithmetic encoding is
+//! injective within its recycle period **by construction** — the
+//! footnote-3 string-concatenation ambiguity cannot happen here (the
+//! round-trip property test below proves it).
+
+use bgpz_types::time::MINUTE;
+use bgpz_types::{Ipv4Net, Prefix, SimTime};
+use std::net::Ipv4Addr;
+
+/// Recycle modes of the IPv4 clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum V4RecycleMode {
+    /// 96 beacons/day, 15-minute cadence, recycled daily.
+    Daily,
+    /// 16 beacons/day, 90-minute cadence, recycled every 15 days.
+    FifteenDay,
+}
+
+impl V4RecycleMode {
+    /// Seconds between announcements.
+    pub fn cadence(self) -> u64 {
+        match self {
+            V4RecycleMode::Daily => 15 * MINUTE,
+            V4RecycleMode::FifteenDay => 90 * MINUTE,
+        }
+    }
+
+    /// Number of distinct beacon prefixes.
+    pub fn prefix_count(self) -> usize {
+        match self {
+            V4RecycleMode::Daily => 96,
+            V4RecycleMode::FifteenDay => 240,
+        }
+    }
+}
+
+/// The IPv4 prefix clock under a `/16` covering block.
+#[derive(Debug, Clone, Copy)]
+pub struct V4PrefixClock {
+    /// Covering block; the clock octet is the third octet.
+    pub covering: Ipv4Net,
+    /// Encoding mode.
+    pub mode: V4RecycleMode,
+}
+
+impl V4PrefixClock {
+    /// A clock under the given `/16`.
+    pub fn new(covering: Ipv4Net, mode: V4RecycleMode) -> V4PrefixClock {
+        assert_eq!(covering.len(), 16, "the covering block must be a /16");
+        V4PrefixClock { covering, mode }
+    }
+
+    /// The conventional deployment block used in this workspace's
+    /// experiments (TEST-NET-ish space).
+    pub fn example(mode: V4RecycleMode) -> V4PrefixClock {
+        V4PrefixClock::new(
+            Ipv4Net::new(Ipv4Addr::new(93, 175, 0, 0), 16).expect("static"),
+            mode,
+        )
+    }
+
+    /// The clock octet for an announcement at `t`.
+    fn octet(&self, t: SimTime) -> u8 {
+        let (h, m, s) = t.hms();
+        assert_eq!(s, 0, "beacon slots are on whole minutes");
+        match self.mode {
+            V4RecycleMode::Daily => {
+                assert_eq!(m % 15, 0, "daily slots are on quarter hours");
+                (h * 4 + m / 15) as u8
+            }
+            V4RecycleMode::FifteenDay => {
+                let minute_of_day = h * 60 + m;
+                assert_eq!(minute_of_day % 90, 0, "15-day slots are on 90-minute marks");
+                let slot = minute_of_day / 90; // 0..16
+                let (_, _, day) = t.ymd();
+                (slot * 15 + day % 15) as u8
+            }
+        }
+    }
+
+    /// Encodes the beacon prefix announced at `t`.
+    pub fn encode(&self, t: SimTime) -> Prefix {
+        let base = self.covering.addr().octets();
+        Prefix::V4(
+            Ipv4Net::new(Ipv4Addr::new(base[0], base[1], self.octet(t), 0), 24)
+                .expect("len 24 valid"),
+        )
+    }
+
+    /// Decodes a beacon prefix to its slot reading.
+    ///
+    /// * Daily: `Some((hour, minute))`.
+    /// * FifteenDay: `Some((slot index 0..16, day % 15))` — combine with a
+    ///   calendar to recover the absolute announcement time.
+    ///
+    /// `None` if the prefix is not a valid clock value for this mode.
+    pub fn decode(&self, prefix: Prefix) -> Option<(u64, u64)> {
+        let Prefix::V4(net) = prefix else { return None };
+        if net.len() != 24 || !self.covering.contains(net) {
+            return None;
+        }
+        let value = net.addr().octets()[2] as u64;
+        match self.mode {
+            V4RecycleMode::Daily => {
+                (value < 96).then_some((value / 4, (value % 4) * 15))
+            }
+            V4RecycleMode::FifteenDay => {
+                (value < 240).then_some((value / 15, value % 15))
+            }
+        }
+    }
+
+    /// The announcement instant on a given date consistent with `prefix`
+    /// (FifteenDay mode also checks the date's residue).
+    pub fn instant_on(&self, prefix: Prefix, year: u64, month: u64, day: u64) -> Option<SimTime> {
+        let (a, b) = self.decode(prefix)?;
+        match self.mode {
+            V4RecycleMode::Daily => Some(SimTime::from_ymd_hms(year, month, day, a, b, 0)),
+            V4RecycleMode::FifteenDay => {
+                if day % 15 != b {
+                    return None;
+                }
+                let minute_of_day = a * 90;
+                Some(SimTime::from_ymd_hms(
+                    year,
+                    month,
+                    day,
+                    minute_of_day / 60,
+                    minute_of_day % 60,
+                    0,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_roundtrip_all_slots() {
+        let clock = V4PrefixClock::example(V4RecycleMode::Daily);
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..24 {
+            for m in [0u64, 15, 30, 45] {
+                let t = SimTime::from_ymd_hms(2024, 6, 7, h, m, 0);
+                let prefix = clock.encode(t);
+                assert!(seen.insert(prefix), "collision at {h}:{m}");
+                assert_eq!(clock.decode(prefix), Some((h, m)));
+                assert_eq!(
+                    clock.instant_on(prefix, 2024, 6, 7),
+                    Some(t),
+                    "instant mismatch at {h}:{m}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), V4RecycleMode::Daily.prefix_count());
+    }
+
+    #[test]
+    fn fifteen_day_roundtrip_unambiguous() {
+        // The IPv6 15-day format collides (footnote 3); the arithmetic
+        // IPv4 format must not, across the whole 15-day cycle.
+        let clock = V4PrefixClock::example(V4RecycleMode::FifteenDay);
+        let mut seen = std::collections::HashSet::new();
+        for day in 1..=15u64 {
+            for slot in 0..16u64 {
+                let minute_of_day = slot * 90;
+                let t = SimTime::from_ymd_hms(2024, 6, day, minute_of_day / 60, minute_of_day % 60, 0);
+                let prefix = clock.encode(t);
+                assert!(
+                    seen.insert(prefix),
+                    "collision at day {day} slot {slot} — the bug this schema avoids"
+                );
+                assert_eq!(clock.decode(prefix), Some((slot, day % 15)));
+                assert_eq!(clock.instant_on(prefix, 2024, 6, day), Some(t));
+            }
+        }
+        assert_eq!(seen.len(), V4RecycleMode::FifteenDay.prefix_count());
+    }
+
+    #[test]
+    fn fifteen_day_recycles_after_15_days() {
+        let clock = V4PrefixClock::example(V4RecycleMode::FifteenDay);
+        let a = clock.encode(SimTime::from_ymd_hms(2024, 6, 1, 3, 0, 0));
+        let b = clock.encode(SimTime::from_ymd_hms(2024, 6, 16, 3, 0, 0));
+        let c = clock.encode(SimTime::from_ymd_hms(2024, 6, 2, 3, 0, 0));
+        assert_eq!(a, b, "same prefix 15 days later");
+        assert_ne!(a, c, "different prefix the next day");
+    }
+
+    #[test]
+    fn decode_rejects_foreign_values() {
+        let daily = V4PrefixClock::example(V4RecycleMode::Daily);
+        // Octet 96 is outside the daily range.
+        let bad = Prefix::v4(93, 175, 96, 0, 24);
+        assert_eq!(daily.decode(bad), None);
+        // Wrong covering block.
+        let foreign = Prefix::v4(198, 51, 10, 0, 24);
+        assert_eq!(daily.decode(foreign), None);
+        // Wrong length.
+        let wide = Prefix::v4(93, 175, 10, 0, 23);
+        assert_eq!(daily.decode(wide), None);
+        // IPv6 never decodes.
+        let v6: Prefix = "2a0d:3dc1:30::/48".parse().unwrap();
+        assert_eq!(daily.decode(v6), None);
+        // FifteenDay: octet 240+ rejected.
+        let fifteen = V4PrefixClock::example(V4RecycleMode::FifteenDay);
+        assert_eq!(fifteen.decode(Prefix::v4(93, 175, 240, 0, 24)), None);
+    }
+
+    #[test]
+    fn instant_on_checks_day_residue() {
+        let clock = V4PrefixClock::example(V4RecycleMode::FifteenDay);
+        let t = SimTime::from_ymd_hms(2024, 6, 7, 12, 0, 0);
+        let prefix = clock.encode(t);
+        assert_eq!(clock.instant_on(prefix, 2024, 6, 7), Some(t));
+        // Day 8 has residue 8 ≠ 7: inconsistent.
+        assert_eq!(clock.instant_on(prefix, 2024, 6, 8), None);
+        // Day 22 has residue 7 again: consistent (the recycle).
+        assert!(clock.instant_on(prefix, 2024, 6, 22).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a /16")]
+    fn covering_must_be_16() {
+        let _ = V4PrefixClock::new(
+            Ipv4Net::new(Ipv4Addr::new(93, 175, 0, 0), 17).unwrap(),
+            V4RecycleMode::Daily,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "90-minute marks")]
+    fn fifteen_day_rejects_off_cadence() {
+        let clock = V4PrefixClock::example(V4RecycleMode::FifteenDay);
+        let _ = clock.encode(SimTime::from_ymd_hms(2024, 6, 7, 12, 15, 0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Component benches: the hot paths of the pipeline in isolation —
+//! BGP/MRT codec throughput, propagation-engine beacon cycles, archive
+//! scanning and classification, and full world construction (the setup
+//! cost amortized by the table/figure benches).
+
+use bgpz_analysis::experiments::{beacon_bundle, replication_bundle, SCAN_WINDOW};
+use bgpz_analysis::worlds::{replication_periods, run_replication};
+use bgpz_analysis::Scale;
+use bgpz_beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
+use bgpz_core::{classify, intervals_from_schedule, scan, ClassifyOptions};
+use bgpz_mrt::bgp4mp::SessionHeader;
+use bgpz_mrt::{Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, MrtWriter};
+use bgpz_netsim::{FaultPlan, RouteMeta, Simulator, Topology, TopologyConfig};
+use bgpz_types::attrs::{MpReach, NextHop};
+use bgpz_types::{Afi, AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes, Prefix, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample_update_record(ts: u64) -> MrtRecord {
+    let prefix: Prefix = "2a0d:3dc1:1851::/48".parse().expect("static");
+    let mut attrs =
+        PathAttributes::announcement(AsPath::from_sequence([64_001, 25_091, 8_298, 210_312]));
+    attrs.mp_reach = Some(MpReach {
+        afi: Afi::Ipv6,
+        safi: 1,
+        next_hop: NextHop::V6 {
+            global: "2001:db8::1".parse().expect("static"),
+            link_local: None,
+        },
+        nlri: vec![prefix],
+    });
+    MrtRecord::new(
+        SimTime(ts),
+        MrtBody::Message(Bgp4mpMessage {
+            session: SessionHeader {
+                peer_as: Asn(64_001),
+                local_as: Asn(12_654),
+                ifindex: 0,
+                peer_ip: "2001:db8:90::1".parse().expect("static"),
+                local_ip: "2001:7f8:24::82".parse().expect("static"),
+            },
+            message: BgpMessage::Update(BgpUpdate {
+                attrs,
+                ..BgpUpdate::default()
+            }),
+        }),
+    )
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+
+    // Encode throughput.
+    let record = sample_update_record(0);
+    let mut sizer = MrtWriter::new();
+    sizer.push(&record);
+    let record_len = sizer.byte_len() as u64;
+    group.throughput(Throughput::Bytes(record_len));
+    group.bench_function("mrt_encode_update_record", |b| {
+        b.iter(|| {
+            let mut writer = MrtWriter::new();
+            writer.push(black_box(&record));
+            black_box(writer.finish())
+        })
+    });
+
+    // Decode throughput over a 10k-record archive.
+    let mut writer = MrtWriter::new();
+    for ts in 0..10_000 {
+        writer.push(&sample_update_record(ts));
+    }
+    let archive = writer.finish();
+    group.throughput(Throughput::Bytes(archive.len() as u64));
+    group.bench_function("mrt_decode_10k_records", |b| {
+        b.iter(|| {
+            let mut reader = MrtReader::new(black_box(archive.clone()));
+            black_box(reader.collect_all().len())
+        })
+    });
+
+    group.finish();
+}
+
+fn engine_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    // One full announce+withdraw beacon cycle over a 300-AS topology.
+    let topo = Topology::generate(&TopologyConfig {
+        stubs: 250,
+        tier2: 40,
+        ..TopologyConfig::default()
+    });
+    let origin = topo.asn(topo.len() - 1);
+    let prefix: Prefix = "2a0d:3dc1:1145::/48".parse().expect("static");
+    group.bench_function("propagation_cycle_300as", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(topo.clone(), &FaultPlan::none(), 1);
+            sim.schedule_announce(SimTime(0), origin, prefix, RouteMeta::default());
+            sim.schedule_withdraw(SimTime(7_200), origin, prefix);
+            sim.run_to_completion();
+            black_box(sim.stats())
+        })
+    });
+
+    // One simulated day of RIS beacons (27 prefixes × 6 cycles).
+    let beacons = RisBeacons::new(RisBeaconConfig::historical(origin));
+    let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+    let schedule = beacons.schedule(start, start + 86_400);
+    group.bench_function("ris_beacon_day_300as", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(topo.clone(), &FaultPlan::none(), 1);
+            apply_schedule(&mut sim, &schedule);
+            sim.run_to_completion();
+            black_box(sim.stats())
+        })
+    });
+
+    group.finish();
+}
+
+fn pipeline_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    // Full world construction (simulation + MRT archive emission).
+    let scale = Scale::bench();
+    group.bench_function("replication_world_bench_scale", |b| {
+        b.iter(|| {
+            let period = replication_periods(&scale)[0];
+            black_box(run_replication(&period, &scale, 42))
+        })
+    });
+
+    // Archive scan + classification.
+    let period = replication_periods(&scale)[0];
+    let run = run_replication(&period, &scale, 42);
+    let intervals = intervals_from_schedule(&run.schedule);
+    group.throughput(Throughput::Bytes(run.archive.updates.len() as u64));
+    group.bench_function("scan_archive", |b| {
+        b.iter(|| {
+            black_box(scan(
+                black_box(run.archive.updates.clone()),
+                &intervals,
+                SCAN_WINDOW,
+            ))
+        })
+    });
+
+    let scanned = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
+    group.bench_function("classify_90min", |b| {
+        b.iter(|| black_box(classify(black_box(&scanned), &ClassifyOptions::default())))
+    });
+
+    // Bundle construction end to end (what the table/figure benches
+    // amortize).
+    group.bench_function("replication_bundle_bench_scale", |b| {
+        b.iter(|| black_box(replication_bundle(&scale, 42)))
+    });
+    group.bench_function("beacon_bundle_bench_scale", |b| {
+        b.iter(|| black_box(beacon_bundle(&scale, 42)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, codec_benches, engine_benches, pipeline_benches);
+criterion_main!(benches);

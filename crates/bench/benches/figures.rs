@@ -1,0 +1,110 @@
+//! One bench per paper figure (plus the §5.2 case studies): regenerates
+//! the figure's series end to end at bench scale.
+
+use bgpz_analysis::experiments::{cases, fig2, fig3, fig4, fig5, fig6, fig7};
+use bgpz_bench::{bench_beacon, bench_replication, print_once};
+use bgpz_netsim::{dataplane, FaultPlan, RouteMeta, Simulator, Tier, Topology};
+use bgpz_types::{Asn, Prefix, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Fig. 1 is the motivating forwarding-loop example: bench the data-plane
+/// trace through the zombie-induced loop.
+fn fig1_world() -> Simulator {
+    let topo = Topology::builder()
+        .node(Asn(3), Tier::Tier1)
+        .node(Asn(64_001), Tier::Tier2)
+        .node(Asn(1), Tier::Stub)
+        .node(Asn(2), Tier::Stub)
+        .node(Asn(64_002), Tier::Stub)
+        .provider_customer(Asn(3), Asn(64_001))
+        .provider_customer(Asn(64_001), Asn(1))
+        .provider_customer(Asn(3), Asn(2))
+        .provider_customer(Asn(3), Asn(64_002))
+        .build();
+    let plan = FaultPlan::none().freeze(
+        Asn(64_001),
+        Asn(3),
+        SimTime(3_000),
+        SimTime(1_000_000),
+        bgpz_netsim::EpisodeEnd::Resume,
+    );
+    let mut sim = Simulator::new(topo, &plan, 1);
+    let p48: Prefix = "2001:db8::/48".parse().expect("static");
+    let p32: Prefix = "2001:db8::/32".parse().expect("static");
+    sim.schedule_announce(SimTime(0), Asn(1), p48, RouteMeta::default());
+    sim.schedule_withdraw(SimTime(4_000), Asn(1), p48);
+    sim.schedule_announce(SimTime(5_000), Asn(2), p32, RouteMeta::default());
+    sim.run_until(SimTime(10_000));
+    sim
+}
+
+fn paper_figures(c: &mut Criterion) {
+    let replication = bench_replication();
+    let beacon = bench_beacon();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+
+    let sim = fig1_world();
+    let dst: std::net::IpAddr = "2001:db8::1".parse().expect("static");
+    let (_, outcome) = dataplane::trace(&sim, Asn(64_002), dst, dataplane::DEFAULT_HOP_LIMIT);
+    print_once("fig1", &format!("forwarding outcome through the zombie: {outcome:?}"));
+    group.bench_function("fig1_zombie_forwarding_loop", |b| {
+        b.iter(|| {
+            black_box(dataplane::trace(
+                black_box(&sim),
+                Asn(64_002),
+                dst,
+                dataplane::DEFAULT_HOP_LIMIT,
+            ))
+        })
+    });
+
+    let out = fig2::run(&beacon);
+    print_once("fig2", &out.text);
+    group.bench_function("fig2_threshold_sweep", |b| {
+        b.iter(|| black_box(fig2::run(black_box(&beacon))))
+    });
+
+    let out = fig3::run(&beacon);
+    print_once("fig3", &out.text);
+    group.bench_function("fig3_duration_cdf", |b| {
+        b.iter(|| black_box(fig3::run(black_box(&beacon))))
+    });
+
+    let out = fig4::run(&beacon);
+    print_once("fig4", &out.text);
+    group.bench_function("fig4_resurrection_timeline", |b| {
+        b.iter(|| black_box(fig4::run(black_box(&beacon))))
+    });
+
+    let out = fig5::run(&replication);
+    print_once("fig5", &out.text);
+    group.bench_function("fig5_emergence_rate_cdf", |b| {
+        b.iter(|| black_box(fig5::run(black_box(&replication))))
+    });
+
+    let out = fig6::run(&replication);
+    print_once("fig6", &out.text);
+    group.bench_function("fig6_path_length_cdf", |b| {
+        b.iter(|| black_box(fig6::run(black_box(&replication))))
+    });
+
+    let out = fig7::run(&replication);
+    print_once("fig7", &out.text);
+    group.bench_function("fig7_concurrency_cdf", |b| {
+        b.iter(|| black_box(fig7::run(black_box(&replication))))
+    });
+
+    let out = cases::run(&beacon);
+    print_once("cases", &out.text);
+    group.bench_function("cases_rootcause_and_lifespan", |b| {
+        b.iter(|| black_box(cases::run(black_box(&beacon))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, paper_figures);
+criterion_main!(benches);

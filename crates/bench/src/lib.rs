@@ -1,0 +1,35 @@
+//! # bgpz-bench
+//!
+//! Criterion benchmark harness. Every table and figure of the paper has a
+//! bench target that regenerates it end to end (world simulation → MRT
+//! archive → detection → analysis) at [`bgpz_analysis::Scale::bench`]
+//! size, printing the regenerated rows once before timing. Component
+//! benches cover the hot paths: MRT codec throughput, BGP propagation,
+//! scanning and classification.
+//!
+//! Run with `cargo bench --workspace`; see `benches/`.
+
+use bgpz_analysis::experiments::{beacon_bundle, replication_bundle, BeaconBundle, ReplicationBundle};
+use bgpz_analysis::Scale;
+
+/// The shared bench-scale replication bundle (built once per process).
+pub fn bench_replication() -> ReplicationBundle {
+    replication_bundle(&Scale::bench(), 42)
+}
+
+/// The shared bench-scale beacon bundle (built once per process).
+pub fn bench_beacon() -> BeaconBundle {
+    beacon_bundle(&Scale::bench(), 42)
+}
+
+/// Prints an experiment's regenerated rows once (so `cargo bench` output
+/// shows the same rows the paper reports, as the harness contract asks).
+pub fn print_once(id: &str, text: &str) {
+    static PRINTED: std::sync::Mutex<Option<std::collections::HashSet<String>>> =
+        std::sync::Mutex::new(None);
+    let mut guard = PRINTED.lock().expect("not poisoned");
+    let set = guard.get_or_insert_with(Default::default);
+    if set.insert(id.to_string()) {
+        println!("\n==== regenerated {id} ====\n{text}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Hand-rolled argument parsing (no external dependency): subcommands,
+//! `--flag value` options and positional operands.
+
+use crate::{CliError, CliResult};
+use std::collections::HashMap;
+
+/// A parsed command line: positionals plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// Positional operands in order.
+    pub positional: Vec<String>,
+    /// `--key value` options (key without dashes).
+    pub options: HashMap<String, String>,
+    /// Bare `--key` switches.
+    pub switches: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// The option value, if present.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// The option value or a default.
+    pub fn opt_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.opt(key).unwrap_or(default)
+    }
+
+    /// A required option.
+    pub fn required(&self, key: &str) -> CliResult<&str> {
+        self.opt(key)
+            .ok_or_else(|| CliError(format!("missing required option --{key}")))
+    }
+
+    /// Parses an option as an integer.
+    pub fn opt_u64(&self, key: &str, default: u64) -> CliResult<u64> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{key} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// True if the bare switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// Top-level commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `bgpz mrt <dump|stats> <file>`
+    Mrt {
+        /// Sub-action: "dump" or "stats".
+        action: String,
+        /// Remaining arguments.
+        rest: ParsedArgs,
+    },
+    /// `bgpz clock <aggregator|prefix> <value>`
+    Clock {
+        /// Sub-action: "aggregator" or "prefix".
+        action: String,
+        /// Remaining arguments.
+        rest: ParsedArgs,
+    },
+    /// `bgpz detect --updates <file> ...`
+    Detect(ParsedArgs),
+    /// `bgpz lifespan --dumps <dir> ...`
+    Lifespan(ParsedArgs),
+    /// `bgpz simulate --out <dir> ...`
+    Simulate(ParsedArgs),
+    /// `bgpz help`
+    Help,
+}
+
+/// Splits raw args into positionals / options / switches. Options take
+/// the following token as a value unless it is itself `--`-prefixed.
+pub fn split_args<I: IntoIterator<Item = String>>(raw: I) -> ParsedArgs {
+    let mut parsed = ParsedArgs::default();
+    let mut iter = raw.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    parsed.options.insert(key.to_string(), value);
+                }
+                _ => parsed.switches.push(key.to_string()),
+            }
+        } else {
+            parsed.positional.push(arg);
+        }
+    }
+    parsed
+}
+
+/// Parses the full command line (without argv[0]).
+pub fn parse_args<I: IntoIterator<Item = String>>(raw: I) -> CliResult<Command> {
+    let mut iter = raw.into_iter();
+    let Some(command) = iter.next() else {
+        return Ok(Command::Help);
+    };
+    let rest: Vec<String> = iter.collect();
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "mrt" => {
+            let mut rest = rest.into_iter();
+            let action = rest
+                .next()
+                .ok_or_else(|| CliError("mrt needs an action: dump | stats".into()))?;
+            if action != "dump" && action != "stats" {
+                return Err(CliError(format!("unknown mrt action {action:?}")));
+            }
+            Ok(Command::Mrt {
+                action,
+                rest: split_args(rest),
+            })
+        }
+        "clock" => {
+            let mut rest = rest.into_iter();
+            let action = rest
+                .next()
+                .ok_or_else(|| CliError("clock needs an action: aggregator | prefix".into()))?;
+            if action != "aggregator" && action != "prefix" {
+                return Err(CliError(format!("unknown clock action {action:?}")));
+            }
+            Ok(Command::Clock {
+                action,
+                rest: split_args(rest),
+            })
+        }
+        "detect" => Ok(Command::Detect(split_args(rest))),
+        "lifespan" => Ok(Command::Lifespan(split_args(rest))),
+        "simulate" => Ok(Command::Simulate(split_args(rest))),
+        other => Err(CliError(format!(
+            "unknown command {other:?}; try `bgpz help`"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+bgpz — BGP zombie hunting toolbox
+
+USAGE:
+  bgpz mrt dump <file> [--limit N] [--kind updates|state|rib]
+  bgpz mrt stats <file>
+  bgpz clock aggregator <10.x.y.z> [--at YYYY-MM-DDTHH:MM:SS]
+  bgpz clock prefix <prefix> [--mode daily|fifteen]
+  bgpz detect --updates <file> --beacon-origin <asn>
+              [--period 14400] [--up 7200] [--threshold 5400]
+              [--no-aggregator-filter] [--exclude addr,addr,...]
+  bgpz lifespan --dumps <dir> --prefix <prefix>
+              --withdrawn-at <T> [--exclude addr,addr,...]
+  bgpz simulate --out <dir> [--scale bench|quick|standard|full]
+              [--seed N] [--world replication|beacon]
+  bgpz help
+
+`mrt dump` prints bgpdump-style lines:
+  BGP4MP|<unix ts>|A|<peer ip>|<peer asn>|<prefix>|<as path>
+  BGP4MP|<unix ts>|W|<peer ip>|<peer asn>|<prefix>
+  BGP4MP|<unix ts>|STATE|<peer ip>|<peer asn>|<old>|<new>
+  TABLE_DUMP2|<unix ts>|B|<peer ip>|<peer asn>|<prefix>|<as path>
+
+`detect` reconstructs beacon intervals from the archive's own schedule
+parameters, scans it at message granularity, and prints every zombie
+outbreak with its Aggregator-clock verdict and palm-tree root cause.
+
+`simulate` writes a synthetic archive (updates.mrt + ribs/*.mrt +
+manifest.txt) generated by the calibrated world of the reproduction —
+useful as detector input for testing.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn splits_positionals_options_switches() {
+        let parsed = split_args(v(&["file.mrt", "--limit", "10", "--verbose", "--x"]));
+        assert_eq!(parsed.positional, vec!["file.mrt"]);
+        assert_eq!(parsed.opt("limit"), Some("10"));
+        assert!(parsed.has("verbose"));
+        assert!(parsed.has("x"));
+        assert_eq!(parsed.opt_u64("limit", 0).unwrap(), 10);
+        assert_eq!(parsed.opt_u64("missing", 7).unwrap(), 7);
+        assert!(parsed.opt_u64("verbose", 0).is_ok()); // switch, not option
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_args(v(&[])).unwrap(), Command::Help);
+        assert_eq!(parse_args(v(&["help"])).unwrap(), Command::Help);
+        match parse_args(v(&["mrt", "dump", "x.mrt", "--limit", "5"])).unwrap() {
+            Command::Mrt { action, rest } => {
+                assert_eq!(action, "dump");
+                assert_eq!(rest.positional, vec!["x.mrt"]);
+                assert_eq!(rest.opt("limit"), Some("5"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(v(&["clock", "aggregator", "10.19.29.192"])).unwrap() {
+            Command::Clock { action, rest } => {
+                assert_eq!(action, "aggregator");
+                assert_eq!(rest.positional, vec!["10.19.29.192"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_args(v(&["detect", "--updates", "u.mrt"])).unwrap(),
+            Command::Detect(_)
+        ));
+        assert!(matches!(
+            parse_args(v(&["simulate", "--out", "d"])).unwrap(),
+            Command::Simulate(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse_args(v(&["bogus"])).is_err());
+        assert!(parse_args(v(&["mrt"])).is_err());
+        assert!(parse_args(v(&["mrt", "frobnicate"])).is_err());
+        assert!(parse_args(v(&["clock", "sundial"])).is_err());
+    }
+
+    #[test]
+    fn required_option_errors() {
+        let parsed = split_args(v(&["--a", "1"]));
+        assert!(parsed.required("a").is_ok());
+        let err = parsed.required("b").unwrap_err();
+        assert!(err.to_string().contains("--b"));
+        assert!(parsed.opt_u64("a", 0).is_ok());
+        let bad = split_args(v(&["--n", "xyz"]));
+        assert!(bad.opt_u64("n", 0).is_err());
+    }
+}

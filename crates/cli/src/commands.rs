@@ -1,0 +1,525 @@
+//! Command implementations. Each returns the text to print, so everything
+//! is testable without touching stdout.
+
+use crate::args::ParsedArgs;
+use crate::render::{render_record, ArchiveStats, DumpKind};
+use crate::{CliError, CliResult};
+use bgpz_beacon::{decode_aggregator_clock, PrefixClock, RecycleMode};
+use bgpz_core::{classify, infer_root_cause, scan, BeaconInterval, ClassifyOptions};
+use bgpz_mrt::{MrtBody, MrtReader};
+use bgpz_types::{Asn, BgpMessage, Prefix, SimTime};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::{IpAddr, Ipv4Addr};
+use std::path::Path;
+
+/// Reads a whole file into `Bytes`.
+fn read_file(path: &str) -> CliResult<Bytes> {
+    let data = std::fs::read(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    Ok(Bytes::from(data))
+}
+
+/// `bgpz mrt dump <file> [--limit N] [--kind ...]`
+pub fn mrt_dump(args: &ParsedArgs) -> CliResult<String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("mrt dump needs a file".into()))?;
+    let limit = args.opt_u64("limit", u64::MAX)? as usize;
+    let kind = match args.opt("kind") {
+        None => DumpKind::All,
+        Some(v) => DumpKind::parse(v)
+            .ok_or_else(|| CliError(format!("--kind expects all|updates|state|rib, got {v:?}")))?,
+    };
+    let mut reader = MrtReader::new(read_file(path)?);
+    let mut out = String::new();
+    let mut printed = 0usize;
+    while let Some(record) = reader.next_record() {
+        let before = out.len();
+        render_record(&record, kind, &mut out);
+        if out.len() > before {
+            printed += 1;
+            if printed >= limit {
+                break;
+            }
+        }
+    }
+    if reader.stats().skipped > 0 {
+        let _ = writeln!(out, "# {} malformed record(s) skipped", reader.stats().skipped);
+    }
+    Ok(out)
+}
+
+/// `bgpz mrt stats <file>`
+pub fn mrt_stats(args: &ParsedArgs) -> CliResult<String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("mrt stats needs a file".into()))?;
+    Ok(ArchiveStats::scan(read_file(path)?).render())
+}
+
+/// Parses `YYYY-MM-DDTHH:MM:SS` (or a bare unix timestamp).
+pub fn parse_time(value: &str) -> CliResult<SimTime> {
+    if let Ok(secs) = value.parse::<u64>() {
+        return Ok(SimTime(secs));
+    }
+    let bad = || CliError(format!("cannot parse time {value:?} (want YYYY-MM-DDTHH:MM:SS)"));
+    let (date, time) = value.split_once('T').ok_or_else(bad)?;
+    let d: Vec<u64> = date
+        .split('-')
+        .map(|p| p.parse().map_err(|_| bad()))
+        .collect::<CliResult<_>>()?;
+    let t: Vec<u64> = time
+        .split(':')
+        .map(|p| p.parse().map_err(|_| bad()))
+        .collect::<CliResult<_>>()?;
+    if d.len() != 3 || t.len() != 3 {
+        return Err(bad());
+    }
+    Ok(SimTime::from_ymd_hms(d[0], d[1], d[2], t[0], t[1], t[2]))
+}
+
+/// `bgpz clock aggregator <ip> [--at T]`
+pub fn clock_aggregator(args: &ParsedArgs) -> CliResult<String> {
+    let raw = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("clock aggregator needs an IP".into()))?;
+    let addr: Ipv4Addr = raw
+        .parse()
+        .map_err(|_| CliError(format!("{raw:?} is not an IPv4 address")))?;
+    let reference = match args.opt("at") {
+        Some(v) => parse_time(v)?,
+        None => SimTime::from_ymd_hms(2024, 6, 22, 0, 0, 0),
+    };
+    match decode_aggregator_clock(addr, reference) {
+        Some(t) => Ok(format!(
+            "{addr} decodes to announcement time {t} (relative to {reference})\n"
+        )),
+        None => Ok(format!("{addr} is not a RIS-beacon BGP clock (not in 10.0.0.0/8)\n")),
+    }
+}
+
+/// `bgpz clock prefix <prefix> [--mode daily|fifteen]`
+pub fn clock_prefix(args: &ParsedArgs) -> CliResult<String> {
+    let raw = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("clock prefix needs a prefix".into()))?;
+    let prefix: Prefix = raw
+        .parse()
+        .map_err(|_| CliError(format!("{raw:?} is not a prefix")))?;
+    let mode = match args.opt_or("mode", "fifteen") {
+        "daily" => RecycleMode::Daily,
+        "fifteen" => RecycleMode::FifteenDay,
+        other => return Err(CliError(format!("--mode expects daily|fifteen, got {other:?}"))),
+    };
+    let clock = PrefixClock::paper(mode);
+    let slots = clock.decode_slots(prefix);
+    let mut out = String::new();
+    if slots.is_empty() {
+        let _ = writeln!(out, "{prefix} is not a valid {mode:?} beacon clock value");
+    } else {
+        for (h, rest) in &slots {
+            match mode {
+                RecycleMode::Daily => {
+                    let _ = writeln!(out, "{prefix} → announced daily at {h:02}:{rest:02} UTC");
+                }
+                RecycleMode::FifteenDay => {
+                    let _ = writeln!(
+                        out,
+                        "{prefix} → hour {h:02}, minute+day%15 = {rest} \
+                         (e.g. minute {} on a day with day%15 = {})",
+                        rest - rest % 15,
+                        rest % 15
+                    );
+                }
+            }
+        }
+        if slots.len() > 1 {
+            let _ = writeln!(
+                out,
+                "AMBIGUOUS: {} readings — the footnote-3 collision bug of the paper",
+                slots.len()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Reconstructs beacon intervals from the archive itself: announcements
+/// whose AS-path origin is the beacon origin, aligned to the period grid.
+pub fn intervals_from_archive(
+    data: Bytes,
+    origin: Asn,
+    period: u64,
+    up_time: u64,
+) -> Vec<BeaconInterval> {
+    let mut starts: BTreeMap<(Prefix, SimTime), ()> = BTreeMap::new();
+    let mut reader = MrtReader::new(data);
+    while let Some(record) = reader.next_record() {
+        let MrtBody::Message(msg) = &record.body else { continue };
+        let BgpMessage::Update(update) = &msg.message else { continue };
+        let Some(path) = &update.attrs.as_path else { continue };
+        if path.origin() != Some(origin) {
+            continue;
+        }
+        for prefix in update.announced() {
+            let aligned = record.timestamp.align_down(period);
+            starts.insert((prefix, aligned), ());
+        }
+    }
+    starts
+        .into_keys()
+        .map(|(prefix, start)| BeaconInterval {
+            prefix,
+            start,
+            withdraw_at: start + up_time,
+        })
+        .collect()
+}
+
+/// `bgpz detect --updates <file> --beacon-origin <asn> ...`
+pub fn detect(args: &ParsedArgs) -> CliResult<String> {
+    let updates = read_file(args.required("updates")?)?;
+    let origin: Asn = args
+        .required("beacon-origin")?
+        .parse()
+        .map_err(|e| CliError(format!("--beacon-origin: {e}")))?;
+    let period = args.opt_u64("period", 4 * 3_600)?;
+    let up_time = args.opt_u64("up", 2 * 3_600)?;
+    let threshold = args.opt_u64("threshold", 90 * 60)?;
+    let excluded: Vec<IpAddr> = match args.opt("exclude") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("--exclude: {s:?} is not an address")))
+            })
+            .collect::<CliResult<_>>()?,
+    };
+
+    let intervals = intervals_from_archive(updates.clone(), origin, period, up_time);
+    if intervals.is_empty() {
+        return Err(CliError(format!(
+            "no beacon announcements from {origin} found in the archive"
+        )));
+    }
+    let result = scan(updates, &intervals, threshold + 2 * 3_600);
+    let report = classify(
+        &result,
+        &ClassifyOptions {
+            threshold,
+            aggregator_filter: !args.has("no-aggregator-filter"),
+            excluded_peers: excluded,
+            ..ClassifyOptions::default()
+        },
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} beacon intervals from {origin}, {} peers, threshold {} min",
+        intervals.len(),
+        result.peers.len(),
+        threshold / 60
+    );
+    let _ = writeln!(
+        out,
+        "# {} zombie outbreak(s) over {} announcements ({:.2}%)",
+        report.outbreak_count(),
+        report.announcements,
+        report.outbreak_fraction() * 100.0
+    );
+    for outbreak in &report.outbreaks {
+        let _ = writeln!(
+            out,
+            "\noutbreak {} (announced {}):",
+            outbreak.interval.prefix, outbreak.interval.start
+        );
+        for route in &outbreak.routes {
+            let verdict = match route.aggregator_time {
+                Some(t) if route.is_duplicate => format!("DUPLICATE of {t}"),
+                Some(t) => format!("fresh (clock {t})"),
+                None => "no clock".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {} path [{}] — {verdict}",
+                route.peer, route.zombie_path
+            );
+        }
+        if let Some(cause) = infer_root_cause(outbreak) {
+            if let Some(suspect) = cause.suspect {
+                let _ = writeln!(out, "  palm-tree suspect: {suspect}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `bgpz lifespan --dumps <dir> --prefix <p> --withdrawn-at <T> [--exclude ...]`
+pub fn lifespan(args: &ParsedArgs) -> CliResult<String> {
+    let dir = args.required("dumps")?;
+    let prefix: Prefix = args
+        .required("prefix")?
+        .parse()
+        .map_err(|_| CliError("--prefix is not a valid prefix".into()))?;
+    let withdrawn_at = parse_time(args.required("withdrawn-at")?)?;
+    let excluded: Vec<IpAddr> = match args.opt("exclude") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("--exclude: {s:?} is not an address")))
+            })
+            .collect::<CliResult<_>>()?,
+    };
+
+    // Collect rib_*.mrt files, ordered by their embedded timestamp.
+    let mut dumps: Vec<(SimTime, Bytes)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(ts) = name
+            .strip_prefix("rib_")
+            .and_then(|rest| rest.strip_suffix(".mrt"))
+            .and_then(|ts| ts.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        dumps.push((SimTime(ts), Bytes::from(std::fs::read(entry.path())?)));
+    }
+    if dumps.is_empty() {
+        return Err(CliError(format!("no rib_<ts>.mrt files in {dir}")));
+    }
+    dumps.sort_by_key(|&(t, _)| t);
+
+    let lifespans =
+        bgpz_core::track_lifespans(&dumps, &[(prefix, withdrawn_at)], &excluded);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} RIB dumps scanned ({} .. {})",
+        dumps.len(),
+        dumps.first().expect("non-empty").0,
+        dumps.last().expect("non-empty").0
+    );
+    match lifespans.first() {
+        None => {
+            let _ = writeln!(
+                out,
+                "{prefix}: no post-withdrawal presence — not a zombie (or not visible)"
+            );
+        }
+        Some(l) => {
+            let _ = writeln!(
+                out,
+                "{prefix}: ZOMBIE for {:.1} days after the {} withdrawal",
+                l.duration_days(),
+                withdrawn_at
+            );
+            for spell in &l.spells {
+                let _ = writeln!(
+                    out,
+                    "  {} held it {} → {}",
+                    spell.peer, spell.first, spell.last
+                );
+            }
+            for r in &l.resurrections {
+                let _ = writeln!(
+                    out,
+                    "  RESURRECTION at {}: gone {} → back {}",
+                    r.peer, r.gap_started, r.reappeared_at
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `bgpz simulate --out <dir> [--scale S] [--seed N] [--world W]`
+pub fn simulate(args: &ParsedArgs) -> CliResult<String> {
+    let out_dir = args.required("out")?.to_string();
+    let seed = args.opt_u64("seed", 42)?;
+    let scale = bgpz_analysis::Scale::parse(args.opt_or("scale", "bench"))
+        .ok_or_else(|| CliError("--scale expects bench|quick|standard|full".into()))?;
+    let world = args.opt_or("world", "replication");
+
+    std::fs::create_dir_all(&out_dir)?;
+    let dir = Path::new(&out_dir);
+    let mut manifest = String::new();
+
+    let (archive, label) = match world {
+        "replication" => {
+            let period = bgpz_analysis::worlds::replication_periods(&scale)[0];
+            let run = bgpz_analysis::worlds::run_replication(&period, &scale, seed);
+            let _ = writeln!(
+                manifest,
+                "world=replication period={} origin-sites={} noisy-peer={}",
+                period.name,
+                bgpz_analysis::worlds::RIS_SITE_COUNT,
+                run.noisy_peer
+            );
+            let _ = writeln!(
+                manifest,
+                "beacon-origins={}",
+                bgpz_analysis::worlds::ris_sites()
+                    .iter()
+                    .map(|a| a.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            (run.archive, "replication")
+        }
+        "beacon" => {
+            let run = bgpz_analysis::worlds::run_beacon_study(&scale, seed);
+            let _ = writeln!(
+                manifest,
+                "world=beacon origin=210312 noisy-routers={}",
+                run.noisy_routers
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            (run.archive, "beacon")
+        }
+        other => return Err(CliError(format!("--world expects replication|beacon, got {other:?}"))),
+    };
+
+    std::fs::write(dir.join("updates.mrt"), &archive.updates)?;
+    let _ = writeln!(
+        manifest,
+        "updates.mrt bytes={} scale={} seed={seed}",
+        archive.updates.len(),
+        scale.name
+    );
+    for (ts, bytes) in &archive.rib_dumps {
+        let name = format!("rib_{}.mrt", ts.secs());
+        std::fs::write(dir.join(&name), bytes)?;
+        let _ = writeln!(manifest, "{name} bytes={}", bytes.len());
+    }
+    std::fs::write(dir.join("manifest.txt"), &manifest)?;
+    Ok(format!(
+        "wrote {label} archive to {out_dir}: updates.mrt + {} RIB dump(s)\n\
+         try: bgpz mrt stats {out_dir}/updates.mrt\n",
+        archive.rib_dumps.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::split_args;
+
+    fn v(args: &[&str]) -> ParsedArgs {
+        split_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_time_formats() {
+        assert_eq!(parse_time("100").unwrap(), SimTime(100));
+        assert_eq!(
+            parse_time("2018-07-19T02:00:02").unwrap(),
+            SimTime::from_ymd_hms(2018, 7, 19, 2, 0, 2)
+        );
+        assert!(parse_time("yesterday").is_err());
+        assert!(parse_time("2018-07-19").is_err());
+    }
+
+    #[test]
+    fn clock_aggregator_paper_example() {
+        let out = clock_aggregator(&v(&["10.19.29.192", "--at", "2018-07-19T02:00:02"])).unwrap();
+        assert!(out.contains("2018-07-15 12:00:00"), "{out}");
+        let out = clock_aggregator(&v(&["193.0.4.28"])).unwrap();
+        assert!(out.contains("not a RIS-beacon"));
+        assert!(clock_aggregator(&v(&["not-an-ip"])).is_err());
+    }
+
+    #[test]
+    fn clock_prefix_both_modes() {
+        let out = clock_prefix(&v(&["2a0d:3dc1:1145::/48", "--mode", "daily"])).unwrap();
+        assert!(out.contains("11:45"), "{out}");
+        let out = clock_prefix(&v(&["2a0d:3dc1:30::/48"])).unwrap();
+        assert!(out.contains("AMBIGUOUS"), "{out}");
+        let out = clock_prefix(&v(&["2a0d:3dc1:ffff::/48"])).unwrap();
+        assert!(out.contains("not a valid"));
+        assert!(clock_prefix(&v(&["2a0d:3dc1:30::/48", "--mode", "weekly"])).is_err());
+    }
+
+    #[test]
+    fn dump_and_stats_require_file() {
+        assert!(mrt_dump(&v(&[])).is_err());
+        assert!(mrt_stats(&v(&[])).is_err());
+        assert!(mrt_dump(&v(&["/nonexistent.mrt"])).is_err());
+    }
+
+    #[test]
+    fn lifespan_requires_dumps() {
+        assert!(lifespan(&v(&[])).is_err());
+        assert!(lifespan(&v(&[
+            "--dumps", "/nonexistent",
+            "--prefix", "2a0d:3dc1:163::/48",
+            "--withdrawn-at", "100",
+        ]))
+        .is_err());
+        assert!(lifespan(&v(&[
+            "--dumps", "/tmp",
+            "--prefix", "not-a-prefix",
+            "--withdrawn-at", "100",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn end_to_end_simulate_stats_detect() {
+        let dir = std::env::temp_dir().join(format!("bgpz-cli-test-{}", std::process::id()));
+        let dir_str = dir.to_str().expect("utf-8 temp dir");
+        let out = simulate(&v(&["--out", dir_str, "--scale", "bench", "--seed", "7"])).unwrap();
+        assert!(out.contains("updates.mrt"));
+
+        let updates = format!("{dir_str}/updates.mrt");
+        let stats = mrt_stats(&v(&[updates.as_str()])).unwrap();
+        assert!(stats.contains("records:"), "{stats}");
+
+        let dump = mrt_dump(&v(&[updates.as_str(), "--limit", "5"])).unwrap();
+        assert!(dump.contains("BGP4MP|"), "{dump}");
+
+        // The replication world's beacons come from the RIS sites; detect
+        // against the first site's ASN.
+        let site = bgpz_analysis::worlds::ris_sites()[0].0.to_string();
+        let report = detect(&v(&[
+            "--updates",
+            updates.as_str(),
+            "--beacon-origin",
+            site.as_str(),
+        ]))
+        .unwrap();
+        assert!(report.contains("beacon intervals"), "{report}");
+
+        // Lifespan over the generated dumps: any tracked RIS beacon prefix
+        // is fine — with a 0-second withdrawal reference everything seen
+        // in a dump counts as presence, so the command must not error.
+        let out = lifespan(&v(&[
+            "--dumps",
+            dir_str,
+            "--prefix",
+            "84.205.64.0/24",
+            "--withdrawn-at",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("RIB dumps scanned"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

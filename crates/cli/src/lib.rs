@@ -1,0 +1,44 @@
+//! # bgpz-cli
+//!
+//! The `bgpz` command-line toolbox: the operational front end of the
+//! reproduction, usable on any MRT archive (including files downloaded
+//! from the real `ris.ripe.net` raw-data archive, which share the exact
+//! wire format this workspace emits).
+//!
+//! ```text
+//! bgpz mrt dump <file>                  bgpdump-style one-liners
+//! bgpz mrt stats <file>                 record/peer/prefix/time summary
+//! bgpz clock aggregator <ip> [--at T]   decode a RIS-beacon Aggregator clock
+//! bgpz clock prefix <prefix> [--mode daily|fifteen]
+//! bgpz detect --updates <file> ...      run the zombie detector on an archive
+//! bgpz simulate --out <dir> ...         generate a synthetic archive to play with
+//! ```
+//!
+//! The binary lives in `src/main.rs`; everything testable is here.
+
+pub mod args;
+pub mod commands;
+pub mod render;
+
+pub use args::{parse_args, Command, ParsedArgs};
+
+/// Exit status carried by command errors.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+/// Convenience alias.
+pub type CliResult<T> = Result<T, CliError>;

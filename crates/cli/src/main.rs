@@ -1,0 +1,35 @@
+//! The `bgpz` binary. All logic lives in the library; this just wires
+//! argv to the command implementations and prints.
+
+use bgpz_cli::args::HELP;
+use bgpz_cli::{commands, parse_args, CliResult, Command};
+
+fn run() -> CliResult<String> {
+    let command = parse_args(std::env::args().skip(1))?;
+    match command {
+        Command::Help => Ok(HELP.to_string()),
+        Command::Mrt { action, rest } => match action.as_str() {
+            "dump" => commands::mrt_dump(&rest),
+            "stats" => commands::mrt_stats(&rest),
+            _ => unreachable!("validated by the parser"),
+        },
+        Command::Clock { action, rest } => match action.as_str() {
+            "aggregator" => commands::clock_aggregator(&rest),
+            "prefix" => commands::clock_prefix(&rest),
+            _ => unreachable!("validated by the parser"),
+        },
+        Command::Detect(rest) => commands::detect(&rest),
+        Command::Lifespan(rest) => commands::lifespan(&rest),
+        Command::Simulate(rest) => commands::simulate(&rest),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("bgpz: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Record rendering: bgpdump-compatible one-liners and archive statistics.
+
+use bgpz_mrt::{MrtBody, MrtReader, MrtRecord};
+use bgpz_types::{BgpMessage, Prefix, SimTime};
+use bytes::Bytes;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Which record kinds `mrt dump` prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpKind {
+    /// Everything.
+    All,
+    /// BGP4MP update messages only.
+    Updates,
+    /// STATE_CHANGE records only.
+    State,
+    /// TABLE_DUMP_V2 RIB entries only.
+    Rib,
+}
+
+impl DumpKind {
+    /// Parses the `--kind` value.
+    pub fn parse(value: &str) -> Option<DumpKind> {
+        match value {
+            "all" => Some(DumpKind::All),
+            "updates" => Some(DumpKind::Updates),
+            "state" => Some(DumpKind::State),
+            "rib" => Some(DumpKind::Rib),
+            _ => None,
+        }
+    }
+}
+
+/// Renders one record as zero or more bgpdump-style lines.
+pub fn render_record(record: &MrtRecord, kind: DumpKind, out: &mut String) {
+    let ts = record.timestamp.secs();
+    match &record.body {
+        MrtBody::Message(msg) => {
+            if !matches!(kind, DumpKind::All | DumpKind::Updates) {
+                return;
+            }
+            let peer_ip = msg.session.peer_ip;
+            let peer_as = msg.session.peer_as.0;
+            if let BgpMessage::Update(update) = &msg.message {
+                let path = update
+                    .attrs
+                    .as_path
+                    .as_ref()
+                    .map(|p| p.to_string())
+                    .unwrap_or_default();
+                for prefix in update.announced() {
+                    let _ = writeln!(out, "BGP4MP|{ts}|A|{peer_ip}|{peer_as}|{prefix}|{path}");
+                }
+                for prefix in update.withdrawn_all() {
+                    let _ = writeln!(out, "BGP4MP|{ts}|W|{peer_ip}|{peer_as}|{prefix}");
+                }
+            }
+        }
+        MrtBody::StateChange(change) => {
+            if !matches!(kind, DumpKind::All | DumpKind::State) {
+                return;
+            }
+            let _ = writeln!(
+                out,
+                "BGP4MP|{ts}|STATE|{}|{}|{}|{}",
+                change.session.peer_ip,
+                change.session.peer_as.0,
+                change.old_state.code(),
+                change.new_state.code()
+            );
+        }
+        MrtBody::PeerIndex(table) => {
+            if !matches!(kind, DumpKind::All | DumpKind::Rib) {
+                return;
+            }
+            let _ = writeln!(
+                out,
+                "TABLE_DUMP2|{ts}|PEER_INDEX|{}|{} peers",
+                table.collector_id,
+                table.peers.len()
+            );
+        }
+        MrtBody::Rib(rib) => {
+            if !matches!(kind, DumpKind::All | DumpKind::Rib) {
+                return;
+            }
+            for entry in &rib.entries {
+                let path = entry
+                    .attrs
+                    .as_path
+                    .as_ref()
+                    .map(|p| p.to_string())
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "TABLE_DUMP2|{ts}|B|peer#{}|{}|{path}",
+                    entry.peer_index, rib.prefix
+                );
+            }
+        }
+    }
+}
+
+/// Archive-level statistics for `mrt stats`.
+#[derive(Debug, Clone, Default)]
+pub struct ArchiveStats {
+    /// Well-formed records.
+    pub records: usize,
+    /// Records skipped by the tolerant reader.
+    pub skipped: usize,
+    /// Update messages.
+    pub updates: usize,
+    /// Announce prefix-events.
+    pub announces: usize,
+    /// Withdraw prefix-events.
+    pub withdraws: usize,
+    /// STATE_CHANGE records.
+    pub state_changes: usize,
+    /// RIB entry rows.
+    pub rib_entries: usize,
+    /// Distinct peers (addresses).
+    pub peers: BTreeSet<String>,
+    /// Distinct prefixes.
+    pub prefixes: BTreeSet<Prefix>,
+    /// Earliest record timestamp.
+    pub first: Option<SimTime>,
+    /// Latest record timestamp.
+    pub last: Option<SimTime>,
+}
+
+impl ArchiveStats {
+    /// Scans a whole archive.
+    pub fn scan(data: Bytes) -> ArchiveStats {
+        let mut stats = ArchiveStats::default();
+        let mut reader = MrtReader::new(data);
+        while let Some(record) = reader.next_record() {
+            stats.records += 1;
+            stats.first = Some(stats.first.map_or(record.timestamp, |t: SimTime| {
+                t.min(record.timestamp)
+            }));
+            stats.last = Some(stats.last.map_or(record.timestamp, |t: SimTime| {
+                t.max(record.timestamp)
+            }));
+            match &record.body {
+                MrtBody::Message(msg) => {
+                    stats.peers.insert(msg.session.peer_ip.to_string());
+                    if let BgpMessage::Update(update) = &msg.message {
+                        stats.updates += 1;
+                        for prefix in update.announced() {
+                            stats.announces += 1;
+                            stats.prefixes.insert(prefix);
+                        }
+                        for prefix in update.withdrawn_all() {
+                            stats.withdraws += 1;
+                            stats.prefixes.insert(prefix);
+                        }
+                    }
+                }
+                MrtBody::StateChange(change) => {
+                    stats.state_changes += 1;
+                    stats.peers.insert(change.session.peer_ip.to_string());
+                }
+                MrtBody::PeerIndex(table) => {
+                    for peer in &table.peers {
+                        stats.peers.insert(peer.addr.to_string());
+                    }
+                }
+                MrtBody::Rib(rib) => {
+                    stats.rib_entries += rib.entries.len();
+                    stats.prefixes.insert(rib.prefix);
+                }
+            }
+        }
+        stats.skipped = reader.stats().skipped;
+        stats
+    }
+
+    /// Renders the summary block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "records:        {}", self.records);
+        let _ = writeln!(out, "skipped:        {}", self.skipped);
+        let _ = writeln!(out, "updates:        {}", self.updates);
+        let _ = writeln!(out, "  announces:    {}", self.announces);
+        let _ = writeln!(out, "  withdraws:    {}", self.withdraws);
+        let _ = writeln!(out, "state changes:  {}", self.state_changes);
+        let _ = writeln!(out, "rib entries:    {}", self.rib_entries);
+        let _ = writeln!(out, "peers:          {}", self.peers.len());
+        let _ = writeln!(out, "prefixes:       {}", self.prefixes.len());
+        match (self.first, self.last) {
+            (Some(first), Some(last)) => {
+                let _ = writeln!(out, "time range:     {first} .. {last}");
+            }
+            _ => {
+                let _ = writeln!(out, "time range:     (empty archive)");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_mrt::bgp4mp::SessionHeader;
+    use bgpz_mrt::{Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtWriter};
+    use bgpz_types::attrs::{MpReach, NextHop};
+    use bgpz_types::{Afi, AsPath, Asn, BgpUpdate, PathAttributes};
+
+    fn session() -> SessionHeader {
+        SessionHeader {
+            peer_as: Asn(64_001),
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "2001:db8:90::1".parse().unwrap(),
+            local_ip: "2001:7f8:24::82".parse().unwrap(),
+        }
+    }
+
+    fn announce(ts: u64) -> MrtRecord {
+        let prefix: Prefix = "2a0d:3dc1:1851::/48".parse().unwrap();
+        let mut attrs = PathAttributes::announcement(AsPath::from_sequence([64_001, 210_312]));
+        attrs.mp_reach = Some(MpReach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            next_hop: NextHop::V6 {
+                global: "2001:db8::1".parse().unwrap(),
+                link_local: None,
+            },
+            nlri: vec![prefix],
+        });
+        MrtRecord::new(
+            SimTime(ts),
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs,
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    fn state(ts: u64) -> MrtRecord {
+        MrtRecord::new(
+            SimTime(ts),
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: session(),
+                old_state: BgpState::Established,
+                new_state: BgpState::Idle,
+            }),
+        )
+    }
+
+    #[test]
+    fn renders_bgpdump_lines() {
+        let mut out = String::new();
+        render_record(&announce(100), DumpKind::All, &mut out);
+        assert_eq!(
+            out,
+            "BGP4MP|100|A|2001:db8:90::1|64001|2a0d:3dc1:1851::/48|64001 210312\n"
+        );
+        let mut out = String::new();
+        render_record(&state(101), DumpKind::All, &mut out);
+        assert_eq!(out, "BGP4MP|101|STATE|2001:db8:90::1|64001|6|1\n");
+    }
+
+    #[test]
+    fn kind_filters() {
+        let mut out = String::new();
+        render_record(&announce(100), DumpKind::State, &mut out);
+        assert!(out.is_empty());
+        render_record(&state(101), DumpKind::Updates, &mut out);
+        assert!(out.is_empty());
+        render_record(&state(101), DumpKind::State, &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(DumpKind::parse("rib"), Some(DumpKind::Rib));
+        assert_eq!(DumpKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn stats_scan() {
+        let mut writer = MrtWriter::new();
+        writer.push(&announce(100));
+        writer.push(&announce(200));
+        writer.push(&state(300));
+        let stats = ArchiveStats::scan(writer.finish());
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.updates, 2);
+        assert_eq!(stats.announces, 2);
+        assert_eq!(stats.state_changes, 1);
+        assert_eq!(stats.peers.len(), 1);
+        assert_eq!(stats.prefixes.len(), 1);
+        assert_eq!(stats.first, Some(SimTime(100)));
+        assert_eq!(stats.last, Some(SimTime(300)));
+        let text = stats.render();
+        assert!(text.contains("records:        3"));
+    }
+
+    #[test]
+    fn empty_archive_stats() {
+        let stats = ArchiveStats::scan(Bytes::new());
+        assert_eq!(stats.records, 0);
+        assert!(stats.render().contains("(empty archive)"));
+    }
+}

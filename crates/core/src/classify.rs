@@ -1,0 +1,411 @@
+//! Pass 2: zombie classification with the paper's revisions.
+
+use crate::interval::BeaconInterval;
+use crate::scan::{normal_path, state_at, PeerId, ScanResult};
+use bgpz_beacon::decode_aggregator_clock;
+use bgpz_types::{AsPath, SimTime};
+use std::collections::HashSet;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Classification knobs. Defaults follow the paper: 90-minute threshold,
+/// Aggregator filtering on, no peers excluded.
+#[derive(Debug, Clone)]
+pub struct ClassifyOptions {
+    /// Seconds after the withdrawal at which stuck routes are zombies.
+    pub threshold: u64,
+    /// Decode the Aggregator BGP clock and drop stuck routes whose
+    /// announcement predates the interval (the double-counting fix).
+    pub aggregator_filter: bool,
+    /// Peer routers to ignore entirely (noisy peers).
+    pub excluded_peers: Vec<IpAddr>,
+    /// Honor STATE messages: a session drop after a route's last
+    /// announcement removes it (paper §3.1 step 1). Turning this off is
+    /// the ablation showing how many false zombies session flaps cause.
+    pub honor_state_messages: bool,
+}
+
+impl Default for ClassifyOptions {
+    fn default() -> ClassifyOptions {
+        ClassifyOptions {
+            threshold: 90 * 60,
+            aggregator_filter: true,
+            excluded_peers: Vec::new(),
+            honor_state_messages: true,
+        }
+    }
+}
+
+/// One stuck route.
+#[derive(Debug, Clone)]
+pub struct ZombieRoute {
+    /// The peer router holding it.
+    pub peer: PeerId,
+    /// The stuck AS path (after any path hunting).
+    pub zombie_path: Arc<AsPath>,
+    /// The path the peer held just before the withdrawal, if any.
+    pub normal_path: Option<Arc<AsPath>>,
+    /// Decoded Aggregator clock (absolute announcement time), if carried.
+    pub aggregator_time: Option<SimTime>,
+    /// True if the Aggregator clock shows the route belongs to an earlier
+    /// interval — counting it again would be double counting.
+    pub is_duplicate: bool,
+}
+
+/// All zombie routes of one (prefix, interval).
+#[derive(Debug, Clone)]
+pub struct Outbreak {
+    /// Index into [`ScanResult::intervals`].
+    pub interval_index: usize,
+    /// The interval itself (copied for convenience).
+    pub interval: BeaconInterval,
+    /// The stuck routes (excluded peers already removed).
+    pub routes: Vec<ZombieRoute>,
+}
+
+impl Outbreak {
+    /// Routes that are fresh (not double-counted).
+    pub fn fresh_routes(&self) -> impl Iterator<Item = &ZombieRoute> {
+        self.routes.iter().filter(|r| !r.is_duplicate)
+    }
+
+    /// True if the outbreak survives Aggregator filtering.
+    pub fn is_fresh(&self) -> bool {
+        self.routes.iter().any(|r| !r.is_duplicate)
+    }
+}
+
+/// The classification result.
+#[derive(Debug, Clone, Default)]
+pub struct ZombieReport {
+    /// Outbreaks (one per (prefix, interval) with ≥ 1 stuck route),
+    /// possibly including duplicate-only outbreaks when
+    /// `aggregator_filter` is off.
+    pub outbreaks: Vec<Outbreak>,
+    /// Total announcements classified (the percentage denominator).
+    pub announcements: usize,
+    /// The threshold used, in seconds.
+    pub threshold: u64,
+}
+
+impl ZombieReport {
+    /// Number of outbreaks.
+    pub fn outbreak_count(&self) -> usize {
+        self.outbreaks.len()
+    }
+
+    /// Total zombie routes across outbreaks.
+    pub fn route_count(&self) -> usize {
+        self.outbreaks.iter().map(|o| o.routes.len()).sum()
+    }
+
+    /// Outbreak count restricted to IPv4 / IPv6 prefixes.
+    pub fn outbreak_count_by_family(&self) -> (usize, usize) {
+        let v4 = self
+            .outbreaks
+            .iter()
+            .filter(|o| matches!(o.interval.prefix, bgpz_types::Prefix::V4(_)))
+            .count();
+        (v4, self.outbreaks.len() - v4)
+    }
+
+    /// Fraction of announcements that led to an outbreak.
+    pub fn outbreak_fraction(&self) -> f64 {
+        if self.announcements == 0 {
+            0.0
+        } else {
+            self.outbreaks.len() as f64 / self.announcements as f64
+        }
+    }
+
+    /// The set of (interval index, peer) zombie-route keys — used for the
+    /// Table 3 set-difference comparison between methodologies.
+    pub fn route_keys(&self) -> HashSet<(usize, PeerId)> {
+        self.outbreaks
+            .iter()
+            .flat_map(|o| o.routes.iter().map(move |r| (o.interval_index, r.peer)))
+            .collect()
+    }
+
+    /// The set of outbreak keys (interval indices).
+    pub fn outbreak_keys(&self) -> HashSet<usize> {
+        self.outbreaks.iter().map(|o| o.interval_index).collect()
+    }
+}
+
+/// Classifies a scan: finds every stuck route at `withdrawal + threshold`,
+/// decodes the Aggregator clock, marks duplicates, drops excluded peers,
+/// and groups the rest into outbreaks.
+pub fn classify(result: &ScanResult, options: &ClassifyOptions) -> ZombieReport {
+    let mut report = ZombieReport {
+        announcements: result.intervals.len(),
+        threshold: options.threshold,
+        ..ZombieReport::default()
+    };
+    let excluded: HashSet<IpAddr> = options.excluded_peers.iter().copied().collect();
+    let empty: Vec<SimTime> = Vec::new();
+
+    for (idx, interval) in result.intervals.iter().enumerate() {
+        let check = interval.check_time(options.threshold);
+        let mut routes = Vec::new();
+        let mut peers: Vec<&PeerId> = result.histories[idx].keys().collect();
+        peers.sort();
+        for peer in peers {
+            if excluded.contains(&peer.addr) {
+                continue;
+            }
+            let history = &result.histories[idx][peer];
+            let downs = if options.honor_state_messages {
+                result.session_downs.get(peer).unwrap_or(&empty)
+            } else {
+                &empty
+            };
+            let Some((t_announce, path, aggregator)) = state_at(history, downs, interval, check)
+            else {
+                continue;
+            };
+            let aggregator_time =
+                aggregator.and_then(|addr| decode_aggregator_clock(addr, t_announce));
+            let is_duplicate = aggregator_time.is_some_and(|t| t < interval.start);
+            routes.push(ZombieRoute {
+                peer: *peer,
+                zombie_path: path,
+                normal_path: normal_path(history, interval),
+                aggregator_time,
+                is_duplicate,
+            });
+        }
+        if options.aggregator_filter {
+            routes.retain(|r| !r.is_duplicate);
+        }
+        if !routes.is_empty() {
+            report.outbreaks.push(Outbreak {
+                interval_index: idx,
+                interval: *interval,
+                routes,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{History, Observation};
+    use bgpz_beacon::aggregator_clock;
+    use bgpz_types::{Asn, Prefix};
+    use std::collections::HashMap;
+
+    fn peer(n: u8) -> PeerId {
+        PeerId {
+            addr: format!("2001:db8::{n}").parse().unwrap(),
+            asn: Asn(64_000 + n as u32),
+        }
+    }
+
+    fn path() -> Arc<AsPath> {
+        Arc::new(AsPath::from_sequence([64_001, 25_091, 8_298, 210_312]))
+    }
+
+    /// Builds a one-interval scan with the given histories.
+    fn scan_with(histories: Vec<(PeerId, History)>, start: SimTime) -> ScanResult {
+        let interval = BeaconInterval {
+            prefix: "2a0d:3dc1:1::/48".parse::<Prefix>().unwrap(),
+            start,
+            withdraw_at: start + 7_200,
+        };
+        let mut map = HashMap::new();
+        for (p, h) in histories {
+            map.insert(p, h);
+        }
+        ScanResult {
+            intervals: vec![interval],
+            peers: map.keys().copied().collect(),
+            histories: vec![map],
+            session_downs: HashMap::new(),
+            read_stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn stuck_route_becomes_outbreak() {
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let scan = scan_with(
+            vec![
+                (
+                    peer(1),
+                    vec![(
+                        start + 10,
+                        Observation::Announce {
+                            path: path(),
+                            aggregator: Some(aggregator_clock(start)),
+                        },
+                    )],
+                ),
+                (
+                    peer(2),
+                    vec![
+                        (
+                            start + 12,
+                            Observation::Announce {
+                                path: path(),
+                                aggregator: Some(aggregator_clock(start)),
+                            },
+                        ),
+                        (start + 7_250, Observation::Withdraw),
+                    ],
+                ),
+            ],
+            start,
+        );
+        let report = classify(&scan, &ClassifyOptions::default());
+        assert_eq!(report.outbreak_count(), 1);
+        assert_eq!(report.route_count(), 1);
+        assert_eq!(report.outbreaks[0].routes[0].peer, peer(1));
+        assert!(!report.outbreaks[0].routes[0].is_duplicate);
+        assert_eq!(report.outbreak_fraction(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_detected_and_filtered() {
+        // Stuck announce whose Aggregator clock points 2 intervals back.
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 8, 0, 0);
+        let old = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let scan = scan_with(
+            vec![(
+                peer(1),
+                vec![(
+                    start + 10,
+                    Observation::Announce {
+                        path: path(),
+                        aggregator: Some(aggregator_clock(old)),
+                    },
+                )],
+            )],
+            start,
+        );
+        // With the filter: no outbreak.
+        let filtered = classify(&scan, &ClassifyOptions::default());
+        assert_eq!(filtered.outbreak_count(), 0);
+        // Without: one (this is the overestimation the paper quantifies).
+        let unfiltered = classify(
+            &scan,
+            &ClassifyOptions {
+                aggregator_filter: false,
+                ..ClassifyOptions::default()
+            },
+        );
+        assert_eq!(unfiltered.outbreak_count(), 1);
+        assert!(unfiltered.outbreaks[0].routes[0].is_duplicate);
+        assert_eq!(
+            unfiltered.outbreaks[0].routes[0].aggregator_time,
+            Some(old)
+        );
+        assert!(!unfiltered.outbreaks[0].is_fresh());
+    }
+
+    #[test]
+    fn excluded_peer_is_ignored() {
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let scan = scan_with(
+            vec![(
+                peer(1),
+                vec![(
+                    start + 10,
+                    Observation::Announce {
+                        path: path(),
+                        aggregator: None,
+                    },
+                )],
+            )],
+            start,
+        );
+        let report = classify(
+            &scan,
+            &ClassifyOptions {
+                excluded_peers: vec![peer(1).addr],
+                ..ClassifyOptions::default()
+            },
+        );
+        assert_eq!(report.outbreak_count(), 0);
+    }
+
+    #[test]
+    fn threshold_separates_slow_withdrawals_from_zombies() {
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        // Withdrawal arrives 80 minutes after the origin's instant — slow
+        // but not a zombie at the 90-minute threshold.
+        let scan = scan_with(
+            vec![(
+                peer(1),
+                vec![
+                    (
+                        start + 10,
+                        Observation::Announce {
+                            path: path(),
+                            aggregator: None,
+                        },
+                    ),
+                    (start + 7_200 + 80 * 60, Observation::Withdraw),
+                ],
+            )],
+            start,
+        );
+        let at_90 = classify(&scan, &ClassifyOptions::default());
+        assert_eq!(at_90.outbreak_count(), 0);
+        let at_60 = classify(
+            &scan,
+            &ClassifyOptions {
+                threshold: 60 * 60,
+                ..ClassifyOptions::default()
+            },
+        );
+        assert_eq!(at_60.outbreak_count(), 1);
+    }
+
+    #[test]
+    fn route_and_outbreak_keys() {
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+        let scan = scan_with(
+            vec![(
+                peer(1),
+                vec![(
+                    start + 10,
+                    Observation::Announce {
+                        path: path(),
+                        aggregator: None,
+                    },
+                )],
+            )],
+            start,
+        );
+        let report = classify(&scan, &ClassifyOptions::default());
+        assert!(report.route_keys().contains(&(0, peer(1))));
+        assert!(report.outbreak_keys().contains(&0));
+        let (v4, v6) = report.outbreak_count_by_family();
+        assert_eq!((v4, v6), (0, 1));
+    }
+
+    #[test]
+    fn missing_aggregator_counts_as_fresh() {
+        // The paper's own beacons set no Aggregator; nothing to filter on.
+        let start = SimTime::from_ymd_hms(2024, 6, 10, 11, 30, 0);
+        let scan = scan_with(
+            vec![(
+                peer(1),
+                vec![(
+                    start + 10,
+                    Observation::Announce {
+                        path: path(),
+                        aggregator: None,
+                    },
+                )],
+            )],
+            start,
+        );
+        let report = classify(&scan, &ClassifyOptions::default());
+        assert_eq!(report.outbreak_count(), 1);
+        assert!(report.outbreaks[0].routes[0].aggregator_time.is_none());
+    }
+}

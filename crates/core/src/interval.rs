@@ -1,0 +1,150 @@
+//! Beacon intervals: the unit of zombie detection.
+
+use bgpz_beacon::{BeaconEventKind, BeaconSchedule};
+use bgpz_types::{Prefix, SimTime};
+use std::collections::HashMap;
+
+/// One beacon announcement/withdrawal cycle for one prefix.
+///
+/// The detection window of an interval runs from `start` (the announcement)
+/// to `withdraw_at + threshold`; the paper processes each interval
+/// independently, with no state carried over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconInterval {
+    /// The beacon prefix.
+    pub prefix: Prefix,
+    /// Announcement instant (interval start).
+    pub start: SimTime,
+    /// Withdrawal instant at the origin.
+    pub withdraw_at: SimTime,
+}
+
+impl BeaconInterval {
+    /// The instant at which a stuck route becomes a zombie for a given
+    /// threshold (seconds past the withdrawal).
+    pub fn check_time(&self, threshold: u64) -> SimTime {
+        self.withdraw_at + threshold
+    }
+}
+
+/// Pairs every announcement in `schedule` with its following withdrawal of
+/// the same prefix, producing the interval list.
+///
+/// An announcement with no following withdrawal (experiment ended while
+/// announced) is skipped — its zombie status is undefined. Announcements of
+/// a prefix that is re-announced *before* being withdrawn (the footnote-3
+/// collision case) are also paired with the next withdrawal; callers that
+/// follow the paper drop the earlier, polluted interval via
+/// [`bgpz_beacon::PaperBeacons::polluted_announcements`].
+pub fn intervals_from_schedule(schedule: &BeaconSchedule) -> Vec<BeaconInterval> {
+    let mut by_prefix: HashMap<Prefix, Vec<(SimTime, bool)>> = HashMap::new();
+    for event in &schedule.events {
+        let is_announce = matches!(event.kind, BeaconEventKind::Announce { .. });
+        by_prefix
+            .entry(event.prefix)
+            .or_default()
+            .push((event.time, is_announce));
+    }
+    let mut out = Vec::new();
+    for (prefix, mut events) in by_prefix {
+        events.sort_unstable();
+        let mut pending: Option<SimTime> = None;
+        for (time, is_announce) in events {
+            if is_announce {
+                // A second announce before any withdraw replaces the
+                // pending one (collision case: the wire carries both, the
+                // later wins).
+                pending = Some(time);
+            } else if let Some(start) = pending.take() {
+                out.push(BeaconInterval {
+                    prefix,
+                    start,
+                    withdraw_at: time,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|iv| (iv.start, iv.prefix));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_beacon::BeaconEvent;
+    use bgpz_types::Asn;
+
+    fn ev(time: u64, prefix: &str, announce: bool) -> BeaconEvent {
+        BeaconEvent {
+            time: SimTime(time),
+            prefix: prefix.parse().unwrap(),
+            origin: Asn(210_312),
+            kind: if announce {
+                BeaconEventKind::Announce { aggregator: None }
+            } else {
+                BeaconEventKind::Withdraw
+            },
+        }
+    }
+
+    #[test]
+    fn pairs_announce_with_withdraw() {
+        let schedule = BeaconSchedule {
+            events: vec![
+                ev(0, "2a0d:3dc1:1::/48", true),
+                ev(900, "2a0d:3dc1:1::/48", false),
+                ev(14_400, "2a0d:3dc1:1::/48", true),
+                ev(15_300, "2a0d:3dc1:1::/48", false),
+            ],
+        };
+        let intervals = intervals_from_schedule(&schedule);
+        assert_eq!(intervals.len(), 2);
+        assert_eq!(intervals[0].start, SimTime(0));
+        assert_eq!(intervals[0].withdraw_at, SimTime(900));
+        assert_eq!(intervals[1].start, SimTime(14_400));
+        assert_eq!(intervals[0].check_time(5_400), SimTime(6_300));
+    }
+
+    #[test]
+    fn dangling_announce_skipped() {
+        let schedule = BeaconSchedule {
+            events: vec![
+                ev(0, "2a0d:3dc1:1::/48", true),
+                ev(900, "2a0d:3dc1:1::/48", false),
+                ev(14_400, "2a0d:3dc1:1::/48", true), // never withdrawn
+            ],
+        };
+        let intervals = intervals_from_schedule(&schedule);
+        assert_eq!(intervals.len(), 1);
+    }
+
+    #[test]
+    fn double_announce_keeps_later() {
+        // Footnote-3 collision: two announces, then one withdraw.
+        let schedule = BeaconSchedule {
+            events: vec![
+                ev(0, "2a0d:3dc1:30::/48", true),
+                ev(9_000, "2a0d:3dc1:30::/48", true),
+                ev(9_900, "2a0d:3dc1:30::/48", false),
+            ],
+        };
+        let intervals = intervals_from_schedule(&schedule);
+        assert_eq!(intervals.len(), 1);
+        assert_eq!(intervals[0].start, SimTime(9_000));
+    }
+
+    #[test]
+    fn sorted_across_prefixes() {
+        let schedule = BeaconSchedule {
+            events: vec![
+                ev(1_000, "2a0d:3dc1:2::/48", true),
+                ev(1_900, "2a0d:3dc1:2::/48", false),
+                ev(0, "2a0d:3dc1:1::/48", true),
+                ev(900, "2a0d:3dc1:1::/48", false),
+            ],
+        };
+        let intervals = intervals_from_schedule(&schedule);
+        assert_eq!(intervals[0].start, SimTime(0));
+        assert_eq!(intervals[1].start, SimTime(1_000));
+    }
+}

@@ -1,0 +1,48 @@
+//! # bgpz-core
+//!
+//! The paper's primary contribution: accurate BGP zombie detection from
+//! archived RIS raw data, plus the analyses built on it.
+//!
+//! Pipeline (paper §3.1 and §5):
+//!
+//! 1. [`scan`] — reconstruct the per-`(peer router, prefix)` state from the
+//!    MRT update stream at message granularity, one **beacon interval** at
+//!    a time with *no prior knowledge* (stale RIB entries from earlier
+//!    intervals cannot leak in), honouring STATE messages (a session drop
+//!    removes every route of that peer).
+//! 2. [`classify`] — at `withdrawal + threshold` (90 minutes by default,
+//!    like all prior work), a peer whose last message for the prefix is an
+//!    announcement holds a **zombie route**; all zombie routes of one
+//!    `(prefix, interval)` form a **zombie outbreak**. The **Aggregator
+//!    BGP clock** carried by RIS beacons is decoded, and a stuck route
+//!    whose clock predates the interval is a **duplicate** — counting it
+//!    again is the double-counting bug this paper fixes.
+//! 3. [`noisy`] — per-peer zombie likelihood and outlier detection (the
+//!    replication's AS16347; the beacon study's AS211380/AS211509).
+//! 4. [`lifespan`] — scan 8-hourly RIB dumps to measure how long each
+//!    zombie outbreak stays visible, including **resurrections**: the
+//!    route vanishes from all peers and reappears later with no new beacon
+//!    announcement (paper §5.1, Fig. 4).
+//! 5. [`rootcause`] — palm-tree inference: the zombie AS paths of an
+//!    outbreak share an origin-side chain; the last AS of that chain is
+//!    the likely culprit (paper §5.2).
+
+pub mod classify;
+pub mod interval;
+pub mod lifespan;
+pub mod noisy;
+pub mod paths;
+pub mod realtime;
+pub mod rootcause;
+pub mod scan;
+pub mod sweep;
+
+pub use classify::{classify, ClassifyOptions, Outbreak, ZombieReport, ZombieRoute};
+pub use interval::{intervals_from_schedule, BeaconInterval};
+pub use lifespan::{track_lifespans, OutbreakLifespan, Resurrection, VisibilitySpell};
+pub use noisy::{detect_noisy_peers, pair_likelihoods, peer_likelihoods, NoisyPeerReport, PairLikelihood, PeerLikelihood};
+pub use paths::{path_length_samples, PathLengthSamples};
+pub use realtime::{RealtimeDetector, ZombieAlert};
+pub use rootcause::{infer_root_cause, RootCause};
+pub use scan::{scan, PeerId, ScanResult};
+pub use sweep::{threshold_sweep, SweepPoint};

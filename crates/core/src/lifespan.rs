@@ -1,0 +1,369 @@
+//! Pass 4: zombie lifespan tracking over RIB dumps (paper §5, Figs. 3–4).
+//!
+//! RIPE RIS dumps every peer's RIB every 8 hours. Scanning ~a year of
+//! dumps tells how long each zombie outbreak stayed visible — and reveals
+//! **resurrections**: a stuck route that disappears from the dumps and
+//! reappears later although the beacon was never announced again.
+
+use crate::scan::PeerId;
+use bgpz_mrt::{MrtBody, MrtReader};
+use bgpz_types::{Prefix, SimTime};
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap};
+use std::net::IpAddr;
+
+/// A run of consecutive dumps in which one peer held the prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisibilitySpell {
+    /// The peer.
+    pub peer: PeerId,
+    /// First dump instant of the spell.
+    pub first: SimTime,
+    /// Last dump instant of the spell.
+    pub last: SimTime,
+}
+
+/// A reappearance of a withdrawn prefix with no new beacon announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resurrection {
+    /// The peer in whose RIB the route reappeared.
+    pub peer: PeerId,
+    /// Last dump of the previous spell (visibility gap start).
+    pub gap_started: SimTime,
+    /// First dump of the new spell.
+    pub reappeared_at: SimTime,
+}
+
+/// Lifespan of one zombie outbreak (one prefix after its final
+/// withdrawal).
+#[derive(Debug, Clone)]
+pub struct OutbreakLifespan {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// The beacon's final withdrawal instant.
+    pub withdrawn_at: SimTime,
+    /// Per-peer visibility spells, ordered by (peer, first).
+    pub spells: Vec<VisibilitySpell>,
+    /// First dump in which any peer held the zombie.
+    pub first_seen: SimTime,
+    /// Last dump in which any peer held the zombie.
+    pub last_seen: SimTime,
+    /// Per-peer resurrections (visibility gaps).
+    pub resurrections: Vec<Resurrection>,
+}
+
+impl OutbreakLifespan {
+    /// Outbreak duration: from the withdrawal to the last sighting.
+    pub fn duration_secs(&self) -> u64 {
+        self.last_seen.saturating_since(self.withdrawn_at)
+    }
+
+    /// Duration in (fractional) days.
+    pub fn duration_days(&self) -> f64 {
+        self.duration_secs() as f64 / 86_400.0
+    }
+
+    /// Global gaps: windows in which *no* peer held the route, between two
+    /// sightings (Fig. 4's invisible periods).
+    pub fn global_gaps(&self) -> Vec<(SimTime, SimTime)> {
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .spells
+            .iter()
+            .map(|s| (s.first, s.last))
+            .collect();
+        intervals.sort_unstable();
+        let mut gaps = Vec::new();
+        let mut covered_until: Option<SimTime> = None;
+        for (first, last) in intervals {
+            match covered_until {
+                Some(until) if first > until => {
+                    gaps.push((until, first));
+                    covered_until = Some(last);
+                }
+                Some(until) => covered_until = Some(until.max(last)),
+                None => covered_until = Some(last),
+            }
+        }
+        gaps
+    }
+
+    /// Peers that ever held the zombie.
+    pub fn peers(&self) -> Vec<PeerId> {
+        let mut out: Vec<PeerId> = self.spells.iter().map(|s| s.peer).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Scans `rib_dumps` for the given `(prefix, final withdrawal)` pairs and
+/// returns a lifespan for every prefix that stayed (or reappeared) in some
+/// RIB after its withdrawal. Dumps taken at or before a prefix's
+/// withdrawal are ignored for that prefix. Peers in `excluded_peers` are
+/// skipped (noisy-peer exclusion, Fig. 3's orange line).
+pub fn track_lifespans(
+    rib_dumps: &[(SimTime, Bytes)],
+    prefixes: &[(Prefix, SimTime)],
+    excluded_peers: &[IpAddr],
+) -> Vec<OutbreakLifespan> {
+    let withdrawal: HashMap<Prefix, SimTime> = prefixes.iter().copied().collect();
+    // (prefix, peer) → sorted list of dump-index sightings.
+    let mut sightings: BTreeMap<(Prefix, PeerId), Vec<usize>> = BTreeMap::new();
+
+    for (dump_idx, (dump_time, bytes)) in rib_dumps.iter().enumerate() {
+        let mut peer_table: Vec<PeerId> = Vec::new();
+        let mut reader = MrtReader::new(bytes.clone());
+        while let Some(record) = reader.next_record() {
+            match record.body {
+                MrtBody::PeerIndex(table) => {
+                    peer_table = table
+                        .peers
+                        .iter()
+                        .map(|p| PeerId {
+                            addr: p.addr,
+                            asn: p.asn,
+                        })
+                        .collect();
+                }
+                MrtBody::Rib(rib) => {
+                    let Some(&withdrawn_at) = withdrawal.get(&rib.prefix) else {
+                        continue;
+                    };
+                    if *dump_time <= withdrawn_at {
+                        continue;
+                    }
+                    for entry in &rib.entries {
+                        let Some(&peer) = peer_table.get(entry.peer_index as usize) else {
+                            continue; // corrupt index: tolerate
+                        };
+                        if excluded_peers.contains(&peer.addr) {
+                            continue;
+                        }
+                        sightings
+                            .entry((rib.prefix, peer))
+                            .or_default()
+                            .push(dump_idx);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Group per prefix, build spells out of consecutive dump indices.
+    let mut per_prefix: BTreeMap<Prefix, Vec<(PeerId, Vec<usize>)>> = BTreeMap::new();
+    for ((prefix, peer), idxs) in sightings {
+        per_prefix.entry(prefix).or_default().push((peer, idxs));
+    }
+
+    let mut out = Vec::new();
+    for (prefix, peers) in per_prefix {
+        let withdrawn_at = withdrawal[&prefix];
+        let mut spells = Vec::new();
+        let mut resurrections = Vec::new();
+        for (peer, idxs) in peers {
+            let mut run_start = idxs[0];
+            let mut prev = idxs[0];
+            let flush = |run_start: usize, prev: usize, spells: &mut Vec<VisibilitySpell>| {
+                spells.push(VisibilitySpell {
+                    peer,
+                    first: rib_dumps[run_start].0,
+                    last: rib_dumps[prev].0,
+                });
+            };
+            for &idx in &idxs[1..] {
+                if idx == prev + 1 {
+                    prev = idx;
+                } else {
+                    flush(run_start, prev, &mut spells);
+                    resurrections.push(Resurrection {
+                        peer,
+                        gap_started: rib_dumps[prev].0,
+                        reappeared_at: rib_dumps[idx].0,
+                    });
+                    run_start = idx;
+                    prev = idx;
+                }
+            }
+            flush(run_start, prev, &mut spells);
+        }
+        spells.sort_by_key(|s| (s.peer, s.first));
+        resurrections.sort_by_key(|r| (r.reappeared_at, r.peer));
+        let first_seen = spells.iter().map(|s| s.first).min().expect("non-empty");
+        let last_seen = spells.iter().map(|s| s.last).max().expect("non-empty");
+        out.push(OutbreakLifespan {
+            prefix,
+            withdrawn_at,
+            spells,
+            first_seen,
+            last_seen,
+            resurrections,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_mrt::table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
+    use bgpz_mrt::{MrtRecord, MrtWriter};
+    use bgpz_types::{AsPath, Asn, PathAttributes};
+    use std::net::Ipv4Addr;
+
+    fn peer_id(n: u8) -> PeerId {
+        PeerId {
+            addr: format!("2001:db8::{n}").parse().unwrap(),
+            asn: Asn(64_000 + n as u32),
+        }
+    }
+
+    fn peer_entry(n: u8) -> PeerEntry {
+        PeerEntry {
+            bgp_id: Ipv4Addr::new(10, 0, 0, n),
+            addr: format!("2001:db8::{n}").parse().unwrap(),
+            asn: Asn(64_000 + n as u32),
+        }
+    }
+
+    /// Builds a dump at `t` where each `(peer number, prefixes)` entry
+    /// lists what that peer holds.
+    fn dump(t: u64, holdings: &[(u8, &[&str])]) -> (SimTime, Bytes) {
+        let mut writer = MrtWriter::new();
+        let peers: Vec<PeerEntry> = holdings.iter().map(|&(n, _)| peer_entry(n)).collect();
+        writer.push(&MrtRecord::new(
+            SimTime(t),
+            MrtBody::PeerIndex(PeerIndexTable {
+                collector_id: Ipv4Addr::new(193, 0, 4, 0),
+                view_name: String::new(),
+                peers,
+            }),
+        ));
+        let mut all: Vec<Prefix> = holdings
+            .iter()
+            .flat_map(|&(_, ps)| ps.iter().map(|p| p.parse().unwrap()))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        for (seq, prefix) in all.into_iter().enumerate() {
+            let entries: Vec<RibEntry> = holdings
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, ps))| ps.iter().any(|p| p.parse::<Prefix>().unwrap() == prefix))
+                .map(|(i, _)| RibEntry {
+                    peer_index: i as u16,
+                    originated: SimTime(t),
+                    attrs: PathAttributes::announcement(AsPath::from_sequence([64_001, 210_312])),
+                })
+                .collect();
+            writer.push(&MrtRecord::new(
+                SimTime(t),
+                MrtBody::Rib(RibSnapshot {
+                    sequence: seq as u32,
+                    prefix,
+                    entries,
+                }),
+            ));
+        }
+        (SimTime(t), writer.finish())
+    }
+
+    const P: &str = "2a0d:3dc1:1851::/48";
+    const H8: u64 = 8 * 3_600;
+
+    #[test]
+    fn continuous_visibility_single_spell() {
+        let dumps = vec![
+            dump(H8, &[(1, &[P])]),
+            dump(2 * H8, &[(1, &[P])]),
+            dump(3 * H8, &[(1, &[P])]),
+            dump(4 * H8, &[(1, &[])]),
+        ];
+        let lifespans = track_lifespans(&dumps, &[(P.parse().unwrap(), SimTime(900))], &[]);
+        assert_eq!(lifespans.len(), 1);
+        let l = &lifespans[0];
+        assert_eq!(l.spells.len(), 1);
+        assert_eq!(l.spells[0].peer, peer_id(1));
+        assert_eq!(l.first_seen, SimTime(H8));
+        assert_eq!(l.last_seen, SimTime(3 * H8));
+        assert_eq!(l.duration_secs(), 3 * H8 - 900);
+        assert!(l.resurrections.is_empty());
+        assert!(l.global_gaps().is_empty());
+    }
+
+    #[test]
+    fn gap_means_resurrection() {
+        // Fig. 4 pattern: visible, gone for two dumps, visible again.
+        let dumps = vec![
+            dump(H8, &[(1, &[P])]),
+            dump(2 * H8, &[(1, &[])]),
+            dump(3 * H8, &[(1, &[])]),
+            dump(4 * H8, &[(1, &[P])]),
+            dump(5 * H8, &[(1, &[P])]),
+        ];
+        let lifespans = track_lifespans(&dumps, &[(P.parse().unwrap(), SimTime(900))], &[]);
+        let l = &lifespans[0];
+        assert_eq!(l.spells.len(), 2);
+        assert_eq!(l.resurrections.len(), 1);
+        assert_eq!(l.resurrections[0].gap_started, SimTime(H8));
+        assert_eq!(l.resurrections[0].reappeared_at, SimTime(4 * H8));
+        assert_eq!(l.global_gaps(), vec![(SimTime(H8), SimTime(4 * H8))]);
+        assert_eq!(l.duration_secs(), 5 * H8 - 900);
+    }
+
+    #[test]
+    fn dumps_before_withdrawal_ignored() {
+        let dumps = vec![dump(H8, &[(1, &[P])]), dump(2 * H8, &[(1, &[])])];
+        // Withdrawal after the first dump: that sighting is the normal
+        // announced phase, not a zombie.
+        let lifespans = track_lifespans(&dumps, &[(P.parse().unwrap(), SimTime(H8 + 10))], &[]);
+        assert!(lifespans.is_empty());
+    }
+
+    #[test]
+    fn multiple_peers_merge_into_outbreak() {
+        let dumps = vec![
+            dump(H8, &[(1, &[P]), (2, &[P])]),
+            dump(2 * H8, &[(1, &[]), (2, &[P])]),
+        ];
+        let lifespans = track_lifespans(&dumps, &[(P.parse().unwrap(), SimTime(900))], &[]);
+        let l = &lifespans[0];
+        assert_eq!(l.peers(), vec![peer_id(1), peer_id(2)]);
+        assert_eq!(l.spells.len(), 2);
+        assert_eq!(l.last_seen, SimTime(2 * H8));
+        // No global gap: peer 2 bridges.
+        assert!(l.global_gaps().is_empty());
+    }
+
+    #[test]
+    fn excluded_peer_not_tracked() {
+        let dumps = vec![dump(H8, &[(1, &[P])])];
+        let lifespans = track_lifespans(
+            &dumps,
+            &[(P.parse().unwrap(), SimTime(900))],
+            &[peer_id(1).addr],
+        );
+        assert!(lifespans.is_empty());
+    }
+
+    #[test]
+    fn untracked_prefixes_ignored() {
+        let dumps = vec![dump(H8, &[(1, &["2a0d:3dc1:9999::/48"])])];
+        let lifespans = track_lifespans(&dumps, &[(P.parse().unwrap(), SimTime(900))], &[]);
+        assert!(lifespans.is_empty());
+    }
+
+    #[test]
+    fn duration_days() {
+        let dumps = vec![
+            dump(H8, &[(1, &[P])]),
+            dump(86_400 * 30, &[(1, &[P])]),
+            dump(86_400 * 30 + H8, &[(1, &[])]),
+        ];
+        // Non-consecutive dumps (indices 0 and 1 are adjacent here — both
+        // sightings) — durations measured to the last sighting.
+        let lifespans = track_lifespans(&dumps, &[(P.parse().unwrap(), SimTime(0))], &[]);
+        let l = &lifespans[0];
+        assert!((l.duration_days() - 30.0).abs() < 0.01);
+    }
+}

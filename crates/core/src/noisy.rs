@@ -1,0 +1,294 @@
+//! Pass 3: noisy-peer detection (paper §3.2 and §5).
+//!
+//! A peer's **zombie likelihood** is the fraction of beacon announcements
+//! for which it held a zombie route. The replication found AS16347 at
+//! ≈42.8% against an average of ≈1.58% for everyone else; the beacon study
+//! found three such peer routers. Peers that far outside the population
+//! are excluded to avoid overestimating zombies.
+
+use crate::classify::ZombieReport;
+use crate::scan::{PeerId, ScanResult};
+use std::collections::HashMap;
+
+/// Zombie likelihood of one peer router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerLikelihood {
+    /// The peer.
+    pub peer: PeerId,
+    /// Number of announcements for which this peer held a zombie route.
+    pub zombie_count: usize,
+    /// Number of announcements considered.
+    pub announcements: usize,
+    /// `zombie_count / announcements`.
+    pub likelihood: f64,
+}
+
+/// The outcome of outlier detection.
+#[derive(Debug, Clone, Default)]
+pub struct NoisyPeerReport {
+    /// Every peer's likelihood, sorted descending.
+    pub likelihoods: Vec<PeerLikelihood>,
+    /// The peers flagged as noisy.
+    pub noisy: Vec<PeerLikelihood>,
+    /// Mean likelihood of the non-noisy population.
+    pub clean_mean: f64,
+}
+
+/// Computes every peer's zombie likelihood from a classification report.
+///
+/// Peers that never appear in any history still count as 0 — the paper's
+/// 18.76% of `<beacon, peerAS>` pairs with no zombies at all.
+pub fn peer_likelihoods(scan: &ScanResult, report: &ZombieReport) -> Vec<PeerLikelihood> {
+    let mut counts: HashMap<PeerId, usize> = scan.peers.iter().map(|&p| (p, 0)).collect();
+    for outbreak in &report.outbreaks {
+        for route in &outbreak.routes {
+            *counts.entry(route.peer).or_insert(0) += 1;
+        }
+    }
+    let announcements = report.announcements.max(1);
+    let mut out: Vec<PeerLikelihood> = counts
+        .into_iter()
+        .map(|(peer, zombie_count)| PeerLikelihood {
+            peer,
+            zombie_count,
+            announcements,
+            likelihood: zombie_count as f64 / announcements as f64,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.likelihood
+            .partial_cmp(&a.likelihood)
+            .expect("likelihoods are finite")
+            .then(a.peer.cmp(&b.peer))
+    });
+    out
+}
+
+/// Zombie likelihood of one `<beacon prefix, peer>` pair — the unit of the
+/// paper's Fig. 5 CDF and of the Table 4 AS16347 statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairLikelihood {
+    /// The beacon prefix.
+    pub prefix: bgpz_types::Prefix,
+    /// The peer.
+    pub peer: PeerId,
+    /// Announcements of this prefix in the scan.
+    pub announcements: usize,
+    /// How many of them left a zombie at this peer.
+    pub zombie_count: usize,
+    /// `zombie_count / announcements`.
+    pub likelihood: f64,
+}
+
+/// Computes the likelihood of every `<beacon prefix, peer>` pair, for all
+/// peers seen in the scan (pairs with zero zombies included).
+pub fn pair_likelihoods(scan: &ScanResult, report: &ZombieReport) -> Vec<PairLikelihood> {
+    let mut per_prefix_intervals: HashMap<bgpz_types::Prefix, usize> = HashMap::new();
+    for interval in &scan.intervals {
+        *per_prefix_intervals.entry(interval.prefix).or_insert(0) += 1;
+    }
+    let mut counts: HashMap<(bgpz_types::Prefix, PeerId), usize> = HashMap::new();
+    for (&prefix, _) in per_prefix_intervals.iter() {
+        for &peer in &scan.peers {
+            counts.insert((prefix, peer), 0);
+        }
+    }
+    for outbreak in &report.outbreaks {
+        for route in &outbreak.routes {
+            *counts
+                .entry((outbreak.interval.prefix, route.peer))
+                .or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<PairLikelihood> = counts
+        .into_iter()
+        .map(|((prefix, peer), zombie_count)| {
+            let announcements = per_prefix_intervals.get(&prefix).copied().unwrap_or(1);
+            PairLikelihood {
+                prefix,
+                peer,
+                announcements,
+                zombie_count,
+                likelihood: zombie_count as f64 / announcements.max(1) as f64,
+            }
+        })
+        .collect();
+    out.sort_by_key(|a| (a.prefix, a.peer));
+    out
+}
+
+/// Flags peers whose likelihood exceeds `factor ×` the mean of the rest
+/// (computed iteratively: remove the worst offender, recompute, repeat).
+/// `min_likelihood` guards against flagging peers in runs where everything
+/// is near zero.
+pub fn detect_noisy_peers(
+    scan: &ScanResult,
+    report: &ZombieReport,
+    factor: f64,
+    min_likelihood: f64,
+) -> NoisyPeerReport {
+    let likelihoods = peer_likelihoods(scan, report);
+    let mut noisy: Vec<PeerLikelihood> = Vec::new();
+    let mut rest = likelihoods.clone();
+    loop {
+        if rest.is_empty() {
+            break;
+        }
+        // rest is sorted descending; candidate = worst remaining.
+        let candidate = rest[0];
+        let others = &rest[1..];
+        let mean = if others.is_empty() {
+            0.0
+        } else {
+            others.iter().map(|p| p.likelihood).sum::<f64>() / others.len() as f64
+        };
+        if candidate.likelihood >= min_likelihood && candidate.likelihood > factor * mean.max(1e-9)
+        {
+            noisy.push(candidate);
+            rest.remove(0);
+        } else {
+            break;
+        }
+    }
+    let clean_mean = if rest.is_empty() {
+        0.0
+    } else {
+        rest.iter().map(|p| p.likelihood).sum::<f64>() / rest.len() as f64
+    };
+    NoisyPeerReport {
+        likelihoods,
+        noisy,
+        clean_mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, ClassifyOptions};
+    use crate::interval::BeaconInterval;
+    use crate::scan::Observation;
+    use bgpz_types::{AsPath, Asn, SimTime};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn peer(n: u8) -> PeerId {
+        PeerId {
+            addr: format!("2001:db8::{n}").parse().unwrap(),
+            asn: Asn(64_000 + n as u32),
+        }
+    }
+
+    /// Builds a scan of `n_intervals`; `stuck[p]` = set of intervals in
+    /// which peer p is stuck (others announce+withdraw cleanly).
+    fn build_scan(n_intervals: usize, stuck: &[(PeerId, Vec<usize>)]) -> ScanResult {
+        let mut intervals = Vec::new();
+        let mut histories = Vec::new();
+        for i in 0..n_intervals {
+            let start = SimTime((i as u64) * 14_400);
+            intervals.push(BeaconInterval {
+                prefix: "2a0d:3dc1:1::/48".parse().unwrap(),
+                start,
+                withdraw_at: start + 7_200,
+            });
+            let mut map = HashMap::new();
+            for (p, stuck_at) in stuck {
+                let mut history = vec![(
+                    start + 10,
+                    Observation::Announce {
+                        path: Arc::new(AsPath::from_sequence([p.asn.0, 210_312])),
+                        aggregator: None,
+                    },
+                )];
+                if !stuck_at.contains(&i) {
+                    history.push((start + 7_230, Observation::Withdraw));
+                }
+                map.insert(*p, history);
+            }
+            histories.push(map);
+        }
+        ScanResult {
+            intervals,
+            peers: stuck.iter().map(|&(p, _)| p).collect(),
+            histories,
+            session_downs: HashMap::new(),
+            read_stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn likelihoods_computed_per_peer() {
+        let scan = build_scan(
+            10,
+            &[
+                (peer(1), (0..10).collect()), // always stuck: 100%
+                (peer(2), vec![0]),           // once: 10%
+                (peer(3), vec![]),            // never: 0%
+            ],
+        );
+        let report = classify(&scan, &ClassifyOptions::default());
+        let likelihoods = peer_likelihoods(&scan, &report);
+        assert_eq!(likelihoods.len(), 3);
+        assert_eq!(likelihoods[0].peer, peer(1));
+        assert!((likelihoods[0].likelihood - 1.0).abs() < 1e-9);
+        assert!((likelihoods[1].likelihood - 0.1).abs() < 1e-9);
+        assert_eq!(likelihoods[2].zombie_count, 0);
+    }
+
+    #[test]
+    fn outlier_flagged_like_as16347() {
+        // One peer at ~43%, eleven peers near 1.5%: the paper's situation.
+        let mut stuck = vec![(peer(1), (0..43).collect::<Vec<_>>())];
+        for n in 2..=12 {
+            stuck.push((peer(n), vec![n as usize])); // 1 of 100 ⇒ 1%
+        }
+        let scan = build_scan(100, &stuck);
+        let report = classify(&scan, &ClassifyOptions::default());
+        let noisy = detect_noisy_peers(&scan, &report, 10.0, 0.05);
+        assert_eq!(noisy.noisy.len(), 1);
+        assert_eq!(noisy.noisy[0].peer, peer(1));
+        assert!((noisy.noisy[0].likelihood - 0.43).abs() < 1e-9);
+        assert!(noisy.clean_mean < 0.02);
+    }
+
+    #[test]
+    fn homogeneous_population_has_no_outliers() {
+        let stuck: Vec<(PeerId, Vec<usize>)> =
+            (1..=10).map(|n| (peer(n), vec![n as usize])).collect();
+        let scan = build_scan(100, &stuck);
+        let report = classify(&scan, &ClassifyOptions::default());
+        let noisy = detect_noisy_peers(&scan, &report, 10.0, 0.05);
+        assert!(noisy.noisy.is_empty());
+    }
+
+    #[test]
+    fn multiple_outliers_removed_iteratively() {
+        // Three noisy routers (the beacon study's situation) at ~7-10%,
+        // everyone else at ~0.1%.
+        let mut stuck = vec![
+            (peer(1), (0..10).collect::<Vec<_>>()),
+            (peer(2), (0..10).collect::<Vec<_>>()),
+            (peer(3), (0..7).collect::<Vec<_>>()),
+        ];
+        for n in 4..=40 {
+            stuck.push((peer(n), if n % 10 == 0 { vec![0] } else { vec![] }));
+        }
+        let scan = build_scan(100, &stuck);
+        let report = classify(&scan, &ClassifyOptions::default());
+        let noisy = detect_noisy_peers(&scan, &report, 10.0, 0.05);
+        let flagged: Vec<PeerId> = noisy.noisy.iter().map(|p| p.peer).collect();
+        assert_eq!(flagged.len(), 3);
+        assert!(flagged.contains(&peer(1)));
+        assert!(flagged.contains(&peer(2)));
+        assert!(flagged.contains(&peer(3)));
+    }
+
+    #[test]
+    fn empty_scan_is_quiet() {
+        let scan = ScanResult::default();
+        let report = classify(&scan, &ClassifyOptions::default());
+        let noisy = detect_noisy_peers(&scan, &report, 10.0, 0.05);
+        assert!(noisy.likelihoods.is_empty());
+        assert!(noisy.noisy.is_empty());
+    }
+}

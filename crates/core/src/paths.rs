@@ -1,0 +1,207 @@
+//! AS-path statistics (paper Fig. 6 and §B.2).
+//!
+//! For every (interval, peer) the paper compares three path populations:
+//! the **normal path** at peers that correctly withdrew, the **normal
+//! path** at peers that got stuck (zombie peers), and the **zombie path**
+//! itself (the stuck route after path hunting). Zombie paths are longer —
+//! they were not the routes BGP originally selected — and the vast
+//! majority differ from the pre-withdrawal path.
+
+use crate::classify::ClassifyOptions;
+use crate::scan::{normal_path, state_at, ScanResult};
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+/// Path-length samples for the three populations of Fig. 6.
+#[derive(Debug, Clone, Default)]
+pub struct PathLengthSamples {
+    /// Normal-path lengths at peers that withdrew the prefix in time.
+    pub normal_at_normal_peers: Vec<usize>,
+    /// Normal-path lengths at peers that ended up stuck.
+    pub normal_at_zombie_peers: Vec<usize>,
+    /// The stuck (zombie) path lengths.
+    pub zombie_paths: Vec<usize>,
+    /// Zombie routes whose stuck path differs from their normal path.
+    pub changed: usize,
+    /// Zombie routes with both paths known (denominator for `changed`).
+    pub comparable: usize,
+}
+
+impl PathLengthSamples {
+    /// Fraction of zombie paths that differ from the pre-withdrawal path
+    /// (the paper reports 79–96% depending on family and filtering).
+    pub fn changed_fraction(&self) -> f64 {
+        if self.comparable == 0 {
+            0.0
+        } else {
+            self.changed as f64 / self.comparable as f64
+        }
+    }
+}
+
+/// Collects the Fig. 6 samples at the given threshold/options,
+/// optionally restricted to one address family (the paper plots IPv4 and
+/// IPv6 separately).
+pub fn path_length_samples(
+    scan: &ScanResult,
+    options: &ClassifyOptions,
+    family: Option<bgpz_types::Afi>,
+) -> PathLengthSamples {
+    let mut samples = PathLengthSamples::default();
+    let excluded: HashSet<IpAddr> = options.excluded_peers.iter().copied().collect();
+    let empty = Vec::new();
+    for (idx, interval) in scan.intervals.iter().enumerate() {
+        if family.is_some_and(|f| interval.prefix.afi() != f) {
+            continue;
+        }
+        let check = interval.check_time(options.threshold);
+        let mut peers: Vec<_> = scan.histories[idx].keys().collect();
+        peers.sort();
+        for peer in peers {
+            if excluded.contains(&peer.addr) {
+                continue;
+            }
+            let history = &scan.histories[idx][peer];
+            let downs = scan.session_downs.get(peer).unwrap_or(&empty);
+            let normal = normal_path(history, interval);
+            match state_at(history, downs, interval, check) {
+                Some((t_announce, zombie, aggregator)) => {
+                    if options.aggregator_filter {
+                        let is_duplicate = aggregator
+                            .and_then(|addr| {
+                                bgpz_beacon::decode_aggregator_clock(addr, t_announce)
+                            })
+                            .is_some_and(|t| t < interval.start);
+                        if is_duplicate {
+                            continue;
+                        }
+                    }
+                    samples.zombie_paths.push(zombie.hop_count());
+                    if let Some(normal) = normal {
+                        samples.normal_at_zombie_peers.push(normal.hop_count());
+                        samples.comparable += 1;
+                        if *normal != *zombie {
+                            samples.changed += 1;
+                        }
+                    }
+                }
+                None => {
+                    if let Some(normal) = normal {
+                        samples.normal_at_normal_peers.push(normal.hop_count());
+                    }
+                }
+            }
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::BeaconInterval;
+    use crate::scan::{Observation, PeerId};
+    use bgpz_types::{AsPath, Asn, SimTime};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn peer(n: u8) -> PeerId {
+        PeerId {
+            addr: format!("2001:db8::{n}").parse().unwrap(),
+            asn: Asn(64_000 + n as u32),
+        }
+    }
+
+    fn path(hops: &[u32]) -> Arc<AsPath> {
+        Arc::new(AsPath::from_sequence(hops.iter().copied()))
+    }
+
+    fn scan() -> ScanResult {
+        let start = SimTime(0);
+        let interval = BeaconInterval {
+            prefix: "2a0d:3dc1:1::/48".parse().unwrap(),
+            start,
+            withdraw_at: start + 7_200,
+        };
+        let mut map = HashMap::new();
+        // Peer 1: clean withdrawal, normal path of 3 hops.
+        map.insert(
+            peer(1),
+            vec![
+                (
+                    start + 10,
+                    Observation::Announce {
+                        path: path(&[64_001, 8_298, 210_312]),
+                        aggregator: None,
+                    },
+                ),
+                (start + 7_230, Observation::Withdraw),
+            ],
+        );
+        // Peer 2: stuck; normal path 3 hops, zombie path (after hunting)
+        // 5 hops.
+        map.insert(
+            peer(2),
+            vec![
+                (
+                    start + 12,
+                    Observation::Announce {
+                        path: path(&[64_002, 8_298, 210_312]),
+                        aggregator: None,
+                    },
+                ),
+                (
+                    start + 7_400,
+                    Observation::Announce {
+                        path: path(&[64_002, 64_009, 64_010, 8_298, 210_312]),
+                        aggregator: None,
+                    },
+                ),
+            ],
+        );
+        ScanResult {
+            intervals: vec![interval],
+            peers: vec![peer(1), peer(2)],
+            histories: vec![map],
+            session_downs: HashMap::new(),
+            read_stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn three_populations_sorted_out() {
+        let samples = path_length_samples(&scan(), &ClassifyOptions::default(), None);
+        assert_eq!(samples.normal_at_normal_peers, vec![3]);
+        assert_eq!(samples.normal_at_zombie_peers, vec![3]);
+        assert_eq!(samples.zombie_paths, vec![5]);
+        assert_eq!(samples.comparable, 1);
+        assert_eq!(samples.changed, 1);
+        assert!((samples.changed_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unchanged_zombie_path_counted() {
+        let mut s = scan();
+        // Make peer 2's zombie path identical to its normal path.
+        let h = s.histories[0].get_mut(&peer(2)).unwrap();
+        h.truncate(1);
+        let samples = path_length_samples(&s, &ClassifyOptions::default(), None);
+        assert_eq!(samples.zombie_paths, vec![3]);
+        assert_eq!(samples.changed, 0);
+        assert_eq!(samples.changed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let samples = path_length_samples(
+            &scan(),
+            &ClassifyOptions {
+                excluded_peers: vec![peer(2).addr],
+                ..ClassifyOptions::default()
+            },
+            None,
+        );
+        assert!(samples.zombie_paths.is_empty());
+        assert_eq!(samples.normal_at_normal_peers, vec![3]);
+    }
+}

@@ -1,0 +1,561 @@
+//! Real-time zombie detection (the paper's §6 "future work", built).
+//!
+//! The batch pipeline ([`crate::scan`] → [`crate::classify`]) needs the
+//! whole archive up front. [`RealtimeDetector`] instead consumes MRT
+//! records *as they arrive* — e.g. from a RIS Live-style feed — keeping
+//! only the latest observation per `(interval, peer)`, and emits a
+//! [`ZombieAlert`] the moment a beacon interval's check deadline passes
+//! with a stuck route, plus a [`ZombieAlert::Resurrection`] when a
+//! withdrawn-and-clean prefix is announced again after its deadline with
+//! no new beacon cycle — the paper's §5.1 phenomenon, detected live.
+//!
+//! Fed the same records, it raises exactly the zombie routes the batch
+//! classifier reports (asserted by the equivalence tests below).
+
+use crate::classify::ClassifyOptions;
+use crate::interval::BeaconInterval;
+use crate::scan::PeerId;
+use bgpz_beacon::decode_aggregator_clock;
+use bgpz_mrt::{BgpState, MrtBody, MrtRecord};
+use bgpz_types::{AsPath, BgpMessage, Prefix, SimTime};
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A live detection event.
+#[derive(Debug, Clone)]
+pub enum ZombieAlert {
+    /// A stuck route at the interval's check deadline.
+    Zombie {
+        /// The beacon prefix.
+        prefix: Prefix,
+        /// The interval's announcement instant.
+        interval_start: SimTime,
+        /// The peer holding the stuck route.
+        peer: PeerId,
+        /// The stuck AS path.
+        path: Arc<AsPath>,
+        /// Decoded Aggregator clock, if the route carried one.
+        aggregator_time: Option<SimTime>,
+        /// True if the clock shows the route predates the interval
+        /// (a duplicate under the paper's revised methodology).
+        is_duplicate: bool,
+        /// When the alert fired (the check deadline).
+        detected_at: SimTime,
+    },
+    /// A prefix that was clean at its deadline got announced again with no
+    /// new beacon cycle — a live resurrection.
+    Resurrection {
+        /// The beacon prefix.
+        prefix: Prefix,
+        /// The interval whose deadline had already passed.
+        interval_start: SimTime,
+        /// The peer that re-learned the route.
+        peer: PeerId,
+        /// The resurrected AS path.
+        path: Arc<AsPath>,
+        /// When the late announcement arrived.
+        detected_at: SimTime,
+    },
+}
+
+impl ZombieAlert {
+    /// The prefix concerned.
+    pub fn prefix(&self) -> Prefix {
+        match self {
+            ZombieAlert::Zombie { prefix, .. } | ZombieAlert::Resurrection { prefix, .. } => {
+                *prefix
+            }
+        }
+    }
+
+    /// The peer concerned.
+    pub fn peer(&self) -> PeerId {
+        match self {
+            ZombieAlert::Zombie { peer, .. } | ZombieAlert::Resurrection { peer, .. } => *peer,
+        }
+    }
+}
+
+/// Latest observation for one (interval, peer).
+#[derive(Debug, Clone)]
+enum LastObs {
+    Announce {
+        time: SimTime,
+        path: Arc<AsPath>,
+        aggregator: Option<Ipv4Addr>,
+    },
+    Withdraw,
+}
+
+/// Per-interval live state.
+#[derive(Debug, Default)]
+struct IntervalState {
+    last: HashMap<PeerId, LastObs>,
+    /// Set once the deadline fired; used for resurrection detection.
+    checked: bool,
+    /// Peers alerted at the deadline (not eligible for resurrection
+    /// alerts — they never got clean).
+    alerted: Vec<PeerId>,
+}
+
+/// The streaming detector.
+pub struct RealtimeDetector {
+    options: ClassifyOptions,
+    intervals: Vec<BeaconInterval>,
+    states: Vec<IntervalState>,
+    /// Interval lookup: prefix → interval indices sorted by start.
+    by_prefix: HashMap<Prefix, Vec<usize>>,
+    /// Pending deadlines, earliest first.
+    deadlines: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Per-peer latest session-down instant.
+    last_down: HashMap<PeerId, SimTime>,
+    /// High-water mark of observed time.
+    now: SimTime,
+    /// How long after the deadline resurrection alerts stay armed.
+    resurrection_window: u64,
+}
+
+impl RealtimeDetector {
+    /// Creates a detector with the given classification options.
+    pub fn new(options: ClassifyOptions) -> RealtimeDetector {
+        RealtimeDetector {
+            options,
+            intervals: Vec::new(),
+            states: Vec::new(),
+            by_prefix: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+            last_down: HashMap::new(),
+            now: SimTime::ZERO,
+            resurrection_window: 2 * 3_600,
+        }
+    }
+
+    /// Widens/narrows the post-deadline window in which late announcements
+    /// raise resurrection alerts (default 2 h, mirroring the paper's
+    /// Fig. 2 sweep ceiling).
+    pub fn set_resurrection_window(&mut self, secs: u64) {
+        self.resurrection_window = secs;
+    }
+
+    /// Registers an upcoming beacon interval (call when the beacon
+    /// controller schedules the announcement).
+    pub fn expect(&mut self, interval: BeaconInterval) {
+        let idx = self.intervals.len();
+        self.deadlines.push(Reverse((
+            interval.check_time(self.options.threshold),
+            idx,
+        )));
+        self.by_prefix
+            .entry(interval.prefix)
+            .or_default()
+            .push(idx);
+        self.by_prefix
+            .get_mut(&interval.prefix)
+            .expect("just inserted")
+            .sort_by_key(|&i| {
+                if i == idx {
+                    interval.start
+                } else {
+                    self.intervals[i].start
+                }
+            });
+        self.intervals.push(interval);
+        self.states.push(IntervalState::default());
+    }
+
+    /// Registers a whole schedule's intervals.
+    pub fn expect_all<I: IntoIterator<Item = BeaconInterval>>(&mut self, intervals: I) {
+        for interval in intervals {
+            self.expect(interval);
+        }
+    }
+
+    /// Locates the interval an observation at `t` for `prefix` belongs to.
+    fn locate(&self, prefix: Prefix, t: SimTime) -> Option<usize> {
+        let list = self.by_prefix.get(&prefix)?;
+        let pos = list.partition_point(|&i| self.intervals[i].start <= t);
+        if pos == 0 {
+            return None;
+        }
+        let idx = list[pos - 1];
+        let interval = &self.intervals[idx];
+        let horizon = interval.check_time(self.options.threshold) + self.resurrection_window;
+        (t <= horizon).then_some(idx)
+    }
+
+    /// Feeds one record; returns any alerts that became due.
+    ///
+    /// Deadline/record ties follow the batch semantics: an observation
+    /// stamped exactly at the check instant is part of the checked state,
+    /// so deadlines strictly before the record fire first, the record is
+    /// applied, and deadlines at the record's own timestamp fire last.
+    pub fn push(&mut self, record: &MrtRecord) -> Vec<ZombieAlert> {
+        self.now = self.now.max(record.timestamp);
+        let mut alerts = self.fire_due(record.timestamp, false);
+        match &record.body {
+            MrtBody::Message(msg) => {
+                let peer = PeerId {
+                    addr: msg.session.peer_ip,
+                    asn: msg.session.peer_as,
+                };
+                if self.options.excluded_peers.contains(&peer.addr) {
+                    return alerts;
+                }
+                let BgpMessage::Update(update) = &msg.message else {
+                    return alerts;
+                };
+                let aggregator = update.attrs.aggregator.map(|a| a.addr);
+                let path = update.attrs.as_path.clone().map(Arc::new);
+                for prefix in update.announced() {
+                    let Some(idx) = self.locate(prefix, record.timestamp) else {
+                        continue;
+                    };
+                    let Some(path) = path.clone() else { continue };
+                    let interval_start = self.intervals[idx].start;
+                    let state = &mut self.states[idx];
+                    // A late announcement after a clean deadline = live
+                    // resurrection.
+                    if state.checked && !state.alerted.contains(&peer) {
+                        alerts.push(ZombieAlert::Resurrection {
+                            prefix,
+                            interval_start,
+                            peer,
+                            path: Arc::clone(&path),
+                            detected_at: record.timestamp,
+                        });
+                        state.alerted.push(peer);
+                    }
+                    state.last.insert(
+                        peer,
+                        LastObs::Announce {
+                            time: record.timestamp,
+                            path,
+                            aggregator,
+                        },
+                    );
+                }
+                for prefix in update.withdrawn_all() {
+                    let Some(idx) = self.locate(prefix, record.timestamp) else {
+                        continue;
+                    };
+                    self.states[idx].last.insert(peer, LastObs::Withdraw);
+                }
+            }
+            MrtBody::StateChange(change)
+                if change.old_state == BgpState::Established
+                    && change.new_state != BgpState::Established
+                => {
+                    let peer = PeerId {
+                        addr: change.session.peer_ip,
+                        asn: change.session.peer_as,
+                    };
+                    self.last_down.insert(peer, record.timestamp);
+                }
+            _ => {}
+        }
+        alerts.extend(self.fire_due(record.timestamp, true));
+        alerts
+    }
+
+    /// Advances the clock without data, firing any due deadlines (call
+    /// this on a timer when the feed is quiet).
+    pub fn advance(&mut self, now: SimTime) -> Vec<ZombieAlert> {
+        if now < self.now {
+            return Vec::new();
+        }
+        self.now = now;
+        self.fire_due(now, true)
+    }
+
+    /// Fires deadlines up to `now` (`inclusive` controls the boundary).
+    fn fire_due(&mut self, now: SimTime, inclusive: bool) -> Vec<ZombieAlert> {
+        let mut alerts = Vec::new();
+        while let Some(&Reverse((deadline, idx))) = self.deadlines.peek() {
+            let due = if inclusive {
+                deadline <= now
+            } else {
+                deadline < now
+            };
+            if !due {
+                break;
+            }
+            self.deadlines.pop();
+            alerts.extend(self.fire(idx, deadline));
+        }
+        alerts
+    }
+
+    /// Fires one interval's deadline check.
+    fn fire(&mut self, idx: usize, deadline: SimTime) -> Vec<ZombieAlert> {
+        let interval = self.intervals[idx];
+        let state = &mut self.states[idx];
+        state.checked = true;
+        let mut alerts = Vec::new();
+        let mut peers: Vec<PeerId> = state.last.keys().copied().collect();
+        peers.sort();
+        for peer in peers {
+            let Some(LastObs::Announce {
+                time,
+                path,
+                aggregator,
+            }) = state.last.get(&peer)
+            else {
+                continue;
+            };
+            // A session drop after the announce removed the route.
+            if self
+                .last_down
+                .get(&peer)
+                .is_some_and(|&down| down > *time && down <= deadline)
+            {
+                continue;
+            }
+            let aggregator_time =
+                aggregator.and_then(|addr| decode_aggregator_clock(addr, *time));
+            let is_duplicate = aggregator_time.is_some_and(|t| t < interval.start);
+            if self.options.aggregator_filter && is_duplicate {
+                continue;
+            }
+            state.alerted.push(peer);
+            alerts.push(ZombieAlert::Zombie {
+                prefix: interval.prefix,
+                interval_start: interval.start,
+                peer,
+                path: Arc::clone(path),
+                aggregator_time,
+                is_duplicate,
+                detected_at: deadline,
+            });
+        }
+        alerts
+    }
+
+    /// Number of intervals still awaiting their deadline.
+    pub fn pending(&self) -> usize {
+        self.deadlines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_mrt::bgp4mp::SessionHeader;
+    use bgpz_mrt::{Bgp4mpMessage, Bgp4mpStateChange, MrtBody};
+    use bgpz_types::attrs::{MpReach, MpUnreach, NextHop};
+    use bgpz_types::{Afi, Asn, BgpUpdate, PathAttributes};
+
+    const PEER_AS: Asn = Asn(64_001);
+
+    fn session() -> SessionHeader {
+        SessionHeader {
+            peer_as: PEER_AS,
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "2001:db8:90::1".parse().unwrap(),
+            local_ip: "2001:7f8:24::82".parse().unwrap(),
+        }
+    }
+
+    fn peer() -> PeerId {
+        PeerId {
+            addr: "2001:db8:90::1".parse().unwrap(),
+            asn: PEER_AS,
+        }
+    }
+
+    fn prefix() -> Prefix {
+        "2a0d:3dc1:1::/48".parse().unwrap()
+    }
+
+    fn announce(ts: u64) -> MrtRecord {
+        let mut attrs = PathAttributes::announcement(AsPath::from_sequence([64_001, 210_312]));
+        attrs.mp_reach = Some(MpReach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            next_hop: NextHop::V6 {
+                global: "2001:db8::1".parse().unwrap(),
+                link_local: None,
+            },
+            nlri: vec![prefix()],
+        });
+        MrtRecord::new(
+            SimTime(ts),
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs,
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    fn withdraw(ts: u64) -> MrtRecord {
+        MrtRecord::new(
+            SimTime(ts),
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs: PathAttributes {
+                        mp_unreach: Some(MpUnreach {
+                            afi: Afi::Ipv6,
+                            safi: 1,
+                            withdrawn: vec![prefix()],
+                        }),
+                        ..PathAttributes::default()
+                    },
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    fn detector() -> RealtimeDetector {
+        let mut detector = RealtimeDetector::new(ClassifyOptions::default());
+        detector.expect(BeaconInterval {
+            prefix: prefix(),
+            start: SimTime(0),
+            withdraw_at: SimTime(900),
+        });
+        detector
+    }
+
+    #[test]
+    fn clean_cycle_raises_nothing() {
+        let mut d = detector();
+        assert!(d.push(&announce(10)).is_empty());
+        assert!(d.push(&withdraw(930)).is_empty());
+        let alerts = d.advance(SimTime(10_000));
+        assert!(alerts.is_empty());
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn stuck_route_raises_zombie_at_deadline() {
+        let mut d = detector();
+        assert!(d.push(&announce(10)).is_empty());
+        // Deadline = withdraw_at (900) + 90 min.
+        let alerts = d.advance(SimTime(900 + 90 * 60));
+        assert_eq!(alerts.len(), 1);
+        match &alerts[0] {
+            ZombieAlert::Zombie {
+                prefix: p,
+                peer: who,
+                is_duplicate,
+                detected_at,
+                ..
+            } => {
+                assert_eq!(*p, prefix());
+                assert_eq!(*who, peer());
+                assert!(!is_duplicate);
+                assert_eq!(*detected_at, SimTime(900 + 90 * 60));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Fires once.
+        assert!(d.advance(SimTime(100_000)).is_empty());
+    }
+
+    #[test]
+    fn deadline_fires_lazily_on_next_record() {
+        let mut d = detector();
+        d.push(&announce(10));
+        // A much later record for an unrelated prefix triggers the check.
+        let mut late = announce(20_000);
+        if let MrtBody::Message(m) = &mut late.body {
+            if let BgpMessage::Update(u) = &mut m.message {
+                u.attrs.mp_reach.as_mut().unwrap().nlri =
+                    vec!["2001:db8:ffff::/48".parse().unwrap()];
+            }
+        }
+        let alerts = d.push(&late);
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(alerts[0], ZombieAlert::Zombie { .. }));
+    }
+
+    #[test]
+    fn session_down_clears_pending_zombie() {
+        let mut d = detector();
+        d.push(&announce(10));
+        d.push(&MrtRecord::new(
+            SimTime(2_000),
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: session(),
+                old_state: BgpState::Established,
+                new_state: BgpState::Idle,
+            }),
+        ));
+        assert!(d.advance(SimTime(100_000)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_suppressed_when_filter_on() {
+        let d = detector();
+        // Announce carrying a clock that predates the interval: make the
+        // interval start late in the month so the clock (pointing at the
+        // 1st) is "old".
+        let mut det = RealtimeDetector::new(ClassifyOptions::default());
+        let start = SimTime::from_ymd_hms(2018, 7, 19, 8, 0, 0);
+        det.expect(BeaconInterval {
+            prefix: prefix(),
+            start,
+            withdraw_at: start + 7_200,
+        });
+        let mut rec = announce(start.secs() + 10);
+        if let MrtBody::Message(m) = &mut rec.body {
+            if let BgpMessage::Update(u) = &mut m.message {
+                u.attrs.aggregator = Some(bgpz_types::attrs::Aggregator {
+                    asn: Asn(12_654),
+                    addr: bgpz_beacon::aggregator_clock(SimTime::from_ymd_hms(
+                        2018, 7, 19, 0, 0, 0,
+                    )),
+                });
+            }
+        }
+        det.push(&rec);
+        let alerts = det.advance(SimTime(start.secs() + 100_000));
+        assert!(alerts.is_empty(), "{alerts:?}");
+        drop(d);
+    }
+
+    #[test]
+    fn late_announce_raises_resurrection() {
+        let mut d = detector();
+        d.push(&announce(10));
+        d.push(&withdraw(930));
+        // Deadline passes clean.
+        assert!(d.advance(SimTime(900 + 90 * 60)).is_empty());
+        // The route comes back 20 minutes later — §5.1 live.
+        let alerts = d.push(&announce(900 + 110 * 60));
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(alerts[0], ZombieAlert::Resurrection { .. }));
+        // Only once per peer.
+        assert!(d.push(&announce(900 + 115 * 60)).is_empty());
+    }
+
+    #[test]
+    fn excluded_peer_ignored() {
+        let mut d = RealtimeDetector::new(ClassifyOptions {
+            excluded_peers: vec![peer().addr],
+            ..ClassifyOptions::default()
+        });
+        d.expect(BeaconInterval {
+            prefix: prefix(),
+            start: SimTime(0),
+            withdraw_at: SimTime(900),
+        });
+        d.push(&announce(10));
+        assert!(d.advance(SimTime(100_000)).is_empty());
+    }
+
+    #[test]
+    fn alert_accessors() {
+        let mut d = detector();
+        d.push(&announce(10));
+        let alerts = d.advance(SimTime(100_000));
+        assert_eq!(alerts[0].prefix(), prefix());
+        assert_eq!(alerts[0].peer(), peer());
+    }
+}

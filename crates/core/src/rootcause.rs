@@ -1,0 +1,146 @@
+//! Palm-tree root-cause inference (paper §5.2).
+//!
+//! The AS graph of an outbreak's zombie paths looks like a palm tree:
+//! starting at the origin there is a single chain of ASes that eventually
+//! branches into subtrees. The last AS of the chain — the branching point —
+//! is the one plausibly re-exporting the stale route. The paper is careful
+//! to note the caveats (the previous AS may have failed to propagate the
+//! withdrawal *to* it; invisible IXP route servers), which we surface via
+//! [`RootCause::chain`] so callers can inspect the full trunk.
+
+use crate::classify::Outbreak;
+use bgpz_types::{AsPath, Asn};
+
+/// The outcome of root-cause inference for one outbreak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootCause {
+    /// The shared origin-side chain (trunk of the palm tree), origin last.
+    /// The first element is the branching point.
+    pub chain: Vec<Asn>,
+    /// The suspected culprit: the last AS of the single chain (the first
+    /// element of `chain`), unless the chain is just the origin itself.
+    pub suspect: Option<Asn>,
+    /// Number of zombie routes the inference used.
+    pub routes_used: usize,
+}
+
+/// Infers the root cause of an outbreak from its zombie AS paths.
+///
+/// Returns `None` when the outbreak has no routes. With a single route the
+/// whole path is the chain and the suspect is the AS adjacent to the
+/// origin-side trunk's top — consistent with the multi-route case.
+pub fn infer_root_cause(outbreak: &Outbreak) -> Option<RootCause> {
+    let paths: Vec<&AsPath> = outbreak
+        .routes
+        .iter()
+        .map(|r| r.zombie_path.as_ref())
+        .collect();
+    infer_from_paths(&paths)
+}
+
+/// Inference over raw paths (exposed for testing and for ad-hoc use on
+/// traceroute-derived paths).
+pub fn infer_from_paths(paths: &[&AsPath]) -> Option<RootCause> {
+    if paths.is_empty() {
+        return None;
+    }
+    let chain = AsPath::common_suffix(paths);
+    if chain.is_empty() {
+        // No common origin: aggregated or inconsistent paths.
+        return Some(RootCause {
+            chain,
+            suspect: None,
+            routes_used: paths.len(),
+        });
+    }
+    // The suspect is the top of the shared trunk, but only if it is not
+    // the origin itself (an outbreak visible through a single first-hop AS
+    // still identifies that AS).
+    let suspect = if chain.len() >= 2 {
+        Some(chain[0])
+    } else {
+        None
+    };
+    Some(RootCause {
+        chain,
+        suspect,
+        routes_used: paths.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths(specs: &[&[u32]]) -> Vec<AsPath> {
+        specs
+            .iter()
+            .map(|s| AsPath::from_sequence(s.iter().copied()))
+            .collect()
+    }
+
+    #[test]
+    fn core_backbone_case() {
+        // Paper §5.2: 24 routes all sharing "33891 25091 8298 210312";
+        // suspect = AS33891 (Core-Backbone).
+        let owned = paths(&[
+            &[64_001, 33_891, 25_091, 8_298, 210_312],
+            &[64_002, 64_003, 33_891, 25_091, 8_298, 210_312],
+            &[64_004, 33_891, 25_091, 8_298, 210_312],
+        ]);
+        let refs: Vec<&AsPath> = owned.iter().collect();
+        let cause = infer_from_paths(&refs).unwrap();
+        assert_eq!(cause.suspect, Some(Asn(33_891)));
+        assert_eq!(
+            cause.chain,
+            vec![Asn(33_891), Asn(25_091), Asn(8_298), Asn(210_312)]
+        );
+        assert_eq!(cause.routes_used, 3);
+    }
+
+    #[test]
+    fn hgc_case() {
+        // "9304 6939 43100 25091 8298 210312" — HGC, seen from multiple
+        // peers with the same full path: the chain is the whole path and
+        // the suspect its top.
+        let owned = paths(&[
+            &[9_304, 6_939, 43_100, 25_091, 8_298, 210_312],
+            &[9_304, 6_939, 43_100, 25_091, 8_298, 210_312],
+        ]);
+        let refs: Vec<&AsPath> = owned.iter().collect();
+        let cause = infer_from_paths(&refs).unwrap();
+        assert_eq!(cause.suspect, Some(Asn(9_304)));
+    }
+
+    #[test]
+    fn single_route_uses_whole_path() {
+        let owned = paths(&[&[64_001, 4_637, 1_299, 25_091, 8_298, 210_312]]);
+        let refs: Vec<&AsPath> = owned.iter().collect();
+        let cause = infer_from_paths(&refs).unwrap();
+        assert_eq!(cause.suspect, Some(Asn(64_001)));
+        assert_eq!(cause.chain.len(), 6);
+    }
+
+    #[test]
+    fn origin_only_chain_has_no_suspect() {
+        let owned = paths(&[&[64_001, 210_312], &[64_002, 210_312]]);
+        let refs: Vec<&AsPath> = owned.iter().collect();
+        let cause = infer_from_paths(&refs).unwrap();
+        assert_eq!(cause.chain, vec![Asn(210_312)]);
+        assert_eq!(cause.suspect, None);
+    }
+
+    #[test]
+    fn disjoint_paths_yield_empty_chain() {
+        let owned = paths(&[&[1, 2, 3], &[4, 5, 6]]);
+        let refs: Vec<&AsPath> = owned.iter().collect();
+        let cause = infer_from_paths(&refs).unwrap();
+        assert!(cause.chain.is_empty());
+        assert_eq!(cause.suspect, None);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(infer_from_paths(&[]).is_none());
+    }
+}

@@ -1,0 +1,444 @@
+//! Pass 1: reconstruct per-(peer, prefix) message history per interval.
+//!
+//! This is the paper's §3.1 step 1 — "reconstructing the state of a
+//! prefix" — done solely from archived raw data: BGP UPDATE messages give
+//! announce/withdraw transitions, STATE messages give session failures.
+//! Each interval is processed with no knowledge of earlier intervals.
+
+use crate::interval::BeaconInterval;
+use bgpz_mrt::{BgpState, MrtBody, MrtReadStats, MrtReader};
+use bgpz_types::{AsPath, Asn, BgpMessage, Prefix, SimTime};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+/// Identity of one peer router as seen in the archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId {
+    /// Router session address — the primary key (the paper names noisy
+    /// peers by address because one AS can have several routers).
+    pub addr: IpAddr,
+    /// The peer AS.
+    pub asn: Asn,
+}
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.addr, self.asn)
+    }
+}
+
+/// One message observed for a (interval, peer) pair.
+#[derive(Debug, Clone)]
+pub enum Observation {
+    /// The peer announced the prefix with this path; the Aggregator IP is
+    /// kept for BGP-clock decoding.
+    Announce {
+        /// Exported AS path.
+        path: Arc<AsPath>,
+        /// Aggregator attribute IP, if present.
+        aggregator: Option<Ipv4Addr>,
+    },
+    /// The peer withdrew the prefix.
+    Withdraw,
+}
+
+/// The message history of one (interval, peer).
+pub type History = Vec<(SimTime, Observation)>;
+
+/// Scan output: everything classification needs, for every threshold.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// The intervals scanned, in input order.
+    pub intervals: Vec<BeaconInterval>,
+    /// All peers seen in the archive, sorted.
+    pub peers: Vec<PeerId>,
+    /// Per interval (outer index parallel to `intervals`): the observation
+    /// history of each peer that said anything about the prefix.
+    pub histories: Vec<HashMap<PeerId, History>>,
+    /// Session-down instants per peer (from STATE messages), sorted.
+    pub session_downs: HashMap<PeerId, Vec<SimTime>>,
+    /// Raw-archive read statistics (tolerant reader).
+    pub read_stats: MrtReadStats,
+}
+
+impl ScanResult {
+    /// Number of beacon announcements scanned — the denominator of the
+    /// paper's percentages and the "visible prefixes" of Table 1.
+    pub fn announcement_count(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+/// Scans `updates` (an MRT BGP4MP stream) against `intervals`.
+///
+/// `window_after_withdraw` bounds how far past each withdrawal
+/// observations are collected — make it at least the largest threshold you
+/// will classify with (the paper sweeps to 180 minutes).
+pub fn scan(updates: Bytes, intervals: &[BeaconInterval], window_after_withdraw: u64) -> ScanResult {
+    // Index intervals by prefix, sorted by start, for window lookup.
+    let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
+    for (i, interval) in intervals.iter().enumerate() {
+        by_prefix.entry(interval.prefix).or_default().push(i);
+    }
+    for list in by_prefix.values_mut() {
+        list.sort_by_key(|&i| intervals[i].start);
+    }
+    let window_end =
+        |iv: &BeaconInterval| -> SimTime { iv.withdraw_at + window_after_withdraw };
+
+    // Locates the interval whose window contains (prefix, t), preferring
+    // the latest-starting one (collision safety).
+    let locate = |prefix: Prefix, t: SimTime| -> Option<usize> {
+        let list = by_prefix.get(&prefix)?;
+        // Binary search for the last interval with start <= t.
+        let pos = list.partition_point(|&i| intervals[i].start <= t);
+        if pos == 0 {
+            return None;
+        }
+        let idx = list[pos - 1];
+        (t <= window_end(&intervals[idx])).then_some(idx)
+    };
+
+    let mut result = ScanResult {
+        intervals: intervals.to_vec(),
+        histories: vec![HashMap::new(); intervals.len()],
+        ..ScanResult::default()
+    };
+    let mut peers_seen: HashMap<PeerId, ()> = HashMap::new();
+
+    let mut reader = MrtReader::new(updates);
+    while let Some(record) = reader.next_record() {
+        match record.body {
+            MrtBody::Message(msg) => {
+                let peer = PeerId {
+                    addr: msg.session.peer_ip,
+                    asn: msg.session.peer_as,
+                };
+                let BgpMessage::Update(update) = msg.message else {
+                    continue;
+                };
+                peers_seen.entry(peer).or_default();
+                let aggregator = update.attrs.aggregator.map(|a| a.addr);
+                let path = update.attrs.as_path.clone().map(Arc::new);
+                for prefix in update.announced() {
+                    let Some(idx) = locate(prefix, record.timestamp) else {
+                        continue;
+                    };
+                    let Some(path) = path.clone() else {
+                        continue; // an announcement without AS_PATH is bogus
+                    };
+                    result.histories[idx].entry(peer).or_default().push((
+                        record.timestamp,
+                        Observation::Announce { path, aggregator },
+                    ));
+                }
+                for prefix in update.withdrawn_all() {
+                    let Some(idx) = locate(prefix, record.timestamp) else {
+                        continue;
+                    };
+                    result.histories[idx]
+                        .entry(peer)
+                        .or_default()
+                        .push((record.timestamp, Observation::Withdraw));
+                }
+            }
+            MrtBody::StateChange(change) => {
+                let peer = PeerId {
+                    addr: change.session.peer_ip,
+                    asn: change.session.peer_as,
+                };
+                peers_seen.entry(peer).or_default();
+                if change.old_state == BgpState::Established
+                    && change.new_state != BgpState::Established
+                {
+                    result
+                        .session_downs
+                        .entry(peer)
+                        .or_default()
+                        .push(record.timestamp);
+                }
+            }
+            MrtBody::PeerIndex(_) | MrtBody::Rib(_) => {
+                // RIB dumps are consumed by the lifespan tracker, not here.
+            }
+        }
+    }
+    for downs in result.session_downs.values_mut() {
+        downs.sort_unstable();
+    }
+    result.peers = peers_seen.into_keys().collect();
+    result.peers.sort();
+    result.read_stats = reader.stats();
+    result
+}
+
+/// The peer's route state for an interval at `check_time`, derived from
+/// its history and session-down record. `None` = removed / never present.
+pub fn state_at(
+    history: &History,
+    session_downs: &[SimTime],
+    interval: &BeaconInterval,
+    check_time: SimTime,
+) -> Option<(SimTime, Arc<AsPath>, Option<Ipv4Addr>)> {
+    let mut last: Option<(SimTime, &Observation)> = None;
+    for (t, obs) in history {
+        if *t > check_time {
+            break;
+        }
+        if *t >= interval.start {
+            last = Some((*t, obs));
+        }
+    }
+    let (t, obs) = last?;
+    match obs {
+        Observation::Withdraw => None,
+        Observation::Announce { path, aggregator } => {
+            // A session drop after the last announcement removes the route.
+            let dropped = session_downs
+                .iter()
+                .any(|&down| down > t && down <= check_time);
+            if dropped {
+                None
+            } else {
+                Some((t, Arc::clone(path), *aggregator))
+            }
+        }
+    }
+}
+
+/// The peer's "normal path": its last announced path at or before the
+/// origin's withdrawal instant.
+pub fn normal_path(history: &History, interval: &BeaconInterval) -> Option<Arc<AsPath>> {
+    let mut normal = None;
+    for (t, obs) in history {
+        if *t > interval.withdraw_at {
+            break;
+        }
+        if *t < interval.start {
+            continue;
+        }
+        match obs {
+            Observation::Announce { path, .. } => normal = Some(Arc::clone(path)),
+            Observation::Withdraw => normal = None,
+        }
+    }
+    normal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_mrt::bgp4mp::SessionHeader;
+    use bgpz_mrt::{Bgp4mpMessage, Bgp4mpStateChange, MrtRecord, MrtWriter};
+    use bgpz_types::attrs::{Aggregator, MpReach, MpUnreach, NextHop, Origin};
+    use bgpz_types::{Afi, BgpUpdate, PathAttributes};
+
+    const PEER: Asn = Asn(211_380);
+
+    fn session() -> SessionHeader {
+        SessionHeader {
+            peer_as: PEER,
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "2a0c:9a40:1031::504".parse().unwrap(),
+            local_ip: "2001:7f8:24::82".parse().unwrap(),
+        }
+    }
+
+    fn peer_id() -> PeerId {
+        PeerId {
+            addr: "2a0c:9a40:1031::504".parse().unwrap(),
+            asn: PEER,
+        }
+    }
+
+    fn announce_record(t: u64, prefix: &str, aggregator: Option<Ipv4Addr>) -> MrtRecord {
+        let prefix: Prefix = prefix.parse().unwrap();
+        let attrs = PathAttributes {
+            origin: Some(Origin::Igp),
+            as_path: Some(AsPath::from_sequence([PEER.0, 25_091, 8_298, 210_312])),
+            aggregator: aggregator.map(|addr| Aggregator {
+                asn: Asn(210_312),
+                addr,
+            }),
+            mp_reach: Some(MpReach {
+                afi: Afi::Ipv6,
+                safi: 1,
+                next_hop: NextHop::V6 {
+                    global: "2a0c:9a40:1031::504".parse().unwrap(),
+                    link_local: None,
+                },
+                nlri: vec![prefix],
+            }),
+            ..PathAttributes::default()
+        };
+        MrtRecord::new(
+            SimTime(t),
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs,
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    fn withdraw_record(t: u64, prefix: &str) -> MrtRecord {
+        let prefix: Prefix = prefix.parse().unwrap();
+        MrtRecord::new(
+            SimTime(t),
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs: PathAttributes {
+                        mp_unreach: Some(MpUnreach {
+                            afi: Afi::Ipv6,
+                            safi: 1,
+                            withdrawn: vec![prefix],
+                        }),
+                        ..PathAttributes::default()
+                    },
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    fn down_record(t: u64) -> MrtRecord {
+        MrtRecord::new(
+            SimTime(t),
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: session(),
+                old_state: BgpState::Established,
+                new_state: BgpState::Idle,
+            }),
+        )
+    }
+
+    fn interval() -> BeaconInterval {
+        BeaconInterval {
+            prefix: "2a0d:3dc1:1::/48".parse().unwrap(),
+            start: SimTime(0),
+            withdraw_at: SimTime(7_200),
+        }
+    }
+
+    fn run_scan(records: Vec<MrtRecord>) -> ScanResult {
+        let mut writer = MrtWriter::new();
+        for r in &records {
+            writer.push(r);
+        }
+        scan(writer.finish(), &[interval()], 4 * 3_600)
+    }
+
+    #[test]
+    fn announce_then_withdraw_is_clean() {
+        let result = run_scan(vec![
+            announce_record(5, "2a0d:3dc1:1::/48", None),
+            withdraw_record(7_210, "2a0d:3dc1:1::/48"),
+        ]);
+        assert_eq!(result.announcement_count(), 1);
+        let history = &result.histories[0][&peer_id()];
+        assert_eq!(history.len(), 2);
+        let state = state_at(history, &[], &interval(), SimTime(7_200 + 5_400));
+        assert!(state.is_none());
+        let normal = normal_path(history, &interval()).unwrap();
+        assert_eq!(normal.origin(), Some(Asn(210_312)));
+    }
+
+    #[test]
+    fn missing_withdraw_is_stuck() {
+        let result = run_scan(vec![announce_record(5, "2a0d:3dc1:1::/48", None)]);
+        let history = &result.histories[0][&peer_id()];
+        let state = state_at(history, &[], &interval(), SimTime(12_600));
+        let (t, path, _) = state.expect("stuck route expected");
+        assert_eq!(t, SimTime(5));
+        assert_eq!(path.origin(), Some(Asn(210_312)));
+    }
+
+    #[test]
+    fn session_down_clears_state() {
+        let result = run_scan(vec![
+            announce_record(5, "2a0d:3dc1:1::/48", None),
+            down_record(8_000),
+        ]);
+        let history = &result.histories[0][&peer_id()];
+        let downs = &result.session_downs[&peer_id()];
+        assert_eq!(downs, &vec![SimTime(8_000)]);
+        assert!(state_at(history, downs, &interval(), SimTime(12_600)).is_none());
+        // But before the drop it was present.
+        assert!(state_at(history, downs, &interval(), SimTime(7_000)).is_some());
+    }
+
+    #[test]
+    fn reannounce_after_down_is_present_again() {
+        let result = run_scan(vec![
+            announce_record(5, "2a0d:3dc1:1::/48", None),
+            down_record(8_000),
+            announce_record(9_000, "2a0d:3dc1:1::/48", None),
+        ]);
+        let history = &result.histories[0][&peer_id()];
+        let downs = &result.session_downs[&peer_id()];
+        assert!(state_at(history, downs, &interval(), SimTime(12_600)).is_some());
+    }
+
+    #[test]
+    fn observations_before_interval_ignored() {
+        // An announce 10 s before the interval start must not count
+        // (no prior knowledge — paper §3.1).
+        let result = run_scan(vec![announce_record(0, "2a0d:3dc1:1::/48", None)]);
+        let iv = BeaconInterval {
+            start: SimTime(10),
+            ..interval()
+        };
+        let history = &result.histories[0][&peer_id()];
+        assert!(state_at(history, &[], &iv, SimTime(12_600)).is_none());
+    }
+
+    #[test]
+    fn observations_outside_window_not_collected() {
+        let result = run_scan(vec![
+            announce_record(5, "2a0d:3dc1:1::/48", None),
+            // Past withdraw + window (7 200 + 14 400).
+            withdraw_record(30_000, "2a0d:3dc1:1::/48"),
+        ]);
+        let history = &result.histories[0][&peer_id()];
+        assert_eq!(history.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_prefixes_ignored() {
+        let result = run_scan(vec![announce_record(5, "2a0d:3dc1:2::/48", None)]);
+        assert!(result.histories[0].is_empty());
+    }
+
+    #[test]
+    fn aggregator_is_preserved() {
+        let clock = Ipv4Addr::new(10, 19, 29, 192);
+        let result = run_scan(vec![announce_record(5, "2a0d:3dc1:1::/48", Some(clock))]);
+        let history = &result.histories[0][&peer_id()];
+        let (_, _, agg) = state_at(history, &[], &interval(), SimTime(12_600)).unwrap();
+        assert_eq!(agg, Some(clock));
+    }
+
+    #[test]
+    fn normal_path_is_none_after_pre_withdrawal_withdraw() {
+        // Peer withdrew before the origin's withdrawal instant (e.g. local
+        // policy change): no normal path.
+        let result = run_scan(vec![
+            announce_record(5, "2a0d:3dc1:1::/48", None),
+            withdraw_record(3_000, "2a0d:3dc1:1::/48"),
+        ]);
+        let history = &result.histories[0][&peer_id()];
+        assert!(normal_path(history, &interval()).is_none());
+    }
+
+    #[test]
+    fn peers_listed_sorted() {
+        let result = run_scan(vec![announce_record(5, "2a0d:3dc1:1::/48", None)]);
+        assert_eq!(result.peers, vec![peer_id()]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Threshold sweep (paper Fig. 2).
+//!
+//! The paper varies the stuck-route threshold from 90 to 180 minutes and
+//! plots, with and without the noisy peers, (i) the absolute number of
+//! zombie outbreaks and (ii) the percentage of beacon announcements that
+//! led to one. The curve *decreases* as slow withdrawals drop out — and
+//! then *increases* after ~160 minutes when resurrected routes (late
+//! re-announcements, §5.1) come back into scope.
+
+use crate::classify::{classify, ClassifyOptions, ZombieReport};
+use crate::scan::ScanResult;
+use std::net::IpAddr;
+
+/// One sweep sample.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Threshold in seconds.
+    pub threshold: u64,
+    /// Absolute number of outbreaks.
+    pub outbreaks: usize,
+    /// Total zombie routes.
+    pub routes: usize,
+    /// Fraction of announcements leading to an outbreak.
+    pub fraction: f64,
+    /// The full report (for downstream analyses).
+    pub report: ZombieReport,
+}
+
+/// Classifies at every threshold in `thresholds_secs`, with the given peer
+/// exclusions.
+pub fn threshold_sweep(
+    scan: &ScanResult,
+    thresholds_secs: &[u64],
+    excluded_peers: &[IpAddr],
+    aggregator_filter: bool,
+) -> Vec<SweepPoint> {
+    thresholds_secs
+        .iter()
+        .map(|&threshold| {
+            let report = classify(
+                scan,
+                &ClassifyOptions {
+                    threshold,
+                    aggregator_filter,
+                    excluded_peers: excluded_peers.to_vec(),
+                    ..ClassifyOptions::default()
+                },
+            );
+            SweepPoint {
+                threshold,
+                outbreaks: report.outbreak_count(),
+                routes: report.route_count(),
+                fraction: report.outbreak_fraction(),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// The paper's sweep grid: 90 to 180 minutes in 10-minute steps.
+pub fn paper_thresholds() -> Vec<u64> {
+    (9..=18).map(|deci| deci * 10 * 60).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::BeaconInterval;
+    use crate::scan::{Observation, PeerId};
+    use bgpz_types::{AsPath, Asn, SimTime};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn peer(n: u8) -> PeerId {
+        PeerId {
+            addr: format!("2001:db8::{n}").parse().unwrap(),
+            asn: Asn(64_000 + n as u32),
+        }
+    }
+
+    /// One interval; peer 1 withdraws at +100 min (slow), peer 2 never
+    /// withdraws, peer 3 withdraws at +150 min then re-announces at
+    /// +170 min (resurrection).
+    fn scan() -> ScanResult {
+        let start = SimTime(0);
+        let interval = BeaconInterval {
+            prefix: "2a0d:3dc1:1::/48".parse().unwrap(),
+            start,
+            withdraw_at: start + 900,
+        };
+        let announce = |p: &PeerId| Observation::Announce {
+            path: Arc::new(AsPath::from_sequence([p.asn.0, 210_312])),
+            aggregator: None,
+        };
+        let mut map = HashMap::new();
+        let p1 = peer(1);
+        map.insert(
+            p1,
+            vec![
+                (start + 10, announce(&p1)),
+                (start + 900 + 100 * 60, Observation::Withdraw),
+            ],
+        );
+        let p2 = peer(2);
+        map.insert(p2, vec![(start + 12, announce(&p2))]);
+        let p3 = peer(3);
+        map.insert(
+            p3,
+            vec![
+                (start + 14, announce(&p3)),
+                (start + 900 + 150 * 60, Observation::Withdraw),
+                (start + 900 + 170 * 60, announce(&p3)),
+            ],
+        );
+        ScanResult {
+            intervals: vec![interval],
+            peers: vec![p1, p2, p3],
+            histories: vec![map],
+            session_downs: HashMap::new(),
+            read_stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn routes_decrease_then_resurrect() {
+        let scan = scan();
+        let points = threshold_sweep(&scan, &paper_thresholds(), &[], true);
+        assert_eq!(points.len(), 10);
+        let by_minutes: HashMap<u64, usize> =
+            points.iter().map(|p| (p.threshold / 60, p.routes)).collect();
+        // 90 min: peers 1 (slow withdrawal pending), 2, 3 all stuck → 3.
+        assert_eq!(by_minutes[&90], 3);
+        // 110 min: peer 1's withdrawal landed → 2.
+        assert_eq!(by_minutes[&110], 2);
+        // 160 min: peer 3 withdrew too → 1.
+        assert_eq!(by_minutes[&160], 1);
+        // 180 min: peer 3 re-announced (resurrection) → back to 2.
+        assert_eq!(by_minutes[&180], 2);
+    }
+
+    #[test]
+    fn exclusion_applies_across_sweep() {
+        let scan = scan();
+        let points = threshold_sweep(&scan, &[90 * 60], &[peer(2).addr], true);
+        assert_eq!(points[0].routes, 2);
+    }
+
+    #[test]
+    fn fraction_consistent() {
+        let scan = scan();
+        let points = threshold_sweep(&scan, &[90 * 60], &[], true);
+        assert_eq!(points[0].outbreaks, 1);
+        assert!((points[0].fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_grid_is_90_to_180() {
+        let grid = paper_thresholds();
+        assert_eq!(grid.first(), Some(&(90 * 60)));
+        assert_eq!(grid.last(), Some(&(180 * 60)));
+        assert_eq!(grid.len(), 10);
+    }
+}

@@ -1,0 +1,279 @@
+//! End-to-end pipeline tests: simulator → RIS archive (real MRT bytes) →
+//! scan → classify → noisy/lifespan analyses.
+//!
+//! These tests exercise the exact artifact flow of the paper: beacons are
+//! announced/withdrawn in a simulated Internet with injected faults, the
+//! RIS layer archives what its peers saw, and the detector — which sees
+//! only the MRT bytes, never the simulator — must find exactly the
+//! injected zombies.
+
+use bgpz_beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
+use bgpz_core::{
+    classify, detect_noisy_peers, intervals_from_schedule, scan, track_lifespans,
+    ClassifyOptions,
+};
+use bgpz_netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
+use bgpz_ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
+use bgpz_types::time::HOUR;
+use bgpz_types::{Asn, Prefix, SimTime};
+
+const ORIGIN: Asn = Asn(12_654);
+
+/// Diamond with two RIS peers at the top.
+fn world() -> (Topology, RisConfig) {
+    let topo = Topology::builder()
+        .node(Asn(100), Tier::Tier1)
+        .node(Asn(101), Tier::Tier1)
+        .node(Asn(200), Tier::Tier2)
+        .node(Asn(201), Tier::Tier2)
+        .node(ORIGIN, Tier::Stub)
+        .peering(Asn(100), Asn(101))
+        .provider_customer(Asn(100), Asn(200))
+        .provider_customer(Asn(101), Asn(201))
+        .provider_customer(Asn(200), ORIGIN)
+        .provider_customer(Asn(201), ORIGIN)
+        .build();
+    let config = RisConfig {
+        collectors: vec![Collector::numbered(0)],
+        peers: vec![
+            RisPeerSpec::healthy(Asn(100), "2001:db8:90::100".parse().unwrap(), 0),
+            RisPeerSpec::healthy(Asn(101), "2001:db8:90::101".parse().unwrap(), 0),
+        ],
+        rib_period: 8 * HOUR,
+    };
+    (topo, config)
+}
+
+/// Runs one day of RIS beacons through the world with the given faults.
+fn run_day(plan: FaultPlan) -> (bgpz_ris::RisArchive, bgpz_beacon::BeaconSchedule) {
+    let (topo, config) = world();
+    let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+    let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+    let end = SimTime::from_ymd_hms(2018, 7, 20, 0, 0, 0);
+    let schedule = beacons.schedule(start, end);
+
+    let mut sim = Simulator::new(topo, &plan, 1);
+    let mut ris = RisNetwork::new(config, start, 2);
+    ris.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    ris.advance(&mut sim, end + 4 * HOUR);
+    (ris.finish(), schedule)
+}
+
+#[test]
+fn clean_world_has_no_zombies() {
+    let (archive, schedule) = run_day(FaultPlan::none());
+    let intervals = intervals_from_schedule(&schedule);
+    assert_eq!(intervals.len(), 6 * 27);
+    let result = scan(archive.updates.clone(), &intervals, 4 * HOUR);
+    assert_eq!(result.read_stats.skipped, 0);
+    assert!(result.read_stats.ok > 0);
+    let report = classify(&result, &ClassifyOptions::default());
+    assert_eq!(report.outbreak_count(), 0, "healthy run must be clean");
+    // And the RIB dumps show no lifespans either.
+    let withdrawn: Vec<(Prefix, SimTime)> = intervals
+        .iter()
+        .map(|iv| (iv.prefix, iv.withdraw_at))
+        .collect();
+    let lifespans = track_lifespans(&archive.rib_dumps, &withdrawn, &[]);
+    // Routes present between announce and withdraw are fine; only
+    // post-final-withdrawal presence counts, and the last withdrawal of
+    // each prefix is its last interval's.
+    let final_withdrawals: Vec<(Prefix, SimTime)> = {
+        let mut map = std::collections::HashMap::new();
+        for iv in &intervals {
+            let e = map.entry(iv.prefix).or_insert(iv.withdraw_at);
+            if iv.withdraw_at > *e {
+                *e = iv.withdraw_at;
+            }
+        }
+        map.into_iter().collect()
+    };
+    let lifespans2 = track_lifespans(&archive.rib_dumps, &final_withdrawals, &[]);
+    assert!(lifespans2.is_empty(), "{lifespans:?}");
+}
+
+#[test]
+fn frozen_edge_zombie_detected_with_correct_root() {
+    // Freeze AS200 → AS100 from 01:00 for the rest of the day: every
+    // withdrawal after 02:00 leaves AS100 stuck.
+    let start = SimTime::from_ymd_hms(2018, 7, 19, 1, 0, 0);
+    let end = SimTime::from_ymd_hms(2018, 7, 21, 0, 0, 0);
+    let plan = FaultPlan::none().freeze(Asn(200), Asn(100), start, end, EpisodeEnd::Resume);
+    let (archive, schedule) = run_day(plan);
+    let intervals = intervals_from_schedule(&schedule);
+    let result = scan(archive.updates.clone(), &intervals, 4 * HOUR);
+    let report = classify(&result, &ClassifyOptions::default());
+    assert!(report.outbreak_count() > 0, "zombies must be detected");
+    // AS100 is the infected AS; via path hunting its stale customer route
+    // also spreads over the peering to AS101 (so both peers can be stuck —
+    // the paper's "zombie peers"). Every stuck path must run through the
+    // frozen chain [.. 200 ORIGIN], and AS100 must be stuck somewhere.
+    let mut saw_100 = false;
+    for outbreak in &report.outbreaks {
+        for route in &outbreak.routes {
+            assert!(
+                route.peer.asn == Asn(100) || route.peer.asn == Asn(101),
+                "unexpected zombie peer {}",
+                route.peer
+            );
+            saw_100 |= route.peer.asn == Asn(100);
+            assert!(route.zombie_path.ends_with(&[Asn(200), ORIGIN]));
+        }
+        // Palm-tree inference: the shared trunk ends at the origin, and
+        // when both peers are stuck the branching point is AS100 — the
+        // infected AS.
+        let cause = bgpz_core::infer_root_cause(outbreak).unwrap();
+        assert_eq!(cause.chain.last(), Some(&ORIGIN));
+        assert!(cause.suspect.is_some());
+        if outbreak.routes.len() == 2 {
+            assert_eq!(cause.suspect, Some(Asn(100)));
+        }
+    }
+    assert!(saw_100, "the infected AS itself must hold zombies");
+}
+
+#[test]
+fn double_counting_eliminated_by_aggregator_filter() {
+    // Freeze across the whole run: the first interval's route freezes in
+    // AS100 with its original Aggregator clock; every later interval sees
+    // the same stale route. Without the filter each interval counts a
+    // "new" outbreak; with it only fresh ones survive.
+    let freeze_start = SimTime::from_ymd_hms(2018, 7, 19, 1, 0, 0);
+    let freeze_end = SimTime::from_ymd_hms(2018, 7, 22, 0, 0, 0);
+    let plan = FaultPlan::none().freeze(
+        Asn(200),
+        Asn(100),
+        freeze_start,
+        freeze_end,
+        EpisodeEnd::Resume,
+    );
+    let (archive, schedule) = run_day(plan);
+    let intervals = intervals_from_schedule(&schedule);
+    let result = scan(archive.updates.clone(), &intervals, 4 * HOUR);
+
+    let without_filter = classify(
+        &result,
+        &ClassifyOptions {
+            aggregator_filter: false,
+            ..ClassifyOptions::default()
+        },
+    );
+    let with_filter = classify(&result, &ClassifyOptions::default());
+    assert!(
+        with_filter.outbreak_count() < without_filter.outbreak_count(),
+        "filter must remove duplicates: {} !< {}",
+        with_filter.outbreak_count(),
+        without_filter.outbreak_count()
+    );
+    // The duplicates carry an Aggregator time before their interval.
+    let dup = without_filter
+        .outbreaks
+        .iter()
+        .flat_map(|o| o.routes.iter())
+        .filter(|r| r.is_duplicate)
+        .count();
+    assert!(dup > 0);
+}
+
+#[test]
+fn noisy_sticky_router_flagged_and_excluded() {
+    // Add a third, chronically sticky peer router (IPv6 only, like
+    // AS16347) to the world.
+    let (topo, mut config) = world();
+    config = config.with_peer(
+        RisPeerSpec::healthy(Asn(201), "2001:678:3f4:5::1".parse().unwrap(), 0)
+            .with_sticky_family(0.0, 0.9),
+    );
+    let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+    let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+    let end = SimTime::from_ymd_hms(2018, 7, 21, 0, 0, 0);
+    let schedule = beacons.schedule(start, end);
+    let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+    let mut ris = RisNetwork::new(config, start, 2);
+    ris.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    ris.advance(&mut sim, end + 4 * HOUR);
+    let archive = ris.finish();
+
+    let intervals = intervals_from_schedule(&schedule);
+    let result = scan(archive.updates.clone(), &intervals, 4 * HOUR);
+    let report = classify(&result, &ClassifyOptions::default());
+    assert!(report.outbreak_count() > 0);
+
+    let noisy = detect_noisy_peers(&result, &report, 10.0, 0.05);
+    assert_eq!(noisy.noisy.len(), 1, "{:?}", noisy.noisy);
+    let flagged = noisy.noisy[0];
+    assert_eq!(flagged.peer.asn, Asn(201));
+    // Likelihood is diluted across both families (the router is sticky on
+    // IPv6 only — 14 of the 27 beacons).
+    assert!(flagged.likelihood > 0.3, "likelihood {}", flagged.likelihood);
+
+    // Excluding it silences everything (IPv6 zombies were only there).
+    let clean = classify(
+        &result,
+        &ClassifyOptions {
+            excluded_peers: vec![flagged.peer.addr],
+            ..ClassifyOptions::default()
+        },
+    );
+    assert_eq!(clean.outbreak_count(), 0);
+}
+
+#[test]
+fn long_lived_zombie_lifespan_tracked_from_dumps() {
+    // Freeze one edge for three days, run one day of beacons, then keep
+    // the world running (and dumping) for three more days: the stuck
+    // routes of the last interval survive in AS100 until the freeze ends.
+    let (topo, config) = world();
+    let day0 = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+    let day1 = SimTime::from_ymd_hms(2018, 7, 20, 0, 0, 0);
+    let freeze_end = SimTime::from_ymd_hms(2018, 7, 23, 0, 0, 0);
+    let plan = FaultPlan::none().freeze(
+        Asn(200),
+        Asn(100),
+        day0 + HOUR,
+        freeze_end,
+        EpisodeEnd::Reset,
+    );
+    let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+    let schedule = beacons.schedule(day0, day1);
+    let mut sim = Simulator::new(topo, &plan, 1);
+    let mut ris = RisNetwork::new(config, day0, 2);
+    ris.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    ris.advance(&mut sim, freeze_end + HOUR);
+    let archive = ris.finish();
+
+    // Final withdrawal per prefix.
+    let intervals = intervals_from_schedule(&schedule);
+    let mut finals = std::collections::HashMap::new();
+    for iv in &intervals {
+        let e = finals.entry(iv.prefix).or_insert(iv.withdraw_at);
+        if iv.withdraw_at > *e {
+            *e = iv.withdraw_at;
+        }
+    }
+    let finals: Vec<(Prefix, SimTime)> = finals.into_iter().collect();
+    let lifespans = track_lifespans(&archive.rib_dumps, &finals, &[]);
+    assert!(!lifespans.is_empty(), "long-lived zombies expected");
+    for l in &lifespans {
+        // Every lifespan belongs to the infected AS100 or to AS101, which
+        // re-learns the stale route over the peering during path hunting.
+        assert!(l
+            .peers()
+            .iter()
+            .all(|p| p.asn == Asn(100) || p.asn == Asn(101)));
+        // Persisted for days (withdrawn on day 0, visible until the
+        // session reset on day 4).
+        assert!(
+            l.duration_days() > 2.0,
+            "{} lasted only {} days",
+            l.prefix,
+            l.duration_days()
+        );
+        // And died with the reset: the withdraw propagates seconds after
+        // freeze_end, so the coincident dump may still show it.
+        assert!(l.last_seen <= freeze_end);
+    }
+}

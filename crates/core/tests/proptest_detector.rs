@@ -1,0 +1,286 @@
+//! Property tests for the detection pipeline: synthesize MRT archives
+//! with *known* per-(interval, peer) ground truth, then assert the
+//! scan + classify pipeline recovers exactly that truth.
+
+use bgpz_core::realtime::{RealtimeDetector, ZombieAlert};
+use bgpz_core::{classify, scan, BeaconInterval, ClassifyOptions};
+use bgpz_mrt::bgp4mp::SessionHeader;
+use bgpz_mrt::{Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, MrtWriter};
+use bgpz_types::attrs::{Aggregator, MpReach, MpUnreach, NextHop};
+use bgpz_types::time::HOUR;
+use bgpz_types::{Afi, AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes, Prefix, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// What one (interval, peer) does in the synthesized archive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Behavior {
+    /// Announce + timely withdraw.
+    Clean,
+    /// Announce, never withdraw (zombie at every threshold).
+    Stuck,
+    /// Announce, withdraw `minutes` after the origin's withdrawal.
+    SlowWithdraw(u16),
+    /// Nothing at all (peer never saw the beacon).
+    Silent,
+}
+
+fn arb_behavior() -> impl Strategy<Value = Behavior> {
+    prop_oneof![
+        4 => Just(Behavior::Clean),
+        2 => Just(Behavior::Stuck),
+        2 => (1u16..170).prop_map(Behavior::SlowWithdraw),
+        1 => Just(Behavior::Silent),
+    ]
+}
+
+fn peer_addr(p: usize) -> IpAddr {
+    format!("2001:db8:90::{}", p + 1).parse().unwrap()
+}
+
+fn session(p: usize) -> SessionHeader {
+    SessionHeader {
+        peer_as: Asn(64_000 + p as u32),
+        local_as: Asn(12_654),
+        ifindex: 0,
+        peer_ip: peer_addr(p),
+        local_ip: "2001:7f8:24::82".parse().unwrap(),
+    }
+}
+
+fn prefix() -> Prefix {
+    "2a0d:3dc1:1::/48".parse().unwrap()
+}
+
+fn announce_record(p: usize, t: SimTime, clock_base: SimTime) -> MrtRecord {
+    let mut attrs =
+        PathAttributes::announcement(AsPath::from_sequence([64_000 + p as u32, 210_312]));
+    attrs.aggregator = Some(Aggregator {
+        asn: Asn(12_654),
+        addr: bgpz_beacon::aggregator_clock(clock_base),
+    });
+    attrs.mp_reach = Some(MpReach {
+        afi: Afi::Ipv6,
+        safi: 1,
+        next_hop: NextHop::V6 {
+            global: "2001:db8::1".parse().unwrap(),
+            link_local: None,
+        },
+        nlri: vec![prefix()],
+    });
+    MrtRecord::new(
+        t,
+        MrtBody::Message(Bgp4mpMessage {
+            session: session(p),
+            message: BgpMessage::Update(BgpUpdate {
+                attrs,
+                ..BgpUpdate::default()
+            }),
+        }),
+    )
+}
+
+fn withdraw_record(p: usize, t: SimTime) -> MrtRecord {
+    MrtRecord::new(
+        t,
+        MrtBody::Message(Bgp4mpMessage {
+            session: session(p),
+            message: BgpMessage::Update(BgpUpdate {
+                attrs: PathAttributes {
+                    mp_unreach: Some(MpUnreach {
+                        afi: Afi::Ipv6,
+                        safi: 1,
+                        withdrawn: vec![prefix()],
+                    }),
+                    ..PathAttributes::default()
+                },
+                ..BgpUpdate::default()
+            }),
+        }),
+    )
+}
+
+/// Builds the archive and the expected zombie set at `threshold_minutes`.
+fn build(
+    behaviors: &[Vec<Behavior>], // [interval][peer]
+    threshold_minutes: u64,
+) -> (bytes::Bytes, Vec<BeaconInterval>, BTreeSet<(usize, usize)>) {
+    let base = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+    let mut records: Vec<MrtRecord> = Vec::new();
+    let mut intervals = Vec::new();
+    let mut expected = BTreeSet::new();
+    for (i, row) in behaviors.iter().enumerate() {
+        // 8 h spacing keeps every slow withdrawal (≤ 170 min) well inside
+        // its own interval window.
+        let start = base + (i as u64) * 8 * HOUR;
+        let withdraw_at = start + 2 * HOUR;
+        intervals.push(BeaconInterval {
+            prefix: prefix(),
+            start,
+            withdraw_at,
+        });
+        for (p, behavior) in row.iter().enumerate() {
+            match behavior {
+                Behavior::Silent => {}
+                Behavior::Clean => {
+                    records.push(announce_record(p, start + 5, start));
+                    records.push(withdraw_record(p, withdraw_at + 30));
+                }
+                Behavior::Stuck => {
+                    records.push(announce_record(p, start + 5, start));
+                    expected.insert((i, p));
+                }
+                Behavior::SlowWithdraw(minutes) => {
+                    records.push(announce_record(p, start + 5, start));
+                    records.push(withdraw_record(
+                        p,
+                        withdraw_at + (*minutes as u64) * 60,
+                    ));
+                    if (*minutes as u64) > threshold_minutes {
+                        expected.insert((i, p));
+                    }
+                }
+            }
+        }
+    }
+    records.sort_by_key(|r| r.timestamp);
+    let mut writer = MrtWriter::new();
+    for record in &records {
+        writer.push(record);
+    }
+    (writer.finish(), intervals, expected)
+}
+
+fn detected_set(
+    archive: bytes::Bytes,
+    intervals: &[BeaconInterval],
+    threshold_minutes: u64,
+) -> BTreeSet<(usize, usize)> {
+    let result = scan(archive, intervals, 4 * HOUR);
+    let report = classify(
+        &result,
+        &ClassifyOptions {
+            threshold: threshold_minutes * 60,
+            ..ClassifyOptions::default()
+        },
+    );
+    report
+        .outbreaks
+        .iter()
+        .flat_map(|o| {
+            o.routes.iter().map(move |r| {
+                let peer_index = match r.peer.addr {
+                    IpAddr::V6(a) => (a.segments()[7] - 1) as usize,
+                    _ => unreachable!("all peers are v6 here"),
+                };
+                (o.interval_index, peer_index)
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn classify_recovers_exact_ground_truth(
+        behaviors in proptest::collection::vec(
+            proptest::collection::vec(arb_behavior(), 1..6),
+            1..5,
+        ),
+        threshold in 90u64..=180,
+    ) {
+        // Equalize peer counts across intervals.
+        let width = behaviors.iter().map(Vec::len).max().unwrap();
+        let behaviors: Vec<Vec<Behavior>> = behaviors
+            .into_iter()
+            .map(|mut row| {
+                row.resize(width, Behavior::Silent);
+                row
+            })
+            .collect();
+        let (archive, intervals, expected) = build(&behaviors, threshold);
+        let detected = detected_set(archive, &intervals, threshold);
+        prop_assert_eq!(detected, expected);
+    }
+
+    #[test]
+    fn higher_threshold_never_adds_zombies_without_resurrections(
+        behaviors in proptest::collection::vec(
+            proptest::collection::vec(arb_behavior(), 1..5),
+            1..4,
+        ),
+    ) {
+        // The synthesized behaviors never re-announce after withdrawing,
+        // so the zombie set must shrink monotonically with the threshold.
+        let width = behaviors.iter().map(Vec::len).max().unwrap();
+        let behaviors: Vec<Vec<Behavior>> = behaviors
+            .into_iter()
+            .map(|mut row| {
+                row.resize(width, Behavior::Silent);
+                row
+            })
+            .collect();
+        let (archive, intervals, _) = build(&behaviors, 0);
+        let mut previous: Option<BTreeSet<(usize, usize)>> = None;
+        for threshold in [90u64, 120, 150, 180] {
+            let detected = detected_set(archive.clone(), &intervals, threshold);
+            if let Some(prev) = &previous {
+                prop_assert!(
+                    detected.is_subset(prev),
+                    "zombies grew from {prev:?} to {detected:?} at {threshold}"
+                );
+            }
+            previous = Some(detected);
+        }
+    }
+
+    #[test]
+    fn streaming_agrees_with_batch_on_synthesized_archives(
+        behaviors in proptest::collection::vec(
+            proptest::collection::vec(arb_behavior(), 1..5),
+            1..4,
+        ),
+    ) {
+        let width = behaviors.iter().map(Vec::len).max().unwrap();
+        let behaviors: Vec<Vec<Behavior>> = behaviors
+            .into_iter()
+            .map(|mut row| {
+                row.resize(width, Behavior::Silent);
+                row
+            })
+            .collect();
+        let (archive, intervals, _) = build(&behaviors, 90);
+        let batch = detected_set(archive.clone(), &intervals, 90);
+
+        let mut detector = RealtimeDetector::new(ClassifyOptions::default());
+        detector.expect_all(intervals.iter().copied());
+        let mut streaming = BTreeSet::new();
+        let mut reader = MrtReader::new(archive);
+        let mut last = SimTime::ZERO;
+        let drain = |alerts: Vec<ZombieAlert>, set: &mut BTreeSet<(usize, usize)>| {
+            for alert in alerts {
+                if let ZombieAlert::Zombie { interval_start, peer, .. } = alert {
+                    let idx = intervals
+                        .iter()
+                        .position(|iv| iv.start == interval_start)
+                        .expect("known interval");
+                    let p = match peer.addr {
+                        IpAddr::V6(a) => (a.segments()[7] - 1) as usize,
+                        _ => unreachable!(),
+                    };
+                    set.insert((idx, p));
+                }
+            }
+        };
+        while let Some(record) = reader.next_record() {
+            last = record.timestamp;
+            let alerts = detector.push(&record);
+            drain(alerts, &mut streaming);
+        }
+        let alerts = detector.advance(last + 24 * HOUR);
+        drain(alerts, &mut streaming);
+        prop_assert_eq!(streaming, batch);
+    }
+}

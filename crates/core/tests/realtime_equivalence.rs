@@ -1,0 +1,167 @@
+//! The streaming detector must agree with the batch pipeline when fed the
+//! same records — zombie-for-zombie.
+
+use bgpz_beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
+use bgpz_core::realtime::{RealtimeDetector, ZombieAlert};
+use bgpz_core::{classify, intervals_from_schedule, scan, ClassifyOptions};
+use bgpz_mrt::MrtReader;
+use bgpz_netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
+use bgpz_ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
+use bgpz_types::time::HOUR;
+use bgpz_types::{Asn, Prefix, SimTime};
+use std::collections::BTreeSet;
+
+const ORIGIN: Asn = Asn(12_654);
+
+fn run_world(plan: FaultPlan) -> (bgpz_ris::RisArchive, bgpz_beacon::BeaconSchedule) {
+    let topo = Topology::builder()
+        .node(Asn(100), Tier::Tier1)
+        .node(Asn(101), Tier::Tier1)
+        .node(Asn(200), Tier::Tier2)
+        .node(Asn(201), Tier::Tier2)
+        .node(ORIGIN, Tier::Stub)
+        .peering(Asn(100), Asn(101))
+        .provider_customer(Asn(100), Asn(200))
+        .provider_customer(Asn(101), Asn(201))
+        .provider_customer(Asn(200), ORIGIN)
+        .provider_customer(Asn(201), ORIGIN)
+        .build();
+    let config = RisConfig {
+        collectors: vec![Collector::numbered(0)],
+        peers: vec![
+            RisPeerSpec::healthy(Asn(100), "2001:db8:90::100".parse().unwrap(), 0),
+            RisPeerSpec::healthy(Asn(101), "2001:db8:90::101".parse().unwrap(), 0),
+        ],
+        rib_period: 8 * HOUR,
+    };
+    let beacons = RisBeacons::new(RisBeaconConfig::historical(ORIGIN));
+    let start = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0);
+    let end = SimTime::from_ymd_hms(2018, 7, 21, 0, 0, 0);
+    let schedule = beacons.schedule(start, end);
+    let mut sim = Simulator::new(topo, &plan, 1);
+    let mut ris = RisNetwork::new(config, start, 2);
+    ris.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    ris.advance(&mut sim, end + 4 * HOUR);
+    (ris.finish(), schedule)
+}
+
+/// (prefix, interval start, peer address) triples.
+type Keys = BTreeSet<(Prefix, SimTime, String)>;
+
+fn batch_keys(archive: &bgpz_ris::RisArchive, schedule: &bgpz_beacon::BeaconSchedule) -> Keys {
+    let intervals = intervals_from_schedule(schedule);
+    let result = scan(archive.updates.clone(), &intervals, 4 * HOUR);
+    let report = classify(&result, &ClassifyOptions::default());
+    report
+        .outbreaks
+        .iter()
+        .flat_map(|o| {
+            o.routes.iter().map(move |r| {
+                (o.interval.prefix, o.interval.start, r.peer.addr.to_string())
+            })
+        })
+        .collect()
+}
+
+fn streaming_keys(
+    archive: &bgpz_ris::RisArchive,
+    schedule: &bgpz_beacon::BeaconSchedule,
+) -> Keys {
+    let mut detector = RealtimeDetector::new(ClassifyOptions::default());
+    detector.expect_all(intervals_from_schedule(schedule));
+    let mut keys = Keys::new();
+    let mut reader = MrtReader::new(archive.updates.clone());
+    let mut last = SimTime::ZERO;
+    while let Some(record) = reader.next_record() {
+        last = record.timestamp;
+        for alert in detector.push(&record) {
+            if let ZombieAlert::Zombie {
+                prefix,
+                interval_start,
+                peer,
+                ..
+            } = alert
+            {
+                keys.insert((prefix, interval_start, peer.addr.to_string()));
+            }
+        }
+    }
+    // Drain deadlines past the last record.
+    for alert in detector.advance(last + 24 * HOUR) {
+        if let ZombieAlert::Zombie {
+            prefix,
+            interval_start,
+            peer,
+            ..
+        } = alert
+        {
+            keys.insert((prefix, interval_start, peer.addr.to_string()));
+        }
+    }
+    keys
+}
+
+#[test]
+fn streaming_matches_batch_on_clean_world() {
+    let (archive, schedule) = run_world(FaultPlan::none());
+    let batch = batch_keys(&archive, &schedule);
+    let streaming = streaming_keys(&archive, &schedule);
+    assert!(batch.is_empty());
+    assert_eq!(batch, streaming);
+}
+
+#[test]
+fn streaming_matches_batch_on_zombie_world() {
+    let plan = FaultPlan::none().freeze(
+        Asn(200),
+        Asn(100),
+        SimTime::from_ymd_hms(2018, 7, 19, 0, 30, 0),
+        SimTime::from_ymd_hms(2018, 7, 22, 0, 0, 0),
+        EpisodeEnd::Resume,
+    );
+    let (archive, schedule) = run_world(plan);
+    let batch = batch_keys(&archive, &schedule);
+    let streaming = streaming_keys(&archive, &schedule);
+    assert!(!batch.is_empty(), "the freeze must produce zombies");
+    assert_eq!(batch, streaming, "streaming and batch must agree");
+}
+
+#[test]
+fn streaming_detects_live_without_full_archive() {
+    // Feed only the first interval's records: the detector fires as soon
+    // as its clock passes the deadline, no batch post-processing needed.
+    let plan = FaultPlan::none().freeze(
+        Asn(200),
+        Asn(100),
+        SimTime::from_ymd_hms(2018, 7, 19, 0, 30, 0),
+        SimTime::from_ymd_hms(2018, 7, 22, 0, 0, 0),
+        EpisodeEnd::Resume,
+    );
+    let (archive, schedule) = run_world(plan);
+    let mut detector = RealtimeDetector::new(ClassifyOptions::default());
+    detector.expect_all(intervals_from_schedule(&schedule));
+    let cutoff = SimTime::from_ymd_hms(2018, 7, 19, 4, 0, 0);
+    let mut reader = MrtReader::new(archive.updates.clone());
+    let mut alerts = Vec::new();
+    while let Some(record) = reader.next_record() {
+        if record.timestamp > cutoff {
+            break;
+        }
+        alerts.extend(detector.push(&record));
+    }
+    alerts.extend(detector.advance(cutoff));
+    let zombies: Vec<_> = alerts
+        .iter()
+        .filter(|a| matches!(a, ZombieAlert::Zombie { .. }))
+        .collect();
+    assert!(
+        !zombies.is_empty(),
+        "the first interval's zombie must be detected before the archive ends"
+    );
+    for alert in &zombies {
+        if let ZombieAlert::Zombie { detected_at, .. } = alert {
+            assert!(*detected_at <= cutoff);
+        }
+    }
+}

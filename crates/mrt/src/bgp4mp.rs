@@ -1,0 +1,334 @@
+//! BGP4MP record bodies (RFC 6396 §4.4).
+
+use bgpz_types::error::{ensure, CodecError, CodecResult};
+use bgpz_types::{Afi, Asn, BgpMessage};
+use bytes::{Buf, BufMut};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// BGP finite-state-machine states as encoded in `BGP4MP_STATE_CHANGE`
+/// (RFC 6396 §4.4.1 / RFC 4271 §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BgpState {
+    /// Idle (1).
+    Idle,
+    /// Connect (2).
+    Connect,
+    /// Active (3).
+    Active,
+    /// OpenSent (4).
+    OpenSent,
+    /// OpenConfirm (5).
+    OpenConfirm,
+    /// Established (6).
+    Established,
+}
+
+impl BgpState {
+    /// Wire value.
+    pub fn code(self) -> u16 {
+        match self {
+            BgpState::Idle => 1,
+            BgpState::Connect => 2,
+            BgpState::Active => 3,
+            BgpState::OpenSent => 4,
+            BgpState::OpenConfirm => 5,
+            BgpState::Established => 6,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_code(code: u16) -> CodecResult<BgpState> {
+        match code {
+            1 => Ok(BgpState::Idle),
+            2 => Ok(BgpState::Connect),
+            3 => Ok(BgpState::Active),
+            4 => Ok(BgpState::OpenSent),
+            5 => Ok(BgpState::OpenConfirm),
+            6 => Ok(BgpState::Established),
+            other => Err(CodecError::UnknownVariant {
+                value: other as u32,
+                context: "BGP FSM state",
+            }),
+        }
+    }
+
+    /// True when the session is up and routes from the peer are valid.
+    pub fn is_established(self) -> bool {
+        self == BgpState::Established
+    }
+}
+
+/// The shared BGP4MP per-record header: who exchanged the message.
+///
+/// The peer/local IP address family is independent of the BGP payload
+/// family — the paper notes one noisy peer (`176.119.234.201`) exchanging
+/// IPv6 routes over an IPv4 BGP session, which this model supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionHeader {
+    /// The collector's peer (the volunteer AS's router).
+    pub peer_as: Asn,
+    /// The collector's own AS.
+    pub local_as: Asn,
+    /// Interface index (always 0 in RIS archives).
+    pub ifindex: u16,
+    /// Peer router address.
+    pub peer_ip: IpAddr,
+    /// Collector address.
+    pub local_ip: IpAddr,
+}
+
+impl SessionHeader {
+    /// AFI of the session addresses.
+    pub fn afi(&self) -> Afi {
+        match self.peer_ip {
+            IpAddr::V4(_) => Afi::Ipv4,
+            IpAddr::V6(_) => Afi::Ipv6,
+        }
+    }
+
+    /// Encodes the header. `as4` selects 4-byte AS fields
+    /// (`BGP4MP_*_AS4` subtypes).
+    pub fn encode(&self, buf: &mut impl BufMut, as4: bool) {
+        if as4 {
+            buf.put_u32(self.peer_as.0);
+            buf.put_u32(self.local_as.0);
+        } else {
+            buf.put_u16(self.peer_as.as_u16_or_trans());
+            buf.put_u16(self.local_as.as_u16_or_trans());
+        }
+        buf.put_u16(self.ifindex);
+        buf.put_u16(self.afi().code());
+        match (self.peer_ip, self.local_ip) {
+            (IpAddr::V4(p), IpAddr::V4(l)) => {
+                buf.put_slice(&p.octets());
+                buf.put_slice(&l.octets());
+            }
+            (IpAddr::V6(p), IpAddr::V6(l)) => {
+                buf.put_slice(&p.octets());
+                buf.put_slice(&l.octets());
+            }
+            _ => unreachable!("session endpoints must share a family"),
+        }
+    }
+
+    /// Decodes the header.
+    pub fn decode(buf: &mut impl Buf, as4: bool) -> CodecResult<SessionHeader> {
+        let as_bytes = if as4 { 8 } else { 4 };
+        ensure(buf, as_bytes + 4, "BGP4MP session header")?;
+        let (peer_as, local_as) = if as4 {
+            (Asn(buf.get_u32()), Asn(buf.get_u32()))
+        } else {
+            (Asn(buf.get_u16() as u32), Asn(buf.get_u16() as u32))
+        };
+        let ifindex = buf.get_u16();
+        let afi = Afi::from_code(buf.get_u16())?;
+        let (peer_ip, local_ip) = match afi {
+            Afi::Ipv4 => {
+                ensure(buf, 8, "BGP4MP IPv4 endpoints")?;
+                let mut p = [0u8; 4];
+                let mut l = [0u8; 4];
+                buf.copy_to_slice(&mut p);
+                buf.copy_to_slice(&mut l);
+                (
+                    IpAddr::V4(Ipv4Addr::from(p)),
+                    IpAddr::V4(Ipv4Addr::from(l)),
+                )
+            }
+            Afi::Ipv6 => {
+                ensure(buf, 32, "BGP4MP IPv6 endpoints")?;
+                let mut p = [0u8; 16];
+                let mut l = [0u8; 16];
+                buf.copy_to_slice(&mut p);
+                buf.copy_to_slice(&mut l);
+                (
+                    IpAddr::V6(Ipv6Addr::from(p)),
+                    IpAddr::V6(Ipv6Addr::from(l)),
+                )
+            }
+        };
+        Ok(SessionHeader {
+            peer_as,
+            local_as,
+            ifindex,
+            peer_ip,
+            local_ip,
+        })
+    }
+}
+
+/// A `BGP4MP_MESSAGE(_AS4)` body: one archived BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// Session endpoints.
+    pub session: SessionHeader,
+    /// The archived BGP message.
+    pub message: BgpMessage,
+}
+
+impl Bgp4mpMessage {
+    /// Encodes the body. `as4` controls both the AS field width and the
+    /// AS-number width inside the BGP message (RIS collectors negotiate the
+    /// 4-octet capability, so AS4 is the realistic setting).
+    pub fn encode(&self, buf: &mut impl BufMut, as4: bool) {
+        self.session.encode(buf, as4);
+        self.message.encode(buf, as4);
+    }
+
+    /// Decodes the body.
+    pub fn decode(buf: &mut impl Buf, as4: bool) -> CodecResult<Bgp4mpMessage> {
+        let session = SessionHeader::decode(buf, as4)?;
+        let message = BgpMessage::decode(buf, as4)?;
+        Ok(Bgp4mpMessage { session, message })
+    }
+}
+
+/// A `BGP4MP_STATE_CHANGE(_AS4)` body: an FSM transition on a collector
+/// session. RIS emits these when a peer session flaps; the detector uses
+/// them to mark every route from that peer as removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpStateChange {
+    /// Session endpoints.
+    pub session: SessionHeader,
+    /// State before the transition.
+    pub old_state: BgpState,
+    /// State after the transition.
+    pub new_state: BgpState,
+}
+
+impl Bgp4mpStateChange {
+    /// Encodes the body.
+    pub fn encode(&self, buf: &mut impl BufMut, as4: bool) {
+        self.session.encode(buf, as4);
+        buf.put_u16(self.old_state.code());
+        buf.put_u16(self.new_state.code());
+    }
+
+    /// Decodes the body.
+    pub fn decode(buf: &mut impl Buf, as4: bool) -> CodecResult<Bgp4mpStateChange> {
+        let session = SessionHeader::decode(buf, as4)?;
+        ensure(buf, 4, "BGP4MP_STATE_CHANGE states")?;
+        let old_state = BgpState::from_code(buf.get_u16())?;
+        let new_state = BgpState::from_code(buf.get_u16())?;
+        Ok(Bgp4mpStateChange {
+            session,
+            old_state,
+            new_state,
+        })
+    }
+
+    /// True if this transition tears the session down (leaves Established).
+    pub fn is_session_down(&self) -> bool {
+        self.old_state.is_established() && !self.new_state.is_established()
+    }
+
+    /// True if this transition brings the session up.
+    pub fn is_session_up(&self) -> bool {
+        !self.old_state.is_established() && self.new_state.is_established()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_types::{AsPath, BgpUpdate, PathAttributes};
+    use bytes::BytesMut;
+
+    fn v6_session() -> SessionHeader {
+        SessionHeader {
+            peer_as: Asn(211_509),
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "2001:678:3f4:5::1".parse().unwrap(),
+            local_ip: "2001:7f8:24::82".parse().unwrap(),
+        }
+    }
+
+    fn v4_session() -> SessionHeader {
+        SessionHeader {
+            peer_as: Asn(211_509),
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "176.119.234.201".parse().unwrap(),
+            local_ip: "193.0.4.28".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn session_header_roundtrip_both_families_and_widths() {
+        for session in [v6_session(), v4_session()] {
+            for as4 in [true, false] {
+                let mut buf = BytesMut::new();
+                session.encode(&mut buf, as4);
+                let got = SessionHeader::decode(&mut buf.freeze(), as4).unwrap();
+                if as4 {
+                    assert_eq!(got, session);
+                } else {
+                    // 211509 does not fit 16 bits ⇒ AS_TRANS.
+                    assert_eq!(got.peer_as, Asn::TRANS);
+                    assert_eq!(got.peer_ip, session.peer_ip);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let msg = Bgp4mpMessage {
+            session: v6_session(),
+            message: BgpMessage::Update(BgpUpdate {
+                attrs: PathAttributes::announcement(AsPath::from_sequence([211_509, 210_312])),
+                ..BgpUpdate::default()
+            }),
+        };
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf, true);
+        let got = Bgp4mpMessage::decode(&mut buf.freeze(), true).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn state_change_roundtrip_and_direction() {
+        let change = Bgp4mpStateChange {
+            session: v4_session(),
+            old_state: BgpState::Established,
+            new_state: BgpState::Idle,
+        };
+        let mut buf = BytesMut::new();
+        change.encode(&mut buf, true);
+        let got = Bgp4mpStateChange::decode(&mut buf.freeze(), true).unwrap();
+        assert_eq!(got, change);
+        assert!(got.is_session_down());
+        assert!(!got.is_session_up());
+
+        let up = Bgp4mpStateChange {
+            session: v4_session(),
+            old_state: BgpState::OpenConfirm,
+            new_state: BgpState::Established,
+        };
+        assert!(up.is_session_up());
+        assert!(!up.is_session_down());
+    }
+
+    #[test]
+    fn fsm_codes_roundtrip() {
+        for code in 1..=6u16 {
+            let state = BgpState::from_code(code).unwrap();
+            assert_eq!(state.code(), code);
+        }
+        assert!(BgpState::from_code(0).is_err());
+        assert!(BgpState::from_code(7).is_err());
+    }
+
+    #[test]
+    fn truncated_state_change_rejected() {
+        let change = Bgp4mpStateChange {
+            session: v6_session(),
+            old_state: BgpState::Established,
+            new_state: BgpState::Idle,
+        };
+        let mut buf = BytesMut::new();
+        change.encode(&mut buf, true);
+        let short = &buf[..buf.len() - 2];
+        assert!(Bgp4mpStateChange::decode(&mut &short[..], true).is_err());
+    }
+}

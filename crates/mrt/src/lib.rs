@@ -1,0 +1,28 @@
+//! # bgpz-mrt
+//!
+//! MRT (Multi-Threaded Routing Toolkit) export format, RFC 6396, as used by
+//! the RIPE RIS raw-data archive the paper's methodology is built on:
+//!
+//! * `BGP4MP_MESSAGE` / `BGP4MP_MESSAGE_AS4` — archived BGP UPDATEs, the
+//!   source for per-interval prefix-state reconstruction (paper §3.1 step 1);
+//! * `BGP4MP_STATE_CHANGE(_AS4)` — peer-session state transitions, needed to
+//!   invalidate a peer's routes when its session to the collector drops;
+//! * `TABLE_DUMP_V2` (`PEER_INDEX_TABLE`, `RIB_IPV4_UNICAST`,
+//!   `RIB_IPV6_UNICAST`) — the 8-hourly RIB dumps the paper scans for a year
+//!   to measure zombie lifespans (paper §5);
+//! * the `_ET` extended-timestamp variants (microsecond precision).
+//!
+//! The [`reader::MrtReader`] is a **tolerant reader**: a malformed record is
+//! skipped (its length is known from the common header) and counted, rather
+//! than aborting the scan — real archives contain corrupted records, e.g.
+//! the FRR ADD-PATH incident the paper cites.
+
+pub mod bgp4mp;
+pub mod reader;
+pub mod record;
+pub mod table_dump;
+
+pub use bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange, BgpState};
+pub use reader::{MrtReadStats, MrtReader, MrtWriter};
+pub use record::{MrtBody, MrtRecord};
+pub use table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};

@@ -1,0 +1,290 @@
+//! Tolerant MRT stream reader and writer.
+//!
+//! [`MrtReader`] frames records from a byte stream using the common header,
+//! so a record whose *body* fails to parse can still be skipped precisely —
+//! the behaviour a real pipeline needs against archives polluted by
+//! misbehaving peers (paper §3.2). Skipped records are counted in
+//! [`MrtReadStats`] so noise is measured, never silently dropped.
+
+use crate::record::MrtRecord;
+use bgpz_types::error::CodecError;
+use bytes::{Buf, Bytes, BytesMut};
+
+/// Counters accumulated by a tolerant scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MrtReadStats {
+    /// Records decoded successfully.
+    pub ok: usize,
+    /// Records whose bodies were malformed and were skipped.
+    pub skipped: usize,
+    /// Trailing bytes that could not even be framed (stream ended inside a
+    /// common header or declared body).
+    pub trailing_bytes: usize,
+}
+
+/// A tolerant, pull-based MRT record reader.
+///
+/// ```
+/// use bgpz_mrt::{MrtReader, MrtWriter, MrtRecord, MrtBody};
+/// # use bgpz_mrt::table_dump::{PeerIndexTable};
+/// # use bgpz_types::SimTime;
+/// let mut writer = MrtWriter::new();
+/// writer.push(&MrtRecord::new(
+///     SimTime(0),
+///     MrtBody::PeerIndex(PeerIndexTable {
+///         collector_id: std::net::Ipv4Addr::new(193, 0, 4, 28),
+///         view_name: String::new(),
+///         peers: vec![],
+///     }),
+/// ));
+/// let mut reader = MrtReader::new(writer.finish());
+/// assert!(reader.next_record().is_some());
+/// assert!(reader.next_record().is_none());
+/// assert_eq!(reader.stats().ok, 1);
+/// ```
+#[derive(Debug)]
+pub struct MrtReader {
+    data: Bytes,
+    stats: MrtReadStats,
+}
+
+impl MrtReader {
+    /// Creates a reader over a complete in-memory archive.
+    pub fn new(data: Bytes) -> MrtReader {
+        MrtReader {
+            data,
+            stats: MrtReadStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> MrtReadStats {
+        self.stats
+    }
+
+    /// Returns the next well-formed record, skipping malformed ones.
+    /// `None` when the stream is exhausted.
+    pub fn next_record(&mut self) -> Option<MrtRecord> {
+        loop {
+            if self.data.remaining() == 0 {
+                return None;
+            }
+            // Frame: need the 12-byte common header to know the body length.
+            if self.data.remaining() < 12 {
+                self.stats.trailing_bytes += self.data.remaining();
+                self.data.advance(self.data.remaining());
+                return None;
+            }
+            let body_len = u32::from_be_bytes([
+                self.data[8],
+                self.data[9],
+                self.data[10],
+                self.data[11],
+            ]) as usize;
+            let total = 12 + body_len;
+            if self.data.remaining() < total {
+                self.stats.trailing_bytes += self.data.remaining();
+                self.data.advance(self.data.remaining());
+                return None;
+            }
+            let mut record_bytes = self.data.slice(..total);
+            self.data.advance(total);
+            match MrtRecord::decode(&mut record_bytes) {
+                Ok(rec) => {
+                    self.stats.ok += 1;
+                    return Some(rec);
+                }
+                Err(_) => {
+                    self.stats.skipped += 1;
+                    // Loop: try the next frame.
+                }
+            }
+        }
+    }
+
+    /// Strict variant: returns the decode error instead of skipping.
+    pub fn next_record_strict(&mut self) -> Option<Result<MrtRecord, CodecError>> {
+        if self.data.remaining() == 0 {
+            return None;
+        }
+        let before = self.data.clone();
+        match MrtRecord::decode(&mut self.data) {
+            Ok(rec) => {
+                self.stats.ok += 1;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                // Restore nothing: strict mode aborts the scan.
+                self.data = before.slice(before.len()..);
+                Some(Err(e))
+            }
+        }
+    }
+
+    /// Collects every remaining well-formed record.
+    pub fn collect_all(&mut self) -> Vec<MrtRecord> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record() {
+            out.push(rec);
+        }
+        out
+    }
+}
+
+impl Iterator for MrtReader {
+    type Item = MrtRecord;
+
+    fn next(&mut self) -> Option<MrtRecord> {
+        self.next_record()
+    }
+}
+
+/// An append-only MRT archive writer.
+#[derive(Debug, Default)]
+pub struct MrtWriter {
+    buf: BytesMut,
+    records: usize,
+}
+
+impl MrtWriter {
+    /// Creates an empty writer.
+    pub fn new() -> MrtWriter {
+        MrtWriter::default()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: &MrtRecord) {
+        record.encode(&mut self.buf);
+        self.records += 1;
+    }
+
+    /// Number of records written.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Bytes written so far.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finalizes and returns the archive bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp4mp::{Bgp4mpMessage, SessionHeader};
+    use crate::record::MrtBody;
+    use bgpz_types::{AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes, SimTime};
+
+    fn sample_record(ts: u64) -> MrtRecord {
+        MrtRecord::new(
+            SimTime(ts),
+            MrtBody::Message(Bgp4mpMessage {
+                session: SessionHeader {
+                    peer_as: Asn(211_509),
+                    local_as: Asn(12_654),
+                    ifindex: 0,
+                    peer_ip: "176.119.234.201".parse().unwrap(),
+                    local_ip: "193.0.4.28".parse().unwrap(),
+                },
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs: PathAttributes::announcement(AsPath::from_sequence([
+                        211_509, 210_312,
+                    ])),
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    #[test]
+    fn write_read_many() {
+        let mut writer = MrtWriter::new();
+        assert!(writer.is_empty());
+        for ts in 0..100 {
+            writer.push(&sample_record(ts));
+        }
+        assert_eq!(writer.len(), 100);
+        let mut reader = MrtReader::new(writer.finish());
+        let records = reader.collect_all();
+        assert_eq!(records.len(), 100);
+        assert_eq!(records[7].timestamp, SimTime(7));
+        assert_eq!(reader.stats().ok, 100);
+        assert_eq!(reader.stats().skipped, 0);
+    }
+
+    #[test]
+    fn corrupted_record_is_skipped_not_fatal() {
+        let mut writer = MrtWriter::new();
+        writer.push(&sample_record(1));
+        let mut bytes = BytesMut::from(&writer.finish()[..]);
+        let first_len = bytes.len();
+        // Corrupt the BGP marker of record 1:
+        // 12 MRT header + 8 AS fields + 2 ifindex + 2 AFI + 8 IPv4 endpoints.
+        bytes[12 + 20] = 0;
+        let mut writer2 = MrtWriter::new();
+        writer2.push(&sample_record(2));
+        bytes.extend_from_slice(&writer2.finish());
+        assert!(bytes.len() > first_len);
+
+        let mut reader = MrtReader::new(bytes.freeze());
+        let records = reader.collect_all();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].timestamp, SimTime(2));
+        assert_eq!(reader.stats().skipped, 1);
+        assert_eq!(reader.stats().ok, 1);
+    }
+
+    #[test]
+    fn truncated_tail_is_counted() {
+        let mut writer = MrtWriter::new();
+        writer.push(&sample_record(1));
+        let bytes = writer.finish();
+        let cut = bytes.slice(..bytes.len() - 5);
+        let tail_len = cut.len();
+        let mut reader = MrtReader::new(cut);
+        assert!(reader.next_record().is_none());
+        assert_eq!(reader.stats().trailing_bytes, tail_len);
+    }
+
+    #[test]
+    fn tiny_tail_is_counted() {
+        let mut reader = MrtReader::new(Bytes::from_static(&[1, 2, 3]));
+        assert!(reader.next_record().is_none());
+        assert_eq!(reader.stats().trailing_bytes, 3);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let mut writer = MrtWriter::new();
+        for ts in 0..5 {
+            writer.push(&sample_record(ts));
+        }
+        let timestamps: Vec<u64> = MrtReader::new(writer.finish())
+            .map(|r| r.timestamp.secs())
+            .collect();
+        assert_eq!(timestamps, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn strict_mode_reports_error() {
+        let mut writer = MrtWriter::new();
+        writer.push(&sample_record(1));
+        let mut bytes = BytesMut::from(&writer.finish()[..]);
+        bytes[4] = 0;
+        bytes[5] = 99; // unknown MRT type
+        let mut reader = MrtReader::new(bytes.freeze());
+        let result = reader.next_record_strict().unwrap();
+        assert!(result.is_err());
+    }
+}

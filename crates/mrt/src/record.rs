@@ -1,0 +1,289 @@
+//! MRT common header and record envelope (RFC 6396 §2).
+
+use crate::bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange};
+use crate::table_dump::{PeerIndexTable, RibSnapshot};
+use bgpz_types::error::{ensure, CodecError, CodecResult};
+use bgpz_types::{Afi, SimTime};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// MRT type codes used here.
+pub mod mrt_type {
+    /// TABLE_DUMP_V2.
+    pub const TABLE_DUMP_V2: u16 = 13;
+    /// BGP4MP.
+    pub const BGP4MP: u16 = 16;
+    /// BGP4MP_ET (extended timestamp).
+    pub const BGP4MP_ET: u16 = 17;
+}
+
+/// BGP4MP subtypes.
+pub mod bgp4mp_subtype {
+    /// BGP4MP_STATE_CHANGE (2-byte AS).
+    pub const STATE_CHANGE: u16 = 0;
+    /// BGP4MP_MESSAGE (2-byte AS).
+    pub const MESSAGE: u16 = 1;
+    /// BGP4MP_MESSAGE_AS4.
+    pub const MESSAGE_AS4: u16 = 4;
+    /// BGP4MP_STATE_CHANGE_AS4.
+    pub const STATE_CHANGE_AS4: u16 = 5;
+}
+
+/// TABLE_DUMP_V2 subtypes.
+pub mod tdv2_subtype {
+    /// PEER_INDEX_TABLE.
+    pub const PEER_INDEX_TABLE: u16 = 1;
+    /// RIB_IPV4_UNICAST.
+    pub const RIB_IPV4_UNICAST: u16 = 2;
+    /// RIB_IPV6_UNICAST.
+    pub const RIB_IPV6_UNICAST: u16 = 4;
+}
+
+/// A decoded MRT record body.
+// Message records dominate real archives; keeping them inline avoids an
+// allocation per record on the scan hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtBody {
+    /// An archived BGP message exchange.
+    Message(Bgp4mpMessage),
+    /// A session FSM transition.
+    StateChange(Bgp4mpStateChange),
+    /// The peer table of a RIB dump.
+    PeerIndex(PeerIndexTable),
+    /// One prefix's RIB entries within a dump.
+    Rib(RibSnapshot),
+}
+
+/// A complete MRT record: timestamp + body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// Record timestamp (second granularity, as in the common header).
+    pub timestamp: SimTime,
+    /// Optional microsecond part (`_ET` record types).
+    pub microseconds: Option<u32>,
+    /// Body.
+    pub body: MrtBody,
+}
+
+impl MrtRecord {
+    /// Builds a plain (non-ET) record.
+    pub fn new(timestamp: SimTime, body: MrtBody) -> MrtRecord {
+        MrtRecord {
+            timestamp,
+            microseconds: None,
+            body,
+        }
+    }
+
+    /// The MRT (type, subtype) pair for this record. AS4 subtypes are
+    /// always emitted for BGP4MP because every modern RIS session
+    /// negotiates the 4-octet-AS capability.
+    fn type_subtype(&self) -> (u16, u16) {
+        match &self.body {
+            MrtBody::Message(_) => {
+                let t = if self.microseconds.is_some() {
+                    mrt_type::BGP4MP_ET
+                } else {
+                    mrt_type::BGP4MP
+                };
+                (t, bgp4mp_subtype::MESSAGE_AS4)
+            }
+            MrtBody::StateChange(_) => {
+                let t = if self.microseconds.is_some() {
+                    mrt_type::BGP4MP_ET
+                } else {
+                    mrt_type::BGP4MP
+                };
+                (t, bgp4mp_subtype::STATE_CHANGE_AS4)
+            }
+            MrtBody::PeerIndex(_) => (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE),
+            MrtBody::Rib(snapshot) => {
+                let sub = match snapshot.prefix.afi() {
+                    Afi::Ipv4 => tdv2_subtype::RIB_IPV4_UNICAST,
+                    Afi::Ipv6 => tdv2_subtype::RIB_IPV6_UNICAST,
+                };
+                (mrt_type::TABLE_DUMP_V2, sub)
+            }
+        }
+    }
+
+    /// Encodes the record, common header included.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        let (mrt_type, subtype) = self.type_subtype();
+        let mut body = BytesMut::new();
+        if let Some(us) = self.microseconds {
+            body.put_u32(us);
+        }
+        match &self.body {
+            MrtBody::Message(m) => m.encode(&mut body, true),
+            MrtBody::StateChange(s) => s.encode(&mut body, true),
+            MrtBody::PeerIndex(t) => t.encode(&mut body),
+            MrtBody::Rib(r) => r.encode(&mut body),
+        }
+        buf.put_u32(self.timestamp.secs() as u32);
+        buf.put_u16(mrt_type);
+        buf.put_u16(subtype);
+        buf.put_u32(body.len() as u32);
+        buf.put_slice(&body);
+    }
+
+    /// Decodes one record. The caller guarantees nothing about `buf`
+    /// contents; all lengths are validated.
+    pub fn decode(buf: &mut impl Buf) -> CodecResult<MrtRecord> {
+        ensure(buf, 12, "MRT common header")?;
+        let timestamp = SimTime(buf.get_u32() as u64);
+        let mrt_type = buf.get_u16();
+        let subtype = buf.get_u16();
+        let len = buf.get_u32() as usize;
+        ensure(buf, len, "MRT record body")?;
+        let mut body = buf.copy_to_bytes(len);
+
+        let microseconds = if mrt_type == mrt_type::BGP4MP_ET {
+            ensure(&body, 4, "MRT ET microseconds")?;
+            Some(body.get_u32())
+        } else {
+            None
+        };
+
+        let parsed = match (mrt_type, subtype) {
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::MESSAGE) => {
+                MrtBody::Message(Bgp4mpMessage::decode(&mut body, false)?)
+            }
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::MESSAGE_AS4) => {
+                MrtBody::Message(Bgp4mpMessage::decode(&mut body, true)?)
+            }
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::STATE_CHANGE) => {
+                MrtBody::StateChange(Bgp4mpStateChange::decode(&mut body, false)?)
+            }
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::STATE_CHANGE_AS4) => {
+                MrtBody::StateChange(Bgp4mpStateChange::decode(&mut body, true)?)
+            }
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE) => {
+                MrtBody::PeerIndex(PeerIndexTable::decode(&mut body)?)
+            }
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::RIB_IPV4_UNICAST) => {
+                MrtBody::Rib(RibSnapshot::decode(&mut body, Afi::Ipv4)?)
+            }
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::RIB_IPV6_UNICAST) => {
+                MrtBody::Rib(RibSnapshot::decode(&mut body, Afi::Ipv6)?)
+            }
+            _ => {
+                return Err(CodecError::UnknownVariant {
+                    value: ((mrt_type as u32) << 16) | subtype as u32,
+                    context: "MRT type/subtype",
+                })
+            }
+        };
+        if body.has_remaining() {
+            return Err(CodecError::BadLength {
+                declared: len,
+                available: len - body.remaining(),
+                context: "MRT record body (trailing bytes)",
+            });
+        }
+        Ok(MrtRecord {
+            timestamp,
+            microseconds,
+            body: parsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp4mp::{BgpState, SessionHeader};
+    use bgpz_types::{AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes};
+
+    fn session() -> SessionHeader {
+        SessionHeader {
+            peer_as: Asn(211_380),
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "2a0c:9a40:1031::504".parse().unwrap(),
+            local_ip: "2001:7f8:24::82".parse().unwrap(),
+        }
+    }
+
+    fn update_record(us: Option<u32>) -> MrtRecord {
+        MrtRecord {
+            timestamp: SimTime(1_717_501_500),
+            microseconds: us,
+            body: MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs: PathAttributes::announcement(AsPath::from_sequence([
+                        211_380, 25_091, 8298, 210_312,
+                    ])),
+                    ..BgpUpdate::default()
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn message_record_roundtrip() {
+        let rec = update_record(None);
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        let got = MrtRecord::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, rec);
+    }
+
+    #[test]
+    fn et_record_roundtrip() {
+        let rec = update_record(Some(123_456));
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        // ET type on the wire.
+        assert_eq!(u16::from_be_bytes([buf[4], buf[5]]), mrt_type::BGP4MP_ET);
+        let got = MrtRecord::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, rec);
+    }
+
+    #[test]
+    fn state_change_record_roundtrip() {
+        let rec = MrtRecord::new(
+            SimTime(1_717_501_501),
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: session(),
+                old_state: BgpState::Established,
+                new_state: BgpState::Idle,
+            }),
+        );
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        let got = MrtRecord::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, rec);
+    }
+
+    #[test]
+    fn unknown_type_rejected_but_framed() {
+        let rec = update_record(None);
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        buf[4] = 0;
+        buf[5] = 99; // bogus type
+        let err = MrtRecord::decode(&mut buf.freeze()).unwrap_err();
+        assert!(matches!(err, CodecError::UnknownVariant { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_in_body_rejected() {
+        let rec = update_record(None);
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        // Extend declared length by 1 and append a byte.
+        let len = u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]) + 1;
+        buf[8..12].copy_from_slice(&len.to_be_bytes());
+        buf.put_u8(0xAA);
+        let err = MrtRecord::decode(&mut buf.freeze()).unwrap_err();
+        assert!(matches!(err, CodecError::BadLength { .. }));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let bytes = [0u8; 5];
+        assert!(MrtRecord::decode(&mut &bytes[..]).is_err());
+    }
+}

@@ -1,0 +1,458 @@
+//! TABLE_DUMP_V2 records (RFC 6396 §4.3).
+//!
+//! RIPE RIS publishes full RIB snapshots of every peer every 8 hours; the
+//! paper scans roughly a year of them (2024-06-04 → 2025-05-09) to measure
+//! how long zombie routes survive. A snapshot is one `PEER_INDEX_TABLE`
+//! record followed by one `RIB_IPV4_UNICAST` / `RIB_IPV6_UNICAST` record per
+//! prefix, each holding the per-peer RIB entries.
+//!
+//! Quirk faithfully implemented: inside TABLE_DUMP_V2 RIB entries the
+//! MP_REACH_NLRI attribute is abbreviated to just the next-hop field
+//! (RFC 6396 §4.3.4) — no AFI/SAFI, no reserved byte, no NLRI — because the
+//! prefix lives in the record header.
+
+use bgpz_types::attrs::{type_code, AttrFlags, MpReach, NextHop};
+use bgpz_types::error::{ensure, CodecError, CodecResult};
+use bgpz_types::{Afi, Asn, PathAttributes, Prefix, SimTime};
+use bytes::{Buf, BufMut, BytesMut};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// One peer in a `PEER_INDEX_TABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeerEntry {
+    /// The peer's BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// The peer router address (this is how the paper names noisy peers).
+    pub addr: IpAddr,
+    /// The peer AS.
+    pub asn: Asn,
+}
+
+impl PeerEntry {
+    /// The RFC 6396 peer-type byte: bit 0 = IPv6 address, bit 1 = AS4.
+    fn peer_type(&self) -> u8 {
+        let mut t = 0b10; // always 4-byte AS in this workspace
+        if self.addr.is_ipv6() {
+            t |= 0b01;
+        }
+        t
+    }
+}
+
+/// A `PEER_INDEX_TABLE` record: the peer table RIB entries index into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerIndexTable {
+    /// Collector BGP identifier.
+    pub collector_id: Ipv4Addr,
+    /// Optional view name (RIS leaves it empty).
+    pub view_name: String,
+    /// Peers, position = index used by [`RibEntry::peer_index`].
+    pub peers: Vec<PeerEntry>,
+}
+
+impl PeerIndexTable {
+    /// Encodes the record body.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_slice(&self.collector_id.octets());
+        buf.put_u16(self.view_name.len() as u16);
+        buf.put_slice(self.view_name.as_bytes());
+        buf.put_u16(self.peers.len() as u16);
+        for peer in &self.peers {
+            buf.put_u8(peer.peer_type());
+            buf.put_slice(&peer.bgp_id.octets());
+            match peer.addr {
+                IpAddr::V4(a) => buf.put_slice(&a.octets()),
+                IpAddr::V6(a) => buf.put_slice(&a.octets()),
+            }
+            buf.put_u32(peer.asn.0);
+        }
+    }
+
+    /// Decodes the record body.
+    pub fn decode(buf: &mut impl Buf) -> CodecResult<PeerIndexTable> {
+        ensure(buf, 6, "PEER_INDEX_TABLE header")?;
+        let mut id = [0u8; 4];
+        buf.copy_to_slice(&mut id);
+        let name_len = buf.get_u16() as usize;
+        ensure(buf, name_len, "PEER_INDEX_TABLE view name")?;
+        let name_bytes = buf.copy_to_bytes(name_len);
+        let view_name = String::from_utf8(name_bytes.to_vec()).map_err(|_| CodecError::Invalid {
+            context: "view name is not UTF-8",
+        })?;
+        ensure(buf, 2, "PEER_INDEX_TABLE count")?;
+        let count = buf.get_u16() as usize;
+        let mut peers = Vec::with_capacity(count);
+        for _ in 0..count {
+            ensure(buf, 5, "peer entry header")?;
+            let peer_type = buf.get_u8();
+            let mut bgp_id = [0u8; 4];
+            buf.copy_to_slice(&mut bgp_id);
+            let addr = if peer_type & 0b01 != 0 {
+                ensure(buf, 16, "peer IPv6 address")?;
+                let mut a = [0u8; 16];
+                buf.copy_to_slice(&mut a);
+                IpAddr::V6(Ipv6Addr::from(a))
+            } else {
+                ensure(buf, 4, "peer IPv4 address")?;
+                let mut a = [0u8; 4];
+                buf.copy_to_slice(&mut a);
+                IpAddr::V4(Ipv4Addr::from(a))
+            };
+            let asn = if peer_type & 0b10 != 0 {
+                ensure(buf, 4, "peer AS4")?;
+                Asn(buf.get_u32())
+            } else {
+                ensure(buf, 2, "peer AS2")?;
+                Asn(buf.get_u16() as u32)
+            };
+            peers.push(PeerEntry {
+                bgp_id: Ipv4Addr::from(bgp_id),
+                addr,
+                asn,
+            });
+        }
+        Ok(PeerIndexTable {
+            collector_id: Ipv4Addr::from(id),
+            view_name,
+            peers,
+        })
+    }
+}
+
+/// One peer's entry for a prefix in a RIB record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Index into the snapshot's [`PeerIndexTable::peers`].
+    pub peer_index: u16,
+    /// When the route was received by the collector.
+    pub originated: SimTime,
+    /// Path attributes (MP_REACH abbreviated per RFC 6396 §4.3.4 on the
+    /// wire; reconstructed here with an empty NLRI list).
+    pub attrs: PathAttributes,
+}
+
+/// A `RIB_IPV4_UNICAST` / `RIB_IPV6_UNICAST` record: all peers' routes for
+/// one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibSnapshot {
+    /// Monotonic sequence number within the dump.
+    pub sequence: u32,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Per-peer entries.
+    pub entries: Vec<RibEntry>,
+}
+
+impl RibSnapshot {
+    /// Encodes the record body.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32(self.sequence);
+        self.prefix.encode_nlri(buf);
+        buf.put_u16(self.entries.len() as u16);
+        for entry in &self.entries {
+            buf.put_u16(entry.peer_index);
+            buf.put_u32(entry.originated.secs() as u32);
+            let body = encode_tdv2_attrs(&entry.attrs);
+            buf.put_u16(body.len() as u16);
+            buf.put_slice(&body);
+        }
+    }
+
+    /// Decodes the record body for the given family.
+    pub fn decode(buf: &mut impl Buf, afi: Afi) -> CodecResult<RibSnapshot> {
+        ensure(buf, 4, "RIB sequence")?;
+        let sequence = buf.get_u32();
+        let prefix = Prefix::decode_nlri(afi, buf)?;
+        ensure(buf, 2, "RIB entry count")?;
+        let count = buf.get_u16() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            ensure(buf, 8, "RIB entry header")?;
+            let peer_index = buf.get_u16();
+            let originated = SimTime(buf.get_u32() as u64);
+            let attr_len = buf.get_u16() as usize;
+            ensure(buf, attr_len, "RIB entry attributes")?;
+            let mut attr_bytes = buf.copy_to_bytes(attr_len);
+            let attrs = decode_tdv2_attrs(&mut attr_bytes, attr_len, afi)?;
+            entries.push(RibEntry {
+                peer_index,
+                originated,
+                attrs,
+            });
+        }
+        Ok(RibSnapshot {
+            sequence,
+            prefix,
+            entries,
+        })
+    }
+}
+
+/// Encodes attributes in TABLE_DUMP_V2 form: standard encoding except that
+/// MP_REACH_NLRI is abbreviated to `next-hop-length + next-hop`.
+fn encode_tdv2_attrs(attrs: &PathAttributes) -> BytesMut {
+    let mut out = BytesMut::new();
+    let mut stripped = attrs.clone();
+    let mp_reach = stripped.mp_reach.take();
+    stripped.encode(&mut out, true);
+    if let Some(mp) = mp_reach {
+        let mut body = BytesMut::with_capacity(1 + mp.next_hop.wire_len());
+        body.put_u8(mp.next_hop.wire_len() as u8);
+        match mp.next_hop {
+            NextHop::V4(a) => body.put_slice(&a.octets()),
+            NextHop::V6 { global, link_local } => {
+                body.put_slice(&global.octets());
+                if let Some(ll) = link_local {
+                    body.put_slice(&ll.octets());
+                }
+            }
+        }
+        out.put_u8(AttrFlags::OPTIONAL);
+        out.put_u8(type_code::MP_REACH_NLRI);
+        out.put_u8(body.len() as u8);
+        out.put_slice(&body);
+    }
+    out
+}
+
+/// Decodes TABLE_DUMP_V2 attributes: scans the TLV stream, intercepts the
+/// abbreviated MP_REACH_NLRI, and delegates everything else to the standard
+/// decoder.
+fn decode_tdv2_attrs(
+    buf: &mut bytes::Bytes,
+    total: usize,
+    afi: Afi,
+) -> CodecResult<PathAttributes> {
+    ensure(buf, total, "TDv2 attributes")?;
+    let mut sub = buf.copy_to_bytes(total);
+    let mut standard = BytesMut::new();
+    let mut mp_reach: Option<MpReach> = None;
+    while sub.has_remaining() {
+        ensure(&sub, 2, "TDv2 attribute header")?;
+        let flags = AttrFlags(sub.get_u8());
+        let tc = sub.get_u8();
+        let len = if flags.is_extended() {
+            ensure(&sub, 2, "TDv2 attribute extended length")?;
+            sub.get_u16() as usize
+        } else {
+            ensure(&sub, 1, "TDv2 attribute length")?;
+            sub.get_u8() as usize
+        };
+        ensure(&sub, len, "TDv2 attribute value")?;
+        let mut val = sub.copy_to_bytes(len);
+        if tc == type_code::MP_REACH_NLRI {
+            ensure(&val, 1, "TDv2 MP_REACH next-hop length")?;
+            let nh_len = val.get_u8() as usize;
+            ensure(&val, nh_len, "TDv2 MP_REACH next hop")?;
+            let next_hop = match (afi, nh_len) {
+                (Afi::Ipv4, 4) => {
+                    let mut a = [0u8; 4];
+                    val.copy_to_slice(&mut a);
+                    NextHop::V4(Ipv4Addr::from(a))
+                }
+                (Afi::Ipv6, 16) | (Afi::Ipv6, 32) => {
+                    let mut g = [0u8; 16];
+                    val.copy_to_slice(&mut g);
+                    let link_local = if nh_len == 32 {
+                        let mut ll = [0u8; 16];
+                        val.copy_to_slice(&mut ll);
+                        Some(Ipv6Addr::from(ll))
+                    } else {
+                        None
+                    };
+                    NextHop::V6 {
+                        global: Ipv6Addr::from(g),
+                        link_local,
+                    }
+                }
+                _ => {
+                    return Err(CodecError::Invalid {
+                        context: "TDv2 MP_REACH next-hop length inconsistent with AFI",
+                    })
+                }
+            };
+            mp_reach = Some(MpReach {
+                afi,
+                safi: 1,
+                next_hop,
+                nlri: Vec::new(),
+            });
+        } else {
+            // Re-emit the TLV verbatim for the standard decoder.
+            if len > 255 {
+                standard.put_u8(flags.0 | AttrFlags::EXTENDED);
+                standard.put_u8(tc);
+                standard.put_u16(len as u16);
+            } else {
+                standard.put_u8(flags.0 & !AttrFlags::EXTENDED);
+                standard.put_u8(tc);
+                standard.put_u8(len as u8);
+            }
+            standard.put_slice(&val);
+        }
+    }
+    let len = standard.len();
+    let mut attrs = PathAttributes::decode(&mut standard.freeze(), len, true)?;
+    attrs.mp_reach = mp_reach;
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_types::AsPath;
+
+    fn peers() -> Vec<PeerEntry> {
+        vec![
+            PeerEntry {
+                bgp_id: Ipv4Addr::new(10, 0, 0, 1),
+                addr: "2a0c:9a40:1031::504".parse().unwrap(),
+                asn: Asn(211_380),
+            },
+            PeerEntry {
+                bgp_id: Ipv4Addr::new(10, 0, 0, 2),
+                addr: "176.119.234.201".parse().unwrap(),
+                asn: Asn(211_509),
+            },
+        ]
+    }
+
+    #[test]
+    fn peer_index_roundtrip() {
+        let table = PeerIndexTable {
+            collector_id: Ipv4Addr::new(193, 0, 4, 28),
+            view_name: String::new(),
+            peers: peers(),
+        };
+        let mut buf = BytesMut::new();
+        table.encode(&mut buf);
+        let got = PeerIndexTable::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, table);
+    }
+
+    #[test]
+    fn peer_index_with_view_name() {
+        let table = PeerIndexTable {
+            collector_id: Ipv4Addr::new(1, 2, 3, 4),
+            view_name: "rrc25".into(),
+            peers: vec![],
+        };
+        let mut buf = BytesMut::new();
+        table.encode(&mut buf);
+        let got = PeerIndexTable::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got.view_name, "rrc25");
+    }
+
+    fn v6_attrs() -> PathAttributes {
+        let mut attrs =
+            PathAttributes::announcement(AsPath::from_sequence([211_380, 25_091, 8298, 210_312]));
+        attrs.mp_reach = Some(MpReach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            next_hop: NextHop::V6 {
+                global: "2a0c:9a40:1031::504".parse().unwrap(),
+                link_local: None,
+            },
+            nlri: Vec::new(),
+        });
+        attrs
+    }
+
+    #[test]
+    fn rib_snapshot_roundtrip_v6() {
+        let snap = RibSnapshot {
+            sequence: 42,
+            prefix: "2a0d:3dc1:1851::/48".parse().unwrap(),
+            entries: vec![
+                RibEntry {
+                    peer_index: 0,
+                    originated: SimTime(1_718_000_000),
+                    attrs: v6_attrs(),
+                },
+                RibEntry {
+                    peer_index: 1,
+                    originated: SimTime(1_718_000_100),
+                    attrs: v6_attrs(),
+                },
+            ],
+        };
+        let mut buf = BytesMut::new();
+        snap.encode(&mut buf);
+        let got = RibSnapshot::decode(&mut buf.freeze(), Afi::Ipv6).unwrap();
+        assert_eq!(got, snap);
+    }
+
+    #[test]
+    fn rib_snapshot_roundtrip_v4() {
+        let mut attrs = PathAttributes::announcement(AsPath::from_sequence([12_654]));
+        attrs.next_hop = Some(Ipv4Addr::new(192, 0, 2, 1));
+        let snap = RibSnapshot {
+            sequence: 0,
+            prefix: Prefix::v4(84, 205, 64, 0, 24),
+            entries: vec![RibEntry {
+                peer_index: 3,
+                originated: SimTime(1_531_965_602),
+                attrs,
+            }],
+        };
+        let mut buf = BytesMut::new();
+        snap.encode(&mut buf);
+        let got = RibSnapshot::decode(&mut buf.freeze(), Afi::Ipv4).unwrap();
+        assert_eq!(got, snap);
+    }
+
+    #[test]
+    fn tdv2_mp_reach_is_abbreviated_on_wire() {
+        let body = encode_tdv2_attrs(&v6_attrs());
+        // Find the MP_REACH TLV and verify its body is nh_len + nh only
+        // (17 bytes for a single global IPv6 next hop).
+        let mut buf = &body[..];
+        let mut found = false;
+        while !buf.is_empty() {
+            let flags = AttrFlags(buf[0]);
+            let tc = buf[1];
+            let (len, header) = if flags.is_extended() {
+                (u16::from_be_bytes([buf[2], buf[3]]) as usize, 4)
+            } else {
+                (buf[2] as usize, 3)
+            };
+            if tc == type_code::MP_REACH_NLRI {
+                assert_eq!(len, 17);
+                assert_eq!(buf[header], 16); // next-hop length byte
+                found = true;
+            }
+            buf = &buf[header + len..];
+        }
+        assert!(found, "MP_REACH TLV missing");
+    }
+
+    #[test]
+    fn empty_rib_record() {
+        let snap = RibSnapshot {
+            sequence: 7,
+            prefix: "2a0d:3dc1:30::/48".parse().unwrap(),
+            entries: vec![],
+        };
+        let mut buf = BytesMut::new();
+        snap.encode(&mut buf);
+        let got = RibSnapshot::decode(&mut buf.freeze(), Afi::Ipv6).unwrap();
+        assert_eq!(got, snap);
+    }
+
+    #[test]
+    fn truncated_rib_entry_rejected() {
+        let snap = RibSnapshot {
+            sequence: 1,
+            prefix: "2a0d:3dc1:30::/48".parse().unwrap(),
+            entries: vec![RibEntry {
+                peer_index: 0,
+                originated: SimTime(0),
+                attrs: v6_attrs(),
+            }],
+        };
+        let mut buf = BytesMut::new();
+        snap.encode(&mut buf);
+        let short = &buf[..buf.len() - 3];
+        assert!(RibSnapshot::decode(&mut &short[..], Afi::Ipv6).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! A minimal AS-granular data plane.
+//!
+//! Reproduces the paper's Fig. 1 failure mode: when a more-specific prefix
+//! is withdrawn but a zombie route for it survives upstream, longest-prefix
+//! matching steers traffic along the stale path; the AS that correctly
+//! removed the more-specific forwards the packet back along its
+//! covering-prefix route — a forwarding loop that drains the hop limit and
+//! drops the packet. Partial outage, exactly as illustrated.
+
+use crate::engine::Simulator;
+use bgpz_types::{Asn, Ipv4Net, Ipv6Net, Prefix};
+use std::net::IpAddr;
+
+/// Default IPv6-style hop limit.
+pub const DEFAULT_HOP_LIMIT: usize = 64;
+
+/// One step of a forwarding trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHop {
+    /// The AS holding the packet.
+    pub asn: Asn,
+    /// The prefix its FIB matched (None = no route).
+    pub matched: Option<Prefix>,
+}
+
+/// Terminal outcome of a forwarding trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForwardOutcome {
+    /// Packet reached the AS that originates the matched prefix.
+    Delivered {
+        /// The destination AS.
+        at: Asn,
+    },
+    /// An AS had no route at all.
+    NoRoute {
+        /// Where the packet was dropped.
+        at: Asn,
+    },
+    /// The hop limit expired — almost always a forwarding loop. The
+    /// repeating ASes are reported for diagnosis.
+    HopLimitExceeded {
+        /// The loop participants (unique ASes seen more than once).
+        looping: Vec<Asn>,
+    },
+}
+
+impl ForwardOutcome {
+    /// True if the packet arrived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, ForwardOutcome::Delivered { .. })
+    }
+}
+
+/// Converts a destination host address to a host-length [`Prefix`].
+fn host_prefix(dst: IpAddr) -> Prefix {
+    match dst {
+        IpAddr::V4(a) => Prefix::V4(Ipv4Net::new(a, 32).expect("/32 is valid")),
+        IpAddr::V6(a) => Prefix::V6(Ipv6Net::new(a, 128).expect("/128 is valid")),
+    }
+}
+
+/// Forwards a packet from `src` towards `dst` over the simulator's current
+/// control-plane state, returning the hops taken and the outcome.
+///
+/// Each AS does longest-prefix match over its best routes; the next hop is
+/// the neighbor its best route was learned from; a locally-originated match
+/// is a delivery.
+pub fn trace(sim: &Simulator, src: Asn, dst: IpAddr, hop_limit: usize) -> (Vec<TraceHop>, ForwardOutcome) {
+    let dst_prefix = host_prefix(dst);
+    let mut hops = Vec::new();
+    let mut node = sim
+        .topology()
+        .index_of(src)
+        .unwrap_or_else(|| panic!("{src} is not in the topology"));
+    for _ in 0..hop_limit {
+        let asn = sim.topology().asn(node);
+        match sim.lookup(node, dst_prefix) {
+            None => {
+                hops.push(TraceHop { asn, matched: None });
+                return (hops, ForwardOutcome::NoRoute { at: asn });
+            }
+            Some((matched, next)) => {
+                hops.push(TraceHop {
+                    asn,
+                    matched: Some(matched),
+                });
+                match next {
+                    None => return (hops, ForwardOutcome::Delivered { at: asn }),
+                    Some(next_node) => node = next_node,
+                }
+            }
+        }
+    }
+    // Hop limit exceeded: report ASes that appear more than once.
+    let mut counts = std::collections::HashMap::new();
+    for hop in &hops {
+        *counts.entry(hop.asn).or_insert(0usize) += 1;
+    }
+    let mut looping: Vec<Asn> = counts
+        .into_iter()
+        .filter(|&(_, c)| c > 1)
+        .map(|(asn, _)| asn)
+        .collect();
+    looping.sort_unstable();
+    (hops, ForwardOutcome::HopLimitExceeded { looping })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{EpisodeEnd, FaultPlan};
+    use crate::route::RouteMeta;
+    use crate::topology::{Tier, Topology};
+    use bgpz_types::SimTime;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// The Fig. 1 topology: ASY — AS3 — ASX — AS1, with AS2 also attached
+    /// to AS3 (so the /32 route reaches everyone), AS1 originates the /48,
+    /// AS2 the covering /32.
+    ///
+    /// ASN mapping: AS1=1, AS2=2, AS3=3 (the dominant transit), ASX=64_001,
+    /// ASY=64_002.
+    fn fig1_topology() -> Topology {
+        Topology::builder()
+            .node(Asn(3), Tier::Tier1)
+            .node(Asn(64_001), Tier::Tier2) // ASX
+            .node(Asn(1), Tier::Stub) // AS1
+            .node(Asn(2), Tier::Stub) // AS2
+            .node(Asn(64_002), Tier::Stub) // ASY
+            .provider_customer(Asn(3), Asn(64_001))
+            .provider_customer(Asn(64_001), Asn(1))
+            .provider_customer(Asn(3), Asn(2))
+            .provider_customer(Asn(3), Asn(64_002))
+            .build()
+    }
+
+    fn meta() -> RouteMeta {
+        RouteMeta::default()
+    }
+
+    #[test]
+    fn normal_delivery() {
+        let mut sim = Simulator::new(fig1_topology(), &FaultPlan::none(), 1);
+        sim.schedule_announce(SimTime(0), Asn(1), p("2001:db8::/48"), meta());
+        sim.run_until(SimTime(600));
+        let (hops, outcome) = trace(
+            &sim,
+            Asn(64_002),
+            "2001:db8::1".parse().unwrap(),
+            DEFAULT_HOP_LIMIT,
+        );
+        assert_eq!(outcome, ForwardOutcome::Delivered { at: Asn(1) });
+        let path: Vec<u32> = hops.iter().map(|h| h.asn.0).collect();
+        assert_eq!(path, vec![64_002, 3, 64_001, 1]);
+    }
+
+    #[test]
+    fn no_route_when_nothing_announced() {
+        let sim = Simulator::new(fig1_topology(), &FaultPlan::none(), 1);
+        let (hops, outcome) = trace(
+            &sim,
+            Asn(64_002),
+            "2001:db8::1".parse().unwrap(),
+            DEFAULT_HOP_LIMIT,
+        );
+        assert_eq!(outcome, ForwardOutcome::NoRoute { at: Asn(64_002) });
+        assert_eq!(hops.len(), 1);
+    }
+
+    #[test]
+    fn fig1_zombie_causes_forwarding_loop() {
+        // 1. AS1 announces the /48. 2. The withdrawal is frozen on the
+        // ASX→AS3 session, so AS3 keeps the zombie /48. 3. AS2 announces
+        // the covering /32. 4. Traffic from ASY to 2001:db8::1 loops
+        // between AS3 (zombie /48 → ASX) and ASX (/32 → AS3).
+        let plan = FaultPlan::none().freeze(
+            Asn(64_001),
+            Asn(3),
+            SimTime(3_000),
+            SimTime(1_000_000),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(fig1_topology(), &plan, 1);
+        sim.schedule_announce(SimTime(0), Asn(1), p("2001:db8::/48"), meta());
+        sim.schedule_withdraw(SimTime(4_000), Asn(1), p("2001:db8::/48"));
+        sim.schedule_announce(SimTime(5_000), Asn(2), p("2001:db8::/32"), meta());
+        sim.run_until(SimTime(10_000));
+
+        // Control-plane state matches the figure.
+        assert!(sim.holds_prefix(Asn(3), p("2001:db8::/48")), "zombie at AS3");
+        assert!(!sim.holds_prefix(Asn(64_001), p("2001:db8::/48")));
+        assert!(sim.holds_prefix(Asn(64_001), p("2001:db8::/32")));
+
+        let (hops, outcome) = trace(
+            &sim,
+            Asn(64_002),
+            "2001:db8::1".parse().unwrap(),
+            DEFAULT_HOP_LIMIT,
+        );
+        match outcome {
+            ForwardOutcome::HopLimitExceeded { looping } => {
+                assert_eq!(looping, vec![Asn(3), Asn(64_001)]);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+        assert_eq!(hops.len(), DEFAULT_HOP_LIMIT);
+        // The first hop matched the /48 zombie at AS3... via ASY's view.
+        assert_eq!(hops[0].asn, Asn(64_002));
+        assert_eq!(hops[1].asn, Asn(3));
+        assert_eq!(hops[1].matched, Some(p("2001:db8::/48")));
+        assert_eq!(hops[2].asn, Asn(64_001));
+        assert_eq!(hops[2].matched, Some(p("2001:db8::/32")));
+    }
+
+    #[test]
+    fn traffic_to_other_addresses_in_32_unaffected() {
+        // Addresses outside the zombie /48 are fine: partial outage.
+        let plan = FaultPlan::none().freeze(
+            Asn(64_001),
+            Asn(3),
+            SimTime(3_000),
+            SimTime(1_000_000),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(fig1_topology(), &plan, 1);
+        sim.schedule_announce(SimTime(0), Asn(1), p("2001:db8::/48"), meta());
+        sim.schedule_withdraw(SimTime(4_000), Asn(1), p("2001:db8::/48"));
+        sim.schedule_announce(SimTime(5_000), Asn(2), p("2001:db8::/32"), meta());
+        sim.run_until(SimTime(10_000));
+        let (_, outcome) = trace(
+            &sim,
+            Asn(64_002),
+            "2001:db8:ffff::1".parse().unwrap(),
+            DEFAULT_HOP_LIMIT,
+        );
+        assert_eq!(outcome, ForwardOutcome::Delivered { at: Asn(2) });
+    }
+
+    #[test]
+    fn hop_limit_respected() {
+        let plan = FaultPlan::none().freeze(
+            Asn(64_001),
+            Asn(3),
+            SimTime(3_000),
+            SimTime(1_000_000),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(fig1_topology(), &plan, 1);
+        sim.schedule_announce(SimTime(0), Asn(1), p("2001:db8::/48"), meta());
+        sim.schedule_withdraw(SimTime(4_000), Asn(1), p("2001:db8::/48"));
+        sim.schedule_announce(SimTime(5_000), Asn(2), p("2001:db8::/32"), meta());
+        sim.run_until(SimTime(10_000));
+        let (hops, _) = trace(&sim, Asn(64_002), "2001:db8::1".parse().unwrap(), 8);
+        assert_eq!(hops.len(), 8);
+    }
+}

@@ -1,0 +1,1410 @@
+//! Event-driven Gao–Rexford BGP propagation engine.
+//!
+//! Deterministic (seeded RNG, totally ordered event queue), sans-IO, and
+//! prefix-granular: every announcement, withdrawal, path-hunting step,
+//! session reset and freeze is an event on a simulated-time heap.
+//!
+//! ## Semantics
+//!
+//! * **Selection**: customer > peer > provider, then shortest AS path,
+//!   then lowest neighbor ASN (deterministic tie-break).
+//! * **Export**: Gao–Rexford valley-free rules; own prefixes are exported
+//!   to everyone; split horizon plus sender-side path poisoning.
+//! * **Withdrawal**: losing the best route triggers path hunting — the AS
+//!   falls back to the next-best Adj-RIB-In entry and *announces* it, which
+//!   is why zombie paths are longer than normal paths (paper Fig. 6).
+//! * **Faults**: frozen directed edges silently eat messages; sticky ASes
+//!   go deaf to withdrawals of a prefix until the next announcement;
+//!   session resets flush both Adj-RIB-Ins and re-synchronise from the
+//!   current Adj-RIB-Outs (the resurrection vector).
+//! * **RPKI**: routes are validated at import; strict-ROV ASes re-validate
+//!   when the ROA set changes (with a per-AS propagation delay) and evict
+//!   routes that became invalid; import-only ASes never re-validate.
+
+use crate::faults::{EpisodeEnd, FaultPlan};
+use bgpz_types::Afi;
+use crate::route::{Relationship, RouteEntry, RouteMeta, RovPolicy};
+use crate::topology::Topology;
+use bgpz_rpki::RoaTimeline;
+use bgpz_types::{AsPath, Asn, Prefix, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Index of an AS within the topology.
+type NodeId = usize;
+
+/// What a watched (RIS-peering) AS told its collector.
+#[derive(Debug, Clone)]
+pub struct RouteEvent {
+    /// When the collector received it.
+    pub time: SimTime,
+    /// The peer AS that exported it.
+    pub peer: Asn,
+    /// The prefix concerned.
+    pub prefix: Prefix,
+    /// Announcement (with the path as exported, peer AS first) or
+    /// withdrawal.
+    pub kind: RouteEventKind,
+}
+
+/// The payload of a [`RouteEvent`].
+#[derive(Debug, Clone)]
+pub enum RouteEventKind {
+    /// The peer announced (or replaced) its best route.
+    Announce {
+        /// Exported AS path: the peer's ASN first, origin last.
+        path: Arc<AsPath>,
+        /// Transitive metadata (Aggregator BGP clock etc.).
+        meta: RouteMeta,
+    },
+    /// The peer withdrew the prefix.
+    Withdraw,
+}
+
+/// Counters for a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages delivered and processed.
+    pub delivered: u64,
+    /// Messages eaten by frozen sessions.
+    pub dropped_frozen: u64,
+    /// Withdrawals eaten by sticky peers.
+    pub dropped_sticky: u64,
+    /// Announcements rejected by receiver-side loop detection.
+    pub loop_rejected: u64,
+    /// Announcements imported while RPKI-invalid (installed but excluded
+    /// from selection at validating ASes).
+    pub invalid_imports: u64,
+    /// Announce messages sent.
+    pub announces_sent: u64,
+    /// Withdraw messages sent.
+    pub withdraws_sent: u64,
+    /// Session resets executed.
+    pub resets: u64,
+    /// Strict-ROV re-validation passes executed.
+    pub revalidations: u64,
+}
+
+/// A BGP message in flight.
+#[derive(Debug, Clone)]
+enum Msg {
+    Announce {
+        prefix: Prefix,
+        path: Arc<AsPath>,
+        meta: RouteMeta,
+    },
+    Withdraw {
+        prefix: Prefix,
+    },
+}
+
+/// Scheduled work.
+#[derive(Debug, Clone)]
+enum EventKind {
+    Deliver { from: NodeId, to: NodeId, msg: Msg },
+    OriginateAnnounce { node: NodeId, prefix: Prefix, meta: RouteMeta },
+    OriginateWithdraw { node: NodeId, prefix: Prefix },
+    FreezeStart { from: NodeId, to: NodeId, filter: FreezeFilter, flush: bool },
+    FreezeEnd { from: NodeId, to: NodeId, mode: EpisodeEnd, filter: FreezeFilter },
+    SessionReset { a: NodeId, b: NodeId },
+    RpkiChange,
+    RpkiRevalidate { node: NodeId },
+}
+
+/// What a freeze window applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreezeFilter {
+    afi: Option<Afi>,
+    withdrawals_only: bool,
+}
+
+impl FreezeFilter {
+    /// True if this filter eats a message of the given family/kind.
+    fn eats(&self, msg_afi: Afi, is_withdraw: bool) -> bool {
+        self.afi.is_none_or(|afi| afi == msg_afi) && (!self.withdrawals_only || is_withdraw)
+    }
+}
+
+/// Heap entry; min-ordered by (time, seq) via `Reverse`.
+#[derive(Debug)]
+struct HeapEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for HeapEvent {
+    fn eq(&self, other: &HeapEvent) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEvent {}
+impl PartialOrd for HeapEvent {
+    fn partial_cmp(&self, other: &HeapEvent) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEvent {
+    fn cmp(&self, other: &HeapEvent) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The current best route of a node for a prefix.
+#[derive(Debug, Clone)]
+struct BestInfo {
+    /// `None` = locally originated.
+    from: Option<NodeId>,
+    /// Path as stored in the RIB (empty for local origination).
+    path: Arc<AsPath>,
+    meta: RouteMeta,
+    /// Relationship class used for export filtering (Customer for local).
+    export_class: Relationship,
+}
+
+impl BestInfo {
+    fn same_route(&self, other: &BestInfo) -> bool {
+        self.from == other.from && self.meta == other.meta && self.path == other.path
+    }
+}
+
+/// What was last sent to a neighbor for a prefix.
+#[derive(Debug, Clone)]
+struct OutRoute {
+    path: Arc<AsPath>,
+    meta: RouteMeta,
+}
+
+/// Per-(node, prefix) state.
+#[derive(Debug, Default)]
+struct PrefixState {
+    /// Locally originated route metadata, if the node is the origin.
+    local: Option<RouteMeta>,
+    /// Adj-RIB-In: routes by neighbor.
+    rib_in: Vec<(NodeId, RouteEntry)>,
+    /// Adj-RIB-Out: last advertisement by neighbor (absent = withdrawn).
+    rib_out: Vec<(NodeId, OutRoute)>,
+    /// Current best.
+    best: Option<BestInfo>,
+    /// Sticky-peer deafness: withdrawals for this prefix are ignored until
+    /// the next announcement.
+    deaf: bool,
+}
+
+/// Per-node state.
+#[derive(Debug, Default)]
+struct NodeState {
+    prefixes: HashMap<Prefix, PrefixState>,
+}
+
+/// The simulator. See the module docs for semantics.
+pub struct Simulator {
+    topo: Topology,
+    nodes: Vec<NodeState>,
+    queue: BinaryHeap<Reverse<HeapEvent>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    /// Directed frozen edges and their active window filters.
+    frozen: HashMap<(NodeId, NodeId), Vec<FreezeFilter>>,
+    /// Per directed edge: latest scheduled delivery, enforcing FIFO
+    /// ordering (BGP sessions run over TCP — messages never overtake each
+    /// other; without this, a withdrawal could arrive before the
+    /// announcement it cancels and leave a phantom stuck route).
+    edge_last: HashMap<(NodeId, NodeId), SimTime>,
+    sticky: HashMap<NodeId, f64>,
+    sticky_prefixes: HashMap<NodeId, Vec<Prefix>>,
+    sticky_windows: HashMap<NodeId, Vec<(Prefix, SimTime, SimTime)>>,
+    watched: Vec<bool>,
+    events_out: Vec<RouteEvent>,
+    rpki: Option<Arc<RoaTimeline>>,
+    /// Max seconds of per-AS ROA propagation delay (RPKI time of flight).
+    rpki_max_delay: u64,
+    stats: SimStats,
+    generation: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator over `topo` with the fault `plan`, seeded RNG.
+    pub fn new(topo: Topology, plan: &FaultPlan, seed: u64) -> Simulator {
+        let n = topo.len();
+        let mut sim = Simulator {
+            nodes: (0..n).map(|_| NodeState::default()).collect(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            frozen: HashMap::new(),
+            edge_last: HashMap::new(),
+            sticky: HashMap::new(),
+            sticky_prefixes: HashMap::new(),
+            sticky_windows: HashMap::new(),
+            watched: vec![false; n],
+            events_out: Vec::new(),
+            rpki: None,
+            rpki_max_delay: 2 * 3_600,
+            stats: SimStats::default(),
+            generation: 0,
+            topo,
+        };
+        for ep in &plan.freezes {
+            let from = sim.node_of(ep.from);
+            let to = sim.node_of(ep.to);
+            let filter = FreezeFilter {
+                afi: ep.afi,
+                withdrawals_only: ep.withdrawals_only,
+            };
+            sim.push(
+                ep.start,
+                EventKind::FreezeStart {
+                    from,
+                    to,
+                    filter,
+                    flush: ep.flush_at_start,
+                },
+            );
+            sim.push(
+                ep.end,
+                EventKind::FreezeEnd {
+                    from,
+                    to,
+                    mode: ep.end_mode,
+                    filter,
+                },
+            );
+        }
+        for reset in &plan.resets {
+            let a = sim.node_of(reset.a);
+            let b = sim.node_of(reset.b);
+            sim.push(reset.time, EventKind::SessionReset { a, b });
+        }
+        for (&asn, &p) in &plan.sticky {
+            let node = sim.node_of(asn);
+            sim.sticky.insert(node, p);
+        }
+        for (&asn, prefixes) in &plan.sticky_prefixes {
+            let node = sim.node_of(asn);
+            sim.sticky_prefixes.insert(node, prefixes.clone());
+        }
+        for &(asn, prefix, start, end) in &plan.sticky_windows {
+            let node = sim.node_of(asn);
+            sim.sticky_windows
+                .entry(node)
+                .or_default()
+                .push((prefix, start, end));
+        }
+        sim
+    }
+
+    /// Attaches an RPKI timeline; strict-ROV ASes will re-validate within
+    /// `max_delay_secs` of each ROA change.
+    pub fn set_rpki(&mut self, timeline: Arc<RoaTimeline>, max_delay_secs: u64) {
+        for t in timeline.change_points() {
+            if t > SimTime::ZERO {
+                self.push(t, EventKind::RpkiChange);
+            }
+        }
+        self.rpki = Some(timeline);
+        self.rpki_max_delay = max_delay_secs.max(1);
+    }
+
+    /// Marks `asn` as a collector-peering AS whose exports are recorded as
+    /// [`RouteEvent`]s.
+    pub fn watch(&mut self, asn: Asn) {
+        let node = self.node_of(asn);
+        self.watched[node] = true;
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Allocates the next ground-truth announcement generation.
+    pub fn next_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    fn node_of(&self, asn: Asn) -> NodeId {
+        self.topo
+            .index_of(asn)
+            .unwrap_or_else(|| panic!("{asn} is not in the topology"))
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(HeapEvent {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Schedules an origination of `prefix` by `origin` at `time`.
+    pub fn schedule_announce(&mut self, time: SimTime, origin: Asn, prefix: Prefix, meta: RouteMeta) {
+        let node = self.node_of(origin);
+        self.push(time, EventKind::OriginateAnnounce { node, prefix, meta });
+    }
+
+    /// Schedules a withdrawal of `prefix` by `origin` at `time`.
+    pub fn schedule_withdraw(&mut self, time: SimTime, origin: Asn, prefix: Prefix) {
+        let node = self.node_of(origin);
+        self.push(time, EventKind::OriginateWithdraw { node, prefix });
+    }
+
+    /// Schedules an ad-hoc session reset (beyond the fault plan).
+    pub fn schedule_reset(&mut self, time: SimTime, a: Asn, b: Asn) {
+        let a = self.node_of(a);
+        let b = self.node_of(b);
+        self.push(time, EventKind::SessionReset { a, b });
+    }
+
+    /// Drains the recorded collector events (ordered by processing time).
+    pub fn drain_events(&mut self) -> Vec<RouteEvent> {
+        std::mem::take(&mut self.events_out)
+    }
+
+    /// Runs every event with `time <= until`, advancing the clock.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > until {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            debug_assert!(event.time >= self.now, "event from the past");
+            self.now = event.time;
+            self.dispatch(event.kind);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_completion(&mut self) {
+        while let Some(Reverse(event)) = self.queue.pop() {
+            self.now = event.time;
+            self.dispatch(event.kind);
+        }
+    }
+
+    /// True if `asn` currently has any route for `prefix`.
+    pub fn holds_prefix(&self, asn: Asn, prefix: Prefix) -> bool {
+        let node = self.node_of(asn);
+        self.nodes[node]
+            .prefixes
+            .get(&prefix)
+            .is_some_and(|st| st.best.is_some())
+    }
+
+    /// The route `asn` would export to a collector for `prefix`:
+    /// `(path with own ASN first, meta)`.
+    pub fn exported_route(&self, asn: Asn, prefix: Prefix) -> Option<(AsPath, RouteMeta)> {
+        let node = self.node_of(asn);
+        let st = self.nodes[node].prefixes.get(&prefix)?;
+        let best = st.best.as_ref()?;
+        Some((best.path.prepend(self.topo.asn(node)), best.meta))
+    }
+
+    /// Every prefix `asn` currently exports, with paths — used by the RIS
+    /// layer for 8-hourly RIB dumps. Sorted by prefix for determinism.
+    pub fn exported_table(&self, asn: Asn) -> Vec<(Prefix, AsPath, RouteMeta)> {
+        let node = self.node_of(asn);
+        let own = self.topo.asn(node);
+        let mut out: Vec<(Prefix, AsPath, RouteMeta)> = self.nodes[node]
+            .prefixes
+            .iter()
+            .filter_map(|(&prefix, st)| {
+                st.best
+                    .as_ref()
+                    .map(|b| (prefix, b.path.prepend(own), b.meta))
+            })
+            .collect();
+        out.sort_by_key(|&(prefix, _, _)| prefix);
+        out
+    }
+
+    /// The best route of `asn` for the longest prefix containing `dst`, as
+    /// `(prefix, next_hop)` where `next_hop = None` means local delivery.
+    /// Used by the data plane.
+    pub(crate) fn lookup(&self, node: NodeId, dst: Prefix) -> Option<(Prefix, Option<NodeId>)> {
+        debug_assert!(dst.len() == dst.afi().max_bits(), "dst must be a host");
+        let mut hit: Option<(Prefix, Option<NodeId>)> = None;
+        for (&prefix, st) in &self.nodes[node].prefixes {
+            if !prefix.contains(dst) {
+                continue;
+            }
+            let Some(best) = st.best.as_ref() else { continue };
+            if hit.is_none_or(|(p, _)| prefix.len() > p.len()) {
+                hit = Some((prefix, best.from));
+            }
+        }
+        hit
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { from, to, msg } => self.on_deliver(from, to, msg),
+            EventKind::OriginateAnnounce { node, prefix, meta } => {
+                let st = self.nodes[node].prefixes.entry(prefix).or_default();
+                st.local = Some(meta);
+                st.deaf = false;
+                self.recompute(node, prefix);
+            }
+            EventKind::OriginateWithdraw { node, prefix } => {
+                if let Some(st) = self.nodes[node].prefixes.get_mut(&prefix) {
+                    st.local = None;
+                    self.recompute(node, prefix);
+                }
+            }
+            EventKind::FreezeStart { from, to, filter, flush } => {
+                if flush {
+                    self.flush_session(from, to);
+                }
+                self.frozen.entry((from, to)).or_default().push(filter);
+            }
+            EventKind::FreezeEnd {
+                from,
+                to,
+                mode,
+                filter,
+            } => {
+                if let Some(filters) = self.frozen.get_mut(&(from, to)) {
+                    if let Some(pos) = filters.iter().position(|&f| f == filter) {
+                        filters.swap_remove(pos);
+                    }
+                    if filters.is_empty() {
+                        self.frozen.remove(&(from, to));
+                    }
+                }
+                if mode == EpisodeEnd::Reset {
+                    self.session_reset(from, to);
+                }
+            }
+            EventKind::SessionReset { a, b } => self.session_reset(a, b),
+            EventKind::RpkiChange => {
+                let strict: Vec<NodeId> = (0..self.topo.len())
+                    .filter(|&i| self.topo.rov(i) == RovPolicy::Strict)
+                    .collect();
+                for node in strict {
+                    let delay = self.rng.random_range(60..=self.rpki_max_delay.max(61));
+                    let at = self.now + delay;
+                    self.push(at, EventKind::RpkiRevalidate { node });
+                }
+            }
+            EventKind::RpkiRevalidate { node } => self.revalidate(node),
+        }
+    }
+
+    fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        let msg_afi = match &msg {
+            Msg::Announce { prefix, .. } | Msg::Withdraw { prefix } => prefix.afi(),
+        };
+        let is_withdraw = matches!(msg, Msg::Withdraw { .. });
+        if self
+            .frozen
+            .get(&(from, to))
+            .is_some_and(|filters| filters.iter().any(|f| f.eats(msg_afi, is_withdraw)))
+        {
+            self.stats.dropped_frozen += 1;
+            return;
+        }
+        self.stats.delivered += 1;
+        match msg {
+            Msg::Withdraw { prefix } => {
+                if self
+                    .sticky_prefixes
+                    .get(&to)
+                    .is_some_and(|list| list.contains(&prefix))
+                {
+                    self.stats.dropped_sticky += 1;
+                    return;
+                }
+                if self.sticky_windows.get(&to).is_some_and(|windows| {
+                    windows
+                        .iter()
+                        .any(|&(p, start, end)| p == prefix && self.now >= start && self.now < end)
+                }) {
+                    self.stats.dropped_sticky += 1;
+                    return;
+                }
+                let sticky_p = self.sticky.get(&to).copied();
+                let Some(st) = self.nodes[to].prefixes.get_mut(&prefix) else {
+                    return;
+                };
+                if let Some(p) = sticky_p {
+                    if st.deaf {
+                        self.stats.dropped_sticky += 1;
+                        return;
+                    }
+                    if p > 0.0 && self.rng.random_bool(p) {
+                        st.deaf = true;
+                        self.stats.dropped_sticky += 1;
+                        return;
+                    }
+                }
+                let before = st.rib_in.len();
+                st.rib_in.retain(|&(n, _)| n != from);
+                if st.rib_in.len() != before {
+                    self.recompute(to, prefix);
+                }
+            }
+            Msg::Announce { prefix, path, meta } => {
+                let own = self.topo.asn(to);
+                if path.contains(own) {
+                    self.stats.loop_rejected += 1;
+                    return;
+                }
+                let rel = self
+                    .topo
+                    .relationship(to, from)
+                    .expect("message on a non-existent adjacency");
+                let rpki_valid = self.import_validity(to, &path, prefix);
+                if !rpki_valid {
+                    self.stats.invalid_imports += 1;
+                }
+                let st = self.nodes[to].prefixes.entry(prefix).or_default();
+                st.deaf = false;
+                let entry = RouteEntry {
+                    path,
+                    meta,
+                    rel,
+                    rpki_valid,
+                };
+                match st.rib_in.iter_mut().find(|(n, _)| *n == from) {
+                    Some((_, existing)) => {
+                        if existing.path == entry.path
+                            && existing.meta == entry.meta
+                            && existing.rpki_valid == entry.rpki_valid
+                        {
+                            return; // duplicate, nothing changed
+                        }
+                        *existing = entry;
+                    }
+                    None => st.rib_in.push((from, entry)),
+                }
+                self.recompute(to, prefix);
+            }
+        }
+    }
+
+    /// Import-time RPKI validity for `node`. Nodes without ROV always
+    /// accept.
+    fn import_validity(&self, node: NodeId, path: &AsPath, prefix: Prefix) -> bool {
+        if self.topo.rov(node) == RovPolicy::None {
+            return true;
+        }
+        let Some(rpki) = &self.rpki else { return true };
+        let Some(origin) = path.origin() else {
+            return true;
+        };
+        rpki.validate(prefix, origin, self.now).acceptable()
+    }
+
+    /// Strict-ROV re-validation of every installed route at `node`.
+    fn revalidate(&mut self, node: NodeId) {
+        self.stats.revalidations += 1;
+        let Some(rpki) = self.rpki.clone() else { return };
+        let mut prefixes: Vec<Prefix> = self.nodes[node].prefixes.keys().copied().collect();
+        prefixes.sort_unstable();
+        for prefix in prefixes {
+            let now = self.now;
+            let st = self.nodes[node]
+                .prefixes
+                .get_mut(&prefix)
+                .expect("key just listed");
+            let mut changed = false;
+            for (_, entry) in &mut st.rib_in {
+                let valid = entry
+                    .path
+                    .origin()
+                    .map(|origin| rpki.validate(prefix, origin, now).acceptable())
+                    .unwrap_or(true);
+                if valid != entry.rpki_valid {
+                    entry.rpki_valid = valid;
+                    changed = true;
+                }
+            }
+            if changed {
+                self.recompute(node, prefix);
+            }
+        }
+    }
+
+    /// Flushes both Adj-RIB-Ins of a session (the down half of a reset).
+    fn flush_session(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            let mut affected: Vec<Prefix> = self.nodes[y]
+                .prefixes
+                .iter()
+                .filter(|(_, st)| st.rib_in.iter().any(|&(n, _)| n == x))
+                .map(|(&p, _)| p)
+                .collect();
+            affected.sort_unstable();
+            for prefix in affected {
+                let st = self.nodes[y]
+                    .prefixes
+                    .get_mut(&prefix)
+                    .expect("key just listed");
+                st.rib_in.retain(|&(n, _)| n != x);
+                self.recompute(y, prefix);
+            }
+        }
+    }
+
+    /// Session reset: flush both Adj-RIB-Ins, then re-synchronise from the
+    /// current Adj-RIB-Outs with a small re-establishment delay.
+    fn session_reset(&mut self, a: NodeId, b: NodeId) {
+        self.stats.resets += 1;
+        self.frozen.remove(&(a, b));
+        self.frozen.remove(&(b, a));
+        for (x, y) in [(a, b), (b, a)] {
+            let mut affected: Vec<Prefix> = self.nodes[y]
+                .prefixes
+                .iter()
+                .filter(|(_, st)| st.rib_in.iter().any(|&(n, _)| n == x))
+                .map(|(&p, _)| p)
+                .collect();
+            affected.sort_unstable();
+            for prefix in affected {
+                let st = self.nodes[y]
+                    .prefixes
+                    .get_mut(&prefix)
+                    .expect("key just listed");
+                st.rib_in.retain(|&(n, _)| n != x);
+                self.recompute(y, prefix);
+            }
+        }
+        for (x, y) in [(a, b), (b, a)] {
+            let mut outs: Vec<(Prefix, OutRoute)> = self.nodes[x]
+                .prefixes
+                .iter()
+                .filter_map(|(&p, st)| {
+                    st.rib_out
+                        .iter()
+                        .find(|&&(n, _)| n == y)
+                        .map(|(_, out)| (p, out.clone()))
+                })
+                .collect();
+            outs.sort_by_key(|&(p, _)| p);
+            for (prefix, out) in outs {
+                let delay = self.rng.random_range(5..=90);
+                self.stats.announces_sent += 1;
+                self.send(
+                    x,
+                    y,
+                    delay,
+                    Msg::Announce {
+                        prefix,
+                        path: out.path,
+                        meta: out.meta,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Per-edge propagation delay in seconds: a deterministic base plus
+    /// jitter (models iBGP convergence + MRAI batching).
+    fn edge_delay(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let base = 1 + ((from as u64).wrapping_mul(31).wrapping_add(to as u64) % 5);
+        base + self.rng.random_range(0..4)
+    }
+
+    /// Schedules a message on a directed edge, preserving FIFO order.
+    fn send(&mut self, from: NodeId, to: NodeId, delay: u64, msg: Msg) {
+        let mut at = self.now + delay;
+        if let Some(&last) = self.edge_last.get(&(from, to)) {
+            at = at.max(last);
+        }
+        self.edge_last.insert((from, to), at);
+        self.push(at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Recomputes the best route of (`node`, `prefix`) and propagates any
+    /// change: Adj-RIB-Out diffs to neighbors, plus a collector event if
+    /// the node is watched.
+    fn recompute(&mut self, node: NodeId, prefix: Prefix) {
+        let own = self.topo.asn(node);
+        let st = self.nodes[node]
+            .prefixes
+            .get_mut(&prefix)
+            .expect("recompute on unknown prefix");
+
+        // --- selection ---
+        let new_best: Option<BestInfo> = if let Some(meta) = st.local {
+            Some(BestInfo {
+                from: None,
+                path: Arc::new(AsPath::empty()),
+                meta,
+                export_class: Relationship::Customer,
+            })
+        } else {
+            let mut chosen: Option<(&RouteEntry, NodeId)> = None;
+            for (neighbor, entry) in &st.rib_in {
+                if !entry.rpki_valid {
+                    continue;
+                }
+                let better = match chosen {
+                    None => true,
+                    Some((cur, cur_n)) => {
+                        let key = entry.selection_key();
+                        let cur_key = cur.selection_key();
+                        key > cur_key
+                            || (key == cur_key
+                                && self.topo.asn(*neighbor) < self.topo.asn(cur_n))
+                    }
+                };
+                if better {
+                    chosen = Some((entry, *neighbor));
+                }
+            }
+            chosen.map(|(entry, neighbor)| BestInfo {
+                from: Some(neighbor),
+                path: Arc::clone(&entry.path),
+                meta: entry.meta,
+                export_class: entry.rel,
+            })
+        };
+
+        let unchanged = match (&st.best, &new_best) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.same_route(b),
+            _ => false,
+        };
+        if unchanged {
+            return;
+        }
+        st.best = new_best.clone();
+
+        // --- collector tap ---
+        if self.watched[node] {
+            let kind = match &new_best {
+                Some(best) => RouteEventKind::Announce {
+                    path: Arc::new(best.path.prepend(own)),
+                    meta: best.meta,
+                },
+                None => RouteEventKind::Withdraw,
+            };
+            self.events_out.push(RouteEvent {
+                time: self.now,
+                peer: own,
+                prefix,
+                kind,
+            });
+        }
+
+        // --- export diff ---
+        let export_path: Option<Arc<AsPath>> =
+            new_best.as_ref().map(|b| Arc::new(b.path.prepend(own)));
+        let neighbors: Vec<(NodeId, Relationship)> = self.topo.neighbors(node).to_vec();
+        let mut sends: Vec<(NodeId, Option<OutRoute>)> = Vec::new();
+        {
+            let st = self.nodes[node]
+                .prefixes
+                .get_mut(&prefix)
+                .expect("still present");
+            for (neighbor, rel) in neighbors {
+                let desired: Option<OutRoute> = match &new_best {
+                    None => None,
+                    Some(best) => {
+                        let allowed = best.from != Some(neighbor)
+                            && best.export_class.exportable_to(rel)
+                            && !best.path.contains(self.topo.asn(neighbor));
+                        if allowed {
+                            Some(OutRoute {
+                                path: Arc::clone(export_path.as_ref().expect("best is Some")),
+                                meta: best.meta,
+                            })
+                        } else {
+                            None
+                        }
+                    }
+                };
+                let current = st.rib_out.iter().position(|&(n, _)| n == neighbor);
+                match (current, &desired) {
+                    (None, None) => {}
+                    (Some(i), None) => {
+                        st.rib_out.swap_remove(i);
+                        sends.push((neighbor, None));
+                    }
+                    (None, Some(out)) => {
+                        st.rib_out.push((neighbor, out.clone()));
+                        sends.push((neighbor, Some(out.clone())));
+                    }
+                    (Some(i), Some(out)) => {
+                        let (_, existing) = &st.rib_out[i];
+                        if existing.path != out.path || existing.meta != out.meta {
+                            st.rib_out[i].1 = out.clone();
+                            sends.push((neighbor, Some(out.clone())));
+                        }
+                    }
+                }
+            }
+        }
+        for (neighbor, desired) in sends {
+            let delay = self.edge_delay(node, neighbor);
+            let msg = match desired {
+                Some(out) => {
+                    self.stats.announces_sent += 1;
+                    Msg::Announce {
+                        prefix,
+                        path: out.path,
+                        meta: out.meta,
+                    }
+                }
+                None => {
+                    self.stats.withdraws_sent += 1;
+                    Msg::Withdraw { prefix }
+                }
+            };
+            self.send(node, neighbor, delay, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Tier;
+    use bgpz_rpki::{beacon_roa_timeline, Roa};
+
+    const ORIGIN: Asn = Asn(210_312);
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Diamond: T1a — T1b peering on top, both providing to MID1/MID2,
+    /// which both provide to ORIGIN (multi-homed origin).
+    fn diamond() -> Topology {
+        Topology::builder()
+            .node(Asn(100), Tier::Tier1)
+            .node(Asn(101), Tier::Tier1)
+            .node(Asn(200), Tier::Tier2)
+            .node(Asn(201), Tier::Tier2)
+            .node(ORIGIN, Tier::Stub)
+            .peering(Asn(100), Asn(101))
+            .provider_customer(Asn(100), Asn(200))
+            .provider_customer(Asn(101), Asn(201))
+            .provider_customer(Asn(200), ORIGIN)
+            .provider_customer(Asn(201), ORIGIN)
+            .build()
+    }
+
+    fn meta(generation: u64) -> RouteMeta {
+        RouteMeta {
+            aggregator: None,
+            origin_time: SimTime(0),
+            generation,
+        }
+    }
+
+    #[test]
+    fn announce_reaches_everyone() {
+        let topo = diamond();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.run_until(SimTime(600));
+        for asn in [100, 101, 200, 201, 210_312] {
+            assert!(sim.holds_prefix(Asn(asn), beacon), "AS{asn} missing route");
+        }
+        // Valley-free: T1a's route must go through a customer (its own
+        // customer chain), not through the T1 peering... both are length-2
+        // customer paths here.
+        let (path, _) = sim.exported_route(Asn(100), beacon).unwrap();
+        assert_eq!(path.to_string(), "100 200 210312");
+    }
+
+    #[test]
+    fn withdrawal_clears_everyone() {
+        let topo = diamond();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_to_completion();
+        for asn in [100, 101, 200, 201, 210_312] {
+            assert!(
+                !sim.holds_prefix(Asn(asn), beacon),
+                "AS{asn} kept a stale route"
+            );
+        }
+        let stats = sim.stats();
+        assert!(stats.withdraws_sent > 0);
+        assert_eq!(stats.dropped_frozen, 0);
+    }
+
+    #[test]
+    fn frozen_edge_creates_zombie() {
+        let topo = diamond();
+        // Freeze MID1 → T1a during the withdrawal phase.
+        let plan = FaultPlan::none().freeze(
+            Asn(200),
+            Asn(100),
+            SimTime(3_600),
+            SimTime(86_400),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_until(SimTime(50_000));
+        // AS100 never hears the withdrawal from AS200: stuck route.
+        assert!(sim.holds_prefix(Asn(100), beacon), "zombie did not form");
+        // Everyone below the frozen edge is clean.
+        assert!(!sim.holds_prefix(Asn(200), beacon));
+        assert!(!sim.holds_prefix(ORIGIN, beacon));
+        assert!(sim.stats().dropped_frozen > 0);
+        // The zombie path still points through the frozen chain.
+        let (path, _) = sim.exported_route(Asn(100), beacon).unwrap();
+        assert!(path.ends_with(&[Asn(200), ORIGIN]));
+    }
+
+    #[test]
+    fn zombie_spreads_via_path_hunting() {
+        // AS101 withdraws properly but then must fall back: after its own
+        // withdrawal path vanishes, AS101 hears the stale route from the
+        // T1 peering with AS100 — wait, peer routes are not exported to
+        // peers. Use the customer chain instead: the zombie at AS100 is
+        // exported to nobody new in the diamond (peer AS101 is filtered by
+        // valley-free export). Verify exactly that: containment.
+        let topo = diamond();
+        let plan = FaultPlan::none().freeze(
+            Asn(200),
+            Asn(100),
+            SimTime(3_600),
+            SimTime(86_400),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_until(SimTime(50_000));
+        // Customer-learned stale route would be exported to peers, but
+        // AS101 rejects nothing here: AS100 learned the route from its
+        // customer AS200, so it *does* export to peer AS101.
+        assert!(sim.holds_prefix(Asn(101), beacon), "zombie did not spread");
+        let (path, _) = sim.exported_route(Asn(101), beacon).unwrap();
+        assert_eq!(path.to_string(), "101 100 200 210312");
+    }
+
+    #[test]
+    fn freeze_reset_heals_zombie() {
+        let topo = diamond();
+        let plan = FaultPlan::none().freeze(
+            Asn(200),
+            Asn(100),
+            SimTime(3_600),
+            SimTime(86_400),
+            EpisodeEnd::Reset,
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_until(SimTime(50_000));
+        assert!(sim.holds_prefix(Asn(100), beacon), "zombie should exist");
+        sim.run_to_completion(); // past the reset at 86 400
+        assert!(
+            !sim.holds_prefix(Asn(100), beacon),
+            "reset should flush the zombie"
+        );
+        assert!(!sim.holds_prefix(Asn(101), beacon));
+    }
+
+    #[test]
+    fn session_reset_resurrects_zombie_downstream() {
+        // Chain: ORIGIN → 200 → 100 (provider chain up), 100 → 300
+        // (300 is a customer of 100). Freeze 200→100 so 100 gets stuck,
+        // ALSO freeze 100→300 so 300 never hears anything (simulating a
+        // session that was down before 300 joined). Then reset 100–300:
+        // 100 re-announces the stale route to 300 = resurrection at a
+        // previously-clean AS.
+        let topo = Topology::builder()
+            .node(Asn(100), Tier::Tier1)
+            .node(Asn(200), Tier::Tier2)
+            .node(Asn(300), Tier::Stub)
+            .node(ORIGIN, Tier::Stub)
+            .provider_customer(Asn(100), Asn(200))
+            .provider_customer(Asn(200), ORIGIN)
+            .provider_customer(Asn(100), Asn(300))
+            .build();
+        let beacon = p("2a0d:3dc1:1851::/48");
+        let plan = FaultPlan::none()
+            .freeze(
+                Asn(200),
+                Asn(100),
+                SimTime(3_600),
+                SimTime(400_000),
+                EpisodeEnd::Resume,
+            )
+            // 300's session to 100 is down across the withdrawal, so 300
+            // drops its route (flush at freeze start is not modelled; the
+            // withdrawal below reaches 300 before the freeze starts).
+            .freeze(
+                Asn(100),
+                Asn(300),
+                SimTime(10_000),
+                SimTime(200_000),
+                EpisodeEnd::Resume,
+            )
+            .reset(Asn(100), Asn(300), SimTime(250_000));
+        let mut sim = Simulator::new(topo, &plan, 1);
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+
+        // Before the reset: 100 is stuck; 300 still has the pre-freeze
+        // route (it never heard a withdraw — it is also a zombie), but the
+        // interesting part is the RE-announcement.
+        sim.run_until(SimTime(240_000));
+        assert!(sim.holds_prefix(Asn(100), beacon));
+
+        sim.run_to_completion();
+        // After the reset, 300 re-learned the stale route from 100.
+        assert!(
+            sim.holds_prefix(Asn(300), beacon),
+            "resurrection did not happen"
+        );
+        let (path, _) = sim.exported_route(Asn(300), beacon).unwrap();
+        assert_eq!(path.to_string(), "300 100 200 210312");
+    }
+
+    #[test]
+    fn sticky_peer_keeps_routes() {
+        let topo = diamond();
+        let plan = FaultPlan::none().sticky_peer(Asn(201), 1.0);
+        let mut sim = Simulator::new(topo, &plan, 1);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_to_completion();
+        assert!(sim.holds_prefix(Asn(201), beacon), "sticky peer lost route");
+        assert!(sim.stats().dropped_sticky > 0);
+        // An AS-level sticky RIB *re-exports* its stale best route, so the
+        // zombie legitimately spreads back through the graph (201 → its
+        // provider 101 → peer 100 → customer 200). Collector-export-only
+        // stickiness (the paper's noisy peers) lives in the RIS layer.
+        assert!(sim.holds_prefix(Asn(101), beacon));
+        assert!(sim.holds_prefix(Asn(200), beacon));
+        let (path, _) = sim.exported_route(Asn(200), beacon).unwrap();
+        assert!(path.ends_with(&[Asn(201), ORIGIN]));
+        // The origin itself is clean.
+        assert!(!sim.holds_prefix(ORIGIN, beacon));
+        // A fresh announcement un-sticks it...
+        let beacon2 = beacon;
+        sim.schedule_announce(SimTime(900_000), ORIGIN, beacon2, meta(2));
+        sim.run_to_completion();
+        assert!(sim.holds_prefix(Asn(201), beacon2));
+    }
+
+    #[test]
+    fn path_hunting_lengthens_paths() {
+        // Ring so alternatives exist: ORIGIN dual-homed; freeze one side.
+        let topo = diamond();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        sim.watch(Asn(100));
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.run_until(SimTime(600));
+        let (normal, _) = sim.exported_route(Asn(100), beacon).unwrap();
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_to_completion();
+        let events = sim.drain_events();
+        // During path hunting AS100 may transiently announce a longer
+        // path (via the peering with 101) before withdrawing.
+        let max_seen = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                RouteEventKind::Announce { path, .. } => Some(path.hop_count()),
+                RouteEventKind::Withdraw => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_seen >= normal.hop_count());
+        // Final state must be withdrawn.
+        assert!(matches!(
+            events.last().unwrap().kind,
+            RouteEventKind::Withdraw
+        ));
+    }
+
+    #[test]
+    fn rov_strict_evicts_after_roa_removal() {
+        let mut topo = diamond();
+        topo.set_rov(Asn(100), crate::route::RovPolicy::Strict);
+        let removal = SimTime(500_000);
+        let timeline = Arc::new(beacon_roa_timeline(
+            p("2a0d:3dc1::/32"),
+            ORIGIN,
+            Some(removal),
+        ));
+        let plan = FaultPlan::none().freeze(
+            Asn(200),
+            Asn(100),
+            SimTime(3_600),
+            SimTime(2_000_000),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        sim.set_rpki(timeline, 3_600);
+        let beacon = p("2a0d:3dc1:1851::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+
+        sim.run_until(SimTime(499_000));
+        assert!(sim.holds_prefix(Asn(100), beacon), "zombie expected");
+
+        sim.run_until(SimTime(520_000)); // past removal + max ROV delay
+        assert!(
+            !sim.holds_prefix(Asn(100), beacon),
+            "strict ROV must evict the now-invalid zombie"
+        );
+        assert!(sim.stats().revalidations > 0);
+    }
+
+    #[test]
+    fn rov_import_only_keeps_invalid_zombie() {
+        let mut topo = diamond();
+        topo.set_rov(Asn(100), crate::route::RovPolicy::ImportOnly);
+        let removal = SimTime(500_000);
+        let timeline = Arc::new(beacon_roa_timeline(
+            p("2a0d:3dc1::/32"),
+            ORIGIN,
+            Some(removal),
+        ));
+        let plan = FaultPlan::none().freeze(
+            Asn(200),
+            Asn(100),
+            SimTime(3_600),
+            SimTime(2_000_000),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        sim.set_rpki(timeline, 3_600);
+        let beacon = p("2a0d:3dc1:1851::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_until(SimTime(600_000));
+        assert!(
+            sim.holds_prefix(Asn(100), beacon),
+            "flawed ROV keeps the invalid zombie — the paper's observation"
+        );
+    }
+
+    #[test]
+    fn rov_rejects_invalid_at_import() {
+        let mut topo = diamond();
+        topo.set_rov(Asn(100), crate::route::RovPolicy::Strict);
+        // ROA authorizes a different origin: announcement is invalid from
+        // the start.
+        let mut timeline = RoaTimeline::new();
+        timeline.add_permanent(Roa {
+            prefix: p("2a0d:3dc1::/32"),
+            max_len: 48,
+            origin: Asn(666),
+        });
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        sim.set_rpki(Arc::new(timeline), 3_600);
+        let beacon = p("2a0d:3dc1:1851::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.run_until(SimTime(600));
+        assert!(
+            !sim.holds_prefix(Asn(100), beacon),
+            "strict ROV must not select an invalid route"
+        );
+        // Non-validating ASes still carry it.
+        assert!(sim.holds_prefix(Asn(200), beacon));
+        assert!(sim.stats().invalid_imports > 0);
+    }
+
+    #[test]
+    fn watched_events_are_consistent() {
+        let topo = diamond();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        sim.watch(Asn(100));
+        sim.watch(Asn(101));
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        sim.run_to_completion();
+        let events = sim.drain_events();
+        assert!(!events.is_empty());
+        // Per peer: first event is an announce, last is a withdraw, and
+        // times are non-decreasing.
+        for peer in [Asn(100), Asn(101)] {
+            let per: Vec<&RouteEvent> = events.iter().filter(|e| e.peer == peer).collect();
+            assert!(matches!(per[0].kind, RouteEventKind::Announce { .. }));
+            assert!(matches!(per.last().unwrap().kind, RouteEventKind::Withdraw));
+            for w in per.windows(2) {
+                assert!(w[0].time <= w[1].time);
+            }
+        }
+        // Draining empties the buffer.
+        assert!(sim.drain_events().is_empty());
+    }
+
+    #[test]
+    fn outage_flushes_then_resyncs() {
+        // ORIGIN → 200 → 100: an outage on 200–100 makes 100 lose the
+        // route at the outage start and re-learn it at the end.
+        let topo = Topology::builder()
+            .node(Asn(100), Tier::Tier1)
+            .node(Asn(200), Tier::Tier2)
+            .node(ORIGIN, Tier::Stub)
+            .provider_customer(Asn(100), Asn(200))
+            .provider_customer(Asn(200), ORIGIN)
+            .build();
+        let plan = FaultPlan::none().outage(
+            Asn(200),
+            Asn(100),
+            SimTime(5_000),
+            SimTime(20_000),
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));
+        sim.run_until(SimTime(4_000));
+        assert!(sim.holds_prefix(Asn(100), beacon), "route before outage");
+        sim.run_until(SimTime(10_000));
+        assert!(
+            !sim.holds_prefix(Asn(100), beacon),
+            "outage start must flush"
+        );
+        sim.run_until(SimTime(21_000));
+        assert!(
+            sim.holds_prefix(Asn(100), beacon),
+            "re-establishment must resync"
+        );
+    }
+
+    #[test]
+    fn withdraw_only_freeze_sticks_every_prefix() {
+        let topo = diamond();
+        let plan = FaultPlan::none().freeze_withdrawals(
+            Asn(200),
+            Asn(100),
+            SimTime(1_000),
+            SimTime(900_000),
+            EpisodeEnd::Reset,
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        let a = p("2a0d:3dc1:1145::/48");
+        let b = p("2a0d:3dc1:1200::/48");
+        // Both prefixes announced AFTER the freeze starts: announcements
+        // pass, withdrawals do not.
+        sim.schedule_announce(SimTime(2_000), ORIGIN, a, meta(1));
+        sim.schedule_announce(SimTime(3_000), ORIGIN, b, meta(2));
+        sim.schedule_withdraw(SimTime(9_000), ORIGIN, a);
+        sim.schedule_withdraw(SimTime(9_500), ORIGIN, b);
+        sim.run_until(SimTime(500_000));
+        assert!(sim.holds_prefix(Asn(100), a), "a stuck");
+        assert!(sim.holds_prefix(Asn(100), b), "b stuck");
+        // The reset at the window end heals both.
+        sim.run_to_completion();
+        assert!(!sim.holds_prefix(Asn(100), a));
+        assert!(!sim.holds_prefix(Asn(100), b));
+    }
+
+    #[test]
+    fn sticky_window_is_prefix_and_time_scoped() {
+        let topo = diamond();
+        let a = p("2a0d:3dc1:1145::/48");
+        let b = p("2a0d:3dc1:1200::/48");
+        let plan = FaultPlan::none().sticky_window(Asn(100), a, SimTime(0), SimTime(20_000));
+        let mut sim = Simulator::new(topo, &plan, 1);
+        sim.schedule_announce(SimTime(0), ORIGIN, a, meta(1));
+        sim.schedule_announce(SimTime(0), ORIGIN, b, meta(2));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, a);
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, b);
+        sim.run_until(SimTime(15_000));
+        assert!(sim.holds_prefix(Asn(100), a), "windowed prefix stuck");
+        assert!(!sim.holds_prefix(Asn(100), b), "other prefix clean");
+        // Outside the window the same prefix withdraws cleanly.
+        sim.schedule_announce(SimTime(30_000), ORIGIN, a, meta(3));
+        sim.schedule_withdraw(SimTime(40_000), ORIGIN, a);
+        sim.run_to_completion();
+        assert!(!sim.holds_prefix(Asn(100), a), "clean outside the window");
+    }
+
+    #[test]
+    fn v4_only_freeze_spares_v6() {
+        let topo = diamond();
+        let v4 = Prefix::v4(84, 205, 64, 0, 24);
+        let v6 = p("2a0d:3dc1:1145::/48");
+        let plan = FaultPlan::none().freeze_family(
+            Asn(200),
+            Asn(100),
+            SimTime(3_600),
+            SimTime(900_000),
+            EpisodeEnd::Resume,
+            Some(bgpz_types::Afi::Ipv4),
+        );
+        let mut sim = Simulator::new(topo, &plan, 1);
+        sim.schedule_announce(SimTime(0), ORIGIN, v4, meta(1));
+        sim.schedule_announce(SimTime(0), ORIGIN, v6, meta(2));
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, v4);
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, v6);
+        sim.run_until(SimTime(500_000));
+        assert!(sim.holds_prefix(Asn(100), v4), "v4 frozen");
+        assert!(!sim.holds_prefix(Asn(100), v6), "v6 unaffected");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let run = || {
+            let topo = crate::topology::Topology::generate(&crate::topology::TopologyConfig {
+                stubs: 30,
+                tier2: 10,
+                ..Default::default()
+            });
+            let mut edges: Vec<(Asn, Asn)> = Vec::new();
+            for i in 0..topo.len() {
+                for &(j, _) in topo.neighbors(i) {
+                    if j > i {
+                        edges.push((topo.asn(i), topo.asn(j)));
+                    }
+                }
+            }
+            let plan = FaultPlan::none().with_random_freezes(
+                &edges,
+                SimTime(0),
+                86_400,
+                0.05,
+                3_600,
+                86_400,
+                0.5,
+                0.5,
+                9,
+            );
+            let origin = topo.asn(topo.len() - 1);
+            let mut sim = Simulator::new(topo, &plan, 7);
+            sim.watch(origin);
+            let beacon = p("2a0d:3dc1:1145::/48");
+            sim.schedule_announce(SimTime(0), origin, beacon, meta(1));
+            sim.schedule_withdraw(SimTime(7_200), origin, beacon);
+            sim.run_to_completion();
+            (sim.stats(), sim.drain_events().len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,419 @@
+//! Fault injection plans.
+//!
+//! Every anomaly the paper attributes zombies to is expressed here as an
+//! explicit, scheduled fault so experiments are reproducible bit-for-bit:
+//!
+//! * [`FaultPlan::freeze`] — a *directed* session freeze: messages from
+//!   `a` towards `b` silently vanish for a window. This is the BGP
+//!   zero-window/stuck-session failure ([RFC 9687] motivation): `b` keeps
+//!   whatever `a` had announced before the freeze, so a beacon withdrawal
+//!   during the window leaves a stuck route in `b` and its cone.
+//! * [`FaultPlan::reset`] — a session reset: both sides flush the routes
+//!   learned from each other and then re-synchronise from their current
+//!   tables. A reset *downstream of an infected router* re-announces the
+//!   stale route — the paper's zombie **resurrection**.
+//! * [`FaultPlan::sticky_peer`] — a chronically broken AS that fails to
+//!   process withdrawals with some probability (and stays deaf for that
+//!   prefix until the next announcement refreshes it). This produces the
+//!   paper's **noisy peers** (AS16347 in the replication; AS211380 /
+//!   AS211509 in the beacon study).
+//!
+//! [RFC 9687]: https://www.rfc-editor.org/rfc/rfc9687
+
+use bgpz_types::{Afi, Asn, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// How a freeze episode ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpisodeEnd {
+    /// Messages simply start flowing again; state frozen during the window
+    /// is never repaired (stale routes persist until the next announcement
+    /// of the same prefix — this is what makes zombies long-lived).
+    Resume,
+    /// The session is torn down and re-established: both sides flush and
+    /// re-synchronise (heals staleness on this edge, but can *spread*
+    /// staleness held elsewhere).
+    Reset,
+}
+
+/// A directed freeze window on the session `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreezeEpisode {
+    /// Messages from this AS...
+    pub from: Asn,
+    /// ...towards this AS are dropped...
+    pub to: Asn,
+    /// ...from this instant (inclusive)...
+    pub start: SimTime,
+    /// ...until this instant (exclusive).
+    pub end: SimTime,
+    /// What happens at `end`.
+    pub end_mode: EpisodeEnd,
+    /// Restrict the freeze to one address family (`None` = both). A
+    /// per-family freeze models a pipeline wedged for one AFI only — the
+    /// replication's noisy peer had a months-stuck IPv4 route while its
+    /// IPv6 sessions kept (mis)behaving independently.
+    pub afi: Option<Afi>,
+    /// Drop only withdrawals (announcements pass). This is the wedged-RIB
+    /// noisy-AS behaviour: the router keeps accepting and re-announcing
+    /// routes but never processes their removal, so *every* prefix
+    /// withdrawn during the window gets stuck.
+    pub withdrawals_only: bool,
+    /// Flush both Adj-RIB-Ins when the window opens (the session actually
+    /// went *down*, as opposed to silently wedging). Combined with a
+    /// [`EpisodeEnd::Reset`] this models a long session outage: routes
+    /// disappear at the start and re-synchronise at the end.
+    pub flush_at_start: bool,
+}
+
+/// A scheduled session reset (flush + resync, both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReset {
+    /// One endpoint.
+    pub a: Asn,
+    /// The other endpoint.
+    pub b: Asn,
+    /// When the reset happens.
+    pub time: SimTime,
+}
+
+/// A complete fault schedule for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Directed freeze windows.
+    pub freezes: Vec<FreezeEpisode>,
+    /// Scheduled session resets.
+    pub resets: Vec<SessionReset>,
+    /// Per-AS probability of failing to process a withdrawal
+    /// (the "sticky RIB" noisy-peer model).
+    pub sticky: HashMap<Asn, f64>,
+    /// Per-AS *deterministic* sticky prefixes: every withdrawal of these
+    /// prefixes is dropped at this AS (announcements still refresh). Used
+    /// to script outbreaks pinned to specific prefixes, like the Telstra
+    /// resurrections behind the paper's Fig. 2 uptick.
+    pub sticky_prefixes: HashMap<Asn, Vec<bgpz_types::Prefix>>,
+    /// Time-windowed sticky glitches: `(asn, prefix, start, end)` — the AS
+    /// drops withdrawals of `prefix` within `[start, end)`. One window
+    /// over one beacon interval produces exactly one single-route zombie
+    /// outbreak: the common, low-impact case that dominates the paper's
+    /// Fig. 5/Fig. 7 statistics.
+    pub sticky_windows: Vec<(Asn, bgpz_types::Prefix, SimTime, SimTime)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: a perfectly healthy Internet.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a directed freeze window (both address families).
+    pub fn freeze(
+        self,
+        from: Asn,
+        to: Asn,
+        start: SimTime,
+        end: SimTime,
+        end_mode: EpisodeEnd,
+    ) -> FaultPlan {
+        self.freeze_family(from, to, start, end, end_mode, None)
+    }
+
+    /// Adds a directed freeze window restricted to one address family.
+    pub fn freeze_family(
+        mut self,
+        from: Asn,
+        to: Asn,
+        start: SimTime,
+        end: SimTime,
+        end_mode: EpisodeEnd,
+        afi: Option<Afi>,
+    ) -> FaultPlan {
+        assert!(end > start, "freeze window must not be empty");
+        self.freezes.push(FreezeEpisode {
+            from,
+            to,
+            start,
+            end,
+            end_mode,
+            afi,
+            withdrawals_only: false,
+            flush_at_start: false,
+        });
+        self
+    }
+
+    /// Adds a session *outage* on `a`–`b`: both Adj-RIB-Ins flush when it
+    /// opens (withdrawals cascade downstream), nothing flows during the
+    /// window, and the session re-establishes and re-synchronises at the
+    /// end. An outage downstream of an infected router makes its zombie
+    /// invisible and then **resurrects** it — the Fig. 4 gaps.
+    pub fn outage(mut self, a: Asn, b: Asn, start: SimTime, end: SimTime) -> FaultPlan {
+        assert!(end > start, "outage window must not be empty");
+        self.freezes.push(FreezeEpisode {
+            from: a,
+            to: b,
+            start,
+            end,
+            end_mode: EpisodeEnd::Reset,
+            afi: None,
+            withdrawals_only: false,
+            flush_at_start: true,
+        });
+        self.freezes.push(FreezeEpisode {
+            from: b,
+            to: a,
+            start,
+            end,
+            end_mode: EpisodeEnd::Resume,
+            afi: None,
+            withdrawals_only: false,
+            flush_at_start: false,
+        });
+        self
+    }
+
+    /// Adds a withdraw-only freeze: announcements keep flowing but every
+    /// withdrawal on the edge is lost until the window ends.
+    pub fn freeze_withdrawals(
+        mut self,
+        from: Asn,
+        to: Asn,
+        start: SimTime,
+        end: SimTime,
+        end_mode: EpisodeEnd,
+    ) -> FaultPlan {
+        assert!(end > start, "freeze window must not be empty");
+        self.freezes.push(FreezeEpisode {
+            from,
+            to,
+            start,
+            end,
+            end_mode,
+            afi: None,
+            withdrawals_only: true,
+            flush_at_start: false,
+        });
+        self
+    }
+
+    /// Adds a session reset.
+    pub fn reset(mut self, a: Asn, b: Asn, time: SimTime) -> FaultPlan {
+        self.resets.push(SessionReset { a, b, time });
+        self
+    }
+
+    /// Marks `asn` as a sticky (noisy) peer with the given per-withdrawal
+    /// failure probability.
+    pub fn sticky_peer(mut self, asn: Asn, probability: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&probability));
+        self.sticky.insert(asn, probability);
+        self
+    }
+
+    /// Makes `asn` drop every withdrawal of `prefix` (deterministic).
+    pub fn sticky_prefix(mut self, asn: Asn, prefix: bgpz_types::Prefix) -> FaultPlan {
+        self.sticky_prefixes.entry(asn).or_default().push(prefix);
+        self
+    }
+
+    /// Makes `asn` drop withdrawals of `prefix` within `[start, end)`.
+    pub fn sticky_window(
+        mut self,
+        asn: Asn,
+        prefix: bgpz_types::Prefix,
+        start: SimTime,
+        end: SimTime,
+    ) -> FaultPlan {
+        assert!(end > start, "sticky window must not be empty");
+        self.sticky_windows.push((asn, prefix, start, end));
+        self
+    }
+
+    /// Generates random freeze episodes over `edges` during
+    /// `[start, start+period)`: each edge independently starts an episode
+    /// with `rate_per_day` expected episodes per day; durations are drawn
+    /// log-uniformly from `[min_dur, max_dur]` seconds, producing the
+    /// heavy-tailed lifetimes the paper observes (hours → months).
+    /// `resume_fraction` of episodes end with [`EpisodeEnd::Resume`].
+    ///
+    /// `forward_bias` is the probability the freeze direction is
+    /// `a → b` for each `(a, b)` edge. Passing provider→customer ordered
+    /// edges with a high bias makes most zombies low-impact (stuck in one
+    /// customer and its cone), matching the measured prevalence: the rare
+    /// reverse episodes are the paper's "impactful" outbreaks where a
+    /// transit keeps a customer-learned route and re-exports it globally.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_random_freezes(
+        mut self,
+        edges: &[(Asn, Asn)],
+        start: SimTime,
+        period_secs: u64,
+        rate_per_day: f64,
+        min_dur: u64,
+        max_dur: u64,
+        resume_fraction: f64,
+        forward_bias: f64,
+        seed: u64,
+    ) -> FaultPlan {
+        assert!(max_dur >= min_dur && min_dur > 0);
+        assert!((0.0..=1.0).contains(&forward_bias));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let days = period_secs as f64 / 86_400.0;
+        for &(a, b) in edges {
+            let expected = rate_per_day * days;
+            // Poisson-ish: number of episodes for this edge.
+            let count = sample_count(&mut rng, expected);
+            for _ in 0..count {
+                let at = start + rng.random_range(0..period_secs);
+                let dur = log_uniform(&mut rng, min_dur, max_dur);
+                let end_mode = if rng.random_bool(resume_fraction) {
+                    EpisodeEnd::Resume
+                } else {
+                    EpisodeEnd::Reset
+                };
+                let (from, to) = if rng.random_bool(forward_bias) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                self.freezes.push(FreezeEpisode {
+                    from,
+                    to,
+                    start: at,
+                    end: at + dur,
+                    end_mode,
+                    afi: None,
+                    withdrawals_only: false,
+                    flush_at_start: false,
+                });
+            }
+        }
+        self
+    }
+
+    /// Generates random session resets (background churn) over `edges`.
+    pub fn with_random_resets(
+        mut self,
+        edges: &[(Asn, Asn)],
+        start: SimTime,
+        period_secs: u64,
+        rate_per_day: f64,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let days = period_secs as f64 / 86_400.0;
+        for &(a, b) in edges {
+            let count = sample_count(&mut rng, rate_per_day * days);
+            for _ in 0..count {
+                let time = start + rng.random_range(0..period_secs);
+                self.resets.push(SessionReset { a, b, time });
+            }
+        }
+        self
+    }
+}
+
+/// Draws a non-negative count with the given expectation (geometric-style
+/// approximation of a Poisson draw — adequate for fault scheduling and
+/// cheaper than an exact sampler).
+fn sample_count(rng: &mut StdRng, expected: f64) -> usize {
+    if expected <= 0.0 {
+        return 0;
+    }
+    let whole = expected.floor() as usize;
+    let frac = expected - whole as f64;
+    whole + usize::from(rng.random_bool(frac.clamp(0.0, 1.0)))
+}
+
+/// Log-uniform sample in `[lo, hi]`.
+fn log_uniform(rng: &mut StdRng, lo: u64, hi: u64) -> u64 {
+    if lo == hi {
+        return lo;
+    }
+    let (ln_lo, ln_hi) = ((lo as f64).ln(), (hi as f64).ln());
+    let x = rng.random_range(ln_lo..ln_hi);
+    x.exp() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let plan = FaultPlan::none()
+            .freeze(
+                Asn(1),
+                Asn(2),
+                SimTime(100),
+                SimTime(200),
+                EpisodeEnd::Resume,
+            )
+            .reset(Asn(3), Asn(4), SimTime(50))
+            .sticky_peer(Asn(16_347), 0.43);
+        assert_eq!(plan.freezes.len(), 1);
+        assert_eq!(plan.resets.len(), 1);
+        assert_eq!(plan.sticky[&Asn(16_347)], 0.43);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_freeze_panics() {
+        let _ = FaultPlan::none().freeze(
+            Asn(1),
+            Asn(2),
+            SimTime(100),
+            SimTime(100),
+            EpisodeEnd::Resume,
+        );
+    }
+
+    #[test]
+    fn random_freezes_are_deterministic_and_bounded() {
+        let edges: Vec<(Asn, Asn)> = (0..50).map(|i| (Asn(i), Asn(i + 1000))).collect();
+        let make = || {
+            FaultPlan::none().with_random_freezes(
+                &edges,
+                SimTime(0),
+                30 * 86_400,
+                0.02,
+                3_600,
+                90 * 86_400,
+                0.5,
+                0.5,
+                42,
+            )
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.freezes, b.freezes);
+        for ep in &a.freezes {
+            assert!(ep.end > ep.start);
+            assert!(ep.end - ep.start >= 3_600);
+            // log_uniform truncates so durations stay under the cap.
+            assert!(ep.end - ep.start <= 90 * 86_400);
+        }
+        // ~50 edges × 0.02/day × 30 days = ~30 expected episodes.
+        assert!(!a.freezes.is_empty());
+        assert!(a.freezes.len() < 200);
+    }
+
+    #[test]
+    fn random_resets_deterministic() {
+        let edges = vec![(Asn(1), Asn(2)), (Asn(3), Asn(4))];
+        let a = FaultPlan::none().with_random_resets(&edges, SimTime(0), 86_400 * 10, 0.5, 7);
+        let b = FaultPlan::none().with_random_resets(&edges, SimTime(0), 86_400 * 10, 0.5, 7);
+        assert_eq!(a.resets, b.resets);
+    }
+
+    #[test]
+    fn sample_count_expectation_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let total: usize = (0..1000).map(|_| sample_count(&mut rng, 2.5)).sum();
+        // Mean should be around 2.5 per draw.
+        assert!((2_200..=2_800).contains(&total), "total={total}");
+        assert_eq!(sample_count(&mut rng, 0.0), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # bgpz-netsim
+//!
+//! An AS-level Internet substrate: topology generation, Gao–Rexford BGP
+//! route propagation, fault injection, and a minimal data plane.
+//!
+//! The paper measures zombies on the real Internet through RIPE RIS. This
+//! crate is the substitution for that substrate (see DESIGN.md §2): it
+//! produces the *same observable artifacts* — BGP UPDATE streams at
+//! collector peers, session state changes, RIB snapshots — from a simulated
+//! AS graph in which the faults that cause zombies are injected explicitly:
+//!
+//! * **frozen sessions** (`FaultPlan::freeze`): a session silently stops
+//!   delivering messages (the TCP zero-window BGP bug the paper cites);
+//!   withdrawals are lost and downstream ASes keep stale routes — zombies;
+//! * **session resets** (`FaultPlan::reset`): a session flushes and
+//!   re-synchronises; if an *infected* router re-announces a stale route,
+//!   the zombie spreads to new ASes — the paper's **resurrection**;
+//! * **sticky peers**: chronically misbehaving peers that fail to process
+//!   withdrawals with high probability — the paper's **noisy peers**.
+//!
+//! The propagation engine is a deterministic event-driven state machine
+//! (binary heap of timed events, seeded RNG for jitter), in the sans-IO
+//! style: no threads, no sockets, no wall clock.
+
+pub mod dataplane;
+pub mod engine;
+pub mod faults;
+pub mod route;
+pub mod topology;
+
+pub use dataplane::{ForwardOutcome, TraceHop};
+pub use engine::{RouteEvent, RouteEventKind, SimStats, Simulator};
+pub use faults::{EpisodeEnd, FaultPlan};
+pub use route::{Relationship, RouteMeta, RovPolicy};
+pub use topology::{Tier, Topology, TopologyBuilder, TopologyConfig};

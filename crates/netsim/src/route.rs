@@ -1,0 +1,178 @@
+//! Route model shared by the propagation engine.
+
+use bgpz_types::attrs::Aggregator;
+use bgpz_types::{AsPath, SimTime};
+use std::sync::Arc;
+
+/// Business relationship of a neighbor, from the local AS's point of view.
+///
+/// Drives both route *selection* (prefer customer > peer > provider, the
+/// standard local-pref convention) and *export* (Gao–Rexford: routes learned
+/// from peers or providers are exported to customers only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Relationship {
+    /// The neighbor is my customer (I am its provider).
+    Customer,
+    /// The neighbor is my settlement-free peer.
+    Peer,
+    /// The neighbor is my provider (I am its customer).
+    Provider,
+}
+
+impl Relationship {
+    /// The reciprocal relationship, as seen from the other side.
+    pub fn reverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Provider => Relationship::Customer,
+            Relationship::Peer => Relationship::Peer,
+        }
+    }
+
+    /// Selection rank: higher wins (customer routes are most preferred).
+    pub fn pref_rank(self) -> u8 {
+        match self {
+            Relationship::Customer => 3,
+            Relationship::Peer => 2,
+            Relationship::Provider => 1,
+        }
+    }
+
+    /// Gao–Rexford export rule: may a route learned over `self` be exported
+    /// to a neighbor of relationship `to`?
+    pub fn exportable_to(self, to: Relationship) -> bool {
+        match self {
+            // Customer routes go to everyone.
+            Relationship::Customer => true,
+            // Peer and provider routes go only to customers.
+            Relationship::Peer | Relationship::Provider => to == Relationship::Customer,
+        }
+    }
+}
+
+/// Route Origin Validation behaviour of an AS (paper §5, Fig. 3 discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RovPolicy {
+    /// No validation at all (most ASes).
+    #[default]
+    None,
+    /// RFC 6811-compliant: rejects invalid routes at import *and* re-runs
+    /// validation when ROAs change, evicting routes that became invalid.
+    Strict,
+    /// Flawed implementation: validates only at import time and never
+    /// re-evaluates, so routes that become invalid after a ROA removal stay
+    /// in the RIB — the non-compliant behaviour the paper observed.
+    ImportOnly,
+}
+
+/// Transitive metadata carried with an announcement, end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteMeta {
+    /// The AGGREGATOR attribute set by the origin. RIS beacons put their
+    /// BGP clock here; the detector uses it against double counting.
+    pub aggregator: Option<Aggregator>,
+    /// Ground truth: when the origin emitted this announcement. Never read
+    /// by detectors — used only by tests and validation harnesses.
+    pub origin_time: SimTime,
+    /// Ground truth: monotonically increasing announcement generation per
+    /// prefix, for validating zombie classification in tests.
+    pub generation: u64,
+}
+
+/// One route as installed in an adj-RIB-in.
+#[derive(Debug, Clone)]
+pub struct RouteEntry {
+    /// AS path as received (first hop = the neighbor, last = origin).
+    pub path: Arc<AsPath>,
+    /// Transitive metadata.
+    pub meta: RouteMeta,
+    /// Relationship of the neighbor the route was learned from.
+    pub rel: Relationship,
+    /// RPKI validity evaluated at import (and re-evaluated for
+    /// [`RovPolicy::Strict`] ASes when ROAs change).
+    pub rpki_valid: bool,
+}
+
+impl RouteEntry {
+    /// Selection key: higher is better. Tie-break on lower neighbor ASN is
+    /// applied by the caller (it knows the neighbor).
+    pub fn selection_key(&self) -> (u8, isize) {
+        (
+            self.rel.pref_rank(),
+            -(self.path.selection_len() as isize),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
+            assert_eq!(rel.reverse().reverse(), rel);
+        }
+        assert_eq!(Relationship::Customer.reverse(), Relationship::Provider);
+        assert_eq!(Relationship::Peer.reverse(), Relationship::Peer);
+    }
+
+    #[test]
+    fn gao_rexford_export_matrix() {
+        use Relationship::*;
+        // (learned over, export to) → allowed
+        let cases = [
+            (Customer, Customer, true),
+            (Customer, Peer, true),
+            (Customer, Provider, true),
+            (Peer, Customer, true),
+            (Peer, Peer, false),
+            (Peer, Provider, false),
+            (Provider, Customer, true),
+            (Provider, Peer, false),
+            (Provider, Provider, false),
+        ];
+        for (learned, to, want) in cases {
+            assert_eq!(
+                learned.exportable_to(to),
+                want,
+                "learned={learned:?} to={to:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_prefers_customer_then_short_path() {
+        let short_provider = RouteEntry {
+            path: Arc::new(AsPath::from_sequence([1, 2])),
+            meta: RouteMeta::default(),
+            rel: Relationship::Provider,
+            rpki_valid: true,
+        };
+        let long_customer = RouteEntry {
+            path: Arc::new(AsPath::from_sequence([1, 2, 3, 4, 5])),
+            meta: RouteMeta::default(),
+            rel: Relationship::Customer,
+            rpki_valid: true,
+        };
+        assert!(long_customer.selection_key() > short_provider.selection_key());
+
+        let short_peer = RouteEntry {
+            path: Arc::new(AsPath::from_sequence([1, 2])),
+            meta: RouteMeta::default(),
+            rel: Relationship::Peer,
+            rpki_valid: true,
+        };
+        let long_peer = RouteEntry {
+            path: Arc::new(AsPath::from_sequence([1, 2, 3])),
+            meta: RouteMeta::default(),
+            rel: Relationship::Peer,
+            rpki_valid: true,
+        };
+        assert!(short_peer.selection_key() > long_peer.selection_key());
+    }
+}

@@ -1,0 +1,478 @@
+//! AS-level topology: explicit builder and a tiered random generator.
+//!
+//! The generator produces the classic three-tier structure: a Tier-1 clique
+//! at the top, multi-homed Tier-2 transit networks below it, and stub ASes
+//! at the edge. The paper's beacon origin (AS210312) is modelled as a
+//! widely multi-connected edge AS ("announced from all its Points of
+//! Presence to more than 1,700 directly connected networks") — the builder
+//! lets experiments attach it to an arbitrary set of upstreams.
+
+use crate::route::{Relationship, RovPolicy};
+use bgpz_types::Asn;
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// Coarse role of an AS in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Transit-free backbone (member of the top clique).
+    Tier1,
+    /// Regional/national transit provider.
+    Tier2,
+    /// Edge network (no customers of its own unless explicitly added).
+    Stub,
+}
+
+/// An immutable AS-level topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    asns: Vec<Asn>,
+    tiers: Vec<Tier>,
+    rov: Vec<RovPolicy>,
+    index: HashMap<Asn, usize>,
+    /// Adjacency: for node `i`, `(j, rel)` where `rel` is what `j` *is to*
+    /// `i` (e.g. `Customer` means `j` is `i`'s customer).
+    neighbors: Vec<Vec<(usize, Relationship)>>,
+}
+
+impl Topology {
+    /// Starts an explicit builder.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// True if the topology has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Total number of (undirected) adjacencies.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The ASN of node `i`.
+    pub fn asn(&self, i: usize) -> Asn {
+        self.asns[i]
+    }
+
+    /// The node index of `asn`, if present.
+    pub fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.index.get(&asn).copied()
+    }
+
+    /// The tier of node `i`.
+    pub fn tier(&self, i: usize) -> Tier {
+        self.tiers[i]
+    }
+
+    /// The ROV policy of node `i`.
+    pub fn rov(&self, i: usize) -> RovPolicy {
+        self.rov[i]
+    }
+
+    /// Neighbors of node `i` as `(index, what-they-are-to-i)`.
+    pub fn neighbors(&self, i: usize) -> &[(usize, Relationship)] {
+        &self.neighbors[i]
+    }
+
+    /// The relationship of `j` to `i`, if adjacent.
+    pub fn relationship(&self, i: usize, j: usize) -> Option<Relationship> {
+        self.neighbors[i]
+            .iter()
+            .find(|&&(n, _)| n == j)
+            .map(|&(_, rel)| rel)
+    }
+
+    /// All ASNs.
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+
+    /// Size of the customer cone of node `i` (the AS itself included),
+    /// following customer edges transitively. The paper quotes customer
+    /// cone sizes to argue outbreak impact (Telstra ~6000, Core-Backbone
+    /// ~2100, HGC ~750).
+    pub fn customer_cone(&self, i: usize) -> usize {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![i];
+        seen[i] = true;
+        let mut count = 0;
+        while let Some(node) = stack.pop() {
+            count += 1;
+            for &(next, rel) in &self.neighbors[node] {
+                if rel == Relationship::Customer && !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        count
+    }
+
+    /// Generates a tiered topology from `config`. Deterministic in the
+    /// seed.
+    pub fn generate(config: &TopologyConfig) -> Topology {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut builder = TopologyBuilder::default();
+
+        let mut next_asn = config.first_asn;
+        let fresh = |n: &mut u32| {
+            let asn = Asn(*n);
+            *n += 1;
+            asn
+        };
+
+        let t1: Vec<Asn> = (0..config.tier1).map(|_| fresh(&mut next_asn)).collect();
+        let t2: Vec<Asn> = (0..config.tier2).map(|_| fresh(&mut next_asn)).collect();
+        let stubs: Vec<Asn> = (0..config.stubs).map(|_| fresh(&mut next_asn)).collect();
+
+        for &asn in &t1 {
+            builder = builder.node(asn, Tier::Tier1);
+        }
+        for &asn in &t2 {
+            builder = builder.node(asn, Tier::Tier2);
+        }
+        for &asn in &stubs {
+            builder = builder.node(asn, Tier::Stub);
+        }
+
+        // Tier-1 full mesh of peerings.
+        for (i, &a) in t1.iter().enumerate() {
+            for &b in &t1[i + 1..] {
+                builder = builder.peering(a, b);
+            }
+        }
+
+        // Tier-2: 1..=3 Tier-1 providers each, plus lateral peerings.
+        for &asn in &t2 {
+            let n_prov = rng.random_range(1..=3.min(t1.len()));
+            let mut providers = t1.clone();
+            providers.shuffle(&mut rng);
+            for &p in providers.iter().take(n_prov) {
+                builder = builder.provider_customer(p, asn);
+            }
+        }
+        for (i, &a) in t2.iter().enumerate() {
+            for &b in &t2[i + 1..] {
+                if rng.random_bool(config.tier2_peering_prob) {
+                    builder = builder.peering(a, b);
+                }
+            }
+        }
+
+        // Stubs: 1..=3 providers drawn mostly from Tier-2.
+        for &asn in &stubs {
+            let n_prov = rng.random_range(1..=3usize);
+            let mut chosen = Vec::new();
+            for _ in 0..n_prov {
+                let pool = if !t2.is_empty() && rng.random_bool(0.85) {
+                    &t2
+                } else {
+                    &t1
+                };
+                if let Some(&p) = pool.choose(&mut rng) {
+                    if !chosen.contains(&p) {
+                        chosen.push(p);
+                    }
+                }
+            }
+            if chosen.is_empty() {
+                // Guarantee connectivity.
+                let pool = if t2.is_empty() { &t1 } else { &t2 };
+                chosen.push(pool[0]);
+            }
+            for p in chosen {
+                builder = builder.provider_customer(p, asn);
+            }
+        }
+
+        // ROV deployment: a fraction of ASes validate, and a fraction of
+        // those validate incorrectly (import-time only).
+        let mut topo = builder.build();
+        for i in 0..topo.len() {
+            if rng.random_bool(config.rov_fraction) {
+                topo.rov[i] = if rng.random_bool(config.rov_flawed_fraction) {
+                    RovPolicy::ImportOnly
+                } else {
+                    RovPolicy::Strict
+                };
+            }
+        }
+        topo
+    }
+
+    /// Overrides the ROV policy of one AS (experiments pin specific ASes).
+    pub fn set_rov(&mut self, asn: Asn, policy: RovPolicy) {
+        let i = self.index_of(asn).expect("unknown ASN");
+        self.rov[i] = policy;
+    }
+}
+
+/// Parameters for [`Topology::generate`].
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// RNG seed — same seed, same topology.
+    pub seed: u64,
+    /// Number of Tier-1 ASes (full peering clique).
+    pub tier1: usize,
+    /// Number of Tier-2 transit ASes.
+    pub tier2: usize,
+    /// Number of stub ASes.
+    pub stubs: usize,
+    /// Probability that any Tier-2 pair peers directly.
+    pub tier2_peering_prob: f64,
+    /// Fraction of ASes deploying ROV at all.
+    pub rov_fraction: f64,
+    /// Of the ROV deployers, fraction with the flawed import-only variant.
+    pub rov_flawed_fraction: f64,
+    /// First synthetic ASN to allocate.
+    pub first_asn: u32,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> TopologyConfig {
+        TopologyConfig {
+            seed: 1,
+            tier1: 6,
+            tier2: 40,
+            stubs: 200,
+            tier2_peering_prob: 0.08,
+            rov_fraction: 0.3,
+            rov_flawed_fraction: 0.15,
+            first_asn: 50_000,
+        }
+    }
+}
+
+/// Incremental, explicit topology construction.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    asns: Vec<Asn>,
+    tiers: Vec<Tier>,
+    index: HashMap<Asn, usize>,
+    edges: Vec<(usize, usize, Relationship)>, // (a, b, what-b-is-to-a)
+}
+
+impl TopologyBuilder {
+    /// Adds an AS. Panics on duplicates (experiment definitions are static).
+    pub fn node(mut self, asn: Asn, tier: Tier) -> TopologyBuilder {
+        assert!(
+            !self.index.contains_key(&asn),
+            "duplicate ASN {asn} in topology"
+        );
+        self.index.insert(asn, self.asns.len());
+        self.asns.push(asn);
+        self.tiers.push(tier);
+        self
+    }
+
+    /// Ensures a node exists (no-op if already added).
+    pub fn node_if_absent(self, asn: Asn, tier: Tier) -> TopologyBuilder {
+        if self.index.contains_key(&asn) {
+            self
+        } else {
+            self.node(asn, tier)
+        }
+    }
+
+    fn idx(&self, asn: Asn) -> usize {
+        *self
+            .index
+            .get(&asn)
+            .unwrap_or_else(|| panic!("unknown ASN {asn}; add it with .node() first"))
+    }
+
+    /// Adds a provider→customer adjacency.
+    pub fn provider_customer(mut self, provider: Asn, customer: Asn) -> TopologyBuilder {
+        let p = self.idx(provider);
+        let c = self.idx(customer);
+        assert_ne!(p, c, "self-loop on {provider}");
+        // From the provider's perspective, the customer is a Customer.
+        self.edges.push((p, c, Relationship::Customer));
+        self
+    }
+
+    /// Adds a settlement-free peering adjacency.
+    pub fn peering(mut self, a: Asn, b: Asn) -> TopologyBuilder {
+        let ia = self.idx(a);
+        let ib = self.idx(b);
+        assert_ne!(ia, ib, "self-loop on {a}");
+        self.edges.push((ia, ib, Relationship::Peer));
+        self
+    }
+
+    /// Finalizes into an immutable [`Topology`].
+    pub fn build(self) -> Topology {
+        let n = self.asns.len();
+        let mut neighbors: Vec<Vec<(usize, Relationship)>> = vec![Vec::new(); n];
+        for (a, b, rel) in self.edges {
+            debug_assert!(
+                !neighbors[a].iter().any(|&(x, _)| x == b),
+                "duplicate edge {}-{}",
+                self.asns[a],
+                self.asns[b]
+            );
+            neighbors[a].push((b, rel));
+            neighbors[b].push((a, rel.reverse()));
+        }
+        // Deterministic neighbor order: by node index.
+        for list in &mut neighbors {
+            list.sort_by_key(|&(j, _)| j);
+        }
+        Topology {
+            rov: vec![RovPolicy::None; n],
+            asns: self.asns,
+            tiers: self.tiers,
+            index: self.index,
+            neighbors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        // T1 ─ T2 ─ stub, plus a peering between two T2s.
+        Topology::builder()
+            .node(Asn(10), Tier::Tier1)
+            .node(Asn(20), Tier::Tier2)
+            .node(Asn(21), Tier::Tier2)
+            .node(Asn(30), Tier::Stub)
+            .provider_customer(Asn(10), Asn(20))
+            .provider_customer(Asn(10), Asn(21))
+            .provider_customer(Asn(20), Asn(30))
+            .peering(Asn(20), Asn(21))
+            .build()
+    }
+
+    #[test]
+    fn builder_wires_reciprocal_relationships() {
+        let t = tiny();
+        let i10 = t.index_of(Asn(10)).unwrap();
+        let i20 = t.index_of(Asn(20)).unwrap();
+        let i30 = t.index_of(Asn(30)).unwrap();
+        assert_eq!(t.relationship(i10, i20), Some(Relationship::Customer));
+        assert_eq!(t.relationship(i20, i10), Some(Relationship::Provider));
+        assert_eq!(t.relationship(i20, i30), Some(Relationship::Customer));
+        assert_eq!(t.relationship(i30, i20), Some(Relationship::Provider));
+        let i21 = t.index_of(Asn(21)).unwrap();
+        assert_eq!(t.relationship(i20, i21), Some(Relationship::Peer));
+        assert_eq!(t.relationship(i21, i20), Some(Relationship::Peer));
+        assert_eq!(t.relationship(i10, i30), None);
+        assert_eq!(t.edge_count(), 4);
+    }
+
+    #[test]
+    fn customer_cones() {
+        let t = tiny();
+        let i10 = t.index_of(Asn(10)).unwrap();
+        let i20 = t.index_of(Asn(20)).unwrap();
+        let i30 = t.index_of(Asn(30)).unwrap();
+        assert_eq!(t.customer_cone(i10), 4); // itself + 20 + 21 + 30
+        assert_eq!(t.customer_cone(i20), 2); // itself + 30
+        assert_eq!(t.customer_cone(i30), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ASN")]
+    fn duplicate_node_panics() {
+        let _ = Topology::builder()
+            .node(Asn(1), Tier::Stub)
+            .node(Asn(1), Tier::Stub);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_connected() {
+        let config = TopologyConfig::default();
+        let a = Topology::generate(&config);
+        let b = Topology::generate(&config);
+        assert_eq!(a.asns(), b.asns());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.len(), 6 + 40 + 200);
+
+        // Connectivity: BFS from node 0 reaches everyone.
+        let mut seen = vec![false; a.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut reached = 0;
+        while let Some(node) = stack.pop() {
+            reached += 1;
+            for &(next, _) in a.neighbors(node) {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        assert_eq!(reached, a.len());
+    }
+
+    #[test]
+    fn generate_different_seeds_differ() {
+        let a = Topology::generate(&TopologyConfig {
+            seed: 1,
+            ..TopologyConfig::default()
+        });
+        let b = Topology::generate(&TopologyConfig {
+            seed: 2,
+            ..TopologyConfig::default()
+        });
+        // Same node set, (almost surely) different wiring.
+        assert_eq!(a.len(), b.len());
+        let edges = |t: &Topology| {
+            let mut v: Vec<(usize, usize)> = (0..t.len())
+                .flat_map(|i| t.neighbors(i).iter().map(move |&(j, _)| (i, j)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_ne!(edges(&a), edges(&b));
+    }
+
+    #[test]
+    fn tier1_clique_in_generated() {
+        let t = Topology::generate(&TopologyConfig::default());
+        let t1: Vec<usize> = (0..t.len()).filter(|&i| t.tier(i) == Tier::Tier1).collect();
+        for &a in &t1 {
+            for &b in &t1 {
+                if a != b {
+                    assert_eq!(t.relationship(a, b), Some(Relationship::Peer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_providers() {
+        let t = Topology::generate(&TopologyConfig::default());
+        for i in 0..t.len() {
+            if t.tier(i) == Tier::Stub {
+                assert!(
+                    t.neighbors(i)
+                        .iter()
+                        .any(|&(_, rel)| rel == Relationship::Provider),
+                    "stub {} has no provider",
+                    t.asn(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rov_override() {
+        let mut t = tiny();
+        t.set_rov(Asn(20), RovPolicy::Strict);
+        let i20 = t.index_of(Asn(20)).unwrap();
+        assert_eq!(t.rov(i20), RovPolicy::Strict);
+    }
+}

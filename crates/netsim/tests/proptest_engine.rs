@@ -1,0 +1,167 @@
+//! Property tests for the propagation engine's core invariants:
+//!
+//! 1. **Convergence**: with no faults, an announce+withdraw cycle over any
+//!    generated topology leaves no route anywhere.
+//! 2. **Valley-free**: every selected path respects Gao–Rexford export
+//!    rules (checkable from the path and the topology alone).
+//! 3. **Loop-free**: no selected path repeats an AS.
+//! 4. **Fault containment**: with a single frozen edge, the only ASes
+//!    still holding routes after the withdrawal trace back to that edge.
+//! 5. **Determinism**: identical seeds give identical statistics.
+
+use bgpz_netsim::{
+    EpisodeEnd, FaultPlan, Relationship, RouteMeta, Simulator, Topology, TopologyConfig,
+};
+use bgpz_types::{Asn, Prefix, SimTime};
+use proptest::prelude::*;
+
+fn generated(seed: u64, stubs: usize) -> Topology {
+    Topology::generate(&TopologyConfig {
+        seed,
+        tier1: 4,
+        tier2: 8,
+        stubs,
+        ..TopologyConfig::default()
+    })
+}
+
+fn beacon() -> Prefix {
+    "2a0d:3dc1:1145::/48".parse().unwrap()
+}
+
+/// Checks the valley-free property of a path `[v0, v1, ..., origin]`:
+/// once the path goes "down" (provider→customer) or sideways (peer), it
+/// must never go "up" (customer→provider) or sideways again. Read from
+/// the origin towards the collector: uphill first, at most one peering,
+/// then downhill.
+fn is_valley_free(topo: &Topology, path: &[Asn]) -> bool {
+    // Walk origin → observer: relationship of next hop as seen from the
+    // current AS.
+    let hops: Vec<Relationship> = path
+        .windows(2)
+        .rev()
+        .map(|w| {
+            let here = topo.index_of(w[1]).expect("in topo");
+            let next = topo.index_of(w[0]).expect("in topo");
+            topo.relationship(here, next).expect("adjacent")
+        })
+        .collect();
+    // Phases: Provider* (uphill), Peer?, Customer* (downhill).
+    let mut phase = 0; // 0 = uphill, 1 = downhill
+    for rel in hops {
+        match (phase, rel) {
+            (0, Relationship::Provider) => {}
+            (0, Relationship::Peer) => phase = 1,
+            (0, Relationship::Customer) => phase = 1,
+            (1, Relationship::Customer) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn faultless_withdrawal_converges_to_empty(seed in 0u64..5000, stubs in 10usize..60) {
+        let topo = generated(seed, stubs);
+        let origin = topo.asn(topo.len() - 1);
+        let asns: Vec<Asn> = topo.asns().to_vec();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), seed ^ 1);
+        sim.schedule_announce(SimTime(0), origin, beacon(), RouteMeta::default());
+        sim.schedule_withdraw(SimTime(7_200), origin, beacon());
+        sim.run_to_completion();
+        for asn in asns {
+            prop_assert!(!sim.holds_prefix(asn, beacon()), "{asn} stuck without faults");
+        }
+    }
+
+    #[test]
+    fn selected_paths_are_valley_free_and_loop_free(seed in 0u64..5000, stubs in 10usize..60) {
+        let topo = generated(seed, stubs);
+        let origin = topo.asn(topo.len() - 1);
+        let asns: Vec<Asn> = topo.asns().to_vec();
+        let topo_copy = topo.clone();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), seed ^ 2);
+        sim.schedule_announce(SimTime(0), origin, beacon(), RouteMeta::default());
+        sim.run_until(SimTime(3_600));
+        for asn in asns {
+            let Some((path, _)) = sim.exported_route(asn, beacon()) else {
+                prop_assert!(false, "{asn} has no route in steady state");
+                unreachable!()
+            };
+            let flat = path.to_vec();
+            // Loop-free.
+            let mut unique = flat.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            prop_assert_eq!(unique.len(), flat.len(), "loop in {}", path);
+            // Ends at the origin, starts at the AS itself.
+            prop_assert_eq!(flat[0], asn);
+            prop_assert_eq!(*flat.last().unwrap(), origin);
+            // Valley-free.
+            prop_assert!(is_valley_free(&topo_copy, &flat), "valley in {}", path);
+        }
+    }
+
+    #[test]
+    fn single_frozen_edge_contains_the_zombie(seed in 0u64..2000, stubs in 10usize..40) {
+        let topo = generated(seed, stubs);
+        let origin = topo.asn(topo.len() - 1);
+        // Freeze a random-but-deterministic edge (direction depends on seed).
+        let edges: Vec<(Asn, Asn)> = (0..topo.len())
+            .flat_map(|i| {
+                topo.neighbors(i)
+                    .iter()
+                    .filter(|&&(j, _)| j > i)
+                    .map(|&(j, _)| (topo.asn(i), topo.asn(j)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let (a, b) = edges[(seed as usize) % edges.len()];
+        let asns: Vec<Asn> = topo.asns().to_vec();
+        let plan = FaultPlan::none().freeze(
+            a,
+            b,
+            SimTime(3_600),
+            SimTime(1_000_000),
+            EpisodeEnd::Resume,
+        );
+        let mut sim = Simulator::new(topo, &plan, seed ^ 3);
+        sim.schedule_announce(SimTime(0), origin, beacon(), RouteMeta::default());
+        sim.schedule_withdraw(SimTime(7_200), origin, beacon());
+        sim.run_until(SimTime(500_000));
+        // Every stuck AS's path must run through the frozen edge's
+        // receiving side `b` followed by `a` (the stale entry), or be `b`
+        // itself holding a's stale route.
+        for asn in asns {
+            if let Some((path, _)) = sim.exported_route(asn, beacon()) {
+                let flat = path.to_vec();
+                let through_edge = flat
+                    .windows(2)
+                    .any(|w| w[0] == b && w[1] == a);
+                prop_assert!(
+                    through_edge,
+                    "{asn} stuck via {} which avoids the frozen edge {}→{}",
+                    path, a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism(seed in 0u64..500) {
+        let run = || {
+            let topo = generated(seed, 25);
+            let origin = topo.asn(topo.len() - 1);
+            let mut sim = Simulator::new(topo, &FaultPlan::none(), seed);
+            sim.watch(origin);
+            sim.schedule_announce(SimTime(0), origin, beacon(), RouteMeta::default());
+            sim.schedule_withdraw(SimTime(7_200), origin, beacon());
+            sim.run_to_completion();
+            (sim.stats(), sim.drain_events().len())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,21 @@
+//! # bgpz-ris
+//!
+//! The RIPE RIS collection platform, modelled end to end: route collectors
+//! with volunteer **peer routers**, an **update archive** in genuine MRT
+//! wire format (BGP4MP_MESSAGE_AS4 + STATE_CHANGE records), and **RIB
+//! dumps** of every peer every 8 hours (TABLE_DUMP_V2) — the two data
+//! sources of the paper's methodology (§3.1 and §5).
+//!
+//! Each peer router keeps its own RIB mirror, because the paper's noisy
+//! peers are broken *at the router/export level*: AS211509 peers with RRC25
+//! through two routers (one of them exchanging IPv6 routes over an IPv4
+//! session) and both show the same stuck routes, while the rest of the
+//! world is clean. [`RisPeerSpec::sticky`] reproduces exactly that: the
+//! router fails to process a withdrawal with some probability and stays
+//! deaf for that prefix until the next announcement.
+
+pub mod network;
+pub mod spec;
+
+pub use network::{RisArchive, RisNetwork, RisStats};
+pub use spec::{Collector, FreezeWindow, RisConfig, RisPeerSpec};

@@ -1,0 +1,837 @@
+//! The live collection machinery: event intake, MRT emission, RIB dumps.
+
+use crate::spec::{RisConfig, RisPeerSpec};
+use bgpz_mrt::bgp4mp::SessionHeader;
+use bgpz_mrt::table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
+use bgpz_mrt::{Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtBody, MrtRecord, MrtWriter};
+use bgpz_netsim::{RouteEvent, RouteEventKind, RouteMeta, Simulator};
+use bgpz_types::attrs::{MpReach, MpUnreach, NextHop, Origin};
+use bgpz_types::{Afi, AsPath, BgpMessage, BgpUpdate, PathAttributes, Prefix, SimTime};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::{IpAddr, Ipv6Addr};
+use std::sync::Arc;
+
+/// Counters for an archive-production run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RisStats {
+    /// Announce records written.
+    pub announces_emitted: u64,
+    /// Withdraw records written.
+    pub withdraws_emitted: u64,
+    /// Withdrawals swallowed by sticky routers.
+    pub sticky_drops: u64,
+    /// STATE_CHANGE record pairs written (down + up).
+    pub flaps: u64,
+    /// RIB dumps taken.
+    pub dumps: u64,
+    /// Events swallowed by export-freeze windows.
+    pub export_frozen_drops: u64,
+}
+
+/// The finished archive: everything the detection pipeline consumes.
+#[derive(Debug, Clone)]
+pub struct RisArchive {
+    /// Time-ordered BGP4MP update/state stream (all collectors merged).
+    pub updates: Bytes,
+    /// RIB dumps: `(dump time, TABLE_DUMP_V2 bytes)`.
+    pub rib_dumps: Vec<(SimTime, Bytes)>,
+    /// Production counters.
+    pub stats: RisStats,
+    /// The deployment that produced the archive.
+    pub config: RisConfig,
+}
+
+/// One peer router's mirror of its own exported state.
+#[derive(Debug, Default)]
+struct RouterState {
+    /// prefix → (exported path, metadata, when installed).
+    rib: BTreeMap<Prefix, (Arc<AsPath>, RouteMeta, SimTime)>,
+    /// Prefixes whose withdrawals this router currently fails to process.
+    deaf: HashSet<Prefix>,
+    /// Collector session state.
+    session_up: bool,
+}
+
+/// A pending flap phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FlapPhase {
+    Down,
+    Up,
+}
+
+/// The collection platform while it runs.
+pub struct RisNetwork {
+    config: RisConfig,
+    routers: Vec<RouterState>,
+    by_asn: HashMap<bgpz_types::Asn, Vec<usize>>,
+    writer: MrtWriter,
+    rib_dumps: Vec<(SimTime, Bytes)>,
+    next_dump: SimTime,
+    /// Pending flap phases, sorted descending so `pop()` yields the next.
+    flap_queue: Vec<(SimTime, usize, FlapPhase)>,
+    /// Seed for the deterministic sticky decisions.
+    seed: u64,
+    #[allow(dead_code)]
+    rng: StdRng,
+    stats: RisStats,
+}
+
+/// SplitMix64 for hash-based decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable 64-bit digest of a prefix.
+fn prefix_hash(prefix: Prefix) -> u64 {
+    match prefix {
+        Prefix::V4(p) => u32::from(p.addr()) as u64 ^ ((p.len() as u64) << 33),
+        Prefix::V6(p) => {
+            let v = u128::from(p.addr());
+            (v >> 64) as u64 ^ v as u64 ^ ((p.len() as u64) << 57)
+        }
+    }
+}
+
+/// Seconds a flapped session stays down before re-establishing.
+const FLAP_DOWN_SECS: u64 = 60;
+
+impl RisNetwork {
+    /// Creates the platform; dumps start at the first multiple of the RIB
+    /// period at or after `start`.
+    pub fn new(config: RisConfig, start: SimTime, seed: u64) -> RisNetwork {
+        assert!(config.rib_period > 0, "rib_period must be positive");
+        let mut flap_queue: Vec<(SimTime, usize, FlapPhase)> = Vec::new();
+        for (i, peer) in config.peers.iter().enumerate() {
+            for &t in &peer.flaps {
+                flap_queue.push((t, i, FlapPhase::Down));
+                flap_queue.push((t + FLAP_DOWN_SECS, i, FlapPhase::Up));
+            }
+            for &(down, up) in &peer.collector_outages {
+                assert!(up > down, "outage must not be empty");
+                flap_queue.push((down, i, FlapPhase::Down));
+                flap_queue.push((up, i, FlapPhase::Up));
+            }
+        }
+        flap_queue.sort_by(|a, b| b.cmp(a));
+        let mut by_asn: HashMap<bgpz_types::Asn, Vec<usize>> = HashMap::new();
+        for (i, peer) in config.peers.iter().enumerate() {
+            by_asn.entry(peer.asn).or_default().push(i);
+        }
+        let next_dump = {
+            let aligned = start.align_down(config.rib_period);
+            if aligned < start {
+                aligned + config.rib_period
+            } else {
+                aligned
+            }
+        };
+        RisNetwork {
+            routers: config
+                .peers
+                .iter()
+                .map(|_| RouterState {
+                    session_up: true,
+                    ..RouterState::default()
+                })
+                .collect(),
+            by_asn,
+            writer: MrtWriter::new(),
+            rib_dumps: Vec::new(),
+            next_dump,
+            flap_queue,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            stats: RisStats::default(),
+            config,
+        }
+    }
+
+    /// Registers every peer AS as watched in the simulator. Call before
+    /// running any beacon traffic.
+    pub fn attach(&self, sim: &mut Simulator) {
+        for asn in self.config.peer_asns() {
+            sim.watch(asn);
+        }
+    }
+
+    /// Advances the simulator to `to`, interleaving event intake with RIB
+    /// dumps and scheduled session flaps in chronological order.
+    pub fn advance(&mut self, sim: &mut Simulator, to: SimTime) {
+        loop {
+            let next_flap = self.flap_queue.last().map(|&(t, _, _)| t);
+            let mut checkpoint = to;
+            if self.next_dump <= checkpoint {
+                checkpoint = self.next_dump;
+            }
+            if let Some(t) = next_flap {
+                if t <= checkpoint {
+                    checkpoint = t;
+                }
+            }
+            sim.run_until(checkpoint);
+            for event in sim.drain_events() {
+                self.apply_event(&event);
+            }
+            // Handle every checkpoint action due exactly now.
+            while let Some(&(t, router, phase)) = self.flap_queue.last() {
+                if t > checkpoint {
+                    break;
+                }
+                self.flap_queue.pop();
+                self.apply_flap(t, router, phase);
+            }
+            if self.next_dump <= checkpoint {
+                self.take_dump(self.next_dump);
+                self.next_dump += self.config.rib_period;
+            }
+            if checkpoint >= to {
+                break;
+            }
+        }
+    }
+
+    /// Finalizes the archive.
+    pub fn finish(self) -> RisArchive {
+        RisArchive {
+            updates: self.writer.finish(),
+            rib_dumps: self.rib_dumps,
+            stats: self.stats,
+            config: self.config,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RisStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+
+    /// True if `router`'s export pipeline is frozen for this event.
+    fn export_frozen(&self, router: usize, event: &RouteEvent) -> bool {
+        self.config.peers[router].freeze_windows.iter().any(|w| {
+            event.time >= w.start
+                && event.time < w.end
+                && w.afi.is_none_or(|afi| afi == event.prefix.afi())
+        })
+    }
+
+    fn apply_event(&mut self, event: &RouteEvent) {
+        let Some(router_ids) = self.by_asn.get(&event.peer) else {
+            return;
+        };
+        for &router in router_ids.clone().iter() {
+            if self.export_frozen(router, event) {
+                self.stats.export_frozen_drops += 1;
+                continue;
+            }
+            match &event.kind {
+                RouteEventKind::Announce { path, meta } => {
+                    let state = &mut self.routers[router];
+                    state.deaf.remove(&event.prefix);
+                    state
+                        .rib
+                        .insert(event.prefix, (Arc::clone(path), *meta, event.time));
+                    if state.session_up {
+                        let record = self.announce_record(router, event.time, event.prefix, path, meta);
+                        self.writer.push(&record);
+                        self.stats.announces_emitted += 1;
+                    }
+                }
+                RouteEventKind::Withdraw => {
+                    let peer_spec = &self.config.peers[router];
+                    let sticky = match event.prefix.afi() {
+                        Afi::Ipv4 => peer_spec.sticky_v4,
+                        Afi::Ipv6 => peer_spec.sticky_v6,
+                    };
+                    let state = &mut self.routers[router];
+                    if state.deaf.contains(&event.prefix) {
+                        self.stats.sticky_drops += 1;
+                        continue;
+                    }
+                    // The decision is a hash of (seed, peer AS, prefix,
+                    // time), NOT per-router randomness: a noisy AS's
+                    // brokenness is in its one BGP feed, so all its
+                    // routers show the *same* stuck routes — exactly the
+                    // identical per-router counts of the paper's Table 5.
+                    let draw = splitmix64(
+                        self.seed
+                            ^ (event.peer.0 as u64) << 32
+                            ^ prefix_hash(event.prefix)
+                            ^ event.time.secs(),
+                    );
+                    if sticky > 0.0 && ((draw % 100_000) as f64) < sticky * 100_000.0 {
+                        state.deaf.insert(event.prefix);
+                        self.stats.sticky_drops += 1;
+                        continue;
+                    }
+                    let had = state.rib.remove(&event.prefix).is_some();
+                    if had && state.session_up {
+                        let record = self.withdraw_record(router, event.time, event.prefix);
+                        self.writer.push(&record);
+                        self.stats.withdraws_emitted += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_flap(&mut self, time: SimTime, router: usize, phase: FlapPhase) {
+        match phase {
+            FlapPhase::Down => {
+                self.routers[router].session_up = false;
+                let record = self.state_record(router, time, BgpState::Established, BgpState::Idle);
+                self.writer.push(&record);
+            }
+            FlapPhase::Up => {
+                self.routers[router].session_up = true;
+                self.stats.flaps += 1;
+                let record =
+                    self.state_record(router, time, BgpState::Idle, BgpState::Established);
+                self.writer.push(&record);
+                // Full table re-announcement from the router's mirror.
+                let table: Vec<(Prefix, Arc<AsPath>, RouteMeta)> = self.routers[router]
+                    .rib
+                    .iter()
+                    .map(|(&p, (path, meta, _))| (p, Arc::clone(path), *meta))
+                    .collect();
+                for (prefix, path, meta) in table {
+                    let record = self.announce_record(router, time, prefix, &path, &meta);
+                    self.writer.push(&record);
+                    self.stats.announces_emitted += 1;
+                }
+            }
+        }
+    }
+
+    fn take_dump(&mut self, time: SimTime) {
+        let mut writer = MrtWriter::new();
+        let peers: Vec<PeerEntry> = self
+            .config
+            .peers
+            .iter()
+            .map(|p| PeerEntry {
+                bgp_id: p.bgp_id,
+                addr: p.addr,
+                asn: p.asn,
+            })
+            .collect();
+        writer.push(&MrtRecord::new(
+            time,
+            MrtBody::PeerIndex(PeerIndexTable {
+                collector_id: self.config.collectors[0].bgp_id,
+                view_name: String::new(),
+                peers,
+            }),
+        ));
+        // Union of prefixes across routers with live sessions.
+        let mut prefixes: Vec<Prefix> = self
+            .routers
+            .iter()
+            .filter(|r| r.session_up)
+            .flat_map(|r| r.rib.keys().copied())
+            .collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        for (seq, prefix) in prefixes.into_iter().enumerate() {
+            let mut entries = Vec::new();
+            for (i, router) in self.routers.iter().enumerate() {
+                if !router.session_up {
+                    continue;
+                }
+                if let Some((path, meta, installed)) = router.rib.get(&prefix) {
+                    entries.push(RibEntry {
+                        peer_index: i as u16,
+                        originated: *installed,
+                        attrs: rib_attrs(&self.config.peers[i], prefix, path, meta),
+                    });
+                }
+            }
+            writer.push(&MrtRecord::new(
+                time,
+                MrtBody::Rib(RibSnapshot {
+                    sequence: seq as u32,
+                    prefix,
+                    entries,
+                }),
+            ));
+        }
+        self.rib_dumps.push((time, writer.finish()));
+        self.stats.dumps += 1;
+    }
+
+    // -- record builders ------------------------------------------------
+
+    fn session_header(&self, router: usize) -> SessionHeader {
+        let peer = &self.config.peers[router];
+        let collector = &self.config.collectors[peer.collector];
+        // The session header's address family is the *session's*, which
+        // can differ from the routes' (the paper's 176.119.234.201 case).
+        let local_ip = match peer.addr {
+            IpAddr::V4(_) => IpAddr::V4(collector.bgp_id),
+            IpAddr::V6(_) => collector.ip,
+        };
+        SessionHeader {
+            peer_as: peer.asn,
+            local_as: collector.asn,
+            ifindex: 0,
+            peer_ip: peer.addr,
+            local_ip,
+        }
+    }
+
+    fn announce_record(
+        &self,
+        router: usize,
+        time: SimTime,
+        prefix: Prefix,
+        path: &Arc<AsPath>,
+        meta: &RouteMeta,
+    ) -> MrtRecord {
+        let peer = &self.config.peers[router];
+        let attrs = update_attrs(peer, prefix, path, meta, true);
+        let update = match prefix.afi() {
+            Afi::Ipv4 => BgpUpdate {
+                withdrawn: vec![],
+                attrs,
+                nlri: vec![prefix],
+            },
+            Afi::Ipv6 => BgpUpdate {
+                withdrawn: vec![],
+                attrs,
+                nlri: vec![],
+            },
+        };
+        MrtRecord::new(
+            time,
+            MrtBody::Message(Bgp4mpMessage {
+                session: self.session_header(router),
+                message: BgpMessage::Update(update),
+            }),
+        )
+    }
+
+    fn withdraw_record(&self, router: usize, time: SimTime, prefix: Prefix) -> MrtRecord {
+        let update = match prefix.afi() {
+            Afi::Ipv4 => BgpUpdate {
+                withdrawn: vec![prefix],
+                ..BgpUpdate::default()
+            },
+            Afi::Ipv6 => BgpUpdate {
+                attrs: PathAttributes {
+                    mp_unreach: Some(MpUnreach {
+                        afi: Afi::Ipv6,
+                        safi: 1,
+                        withdrawn: vec![prefix],
+                    }),
+                    ..PathAttributes::default()
+                },
+                ..BgpUpdate::default()
+            },
+        };
+        MrtRecord::new(
+            time,
+            MrtBody::Message(Bgp4mpMessage {
+                session: self.session_header(router),
+                message: BgpMessage::Update(update),
+            }),
+        )
+    }
+
+    fn state_record(
+        &self,
+        router: usize,
+        time: SimTime,
+        old_state: BgpState,
+        new_state: BgpState,
+    ) -> MrtRecord {
+        MrtRecord::new(
+            time,
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: self.session_header(router),
+                old_state,
+                new_state,
+            }),
+        )
+    }
+}
+
+/// The next-hop address a router reports for its routes.
+fn router_next_hop_v6(peer: &RisPeerSpec) -> Ipv6Addr {
+    match peer.addr {
+        IpAddr::V6(a) => a,
+        // IPv6 routes over an IPv4 session: an IPv4-mapped next hop.
+        IpAddr::V4(a) => a.to_ipv6_mapped(),
+    }
+}
+
+/// Path attributes for an UPDATE announcement. `with_nlri` includes the
+/// prefix in MP_REACH (update stream); RIB dumps use the abbreviated form.
+fn update_attrs(
+    peer: &RisPeerSpec,
+    prefix: Prefix,
+    path: &Arc<AsPath>,
+    meta: &RouteMeta,
+    with_nlri: bool,
+) -> PathAttributes {
+    let mut attrs = PathAttributes {
+        origin: Some(Origin::Igp),
+        as_path: Some(path.as_ref().clone()),
+        aggregator: meta.aggregator,
+        ..PathAttributes::default()
+    };
+    match prefix.afi() {
+        Afi::Ipv4 => {
+            attrs.next_hop = Some(match peer.addr {
+                IpAddr::V4(a) => a,
+                IpAddr::V6(_) => peer.bgp_id,
+            });
+        }
+        Afi::Ipv6 => {
+            attrs.mp_reach = Some(MpReach {
+                afi: Afi::Ipv6,
+                safi: 1,
+                next_hop: NextHop::V6 {
+                    global: router_next_hop_v6(peer),
+                    link_local: None,
+                },
+                nlri: if with_nlri { vec![prefix] } else { Vec::new() },
+            });
+        }
+    }
+    attrs
+}
+
+/// Attributes for a TABLE_DUMP_V2 entry (no NLRI in MP_REACH).
+fn rib_attrs(
+    peer: &RisPeerSpec,
+    prefix: Prefix,
+    path: &Arc<AsPath>,
+    meta: &RouteMeta,
+) -> PathAttributes {
+    update_attrs(peer, prefix, path, meta, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Collector, RisConfig, RisPeerSpec};
+    use bgpz_mrt::MrtReader;
+    use bgpz_netsim::{FaultPlan, Tier, Topology};
+    use bgpz_types::Asn;
+
+    const ORIGIN: Asn = Asn(210_312);
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn tiny_world() -> (Topology, RisConfig) {
+        let topo = Topology::builder()
+            .node(Asn(100), Tier::Tier1)
+            .node(Asn(200), Tier::Tier2)
+            .node(ORIGIN, Tier::Stub)
+            .provider_customer(Asn(100), Asn(200))
+            .provider_customer(Asn(200), ORIGIN)
+            .build();
+        let config = RisConfig {
+            collectors: vec![Collector::numbered(0)],
+            peers: vec![
+                RisPeerSpec::healthy(Asn(100), "2001:db8:90::1".parse().unwrap(), 0),
+                RisPeerSpec::healthy(Asn(200), "2001:db8:90::2".parse().unwrap(), 0),
+            ],
+            rib_period: 8 * 3_600,
+        };
+        (topo, config)
+    }
+
+    #[test]
+    fn archive_contains_announce_and_withdraw() {
+        let (topo, config) = tiny_world();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(10), ORIGIN, beacon, RouteMeta::default());
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        ris.advance(&mut sim, SimTime(10_000));
+        let archive = ris.finish();
+        assert!(archive.stats.announces_emitted >= 2);
+        assert!(archive.stats.withdraws_emitted >= 2);
+
+        let mut reader = MrtReader::new(archive.updates.clone());
+        let records = reader.collect_all();
+        assert_eq!(reader.stats().skipped, 0);
+        assert!(!records.is_empty());
+        // Timestamps non-decreasing.
+        for w in records.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        // First record for each peer announces the beacon with the right
+        // path and family encoding.
+        let first = records
+            .iter()
+            .find_map(|r| match &r.body {
+                MrtBody::Message(m) => Some(m),
+                _ => None,
+            })
+            .unwrap();
+        let BgpMessage::Update(update) = &first.message else {
+            panic!("expected update")
+        };
+        assert_eq!(update.announced(), vec![beacon]);
+        assert!(update.nlri.is_empty(), "IPv6 must travel in MP_REACH");
+    }
+
+    #[test]
+    fn rib_dumps_taken_every_period() {
+        let (topo, config) = tiny_world();
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(10), ORIGIN, beacon, RouteMeta::default());
+        // Keep it announced across two dump instants.
+        ris.advance(&mut sim, SimTime(17 * 3_600));
+        let archive = ris.finish();
+        // Dumps at 0h, 8h, 16h.
+        assert_eq!(archive.rib_dumps.len(), 3);
+        assert_eq!(archive.stats.dumps, 3);
+        // Dump at 0h: nothing announced yet.
+        let mut reader = MrtReader::new(archive.rib_dumps[0].1.clone());
+        let records = reader.collect_all();
+        assert_eq!(records.len(), 1); // just the peer index
+        // Dump at 8h: both peers hold the beacon.
+        let mut reader = MrtReader::new(archive.rib_dumps[1].1.clone());
+        let records = reader.collect_all();
+        assert_eq!(records.len(), 2);
+        let MrtBody::PeerIndex(index) = &records[0].body else {
+            panic!("peer index first")
+        };
+        assert_eq!(index.peers.len(), 2);
+        let MrtBody::Rib(rib) = &records[1].body else {
+            panic!("rib second")
+        };
+        assert_eq!(rib.prefix, beacon);
+        assert_eq!(rib.entries.len(), 2);
+        // Entries reference valid peers and carry the path.
+        for entry in &rib.entries {
+            let peer = &index.peers[entry.peer_index as usize];
+            assert!(peer.asn == Asn(100) || peer.asn == Asn(200));
+            let path = entry.attrs.as_path.as_ref().unwrap();
+            assert_eq!(path.origin(), Some(ORIGIN));
+        }
+    }
+
+    #[test]
+    fn sticky_router_keeps_stale_route_in_dump_but_peers_dont() {
+        let (topo, mut config) = tiny_world();
+        // AS100's router is sticky with certainty.
+        config.peers[0] = config.peers[0].clone().with_sticky(1.0);
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(10), ORIGIN, beacon, RouteMeta::default());
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        ris.advance(&mut sim, SimTime(9 * 3_600));
+        let archive = ris.finish();
+        assert!(archive.stats.sticky_drops > 0);
+        // 8h dump: only the sticky router still holds the prefix.
+        let (_, dump) = &archive.rib_dumps[1];
+        let mut reader = MrtReader::new(dump.clone());
+        let records = reader.collect_all();
+        assert_eq!(records.len(), 2);
+        let MrtBody::Rib(rib) = &records[1].body else {
+            panic!()
+        };
+        assert_eq!(rib.entries.len(), 1);
+        assert_eq!(rib.entries[0].peer_index, 0);
+    }
+
+    #[test]
+    fn flap_emits_state_records_and_resync() {
+        let (topo, mut config) = tiny_world();
+        config.peers[1].flaps = vec![SimTime(3_600)];
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(10), ORIGIN, beacon, RouteMeta::default());
+        ris.advance(&mut sim, SimTime(7_000));
+        let archive = ris.finish();
+        assert_eq!(archive.stats.flaps, 1);
+        let mut reader = MrtReader::new(archive.updates.clone());
+        let records = reader.collect_all();
+        let states: Vec<&Bgp4mpStateChange> = records
+            .iter()
+            .filter_map(|r| match &r.body {
+                MrtBody::StateChange(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(states.len(), 2);
+        assert!(states[0].is_session_down());
+        assert!(states[1].is_session_up());
+        // Resync re-announce follows the up transition.
+        let after_up: Vec<&MrtRecord> = records
+            .iter()
+            .filter(|r| r.timestamp >= SimTime(3_600 + FLAP_DOWN_SECS))
+            .collect();
+        assert!(after_up.iter().any(|r| matches!(
+            &r.body,
+            MrtBody::Message(m) if matches!(&m.message, BgpMessage::Update(u) if !u.announced().is_empty())
+        )));
+    }
+
+    #[test]
+    fn down_session_suppresses_updates_and_dump_entries() {
+        let (topo, mut config) = tiny_world();
+        // Peer 1 goes down just before the withdrawal and stays down past
+        // the dump (flap up happens 60 s later though — so instead keep it
+        // down by scheduling the flap right before the dump instant).
+        config.peers[1].flaps = vec![SimTime(8 * 3_600 - 30)];
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(10), ORIGIN, beacon, RouteMeta::default());
+        ris.advance(&mut sim, SimTime(8 * 3_600 + 300));
+        let archive = ris.finish();
+        // The 8h dump happened during the down window: only peer 0 present.
+        let (t, dump) = &archive.rib_dumps[1];
+        assert_eq!(t.secs(), 8 * 3_600);
+        let mut reader = MrtReader::new(dump.clone());
+        let records = reader.collect_all();
+        let MrtBody::Rib(rib) = &records[1].body else {
+            panic!()
+        };
+        assert_eq!(rib.entries.len(), 1);
+        assert_eq!(rib.entries[0].peer_index, 0);
+    }
+
+    #[test]
+    fn export_freeze_window_keeps_mirror_stale() {
+        let (topo, mut config) = tiny_world();
+        // Peer 0's export pipeline wedges from 1 h to 10 h.
+        config.peers[0] = config.peers[0].clone().with_freeze(
+            SimTime(3_600),
+            SimTime(10 * 3_600),
+            None,
+        );
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(10), ORIGIN, beacon, RouteMeta::default());
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        ris.advance(&mut sim, SimTime(9 * 3_600));
+        let archive = ris.finish();
+        assert!(archive.stats.export_frozen_drops > 0);
+        // The 8 h dump shows the frozen mirror still holding the route at
+        // peer 0, while peer 1 withdrew.
+        let (_, dump) = &archive.rib_dumps[1];
+        let mut reader = MrtReader::new(dump.clone());
+        let records = reader.collect_all();
+        assert_eq!(records.len(), 2, "peer index + one stale rib entry");
+        let MrtBody::Rib(rib) = &records[1].body else { panic!() };
+        assert_eq!(rib.entries.len(), 1);
+        assert_eq!(rib.entries[0].peer_index, 0);
+    }
+
+    #[test]
+    fn collector_outage_emits_states_and_suppresses_exports() {
+        let (topo, mut config) = tiny_world();
+        // Peer 1's collector session is down across the withdrawal.
+        config.peers[1] = config.peers[1]
+            .clone()
+            .with_outage(SimTime(3_600), SimTime(4 * 3_600));
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = p("2a0d:3dc1:1145::/48");
+        sim.schedule_announce(SimTime(10), ORIGIN, beacon, RouteMeta::default());
+        sim.schedule_withdraw(SimTime(7_200), ORIGIN, beacon);
+        ris.advance(&mut sim, SimTime(5 * 3_600));
+        let archive = ris.finish();
+        let mut reader = MrtReader::new(archive.updates.clone());
+        let records = reader.collect_all();
+        // Exactly one down + one up STATE record for peer 1.
+        let states: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.body {
+                MrtBody::StateChange(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(states.len(), 2);
+        assert!(states[0].is_session_down());
+        assert_eq!(states[0].session.peer_as, Asn(200));
+        assert!(states[1].is_session_up());
+        // No peer-1 update records while down: the withdrawal (at ~2 h)
+        // falls inside the outage, so peer 1's withdraw never appears —
+        // only its resync announce after the up edge... and since the
+        // route was withdrawn in the mirror meanwhile, the resync carries
+        // nothing. The detector must rely on the STATE record.
+        let peer1_updates: Vec<_> = records
+            .iter()
+            .filter(|r| {
+                matches!(&r.body, MrtBody::Message(m)
+                    if m.session.peer_as == Asn(200)
+                    && r.timestamp > SimTime(3_600)
+                    && r.timestamp < SimTime(4 * 3_600))
+            })
+            .collect();
+        assert!(peer1_updates.is_empty());
+    }
+
+    #[test]
+    fn v4_beacon_uses_legacy_fields() {
+        let topo = Topology::builder()
+            .node(Asn(100), Tier::Tier1)
+            .node(Asn(12_654), Tier::Stub)
+            .provider_customer(Asn(100), Asn(12_654))
+            .build();
+        let config = RisConfig {
+            collectors: vec![Collector::numbered(0)],
+            peers: vec![RisPeerSpec::healthy(
+                Asn(100),
+                "193.0.10.1".parse().unwrap(),
+                0,
+            )],
+            rib_period: 8 * 3_600,
+        };
+        let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
+        let mut ris = RisNetwork::new(config, SimTime(0), 7);
+        ris.attach(&mut sim);
+        let beacon = Prefix::v4(84, 205, 64, 0, 24);
+        sim.schedule_announce(SimTime(10), Asn(12_654), beacon, RouteMeta::default());
+        sim.schedule_withdraw(SimTime(7_200), Asn(12_654), beacon);
+        ris.advance(&mut sim, SimTime(9_000));
+        let archive = ris.finish();
+        let mut reader = MrtReader::new(archive.updates.clone());
+        let records = reader.collect_all();
+        let updates: Vec<&BgpUpdate> = records
+            .iter()
+            .filter_map(|r| match &r.body {
+                MrtBody::Message(m) => match &m.message {
+                    BgpMessage::Update(u) => Some(u),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].nlri, vec![beacon]);
+        assert!(updates[0].attrs.mp_reach.is_none());
+        assert_eq!(updates[1].withdrawn, vec![beacon]);
+        assert!(updates[1].attrs.mp_unreach.is_none());
+    }
+}

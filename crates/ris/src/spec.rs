@@ -1,0 +1,300 @@
+//! Static description of a RIS deployment: collectors and peer routers.
+
+use bgpz_netsim::{Tier, Topology};
+use bgpz_types::{Asn, SimTime};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// A route collector (rrc00, rrc21, rrc25, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collector {
+    /// Collector name, e.g. `"rrc25"`.
+    pub name: String,
+    /// The collector's AS (RIPE NCC RIS is AS12654).
+    pub asn: Asn,
+    /// Collector-side session address.
+    pub ip: IpAddr,
+    /// Collector BGP identifier (used in PEER_INDEX_TABLE).
+    pub bgp_id: Ipv4Addr,
+}
+
+impl Collector {
+    /// A conventional RIS collector numbered `n`.
+    pub fn numbered(n: u8) -> Collector {
+        Collector {
+            name: format!("rrc{n:02}"),
+            asn: Asn(12_654),
+            ip: IpAddr::V6(Ipv6Addr::from([
+                0x2001, 0x07f8, 0x0024, n as u16, 0, 0, 0, 0x82,
+            ])),
+            bgp_id: Ipv4Addr::new(193, 0, 4, n),
+        }
+    }
+}
+
+/// One peer router: a volunteer AS's BGP session into a collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RisPeerSpec {
+    /// The peer AS.
+    pub asn: Asn,
+    /// The router's session address — this is how the paper names peers
+    /// (e.g. `2a0c:9a40:1031::504`, `176.119.234.201`).
+    pub addr: IpAddr,
+    /// Router BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// Index into [`RisConfig::collectors`].
+    pub collector: usize,
+    /// Probability that this router fails to process one IPv4 withdrawal
+    /// (sticky-export noisy peer; 0.0 for healthy routers).
+    pub sticky_v4: f64,
+    /// Same, for IPv6 withdrawals. The replication's noisy peer AS16347
+    /// was noisy almost exclusively on IPv6, hence the split.
+    pub sticky_v6: f64,
+    /// Scheduled collector-session flaps (down instants); the session
+    /// re-establishes ~a minute later and the router re-announces its
+    /// table.
+    pub flaps: Vec<SimTime>,
+    /// Longer collector-session outages `(down, up)`: STATE messages are
+    /// emitted at both edges, nothing is exported in between, and the
+    /// router re-announces its table at re-establishment. A detector that
+    /// ignores STATE messages will count routes pending at the down edge
+    /// as zombies — the ablation of the paper's §3.1 step 1.
+    pub collector_outages: Vec<(SimTime, SimTime)>,
+    /// Export-freeze windows: while `start <= t < end`, the router's
+    /// export pipeline ignores every event for the given family (None =
+    /// both), so its mirror — and therefore its RIB-dump entries and its
+    /// update feed — stay frozen at the pre-window state. This reproduces
+    /// peers whose stale routes survive *many* beacon intervals with their
+    /// original Aggregator clock (the double-counting source at AS16347).
+    pub freeze_windows: Vec<FreezeWindow>,
+}
+
+/// One export-freeze window of a peer router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreezeWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Restrict to one address family (`None` = both).
+    pub afi: Option<bgpz_types::Afi>,
+}
+
+impl RisPeerSpec {
+    /// A healthy peer router.
+    pub fn healthy(asn: Asn, addr: IpAddr, collector: usize) -> RisPeerSpec {
+        let bgp_id = derive_bgp_id(asn, addr);
+        RisPeerSpec {
+            asn,
+            addr,
+            bgp_id,
+            collector,
+            sticky_v4: 0.0,
+            sticky_v6: 0.0,
+            flaps: Vec::new(),
+            collector_outages: Vec::new(),
+            freeze_windows: Vec::new(),
+        }
+    }
+
+    /// Marks the router sticky with probability `p` for both families.
+    pub fn with_sticky(mut self, p: f64) -> RisPeerSpec {
+        assert!((0.0..=1.0).contains(&p));
+        self.sticky_v4 = p;
+        self.sticky_v6 = p;
+        self
+    }
+
+    /// Marks the router sticky with separate per-family probabilities.
+    pub fn with_sticky_family(mut self, v4: f64, v6: f64) -> RisPeerSpec {
+        assert!((0.0..=1.0).contains(&v4) && (0.0..=1.0).contains(&v6));
+        self.sticky_v4 = v4;
+        self.sticky_v6 = v6;
+        self
+    }
+
+    /// Adds scheduled session flaps.
+    pub fn with_flaps(mut self, flaps: Vec<SimTime>) -> RisPeerSpec {
+        self.flaps = flaps;
+        self
+    }
+
+    /// Adds a collector-session outage.
+    pub fn with_outage(mut self, down: SimTime, up: SimTime) -> RisPeerSpec {
+        assert!(up > down, "outage must not be empty");
+        self.collector_outages.push((down, up));
+        self
+    }
+
+    /// Adds an export-freeze window.
+    pub fn with_freeze(
+        mut self,
+        start: SimTime,
+        end: SimTime,
+        afi: Option<bgpz_types::Afi>,
+    ) -> RisPeerSpec {
+        assert!(end > start, "freeze window must not be empty");
+        self.freeze_windows.push(FreezeWindow { start, end, afi });
+        self
+    }
+}
+
+/// Deterministic router id from the peer identity.
+fn derive_bgp_id(asn: Asn, addr: IpAddr) -> Ipv4Addr {
+    let h = match addr {
+        IpAddr::V4(a) => u32::from(a),
+        IpAddr::V6(a) => (u128::from(a) >> 96) as u32 ^ u128::from(a) as u32,
+    };
+    Ipv4Addr::from(h.wrapping_mul(2_654_435_761).wrapping_add(asn.0))
+}
+
+/// A complete RIS deployment.
+#[derive(Debug, Clone, Default)]
+pub struct RisConfig {
+    /// The collectors.
+    pub collectors: Vec<Collector>,
+    /// The peer routers.
+    pub peers: Vec<RisPeerSpec>,
+    /// Seconds between RIB dumps (8 h for RIS).
+    pub rib_period: u64,
+}
+
+impl RisConfig {
+    /// Builds a deployment with `n_collectors` collectors and one healthy
+    /// peer router for each AS in `peer_asns`, assigned round-robin.
+    pub fn with_peers(n_collectors: usize, peer_asns: &[Asn]) -> RisConfig {
+        let collectors: Vec<Collector> = (0..n_collectors as u8).map(Collector::numbered).collect();
+        let peers = peer_asns
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| {
+                let addr = IpAddr::V6(Ipv6Addr::from([
+                    0x2001,
+                    0x0db8,
+                    0x9000 + (i / 0x1_0000) as u16,
+                    (i % 0x1_0000) as u16,
+                    0,
+                    0,
+                    0,
+                    1,
+                ]));
+                RisPeerSpec::healthy(asn, addr, i % n_collectors)
+            })
+            .collect();
+        RisConfig {
+            collectors,
+            peers,
+            rib_period: 8 * 3_600,
+        }
+    }
+
+    /// Samples `n_peers` peer ASes from a topology (transit ASes are more
+    /// likely volunteers, as in reality), excluding `exclude` (e.g. the
+    /// beacon origin). Deterministic in `seed`.
+    pub fn sample_from_topology(
+        topo: &Topology,
+        n_collectors: usize,
+        n_peers: usize,
+        exclude: &[Asn],
+        seed: u64,
+    ) -> RisConfig {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut candidates: Vec<Asn> = (0..topo.len())
+            .filter(|&i| !exclude.contains(&topo.asn(i)))
+            .filter(|&i| {
+                // Weight by tier: all transits, 40% of stubs.
+                match topo.tier(i) {
+                    Tier::Tier1 | Tier::Tier2 => true,
+                    Tier::Stub => rng.random_bool(0.4),
+                }
+            })
+            .map(|i| topo.asn(i))
+            .collect();
+        candidates.shuffle(&mut rng);
+        candidates.truncate(n_peers);
+        candidates.sort_unstable();
+        RisConfig::with_peers(n_collectors, &candidates)
+    }
+
+    /// Adds a peer router (builder style).
+    pub fn with_peer(mut self, peer: RisPeerSpec) -> RisConfig {
+        assert!(peer.collector < self.collectors.len(), "collector index");
+        self.peers.push(peer);
+        self
+    }
+
+    /// All distinct peer ASes.
+    pub fn peer_asns(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self.peers.iter().map(|p| p.asn).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_netsim::{TopologyConfig};
+
+    #[test]
+    fn numbered_collector() {
+        let c = Collector::numbered(25);
+        assert_eq!(c.name, "rrc25");
+        assert_eq!(c.asn, Asn(12_654));
+    }
+
+    #[test]
+    fn with_peers_round_robin() {
+        let asns: Vec<Asn> = (1..=10).map(Asn).collect();
+        let config = RisConfig::with_peers(3, &asns);
+        assert_eq!(config.collectors.len(), 3);
+        assert_eq!(config.peers.len(), 10);
+        assert_eq!(config.peers[0].collector, 0);
+        assert_eq!(config.peers[1].collector, 1);
+        assert_eq!(config.peers[3].collector, 0);
+        assert_eq!(config.rib_period, 8 * 3_600);
+        // Unique addresses.
+        let mut addrs: Vec<IpAddr> = config.peers.iter().map(|p| p.addr).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 10);
+    }
+
+    #[test]
+    fn sample_excludes_and_is_deterministic() {
+        let topo = bgpz_netsim::Topology::generate(&TopologyConfig::default());
+        let exclude = vec![topo.asn(0)];
+        let a = RisConfig::sample_from_topology(&topo, 4, 30, &exclude, 9);
+        let b = RisConfig::sample_from_topology(&topo, 4, 30, &exclude, 9);
+        assert_eq!(a.peers, b.peers);
+        assert_eq!(a.peers.len(), 30);
+        assert!(!a.peer_asns().contains(&exclude[0]));
+    }
+
+    #[test]
+    fn builder_peer_roundtrip() {
+        let config = RisConfig::with_peers(2, &[Asn(1)]).with_peer(
+            RisPeerSpec::healthy(Asn(211_509), "176.119.234.201".parse().unwrap(), 1)
+                .with_sticky(0.6)
+                .with_flaps(vec![SimTime(100)]),
+        );
+        let noisy = config.peers.last().unwrap();
+        assert_eq!(noisy.sticky_v4, 0.6);
+        assert_eq!(noisy.sticky_v6, 0.6);
+        assert_eq!(noisy.flaps, vec![SimTime(100)]);
+        assert_eq!(config.peer_asns(), vec![Asn(1), Asn(211_509)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "collector index")]
+    fn bad_collector_index_panics() {
+        let _ = RisConfig::with_peers(1, &[Asn(1)]).with_peer(RisPeerSpec::healthy(
+            Asn(2),
+            "10.0.0.1".parse().unwrap(),
+            5,
+        ));
+    }
+}

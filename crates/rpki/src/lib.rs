@@ -1,0 +1,290 @@
+//! # bgpz-rpki
+//!
+//! A minimal RPKI origin-validation model (RFC 6811) with a time dimension.
+//!
+//! The paper registers a ROA for its beacon prefixes, then deletes it on
+//! 2024-06-22 19:49 UTC. Because the beacons' covering `/32` keeps its own
+//! ROA, the `/48` beacon routes become **RPKI-invalid** (covered by a ROA
+//! but exceeding its maxLength) — and the paper observes that some ASes
+//! holding zombie routes never evict them, exposing absent or flawed ROV.
+//!
+//! [`RoaTimeline`] models exactly that: ROAs with validity windows, RFC 6811
+//! validation at any instant, and the list of instants at which the outcome
+//! can change (used by the simulator to schedule re-validation).
+
+use bgpz_types::{Asn, Prefix, SimTime};
+
+/// A Route Origin Authorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Roa {
+    /// The authorized prefix.
+    pub prefix: Prefix,
+    /// Maximum length of announced prefixes this ROA authorizes.
+    pub max_len: u8,
+    /// The authorized origin AS.
+    pub origin: Asn,
+}
+
+impl Roa {
+    /// A ROA authorizing exactly `prefix` from `origin` (maxLength =
+    /// the prefix's own length).
+    pub fn exact(prefix: Prefix, origin: Asn) -> Roa {
+        Roa {
+            prefix,
+            max_len: prefix.len(),
+            origin,
+        }
+    }
+
+    /// True if this ROA *covers* the route prefix (same family,
+    /// containment) — coverage is what makes a non-matching route Invalid
+    /// rather than NotFound.
+    pub fn covers(&self, prefix: Prefix) -> bool {
+        self.prefix.contains(prefix)
+    }
+
+    /// True if this ROA *authorizes* the (prefix, origin) pair.
+    pub fn authorizes(&self, prefix: Prefix, origin: Asn) -> bool {
+        self.covers(prefix) && prefix.len() <= self.max_len && origin == self.origin
+    }
+}
+
+/// RFC 6811 validation states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpkiValidity {
+    /// Some ROA authorizes the route.
+    Valid,
+    /// At least one ROA covers the prefix, but none authorizes the route.
+    Invalid,
+    /// No ROA covers the prefix.
+    NotFound,
+}
+
+impl RpkiValidity {
+    /// True unless Invalid — the import decision of an ROV router
+    /// (NotFound routes are accepted).
+    pub fn acceptable(self) -> bool {
+        self != RpkiValidity::Invalid
+    }
+}
+
+/// One ROA with its validity window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RoaWindow {
+    roa: Roa,
+    /// Active from this instant (inclusive).
+    from: SimTime,
+    /// Inactive from this instant (exclusive); `None` = forever.
+    until: Option<SimTime>,
+}
+
+/// A set of ROAs evolving over time.
+#[derive(Debug, Clone, Default)]
+pub struct RoaTimeline {
+    windows: Vec<RoaWindow>,
+}
+
+impl RoaTimeline {
+    /// An empty timeline (everything validates NotFound).
+    pub fn new() -> RoaTimeline {
+        RoaTimeline::default()
+    }
+
+    /// Adds a ROA valid on `[from, until)`; `until = None` means forever.
+    pub fn add(&mut self, roa: Roa, from: SimTime, until: Option<SimTime>) {
+        if let Some(end) = until {
+            assert!(end > from, "ROA window must not be empty");
+        }
+        self.windows.push(RoaWindow { roa, from, until });
+    }
+
+    /// Adds a permanent ROA.
+    pub fn add_permanent(&mut self, roa: Roa) {
+        self.add(roa, SimTime::ZERO, None);
+    }
+
+    /// RFC 6811 validation of `(prefix, origin)` at instant `time`.
+    pub fn validate(&self, prefix: Prefix, origin: Asn, time: SimTime) -> RpkiValidity {
+        let mut covered = false;
+        for w in &self.windows {
+            let active = time >= w.from && w.until.is_none_or(|end| time < end);
+            if !active {
+                continue;
+            }
+            if w.roa.authorizes(prefix, origin) {
+                return RpkiValidity::Valid;
+            }
+            if w.roa.covers(prefix) {
+                covered = true;
+            }
+        }
+        if covered {
+            RpkiValidity::Invalid
+        } else {
+            RpkiValidity::NotFound
+        }
+    }
+
+    /// All instants at which validation outcomes can change (window starts
+    /// and ends), sorted and deduplicated. The simulator schedules strict-
+    /// ROV re-validation at these instants (plus per-AS propagation delay —
+    /// the "RPKI time of flight").
+    pub fn change_points(&self) -> Vec<SimTime> {
+        let mut points: Vec<SimTime> = self
+            .windows
+            .iter()
+            .flat_map(|w| [Some(w.from), w.until].into_iter().flatten())
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+
+    /// Number of ROA windows registered.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True if no ROA was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+/// Builds the paper's beacon ROA configuration: a permanent ROA for the
+/// covering block and a beacon ROA (maxLength 48) that is deleted at
+/// `roa_removal` (2024-06-22 19:49 UTC in the paper).
+pub fn beacon_roa_timeline(
+    covering: Prefix,
+    origin: Asn,
+    roa_removal: Option<SimTime>,
+) -> RoaTimeline {
+    let mut timeline = RoaTimeline::new();
+    // The /32 covering block always has its own ROA (it is "already
+    // advertised" per the paper) with maxLength equal to its own length.
+    timeline.add_permanent(Roa::exact(covering, origin));
+    // The beacon ROA authorizes the /48 more-specifics.
+    let beacon_roa = Roa {
+        prefix: covering,
+        max_len: 48,
+        origin,
+    };
+    match roa_removal {
+        Some(end) => timeline.add(beacon_roa, SimTime::ZERO, Some(end)),
+        None => timeline.add_permanent(beacon_roa),
+    }
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    const ORIGIN: Asn = Asn(210_312);
+
+    #[test]
+    fn exact_roa_authorizes_only_exact() {
+        let roa = Roa::exact(p("2a0d:3dc1::/32"), ORIGIN);
+        assert!(roa.authorizes(p("2a0d:3dc1::/32"), ORIGIN));
+        assert!(!roa.authorizes(p("2a0d:3dc1:1851::/48"), ORIGIN));
+        assert!(roa.covers(p("2a0d:3dc1:1851::/48")));
+        assert!(!roa.covers(p("2a0e::/32")));
+    }
+
+    #[test]
+    fn validation_tri_state() {
+        let mut t = RoaTimeline::new();
+        t.add_permanent(Roa {
+            prefix: p("2a0d:3dc1::/32"),
+            max_len: 48,
+            origin: ORIGIN,
+        });
+        // Valid: authorized.
+        assert_eq!(
+            t.validate(p("2a0d:3dc1:1851::/48"), ORIGIN, SimTime(0)),
+            RpkiValidity::Valid
+        );
+        // Invalid: wrong origin.
+        assert_eq!(
+            t.validate(p("2a0d:3dc1:1851::/48"), Asn(666), SimTime(0)),
+            RpkiValidity::Invalid
+        );
+        // Invalid: too specific.
+        assert_eq!(
+            t.validate(p("2a0d:3dc1:1851::/56"), ORIGIN, SimTime(0)),
+            RpkiValidity::Invalid
+        );
+        // NotFound: uncovered space.
+        assert_eq!(
+            t.validate(p("2001:db8::/48"), ORIGIN, SimTime(0)),
+            RpkiValidity::NotFound
+        );
+    }
+
+    #[test]
+    fn acceptable_states() {
+        assert!(RpkiValidity::Valid.acceptable());
+        assert!(RpkiValidity::NotFound.acceptable());
+        assert!(!RpkiValidity::Invalid.acceptable());
+    }
+
+    #[test]
+    fn windowed_roa_flips_validity() {
+        let removal = SimTime::from_ymd_hms(2024, 6, 22, 19, 49, 0);
+        let t = beacon_roa_timeline(p("2a0d:3dc1::/32"), ORIGIN, Some(removal));
+        let beacon = p("2a0d:3dc1:1851::/48");
+        // Before removal: valid.
+        assert_eq!(
+            t.validate(beacon, ORIGIN, SimTime::from_ymd_hms(2024, 6, 10, 0, 0, 0)),
+            RpkiValidity::Valid
+        );
+        // At and after removal: the /32 ROA still covers ⇒ invalid.
+        assert_eq!(
+            t.validate(beacon, ORIGIN, removal),
+            RpkiValidity::Invalid
+        );
+        assert_eq!(
+            t.validate(beacon, ORIGIN, SimTime::from_ymd_hms(2025, 1, 1, 0, 0, 0)),
+            RpkiValidity::Invalid
+        );
+        // The covering /32 itself stays valid throughout.
+        assert_eq!(
+            t.validate(p("2a0d:3dc1::/32"), ORIGIN, SimTime::from_ymd_hms(2025, 1, 1, 0, 0, 0)),
+            RpkiValidity::Valid
+        );
+    }
+
+    #[test]
+    fn change_points_sorted_unique() {
+        let removal = SimTime::from_ymd_hms(2024, 6, 22, 19, 49, 0);
+        let t = beacon_roa_timeline(p("2a0d:3dc1::/32"), ORIGIN, Some(removal));
+        let points = t.change_points();
+        assert_eq!(points, vec![SimTime::ZERO, removal]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must not be empty")]
+    fn empty_window_panics() {
+        let mut t = RoaTimeline::new();
+        t.add(
+            Roa::exact(p("2001:db8::/32"), ORIGIN),
+            SimTime(10),
+            Some(SimTime(10)),
+        );
+    }
+
+    #[test]
+    fn empty_timeline_is_notfound() {
+        let t = RoaTimeline::new();
+        assert!(t.is_empty());
+        assert_eq!(
+            t.validate(p("2001:db8::/32"), ORIGIN, SimTime(0)),
+            RpkiValidity::NotFound
+        );
+        assert!(t.change_points().is_empty());
+    }
+}

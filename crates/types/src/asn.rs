@@ -1,0 +1,120 @@
+//! Autonomous System numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 4-byte Autonomous System number (RFC 6793).
+///
+/// Two-byte AS numbers are a strict subset; [`Asn::is_16bit`] reports whether
+/// a value fits the legacy encoding, which matters when emitting
+/// `BGP4MP_MESSAGE` (2-byte peer AS fields) versus `BGP4MP_MESSAGE_AS4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// `AS_TRANS` (RFC 6793 §9): substituted for 4-byte AS numbers in 2-byte
+    /// fields.
+    pub const TRANS: Asn = Asn(23_456);
+
+    /// The paper's beacon origin AS (AS210312, a personal AS).
+    pub const BEACON_ORIGIN: Asn = Asn(210_312);
+
+    /// True if the value fits in 16 bits.
+    pub fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// The value to place in a 2-byte AS field: the ASN itself if it fits,
+    /// otherwise `AS_TRANS`.
+    pub fn as_u16_or_trans(self) -> u16 {
+        if self.is_16bit() {
+            self.0 as u16
+        } else {
+            Asn::TRANS.0 as u16
+        }
+    }
+
+    /// True for private-use ASNs (RFC 6996 ranges).
+    pub fn is_private(self) -> bool {
+        (64_512..=65_534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Asn {
+        Asn(v)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(v: Asn) -> u32 {
+        v.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Error parsing an [`Asn`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsnParseError(pub String);
+
+impl fmt::Display for AsnParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ASN: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for AsnParseError {}
+
+impl FromStr for Asn {
+    type Err = AsnParseError;
+
+    /// Accepts `"64512"` and `"AS64512"` (case-insensitive prefix).
+    fn from_str(s: &str) -> Result<Asn, AsnParseError> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| AsnParseError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = Asn(210_312);
+        assert_eq!(a.to_string(), "AS210312");
+        assert_eq!("AS210312".parse::<Asn>().unwrap(), a);
+        assert_eq!("210312".parse::<Asn>().unwrap(), a);
+        assert_eq!("as16347".parse::<Asn>().unwrap(), Asn(16_347));
+        assert!("ASxyz".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn sixteen_bit_detection() {
+        assert!(Asn(65_535).is_16bit());
+        assert!(!Asn(65_536).is_16bit());
+        assert_eq!(Asn(3356).as_u16_or_trans(), 3356);
+        assert_eq!(Asn(210_312).as_u16_or_trans(), 23_456);
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn(64_512).is_private());
+        assert!(Asn(65_534).is_private());
+        assert!(!Asn(65_535).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(!Asn(210_312).is_private());
+    }
+}

@@ -1,0 +1,396 @@
+//! AS_PATH representation and codec (RFC 4271 §4.3, RFC 6793 for 4-byte).
+//!
+//! Paths are stored leftmost-first: index 0 is the most recent (nearest)
+//! AS, the last element is the origin AS. This matches the wire order and
+//! the "subpath" notation used by the paper (e.g. the zombie subpath
+//! `4637 1299 25091 8298 210312` ends at the beacon origin AS210312).
+
+use crate::asn::Asn;
+use crate::error::{ensure, CodecError, CodecResult};
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Segment type discriminants from RFC 4271.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Ordered sequence of ASes (type 2).
+    Sequence,
+    /// Unordered set of ASes, produced by aggregation (type 1).
+    Set,
+}
+
+impl SegmentKind {
+    /// Wire discriminant.
+    pub fn code(self) -> u8 {
+        match self {
+            SegmentKind::Set => 1,
+            SegmentKind::Sequence => 2,
+        }
+    }
+
+    /// Parses a wire discriminant.
+    pub fn from_code(code: u8) -> CodecResult<SegmentKind> {
+        match code {
+            1 => Ok(SegmentKind::Set),
+            2 => Ok(SegmentKind::Sequence),
+            other => Err(CodecError::BadSegmentType(other)),
+        }
+    }
+}
+
+/// One AS_PATH segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AsPathSegment {
+    /// Segment kind.
+    pub kind: SegmentKind,
+    /// The ASes in the segment (wire order).
+    pub asns: Vec<Asn>,
+}
+
+/// An AS_PATH attribute value: a list of segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AsPath {
+    /// Segments in wire order.
+    pub segments: Vec<AsPathSegment>,
+}
+
+impl AsPath {
+    /// An empty path (as originated, before any prepending).
+    pub fn empty() -> AsPath {
+        AsPath::default()
+    }
+
+    /// Builds a path from a single AS_SEQUENCE, leftmost (nearest) first.
+    pub fn from_sequence<I: IntoIterator<Item = u32>>(asns: I) -> AsPath {
+        AsPath {
+            segments: vec![AsPathSegment {
+                kind: SegmentKind::Sequence,
+                asns: asns.into_iter().map(Asn).collect(),
+            }],
+        }
+    }
+
+    /// All ASes in wire order, flattening sets.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| s.asns.iter().copied())
+    }
+
+    /// The origin AS — the last AS of the last AS_SEQUENCE segment, or
+    /// `None` for an empty path or one ending in an AS_SET (aggregated
+    /// routes have no single origin).
+    pub fn origin(&self) -> Option<Asn> {
+        let last = self.segments.last()?;
+        match last.kind {
+            SegmentKind::Sequence => last.asns.last().copied(),
+            SegmentKind::Set => None,
+        }
+    }
+
+    /// The neighbor AS — the first AS on the path.
+    pub fn first(&self) -> Option<Asn> {
+        self.segments.first()?.asns.first().copied()
+    }
+
+    /// Path length for route selection (RFC 4271 §9.1.2.2): each AS in a
+    /// sequence counts 1, each AS_SET counts 1 in total.
+    pub fn selection_len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s.kind {
+                SegmentKind::Sequence => s.asns.len(),
+                SegmentKind::Set => 1,
+            })
+            .sum()
+    }
+
+    /// Total number of ASes mentioned (sets flattened). This is what the
+    /// paper's Fig. 6 plots as "AS path length".
+    pub fn hop_count(&self) -> usize {
+        self.segments.iter().map(|s| s.asns.len()).sum()
+    }
+
+    /// True if `asn` appears anywhere in the path (loop detection).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.asns().any(|a| a == asn)
+    }
+
+    /// Returns a new path with `asn` prepended (as done when an AS exports a
+    /// route to an eBGP neighbor).
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut segments = self.segments.clone();
+        match segments.first_mut() {
+            Some(seg) if seg.kind == SegmentKind::Sequence => seg.asns.insert(0, asn),
+            _ => segments.insert(
+                0,
+                AsPathSegment {
+                    kind: SegmentKind::Sequence,
+                    asns: vec![asn],
+                },
+            ),
+        }
+        AsPath { segments }
+    }
+
+    /// The flattened path as a vector (wire order: nearest AS first).
+    pub fn to_vec(&self) -> Vec<Asn> {
+        self.asns().collect()
+    }
+
+    /// True if the flattened path ends with `suffix` (origin-side subpath).
+    ///
+    /// The paper identifies outbreak root causes by a shared origin-side
+    /// subpath such as `33891 25091 8298 210312`.
+    pub fn ends_with(&self, suffix: &[Asn]) -> bool {
+        let flat = self.to_vec();
+        flat.len() >= suffix.len() && flat[flat.len() - suffix.len()..] == *suffix
+    }
+
+    /// Longest common origin-side subpath across `paths` (flattened).
+    ///
+    /// Returns the shared suffix, origin last. Empty if `paths` is empty or
+    /// shares nothing.
+    pub fn common_suffix(paths: &[&AsPath]) -> Vec<Asn> {
+        let flats: Vec<Vec<Asn>> = paths.iter().map(|p| p.to_vec()).collect();
+        let Some(first) = flats.first() else {
+            return Vec::new();
+        };
+        let mut k = first.len();
+        for flat in &flats[1..] {
+            let mut common = 0;
+            for i in 1..=flat.len().min(k) {
+                if flat[flat.len() - i] == first[first.len() - i] {
+                    common = i;
+                } else {
+                    break;
+                }
+            }
+            k = common;
+            if k == 0 {
+                break;
+            }
+        }
+        first[first.len() - k..].to_vec()
+    }
+
+    /// Encoded length in bytes with the given AS width.
+    pub fn wire_len(&self, four_byte: bool) -> usize {
+        let w = if four_byte { 4 } else { 2 };
+        self.segments.iter().map(|s| 2 + w * s.asns.len()).sum()
+    }
+
+    /// Encodes the path. `four_byte` selects RFC 6793 4-octet AS encoding
+    /// (used by BGP4MP_MESSAGE_AS4 peers and modern sessions); the 2-octet
+    /// form substitutes `AS_TRANS` for wide ASNs.
+    pub fn encode(&self, buf: &mut impl BufMut, four_byte: bool) {
+        for seg in &self.segments {
+            buf.put_u8(seg.kind.code());
+            buf.put_u8(seg.asns.len() as u8);
+            for asn in &seg.asns {
+                if four_byte {
+                    buf.put_u32(asn.0);
+                } else {
+                    buf.put_u16(asn.as_u16_or_trans());
+                }
+            }
+        }
+    }
+
+    /// Decodes a path occupying exactly `total` bytes.
+    pub fn decode(buf: &mut impl Buf, total: usize, four_byte: bool) -> CodecResult<AsPath> {
+        ensure(buf, total, "AS_PATH")?;
+        let mut sub = buf.copy_to_bytes(total);
+        let mut segments = Vec::new();
+        while sub.has_remaining() {
+            ensure(&sub, 2, "AS_PATH segment header")?;
+            let kind = SegmentKind::from_code(sub.get_u8())?;
+            let count = sub.get_u8() as usize;
+            let width = if four_byte { 4 } else { 2 };
+            ensure(&sub, count * width, "AS_PATH segment body")?;
+            let mut asns = Vec::with_capacity(count);
+            for _ in 0..count {
+                asns.push(if four_byte {
+                    Asn(sub.get_u32())
+                } else {
+                    Asn(sub.get_u16() as u32)
+                });
+            }
+            segments.push(AsPathSegment { kind, asns });
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// Space-separated ASNs; AS_SETs in braces, e.g. `3356 {64512,64513}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match seg.kind {
+                SegmentKind::Sequence => {
+                    let mut inner = true;
+                    for asn in &seg.asns {
+                        if !std::mem::take(&mut inner) {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", asn.0)?;
+                    }
+                }
+                SegmentKind::Set => {
+                    write!(f, "{{")?;
+                    let mut inner = true;
+                    for asn in &seg.asns {
+                        if !std::mem::take(&mut inner) {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}", asn.0)?;
+                    }
+                    write!(f, "}}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn paper_path() -> AsPath {
+        AsPath::from_sequence([4637, 1299, 25091, 8298, 210_312])
+    }
+
+    #[test]
+    fn origin_and_first() {
+        let p = paper_path();
+        assert_eq!(p.origin(), Some(Asn(210_312)));
+        assert_eq!(p.first(), Some(Asn(4637)));
+        assert_eq!(AsPath::empty().origin(), None);
+    }
+
+    #[test]
+    fn set_has_no_single_origin() {
+        let p = AsPath {
+            segments: vec![
+                AsPathSegment {
+                    kind: SegmentKind::Sequence,
+                    asns: vec![Asn(3356)],
+                },
+                AsPathSegment {
+                    kind: SegmentKind::Set,
+                    asns: vec![Asn(64_512), Asn(64_513)],
+                },
+            ],
+        };
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.selection_len(), 2);
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(p.to_string(), "3356 {64512,64513}");
+    }
+
+    #[test]
+    fn prepend_builds_wire_order() {
+        let p = AsPath::from_sequence([8298, 210_312]).prepend(Asn(25_091));
+        assert_eq!(
+            p.to_vec(),
+            vec![Asn(25_091), Asn(8298), Asn(210_312)]
+        );
+        // Prepending onto an empty path creates a sequence segment.
+        let q = AsPath::empty().prepend(Asn(1));
+        assert_eq!(q.to_vec(), vec![Asn(1)]);
+    }
+
+    #[test]
+    fn prepend_does_not_mutate_source() {
+        let p = paper_path();
+        let _ = p.prepend(Asn(1));
+        assert_eq!(p.hop_count(), 5);
+    }
+
+    #[test]
+    fn ends_with_subpath() {
+        let p = paper_path();
+        let suffix: Vec<Asn> = [25_091, 8298, 210_312].iter().map(|&v| Asn(v)).collect();
+        assert!(p.ends_with(&suffix));
+        assert!(!p.ends_with(&[Asn(1299), Asn(210_312)]));
+        assert!(p.ends_with(&[]));
+    }
+
+    #[test]
+    fn common_suffix_of_palm_tree_paths() {
+        // Three zombie paths sharing the paper's Core-Backbone subpath.
+        let a = AsPath::from_sequence([64_500, 33_891, 25_091, 8_298, 210_312]);
+        let b = AsPath::from_sequence([64_501, 64_502, 33_891, 25_091, 8_298, 210_312]);
+        let c = AsPath::from_sequence([64_503, 33_891, 25_091, 8_298, 210_312]);
+        let suffix = AsPath::common_suffix(&[&a, &b, &c]);
+        assert_eq!(
+            suffix,
+            vec![Asn(33_891), Asn(25_091), Asn(8_298), Asn(210_312)]
+        );
+    }
+
+    #[test]
+    fn common_suffix_edge_cases() {
+        assert!(AsPath::common_suffix(&[]).is_empty());
+        let a = AsPath::from_sequence([1, 2]);
+        let b = AsPath::from_sequence([3, 4]);
+        assert!(AsPath::common_suffix(&[&a, &b]).is_empty());
+        let only = AsPath::common_suffix(&[&a]);
+        assert_eq!(only, vec![Asn(1), Asn(2)]);
+        // One path is a suffix of the other.
+        let long = AsPath::from_sequence([9, 1, 2]);
+        assert_eq!(AsPath::common_suffix(&[&a, &long]), vec![Asn(1), Asn(2)]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_4byte() {
+        let p = paper_path();
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf, true);
+        assert_eq!(buf.len(), p.wire_len(true));
+        let got = AsPath::decode(&mut buf.freeze(), p.wire_len(true), true).unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_2byte_with_trans() {
+        let p = paper_path(); // 210312 does not fit 16 bits
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf, false);
+        let got = AsPath::decode(&mut buf.freeze(), p.wire_len(false), false).unwrap();
+        assert_eq!(got.origin(), Some(Asn::TRANS));
+        assert_eq!(got.hop_count(), 5);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_segment() {
+        // Declares 3 ASes but provides only 2.
+        let bytes: &[u8] = &[2, 3, 0, 0, 0, 1, 0, 0, 0, 2];
+        let err = AsPath::decode(&mut &bytes[..], bytes.len(), true).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_bad_segment_type() {
+        let bytes: &[u8] = &[9, 1, 0, 0, 0, 1];
+        let err = AsPath::decode(&mut &bytes[..], bytes.len(), true).unwrap_err();
+        assert_eq!(err, CodecError::BadSegmentType(9));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let p = paper_path();
+        assert!(p.contains(Asn(1299)));
+        assert!(!p.contains(Asn(7018)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(paper_path().to_string(), "4637 1299 25091 8298 210312");
+    }
+}

@@ -1,0 +1,782 @@
+//! BGP path attributes (RFC 4271 §4.3, RFC 4760, RFC 6793, RFC 8092).
+//!
+//! The attribute this whole reproduction hinges on is **AGGREGATOR** (type
+//! 7): RIPE RIS beacons encode the announcement time into the Aggregator IP
+//! address as `10.x.y.z` where `x.y.z` is the 24-bit count of seconds since
+//! midnight UTC on the 1st of the month. The paper uses this as a *BGP
+//! clock* to tell whether a stuck route belongs to the current beacon
+//! interval or is a leftover from an earlier one (double-counting fix).
+
+use crate::asn::Asn;
+use crate::aspath::AsPath;
+use crate::community::{Community, LargeCommunity};
+use crate::error::{ensure, CodecError, CodecResult};
+use crate::prefix::{Afi, Prefix};
+use bytes::{Buf, BufMut, BytesMut};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// ORIGIN attribute values (type 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Origin {
+    /// Learned from an IGP (0).
+    #[default]
+    Igp,
+    /// Learned from EGP (1).
+    Egp,
+    /// Incomplete (2).
+    Incomplete,
+}
+
+impl Origin {
+    /// Wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_code(code: u8) -> CodecResult<Origin> {
+        match code {
+            0 => Ok(Origin::Igp),
+            1 => Ok(Origin::Egp),
+            2 => Ok(Origin::Incomplete),
+            other => Err(CodecError::UnknownVariant {
+                value: other as u32,
+                context: "ORIGIN",
+            }),
+        }
+    }
+}
+
+/// AGGREGATOR attribute (type 7): the AS and router that formed an
+/// aggregate. RIS beacons abuse the IP field as a timestamp (BGP clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Aggregator {
+    /// Aggregating AS.
+    pub asn: Asn,
+    /// Aggregating router id / the RIS beacon BGP-clock IP.
+    pub addr: Ipv4Addr,
+}
+
+/// The next hop carried in MP_REACH_NLRI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextHop {
+    /// IPv4 next hop (4 bytes).
+    V4(Ipv4Addr),
+    /// IPv6 next hop: a global address, optionally followed by a link-local
+    /// one (16 or 32 bytes on the wire).
+    V6 {
+        /// Global-scope next hop.
+        global: Ipv6Addr,
+        /// Optional link-local next hop.
+        link_local: Option<Ipv6Addr>,
+    },
+}
+
+impl NextHop {
+    /// Wire length of the next-hop field.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            NextHop::V4(_) => 4,
+            NextHop::V6 { link_local, .. } => {
+                if link_local.is_some() {
+                    32
+                } else {
+                    16
+                }
+            }
+        }
+    }
+}
+
+/// MP_REACH_NLRI (type 14): multiprotocol reachable NLRI. This is how IPv6
+/// routes — all of the paper's own beacons — travel in BGP UPDATEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpReach {
+    /// Address family of the NLRI.
+    pub afi: Afi,
+    /// Subsequent AFI; 1 = unicast (the only SAFI RIS beacons use).
+    pub safi: u8,
+    /// Next hop.
+    pub next_hop: NextHop,
+    /// Announced prefixes.
+    pub nlri: Vec<Prefix>,
+}
+
+/// MP_UNREACH_NLRI (type 15): multiprotocol withdrawn routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpUnreach {
+    /// Address family of the withdrawn prefixes.
+    pub afi: Afi,
+    /// Subsequent AFI; 1 = unicast.
+    pub safi: u8,
+    /// Withdrawn prefixes.
+    pub withdrawn: Vec<Prefix>,
+}
+
+/// An attribute this library does not interpret, preserved verbatim so that
+/// tolerant re-encoding round-trips foreign data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAttr {
+    /// Raw flag byte.
+    pub flags: u8,
+    /// Attribute type code.
+    pub type_code: u8,
+    /// Attribute value bytes.
+    pub value: Vec<u8>,
+}
+
+/// Attribute flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrFlags(pub u8);
+
+impl AttrFlags {
+    /// Optional bit.
+    pub const OPTIONAL: u8 = 0x80;
+    /// Transitive bit.
+    pub const TRANSITIVE: u8 = 0x40;
+    /// Partial bit.
+    pub const PARTIAL: u8 = 0x20;
+    /// Extended-length bit (2-byte length field).
+    pub const EXTENDED: u8 = 0x10;
+
+    /// True if the optional bit is set.
+    pub fn is_optional(self) -> bool {
+        self.0 & Self::OPTIONAL != 0
+    }
+
+    /// True if the transitive bit is set.
+    pub fn is_transitive(self) -> bool {
+        self.0 & Self::TRANSITIVE != 0
+    }
+
+    /// True if the extended-length bit is set.
+    pub fn is_extended(self) -> bool {
+        self.0 & Self::EXTENDED != 0
+    }
+}
+
+/// Attribute type codes used in this workspace.
+pub mod type_code {
+    /// ORIGIN.
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH.
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP.
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC.
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF.
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE.
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR.
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES.
+    pub const COMMUNITIES: u8 = 8;
+    /// MP_REACH_NLRI.
+    pub const MP_REACH_NLRI: u8 = 14;
+    /// MP_UNREACH_NLRI.
+    pub const MP_UNREACH_NLRI: u8 = 15;
+    /// AS4_PATH.
+    pub const AS4_PATH: u8 = 17;
+    /// AS4_AGGREGATOR.
+    pub const AS4_AGGREGATOR: u8 = 18;
+    /// LARGE_COMMUNITIES.
+    pub const LARGE_COMMUNITIES: u8 = 32;
+}
+
+/// A decoded attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Attr {
+    /// ORIGIN.
+    Origin(Origin),
+    /// AS_PATH.
+    AsPath(AsPath),
+    /// NEXT_HOP (IPv4).
+    NextHop(Ipv4Addr),
+    /// MULTI_EXIT_DISC.
+    Med(u32),
+    /// LOCAL_PREF.
+    LocalPref(u32),
+    /// ATOMIC_AGGREGATE.
+    AtomicAggregate,
+    /// AGGREGATOR.
+    Aggregator(Aggregator),
+    /// COMMUNITIES.
+    Communities(Vec<Community>),
+    /// MP_REACH_NLRI.
+    MpReach(MpReach),
+    /// MP_UNREACH_NLRI.
+    MpUnreach(MpUnreach),
+    /// AS4_PATH (RFC 6793).
+    As4Path(AsPath),
+    /// AS4_AGGREGATOR (RFC 6793).
+    As4Aggregator(Aggregator),
+    /// LARGE_COMMUNITIES (RFC 8092).
+    LargeCommunities(Vec<LargeCommunity>),
+    /// Anything else, preserved raw.
+    Unknown(RawAttr),
+}
+
+/// The full attribute set of one UPDATE, in convenient typed form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathAttributes {
+    /// ORIGIN.
+    pub origin: Option<Origin>,
+    /// AS_PATH.
+    pub as_path: Option<AsPath>,
+    /// NEXT_HOP.
+    pub next_hop: Option<Ipv4Addr>,
+    /// MULTI_EXIT_DISC.
+    pub med: Option<u32>,
+    /// LOCAL_PREF.
+    pub local_pref: Option<u32>,
+    /// ATOMIC_AGGREGATE present.
+    pub atomic_aggregate: bool,
+    /// AGGREGATOR — carries the RIS beacon BGP clock.
+    pub aggregator: Option<Aggregator>,
+    /// COMMUNITIES.
+    pub communities: Vec<Community>,
+    /// LARGE_COMMUNITIES.
+    pub large_communities: Vec<LargeCommunity>,
+    /// MP_REACH_NLRI.
+    pub mp_reach: Option<MpReach>,
+    /// MP_UNREACH_NLRI.
+    pub mp_unreach: Option<MpUnreach>,
+    /// Unrecognised attributes, preserved verbatim.
+    pub unknown: Vec<RawAttr>,
+}
+
+impl PathAttributes {
+    /// Convenience constructor for an announcement with the basics set.
+    pub fn announcement(as_path: AsPath) -> PathAttributes {
+        PathAttributes {
+            origin: Some(Origin::Igp),
+            as_path: Some(as_path),
+            ..PathAttributes::default()
+        }
+    }
+
+    /// Inserts one decoded attribute into the typed set.
+    fn insert(&mut self, attr: Attr) {
+        match attr {
+            Attr::Origin(v) => self.origin = Some(v),
+            Attr::AsPath(v) => self.as_path = Some(v),
+            Attr::NextHop(v) => self.next_hop = Some(v),
+            Attr::Med(v) => self.med = Some(v),
+            Attr::LocalPref(v) => self.local_pref = Some(v),
+            Attr::AtomicAggregate => self.atomic_aggregate = true,
+            Attr::Aggregator(v) => self.aggregator = Some(v),
+            Attr::Communities(v) => self.communities = v,
+            Attr::MpReach(v) => self.mp_reach = Some(v),
+            Attr::MpUnreach(v) => self.mp_unreach = Some(v),
+            // RFC 6793 §4.2.3: when speaking to a 4-octet-capable peer the
+            // AS4_* attributes must not be sent, but old routers in the path
+            // may still attach them; reconcile by preferring the AS4 data.
+            Attr::As4Path(v) => self.as_path = Some(v),
+            Attr::As4Aggregator(v) => self.aggregator = Some(v),
+            Attr::LargeCommunities(v) => self.large_communities = v,
+            Attr::Unknown(v) => self.unknown.push(v),
+        }
+    }
+
+    /// Encodes the attribute set in ascending type-code order.
+    ///
+    /// `four_byte` selects 4-octet AS encoding for AS_PATH / AGGREGATOR
+    /// (the RIS collectors all negotiate the 4-octet capability).
+    pub fn encode(&self, buf: &mut impl BufMut, four_byte: bool) {
+        if let Some(origin) = self.origin {
+            put_attr(buf, 0x40, type_code::ORIGIN, &[origin.code()]);
+        }
+        if let Some(path) = &self.as_path {
+            let mut body = BytesMut::with_capacity(path.wire_len(four_byte));
+            path.encode(&mut body, four_byte);
+            put_attr(buf, 0x40, type_code::AS_PATH, &body);
+        }
+        if let Some(nh) = self.next_hop {
+            put_attr(buf, 0x40, type_code::NEXT_HOP, &nh.octets());
+        }
+        if let Some(med) = self.med {
+            put_attr(buf, 0x80, type_code::MED, &med.to_be_bytes());
+        }
+        if let Some(lp) = self.local_pref {
+            put_attr(buf, 0x40, type_code::LOCAL_PREF, &lp.to_be_bytes());
+        }
+        if self.atomic_aggregate {
+            put_attr(buf, 0x40, type_code::ATOMIC_AGGREGATE, &[]);
+        }
+        if let Some(agg) = self.aggregator {
+            let mut body = BytesMut::with_capacity(8);
+            if four_byte {
+                body.put_u32(agg.asn.0);
+            } else {
+                body.put_u16(agg.asn.as_u16_or_trans());
+            }
+            body.put_slice(&agg.addr.octets());
+            put_attr(buf, 0xC0, type_code::AGGREGATOR, &body);
+        }
+        if !self.communities.is_empty() {
+            let mut body = BytesMut::with_capacity(4 * self.communities.len());
+            for c in &self.communities {
+                body.put_u32(c.0);
+            }
+            put_attr(buf, 0xC0, type_code::COMMUNITIES, &body);
+        }
+        if let Some(mp) = &self.mp_reach {
+            let mut body = BytesMut::new();
+            body.put_u16(mp.afi.code());
+            body.put_u8(mp.safi);
+            body.put_u8(mp.next_hop.wire_len() as u8);
+            match mp.next_hop {
+                NextHop::V4(a) => body.put_slice(&a.octets()),
+                NextHop::V6 { global, link_local } => {
+                    body.put_slice(&global.octets());
+                    if let Some(ll) = link_local {
+                        body.put_slice(&ll.octets());
+                    }
+                }
+            }
+            body.put_u8(0); // reserved SNPA count
+            for p in &mp.nlri {
+                p.encode_nlri(&mut body);
+            }
+            put_attr(buf, 0x80, type_code::MP_REACH_NLRI, &body);
+        }
+        if let Some(mp) = &self.mp_unreach {
+            let mut body = BytesMut::new();
+            body.put_u16(mp.afi.code());
+            body.put_u8(mp.safi);
+            for p in &mp.withdrawn {
+                p.encode_nlri(&mut body);
+            }
+            put_attr(buf, 0x80, type_code::MP_UNREACH_NLRI, &body);
+        }
+        if !self.large_communities.is_empty() {
+            let mut body = BytesMut::with_capacity(12 * self.large_communities.len());
+            for lc in &self.large_communities {
+                body.put_u32(lc.global);
+                body.put_u32(lc.local1);
+                body.put_u32(lc.local2);
+            }
+            put_attr(buf, 0xC0, type_code::LARGE_COMMUNITIES, &body);
+        }
+        for raw in &self.unknown {
+            put_attr(buf, raw.flags, raw.type_code, &raw.value);
+        }
+    }
+
+    /// Total encoded length in bytes.
+    pub fn wire_len(&self, four_byte: bool) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf, four_byte);
+        buf.len()
+    }
+
+    /// Decodes an attribute block occupying exactly `total` bytes.
+    pub fn decode(buf: &mut impl Buf, total: usize, four_byte: bool) -> CodecResult<PathAttributes> {
+        ensure(buf, total, "path attributes")?;
+        let mut sub = buf.copy_to_bytes(total);
+        let mut attrs = PathAttributes::default();
+        while sub.has_remaining() {
+            let attr = decode_one(&mut sub, four_byte)?;
+            attrs.insert(attr);
+        }
+        Ok(attrs)
+    }
+}
+
+/// Writes one attribute TLV, choosing extended length when needed.
+fn put_attr(buf: &mut impl BufMut, flags: u8, type_code: u8, value: &[u8]) {
+    if value.len() > 255 {
+        buf.put_u8(flags | AttrFlags::EXTENDED);
+        buf.put_u8(type_code);
+        buf.put_u16(value.len() as u16);
+    } else {
+        buf.put_u8(flags & !AttrFlags::EXTENDED);
+        buf.put_u8(type_code);
+        buf.put_u8(value.len() as u8);
+    }
+    buf.put_slice(value);
+}
+
+/// Decodes a single attribute TLV.
+fn decode_one(buf: &mut impl Buf, four_byte: bool) -> CodecResult<Attr> {
+    ensure(buf, 2, "attribute header")?;
+    let flags = AttrFlags(buf.get_u8());
+    let type_code = buf.get_u8();
+    let len = if flags.is_extended() {
+        ensure(buf, 2, "attribute extended length")?;
+        buf.get_u16() as usize
+    } else {
+        ensure(buf, 1, "attribute length")?;
+        buf.get_u8() as usize
+    };
+    ensure(buf, len, "attribute value")?;
+    let mut val = buf.copy_to_bytes(len);
+
+    let attr = match type_code {
+        type_code::ORIGIN => {
+            expect_len(len, 1, "ORIGIN")?;
+            Attr::Origin(Origin::from_code(val.get_u8())?)
+        }
+        type_code::AS_PATH => Attr::AsPath(AsPath::decode(&mut val, len, four_byte)?),
+        type_code::NEXT_HOP => {
+            expect_len(len, 4, "NEXT_HOP")?;
+            Attr::NextHop(get_v4(&mut val))
+        }
+        type_code::MED => {
+            expect_len(len, 4, "MED")?;
+            Attr::Med(val.get_u32())
+        }
+        type_code::LOCAL_PREF => {
+            expect_len(len, 4, "LOCAL_PREF")?;
+            Attr::LocalPref(val.get_u32())
+        }
+        type_code::ATOMIC_AGGREGATE => {
+            expect_len(len, 0, "ATOMIC_AGGREGATE")?;
+            Attr::AtomicAggregate
+        }
+        type_code::AGGREGATOR => {
+            let expected = if four_byte { 8 } else { 6 };
+            expect_len(len, expected, "AGGREGATOR")?;
+            let asn = if four_byte {
+                Asn(val.get_u32())
+            } else {
+                Asn(val.get_u16() as u32)
+            };
+            Attr::Aggregator(Aggregator {
+                asn,
+                addr: get_v4(&mut val),
+            })
+        }
+        type_code::COMMUNITIES => {
+            if len % 4 != 0 {
+                return Err(CodecError::Invalid {
+                    context: "COMMUNITIES length not a multiple of 4",
+                });
+            }
+            let mut out = Vec::with_capacity(len / 4);
+            while val.has_remaining() {
+                out.push(Community(val.get_u32()));
+            }
+            Attr::Communities(out)
+        }
+        type_code::MP_REACH_NLRI => Attr::MpReach(decode_mp_reach(&mut val, len)?),
+        type_code::MP_UNREACH_NLRI => Attr::MpUnreach(decode_mp_unreach(&mut val, len)?),
+        type_code::AS4_PATH => Attr::As4Path(AsPath::decode(&mut val, len, true)?),
+        type_code::AS4_AGGREGATOR => {
+            expect_len(len, 8, "AS4_AGGREGATOR")?;
+            Attr::As4Aggregator(Aggregator {
+                asn: Asn(val.get_u32()),
+                addr: get_v4(&mut val),
+            })
+        }
+        type_code::LARGE_COMMUNITIES => {
+            if len % 12 != 0 {
+                return Err(CodecError::Invalid {
+                    context: "LARGE_COMMUNITIES length not a multiple of 12",
+                });
+            }
+            let mut out = Vec::with_capacity(len / 12);
+            while val.has_remaining() {
+                out.push(LargeCommunity {
+                    global: val.get_u32(),
+                    local1: val.get_u32(),
+                    local2: val.get_u32(),
+                });
+            }
+            Attr::LargeCommunities(out)
+        }
+        _ => Attr::Unknown(RawAttr {
+            flags: flags.0,
+            type_code,
+            value: val.to_vec(),
+        }),
+    };
+    Ok(attr)
+}
+
+/// Checks an exact attribute length.
+fn expect_len(got: usize, want: usize, context: &'static str) -> CodecResult<()> {
+    if got != want {
+        Err(CodecError::BadLength {
+            declared: got,
+            available: want,
+            context,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads 4 bytes as an IPv4 address (caller has validated length).
+fn get_v4(buf: &mut impl Buf) -> Ipv4Addr {
+    let mut oct = [0u8; 4];
+    buf.copy_to_slice(&mut oct);
+    Ipv4Addr::from(oct)
+}
+
+/// Reads 16 bytes as an IPv6 address.
+fn get_v6(buf: &mut impl Buf) -> Ipv6Addr {
+    let mut oct = [0u8; 16];
+    buf.copy_to_slice(&mut oct);
+    Ipv6Addr::from(oct)
+}
+
+/// Decodes an MP_REACH_NLRI attribute body.
+fn decode_mp_reach(val: &mut bytes::Bytes, len: usize) -> CodecResult<MpReach> {
+    if len < 5 {
+        return Err(CodecError::Truncated {
+            needed: 5 - len,
+            context: "MP_REACH_NLRI header",
+        });
+    }
+    let afi = Afi::from_code(val.get_u16())?;
+    let safi = val.get_u8();
+    let nh_len = val.get_u8() as usize;
+    ensure(val, nh_len, "MP_REACH next hop")?;
+    let next_hop = match (afi, nh_len) {
+        (Afi::Ipv4, 4) => NextHop::V4(get_v4(val)),
+        (Afi::Ipv6, 16) => NextHop::V6 {
+            global: get_v6(val),
+            link_local: None,
+        },
+        (Afi::Ipv6, 32) => NextHop::V6 {
+            global: get_v6(val),
+            link_local: Some(get_v6(val)),
+        },
+        _ => {
+            return Err(CodecError::Invalid {
+                context: "MP_REACH next-hop length inconsistent with AFI",
+            })
+        }
+    };
+    ensure(val, 1, "MP_REACH reserved byte")?;
+    let _reserved = val.get_u8();
+    let mut nlri = Vec::new();
+    while val.has_remaining() {
+        nlri.push(Prefix::decode_nlri(afi, val)?);
+    }
+    Ok(MpReach {
+        afi,
+        safi,
+        next_hop,
+        nlri,
+    })
+}
+
+/// Decodes an MP_UNREACH_NLRI attribute body.
+fn decode_mp_unreach(val: &mut bytes::Bytes, len: usize) -> CodecResult<MpUnreach> {
+    if len < 3 {
+        return Err(CodecError::Truncated {
+            needed: 3 - len,
+            context: "MP_UNREACH_NLRI header",
+        });
+    }
+    let afi = Afi::from_code(val.get_u16())?;
+    let safi = val.get_u8();
+    let mut withdrawn = Vec::new();
+    while val.has_remaining() {
+        withdrawn.push(Prefix::decode_nlri(afi, val)?);
+    }
+    Ok(MpUnreach {
+        afi,
+        safi,
+        withdrawn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_attrs() -> PathAttributes {
+        PathAttributes {
+            origin: Some(Origin::Igp),
+            as_path: Some(AsPath::from_sequence([25_091, 8298, 210_312])),
+            next_hop: Some(Ipv4Addr::new(198, 51, 100, 1)),
+            med: Some(50),
+            local_pref: Some(100),
+            atomic_aggregate: true,
+            aggregator: Some(Aggregator {
+                asn: Asn(12_654),
+                addr: Ipv4Addr::new(10, 19, 29, 192),
+            }),
+            communities: vec![Community::new(25_091, 100), Community::NO_EXPORT],
+            large_communities: vec![LargeCommunity {
+                global: 210_312,
+                local1: 1,
+                local2: 2,
+            }],
+            mp_reach: Some(MpReach {
+                afi: Afi::Ipv6,
+                safi: 1,
+                next_hop: NextHop::V6 {
+                    global: "2001:db8::1".parse().unwrap(),
+                    link_local: Some("fe80::1".parse().unwrap()),
+                },
+                nlri: vec!["2a0d:3dc1:1851::/48".parse().unwrap()],
+            }),
+            mp_unreach: None,
+            unknown: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_set_4byte() {
+        let attrs = full_attrs();
+        let mut buf = BytesMut::new();
+        attrs.encode(&mut buf, true);
+        let len = buf.len();
+        assert_eq!(len, attrs.wire_len(true));
+        let got = PathAttributes::decode(&mut buf.freeze(), len, true).unwrap();
+        assert_eq!(got, attrs);
+    }
+
+    #[test]
+    fn roundtrip_mp_unreach() {
+        let attrs = PathAttributes {
+            mp_unreach: Some(MpUnreach {
+                afi: Afi::Ipv6,
+                safi: 1,
+                withdrawn: vec![
+                    "2a0d:3dc1:1851::/48".parse().unwrap(),
+                    "2a0d:3dc1:30::/48".parse().unwrap(),
+                ],
+            }),
+            ..PathAttributes::default()
+        };
+        let mut buf = BytesMut::new();
+        attrs.encode(&mut buf, true);
+        let len = buf.len();
+        let got = PathAttributes::decode(&mut buf.freeze(), len, true).unwrap();
+        assert_eq!(got, attrs);
+    }
+
+    #[test]
+    fn two_byte_aggregator_roundtrip() {
+        let attrs = PathAttributes {
+            aggregator: Some(Aggregator {
+                asn: Asn(12_654),
+                addr: Ipv4Addr::new(10, 0, 1, 2),
+            }),
+            ..PathAttributes::default()
+        };
+        let mut buf = BytesMut::new();
+        attrs.encode(&mut buf, false);
+        let len = buf.len();
+        let got = PathAttributes::decode(&mut buf.freeze(), len, false).unwrap();
+        assert_eq!(got.aggregator, attrs.aggregator);
+    }
+
+    #[test]
+    fn as4_attributes_override_legacy() {
+        // Encode a 2-byte AS_PATH with AS_TRANS plus an AS4_PATH carrying the
+        // real path, then check the decoder prefers the AS4 data.
+        let real = AsPath::from_sequence([3356, 210_312]);
+        let mut buf = BytesMut::new();
+        let legacy = AsPath::from_sequence([3356, Asn::TRANS.0]);
+        let mut body = BytesMut::new();
+        legacy.encode(&mut body, false);
+        put_attr(&mut buf, 0x40, type_code::AS_PATH, &body);
+        let mut body4 = BytesMut::new();
+        real.encode(&mut body4, true);
+        put_attr(&mut buf, 0xC0, type_code::AS4_PATH, &body4);
+        let len = buf.len();
+        let got = PathAttributes::decode(&mut buf.freeze(), len, false).unwrap();
+        assert_eq!(got.as_path, Some(real));
+    }
+
+    #[test]
+    fn unknown_attribute_preserved() {
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0xC0, 99, &[1, 2, 3]);
+        let len = buf.len();
+        let got = PathAttributes::decode(&mut buf.freeze(), len, true).unwrap();
+        assert_eq!(got.unknown.len(), 1);
+        assert_eq!(got.unknown[0].type_code, 99);
+        assert_eq!(got.unknown[0].value, vec![1, 2, 3]);
+        // And it re-encodes verbatim.
+        let mut again = BytesMut::new();
+        got.encode(&mut again, true);
+        let len2 = again.len();
+        let got2 = PathAttributes::decode(&mut again.freeze(), len2, true).unwrap();
+        assert_eq!(got2.unknown, got.unknown);
+    }
+
+    #[test]
+    fn extended_length_used_for_long_values() {
+        // 80 communities = 320 bytes > 255 ⇒ extended length.
+        let attrs = PathAttributes {
+            communities: (0..80).map(|i| Community::new(65_000, i)).collect(),
+            ..PathAttributes::default()
+        };
+        let mut buf = BytesMut::new();
+        attrs.encode(&mut buf, true);
+        assert!(AttrFlags(buf[0]).is_extended());
+        let len = buf.len();
+        let got = PathAttributes::decode(&mut buf.freeze(), len, true).unwrap();
+        assert_eq!(got.communities.len(), 80);
+    }
+
+    #[test]
+    fn rejects_bad_origin_and_lengths() {
+        // ORIGIN with value 9.
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0x40, type_code::ORIGIN, &[9]);
+        let len = buf.len();
+        assert!(PathAttributes::decode(&mut buf.freeze(), len, true).is_err());
+
+        // MED with 3 bytes.
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0x80, type_code::MED, &[0, 0, 1]);
+        let len = buf.len();
+        assert!(PathAttributes::decode(&mut buf.freeze(), len, true).is_err());
+
+        // COMMUNITIES not a multiple of 4.
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0xC0, type_code::COMMUNITIES, &[0, 0, 1]);
+        let len = buf.len();
+        assert!(PathAttributes::decode(&mut buf.freeze(), len, true).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_attribute_value() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0x40);
+        raw.put_u8(type_code::ORIGIN);
+        raw.put_u8(5); // claims 5 bytes, provides 1
+        raw.put_u8(0);
+        let len = raw.len();
+        let err = PathAttributes::decode(&mut raw.freeze(), len, true).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn mp_reach_nexthop_afi_mismatch_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u16(2); // IPv6
+        body.put_u8(1);
+        body.put_u8(4); // 4-byte next hop is invalid for IPv6
+        body.put_slice(&[1, 2, 3, 4]);
+        body.put_u8(0);
+        let mut buf = BytesMut::new();
+        put_attr(&mut buf, 0x80, type_code::MP_REACH_NLRI, &body);
+        let len = buf.len();
+        assert!(PathAttributes::decode(&mut buf.freeze(), len, true).is_err());
+    }
+
+    #[test]
+    fn empty_attribute_set_roundtrips() {
+        let attrs = PathAttributes::default();
+        let mut buf = BytesMut::new();
+        attrs.encode(&mut buf, true);
+        assert!(buf.is_empty());
+        let got = PathAttributes::decode(&mut buf.freeze(), 0, true).unwrap();
+        assert_eq!(got, attrs);
+    }
+}

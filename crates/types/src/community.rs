@@ -1,0 +1,145 @@
+//! BGP communities (RFC 1997) and Large Communities (RFC 8092).
+//!
+//! RIS beacons carry informational communities, and the related-work section
+//! of the paper cites the NLNOG RING Large BGP Communities beacon, so both
+//! forms are modelled and carried through the codecs.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A classic 32-bit community, conventionally `ASN:value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// `NO_EXPORT` well-known community.
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// `NO_ADVERTISE` well-known community.
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+
+    /// Builds from the conventional `asn:value` halves.
+    pub fn new(asn: u16, value: u16) -> Community {
+        Community(((asn as u32) << 16) | value as u32)
+    }
+
+    /// The high 16 bits (conventionally an ASN).
+    pub fn asn_part(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low 16 bits.
+    pub fn value_part(self) -> u16 {
+        self.0 as u16
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn_part(), self.value_part())
+    }
+}
+
+/// Error parsing a community from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityParseError(pub String);
+
+impl fmt::Display for CommunityParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid community: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for CommunityParseError {}
+
+impl FromStr for Community {
+    type Err = CommunityParseError;
+
+    fn from_str(s: &str) -> Result<Community, CommunityParseError> {
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| CommunityParseError(s.into()))?;
+        let a: u16 = a.parse().map_err(|_| CommunityParseError(s.into()))?;
+        let v: u16 = v.parse().map_err(|_| CommunityParseError(s.into()))?;
+        Ok(Community::new(a, v))
+    }
+}
+
+/// A Large Community (RFC 8092): `global:local1:local2`, 12 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LargeCommunity {
+    /// Global administrator (an ASN).
+    pub global: u32,
+    /// First local data part.
+    pub local1: u32,
+    /// Second local data part.
+    pub local2: u32,
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.local1, self.local2)
+    }
+}
+
+impl FromStr for LargeCommunity {
+    type Err = CommunityParseError;
+
+    fn from_str(s: &str) -> Result<LargeCommunity, CommunityParseError> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(CommunityParseError(s.into()));
+        }
+        let mut nums = [0u32; 3];
+        for (slot, part) in nums.iter_mut().zip(&parts) {
+            *slot = part.parse().map_err(|_| CommunityParseError(s.into()))?;
+        }
+        Ok(LargeCommunity {
+            global: nums[0],
+            local1: nums[1],
+            local2: nums[2],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_roundtrip() {
+        let c = Community::new(2914, 420);
+        assert_eq!(c.asn_part(), 2914);
+        assert_eq!(c.value_part(), 420);
+        assert_eq!(c.to_string(), "2914:420");
+        assert_eq!("2914:420".parse::<Community>().unwrap(), c);
+    }
+
+    #[test]
+    fn well_known_values() {
+        assert_eq!(Community::NO_EXPORT.0, 0xFFFF_FF01);
+        assert_eq!(Community::NO_EXPORT.to_string(), "65535:65281");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("2914".parse::<Community>().is_err());
+        assert!("2914:99999".parse::<Community>().is_err());
+        assert!("x:1".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn large_community_roundtrip() {
+        let lc: LargeCommunity = "210312:1:15169".parse().unwrap();
+        assert_eq!(
+            lc,
+            LargeCommunity {
+                global: 210_312,
+                local1: 1,
+                local2: 15_169
+            }
+        );
+        assert_eq!(lc.to_string(), "210312:1:15169");
+        assert!("1:2".parse::<LargeCommunity>().is_err());
+        assert!("1:2:3:4".parse::<LargeCommunity>().is_err());
+    }
+}

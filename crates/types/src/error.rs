@@ -1,0 +1,174 @@
+//! Typed codec errors.
+//!
+//! Decoders never panic on malformed input; they return a [`CodecError`]
+//! describing what went wrong and where. Real-world MRT archives contain
+//! truncated and corrupted records (the paper cites FRR emitting ADD-PATH
+//! encodings that RIS collectors could not represent), so every length field
+//! is validated before it is trusted.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding BGP/MRT wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a complete value could be read.
+    ///
+    /// `needed` is the number of additional bytes that were required,
+    /// `context` names the structure being decoded.
+    Truncated {
+        /// Bytes still required.
+        needed: usize,
+        /// Human-readable name of the structure being decoded.
+        context: &'static str,
+    },
+    /// A length field describes more bytes than the enclosing structure has.
+    BadLength {
+        /// The offending declared length.
+        declared: usize,
+        /// The number of bytes actually available.
+        available: usize,
+        /// Structure being decoded.
+        context: &'static str,
+    },
+    /// A prefix length exceeded the maximum for its address family
+    /// (32 for IPv4, 128 for IPv6).
+    BadPrefixLength {
+        /// Declared prefix length in bits.
+        bits: u8,
+        /// Maximum permitted for the family.
+        max: u8,
+    },
+    /// An enumerated field carried an unknown discriminant.
+    UnknownVariant {
+        /// The unknown raw value.
+        value: u32,
+        /// Field name.
+        context: &'static str,
+    },
+    /// A BGP message header carried an invalid marker (must be all-ones).
+    BadMarker,
+    /// A BGP message declared a length outside [19, 4096].
+    BadMessageLength(u16),
+    /// The attribute flags are inconsistent with the attribute type code
+    /// (e.g. a well-known attribute flagged optional).
+    BadAttributeFlags {
+        /// Attribute type code.
+        type_code: u8,
+        /// Raw flag byte.
+        flags: u8,
+    },
+    /// An AS_PATH segment had an unknown segment type.
+    BadSegmentType(u8),
+    /// A value was semantically invalid for its field.
+    Invalid {
+        /// Explanation of the violation.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, context } => {
+                write!(f, "truncated {context}: {needed} more byte(s) required")
+            }
+            CodecError::BadLength {
+                declared,
+                available,
+                context,
+            } => write!(
+                f,
+                "bad length in {context}: declared {declared} but only {available} available"
+            ),
+            CodecError::BadPrefixLength { bits, max } => {
+                write!(f, "prefix length {bits} exceeds maximum {max}")
+            }
+            CodecError::UnknownVariant { value, context } => {
+                write!(f, "unknown {context} value {value}")
+            }
+            CodecError::BadMarker => write!(f, "BGP header marker is not all-ones"),
+            CodecError::BadMessageLength(len) => {
+                write!(f, "BGP message length {len} outside [19, 4096]")
+            }
+            CodecError::BadAttributeFlags { type_code, flags } => {
+                write!(
+                    f,
+                    "attribute type {type_code} has inconsistent flags {flags:#010b}"
+                )
+            }
+            CodecError::BadSegmentType(t) => write!(f, "unknown AS_PATH segment type {t}"),
+            CodecError::Invalid { context } => write!(f, "invalid value: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience alias used throughout the codecs.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// Checks that `buf` has at least `needed` readable bytes.
+///
+/// Returns [`CodecError::Truncated`] naming `context` otherwise. This is the
+/// single bounds-check primitive every decoder goes through, which keeps the
+/// "validate before trust" rule easy to audit.
+pub fn ensure(buf: &impl bytes::Buf, needed: usize, context: &'static str) -> CodecResult<()> {
+    if buf.remaining() < needed {
+        Err(CodecError::Truncated {
+            needed: needed - buf.remaining(),
+            context,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let cases: Vec<(CodecError, &str)> = vec![
+            (
+                CodecError::Truncated {
+                    needed: 3,
+                    context: "nlri",
+                },
+                "truncated nlri: 3 more byte(s) required",
+            ),
+            (
+                CodecError::BadPrefixLength { bits: 33, max: 32 },
+                "prefix length 33 exceeds maximum 32",
+            ),
+            (CodecError::BadMarker, "BGP header marker is not all-ones"),
+            (
+                CodecError::BadMessageLength(4097),
+                "BGP message length 4097 outside [19, 4096]",
+            ),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn ensure_passes_and_fails() {
+        let buf = &b"abc"[..];
+        assert!(ensure(&buf, 3, "x").is_ok());
+        let err = ensure(&buf, 5, "x").unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Truncated {
+                needed: 2,
+                context: "x"
+            }
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CodecError::BadMarker);
+    }
+}

@@ -1,0 +1,40 @@
+//! # bgpz-types
+//!
+//! Core BGP data model and wire codecs for the BGP-zombies reproduction.
+//!
+//! This crate implements, from scratch, the subset of BGP-4 (RFC 4271) and
+//! Multiprotocol BGP (RFC 4760) needed to model RIPE RIS data at message
+//! granularity:
+//!
+//! * [`Asn`] — 4-byte AS numbers (RFC 6793), including `AS_TRANS`.
+//! * [`Prefix`], [`Ipv4Net`], [`Ipv6Net`] — address prefixes with the NLRI
+//!   wire encoding used both in UPDATE bodies and in MP_(UN)REACH_NLRI.
+//! * [`AsPath`] — AS_PATH with AS_SEQUENCE / AS_SET segments.
+//! * [`PathAttributes`] / [`Attr`] — the path-attribute set that RIPE RIS
+//!   beacons actually carry, most importantly the **Aggregator IP address**
+//!   attribute that the paper uses as a BGP clock to kill double counting.
+//! * [`BgpUpdate`] / [`BgpMessage`] — full UPDATE message encode/decode,
+//!   with IPv6 reachability carried in MP_REACH_NLRI / MP_UNREACH_NLRI.
+//!
+//! All codecs are sans-IO: they operate on [`bytes::Buf`] / [`bytes::BufMut`]
+//! and return typed errors instead of panicking on malformed input, because
+//! real MRT archives contain corrupted records (e.g. the FRR ADD-PATH
+//! incident cited by the paper).
+
+pub mod asn;
+pub mod aspath;
+pub mod attrs;
+pub mod community;
+pub mod error;
+pub mod message;
+pub mod prefix;
+pub mod time;
+
+pub use asn::Asn;
+pub use aspath::{AsPath, AsPathSegment, SegmentKind};
+pub use attrs::{Aggregator, Attr, AttrFlags, Origin, PathAttributes};
+pub use community::{Community, LargeCommunity};
+pub use error::{CodecError, CodecResult};
+pub use message::{BgpMessage, BgpOpen, BgpUpdate, MessageKind};
+pub use prefix::{Afi, Ipv4Net, Ipv6Net, Prefix, PrefixParseError};
+pub use time::SimTime;

@@ -1,0 +1,452 @@
+//! BGP-4 messages (RFC 4271 §4).
+//!
+//! MRT `BGP4MP_MESSAGE` records embed a complete BGP message — 16-byte
+//! all-ones marker, length, type, body — so this codec is required to read
+//! RIS raw data. Only UPDATE gets a full typed model; OPEN / KEEPALIVE /
+//! NOTIFICATION are modelled minimally (RIS archives contain them around
+//! session resets, and a tolerant pipeline must at least frame and skip
+//! them).
+
+use crate::asn::Asn;
+use crate::attrs::PathAttributes;
+use crate::error::{ensure, CodecError, CodecResult};
+use crate::prefix::{Afi, Prefix};
+use bytes::{Buf, BufMut, BytesMut};
+use std::net::Ipv4Addr;
+
+/// BGP message type codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// OPEN (1).
+    Open,
+    /// UPDATE (2).
+    Update,
+    /// NOTIFICATION (3).
+    Notification,
+    /// KEEPALIVE (4).
+    Keepalive,
+}
+
+impl MessageKind {
+    /// Wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            MessageKind::Open => 1,
+            MessageKind::Update => 2,
+            MessageKind::Notification => 3,
+            MessageKind::Keepalive => 4,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_code(code: u8) -> CodecResult<MessageKind> {
+        match code {
+            1 => Ok(MessageKind::Open),
+            2 => Ok(MessageKind::Update),
+            3 => Ok(MessageKind::Notification),
+            4 => Ok(MessageKind::Keepalive),
+            other => Err(CodecError::UnknownVariant {
+                value: other as u32,
+                context: "BGP message type",
+            }),
+        }
+    }
+}
+
+/// A BGP UPDATE message.
+///
+/// IPv4 reachability uses the legacy body fields; IPv6 (every beacon in the
+/// paper's own experiment) travels in `attrs.mp_reach` / `attrs.mp_unreach`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BgpUpdate {
+    /// Withdrawn IPv4 routes (legacy field).
+    pub withdrawn: Vec<Prefix>,
+    /// Path attributes.
+    pub attrs: PathAttributes,
+    /// Announced IPv4 routes (legacy field).
+    pub nlri: Vec<Prefix>,
+}
+
+impl BgpUpdate {
+    /// All prefixes announced by this update, across both families.
+    pub fn announced(&self) -> Vec<Prefix> {
+        let mut out = self.nlri.clone();
+        if let Some(mp) = &self.attrs.mp_reach {
+            out.extend(mp.nlri.iter().copied());
+        }
+        out
+    }
+
+    /// All prefixes withdrawn by this update, across both families.
+    pub fn withdrawn_all(&self) -> Vec<Prefix> {
+        let mut out = self.withdrawn.clone();
+        if let Some(mp) = &self.attrs.mp_unreach {
+            out.extend(mp.withdrawn.iter().copied());
+        }
+        out
+    }
+
+    /// True if the update neither announces nor withdraws anything
+    /// (an End-of-RIB marker, RFC 4724).
+    pub fn is_end_of_rib(&self) -> bool {
+        self.announced().is_empty() && self.withdrawn_all().is_empty()
+    }
+
+    /// Encodes the UPDATE body (no message header).
+    pub fn encode_body(&self, buf: &mut impl BufMut, four_byte: bool) {
+        let mut wd = BytesMut::new();
+        for p in &self.withdrawn {
+            debug_assert_eq!(p.afi(), Afi::Ipv4, "legacy withdrawn field is IPv4-only");
+            p.encode_nlri(&mut wd);
+        }
+        buf.put_u16(wd.len() as u16);
+        buf.put_slice(&wd);
+
+        let mut attrs = BytesMut::new();
+        self.attrs.encode(&mut attrs, four_byte);
+        buf.put_u16(attrs.len() as u16);
+        buf.put_slice(&attrs);
+
+        for p in &self.nlri {
+            debug_assert_eq!(p.afi(), Afi::Ipv4, "legacy NLRI field is IPv4-only");
+            p.encode_nlri(buf);
+        }
+    }
+
+    /// Decodes an UPDATE body occupying exactly `total` bytes.
+    pub fn decode_body(buf: &mut impl Buf, total: usize, four_byte: bool) -> CodecResult<BgpUpdate> {
+        ensure(buf, total, "UPDATE body")?;
+        let mut sub = buf.copy_to_bytes(total);
+
+        ensure(&sub, 2, "withdrawn routes length")?;
+        let wd_len = sub.get_u16() as usize;
+        if wd_len > sub.remaining() {
+            return Err(CodecError::BadLength {
+                declared: wd_len,
+                available: sub.remaining(),
+                context: "withdrawn routes",
+            });
+        }
+        let withdrawn = Prefix::decode_nlri_run(Afi::Ipv4, &mut sub, wd_len)?;
+
+        ensure(&sub, 2, "path attributes length")?;
+        let at_len = sub.get_u16() as usize;
+        if at_len > sub.remaining() {
+            return Err(CodecError::BadLength {
+                declared: at_len,
+                available: sub.remaining(),
+                context: "path attributes",
+            });
+        }
+        let attrs = PathAttributes::decode(&mut sub, at_len, four_byte)?;
+
+        let nlri_len = sub.remaining();
+        let nlri = Prefix::decode_nlri_run(Afi::Ipv4, &mut sub, nlri_len)?;
+
+        Ok(BgpUpdate {
+            withdrawn,
+            attrs,
+            nlri,
+        })
+    }
+}
+
+/// A minimal BGP OPEN message (enough to frame and to carry the peer AS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpOpen {
+    /// BGP version, always 4.
+    pub version: u8,
+    /// 2-byte My Autonomous System field (AS_TRANS for wide ASNs).
+    pub my_as: u16,
+    /// Hold time in seconds.
+    pub hold_time: u16,
+    /// BGP identifier (router id).
+    pub bgp_id: Ipv4Addr,
+    /// Raw optional parameters (capabilities), not interpreted.
+    pub opt_params: Vec<u8>,
+}
+
+impl BgpOpen {
+    /// A conventional OPEN for an AS with 180 s hold time.
+    pub fn new(asn: Asn, bgp_id: Ipv4Addr) -> BgpOpen {
+        BgpOpen {
+            version: 4,
+            my_as: asn.as_u16_or_trans(),
+            hold_time: 180,
+            bgp_id,
+            opt_params: Vec::new(),
+        }
+    }
+}
+
+/// A complete BGP message.
+// UPDATE dominates both the archives and this enum's size; boxing it would
+// complicate every construction site for no measured benefit.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// OPEN.
+    Open(BgpOpen),
+    /// UPDATE.
+    Update(BgpUpdate),
+    /// NOTIFICATION: (error code, subcode, data).
+    Notification(u8, u8, Vec<u8>),
+    /// KEEPALIVE.
+    Keepalive,
+}
+
+/// Minimum legal BGP message length (bare header).
+pub const MIN_MESSAGE_LEN: u16 = 19;
+/// Maximum legal BGP message length.
+pub const MAX_MESSAGE_LEN: u16 = 4096;
+
+impl BgpMessage {
+    /// The message kind.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            BgpMessage::Open(_) => MessageKind::Open,
+            BgpMessage::Update(_) => MessageKind::Update,
+            BgpMessage::Notification(..) => MessageKind::Notification,
+            BgpMessage::Keepalive => MessageKind::Keepalive,
+        }
+    }
+
+    /// Encodes the message with header (marker, length, type).
+    pub fn encode(&self, buf: &mut impl BufMut, four_byte: bool) {
+        let mut body = BytesMut::new();
+        match self {
+            BgpMessage::Open(open) => {
+                body.put_u8(open.version);
+                body.put_u16(open.my_as);
+                body.put_u16(open.hold_time);
+                body.put_slice(&open.bgp_id.octets());
+                body.put_u8(open.opt_params.len() as u8);
+                body.put_slice(&open.opt_params);
+            }
+            BgpMessage::Update(update) => update.encode_body(&mut body, four_byte),
+            BgpMessage::Notification(code, sub, data) => {
+                body.put_u8(*code);
+                body.put_u8(*sub);
+                body.put_slice(data);
+            }
+            BgpMessage::Keepalive => {}
+        }
+        buf.put_slice(&[0xFF; 16]);
+        buf.put_u16(MIN_MESSAGE_LEN + body.len() as u16);
+        buf.put_u8(self.kind().code());
+        buf.put_slice(&body);
+    }
+
+    /// Encoded length in bytes, header included.
+    pub fn wire_len(&self, four_byte: bool) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf, four_byte);
+        buf.len()
+    }
+
+    /// Decodes one complete message from `buf`.
+    pub fn decode(buf: &mut impl Buf, four_byte: bool) -> CodecResult<BgpMessage> {
+        ensure(buf, MIN_MESSAGE_LEN as usize, "BGP message header")?;
+        let mut marker = [0u8; 16];
+        buf.copy_to_slice(&mut marker);
+        if marker != [0xFF; 16] {
+            return Err(CodecError::BadMarker);
+        }
+        let len = buf.get_u16();
+        if !(MIN_MESSAGE_LEN..=MAX_MESSAGE_LEN).contains(&len) {
+            return Err(CodecError::BadMessageLength(len));
+        }
+        let kind = MessageKind::from_code(buf.get_u8())?;
+        let body_len = (len - MIN_MESSAGE_LEN) as usize;
+        ensure(buf, body_len, "BGP message body")?;
+        match kind {
+            MessageKind::Open => {
+                let mut body = buf.copy_to_bytes(body_len);
+                ensure(&body, 10, "OPEN body")?;
+                let version = body.get_u8();
+                let my_as = body.get_u16();
+                let hold_time = body.get_u16();
+                let mut id = [0u8; 4];
+                body.copy_to_slice(&mut id);
+                let opt_len = body.get_u8() as usize;
+                ensure(&body, opt_len, "OPEN optional parameters")?;
+                let opt_params = body.copy_to_bytes(opt_len).to_vec();
+                Ok(BgpMessage::Open(BgpOpen {
+                    version,
+                    my_as,
+                    hold_time,
+                    bgp_id: Ipv4Addr::from(id),
+                    opt_params,
+                }))
+            }
+            MessageKind::Update => Ok(BgpMessage::Update(BgpUpdate::decode_body(
+                buf, body_len, four_byte,
+            )?)),
+            MessageKind::Notification => {
+                let mut body = buf.copy_to_bytes(body_len);
+                ensure(&body, 2, "NOTIFICATION body")?;
+                let code = body.get_u8();
+                let sub = body.get_u8();
+                Ok(BgpMessage::Notification(code, sub, body.to_vec()))
+            }
+            MessageKind::Keepalive => {
+                if body_len != 0 {
+                    return Err(CodecError::BadLength {
+                        declared: body_len,
+                        available: 0,
+                        context: "KEEPALIVE body",
+                    });
+                }
+                Ok(BgpMessage::Keepalive)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+    use crate::attrs::{MpReach, MpUnreach, NextHop, Origin};
+
+    fn v6_announce() -> BgpUpdate {
+        BgpUpdate {
+            withdrawn: vec![],
+            attrs: PathAttributes {
+                origin: Some(Origin::Igp),
+                as_path: Some(AsPath::from_sequence([25_091, 8298, 210_312])),
+                mp_reach: Some(MpReach {
+                    afi: Afi::Ipv6,
+                    safi: 1,
+                    next_hop: NextHop::V6 {
+                        global: "2001:db8::1".parse().unwrap(),
+                        link_local: None,
+                    },
+                    nlri: vec!["2a0d:3dc1:1145::/48".parse().unwrap()],
+                }),
+                ..PathAttributes::default()
+            },
+            nlri: vec![],
+        }
+    }
+
+    #[test]
+    fn update_roundtrip_v4() {
+        let update = BgpUpdate {
+            withdrawn: vec![Prefix::v4(84, 205, 64, 0, 24)],
+            attrs: PathAttributes::announcement(AsPath::from_sequence([12_654])),
+            nlri: vec![Prefix::v4(84, 205, 65, 0, 24)],
+        };
+        let msg = BgpMessage::Update(update.clone());
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf, true);
+        let got = BgpMessage::decode(&mut buf.freeze(), true).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn update_roundtrip_v6_mp() {
+        let msg = BgpMessage::Update(v6_announce());
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf, true);
+        assert_eq!(buf.len(), msg.wire_len(true));
+        let got = BgpMessage::decode(&mut buf.freeze(), true).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn announced_and_withdrawn_union_families() {
+        let mut update = v6_announce();
+        update.nlri = vec![Prefix::v4(84, 205, 64, 0, 24)];
+        update.attrs.mp_unreach = Some(MpUnreach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            withdrawn: vec!["2a0d:3dc1:30::/48".parse().unwrap()],
+        });
+        update.withdrawn = vec![Prefix::v4(84, 205, 66, 0, 24)];
+        assert_eq!(update.announced().len(), 2);
+        assert_eq!(update.withdrawn_all().len(), 2);
+        assert!(!update.is_end_of_rib());
+    }
+
+    #[test]
+    fn end_of_rib() {
+        assert!(BgpUpdate::default().is_end_of_rib());
+    }
+
+    #[test]
+    fn keepalive_roundtrip_and_framing() {
+        let mut buf = BytesMut::new();
+        BgpMessage::Keepalive.encode(&mut buf, true);
+        assert_eq!(buf.len(), 19);
+        let got = BgpMessage::decode(&mut buf.freeze(), true).unwrap();
+        assert_eq!(got, BgpMessage::Keepalive);
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let open = BgpMessage::Open(BgpOpen::new(Asn(210_312), Ipv4Addr::new(192, 0, 2, 1)));
+        let mut buf = BytesMut::new();
+        open.encode(&mut buf, true);
+        let got = BgpMessage::decode(&mut buf.freeze(), true).unwrap();
+        assert_eq!(got, open);
+        if let BgpMessage::Open(o) = got {
+            assert_eq!(o.my_as, Asn::TRANS.0 as u16);
+        }
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let msg = BgpMessage::Notification(6, 2, vec![9]);
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf, true);
+        let got = BgpMessage::decode(&mut buf.freeze(), true).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn rejects_bad_marker() {
+        let msg = BgpMessage::Keepalive;
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf, true);
+        buf[0] = 0;
+        let err = BgpMessage::decode(&mut buf.freeze(), true).unwrap_err();
+        assert_eq!(err, CodecError::BadMarker);
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut buf = BytesMut::new();
+        BgpMessage::Keepalive.encode(&mut buf, true);
+        buf[16] = 0xFF;
+        buf[17] = 0xFF; // 65535
+        let err = BgpMessage::decode(&mut buf.freeze(), true).unwrap_err();
+        assert_eq!(err, CodecError::BadMessageLength(65_535));
+    }
+
+    #[test]
+    fn rejects_update_with_lying_withdrawn_length() {
+        let update = BgpUpdate::default();
+        let msg = BgpMessage::Update(update);
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf, true);
+        // Body starts at offset 19: withdrawn-len u16. Claim 100 bytes.
+        buf[19] = 0;
+        buf[20] = 100;
+        let err = BgpMessage::decode(&mut buf.freeze(), true).unwrap_err();
+        assert!(matches!(err, CodecError::BadLength { .. }));
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_message() {
+        let mut buf = BytesMut::new();
+        BgpMessage::Keepalive.encode(&mut buf, true);
+        BgpMessage::Update(v6_announce()).encode(&mut buf, true);
+        let mut bytes = buf.freeze();
+        let first = BgpMessage::decode(&mut bytes, true).unwrap();
+        assert_eq!(first, BgpMessage::Keepalive);
+        let second = BgpMessage::decode(&mut bytes, true).unwrap();
+        assert!(matches!(second, BgpMessage::Update(_)));
+        assert!(!bytes.has_remaining());
+    }
+}

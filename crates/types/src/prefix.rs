@@ -1,0 +1,482 @@
+//! IP prefixes and their NLRI wire encoding.
+//!
+//! The NLRI encoding (RFC 4271 §4.3) is a length octet (in bits) followed by
+//! the minimum number of octets holding the prefix. It is shared by the
+//! UPDATE body (IPv4), MP_REACH_NLRI / MP_UNREACH_NLRI (IPv6, RFC 4760) and
+//! the TABLE_DUMP_V2 RIB entry headers (RFC 6396), so it lives here once.
+
+use crate::error::{ensure, CodecError, CodecResult};
+use bytes::{Buf, BufMut};
+use std::cmp::Ordering;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Address Family Identifier (RFC 4760 / IANA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Afi {
+    /// IPv4 (AFI 1).
+    Ipv4,
+    /// IPv6 (AFI 2).
+    Ipv6,
+}
+
+impl Afi {
+    /// The IANA AFI code.
+    pub fn code(self) -> u16 {
+        match self {
+            Afi::Ipv4 => 1,
+            Afi::Ipv6 => 2,
+        }
+    }
+
+    /// Parses an IANA AFI code.
+    pub fn from_code(code: u16) -> CodecResult<Afi> {
+        match code {
+            1 => Ok(Afi::Ipv4),
+            2 => Ok(Afi::Ipv6),
+            other => Err(CodecError::UnknownVariant {
+                value: other as u32,
+                context: "AFI",
+            }),
+        }
+    }
+
+    /// Maximum prefix length for this family.
+    pub fn max_bits(self) -> u8 {
+        match self {
+            Afi::Ipv4 => 32,
+            Afi::Ipv6 => 128,
+        }
+    }
+}
+
+impl fmt::Display for Afi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Afi::Ipv4 => write!(f, "IPv4"),
+            Afi::Ipv6 => write!(f, "IPv6"),
+        }
+    }
+}
+
+/// An IPv4 network prefix. The address is always stored masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Net {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+/// An IPv6 network prefix. The address is always stored masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv6Net {
+    addr: Ipv6Addr,
+    len: u8,
+}
+
+impl Ipv4Net {
+    /// Builds a prefix, masking `addr` to `len` bits.
+    ///
+    /// Returns an error if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> CodecResult<Ipv4Net> {
+        if len > 32 {
+            return Err(CodecError::BadPrefixLength { bits: len, max: 32 });
+        }
+        let raw = u32::from(addr);
+        let masked = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        Ok(Ipv4Net {
+            addr: Ipv4Addr::from(masked),
+            len,
+        })
+    }
+
+    /// The (masked) network address.
+    pub fn addr(self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a bit-length, not a container
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True if this prefix contains `other` (i.e. `other` is equal or more
+    /// specific).
+    pub fn contains(self, other: Ipv4Net) -> bool {
+        if other.len < self.len {
+            return false;
+        }
+        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        (u32::from(other.addr) & mask) == u32::from(self.addr)
+    }
+
+    /// True if this prefix covers the host address `ip`.
+    pub fn contains_addr(self, ip: Ipv4Addr) -> bool {
+        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        (u32::from(ip) & mask) == u32::from(self.addr)
+    }
+}
+
+impl Ipv6Net {
+    /// Builds a prefix, masking `addr` to `len` bits.
+    ///
+    /// Returns an error if `len > 128`.
+    pub fn new(addr: Ipv6Addr, len: u8) -> CodecResult<Ipv6Net> {
+        if len > 128 {
+            return Err(CodecError::BadPrefixLength {
+                bits: len,
+                max: 128,
+            });
+        }
+        let raw = u128::from(addr);
+        let masked = if len == 0 {
+            0
+        } else {
+            raw & (u128::MAX << (128 - len))
+        };
+        Ok(Ipv6Net {
+            addr: Ipv6Addr::from(masked),
+            len,
+        })
+    }
+
+    /// The (masked) network address.
+    pub fn addr(self) -> Ipv6Addr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a bit-length, not a container
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True if this prefix contains `other`.
+    pub fn contains(self, other: Ipv6Net) -> bool {
+        if other.len < self.len {
+            return false;
+        }
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - self.len)
+        };
+        (u128::from(other.addr) & mask) == u128::from(self.addr)
+    }
+
+    /// True if this prefix covers the host address `ip`.
+    pub fn contains_addr(self, ip: Ipv6Addr) -> bool {
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - self.len)
+        };
+        (u128::from(ip) & mask) == u128::from(self.addr)
+    }
+}
+
+/// An IP prefix of either family.
+///
+/// Ordering sorts IPv4 before IPv6, then by address, then by length —
+/// a stable total order used for deterministic iteration in the simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prefix {
+    /// An IPv4 prefix.
+    V4(Ipv4Net),
+    /// An IPv6 prefix.
+    V6(Ipv6Net),
+}
+
+impl Prefix {
+    /// Builds an IPv4 prefix.
+    pub fn v4(a: u8, b: u8, c: u8, d: u8, len: u8) -> Prefix {
+        Prefix::V4(Ipv4Net::new(Ipv4Addr::new(a, b, c, d), len).expect("static prefix"))
+    }
+
+    /// Builds an IPv6 prefix from segments.
+    pub fn v6(segs: [u16; 8], len: u8) -> Prefix {
+        Prefix::V6(Ipv6Net::new(Ipv6Addr::from(segs), len).expect("static prefix"))
+    }
+
+    /// The address family of this prefix.
+    pub fn afi(self) -> Afi {
+        match self {
+            Prefix::V4(_) => Afi::Ipv4,
+            Prefix::V6(_) => Afi::Ipv6,
+        }
+    }
+
+    /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a bit-length, not a container
+    pub fn len(self) -> u8 {
+        match self {
+            Prefix::V4(p) => p.len(),
+            Prefix::V6(p) => p.len(),
+        }
+    }
+
+    /// True for the 0-length default route.
+    pub fn is_default(self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if this prefix contains `other` (same family, equal or more
+    /// specific).
+    pub fn contains(self, other: Prefix) -> bool {
+        match (self, other) {
+            (Prefix::V4(a), Prefix::V4(b)) => a.contains(b),
+            (Prefix::V6(a), Prefix::V6(b)) => a.contains(b),
+            _ => false,
+        }
+    }
+
+    /// The raw network bits as a u128 (IPv4 mapped into the low 32 bits).
+    fn bits(self) -> u128 {
+        match self {
+            Prefix::V4(p) => u32::from(p.addr()) as u128,
+            Prefix::V6(p) => u128::from(p.addr()),
+        }
+    }
+
+    /// Number of octets the NLRI encoding of this prefix occupies, including
+    /// the length octet.
+    pub fn nlri_wire_len(self) -> usize {
+        1 + (self.len() as usize).div_ceil(8)
+    }
+
+    /// Encodes as NLRI: one length octet (bits) + ceil(len/8) address octets.
+    pub fn encode_nlri(self, buf: &mut impl BufMut) {
+        let len = self.len();
+        buf.put_u8(len);
+        let n = (len as usize).div_ceil(8);
+        match self {
+            Prefix::V4(p) => buf.put_slice(&p.addr().octets()[..n]),
+            Prefix::V6(p) => buf.put_slice(&p.addr().octets()[..n]),
+        }
+    }
+
+    /// Decodes one NLRI prefix of family `afi` from `buf`.
+    pub fn decode_nlri(afi: Afi, buf: &mut impl Buf) -> CodecResult<Prefix> {
+        ensure(buf, 1, "NLRI length octet")?;
+        let len = buf.get_u8();
+        if len > afi.max_bits() {
+            return Err(CodecError::BadPrefixLength {
+                bits: len,
+                max: afi.max_bits(),
+            });
+        }
+        let n = (len as usize).div_ceil(8);
+        ensure(buf, n, "NLRI prefix octets")?;
+        match afi {
+            Afi::Ipv4 => {
+                let mut oct = [0u8; 4];
+                buf.copy_to_slice(&mut oct[..n]);
+                Ok(Prefix::V4(Ipv4Net::new(Ipv4Addr::from(oct), len)?))
+            }
+            Afi::Ipv6 => {
+                let mut oct = [0u8; 16];
+                buf.copy_to_slice(&mut oct[..n]);
+                Ok(Prefix::V6(Ipv6Net::new(Ipv6Addr::from(oct), len)?))
+            }
+        }
+    }
+
+    /// Decodes a run of NLRI prefixes filling exactly `total` bytes.
+    pub fn decode_nlri_run(afi: Afi, buf: &mut impl Buf, total: usize) -> CodecResult<Vec<Prefix>> {
+        ensure(buf, total, "NLRI run")?;
+        let mut sub = buf.copy_to_bytes(total);
+        let mut out = Vec::new();
+        while sub.has_remaining() {
+            out.push(Prefix::decode_nlri(afi, &mut sub)?);
+        }
+        Ok(out)
+    }
+}
+
+impl PartialOrd for Prefix {
+    fn partial_cmp(&self, other: &Prefix) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Prefix {
+    fn cmp(&self, other: &Prefix) -> Ordering {
+        self.afi()
+            .cmp(&other.afi())
+            .then(self.bits().cmp(&other.bits()))
+            .then(self.len().cmp(&other.len()))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4(p) => write!(f, "{}/{}", p.addr(), p.len()),
+            Prefix::V6(p) => write!(f, "{}/{}", p.addr(), p.len()),
+        }
+    }
+}
+
+/// Error parsing a [`Prefix`] from `addr/len` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixParseError(pub String);
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Prefix, PrefixParseError> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| PrefixParseError(s.into()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError(s.into()))?;
+        if let Ok(v4) = addr.parse::<Ipv4Addr>() {
+            return Ipv4Net::new(v4, len)
+                .map(Prefix::V4)
+                .map_err(|_| PrefixParseError(s.into()));
+        }
+        if let Ok(v6) = addr.parse::<Ipv6Addr>() {
+            return Ipv6Net::new(v6, len)
+                .map(Prefix::V6)
+                .map_err(|_| PrefixParseError(s.into()));
+        }
+        Err(PrefixParseError(s.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn masks_host_bits() {
+        let p = Ipv4Net::new(Ipv4Addr::new(10, 1, 2, 3), 16).unwrap();
+        assert_eq!(p.addr(), Ipv4Addr::new(10, 1, 0, 0));
+        let p6 = Ipv6Net::new("2a0d:3dc1:1851::1".parse().unwrap(), 48).unwrap();
+        assert_eq!(p6.addr(), "2a0d:3dc1:1851::".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn rejects_oversized_length() {
+        assert!(Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 33).is_err());
+        assert!(Ipv6Net::new(Ipv6Addr::UNSPECIFIED, 129).is_err());
+    }
+
+    #[test]
+    fn containment() {
+        let covering: Prefix = "2001:db8::/32".parse().unwrap();
+        let specific: Prefix = "2001:db8::/48".parse().unwrap();
+        let other: Prefix = "2001:db9::/48".parse().unwrap();
+        assert!(covering.contains(specific));
+        assert!(!specific.contains(covering));
+        assert!(!covering.contains(other));
+        assert!(covering.contains(covering));
+        // Cross-family never contains.
+        let v4: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(!covering.contains(v4));
+        assert!(!v4.contains(covering));
+    }
+
+    #[test]
+    fn contains_addr() {
+        let p = Ipv6Net::new("2001:db8::".parse().unwrap(), 48).unwrap();
+        assert!(p.contains_addr("2001:db8::1".parse().unwrap()));
+        assert!(!p.contains_addr("2001:db8:1::1".parse().unwrap()));
+        let v4 = Ipv4Net::new(Ipv4Addr::new(192, 0, 2, 0), 24).unwrap();
+        assert!(v4.contains_addr(Ipv4Addr::new(192, 0, 2, 200)));
+        assert!(!v4.contains_addr(Ipv4Addr::new(192, 0, 3, 1)));
+    }
+
+    #[test]
+    fn default_route() {
+        let d4 = Ipv4Net::new(Ipv4Addr::new(1, 2, 3, 4), 0).unwrap();
+        assert_eq!(d4.addr(), Ipv4Addr::UNSPECIFIED);
+        assert!(d4.contains_addr(Ipv4Addr::new(8, 8, 8, 8)));
+        assert!(Prefix::V4(d4).is_default());
+    }
+
+    #[test]
+    fn nlri_roundtrip_v4() {
+        let p = Prefix::v4(93, 175, 146, 0, 24);
+        let mut buf = BytesMut::new();
+        p.encode_nlri(&mut buf);
+        assert_eq!(&buf[..], &[24, 93, 175, 146]);
+        assert_eq!(p.nlri_wire_len(), 4);
+        let got = Prefix::decode_nlri(Afi::Ipv4, &mut buf.freeze()).unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn nlri_roundtrip_v6() {
+        let p: Prefix = "2a0d:3dc1:1851::/48".parse().unwrap();
+        let mut buf = BytesMut::new();
+        p.encode_nlri(&mut buf);
+        assert_eq!(&buf[..], &[48, 0x2a, 0x0d, 0x3d, 0xc1, 0x18, 0x51]);
+        let got = Prefix::decode_nlri(Afi::Ipv6, &mut buf.freeze()).unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn nlri_run_decodes_multiple_and_rejects_trailing_garbage() {
+        let a = Prefix::v4(10, 0, 0, 0, 8);
+        let b = Prefix::v4(192, 0, 2, 0, 24);
+        let mut buf = BytesMut::new();
+        a.encode_nlri(&mut buf);
+        b.encode_nlri(&mut buf);
+        let total = buf.len();
+        let got = Prefix::decode_nlri_run(Afi::Ipv4, &mut buf.freeze(), total).unwrap();
+        assert_eq!(got, vec![a, b]);
+
+        // A run whose declared size splits a prefix is an error.
+        let mut buf = BytesMut::new();
+        b.encode_nlri(&mut buf);
+        let err = Prefix::decode_nlri_run(Afi::Ipv4, &mut buf.freeze(), 2).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn nlri_rejects_bad_bits() {
+        let bytes: &[u8] = &[33, 1, 2, 3, 4, 5];
+        let err = Prefix::decode_nlri(Afi::Ipv4, &mut &bytes[..]).unwrap_err();
+        assert_eq!(err, CodecError::BadPrefixLength { bits: 33, max: 32 });
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v: Vec<Prefix> = vec![
+            "2a0d:3dc1:1::/48".parse().unwrap(),
+            "10.0.0.0/8".parse().unwrap(),
+            "10.0.0.0/16".parse().unwrap(),
+            "2a0d:3dc1::/32".parse().unwrap(),
+        ];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+            vec!["10.0.0.0/8", "10.0.0.0/16", "2a0d:3dc1::/32", "2a0d:3dc1:1::/48"]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("zz::/12".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            "2a0d:3dc1:1851::/48".parse::<Prefix>().unwrap().to_string(),
+            "2a0d:3dc1:1851::/48"
+        );
+        assert_eq!(Prefix::v4(93, 175, 146, 0, 24).to_string(), "93.175.146.0/24");
+    }
+}

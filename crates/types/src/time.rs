@@ -1,0 +1,246 @@
+//! Simulated time.
+//!
+//! Every component in this workspace runs on simulated time so that entire
+//! multi-month measurement campaigns (the paper's lifespan study spans
+//! roughly a year of 8-hourly RIB dumps) replay deterministically in
+//! milliseconds. [`SimTime`] is a thin wrapper over seconds since the Unix
+//! epoch; it deliberately has second granularity because that is the
+//! granularity of MRT record timestamps (the microsecond MRT extension is
+//! handled separately by the MRT layer).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds since the Unix epoch, in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// Seconds per minute.
+pub const MINUTE: u64 = 60;
+/// Seconds per hour.
+pub const HOUR: u64 = 3_600;
+/// Seconds per day.
+pub const DAY: u64 = 86_400;
+
+/// Days in each month of a non-leap year.
+const DAYS_IN_MONTH: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+impl SimTime {
+    /// The epoch itself.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from a calendar date and time-of-day (UTC, proleptic
+    /// Gregorian). Months and days are 1-based. Panics on out-of-range
+    /// components because experiment definitions are compile-time constants.
+    pub fn from_ymd_hms(year: u64, month: u64, day: u64, h: u64, m: u64, s: u64) -> SimTime {
+        assert!((1970..=2200).contains(&year), "year out of range");
+        assert!((1..=12).contains(&month), "month out of range");
+        let mut days: u64 = 0;
+        for y in 1970..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+        for mo in 1..month {
+            days += DAYS_IN_MONTH[(mo - 1) as usize];
+            if mo == 2 && is_leap(year) {
+                days += 1;
+            }
+        }
+        let dim = days_in_month(year, month);
+        assert!((1..=dim).contains(&day), "day out of range");
+        days += day - 1;
+        assert!(h < 24 && m < 60 && s < 60, "time of day out of range");
+        SimTime(days * DAY + h * HOUR + m * MINUTE + s)
+    }
+
+    /// Seconds since epoch.
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// The calendar (year, month, day) of this instant.
+    pub fn ymd(self) -> (u64, u64, u64) {
+        let mut days = self.0 / DAY;
+        let mut year = 1970;
+        loop {
+            let ylen = if is_leap(year) { 366 } else { 365 };
+            if days < ylen {
+                break;
+            }
+            days -= ylen;
+            year += 1;
+        }
+        let mut month = 1;
+        loop {
+            let mlen = days_in_month(year, month);
+            if days < mlen {
+                break;
+            }
+            days -= mlen;
+            month += 1;
+        }
+        (year, month, days + 1)
+    }
+
+    /// The (hour, minute, second) of day of this instant.
+    pub fn hms(self) -> (u64, u64, u64) {
+        let s = self.0 % DAY;
+        (s / HOUR, (s % HOUR) / MINUTE, s % MINUTE)
+    }
+
+    /// Midnight UTC on the first day of this instant's month.
+    ///
+    /// This is the reference point of the RIPE RIS beacon Aggregator clock:
+    /// the Aggregator IP `10.x.y.z` encodes the 24-bit count of seconds
+    /// between this instant and the announcement time.
+    pub fn start_of_month(self) -> SimTime {
+        let (y, m, _) = self.ymd();
+        SimTime::from_ymd_hms(y, m, 1, 0, 0, 0)
+    }
+
+    /// Seconds elapsed since midnight UTC on the 1st of this month.
+    pub fn secs_into_month(self) -> u64 {
+        self.0 - self.start_of_month().0
+    }
+
+    /// Saturating subtraction, in seconds.
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Truncates to a multiple of `step` seconds (aligned to the epoch).
+    pub fn align_down(self, step: u64) -> SimTime {
+        SimTime(self.0 - self.0 % step)
+    }
+}
+
+/// True if `year` is a Gregorian leap year.
+pub fn is_leap(year: u64) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+/// Number of days in `month` of `year` (1-based month).
+pub fn days_in_month(year: u64, month: u64) -> u64 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("SimTime subtraction underflow")
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Formats as `YYYY-MM-DD HH:MM:SS` (UTC).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d) = self.ymd();
+        let (h, mi, s) = self.hms();
+        write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(SimTime::ZERO.ymd(), (1970, 1, 1));
+        assert_eq!(SimTime::ZERO.hms(), (0, 0, 0));
+    }
+
+    #[test]
+    fn roundtrip_known_dates() {
+        // Known instants checked against `date -u -d @...`.
+        let cases = [
+            ((2018, 7, 19, 2, 0, 2), 1_531_965_602),
+            ((2017, 10, 1, 0, 0, 0), 1_506_816_000),
+            ((2024, 6, 4, 11, 45, 0), 1_717_501_500),
+            ((2025, 5, 9, 0, 0, 0), 1_746_748_800),
+            ((2000, 2, 29, 23, 59, 59), 951_868_799),
+        ];
+        for ((y, mo, d, h, mi, s), secs) in cases {
+            let t = SimTime::from_ymd_hms(y, mo, d, h, mi, s);
+            assert_eq!(t.secs(), secs, "{y}-{mo}-{d}");
+            assert_eq!(t.ymd(), (y, mo, d));
+            assert_eq!(t.hms(), (h, mi, s));
+        }
+    }
+
+    #[test]
+    fn aggregator_clock_example_from_paper() {
+        // The paper's example: Aggregator 10.19.29.192 ==
+        // 1,252,800 seconds after 2018-07-01 == 2018-07-15 12:00 UTC.
+        let secs = (19u64 << 16) | (29 << 8) | 192;
+        assert_eq!(secs, 1_252_800);
+        let t = SimTime::from_ymd_hms(2018, 7, 1, 0, 0, 0) + secs;
+        assert_eq!(t.ymd(), (2018, 7, 15));
+        assert_eq!(t.hms(), (12, 0, 0));
+    }
+
+    #[test]
+    fn start_of_month_and_secs_into_month() {
+        let t = SimTime::from_ymd_hms(2018, 7, 19, 2, 0, 2);
+        assert_eq!(t.start_of_month(), SimTime::from_ymd_hms(2018, 7, 1, 0, 0, 0));
+        assert_eq!(t.secs_into_month(), 18 * DAY + 2 * HOUR + 2);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2024));
+        assert!(!is_leap(2025));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2025, 2), 28);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = SimTime::from_ymd_hms(2024, 6, 22, 17, 30, 0);
+        assert_eq!(t.to_string(), "2024-06-22 17:30:00");
+    }
+
+    #[test]
+    fn align_down_truncates() {
+        let t = SimTime::from_ymd_hms(2024, 6, 4, 11, 45, 7);
+        let aligned = t.align_down(900);
+        assert_eq!(aligned.hms(), (11, 45, 0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100);
+        assert_eq!((t + 50).secs(), 150);
+        assert_eq!((t + 50) - t, 50);
+        assert_eq!(t.saturating_since(SimTime(500)), 0);
+        let mut u = t;
+        u += 10;
+        assert_eq!(u.secs(), 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn rejects_feb_30() {
+        SimTime::from_ymd_hms(2024, 2, 30, 0, 0, 0);
+    }
+}

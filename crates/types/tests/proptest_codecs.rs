@@ -1,0 +1,205 @@
+//! Property-based tests for the BGP wire codecs.
+//!
+//! Two invariant families:
+//! 1. encode → decode is the identity for arbitrary well-formed values;
+//! 2. decoding arbitrary bytes never panics (it may error).
+
+use bgpz_types::attrs::{Aggregator, MpReach, MpUnreach, NextHop, Origin};
+use bgpz_types::{
+    Afi, AsPath, Asn, BgpMessage, BgpUpdate, Community, Ipv4Net, Ipv6Net, LargeCommunity,
+    PathAttributes, Prefix,
+};
+use bytes::{Buf, BytesMut};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
+        Prefix::V4(Ipv4Net::new(Ipv4Addr::from(addr), len).unwrap())
+    })
+}
+
+fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
+        Prefix::V6(Ipv6Net::new(Ipv6Addr::from(addr), len).unwrap())
+    })
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    proptest::collection::vec(1u32..1_000_000, 1..12).prop_map(AsPath::from_sequence)
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        proptest::option::of(arb_as_path()),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        any::<bool>(),
+        proptest::option::of((1u32..1_000_000, any::<u32>())),
+        proptest::collection::vec(any::<u32>(), 0..6),
+        proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..4),
+        proptest::option::of((any::<u128>(), proptest::collection::vec(arb_prefix_v6(), 0..5))),
+        proptest::option::of(proptest::collection::vec(arb_prefix_v6(), 0..5)),
+    )
+        .prop_map(
+            |(as_path, med, local_pref, atomic, agg, comm, large, mp_reach, mp_unreach)| {
+                PathAttributes {
+                    origin: Some(Origin::Igp),
+                    as_path,
+                    next_hop: None,
+                    med,
+                    local_pref,
+                    atomic_aggregate: atomic,
+                    aggregator: agg.map(|(asn, ip)| Aggregator {
+                        asn: Asn(asn),
+                        addr: Ipv4Addr::from(ip),
+                    }),
+                    communities: comm.into_iter().map(Community).collect(),
+                    large_communities: large
+                        .into_iter()
+                        .map(|(global, local1, local2)| LargeCommunity {
+                            global,
+                            local1,
+                            local2,
+                        })
+                        .collect(),
+                    mp_reach: mp_reach.map(|(nh, nlri)| MpReach {
+                        afi: Afi::Ipv6,
+                        safi: 1,
+                        next_hop: NextHop::V6 {
+                            global: Ipv6Addr::from(nh),
+                            link_local: None,
+                        },
+                        nlri,
+                    }),
+                    mp_unreach: mp_unreach.map(|withdrawn| MpUnreach {
+                        afi: Afi::Ipv6,
+                        safi: 1,
+                        withdrawn,
+                    }),
+                    unknown: Vec::new(),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prefix_v4_nlri_roundtrip(p in arb_prefix_v4()) {
+        let mut buf = BytesMut::new();
+        p.encode_nlri(&mut buf);
+        prop_assert_eq!(buf.len(), p.nlri_wire_len());
+        let got = Prefix::decode_nlri(Afi::Ipv4, &mut buf.freeze()).unwrap();
+        prop_assert_eq!(got, p);
+    }
+
+    #[test]
+    fn prefix_v6_nlri_roundtrip(p in arb_prefix_v6()) {
+        let mut buf = BytesMut::new();
+        p.encode_nlri(&mut buf);
+        let got = Prefix::decode_nlri(Afi::Ipv6, &mut buf.freeze()).unwrap();
+        prop_assert_eq!(got, p);
+    }
+
+    #[test]
+    fn prefix_contains_is_reflexive_and_antisymmetric_on_len(
+        a in arb_prefix_v6(), b in arb_prefix_v6()
+    ) {
+        prop_assert!(a.contains(a));
+        if a.contains(b) && b.contains(a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.contains(b) {
+            prop_assert!(a.len() <= b.len());
+        }
+    }
+
+    #[test]
+    fn as_path_roundtrip_4byte(path in arb_as_path()) {
+        let mut buf = BytesMut::new();
+        path.encode(&mut buf, true);
+        let wire = path.wire_len(true);
+        prop_assert_eq!(buf.len(), wire);
+        let got = AsPath::decode(&mut buf.freeze(), wire, true).unwrap();
+        prop_assert_eq!(got, path);
+    }
+
+    #[test]
+    fn as_path_prepend_preserves_suffix(path in arb_as_path(), head in 1u32..1_000_000) {
+        let longer = path.prepend(Asn(head));
+        prop_assert_eq!(longer.hop_count(), path.hop_count() + 1);
+        prop_assert!(longer.ends_with(&path.to_vec()));
+        prop_assert_eq!(longer.first(), Some(Asn(head)));
+    }
+
+    #[test]
+    fn common_suffix_is_a_suffix_of_all(paths in proptest::collection::vec(arb_as_path(), 1..6)) {
+        let refs: Vec<&AsPath> = paths.iter().collect();
+        let suffix = AsPath::common_suffix(&refs);
+        for p in &paths {
+            prop_assert!(p.ends_with(&suffix));
+        }
+    }
+
+    #[test]
+    fn attrs_roundtrip(attrs in arb_attrs()) {
+        let mut buf = BytesMut::new();
+        attrs.encode(&mut buf, true);
+        let len = buf.len();
+        let got = PathAttributes::decode(&mut buf.freeze(), len, true).unwrap();
+        prop_assert_eq!(got, attrs);
+    }
+
+    #[test]
+    fn update_message_roundtrip(
+        attrs in arb_attrs(),
+        withdrawn in proptest::collection::vec(arb_prefix_v4(), 0..5),
+        nlri in proptest::collection::vec(arb_prefix_v4(), 0..5),
+    ) {
+        let msg = BgpMessage::Update(BgpUpdate { withdrawn, attrs, nlri });
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf, true);
+        let got = BgpMessage::decode(&mut buf.freeze(), true).unwrap();
+        prop_assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever happens, it must not panic and must not consume past the
+        // message it framed.
+        let mut buf = &data[..];
+        let _ = BgpMessage::decode(&mut buf, true);
+        let mut buf = &data[..];
+        let _ = PathAttributes::decode(&mut buf, data.len(), true);
+        let mut buf = &data[..];
+        let _ = Prefix::decode_nlri(Afi::Ipv6, &mut buf);
+    }
+
+    #[test]
+    fn decode_with_marker_never_panics(tail in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Force a valid marker so decoding reaches the deeper layers.
+        let mut data = vec![0xFFu8; 16];
+        data.extend_from_slice(&tail);
+        let mut buf = &data[..];
+        let _ = BgpMessage::decode(&mut buf, true);
+    }
+
+    #[test]
+    fn multiple_messages_frame_exactly(
+        a in arb_attrs(), b in arb_attrs()
+    ) {
+        let m1 = BgpMessage::Update(BgpUpdate { attrs: a, ..BgpUpdate::default() });
+        let m2 = BgpMessage::Update(BgpUpdate { attrs: b, ..BgpUpdate::default() });
+        let mut buf = BytesMut::new();
+        m1.encode(&mut buf, true);
+        m2.encode(&mut buf, true);
+        let mut bytes = buf.freeze();
+        let d1 = BgpMessage::decode(&mut bytes, true).unwrap();
+        let d2 = BgpMessage::decode(&mut bytes, true).unwrap();
+        prop_assert_eq!(d1, m1);
+        prop_assert_eq!(d2, m2);
+        prop_assert!(!bytes.has_remaining());
+    }
+}

@@ -1,0 +1,98 @@
+//! The long-lived zombie study (paper §5): run the paper's own beacons
+//! (daily + 15-day recycle) through the 2024 world, then measure zombie
+//! lifespans from ~a year of 8-hourly RIB dumps: durations, the 35–37-day
+//! cluster, and the §5.2 case studies.
+//!
+//! ```text
+//! cargo run --release --example longlived_study [quick|standard|full]
+//! ```
+
+use bgp_zombies::analysis::experiments::beacon_bundle;
+use bgp_zombies::analysis::Scale;
+use bgp_zombies::zombies::{classify, infer_root_cause, track_lifespans, ClassifyOptions};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or_else(Scale::quick);
+    println!("# scale: {} (pass quick|standard|full)", scale.name);
+    println!("# building the 2024 beacon world (this runs both beacon approaches)...");
+    let bundle = beacon_bundle(&scale, 42);
+    println!(
+        "# {} announcements scanned, {} RIB dumps over {} days of observation",
+        bundle.scan.announcement_count(),
+        bundle.run.archive.rib_dumps.len(),
+        (bundle.run.observed_until.secs()
+            - bgp_zombies::types::SimTime::from_ymd_hms(2024, 6, 4, 0, 0, 0).secs())
+            / 86_400,
+    );
+
+    // Zombies at the 3-hour threshold.
+    let report = classify(
+        &bundle.scan,
+        &ClassifyOptions {
+            threshold: 180 * 60,
+            excluded_peers: bundle.run.noisy_routers.clone(),
+            ..ClassifyOptions::default()
+        },
+    );
+    println!(
+        "\n{:.2}% of announcements still zombie at 3 h (paper: ~2%)",
+        report.outbreak_fraction() * 100.0
+    );
+
+    // Lifespans from the dumps.
+    let lifespans = track_lifespans(
+        &bundle.run.archive.rib_dumps,
+        &bundle.finals,
+        &bundle.run.noisy_routers,
+    );
+    let mut days: Vec<f64> = lifespans
+        .iter()
+        .map(|l| l.duration_days())
+        .filter(|&d| d >= 1.0)
+        .collect();
+    days.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!(
+        "{} outbreaks lasted >= 1 day; longest {:.1} days",
+        days.len(),
+        days.last().copied().unwrap_or(0.0)
+    );
+    let resurrected = lifespans.iter().filter(|l| !l.resurrections.is_empty()).count();
+    println!("{resurrected} outbreaks resurrected (gap in RIB visibility, no new announcement)");
+
+    // The §5.2 case studies, end to end.
+    for prefix_str in ["2a0d:3dc1:2233::/48", "2a0d:3dc1:163::/48"] {
+        let prefix = prefix_str.parse().expect("static");
+        let Some(outbreak) = classify(
+            &bundle.scan,
+            &ClassifyOptions {
+                threshold: 180 * 60,
+                ..ClassifyOptions::default()
+            },
+        )
+        .outbreaks
+        .into_iter()
+        .filter(|o| o.interval.prefix == prefix)
+        .max_by_key(|o| o.routes.len()) else {
+            println!("\n{prefix_str}: not stuck in this run");
+            continue;
+        };
+        let cause = infer_root_cause(&outbreak).expect("routes exist");
+        let duration = lifespans
+            .iter()
+            .find(|l| l.prefix == prefix)
+            .map(|l| l.duration_days())
+            .unwrap_or(0.0);
+        println!(
+            "\n{prefix_str}: stuck at {} peer routers for {:.1} days; suspected culprit {}",
+            outbreak.routes.len(),
+            duration,
+            cause
+                .suspect
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "inconclusive".into()),
+        );
+    }
+}

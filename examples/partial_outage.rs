@@ -1,0 +1,98 @@
+//! The paper's Fig. 1, live: a zombie more-specific route plus
+//! longest-prefix matching produce a forwarding loop and a partial outage.
+//!
+//! AS1 sells its `/32` to AS2 and withdraws the `/48` it used to announce;
+//! the withdrawal wedges on the ASX → AS3 session, so AS3 keeps the stale
+//! `/48`. Traffic from ASY to an address inside the `/48` then bounces
+//! between AS3 (zombie `/48` → ASX) and ASX (covering `/32` → AS3) until
+//! the hop limit runs out — while the rest of the `/32` works fine.
+//!
+//! ```text
+//! cargo run --example partial_outage
+//! ```
+
+use bgp_zombies::netsim::dataplane::{trace, ForwardOutcome, DEFAULT_HOP_LIMIT};
+use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, RouteMeta, Simulator, Tier, Topology};
+use bgp_zombies::types::{Asn, Prefix, SimTime};
+use std::net::IpAddr;
+
+const AS1: Asn = Asn(1); // original /48 announcer
+const AS2: Asn = Asn(2); // buyer of the covering /32
+const AS3: Asn = Asn(3); // dominant transit that keeps the zombie
+const ASX: Asn = Asn(64_001); // fails to propagate the withdrawal
+const ASY: Asn = Asn(64_002); // the user's network
+
+fn main() {
+    let topo = Topology::builder()
+        .node(AS3, Tier::Tier1)
+        .node(ASX, Tier::Tier2)
+        .node(AS1, Tier::Stub)
+        .node(AS2, Tier::Stub)
+        .node(ASY, Tier::Stub)
+        .provider_customer(AS3, ASX)
+        .provider_customer(ASX, AS1)
+        .provider_customer(AS3, AS2)
+        .provider_customer(AS3, ASY)
+        .build();
+
+    let p48: Prefix = "2001:db8::/48".parse().unwrap();
+    let p32: Prefix = "2001:db8::/32".parse().unwrap();
+
+    // The ASX → AS3 direction wedges just before the withdrawal.
+    let plan = FaultPlan::none().freeze(
+        ASX,
+        AS3,
+        SimTime(3_000),
+        SimTime(1_000_000),
+        EpisodeEnd::Resume,
+    );
+    let mut sim = Simulator::new(topo, &plan, 1);
+
+    println!("1. AS1 announces 2001:db8::/48");
+    sim.schedule_announce(SimTime(0), AS1, p48, RouteMeta::default());
+    println!("2. AS1 withdraws the /48 (sold to AS2) — but ASX fails to");
+    println!("   propagate the withdrawal to AS3: the /48 is now a zombie");
+    sim.schedule_withdraw(SimTime(4_000), AS1, p48);
+    println!("3. AS2 announces the covering 2001:db8::/32");
+    sim.schedule_announce(SimTime(5_000), AS2, p32, RouteMeta::default());
+    sim.run_until(SimTime(10_000));
+
+    println!(
+        "\ncontrol plane: AS3 still holds the /48: {} | ASX holds only the /32: {}",
+        sim.holds_prefix(AS3, p48),
+        !sim.holds_prefix(ASX, p48) && sim.holds_prefix(ASX, p32),
+    );
+
+    let victim: IpAddr = "2001:db8::1".parse().unwrap();
+    let (hops, outcome) = trace(&sim, ASY, victim, DEFAULT_HOP_LIMIT);
+    println!("\n4. a user in ASY sends traffic to {victim}:");
+    for (i, hop) in hops.iter().take(6).enumerate() {
+        println!(
+            "   hop {i}: {} matched {}",
+            hop.asn,
+            hop.matched
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "(no route)".into())
+        );
+    }
+    println!("   ... and so on, until the hop limit:");
+    match &outcome {
+        ForwardOutcome::HopLimitExceeded { looping } => {
+            println!(
+                "   LOOP between {} — packets dropped (hop limit exceeded)",
+                looping
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" and ")
+            );
+        }
+        other => println!("   unexpected outcome: {other:?}"),
+    }
+
+    let healthy: IpAddr = "2001:db8:ffff::1".parse().unwrap();
+    let (_, outcome) = trace(&sim, ASY, healthy, DEFAULT_HOP_LIMIT);
+    println!("\n5. traffic to {healthy} (outside the zombie /48): {outcome:?}");
+    println!("\n→ a PARTIAL outage: only the addresses under the zombie route die.");
+    assert!(!outcome.is_delivered() || outcome.is_delivered());
+}

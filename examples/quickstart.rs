@@ -1,0 +1,104 @@
+//! Quickstart: simulate a tiny Internet, wedge one BGP session, and catch
+//! the resulting zombie from the raw MRT archive — the paper's whole
+//! pipeline in ~80 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bgp_zombies::beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
+use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
+use bgp_zombies::ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
+use bgp_zombies::types::{Asn, SimTime};
+use bgp_zombies::zombies::{classify, infer_root_cause, intervals_from_schedule, scan, ClassifyOptions};
+
+fn main() {
+    // 1. A five-AS Internet: two Tier-1s peering on top, two transits,
+    //    and the beacon origin dual-homed below them.
+    let origin = Asn(12_654);
+    let topo = Topology::builder()
+        .node(Asn(100), Tier::Tier1)
+        .node(Asn(101), Tier::Tier1)
+        .node(Asn(200), Tier::Tier2)
+        .node(Asn(201), Tier::Tier2)
+        .node(origin, Tier::Stub)
+        .peering(Asn(100), Asn(101))
+        .provider_customer(Asn(100), Asn(200))
+        .provider_customer(Asn(101), Asn(201))
+        .provider_customer(Asn(200), origin)
+        .provider_customer(Asn(201), origin)
+        .build();
+
+    // 2. The fault: the AS200 → AS100 session silently stops delivering
+    //    messages at 01:00 (the stuck-session bug RFC 9687 addresses).
+    let start = SimTime::from_ymd_hms(2024, 6, 4, 0, 0, 0);
+    let plan = FaultPlan::none().freeze(
+        Asn(200),
+        Asn(100),
+        start + 3_600,
+        start + 86_400,
+        EpisodeEnd::Resume,
+    );
+
+    // 3. RIS: both Tier-1s peer with a collector.
+    let ris_config = RisConfig {
+        collectors: vec![Collector::numbered(0)],
+        peers: vec![
+            RisPeerSpec::healthy(Asn(100), "2001:db8:90::100".parse().unwrap(), 0),
+            RisPeerSpec::healthy(Asn(101), "2001:db8:90::101".parse().unwrap(), 0),
+        ],
+        rib_period: 8 * 3_600,
+    };
+
+    // 4. One day of RIS beacons: announce every 4 h, withdraw 2 h later.
+    let beacons = RisBeacons::new(RisBeaconConfig::historical(origin));
+    let schedule = beacons.schedule(start, start + 86_400);
+
+    // 5. Run the world and archive what the collector saw — real MRT bytes.
+    let mut sim = Simulator::new(topo, &plan, 7);
+    let mut ris = RisNetwork::new(ris_config, start, 7);
+    ris.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    ris.advance(&mut sim, start + 86_400 + 4 * 3_600);
+    let archive = ris.finish();
+    println!(
+        "archive: {} update bytes, {} RIB dumps",
+        archive.updates.len(),
+        archive.rib_dumps.len()
+    );
+
+    // 6. Detect: reconstruct per-interval state from the raw archive and
+    //    classify stuck routes at withdrawal + 90 minutes.
+    let intervals = intervals_from_schedule(&schedule);
+    let result = scan(archive.updates.clone(), &intervals, 4 * 3_600);
+    let report = classify(&result, &ClassifyOptions::default());
+
+    println!(
+        "{} of {} beacon announcements led to a zombie outbreak",
+        report.outbreak_count(),
+        report.announcements
+    );
+    let outbreak = report.outbreaks.first().expect("the freeze guarantees one");
+    println!(
+        "first outbreak: {} announced {}",
+        outbreak.interval.prefix, outbreak.interval.start
+    );
+    for route in &outbreak.routes {
+        println!("  stuck at {} via path [{}]", route.peer, route.zombie_path);
+    }
+    let cause = infer_root_cause(outbreak).expect("routes exist");
+    println!(
+        "palm-tree root cause: {} (chain [{}])",
+        cause
+            .suspect
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "inconclusive".into()),
+        cause
+            .chain
+            .iter()
+            .map(|a| a.0.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    assert!(report.outbreak_count() > 0);
+}

@@ -1,0 +1,126 @@
+//! Live zombie monitoring (the paper's §6 future work, running): replay an
+//! archive through the streaming detector as if it were a RIS Live feed
+//! and print alerts the moment they become decidable — including a live
+//! resurrection.
+//!
+//! ```text
+//! cargo run --release --example realtime_monitor
+//! ```
+
+use bgp_zombies::beacon::{apply_schedule, PaperBeaconConfig, PaperBeacons, PrefixClock, RecycleMode};
+use bgp_zombies::mrt::MrtReader;
+use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
+use bgp_zombies::ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
+use bgp_zombies::types::time::{HOUR, MINUTE};
+use bgp_zombies::types::{Asn, SimTime};
+use bgp_zombies::zombies::realtime::{RealtimeDetector, ZombieAlert};
+use bgp_zombies::zombies::{intervals_from_schedule, ClassifyOptions};
+
+const ORIGIN: Asn = Asn(210_312);
+
+fn main() {
+    // A small 2024-style world running the paper's own 15-minute beacons
+    // for six hours, with one wedged session and one scripted late reset
+    // (the resurrection).
+    let topo = Topology::builder()
+        .node(Asn(100), Tier::Tier1)
+        .node(Asn(200), Tier::Tier2)
+        .node(Asn(201), Tier::Tier2)
+        .node(ORIGIN, Tier::Stub)
+        .provider_customer(Asn(100), Asn(200))
+        .provider_customer(Asn(100), Asn(201))
+        .provider_customer(Asn(200), ORIGIN)
+        .provider_customer(Asn(201), ORIGIN)
+        .build();
+
+    let mut config = PaperBeaconConfig::paper_daily();
+    config.end = config.start + 6 * HOUR;
+    let beacons = PaperBeacons::new(config.clone());
+    let schedule = beacons.schedule();
+
+    // Wedge 200→100 over the 13:00 withdrawal (a plain zombie). For the
+    // live resurrection: AS201's RIB sticks on the 14:00 beacon, its
+    // session to AS100 is dark across the whole detection window, and the
+    // session resets 170 minutes after the withdrawal — the resync
+    // re-announces the stale route to an AS100 that had been clean.
+    let w1 = SimTime::from_ymd_hms(2024, 6, 4, 12, 55, 0);
+    let clock = PrefixClock::paper(RecycleMode::Daily);
+    let target = clock.encode(SimTime::from_ymd_hms(2024, 6, 4, 14, 0, 0));
+    let w2_withdraw = SimTime::from_ymd_hms(2024, 6, 4, 14, 15, 0);
+    let plan = FaultPlan::none()
+        .freeze(Asn(200), Asn(100), w1, w1 + 3 * HOUR, EpisodeEnd::Reset)
+        .sticky_prefix(Asn(201), target)
+        .freeze(
+            Asn(201),
+            Asn(100),
+            SimTime(w2_withdraw.secs() - 20 * MINUTE),
+            w2_withdraw + 170 * MINUTE,
+            EpisodeEnd::Reset,
+        );
+
+    let ris = RisConfig {
+        collectors: vec![Collector::numbered(0)],
+        peers: vec![RisPeerSpec::healthy(
+            Asn(100),
+            "2001:db8:90::100".parse().unwrap(),
+            0,
+        )],
+        rib_period: 8 * HOUR,
+    };
+    let mut sim = Simulator::new(topo, &plan, 1);
+    let mut network = RisNetwork::new(ris, config.start, 1);
+    network.attach(&mut sim);
+    apply_schedule(&mut sim, &schedule);
+    network.advance(&mut sim, config.end + 6 * HOUR);
+    let archive = network.finish();
+
+    // --- the live side -------------------------------------------------
+    let mut detector = RealtimeDetector::new(ClassifyOptions::default());
+    detector.expect_all(intervals_from_schedule(&schedule));
+    println!("# monitoring the feed (threshold 90 min) ...");
+    let mut reader = MrtReader::new(archive.updates.clone());
+    let mut last = SimTime::ZERO;
+    let mut zombie_count = 0;
+    let mut resurrection_count = 0;
+    while let Some(record) = reader.next_record() {
+        last = record.timestamp;
+        for alert in detector.push(&record) {
+            match alert {
+                ZombieAlert::Zombie {
+                    prefix,
+                    peer,
+                    path,
+                    detected_at,
+                    ..
+                } => {
+                    zombie_count += 1;
+                    println!("[{detected_at}] ZOMBIE       {prefix} at {peer} via [{path}]");
+                }
+                ZombieAlert::Resurrection {
+                    prefix,
+                    peer,
+                    path,
+                    detected_at,
+                    ..
+                } => {
+                    resurrection_count += 1;
+                    println!("[{detected_at}] RESURRECTION {prefix} at {peer} via [{path}]");
+                }
+            }
+        }
+    }
+    for alert in detector.advance(last + 4 * HOUR) {
+        if let ZombieAlert::Zombie {
+            prefix,
+            peer,
+            detected_at,
+            ..
+        } = alert
+        {
+            zombie_count += 1;
+            println!("[{detected_at}] ZOMBIE       {prefix} at {peer}");
+        }
+    }
+    println!("\n{zombie_count} zombie alert(s), {resurrection_count} live resurrection(s)");
+    assert!(zombie_count > 0, "the wedged session guarantees alerts");
+}

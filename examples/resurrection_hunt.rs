@@ -1,0 +1,95 @@
+//! Zombie resurrection (paper §5.1), isolated: an infected router's
+//! downstream session resets months after the withdrawal and re-announces
+//! the stale route to an AS that had cleanly withdrawn it — the route
+//! rises from the dead, and the RIB dumps show the visibility gap.
+//!
+//! ```text
+//! cargo run --example resurrection_hunt
+//! ```
+
+use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, RouteMeta, Simulator, Tier, Topology};
+use bgp_zombies::ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
+use bgp_zombies::types::time::{DAY, HOUR};
+use bgp_zombies::types::{Asn, Prefix, SimTime};
+use bgp_zombies::zombies::track_lifespans;
+
+const ORIGIN: Asn = Asn(210_312);
+const UPSTREAM: Asn = Asn(8_298);
+const INFECTED: Asn = Asn(34_549);
+const DOWNSTREAM: Asn = Asn(3_356);
+const RIS_PEER: Asn = Asn(61_573);
+
+fn main() {
+    // ORIGIN ← UPSTREAM ← INFECTED ← DOWNSTREAM ← RIS_PEER, with
+    // DOWNSTREAM multihomed so it withdraws cleanly on the healthy side.
+    let topo = Topology::builder()
+        .node(DOWNSTREAM, Tier::Tier1)
+        .node(Asn(60_000), Tier::Tier1)
+        .node(INFECTED, Tier::Tier2)
+        .node(UPSTREAM, Tier::Tier2)
+        .node(ORIGIN, Tier::Stub)
+        .node(RIS_PEER, Tier::Stub)
+        .peering(DOWNSTREAM, Asn(60_000))
+        .provider_customer(DOWNSTREAM, INFECTED)
+        .provider_customer(Asn(60_000), UPSTREAM)
+        .provider_customer(INFECTED, UPSTREAM)
+        .provider_customer(UPSTREAM, ORIGIN)
+        .provider_customer(DOWNSTREAM, RIS_PEER)
+        .build();
+
+    let prefix: Prefix = "2a0d:3dc1:1851::/48".parse().unwrap();
+    let start = SimTime::from_ymd_hms(2024, 6, 21, 18, 45, 0);
+    let withdrawal = start + 15 * 60;
+    let dark_until = SimTime::from_ymd_hms(2024, 6, 29, 9, 0, 0);
+    let death = SimTime::from_ymd_hms(2024, 9, 15, 0, 0, 0);
+
+    let plan = FaultPlan::none()
+        // The withdrawal never reaches INFECTED: it is a zombie holder.
+        .freeze(UPSTREAM, INFECTED, start + 60, death, EpisodeEnd::Reset)
+        // INFECTED's session to DOWNSTREAM is dark across the whole
+        // episode start, so nobody sees the stale route at first...
+        .freeze(INFECTED, DOWNSTREAM, SimTime(start.secs() - 300), dark_until, EpisodeEnd::Reset);
+    // ...until the session re-establishes on 2024-06-29 (the freeze ends
+    // with a reset), and the resync re-announces the zombie.
+
+    let ris = RisConfig {
+        collectors: vec![Collector::numbered(0)],
+        peers: vec![RisPeerSpec::healthy(
+            RIS_PEER,
+            "2001:db8:6157:3::1".parse().unwrap(),
+            0,
+        )],
+        rib_period: 8 * HOUR,
+    };
+
+    let mut sim = Simulator::new(topo, &plan, 1);
+    let mut network = RisNetwork::new(ris, start, 1);
+    network.attach(&mut sim);
+    sim.schedule_announce(start, ORIGIN, prefix, RouteMeta::default());
+    sim.schedule_withdraw(withdrawal, ORIGIN, prefix);
+    network.advance(&mut sim, death + DAY);
+    let archive = network.finish();
+
+    println!("withdrawn at {withdrawal}");
+    let lifespans = track_lifespans(&archive.rib_dumps, &[(prefix, withdrawal)], &[]);
+    match lifespans.first() {
+        Some(l) => {
+            println!(
+                "zombie visible at RIS from {} to {} ({:.1} days after the withdrawal!)",
+                l.first_seen,
+                l.last_seen,
+                l.duration_days()
+            );
+            let dark_days = l.first_seen.saturating_since(withdrawal) as f64 / 86_400.0;
+            println!(
+                "it was INVISIBLE for the first {dark_days:.1} days — the resurrection:\n\
+                 the infected AS{} re-announced it when its session to AS{} reset,\n\
+                 infecting AS{} and its cone with a route withdrawn a week earlier.",
+                INFECTED.0, DOWNSTREAM.0, DOWNSTREAM.0
+            );
+            assert!(dark_days > 5.0, "the dark period is the point");
+            assert!(l.duration_days() > 80.0, "and it persists for months");
+        }
+        None => println!("no zombie — unexpected, the freeze guarantees one"),
+    }
+}

@@ -1,0 +1,47 @@
+//! # bgp-zombies
+//!
+//! A from-scratch Rust reproduction of *“A First Look into Long-lived BGP
+//! Zombies”* (IMC 2025): BGP/MRT wire tooling, an AS-level propagation
+//! simulator with fault injection, the RIPE RIS collection platform, both
+//! beacon systems, and — the paper's contribution — a zombie-detection
+//! pipeline with Aggregator-clock double-counting elimination, noisy-peer
+//! filtering, lifespan tracking and resurrection detection.
+//!
+//! This crate is the workspace façade: it re-exports every member crate
+//! under a stable name and hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`).
+//!
+//! ```
+//! use bgp_zombies::types::{Asn, Prefix};
+//!
+//! let beacon: Prefix = "2a0d:3dc1:1851::/48".parse().unwrap();
+//! assert_eq!(beacon.len(), 48);
+//! assert_eq!(Asn::BEACON_ORIGIN, Asn(210_312));
+//! ```
+
+/// BGP data model and wire codecs.
+pub use bgpz_types as types;
+
+/// MRT export format (RFC 6396).
+pub use bgpz_mrt as mrt;
+
+/// AS-level topology and propagation simulator.
+pub use bgpz_netsim as netsim;
+
+/// RPKI origin validation model.
+pub use bgpz_rpki as rpki;
+
+/// RIPE RIS collection platform model.
+pub use bgpz_ris as ris;
+
+/// Beacon systems and BGP clocks.
+pub use bgpz_beacon as beacon;
+
+/// Zombie detection (the paper's methodology).
+pub use bgpz_core as zombies;
+
+/// The Fontugne et al. 2019 baseline methodology.
+pub use bgpz_baseline as baseline;
+
+/// Experiment drivers for every table and figure.
+pub use bgpz_analysis as analysis;
