@@ -1,27 +1,42 @@
 //! `bgpz-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N] [--out DIR]
+//! bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N]
+//!                  [--out DIR] [--jobs N] [--list]
 //!
-//!   IDS     comma-separated subset of: t1,t2,t3,t4,t5,f2,f3,f4,f5,f6,f7,cases
-//!           (default: all)
+//!   IDS     comma-separated subset of the registry ids (default: all;
+//!           see --list)
 //!   --scale experiment sizing (default: standard)
 //!   --seed  RNG seed (default: 42)
 //!   --out   directory for .txt/.csv/.json artifacts (default: results)
+//!   --jobs  worker threads for bundle building, archive scanning, and
+//!           experiment dispatch (default: available parallelism;
+//!           --jobs 1 = fully serial). Artifacts are byte-identical at
+//!           every job count — only timings.json varies.
+//!   --list  print the experiment registry (id, substrate, title) and exit
 //! ```
+//!
+//! Experiment ids, titles, and substrate requirements come from
+//! [`bgpz_analysis::experiments::registry`] — the single source of truth
+//! shared with the criterion benches.
 
 use bgpz_analysis::experiments::{
-    self, beacon_bundle, replication_bundle, BeaconBundle, ExperimentOutput, ReplicationBundle,
+    build_substrates, find, registry, BundleTimings, Experiment, ExperimentOutput, Substrates,
 };
+use bgpz_analysis::worlds::default_jobs;
 use bgpz_analysis::Scale;
+use serde_json::json;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn usage() -> ! {
+    let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     eprintln!(
         "usage: bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N] [--out DIR]\n\
-         IDS: comma-separated subset of t1,t2,t3,t4,t5,f2,f3,f4,f5,f6,f7,cases (default all)"
+         \x20                        [--jobs N] [--list]\n\
+         IDS: comma-separated subset of {} (default all)",
+        ids.join(",")
     );
     std::process::exit(2)
 }
@@ -31,6 +46,8 @@ fn main() {
     let mut scale = Scale::standard();
     let mut seed: u64 = 42;
     let mut out_dir = PathBuf::from("results");
+    let mut jobs: usize = default_jobs();
+    let mut list = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,86 +63,175 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage()));
             }
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                jobs = value.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--list" => list = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => ids.extend(other.split(',').map(str::to_string)),
         }
     }
-    let all = [
-        "t1", "t2", "t3", "t4", "t5", "f2", "f3", "f4", "f5", "f6", "f7", "cases", "ablation",
-        "rv",
-    ];
-    if ids.is_empty() {
-        ids = all.iter().map(|s| s.to_string()).collect();
-    }
-    for id in &ids {
-        if !all.contains(&id.as_str()) {
-            eprintln!("unknown experiment id: {id}");
-            usage();
+
+    if list {
+        for exp in registry() {
+            println!("{:<10} {:<12} {}", exp.id(), exp.substrate().label(), exp.title());
         }
+        return;
     }
+
+    if ids.is_empty() {
+        ids = registry().iter().map(|e| e.id().to_string()).collect();
+    }
+    let experiments: Vec<&'static dyn Experiment> = ids
+        .iter()
+        .map(|id| {
+            find(id).unwrap_or_else(|| {
+                eprintln!("unknown experiment id: {id}");
+                usage();
+            })
+        })
+        .collect();
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
-    println!("# scale={} seed={seed} out={}", scale.name, out_dir.display());
+    println!(
+        "# scale={} seed={seed} jobs={jobs} out={}",
+        scale.name,
+        out_dir.display()
+    );
 
-    let needs_replication = ids.iter().any(|id| {
-        matches!(
-            id.as_str(),
-            "t1" | "t2" | "t3" | "t4" | "f5" | "f6" | "f7" | "ablation"
-        )
-    });
-    let needs_beacon = ids.iter().any(|id| matches!(id.as_str(), "t5" | "f2" | "f3" | "f4" | "cases"));
+    let total_start = Instant::now();
+    let (ctx, bundle_timings) = build_substrates(&scale, seed, &experiments, jobs);
+    if let Some(secs) = bundle_timings.replication_secs {
+        println!("# replication bundle built in {secs:.1}s");
+    }
+    if let Some(secs) = bundle_timings.beacon_secs {
+        println!("# beacon bundle built in {secs:.1}s");
+    }
 
-    let replication: Option<ReplicationBundle> = needs_replication.then(|| {
-        let t0 = Instant::now();
-        let bundle = replication_bundle(&scale, seed);
-        println!("# replication bundle built in {:.1}s", t0.elapsed().as_secs_f64());
-        bundle
-    });
-    let beacon: Option<BeaconBundle> = needs_beacon.then(|| {
-        let t0 = Instant::now();
-        let bundle = beacon_bundle(&scale, seed);
-        println!("# beacon bundle built in {:.1}s", t0.elapsed().as_secs_f64());
-        bundle
-    });
+    let results = dispatch(&experiments, &ctx, jobs);
 
     let mut summary = Vec::new();
-    for id in &ids {
-        let t0 = Instant::now();
-        let output: ExperimentOutput = match id.as_str() {
-            "t1" => experiments::table1::run(replication.as_ref().expect("bundle")),
-            "t2" => experiments::table2::run(replication.as_ref().expect("bundle")),
-            "t3" => experiments::table3::run(replication.as_ref().expect("bundle")),
-            "t4" => experiments::table4::run(replication.as_ref().expect("bundle")),
-            "t5" => experiments::table5::run(beacon.as_ref().expect("bundle")),
-            "f2" => experiments::fig2::run(beacon.as_ref().expect("bundle")),
-            "f3" => experiments::fig3::run(beacon.as_ref().expect("bundle")),
-            "f4" => experiments::fig4::run(beacon.as_ref().expect("bundle")),
-            "f5" => experiments::fig5::run(replication.as_ref().expect("bundle")),
-            "f6" => experiments::fig6::run(replication.as_ref().expect("bundle")),
-            "f7" => experiments::fig7::run(replication.as_ref().expect("bundle")),
-            "cases" => experiments::cases::run(beacon.as_ref().expect("bundle")),
-            "ablation" => experiments::ablation::run(replication.as_ref().expect("bundle")),
-            "rv" => experiments::routeviews::run(&scale, seed),
-            _ => unreachable!("validated above"),
-        };
-        println!("\n=== {} ({:.1}s) ===\n", output.title, t0.elapsed().as_secs_f64());
+    let mut experiment_timings = Vec::new();
+    for (exp, (output, secs)) in experiments.iter().zip(&results) {
+        println!("\n=== {} ({secs:.1}s) ===\n", output.title);
         println!("{}", output.text);
 
-        let txt_path = out_dir.join(format!("{id}.txt"));
+        let txt_path = out_dir.join(format!("{}.txt", exp.id()));
         std::fs::write(&txt_path, &output.text).expect("write text artifact");
         for (name, contents) in &output.csv {
             std::fs::write(out_dir.join(name), contents).expect("write csv artifact");
         }
-        let json_path = out_dir.join(format!("{id}.json"));
+        let json_path = out_dir.join(format!("{}.json", exp.id()));
         let mut file = std::fs::File::create(&json_path).expect("create json artifact");
         serde_json::to_writer_pretty(&mut file, &output.json).expect("write json artifact");
         let _ = writeln!(file);
-        summary.push((id.clone(), output.title));
+        summary.push((exp.id(), output.title.clone()));
+        experiment_timings.push((exp.id(), *secs));
     }
+
+    write_timings(
+        &out_dir,
+        &scale,
+        seed,
+        jobs,
+        &bundle_timings,
+        &experiment_timings,
+        total_start.elapsed().as_secs_f64(),
+    );
 
     println!("\n# artifacts written to {}:", out_dir.display());
     for (id, title) in &summary {
         println!("#   {id}: {title}");
     }
+}
+
+/// Runs the selected experiments and returns `(output, wall seconds)` in
+/// input order. With `jobs > 1` the drivers are pulled from a shared work
+/// queue by up to `jobs` crossbeam workers; results land in their input
+/// slot, so ordering (and every artifact byte) is independent of which
+/// worker finishes first.
+fn dispatch(
+    experiments: &[&'static dyn Experiment],
+    ctx: &Substrates,
+    jobs: usize,
+) -> Vec<(ExperimentOutput, f64)> {
+    let run_one = |exp: &'static dyn Experiment| {
+        let t0 = Instant::now();
+        let output = exp.run(ctx);
+        let secs = t0.elapsed().as_secs_f64();
+        println!("# finished {} in {secs:.1}s", exp.id());
+        (output, secs)
+    };
+
+    let workers = jobs.min(experiments.len());
+    if workers <= 1 {
+        return experiments.iter().map(|&exp| run_one(exp)).collect();
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..experiments.len() {
+        tx.send(i).expect("queue experiment");
+    }
+    drop(tx);
+
+    let slots: parking_lot::Mutex<Vec<Option<(ExperimentOutput, f64)>>> =
+        parking_lot::Mutex::new((0..experiments.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|s| {
+        let run_one = &run_one;
+        let slots = &slots;
+        for _ in 0..workers {
+            let rx = rx.clone();
+            s.spawn(move |_| {
+                while let Ok(i) = rx.recv() {
+                    let result = run_one(experiments[i]);
+                    slots.lock()[i] = Some(result);
+                }
+            });
+        }
+    })
+    .expect("experiment dispatch scope panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every queued experiment produced a result"))
+        .collect()
+}
+
+/// Emits `timings.json`: per-bundle and per-experiment wall time, so the
+/// performance trajectory is trackable across PRs. This is the one
+/// artifact that is *not* deterministic in `(scale, seed)` — it records
+/// wall time, not results.
+fn write_timings(
+    out_dir: &Path,
+    scale: &Scale,
+    seed: u64,
+    jobs: usize,
+    bundles: &BundleTimings,
+    experiments: &[(&'static str, f64)],
+    total_secs: f64,
+) {
+    let timings = json!({
+        "scale": scale.name,
+        "seed": seed,
+        "jobs": jobs,
+        "bundles": {
+            "replication_secs": bundles.replication_secs,
+            "beacon_secs": bundles.beacon_secs,
+        },
+        "experiments": experiments
+            .iter()
+            .map(|(id, secs)| json!({"id": id, "secs": secs}))
+            .collect::<Vec<_>>(),
+        "total_secs": total_secs,
+    });
+    let path = out_dir.join("timings.json");
+    let mut file = std::fs::File::create(&path).expect("create timings.json");
+    serde_json::to_writer_pretty(&mut file, &timings).expect("write timings.json");
+    let _ = writeln!(file);
 }

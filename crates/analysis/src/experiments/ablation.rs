@@ -115,3 +115,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `ablation`.
+pub struct AblationDriver;
+
+impl super::Experiment for AblationDriver {
+    fn id(&self) -> &'static str {
+        "ablation"
+    }
+    fn title(&self) -> &'static str {
+        "Ablation: the value of each methodology revision"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

@@ -154,3 +154,21 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `cases`.
+pub struct CasesDriver;
+
+impl super::Experiment for CasesDriver {
+    fn id(&self) -> &'static str {
+        "cases"
+    }
+    fn title(&self) -> &'static str {
+        "§5.2 cases: impactful and extremely long-lived outbreaks"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Beacon
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.beacon())
+    }
+}

@@ -144,3 +144,21 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `f2`.
+pub struct Fig2Driver;
+
+impl super::Experiment for Fig2Driver {
+    fn id(&self) -> &'static str {
+        "f2"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 2: outbreaks vs threshold (with resurrection uptick)"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Beacon
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.beacon())
+    }
+}

@@ -109,3 +109,21 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `f3`.
+pub struct Fig3Driver;
+
+impl super::Experiment for Fig3Driver {
+    fn id(&self) -> &'static str {
+        "f3"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 3: CDF of outbreak durations (>= 1 day)"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Beacon
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.beacon())
+    }
+}

@@ -147,3 +147,21 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `f4`.
+pub struct Fig4Driver;
+
+impl super::Experiment for Fig4Driver {
+    fn id(&self) -> &'static str {
+        "f4"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 4: the twice-resurrected zombie timeline"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Beacon
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.beacon())
+    }
+}

@@ -117,3 +117,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `f5`.
+pub struct Fig5Driver;
+
+impl super::Experiment for Fig5Driver {
+    fn id(&self) -> &'static str {
+        "f5"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 5: zombie emergence rate CDF"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

@@ -118,3 +118,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `f6`.
+pub struct Fig6Driver;
+
+impl super::Experiment for Fig6Driver {
+    fn id(&self) -> &'static str {
+        "f6"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 6: AS-path length CDFs"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

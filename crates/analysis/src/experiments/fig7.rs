@@ -129,3 +129,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `f7`.
+pub struct Fig7Driver;
+
+impl super::Experiment for Fig7Driver {
+    fn id(&self) -> &'static str {
+        "f7"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 7: concurrent zombie outbreaks CDF"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

@@ -1,4 +1,7 @@
-//! One driver per paper table/figure. See the crate docs for the index.
+//! One driver per paper table/figure, all registered behind the
+//! [`Experiment`] trait. See the crate docs for the index and
+//! [`registry`] for the single source of truth the binary, the parallel
+//! dispatcher, and the criterion benches iterate.
 
 pub mod ablation;
 pub mod cases;
@@ -19,10 +22,11 @@ use crate::worlds::{
     final_withdrawals, replication_periods, run_beacon_study, run_replication, BeaconRun,
     ReplicationRun, Scale,
 };
-use bgpz_core::{intervals_from_schedule, scan, BeaconInterval, ScanResult};
+use bgpz_core::{intervals_from_schedule, scan_sharded, BeaconInterval, ScanResult};
 use bgpz_types::time::HOUR;
 use bgpz_types::{Prefix, SimTime};
 use serde_json::Value;
+use std::time::Instant;
 
 /// What every experiment produces.
 #[derive(Debug, Clone)]
@@ -39,6 +43,123 @@ pub struct ExperimentOutput {
     pub json: Value,
 }
 
+/// The shared substrate an experiment driver consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// The three-period 2017/2018 replication bundle (T1–T4, F5–F7,
+    /// ablation).
+    Replication,
+    /// The 2024 beacon-study bundle (T5, F2–F4, cases).
+    Beacon,
+    /// No shared bundle: the driver builds its own world from
+    /// `(scale, seed)` (the RouteViews combination).
+    ScaleSeed,
+}
+
+impl Substrate {
+    /// Short label for `--list` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Substrate::Replication => "replication",
+            Substrate::Beacon => "beacon",
+            Substrate::ScaleSeed => "scale+seed",
+        }
+    }
+}
+
+/// The substrate context handed to every [`Experiment`]: the sizing knobs
+/// plus whichever shared bundles the selected experiments require.
+pub struct Substrates {
+    /// Experiment sizing.
+    pub scale: Scale,
+    /// RNG seed (both worlds are deterministic in `(scale, seed)`).
+    pub seed: u64,
+    /// The replication bundle, if any selected experiment needs it.
+    pub replication: Option<ReplicationBundle>,
+    /// The beacon bundle, if any selected experiment needs it.
+    pub beacon: Option<BeaconBundle>,
+}
+
+impl Substrates {
+    /// An empty context (no bundles built yet).
+    pub fn new(scale: Scale, seed: u64) -> Substrates {
+        Substrates {
+            scale,
+            seed,
+            replication: None,
+            beacon: None,
+        }
+    }
+
+    /// The replication bundle; panics if it was not built for this run.
+    pub fn replication(&self) -> &ReplicationBundle {
+        self.replication
+            .as_ref()
+            .expect("replication bundle not built for this experiment selection")
+    }
+
+    /// The beacon bundle; panics if it was not built for this run.
+    pub fn beacon(&self) -> &BeaconBundle {
+        self.beacon
+            .as_ref()
+            .expect("beacon bundle not built for this experiment selection")
+    }
+}
+
+/// Wall-clock seconds spent building each bundle of a [`Substrates`]
+/// (`None` = that bundle was not needed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BundleTimings {
+    /// Replication-bundle build time.
+    pub replication_secs: Option<f64>,
+    /// Beacon-bundle build time.
+    pub beacon_secs: Option<f64>,
+}
+
+/// One experiment driver: a table, figure, case study, or extension.
+///
+/// Implementations are stateless unit structs; [`registry`] lists them
+/// all. The trait is `Sync` so `&'static dyn Experiment` handles can be
+/// dispatched across worker threads.
+pub trait Experiment: Sync {
+    /// Short stable id (`t1`, `f2`, `cases`, …) — also the artifact stem.
+    fn id(&self) -> &'static str;
+    /// Human title (the paper artifact the driver regenerates).
+    fn title(&self) -> &'static str;
+    /// Which shared substrate the driver consumes.
+    fn substrate(&self) -> Substrate;
+    /// Runs the driver against the prepared substrate context.
+    fn run(&self, ctx: &Substrates) -> ExperimentOutput;
+}
+
+/// Every experiment driver, in the canonical presentation order (tables,
+/// figures, case studies, extensions). The single source of truth for
+/// experiment ids: the binary's id validation and `--list`, the parallel
+/// dispatcher, and the criterion benches all iterate this.
+pub fn registry() -> Vec<&'static dyn Experiment> {
+    vec![
+        &table1::Table1Driver,
+        &table2::Table2Driver,
+        &table3::Table3Driver,
+        &table4::Table4Driver,
+        &table5::Table5Driver,
+        &fig2::Fig2Driver,
+        &fig3::Fig3Driver,
+        &fig4::Fig4Driver,
+        &fig5::Fig5Driver,
+        &fig6::Fig6Driver,
+        &fig7::Fig7Driver,
+        &cases::CasesDriver,
+        &ablation::AblationDriver,
+        &routeviews::RouteViewsDriver,
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry().into_iter().find(|e| e.id() == id)
+}
+
 /// The replication substrate, computed once and shared by T1–T4, F5–F7.
 pub struct ReplicationBundle {
     /// One entry per paper period: the run and its scan.
@@ -49,17 +170,46 @@ pub struct ReplicationBundle {
 /// 180-minute sweep ceiling).
 pub const SCAN_WINDOW: u64 = 4 * HOUR;
 
-/// Runs all three replication periods and scans their archives.
+/// Runs all three replication periods and scans their archives, serially
+/// (equivalent to [`replication_bundle_jobs`] with `jobs = 1`).
 pub fn replication_bundle(scale: &Scale, seed: u64) -> ReplicationBundle {
-    let runs = replication_periods(scale)
-        .iter()
-        .map(|period| {
-            let run = run_replication(period, scale, seed);
-            let intervals = intervals_from_schedule(&run.schedule);
-            let result = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
-            (run, result)
-        })
-        .collect();
+    replication_bundle_jobs(scale, seed, 1)
+}
+
+/// Runs all three replication periods and scans their archives, building
+/// the periods concurrently on up to `jobs` crossbeam scoped threads.
+///
+/// Each period is deterministic in `(scale, seed)` and is scanned with a
+/// deterministic sharded merge, and the periods are collected in schedule
+/// order — so the bundle is identical at every `jobs`.
+pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> ReplicationBundle {
+    let periods = replication_periods(scale);
+    let build = |period: &crate::worlds::ReplicationPeriod, scan_jobs: usize| {
+        let run = run_replication(period, scale, seed);
+        let intervals = intervals_from_schedule(&run.schedule);
+        let result = scan_sharded(run.archive.updates.clone(), &intervals, SCAN_WINDOW, scan_jobs);
+        (run, result)
+    };
+    if jobs <= 1 {
+        return ReplicationBundle {
+            runs: periods.iter().map(|period| build(period, 1)).collect(),
+        };
+    }
+    // Periods run concurrently; each period's scan gets a share of the
+    // job budget.
+    let scan_jobs = jobs.div_ceil(periods.len().max(1));
+    let runs = crossbeam::thread::scope(|s| {
+        let build = &build;
+        let handles: Vec<_> = periods
+            .iter()
+            .map(|period| s.spawn(move |_| build(period, scan_jobs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication period worker panicked"))
+            .collect()
+    })
+    .expect("replication scope panicked");
     ReplicationBundle { runs }
 }
 
@@ -77,8 +227,16 @@ pub struct BeaconBundle {
     pub finals: Vec<(Prefix, SimTime)>,
 }
 
-/// Runs the beacon study and scans it.
+/// Runs the beacon study and scans it, serially (equivalent to
+/// [`beacon_bundle_jobs`] with `jobs = 1`).
 pub fn beacon_bundle(scale: &Scale, seed: u64) -> BeaconBundle {
+    beacon_bundle_jobs(scale, seed, 1)
+}
+
+/// Runs the beacon study and scans it with `jobs` scan shards. The
+/// simulation itself is one sequential event loop; the archive scan —
+/// the post-simulation hot path — shards deterministically.
+pub fn beacon_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> BeaconBundle {
     let run = run_beacon_study(scale, seed);
     let mut intervals = intervals_from_schedule(&run.schedule);
     // Footnote 3: drop the earlier announcement of each colliding pair.
@@ -87,7 +245,7 @@ pub fn beacon_bundle(scale: &Scale, seed: u64) -> BeaconBundle {
             .iter()
             .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
     });
-    let scan_result = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
+    let scan_result = scan_sharded(run.archive.updates.clone(), &intervals, SCAN_WINDOW, jobs);
     let finals = final_withdrawals(&run.schedule);
     BeaconBundle {
         scan: scan_result,
@@ -97,7 +255,152 @@ pub fn beacon_bundle(scale: &Scale, seed: u64) -> BeaconBundle {
     }
 }
 
+/// Builds exactly the bundles the selected experiments need.
+///
+/// With `jobs > 1` the replication and beacon bundles are built on
+/// overlapping threads (the replication bundle additionally parallelizes
+/// over its three periods, and both scans shard); with `jobs <= 1`
+/// everything runs serially on the calling thread. The result is
+/// identical either way.
+pub fn build_substrates(
+    scale: &Scale,
+    seed: u64,
+    experiments: &[&'static dyn Experiment],
+    jobs: usize,
+) -> (Substrates, BundleTimings) {
+    let need_replication = experiments
+        .iter()
+        .any(|e| e.substrate() == Substrate::Replication);
+    let need_beacon = experiments.iter().any(|e| e.substrate() == Substrate::Beacon);
+
+    let timed_replication = |jobs: usize| {
+        let t0 = Instant::now();
+        let bundle = replication_bundle_jobs(scale, seed, jobs);
+        (bundle, t0.elapsed().as_secs_f64())
+    };
+    let timed_beacon = |jobs: usize| {
+        let t0 = Instant::now();
+        let bundle = beacon_bundle_jobs(scale, seed, jobs);
+        (bundle, t0.elapsed().as_secs_f64())
+    };
+
+    let (replication, beacon) = if jobs > 1 && need_replication && need_beacon {
+        // Overlap the two bundle builds: the beacon world (one long
+        // sequential simulation) runs on a worker while the calling
+        // thread fans the replication periods out.
+        crossbeam::thread::scope(|s| {
+            let beacon_handle = s.spawn(|_| timed_beacon(jobs));
+            let replication = timed_replication(jobs);
+            let beacon = beacon_handle.join().expect("beacon bundle worker panicked");
+            (Some(replication), Some(beacon))
+        })
+        .expect("substrate scope panicked")
+    } else {
+        (
+            need_replication.then(|| timed_replication(jobs.max(1))),
+            need_beacon.then(|| timed_beacon(jobs.max(1))),
+        )
+    };
+
+    let (replication, replication_secs) = match replication {
+        Some((bundle, secs)) => (Some(bundle), Some(secs)),
+        None => (None, None),
+    };
+    let (beacon, beacon_secs) = match beacon {
+        Some((bundle, secs)) => (Some(bundle), Some(secs)),
+        None => (None, None),
+    };
+    (
+        Substrates {
+            scale: *scale,
+            seed,
+            replication,
+            beacon,
+        },
+        BundleTimings {
+            replication_secs,
+            beacon_secs,
+        },
+    )
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(fraction: f64) -> String {
     format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The documented id set (the ids the binary's help text advertises).
+    const DOCUMENTED_IDS: [&str; 14] = [
+        "t1", "t2", "t3", "t4", "t5", "f2", "f3", "f4", "f5", "f6", "f7", "cases", "ablation",
+        "rv",
+    ];
+
+    #[test]
+    fn registry_ids_unique_and_complete() {
+        let registry = registry();
+        assert_eq!(registry.len(), DOCUMENTED_IDS.len());
+        let mut seen = std::collections::HashSet::new();
+        for exp in &registry {
+            assert!(seen.insert(exp.id()), "duplicate experiment id {}", exp.id());
+            assert!(!exp.title().is_empty(), "{} has an empty title", exp.id());
+        }
+    }
+
+    #[test]
+    fn every_documented_id_resolves() {
+        for id in DOCUMENTED_IDS {
+            let exp = find(id).unwrap_or_else(|| panic!("id {id} not in registry"));
+            assert_eq!(exp.id(), id);
+        }
+        assert!(find("bogus").is_none());
+    }
+
+    #[test]
+    fn substrate_requirements_match_the_paper_split() {
+        for (id, substrate) in [
+            ("t1", Substrate::Replication),
+            ("t2", Substrate::Replication),
+            ("t3", Substrate::Replication),
+            ("t4", Substrate::Replication),
+            ("t5", Substrate::Beacon),
+            ("f2", Substrate::Beacon),
+            ("f3", Substrate::Beacon),
+            ("f4", Substrate::Beacon),
+            ("f5", Substrate::Replication),
+            ("f6", Substrate::Replication),
+            ("f7", Substrate::Replication),
+            ("cases", Substrate::Beacon),
+            ("ablation", Substrate::Replication),
+            ("rv", Substrate::ScaleSeed),
+        ] {
+            assert_eq!(find(id).expect("registered").substrate(), substrate, "{id}");
+        }
+    }
+
+    /// The parallel bundle path must agree with the serial one: same
+    /// periods, same interval counts, same peers, same per-interval
+    /// observation totals.
+    #[test]
+    fn parallel_replication_bundle_matches_serial() {
+        let scale = Scale::bench();
+        let serial = replication_bundle_jobs(&scale, 42, 1);
+        let parallel = replication_bundle_jobs(&scale, 42, 4);
+        assert_eq!(serial.runs.len(), parallel.runs.len());
+        for ((s_run, s_scan), (p_run, p_scan)) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(s_run.period.name, p_run.period.name);
+            assert_eq!(s_scan.intervals, p_scan.intervals);
+            assert_eq!(s_scan.peers, p_scan.peers);
+            let observations = |scan: &ScanResult| -> Vec<usize> {
+                scan.histories
+                    .iter()
+                    .map(|h| h.values().map(|history| history.len()).sum())
+                    .collect()
+            };
+            assert_eq!(observations(s_scan), observations(p_scan));
+        }
+    }
 }

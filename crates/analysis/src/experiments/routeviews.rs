@@ -137,3 +137,21 @@ pub fn run(scale: &Scale, seed: u64) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `rv`.
+pub struct RouteViewsDriver;
+
+impl super::Experiment for RouteViewsDriver {
+    fn id(&self) -> &'static str {
+        "rv"
+    }
+    fn title(&self) -> &'static str {
+        "§6: combining RIS with RouteViews peers"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::ScaleSeed
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(&ctx.scale, ctx.seed)
+    }
+}

@@ -125,3 +125,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         json,
     }
 }
+
+/// Registry handle: `t1`.
+pub struct Table1Driver;
+
+impl super::Experiment for Table1Driver {
+    fn id(&self) -> &'static str {
+        "t1"
+    }
+    fn title(&self) -> &'static str {
+        "Table 1: zombie outbreaks with and without double-counting"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

@@ -156,3 +156,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         json,
     }
 }
+
+/// Registry handle: `t2`.
+pub struct Table2Driver;
+
+impl super::Experiment for Table2Driver {
+    fn id(&self) -> &'static str {
+        "t2"
+    }
+    fn title(&self) -> &'static str {
+        "Table 2: prior study vs revised methodology"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

@@ -119,3 +119,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `t3`.
+pub struct Table3Driver;
+
+impl super::Experiment for Table3Driver {
+    fn id(&self) -> &'static str {
+        "t3"
+    }
+    fn title(&self) -> &'static str {
+        "Table 3: zombies missed by each methodology"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

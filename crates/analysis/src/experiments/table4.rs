@@ -107,3 +107,21 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `t4`.
+pub struct Table4Driver;
+
+impl super::Experiment for Table4Driver {
+    fn id(&self) -> &'static str {
+        "t4"
+    }
+    fn title(&self) -> &'static str {
+        "Table 4: noisy peer AS16347 zombie likelihood"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Replication
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.replication())
+    }
+}

@@ -117,3 +117,21 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
         }),
     }
 }
+
+/// Registry handle: `t5`.
+pub struct Table5Driver;
+
+impl super::Experiment for Table5Driver {
+    fn id(&self) -> &'static str {
+        "t5"
+    }
+    fn title(&self) -> &'static str {
+        "Table 5: the beacon study's noisy peer routers"
+    }
+    fn substrate(&self) -> super::Substrate {
+        super::Substrate::Beacon
+    }
+    fn run(&self, ctx: &super::Substrates) -> super::ExperimentOutput {
+        run(ctx.beacon())
+    }
+}

@@ -24,12 +24,23 @@
 //! deterministic in their seed and sized by a [`worlds::Scale`] knob so
 //! benches run in seconds while `--scale full` reproduces the paper's
 //! spans.
+//!
+//! Every driver is registered behind the [`experiments::Experiment`]
+//! trait; [`experiments::registry`] is the single source of truth for
+//! experiment ids that the `bgpz-experiments` binary, its parallel
+//! dispatcher, and the criterion benches iterate. Orchestration is
+//! parallel by default (`--jobs`): replication periods build concurrently,
+//! the replication and beacon bundles overlap, archive scans shard by
+//! prefix, and independent drivers dispatch from a work queue — all with
+//! deterministic merges, so the same `(scale, seed)` produces
+//! byte-identical artifacts at any worker count.
 
 pub mod experiments;
 pub mod render;
 pub mod stats;
 pub mod worlds;
 
+pub use experiments::{registry, Experiment, Substrate, Substrates};
 pub use render::{AsciiSeries, TextTable};
 pub use stats::Ecdf;
 pub use worlds::Scale;

@@ -27,6 +27,16 @@ use bgpz_types::{Afi, Asn, Prefix, SimTime};
 use std::net::IpAddr;
 use std::sync::Arc;
 
+/// Default worker count for parallel orchestration: the machine's
+/// available parallelism (1 if it cannot be determined). Every bundle
+/// build and scan is deterministic in `(scale, seed)` regardless of the
+/// worker count, so this is purely a throughput knob.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Experiment sizing knob.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scale {

@@ -3,11 +3,13 @@
 //! scanning and classification, and full world construction (the setup
 //! cost amortized by the table/figure benches).
 
-use bgpz_analysis::experiments::{beacon_bundle, replication_bundle, SCAN_WINDOW};
+use bgpz_analysis::experiments::{
+    beacon_bundle, replication_bundle, replication_bundle_jobs, SCAN_WINDOW,
+};
 use bgpz_analysis::worlds::{replication_periods, run_replication};
 use bgpz_analysis::Scale;
 use bgpz_beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
-use bgpz_core::{classify, intervals_from_schedule, scan, ClassifyOptions};
+use bgpz_core::{classify, intervals_from_schedule, scan, scan_sharded, ClassifyOptions};
 use bgpz_mrt::bgp4mp::SessionHeader;
 use bgpz_mrt::{Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, MrtWriter};
 use bgpz_netsim::{FaultPlan, RouteMeta, Simulator, Topology, TopologyConfig};
@@ -147,15 +149,32 @@ fn pipeline_benches(c: &mut Criterion) {
         })
     });
 
+    // The same scan sharded over worker threads (deterministic merge —
+    // identical output, parallel wall time).
+    let shard_jobs = bgpz_analysis::worlds::default_jobs();
+    group.bench_function("scan_archive_sharded", |b| {
+        b.iter(|| {
+            black_box(scan_sharded(
+                black_box(run.archive.updates.clone()),
+                &intervals,
+                SCAN_WINDOW,
+                shard_jobs,
+            ))
+        })
+    });
+
     let scanned = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
     group.bench_function("classify_90min", |b| {
         b.iter(|| black_box(classify(black_box(&scanned), &ClassifyOptions::default())))
     });
 
     // Bundle construction end to end (what the table/figure benches
-    // amortize).
+    // amortize), serial and parallel.
     group.bench_function("replication_bundle_bench_scale", |b| {
         b.iter(|| black_box(replication_bundle(&scale, 42)))
+    });
+    group.bench_function("replication_bundle_parallel", |b| {
+        b.iter(|| black_box(replication_bundle_jobs(&scale, 42, shard_jobs)))
     });
     group.bench_function("beacon_bundle_bench_scale", |b| {
         b.iter(|| black_box(beacon_bundle(&scale, 42)))

@@ -1,8 +1,14 @@
 //! One bench per paper figure (plus the §5.2 case studies): regenerates
 //! the figure's series end to end at bench scale.
+//!
+//! The benched drivers are enumerated from the experiment registry — the
+//! same single source of truth the `bgpz-experiments` binary dispatches
+//! from — so a newly registered figure is benched automatically. Fig. 1
+//! has no driver (it is the motivating forwarding-loop example) and keeps
+//! its hand-built data-plane bench below.
 
-use bgpz_analysis::experiments::{cases, fig2, fig3, fig4, fig5, fig6, fig7};
-use bgpz_bench::{bench_beacon, bench_replication, print_once};
+use bgpz_analysis::experiments::registry;
+use bgpz_bench::{bench_substrates, print_once};
 use bgpz_netsim::{dataplane, FaultPlan, RouteMeta, Simulator, Tier, Topology};
 use bgpz_types::{Asn, Prefix, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -40,8 +46,7 @@ fn fig1_world() -> Simulator {
 }
 
 fn paper_figures(c: &mut Criterion) {
-    let replication = bench_replication();
-    let beacon = bench_beacon();
+    let ctx = bench_substrates();
 
     let mut group = c.benchmark_group("figures");
     group.sample_size(20);
@@ -61,47 +66,18 @@ fn paper_figures(c: &mut Criterion) {
         })
     });
 
-    let out = fig2::run(&beacon);
-    print_once("fig2", &out.text);
-    group.bench_function("fig2_threshold_sweep", |b| {
-        b.iter(|| black_box(fig2::run(black_box(&beacon))))
-    });
-
-    let out = fig3::run(&beacon);
-    print_once("fig3", &out.text);
-    group.bench_function("fig3_duration_cdf", |b| {
-        b.iter(|| black_box(fig3::run(black_box(&beacon))))
-    });
-
-    let out = fig4::run(&beacon);
-    print_once("fig4", &out.text);
-    group.bench_function("fig4_resurrection_timeline", |b| {
-        b.iter(|| black_box(fig4::run(black_box(&beacon))))
-    });
-
-    let out = fig5::run(&replication);
-    print_once("fig5", &out.text);
-    group.bench_function("fig5_emergence_rate_cdf", |b| {
-        b.iter(|| black_box(fig5::run(black_box(&replication))))
-    });
-
-    let out = fig6::run(&replication);
-    print_once("fig6", &out.text);
-    group.bench_function("fig6_path_length_cdf", |b| {
-        b.iter(|| black_box(fig6::run(black_box(&replication))))
-    });
-
-    let out = fig7::run(&replication);
-    print_once("fig7", &out.text);
-    group.bench_function("fig7_concurrency_cdf", |b| {
-        b.iter(|| black_box(fig7::run(black_box(&replication))))
-    });
-
-    let out = cases::run(&beacon);
-    print_once("cases", &out.text);
-    group.bench_function("cases_rootcause_and_lifespan", |b| {
-        b.iter(|| black_box(cases::run(black_box(&beacon))))
-    });
+    for exp in registry() {
+        // Figures and the §5.2 cases; tables live in the `tables` bench
+        // and `rv` is excluded (see that bench for the rationale).
+        if !(exp.id().starts_with('f') || exp.id() == "cases") {
+            continue;
+        }
+        let out = exp.run(&ctx);
+        print_once(exp.id(), &out.text);
+        group.bench_function(exp.id(), |b| {
+            b.iter(|| black_box(exp.run(black_box(&ctx))))
+        });
+    }
 
     group.finish();
 }

@@ -2,54 +2,37 @@
 //! scale and times the analysis stage (the bundle — simulation + archive +
 //! scan — is built once; its cost is measured separately in the
 //! `components` bench).
+//!
+//! The benched drivers are enumerated from the experiment registry — the
+//! same single source of truth the `bgpz-experiments` binary dispatches
+//! from — so a newly registered table is benched automatically.
 
-use bgpz_analysis::experiments::{ablation, table1, table2, table3, table4, table5};
-use bgpz_bench::{bench_beacon, bench_replication, print_once};
+use bgpz_analysis::experiments::registry;
+use bgpz_bench::{bench_substrates, print_once};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn paper_tables(c: &mut Criterion) {
-    let replication = bench_replication();
-    let beacon = bench_beacon();
+    let ctx = bench_substrates();
 
     let mut group = c.benchmark_group("tables");
     group.sample_size(20);
 
-    let out = table1::run(&replication);
-    print_once("table1", &out.text);
-    group.bench_function("table1_double_counting", |b| {
-        b.iter(|| black_box(table1::run(black_box(&replication))))
-    });
-
-    let out = table2::run(&replication);
-    print_once("table2", &out.text);
-    group.bench_function("table2_study_vs_revised", |b| {
-        b.iter(|| black_box(table2::run(black_box(&replication))))
-    });
-
-    let out = table3::run(&replication);
-    print_once("table3", &out.text);
-    group.bench_function("table3_methodology_diff", |b| {
-        b.iter(|| black_box(table3::run(black_box(&replication))))
-    });
-
-    let out = table4::run(&replication);
-    print_once("table4", &out.text);
-    group.bench_function("table4_noisy_peer_likelihood", |b| {
-        b.iter(|| black_box(table4::run(black_box(&replication))))
-    });
-
-    let out = table5::run(&beacon);
-    print_once("table5", &out.text);
-    group.bench_function("table5_beacon_noisy_routers", |b| {
-        b.iter(|| black_box(table5::run(black_box(&beacon))))
-    });
-
-    let out = ablation::run(&replication);
-    print_once("ablation", &out.text);
-    group.bench_function("ablation_methodology_knockouts", |b| {
-        b.iter(|| black_box(ablation::run(black_box(&replication))))
-    });
+    for exp in registry() {
+        // Tables and the table-shaped ablation extension; figures live in
+        // the `figures` bench. `rv` is excluded from both: its driver
+        // builds its own two-platform world per call, so timing it here
+        // would mostly measure world construction, which the `components`
+        // bench already covers.
+        if !(exp.id().starts_with('t') || exp.id() == "ablation") {
+            continue;
+        }
+        let out = exp.run(&ctx);
+        print_once(exp.id(), &out.text);
+        group.bench_function(exp.id(), |b| {
+            b.iter(|| black_box(exp.run(black_box(&ctx))))
+        });
+    }
 
     group.finish();
 }

@@ -9,7 +9,9 @@
 //!
 //! Run with `cargo bench --workspace`; see `benches/`.
 
-use bgpz_analysis::experiments::{beacon_bundle, replication_bundle, BeaconBundle, ReplicationBundle};
+use bgpz_analysis::experiments::{
+    beacon_bundle, replication_bundle, BeaconBundle, ReplicationBundle, Substrates,
+};
 use bgpz_analysis::Scale;
 
 /// The shared bench-scale replication bundle (built once per process).
@@ -20,6 +22,17 @@ pub fn bench_replication() -> ReplicationBundle {
 /// The shared bench-scale beacon bundle (built once per process).
 pub fn bench_beacon() -> BeaconBundle {
     beacon_bundle(&Scale::bench(), 42)
+}
+
+/// The full bench-scale substrate context: both bundles, built once, so
+/// registry-enumerated benches can run any [`bgpz_analysis::Experiment`].
+pub fn bench_substrates() -> Substrates {
+    Substrates {
+        scale: Scale::bench(),
+        seed: 42,
+        replication: Some(bench_replication()),
+        beacon: Some(bench_beacon()),
+    }
 }
 
 /// Prints an experiment's regenerated rows once (so `cargo bench` output

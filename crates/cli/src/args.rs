@@ -152,6 +152,8 @@ USAGE:
   bgpz detect --updates <file> --beacon-origin <asn>
               [--period 14400] [--up 7200] [--threshold 5400]
               [--no-aggregator-filter] [--exclude addr,addr,...]
+              [--jobs N]   (scan worker threads; output is identical
+                            at every N — default: available parallelism)
   bgpz lifespan --dumps <dir> --prefix <prefix>
               --withdrawn-at <T> [--exclude addr,addr,...]
   bgpz simulate --out <dir> [--scale bench|quick|standard|full]

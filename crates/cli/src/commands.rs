@@ -5,7 +5,7 @@ use crate::args::ParsedArgs;
 use crate::render::{render_record, ArchiveStats, DumpKind};
 use crate::{CliError, CliResult};
 use bgpz_beacon::{decode_aggregator_clock, PrefixClock, RecycleMode};
-use bgpz_core::{classify, infer_root_cause, scan, BeaconInterval, ClassifyOptions};
+use bgpz_core::{classify, infer_root_cause, scan_sharded, BeaconInterval, ClassifyOptions};
 use bgpz_mrt::{MrtBody, MrtReader};
 use bgpz_types::{Asn, BgpMessage, Prefix, SimTime};
 use bytes::Bytes;
@@ -192,6 +192,9 @@ pub fn detect(args: &ParsedArgs) -> CliResult<String> {
     let period = args.opt_u64("period", 4 * 3_600)?;
     let up_time = args.opt_u64("up", 2 * 3_600)?;
     let threshold = args.opt_u64("threshold", 90 * 60)?;
+    // Scan worker threads; the sharded scan merges deterministically, so
+    // the report is identical at every job count.
+    let jobs = args.opt_u64("jobs", bgpz_analysis::worlds::default_jobs() as u64)?.max(1) as usize;
     let excluded: Vec<IpAddr> = match args.opt("exclude") {
         None => Vec::new(),
         Some(list) => list
@@ -210,7 +213,7 @@ pub fn detect(args: &ParsedArgs) -> CliResult<String> {
             "no beacon announcements from {origin} found in the archive"
         )));
     }
-    let result = scan(updates, &intervals, threshold + 2 * 3_600);
+    let result = scan_sharded(updates, &intervals, threshold + 2 * 3_600, jobs);
     let report = classify(
         &result,
         &ClassifyOptions {
@@ -505,6 +508,21 @@ mod tests {
         ]))
         .unwrap();
         assert!(report.contains("beacon intervals"), "{report}");
+
+        // The sharded scan merges deterministically: the report must be
+        // byte-identical at every worker count (default above = N cores).
+        for jobs in ["1", "3"] {
+            let sharded = detect(&v(&[
+                "--updates",
+                updates.as_str(),
+                "--beacon-origin",
+                site.as_str(),
+                "--jobs",
+                jobs,
+            ]))
+            .unwrap();
+            assert_eq!(sharded, report, "detect differs at --jobs {jobs}");
+        }
 
         // Lifespan over the generated dumps: any tracked RIS beacon prefix
         // is fine — with a 0-second withdrawal reference everything seen

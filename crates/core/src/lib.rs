@@ -9,7 +9,9 @@
 //!    MRT update stream at message granularity, one **beacon interval** at
 //!    a time with *no prior knowledge* (stale RIB entries from earlier
 //!    intervals cannot leak in), honouring STATE messages (a session drop
-//!    removes every route of that peer).
+//!    removes every route of that peer). [`scan_sharded`] partitions the
+//!    intervals by prefix over worker threads and merges deterministically
+//!    — same input ⇒ byte-identical [`ScanResult`] at any thread count.
 //! 2. [`classify`] — at `withdrawal + threshold` (90 minutes by default,
 //!    like all prior work), a peer whose last message for the prefix is an
 //!    announcement holds a **zombie route**; all zombie routes of one
@@ -44,5 +46,5 @@ pub use noisy::{detect_noisy_peers, pair_likelihoods, peer_likelihoods, NoisyPee
 pub use paths::{path_length_samples, PathLengthSamples};
 pub use realtime::{RealtimeDetector, ZombieAlert};
 pub use rootcause::{infer_root_cause, RootCause};
-pub use scan::{scan, PeerId, ScanResult};
+pub use scan::{scan, scan_sharded, PeerId, ScanResult};
 pub use sweep::{threshold_sweep, SweepPoint};

@@ -174,6 +174,87 @@ pub fn scan(updates: Bytes, intervals: &[BeaconInterval], window_after_withdraw:
     result
 }
 
+/// Scans `updates` against `intervals` on `jobs` worker threads, producing
+/// a [`ScanResult`] byte-identical to the serial [`scan`].
+///
+/// The intervals are partitioned by **prefix** (all intervals of one
+/// prefix land in the same shard) because interval location prefers the
+/// latest-starting interval of a prefix whose window still covers the
+/// observation: splitting a prefix's intervals across shards could hand an
+/// observation to an older interval that the serial path assigns to a
+/// newer one. Prefix groups are dealt round-robin over the shards in
+/// sorted-prefix order and each shard's histories are scattered back into
+/// the original interval positions, so the merge is deterministic and
+/// independent of both thread count and scheduling order: same input ⇒
+/// identical output for every `jobs`.
+///
+/// `jobs <= 1` (or a trivially small input) delegates to [`scan`].
+pub fn scan_sharded(
+    updates: Bytes,
+    intervals: &[BeaconInterval],
+    window_after_withdraw: u64,
+    jobs: usize,
+) -> ScanResult {
+    // Group interval indices by prefix.
+    let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
+    for (i, interval) in intervals.iter().enumerate() {
+        by_prefix.entry(interval.prefix).or_default().push(i);
+    }
+    let shard_count = jobs.min(by_prefix.len());
+    if shard_count <= 1 {
+        return scan(updates, intervals, window_after_withdraw);
+    }
+
+    // Deterministic shard assignment: sorted prefixes, round-robin.
+    let mut prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
+    prefixes.sort_unstable();
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    for (k, prefix) in prefixes.iter().enumerate() {
+        shards[k % shard_count].extend(by_prefix[prefix].iter().copied());
+    }
+
+    // Scan every shard against the shared archive (Bytes clones share the
+    // underlying buffer) and collect in shard order.
+    let shard_results: Vec<ScanResult> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|indices| {
+                let updates = updates.clone();
+                s.spawn(move |_| {
+                    let subset: Vec<BeaconInterval> =
+                        indices.iter().map(|&i| intervals[i]).collect();
+                    scan(updates, &subset, window_after_withdraw)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan shard worker panicked"))
+            .collect()
+    })
+    .expect("scan shard scope panicked");
+
+    // Merge. Peers, session downs, and read stats are derived from the
+    // whole archive, so every shard computed identical copies — take the
+    // first. Histories are scattered back to their original positions.
+    let mut merged = ScanResult {
+        intervals: intervals.to_vec(),
+        histories: (0..intervals.len()).map(|_| HashMap::new()).collect(),
+        ..ScanResult::default()
+    };
+    let mut shard_results = shard_results;
+    let first = &mut shard_results[0];
+    merged.peers = std::mem::take(&mut first.peers);
+    merged.session_downs = std::mem::take(&mut first.session_downs);
+    merged.read_stats = first.read_stats;
+    for (indices, result) in shards.iter().zip(shard_results) {
+        for (&orig, history) in indices.iter().zip(result.histories) {
+            merged.histories[orig] = history;
+        }
+    }
+    merged
+}
+
 /// The peer's route state for an interval at `check_time`, derived from
 /// its history and session-down record. `None` = removed / never present.
 pub fn state_at(
@@ -440,5 +521,149 @@ mod tests {
     fn peers_listed_sorted() {
         let result = run_scan(vec![announce_record(5, "2a0d:3dc1:1::/48", None)]);
         assert_eq!(result.peers, vec![peer_id()]);
+    }
+
+    // ---- sharded-scan determinism --------------------------------------
+
+    fn session_b() -> SessionHeader {
+        SessionHeader {
+            peer_as: Asn(65_001),
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "2001:db8:b::1".parse().unwrap(),
+            local_ip: "2001:7f8:24::82".parse().unwrap(),
+        }
+    }
+
+    fn announce_as(session: SessionHeader, t: u64, prefix: &str) -> MrtRecord {
+        let prefix: Prefix = prefix.parse().unwrap();
+        let attrs = PathAttributes {
+            origin: Some(Origin::Igp),
+            as_path: Some(AsPath::from_sequence([
+                session.peer_as.0,
+                25_091,
+                8_298,
+                210_312,
+            ])),
+            mp_reach: Some(MpReach {
+                afi: Afi::Ipv6,
+                safi: 1,
+                next_hop: NextHop::V6 {
+                    global: "2a0c:9a40:1031::504".parse().unwrap(),
+                    link_local: None,
+                },
+                nlri: vec![prefix],
+            }),
+            ..PathAttributes::default()
+        };
+        MrtRecord::new(
+            SimTime(t),
+            MrtBody::Message(Bgp4mpMessage {
+                session,
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs,
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    fn withdraw_as(session: SessionHeader, t: u64, prefix: &str) -> MrtRecord {
+        let prefix: Prefix = prefix.parse().unwrap();
+        MrtRecord::new(
+            SimTime(t),
+            MrtBody::Message(Bgp4mpMessage {
+                session,
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs: PathAttributes {
+                        mp_unreach: Some(MpUnreach {
+                            afi: Afi::Ipv6,
+                            safi: 1,
+                            withdrawn: vec![prefix],
+                        }),
+                        ..PathAttributes::default()
+                    },
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    /// A deterministic, order-insensitive rendering of a [`ScanResult`]
+    /// (HashMap iteration order normalized by sorting keys).
+    fn fingerprint(result: &ScanResult) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "intervals={:?}", result.intervals);
+        let _ = writeln!(out, "peers={:?}", result.peers);
+        let _ = writeln!(out, "stats={:?}", result.read_stats);
+        for (i, histories) in result.histories.iter().enumerate() {
+            let mut keys: Vec<&PeerId> = histories.keys().collect();
+            keys.sort();
+            for key in keys {
+                let _ = writeln!(out, "history[{i}][{key}]={:?}", histories[key]);
+            }
+        }
+        let mut downs: Vec<(&PeerId, &Vec<SimTime>)> = result.session_downs.iter().collect();
+        downs.sort_by_key(|&(peer, _)| peer);
+        for (peer, times) in downs {
+            let _ = writeln!(out, "downs[{peer}]={times:?}");
+        }
+        out
+    }
+
+    /// Serial vs sharded scans over a multi-prefix, multi-interval,
+    /// multi-peer archive — including the boundary case where an
+    /// observation falls inside an older interval's window *and* after a
+    /// newer interval's start (the newer must win on every path).
+    #[test]
+    fn sharded_scan_matches_serial() {
+        let prefixes = ["2a0d:3dc1:1::/48", "2a0d:3dc1:2::/48", "2a0d:3dc1:3::/48"];
+        let mut intervals = Vec::new();
+        for prefix in &prefixes {
+            for k in 0..3u64 {
+                intervals.push(BeaconInterval {
+                    prefix: prefix.parse().unwrap(),
+                    start: SimTime(k * 14_400),
+                    withdraw_at: SimTime(k * 14_400 + 7_200),
+                });
+            }
+        }
+
+        let mut records = Vec::new();
+        for (p, prefix) in prefixes.iter().enumerate() {
+            for k in 0..3u64 {
+                let base = k * 14_400;
+                records.push(announce_as(session(), base + 5 + p as u64, prefix));
+                if (k + p as u64) % 2 == 0 {
+                    records.push(withdraw_as(session(), base + 7_210, prefix));
+                }
+                records.push(announce_as(session_b(), base + 9, prefix));
+            }
+            // Boundary observation: t = 15 000 is within interval 0's
+            // window (7 200 + 14 400 = 21 600) but after interval 1's
+            // start (14 400) — it must land in interval 1 everywhere.
+            records.push(withdraw_as(session_b(), 15_000, prefix));
+        }
+        records.push(down_record(8_000));
+        records.sort_by_key(|r| r.timestamp);
+
+        let mut writer = MrtWriter::new();
+        for record in &records {
+            writer.push(record);
+        }
+        let bytes = writer.finish();
+
+        let serial = scan(bytes.clone(), &intervals, 4 * 3_600);
+        let reference = fingerprint(&serial);
+        assert!(!serial.histories[1].is_empty(), "archive exercises histories");
+        for jobs in [1, 2, 3, 8] {
+            let sharded = scan_sharded(bytes.clone(), &intervals, 4 * 3_600, jobs);
+            assert_eq!(
+                fingerprint(&sharded),
+                reference,
+                "sharded scan with {jobs} worker(s) diverged from serial"
+            );
+        }
     }
 }
