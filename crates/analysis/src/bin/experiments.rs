@@ -19,6 +19,14 @@
 //! Experiment ids, titles, and substrate requirements come from
 //! [`bgpz_analysis::experiments::registry`] — the single source of truth
 //! shared with the criterion benches.
+//!
+//! Progress lines are `bgpz-obs` events on the `experiments::run` target:
+//! the default `info` level prints them exactly as before, while
+//! `BGPZ_LOG=warn` silences them and `BGPZ_LOG=debug` adds per-stage
+//! detail. Alongside `timings.json` the run writes `metrics.json` — the
+//! deterministic pipeline-counter snapshot.
+//!
+//! Exit codes: 0 success, 2 unknown experiment id, 64 usage error.
 
 use bgpz_analysis::experiments::{
     build_substrates, find, registry, BundleTimings, Experiment, ExperimentOutput, Substrates,
@@ -30,15 +38,24 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-fn usage() -> ! {
+/// Exit code for malformed invocations (EX_USAGE).
+const EXIT_USAGE: i32 = 64;
+/// Exit code for a well-formed invocation naming an unknown experiment.
+const EXIT_UNKNOWN_ID: i32 = 2;
+
+fn usage_text() -> String {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-    eprintln!(
+    format!(
         "usage: bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N] [--out DIR]\n\
          \x20                        [--jobs N] [--list]\n\
          IDS: comma-separated subset of {} (default all)",
         ids.join(",")
-    );
-    std::process::exit(2)
+    )
+}
+
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
+    std::process::exit(EXIT_USAGE)
 }
 
 fn main() {
@@ -71,7 +88,10 @@ fn main() {
                 }
             }
             "--list" => list = true,
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                return;
+            }
             other if other.starts_with('-') => usage(),
             other => ids.extend(other.split(',').map(str::to_string)),
         }
@@ -79,7 +99,12 @@ fn main() {
 
     if list {
         for exp in registry() {
-            println!("{:<10} {:<12} {}", exp.id(), exp.substrate().label(), exp.title());
+            println!(
+                "{:<10} {:<12} {}",
+                exp.id(),
+                exp.substrate().label(),
+                exp.title()
+            );
         }
         return;
     }
@@ -91,14 +116,19 @@ fn main() {
         .iter()
         .map(|id| {
             find(id).unwrap_or_else(|| {
-                eprintln!("unknown experiment id: {id}");
-                usage();
+                let valid: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+                bgpz_obs::error!(
+                    target: "experiments::run",
+                    "unknown experiment id: {id}\nvalid ids: {}", valid.join(", ")
+                );
+                std::process::exit(EXIT_UNKNOWN_ID);
             })
         })
         .collect();
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
-    println!(
+    bgpz_obs::info!(
+        target: "experiments::run",
         "# scale={} seed={seed} jobs={jobs} out={}",
         scale.name,
         out_dir.display()
@@ -107,10 +137,10 @@ fn main() {
     let total_start = Instant::now();
     let (ctx, bundle_timings) = build_substrates(&scale, seed, &experiments, jobs);
     if let Some(secs) = bundle_timings.replication_secs {
-        println!("# replication bundle built in {secs:.1}s");
+        bgpz_obs::info!(target: "experiments::run", "# replication bundle built in {secs:.1}s");
     }
     if let Some(secs) = bundle_timings.beacon_secs {
-        println!("# beacon bundle built in {secs:.1}s");
+        bgpz_obs::info!(target: "experiments::run", "# beacon bundle built in {secs:.1}s");
     }
 
     let results = dispatch(&experiments, &ctx, jobs);
@@ -143,10 +173,14 @@ fn main() {
         &experiment_timings,
         total_start.elapsed().as_secs_f64(),
     );
+    write_metrics(&out_dir);
 
-    println!("\n# artifacts written to {}:", out_dir.display());
+    bgpz_obs::info!(
+        target: "experiments::run",
+        "\n# artifacts written to {}:", out_dir.display()
+    );
     for (id, title) in &summary {
-        println!("#   {id}: {title}");
+        bgpz_obs::info!(target: "experiments::run", "#   {id}: {title}");
     }
 }
 
@@ -161,10 +195,12 @@ fn dispatch(
     jobs: usize,
 ) -> Vec<(ExperimentOutput, f64)> {
     let run_one = |exp: &'static dyn Experiment| {
+        let span = bgpz_obs::span("experiments::run", exp.id());
         let t0 = Instant::now();
         let output = exp.run(ctx);
         let secs = t0.elapsed().as_secs_f64();
-        println!("# finished {} in {secs:.1}s", exp.id());
+        drop(span);
+        bgpz_obs::info!(target: "experiments::run", "# finished {} in {secs:.1}s", exp.id());
         (output, secs)
     };
 
@@ -228,10 +264,26 @@ fn write_timings(
             .iter()
             .map(|(id, secs)| json!({"id": id, "secs": secs}))
             .collect::<Vec<_>>(),
+        "spans": bgpz_obs::metrics::global()
+            .spans_wall()
+            .iter()
+            .map(|(target, name, count, secs)| {
+                json!({"target": target, "name": name, "count": count, "total_secs": secs})
+            })
+            .collect::<Vec<_>>(),
         "total_secs": total_secs,
     });
     let path = out_dir.join("timings.json");
     let mut file = std::fs::File::create(&path).expect("create timings.json");
     serde_json::to_writer_pretty(&mut file, &timings).expect("write timings.json");
     let _ = writeln!(file);
+}
+
+/// Emits `metrics.json`: the deterministic pipeline-counter snapshot.
+/// Unlike `timings.json` this is byte-identical at every `--jobs` count
+/// (unless `BGPZ_METRICS_WALL=1` opts wall-clock span durations in).
+fn write_metrics(out_dir: &Path) {
+    let path = out_dir.join("metrics.json");
+    std::fs::write(&path, bgpz_obs::metrics::global().to_json_pretty())
+        .expect("write metrics.json");
 }

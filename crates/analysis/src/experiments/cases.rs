@@ -127,7 +127,10 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
                 }));
             }
             None => {
-                let _ = writeln!(text, "{prefix} — {label}: no outbreak detected in this run\n");
+                let _ = writeln!(
+                    text,
+                    "{prefix} — {label}: no outbreak detected in this run\n"
+                );
                 cases_json.push(json!({
                     "prefix": prefix.to_string(),
                     "label": label,

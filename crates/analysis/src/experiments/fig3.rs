@@ -88,7 +88,10 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
          35–37-day cluster on the excluded line (AS207301 behind AS211509): {} outbreak(s).\n",
         summary.render(),
         chart,
-        ex_cdf.max().unwrap_or(0.0).max(all_cdf.max().unwrap_or(0.0)),
+        ex_cdf
+            .max()
+            .unwrap_or(0.0)
+            .max(all_cdf.max().unwrap_or(0.0)),
         observed_days,
         fig.cluster_35_37,
     );

@@ -51,8 +51,18 @@ pub fn compute(bundle: &BeaconBundle) -> Fig4 {
     if lifespan.spells.is_empty() {
         return Fig4::default();
     }
-    lifespan.first_seen = lifespan.spells.iter().map(|s| s.first).min().expect("spells");
-    lifespan.last_seen = lifespan.spells.iter().map(|s| s.last).max().expect("spells");
+    lifespan.first_seen = lifespan
+        .spells
+        .iter()
+        .map(|s| s.first)
+        .min()
+        .expect("spells");
+    lifespan.last_seen = lifespan
+        .spells
+        .iter()
+        .map(|s| s.last)
+        .max()
+        .expect("spells");
     // Merge per-peer spells into global visibility windows.
     let mut gaps = Vec::new();
     // The paper's timeline starts at the withdrawal: if the zombie only
@@ -84,9 +94,8 @@ pub fn compute(bundle: &BeaconBundle) -> Fig4 {
 /// Runs the experiment and renders it.
 pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
     let fig = compute(bundle);
-    let mut text = String::from(
-        "Fig. 4 — timeline of the resurrected zombie 2a0d:3dc1:1851::/48\n\n",
-    );
+    let mut text =
+        String::from("Fig. 4 — timeline of the resurrected zombie 2a0d:3dc1:1851::/48\n\n");
     if fig.visible.is_empty() {
         text.push_str("(prefix never stuck in this run — increase scale)\n");
     } else {
@@ -99,12 +108,12 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
             .collect();
         timeline.sort_by_key(|&(a, _, _)| a);
         for (from, to, is_visible) in timeline {
-            let label = if is_visible {
-                "visible  "
+            let label = if is_visible { "visible  " } else { "INVISIBLE" };
+            let note = if is_visible {
+                ""
             } else {
-                "INVISIBLE"
+                "  ← withdrawn by all peers"
             };
-            let note = if is_visible { "" } else { "  ← withdrawn by all peers" };
             let _ = writeln!(
                 text,
                 "  {label} {} → {}  ({:.1} days){note}",
@@ -125,19 +134,16 @@ pub fn run(bundle: &BeaconBundle) -> ExperimentOutput {
         id: "f4",
         title: "Fig. 4: the twice-resurrected zombie timeline".into(),
         text,
-        csv: vec![(
-            "fig4_timeline.csv".into(),
-            {
-                let mut csv = String::from("kind,from,to\n");
-                for &(a, b) in &fig.visible {
-                    let _ = writeln!(csv, "visible,{},{}", a.secs(), b.secs());
-                }
-                for &(a, b) in &fig.gaps {
-                    let _ = writeln!(csv, "gap,{},{}", a.secs(), b.secs());
-                }
-                csv
-            },
-        )],
+        csv: vec![("fig4_timeline.csv".into(), {
+            let mut csv = String::from("kind,from,to\n");
+            for &(a, b) in &fig.visible {
+                let _ = writeln!(csv, "visible,{},{}", a.secs(), b.secs());
+            }
+            for &(a, b) in &fig.gaps {
+                let _ = writeln!(csv, "gap,{},{}", a.secs(), b.secs());
+            }
+            csv
+        })],
         json: json!({
             "visible": fig.visible.iter().map(|&(a, b)| json!([a.secs(), b.secs()])).collect::<Vec<_>>(),
             "gaps": fig.gaps.iter().map(|&(a, b)| json!([a.secs(), b.secs()])).collect::<Vec<_>>(),

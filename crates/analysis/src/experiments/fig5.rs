@@ -78,12 +78,7 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
         .collect();
     let chart = AsciiSeries::chart(&series, 60, 14);
     // Combined no-zombie fraction across families, with DC (paper: 18.76%).
-    let combined_with = Ecdf::new(
-        fig.v4_with
-            .iter()
-            .chain(fig.v6_with.iter())
-            .copied(),
-    );
+    let combined_with = Ecdf::new(fig.v4_with.iter().chain(fig.v6_with.iter()).copied());
     let text = format!(
         "Fig. 5 — CDF of the zombie emergence rate per <beacon, peer AS>\n\n{}\n{}\n\
          Pairs with no zombie at all (withDC, both families): {} (paper: 18.76%).\n\

@@ -93,7 +93,11 @@ pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
          Zombie median >= normal median in every cell: {}\n",
         summary.render(),
         chart,
-        if zombie_longer_everywhere { "YES" } else { "no" },
+        if zombie_longer_everywhere {
+            "YES"
+        } else {
+            "no"
+        },
     );
     ExperimentOutput {
         id: "f6",

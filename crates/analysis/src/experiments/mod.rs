@@ -183,11 +183,27 @@ pub fn replication_bundle(scale: &Scale, seed: u64) -> ReplicationBundle {
 /// deterministic sharded merge, and the periods are collected in schedule
 /// order — so the bundle is identical at every `jobs`.
 pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> ReplicationBundle {
+    let _span = bgpz_obs::span("analysis::bundle", "replication");
     let periods = replication_periods(scale);
+    bgpz_obs::metrics::counter(
+        "analysis::bundle",
+        "replication_periods",
+        periods.len() as u64,
+    );
+    bgpz_obs::debug!(
+        target: "analysis::bundle",
+        "building replication bundle: {} periods, {jobs} jobs",
+        periods.len()
+    );
     let build = |period: &crate::worlds::ReplicationPeriod, scan_jobs: usize| {
         let run = run_replication(period, scale, seed);
         let intervals = intervals_from_schedule(&run.schedule);
-        let result = scan_sharded(run.archive.updates.clone(), &intervals, SCAN_WINDOW, scan_jobs);
+        let result = scan_sharded(
+            run.archive.updates.clone(),
+            &intervals,
+            SCAN_WINDOW,
+            scan_jobs,
+        );
         (run, result)
     };
     if jobs <= 1 {
@@ -237,14 +253,32 @@ pub fn beacon_bundle(scale: &Scale, seed: u64) -> BeaconBundle {
 /// simulation itself is one sequential event loop; the archive scan —
 /// the post-simulation hot path — shards deterministically.
 pub fn beacon_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> BeaconBundle {
+    let _span = bgpz_obs::span("analysis::bundle", "beacon");
     let run = run_beacon_study(scale, seed);
     let mut intervals = intervals_from_schedule(&run.schedule);
     // Footnote 3: drop the earlier announcement of each colliding pair.
+    let before = intervals.len();
     intervals.retain(|iv| {
         !run.polluted
             .iter()
             .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
     });
+    bgpz_obs::metrics::counter(
+        "analysis::bundle",
+        "beacon_intervals",
+        intervals.len() as u64,
+    );
+    bgpz_obs::metrics::counter(
+        "analysis::bundle",
+        "polluted_intervals_dropped",
+        (before - intervals.len()) as u64,
+    );
+    bgpz_obs::debug!(
+        target: "analysis::bundle",
+        "building beacon bundle: {} intervals ({} polluted dropped), {jobs} jobs",
+        intervals.len(),
+        before - intervals.len()
+    );
     let scan_result = scan_sharded(run.archive.updates.clone(), &intervals, SCAN_WINDOW, jobs);
     let finals = final_withdrawals(&run.schedule);
     BeaconBundle {
@@ -271,7 +305,9 @@ pub fn build_substrates(
     let need_replication = experiments
         .iter()
         .any(|e| e.substrate() == Substrate::Replication);
-    let need_beacon = experiments.iter().any(|e| e.substrate() == Substrate::Beacon);
+    let need_beacon = experiments
+        .iter()
+        .any(|e| e.substrate() == Substrate::Beacon);
 
     let timed_replication = |jobs: usize| {
         let t0 = Instant::now();
@@ -335,8 +371,7 @@ mod tests {
 
     /// The documented id set (the ids the binary's help text advertises).
     const DOCUMENTED_IDS: [&str; 14] = [
-        "t1", "t2", "t3", "t4", "t5", "f2", "f3", "f4", "f5", "f6", "f7", "cases", "ablation",
-        "rv",
+        "t1", "t2", "t3", "t4", "t5", "f2", "f3", "f4", "f5", "f6", "f7", "cases", "ablation", "rv",
     ];
 
     #[test]
@@ -345,7 +380,11 @@ mod tests {
         assert_eq!(registry.len(), DOCUMENTED_IDS.len());
         let mut seen = std::collections::HashSet::new();
         for exp in &registry {
-            assert!(seen.insert(exp.id()), "duplicate experiment id {}", exp.id());
+            assert!(
+                seen.insert(exp.id()),
+                "duplicate experiment id {}",
+                exp.id()
+            );
             assert!(!exp.title().is_empty(), "{} has an empty title", exp.id());
         }
     }

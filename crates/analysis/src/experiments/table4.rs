@@ -69,7 +69,13 @@ pub fn compute(bundle: &ReplicationBundle) -> Table4 {
 /// Runs the experiment and renders it.
 pub fn run(bundle: &ReplicationBundle) -> ExperimentOutput {
     let table = compute(bundle);
-    let mut text_table = TextTable::new(["Stat", "withDC IPv4", "withDC IPv6", "noDC IPv4", "noDC IPv6"]);
+    let mut text_table = TextTable::new([
+        "Stat",
+        "withDC IPv4",
+        "withDC IPv6",
+        "noDC IPv4",
+        "noDC IPv6",
+    ]);
     text_table.row([
         "mean".to_string(),
         format!("{:.4}", table.v4_with.0),

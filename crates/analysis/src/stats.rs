@@ -145,10 +145,7 @@ mod tests {
     #[test]
     fn points_deduplicate() {
         let e = Ecdf::new([1.0, 1.0, 2.0]);
-        assert_eq!(
-            e.points(),
-            vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]
-        );
+        assert_eq!(e.points(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
     }
 
     #[test]

@@ -17,11 +17,9 @@
 use bgpz_beacon::{
     apply_schedule, BeaconSchedule, PaperBeaconConfig, PaperBeacons, RisBeaconConfig, RisBeacons,
 };
-use bgpz_netsim::{
-    EpisodeEnd, FaultPlan, RovPolicy, Simulator, Tier, Topology, TopologyConfig,
-};
-use bgpz_rpki::beacon_roa_timeline;
+use bgpz_netsim::{EpisodeEnd, FaultPlan, RovPolicy, Simulator, Tier, Topology, TopologyConfig};
 use bgpz_ris::{RisArchive, RisConfig, RisNetwork, RisPeerSpec};
+use bgpz_rpki::beacon_roa_timeline;
 use bgpz_types::time::{DAY, HOUR, MINUTE};
 use bgpz_types::{Afi, Asn, Prefix, SimTime};
 use std::net::IpAddr;
@@ -131,7 +129,9 @@ pub const RIS_SITE_COUNT: u32 = 14;
 
 /// The origin-site ASNs.
 pub fn ris_sites() -> Vec<Asn> {
-    (0..RIS_SITE_COUNT).map(|i| Asn(RIS_SITE_BASE + i)).collect()
+    (0..RIS_SITE_COUNT)
+        .map(|i| Asn(RIS_SITE_BASE + i))
+        .collect()
 }
 /// The replication's noisy peer (Inherent Adista SAS).
 pub const NOISY_REPLICATION_PEER: Asn = Asn(16_347);
@@ -255,12 +255,8 @@ pub fn edge_list(topo: &Topology) -> Vec<(Asn, Asn)> {
             if j > i {
                 // `rel` is what j is to i.
                 match rel {
-                    bgpz_netsim::Relationship::Customer => {
-                        edges.push((topo.asn(i), topo.asn(j)))
-                    }
-                    bgpz_netsim::Relationship::Provider => {
-                        edges.push((topo.asn(j), topo.asn(i)))
-                    }
+                    bgpz_netsim::Relationship::Customer => edges.push((topo.asn(i), topo.asn(j))),
+                    bgpz_netsim::Relationship::Provider => edges.push((topo.asn(j), topo.asn(i))),
                     bgpz_netsim::Relationship::Peer => edges.push((topo.asn(i), topo.asn(j))),
                 }
             }
@@ -335,17 +331,11 @@ pub fn run_replication(period: &ReplicationPeriod, scale: &Scale, seed: u64) -> 
     // RRC21 — IPv6 sticky export at the paper's ~43%.
     let mut exclude = vec![RIS_ORIGIN, NOISY_REPLICATION_PEER];
     exclude.extend(ris_sites());
-    let mut config = RisConfig::sample_from_topology(
-        &topo,
-        4,
-        scale.ris_peers,
-        &exclude,
-        seed ^ 0xA5A5,
-    );
+    let mut config =
+        RisConfig::sample_from_topology(&topo, 4, scale.ris_peers, &exclude, seed ^ 0xA5A5);
     let noisy_addr: IpAddr = "2001:db8:163:47::1".parse().expect("static");
     config = config.with_peer(
-        RisPeerSpec::healthy(NOISY_REPLICATION_PEER, noisy_addr, 1)
-            .with_sticky_family(0.0, 0.43),
+        RisPeerSpec::healthy(NOISY_REPLICATION_PEER, noisy_addr, 1).with_sticky_family(0.0, 0.43),
     );
 
     // Collector-session outages on a few peers: the down/up STATE
@@ -397,8 +387,8 @@ pub fn run_replication(period: &ReplicationPeriod, scale: &Scale, seed: u64) -> 
             continue;
         }
         let prefix = beacon_prefixes[(seed as usize + 5 * k) % beacon_prefixes.len()];
-        let at = (period.start + (k as u64 + 1) * span / (n_single as u64 + 1))
-            .align_down(4 * HOUR);
+        let at =
+            (period.start + (k as u64 + 1) * span / (n_single as u64 + 1)).align_down(4 * HOUR);
         plan = plan.sticky_window(peer, prefix, at, at + 4 * HOUR);
     }
     let n_short = ((days as f64 * 0.18).ceil() as usize).max(1);
@@ -713,7 +703,9 @@ fn run_beacon_study_inner(scale: &Scale, seed: u64, routeviews: bool) -> BeaconR
     let daily = PaperBeacons::new(PaperBeaconConfig::paper_daily());
     let fifteen = PaperBeacons::new(PaperBeaconConfig::paper_fifteen_day());
     let mut schedule = daily.schedule();
-    schedule.events.extend(fifteen.schedule().events.iter().copied());
+    schedule
+        .events
+        .extend(fifteen.schedule().events.iter().copied());
     schedule.normalize();
     let polluted = fifteen.polluted_announcements();
 
@@ -900,13 +892,8 @@ fn run_beacon_study_inner(scale: &Scale, seed: u64, routeviews: bool) -> BeaconR
         NOISY_211380,
         NOISY_211509,
     ];
-    let mut config = RisConfig::sample_from_topology(
-        &topo,
-        6,
-        scale.ris_peers,
-        &exclude,
-        seed ^ 0xA5A5,
-    );
+    let mut config =
+        RisConfig::sample_from_topology(&topo, 6, scale.ris_peers, &exclude, seed ^ 0xA5A5);
     // Named RIS peers.
     let named_peers: Vec<(Asn, &str)> = vec![
         (PEER_61573, "2001:db8:6157:3::1"),
@@ -1096,4 +1083,3 @@ mod tests {
         }
     }
 }
-

@@ -1,0 +1,148 @@
+//! Black-box tests of the `bgpz-experiments` binary: exit codes, the
+//! `metrics.json` determinism contract, and env-filtered logging.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bgpz-experiments")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgpz-exp-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Runs the binary with a clean observability environment plus `envs`.
+fn run(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args)
+        .env_remove("BGPZ_LOG")
+        .env_remove("BGPZ_LOG_JSON")
+        .env_remove("BGPZ_METRICS_WALL");
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd.output().expect("run bgpz-experiments")
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn unknown_id_exits_2_and_lists_valid_ids() {
+    let out = run(&["no-such-experiment"], &[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown experiment id: no-such-experiment"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("valid ids:"), "{stderr}");
+    for id in ["t1", "t5", "f2", "cases", "ablation", "rv"] {
+        assert!(stderr.contains(id), "missing {id} in: {stderr}");
+    }
+}
+
+#[test]
+fn help_exits_0_and_bad_flags_exit_64() {
+    let help = run(&["--help"], &[]);
+    assert_eq!(help.status.code(), Some(0), "{help:?}");
+    assert!(String::from_utf8_lossy(&help.stdout).contains("usage:"));
+
+    let bad_flag = run(&["--frobnicate"], &[]);
+    assert_eq!(bad_flag.status.code(), Some(64), "{bad_flag:?}");
+    let bad_value = run(&["--jobs", "zero"], &[]);
+    assert_eq!(bad_value.status.code(), Some(64), "{bad_value:?}");
+}
+
+#[test]
+fn list_prints_registry() {
+    let out = run(&["--list"], &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("t1"), "{stdout}");
+    assert!(stdout.contains("replication"), "{stdout}");
+}
+
+/// The tentpole contract: `metrics.json` (and every result artifact) is
+/// byte-identical at `--jobs 1`, `--jobs 3`, and the default job count;
+/// `BGPZ_LOG=debug` changes the logs but never the artifacts.
+#[test]
+fn metrics_json_deterministic_across_jobs_and_log_levels() {
+    let base = &["t1,f2", "--scale", "bench", "--seed", "7", "--out"];
+    let run_to = |tag: &str, extra_args: &[&str], envs: &[(&str, &str)]| -> (PathBuf, Output) {
+        let dir = temp_dir(tag);
+        let dir_str = dir.to_str().expect("utf-8 temp dir").to_string();
+        let mut args: Vec<&str> = base.to_vec();
+        args.push(&dir_str);
+        args.extend_from_slice(extra_args);
+        let out = run(&args, envs);
+        assert_eq!(out.status.code(), Some(0), "{tag}: {out:?}");
+        (dir, out)
+    };
+
+    let (dir_j1, out_j1) = run_to("j1", &["--jobs", "1"], &[]);
+    let (dir_j3, _) = run_to("j3", &["--jobs", "3"], &[]);
+    let (dir_jd, _) = run_to("jd", &[], &[]);
+
+    let reference = read(&dir_j1.join("metrics.json"));
+    assert!(reference.contains("records_ok"), "{reference}");
+    assert!(reference.contains("replication_periods"), "{reference}");
+    assert!(reference.contains("beacon_intervals"), "{reference}");
+    assert!(reference.contains("experiments::run"), "{reference}");
+    // Deterministic by default: span wall times live in timings.json only.
+    assert!(!reference.contains("total_secs"), "{reference}");
+    assert_eq!(reference, read(&dir_j3.join("metrics.json")), "--jobs 3");
+    assert_eq!(
+        reference,
+        read(&dir_jd.join("metrics.json")),
+        "default jobs"
+    );
+    // The result artifacts stay deterministic too.
+    let t1 = read(&dir_j1.join("t1.txt"));
+    assert_eq!(t1, read(&dir_j3.join("t1.txt")));
+    assert_eq!(t1, read(&dir_jd.join("t1.txt")));
+    // timings.json carries the wall-clock span view.
+    assert!(read(&dir_j1.join("timings.json")).contains("\"spans\""));
+
+    // Debug logging changes stderr, not artifacts.
+    let json_log = temp_dir("jlog").join("events.jsonl");
+    let (dir_dbg, out_dbg) = run_to(
+        "dbg",
+        &["--jobs", "1"],
+        &[
+            ("BGPZ_LOG", "debug"),
+            ("BGPZ_LOG_JSON", json_log.to_str().expect("utf-8 path")),
+        ],
+    );
+    assert_eq!(
+        reference,
+        read(&dir_dbg.join("metrics.json")),
+        "BGPZ_LOG=debug"
+    );
+    assert_eq!(t1, read(&dir_dbg.join("t1.txt")), "BGPZ_LOG=debug");
+    let stderr_dbg = String::from_utf8_lossy(&out_dbg.stderr);
+    assert!(stderr_dbg.contains("[debug "), "{stderr_dbg}");
+    let stderr_default = String::from_utf8_lossy(&out_j1.stderr);
+    assert!(!stderr_default.contains("[debug "), "{stderr_default}");
+    // Progress lines still reach stdout at the default level.
+    let stdout_default = String::from_utf8_lossy(&out_j1.stdout);
+    assert!(stdout_default.contains("# finished t1"), "{stdout_default}");
+
+    // The JSON-lines sink captured structured events.
+    let events = read(&json_log);
+    assert!(!events.is_empty());
+    for line in events.lines() {
+        assert!(line.starts_with("{\"level\": "), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(line.contains("\"target\": "), "{line}");
+    }
+
+    for dir in [dir_j1, dir_j3, dir_jd, dir_dbg] {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(json_log.parent().expect("parent")).ok();
+}

@@ -398,8 +398,7 @@ mod tests {
     /// The RIS Aggregator clock for `t` (avoiding a bgpz-beacon dev-dep
     /// cycle by computing the trivial encoding inline).
     fn bgpz_beacon_aggregator(t: SimTime) -> std::net::Ipv4Addr {
-        let secs = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0).secs_into_month()
-            + t.secs();
+        let secs = SimTime::from_ymd_hms(2018, 7, 19, 0, 0, 0).secs_into_month() + t.secs();
         std::net::Ipv4Addr::new(10, (secs >> 16) as u8, (secs >> 8) as u8, secs as u8)
     }
 

@@ -329,7 +329,11 @@ mod tests {
 
     #[test]
     fn quarter_hour_check() {
-        assert!(is_quarter_hour(SimTime::from_ymd_hms(2024, 6, 4, 11, 45, 0)));
-        assert!(!is_quarter_hour(SimTime::from_ymd_hms(2024, 6, 4, 11, 46, 0)));
+        assert!(is_quarter_hour(SimTime::from_ymd_hms(
+            2024, 6, 4, 11, 45, 0
+        )));
+        assert!(!is_quarter_hour(SimTime::from_ymd_hms(
+            2024, 6, 4, 11, 46, 0
+        )));
     }
 }

@@ -117,12 +117,8 @@ impl V4PrefixClock {
         }
         let value = net.addr().octets()[2] as u64;
         match self.mode {
-            V4RecycleMode::Daily => {
-                (value < 96).then_some((value / 4, (value % 4) * 15))
-            }
-            V4RecycleMode::FifteenDay => {
-                (value < 240).then_some((value / 15, value % 15))
-            }
+            V4RecycleMode::Daily => (value < 96).then_some((value / 4, (value % 4) * 15)),
+            V4RecycleMode::FifteenDay => (value < 240).then_some((value / 15, value % 15)),
         }
     }
 
@@ -183,7 +179,8 @@ mod tests {
         for day in 1..=15u64 {
             for slot in 0..16u64 {
                 let minute_of_day = slot * 90;
-                let t = SimTime::from_ymd_hms(2024, 6, day, minute_of_day / 60, minute_of_day % 60, 0);
+                let t =
+                    SimTime::from_ymd_hms(2024, 6, day, minute_of_day / 60, minute_of_day % 60, 0);
                 let prefix = clock.encode(t);
                 assert!(
                     seen.insert(prefix),

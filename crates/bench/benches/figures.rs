@@ -54,7 +54,10 @@ fn paper_figures(c: &mut Criterion) {
     let sim = fig1_world();
     let dst: std::net::IpAddr = "2001:db8::1".parse().expect("static");
     let (_, outcome) = dataplane::trace(&sim, Asn(64_002), dst, dataplane::DEFAULT_HOP_LIMIT);
-    print_once("fig1", &format!("forwarding outcome through the zombie: {outcome:?}"));
+    print_once(
+        "fig1",
+        &format!("forwarding outcome through the zombie: {outcome:?}"),
+    );
     group.bench_function("fig1_zombie_forwarding_loop", |b| {
         b.iter(|| {
             black_box(dataplane::trace(
@@ -74,9 +77,7 @@ fn paper_figures(c: &mut Criterion) {
         }
         let out = exp.run(&ctx);
         print_once(exp.id(), &out.text);
-        group.bench_function(exp.id(), |b| {
-            b.iter(|| black_box(exp.run(black_box(&ctx))))
-        });
+        group.bench_function(exp.id(), |b| b.iter(|| black_box(exp.run(black_box(&ctx)))));
     }
 
     group.finish();

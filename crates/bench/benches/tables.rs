@@ -29,9 +29,7 @@ fn paper_tables(c: &mut Criterion) {
         }
         let out = exp.run(&ctx);
         print_once(exp.id(), &out.text);
-        group.bench_function(exp.id(), |b| {
-            b.iter(|| black_box(exp.run(black_box(&ctx))))
-        });
+        group.bench_function(exp.id(), |b| b.iter(|| black_box(exp.run(black_box(&ctx)))));
     }
 
     group.finish();

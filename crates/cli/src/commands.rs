@@ -16,8 +16,7 @@ use std::path::Path;
 
 /// Reads a whole file into `Bytes`.
 fn read_file(path: &str) -> CliResult<Bytes> {
-    let data = std::fs::read(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let data = std::fs::read(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     Ok(Bytes::from(data))
 }
 
@@ -47,7 +46,11 @@ pub fn mrt_dump(args: &ParsedArgs) -> CliResult<String> {
         }
     }
     if reader.stats().skipped > 0 {
-        let _ = writeln!(out, "# {} malformed record(s) skipped", reader.stats().skipped);
+        let _ = writeln!(
+            out,
+            "# {} malformed record(s) skipped",
+            reader.stats().skipped
+        );
     }
     Ok(out)
 }
@@ -66,7 +69,11 @@ pub fn parse_time(value: &str) -> CliResult<SimTime> {
     if let Ok(secs) = value.parse::<u64>() {
         return Ok(SimTime(secs));
     }
-    let bad = || CliError(format!("cannot parse time {value:?} (want YYYY-MM-DDTHH:MM:SS)"));
+    let bad = || {
+        CliError(format!(
+            "cannot parse time {value:?} (want YYYY-MM-DDTHH:MM:SS)"
+        ))
+    };
     let (date, time) = value.split_once('T').ok_or_else(bad)?;
     let d: Vec<u64> = date
         .split('-')
@@ -99,7 +106,9 @@ pub fn clock_aggregator(args: &ParsedArgs) -> CliResult<String> {
         Some(t) => Ok(format!(
             "{addr} decodes to announcement time {t} (relative to {reference})\n"
         )),
-        None => Ok(format!("{addr} is not a RIS-beacon BGP clock (not in 10.0.0.0/8)\n")),
+        None => Ok(format!(
+            "{addr} is not a RIS-beacon BGP clock (not in 10.0.0.0/8)\n"
+        )),
     }
 }
 
@@ -115,7 +124,11 @@ pub fn clock_prefix(args: &ParsedArgs) -> CliResult<String> {
     let mode = match args.opt_or("mode", "fifteen") {
         "daily" => RecycleMode::Daily,
         "fifteen" => RecycleMode::FifteenDay,
-        other => return Err(CliError(format!("--mode expects daily|fifteen, got {other:?}"))),
+        other => {
+            return Err(CliError(format!(
+                "--mode expects daily|fifteen, got {other:?}"
+            )))
+        }
     };
     let clock = PrefixClock::paper(mode);
     let slots = clock.decode_slots(prefix);
@@ -161,9 +174,15 @@ pub fn intervals_from_archive(
     let mut starts: BTreeMap<(Prefix, SimTime), ()> = BTreeMap::new();
     let mut reader = MrtReader::new(data);
     while let Some(record) = reader.next_record() {
-        let MrtBody::Message(msg) = &record.body else { continue };
-        let BgpMessage::Update(update) = &msg.message else { continue };
-        let Some(path) = &update.attrs.as_path else { continue };
+        let MrtBody::Message(msg) = &record.body else {
+            continue;
+        };
+        let BgpMessage::Update(update) = &msg.message else {
+            continue;
+        };
+        let Some(path) = &update.attrs.as_path else {
+            continue;
+        };
         if path.origin() != Some(origin) {
             continue;
         }
@@ -194,7 +213,9 @@ pub fn detect(args: &ParsedArgs) -> CliResult<String> {
     let threshold = args.opt_u64("threshold", 90 * 60)?;
     // Scan worker threads; the sharded scan merges deterministically, so
     // the report is identical at every job count.
-    let jobs = args.opt_u64("jobs", bgpz_analysis::worlds::default_jobs() as u64)?.max(1) as usize;
+    let jobs = args
+        .opt_u64("jobs", bgpz_analysis::worlds::default_jobs() as u64)?
+        .max(1) as usize;
     let excluded: Vec<IpAddr> = match args.opt("exclude") {
         None => Vec::new(),
         Some(list) => list
@@ -231,6 +252,19 @@ pub fn detect(args: &ParsedArgs) -> CliResult<String> {
         intervals.len(),
         result.peers.len(),
         threshold / 60
+    );
+    let stats = result.read_stats;
+    let _ = writeln!(
+        out,
+        "# archive: {} records ok ({} updates, {} state changes, {} rib, {} peer-index), \
+         {} skipped, {} trailing bytes",
+        stats.ok,
+        stats.ok_messages,
+        stats.ok_state_changes,
+        stats.ok_rib,
+        stats.ok_peer_index,
+        stats.skipped,
+        stats.trailing_bytes
     );
     let _ = writeln!(
         out,
@@ -306,8 +340,7 @@ pub fn lifespan(args: &ParsedArgs) -> CliResult<String> {
     }
     dumps.sort_by_key(|&(t, _)| t);
 
-    let lifespans =
-        bgpz_core::track_lifespans(&dumps, &[(prefix, withdrawn_at)], &excluded);
+    let lifespans = bgpz_core::track_lifespans(&dumps, &[(prefix, withdrawn_at)], &excluded);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -396,7 +429,11 @@ pub fn simulate(args: &ParsedArgs) -> CliResult<String> {
             );
             (run.archive, "beacon")
         }
-        other => return Err(CliError(format!("--world expects replication|beacon, got {other:?}"))),
+        other => {
+            return Err(CliError(format!(
+                "--world expects replication|beacon, got {other:?}"
+            )))
+        }
     };
 
     std::fs::write(dir.join("updates.mrt"), &archive.updates)?;
@@ -470,15 +507,21 @@ mod tests {
     fn lifespan_requires_dumps() {
         assert!(lifespan(&v(&[])).is_err());
         assert!(lifespan(&v(&[
-            "--dumps", "/nonexistent",
-            "--prefix", "2a0d:3dc1:163::/48",
-            "--withdrawn-at", "100",
+            "--dumps",
+            "/nonexistent",
+            "--prefix",
+            "2a0d:3dc1:163::/48",
+            "--withdrawn-at",
+            "100",
         ]))
         .is_err());
         assert!(lifespan(&v(&[
-            "--dumps", "/tmp",
-            "--prefix", "not-a-prefix",
-            "--withdrawn-at", "100",
+            "--dumps",
+            "/tmp",
+            "--prefix",
+            "not-a-prefix",
+            "--withdrawn-at",
+            "100",
         ]))
         .is_err());
     }
@@ -508,6 +551,8 @@ mod tests {
         ]))
         .unwrap();
         assert!(report.contains("beacon intervals"), "{report}");
+        assert!(report.contains("# archive:"), "{report}");
+        assert!(report.contains("records ok"), "{report}");
 
         // The sharded scan merges deterministically: the report must be
         // byte-identical at every worker count (default above = N cores).

@@ -28,7 +28,7 @@ fn main() {
     match run() {
         Ok(output) => print!("{output}"),
         Err(e) => {
-            eprintln!("bgpz: {e}");
+            bgpz_obs::error!(target: "cli::main", "bgpz: {e}");
             std::process::exit(1);
         }
     }

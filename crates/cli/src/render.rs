@@ -136,12 +136,16 @@ impl ArchiveStats {
         let mut reader = MrtReader::new(data);
         while let Some(record) = reader.next_record() {
             stats.records += 1;
-            stats.first = Some(stats.first.map_or(record.timestamp, |t: SimTime| {
-                t.min(record.timestamp)
-            }));
-            stats.last = Some(stats.last.map_or(record.timestamp, |t: SimTime| {
-                t.max(record.timestamp)
-            }));
+            stats.first = Some(
+                stats
+                    .first
+                    .map_or(record.timestamp, |t: SimTime| t.min(record.timestamp)),
+            );
+            stats.last = Some(
+                stats
+                    .last
+                    .map_or(record.timestamp, |t: SimTime| t.max(record.timestamp)),
+            );
             match &record.body {
                 MrtBody::Message(msg) => {
                     stats.peers.insert(msg.session.peer_ip.to_string());

@@ -145,6 +145,7 @@ pub fn classify(result: &ScanResult, options: &ClassifyOptions) -> ZombieReport 
     let excluded: HashSet<IpAddr> = options.excluded_peers.iter().copied().collect();
     let empty: Vec<SimTime> = Vec::new();
 
+    let mut duplicates_filtered = 0u64;
     for (idx, interval) in result.intervals.iter().enumerate() {
         let check = interval.check_time(options.threshold);
         let mut routes = Vec::new();
@@ -176,7 +177,9 @@ pub fn classify(result: &ScanResult, options: &ClassifyOptions) -> ZombieReport 
             });
         }
         if options.aggregator_filter {
+            let before = routes.len();
             routes.retain(|r| !r.is_duplicate);
+            duplicates_filtered += (before - routes.len()) as u64;
         }
         if !routes.is_empty() {
             report.outbreaks.push(Outbreak {
@@ -186,6 +189,30 @@ pub fn classify(result: &ScanResult, options: &ClassifyOptions) -> ZombieReport 
             });
         }
     }
+    // Per-threshold counters: the threshold is part of the key so a sweep
+    // over thresholds lands each classification in its own bucket.
+    let t = options.threshold;
+    bgpz_obs::metrics::counter(
+        "core::classify",
+        &format!("outbreaks@{t}s"),
+        report.outbreak_count() as u64,
+    );
+    bgpz_obs::metrics::counter(
+        "core::classify",
+        &format!("zombie_routes@{t}s"),
+        report.route_count() as u64,
+    );
+    bgpz_obs::metrics::counter(
+        "core::classify",
+        &format!("duplicates_filtered@{t}s"),
+        duplicates_filtered,
+    );
+    bgpz_obs::debug!(
+        target: "core::classify",
+        "threshold {t}s: {} outbreaks, {} zombie routes, {duplicates_filtered} duplicates filtered",
+        report.outbreak_count(),
+        report.route_count()
+    );
     report
 }
 
@@ -298,10 +325,7 @@ mod tests {
         );
         assert_eq!(unfiltered.outbreak_count(), 1);
         assert!(unfiltered.outbreaks[0].routes[0].is_duplicate);
-        assert_eq!(
-            unfiltered.outbreaks[0].routes[0].aggregator_time,
-            Some(old)
-        );
+        assert_eq!(unfiltered.outbreaks[0].routes[0].aggregator_time, Some(old));
         assert!(!unfiltered.outbreaks[0].is_fresh());
     }
 

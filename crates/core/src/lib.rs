@@ -42,7 +42,10 @@ pub mod sweep;
 pub use classify::{classify, ClassifyOptions, Outbreak, ZombieReport, ZombieRoute};
 pub use interval::{intervals_from_schedule, BeaconInterval};
 pub use lifespan::{track_lifespans, OutbreakLifespan, Resurrection, VisibilitySpell};
-pub use noisy::{detect_noisy_peers, pair_likelihoods, peer_likelihoods, NoisyPeerReport, PairLikelihood, PeerLikelihood};
+pub use noisy::{
+    detect_noisy_peers, pair_likelihoods, peer_likelihoods, NoisyPeerReport, PairLikelihood,
+    PeerLikelihood,
+};
 pub use paths::{path_length_samples, PathLengthSamples};
 pub use realtime::{RealtimeDetector, ZombieAlert};
 pub use rootcause::{infer_root_cause, RootCause};

@@ -66,11 +66,8 @@ impl OutbreakLifespan {
     /// Global gaps: windows in which *no* peer held the route, between two
     /// sightings (Fig. 4's invisible periods).
     pub fn global_gaps(&self) -> Vec<(SimTime, SimTime)> {
-        let mut intervals: Vec<(SimTime, SimTime)> = self
-            .spells
-            .iter()
-            .map(|s| (s.first, s.last))
-            .collect();
+        let mut intervals: Vec<(SimTime, SimTime)> =
+            self.spells.iter().map(|s| (s.first, s.last)).collect();
         intervals.sort_unstable();
         let mut gaps = Vec::new();
         let mut covered_until: Option<SimTime> = None;
@@ -106,6 +103,7 @@ pub fn track_lifespans(
     prefixes: &[(Prefix, SimTime)],
     excluded_peers: &[IpAddr],
 ) -> Vec<OutbreakLifespan> {
+    let _span = bgpz_obs::span("core::lifespan", "track_lifespans");
     let withdrawal: HashMap<Prefix, SimTime> = prefixes.iter().copied().collect();
     // (prefix, peer) → sorted list of dump-index sightings.
     let mut sightings: BTreeMap<(Prefix, PeerId), Vec<usize>> = BTreeMap::new();
@@ -200,6 +198,35 @@ pub fn track_lifespans(
             resurrections,
         });
     }
+    use bgpz_obs::metrics::{counter, observe};
+    counter("core::lifespan", "rib_dumps", rib_dumps.len() as u64);
+    counter("core::lifespan", "outbreaks_tracked", out.len() as u64);
+    counter(
+        "core::lifespan",
+        "spells",
+        out.iter().map(|l| l.spells.len() as u64).sum(),
+    );
+    counter(
+        "core::lifespan",
+        "resurrections",
+        out.iter().map(|l| l.resurrections.len() as u64).sum(),
+    );
+    for lifespan in &out {
+        // Bounds follow the paper's lifespan bands (days).
+        observe(
+            "core::lifespan",
+            "duration_days",
+            &[1, 7, 30, 90, 180],
+            lifespan.duration_days() as u64,
+        );
+    }
+    bgpz_obs::debug!(
+        target: "core::lifespan",
+        "tracked {} outbreaks over {} dumps ({} resurrections)",
+        out.len(),
+        rib_dumps.len(),
+        out.iter().map(|l| l.resurrections.len()).sum::<usize>()
+    );
     out
 }
 

@@ -155,6 +155,16 @@ pub fn detect_noisy_peers(
     } else {
         rest.iter().map(|p| p.likelihood).sum::<f64>() / rest.len() as f64
     };
+    bgpz_obs::metrics::counter("core::noisy", "peers_considered", likelihoods.len() as u64);
+    bgpz_obs::metrics::counter("core::noisy", "peers_pruned", noisy.len() as u64);
+    for pruned in &noisy {
+        bgpz_obs::debug!(
+            target: "core::noisy",
+            "pruned noisy peer {}: likelihood {:.4} vs clean mean {clean_mean:.4}",
+            pruned.peer,
+            pruned.likelihood
+        );
+    }
     NoisyPeerReport {
         likelihoods,
         noisy,

@@ -68,9 +68,7 @@ pub fn path_length_samples(
                 Some((t_announce, zombie, aggregator)) => {
                     if options.aggregator_filter {
                         let is_duplicate = aggregator
-                            .and_then(|addr| {
-                                bgpz_beacon::decode_aggregator_clock(addr, t_announce)
-                            })
+                            .and_then(|addr| bgpz_beacon::decode_aggregator_clock(addr, t_announce))
                             .is_some_and(|t| t < interval.start);
                         if is_duplicate {
                             continue;

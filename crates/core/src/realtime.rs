@@ -18,8 +18,8 @@ use crate::scan::PeerId;
 use bgpz_beacon::decode_aggregator_clock;
 use bgpz_mrt::{BgpState, MrtBody, MrtRecord};
 use bgpz_types::{AsPath, BgpMessage, Prefix, SimTime};
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -143,14 +143,9 @@ impl RealtimeDetector {
     /// controller schedules the announcement).
     pub fn expect(&mut self, interval: BeaconInterval) {
         let idx = self.intervals.len();
-        self.deadlines.push(Reverse((
-            interval.check_time(self.options.threshold),
-            idx,
-        )));
-        self.by_prefix
-            .entry(interval.prefix)
-            .or_default()
-            .push(idx);
+        self.deadlines
+            .push(Reverse((interval.check_time(self.options.threshold), idx)));
+        self.by_prefix.entry(interval.prefix).or_default().push(idx);
         self.by_prefix
             .get_mut(&interval.prefix)
             .expect("just inserted")
@@ -245,14 +240,14 @@ impl RealtimeDetector {
             }
             MrtBody::StateChange(change)
                 if change.old_state == BgpState::Established
-                    && change.new_state != BgpState::Established
-                => {
-                    let peer = PeerId {
-                        addr: change.session.peer_ip,
-                        asn: change.session.peer_as,
-                    };
-                    self.last_down.insert(peer, record.timestamp);
-                }
+                    && change.new_state != BgpState::Established =>
+            {
+                let peer = PeerId {
+                    addr: change.session.peer_ip,
+                    asn: change.session.peer_as,
+                };
+                self.last_down.insert(peer, record.timestamp);
+            }
             _ => {}
         }
         alerts.extend(self.fire_due(record.timestamp, true));
@@ -312,8 +307,7 @@ impl RealtimeDetector {
             {
                 continue;
             }
-            let aggregator_time =
-                aggregator.and_then(|addr| decode_aggregator_clock(addr, *time));
+            let aggregator_time = aggregator.and_then(|addr| decode_aggregator_clock(addr, *time));
             let is_duplicate = aggregator_time.is_some_and(|t| t < interval.start);
             if self.options.aggregator_filter && is_duplicate {
                 continue;

@@ -76,7 +76,11 @@ impl ScanResult {
 /// `window_after_withdraw` bounds how far past each withdrawal
 /// observations are collected — make it at least the largest threshold you
 /// will classify with (the paper sweeps to 180 minutes).
-pub fn scan(updates: Bytes, intervals: &[BeaconInterval], window_after_withdraw: u64) -> ScanResult {
+pub fn scan(
+    updates: Bytes,
+    intervals: &[BeaconInterval],
+    window_after_withdraw: u64,
+) -> ScanResult {
     // Index intervals by prefix, sorted by start, for window lookup.
     let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
     for (i, interval) in intervals.iter().enumerate() {
@@ -85,8 +89,7 @@ pub fn scan(updates: Bytes, intervals: &[BeaconInterval], window_after_withdraw:
     for list in by_prefix.values_mut() {
         list.sort_by_key(|&i| intervals[i].start);
     }
-    let window_end =
-        |iv: &BeaconInterval| -> SimTime { iv.withdraw_at + window_after_withdraw };
+    let window_end = |iv: &BeaconInterval| -> SimTime { iv.withdraw_at + window_after_withdraw };
 
     // Locates the interval whose window contains (prefix, t), preferring
     // the latest-starting one (collision safety).
@@ -129,10 +132,10 @@ pub fn scan(updates: Bytes, intervals: &[BeaconInterval], window_after_withdraw:
                     let Some(path) = path.clone() else {
                         continue; // an announcement without AS_PATH is bogus
                     };
-                    result.histories[idx].entry(peer).or_default().push((
-                        record.timestamp,
-                        Observation::Announce { path, aggregator },
-                    ));
+                    result.histories[idx]
+                        .entry(peer)
+                        .or_default()
+                        .push((record.timestamp, Observation::Announce { path, aggregator }));
                 }
                 for prefix in update.withdrawn_all() {
                     let Some(idx) = locate(prefix, record.timestamp) else {
@@ -174,6 +177,46 @@ pub fn scan(updates: Bytes, intervals: &[BeaconInterval], window_after_withdraw:
     result
 }
 
+/// Records post-merge scan metrics. Called exactly once per
+/// [`scan_sharded`] call — never per shard, where totals would scale with
+/// the worker count — so every counter is invariant under `jobs`.
+fn record_scan_metrics(result: &ScanResult) {
+    use bgpz_obs::metrics::counter;
+    let stats = result.read_stats;
+    counter("mrt::read", "records_ok", stats.ok as u64);
+    counter("mrt::read", "records_skipped", stats.skipped as u64);
+    counter("mrt::read", "trailing_bytes", stats.trailing_bytes as u64);
+    counter("mrt::read", "records_ok_messages", stats.ok_messages as u64);
+    counter(
+        "mrt::read",
+        "records_ok_state_changes",
+        stats.ok_state_changes as u64,
+    );
+    counter("mrt::read", "records_ok_rib", stats.ok_rib as u64);
+    counter(
+        "mrt::read",
+        "records_ok_peer_index",
+        stats.ok_peer_index as u64,
+    );
+    let observations: usize = result
+        .histories
+        .iter()
+        .map(|h| h.values().map(|history| history.len()).sum::<usize>())
+        .sum();
+    counter("core::scan", "intervals", result.intervals.len() as u64);
+    counter("core::scan", "peers", result.peers.len() as u64);
+    counter("core::scan", "observations", observations as u64);
+    bgpz_obs::debug!(
+        target: "core::scan",
+        "scanned {} intervals: {} peers, {} observations, {} records ok / {} skipped",
+        result.intervals.len(),
+        result.peers.len(),
+        observations,
+        stats.ok,
+        stats.skipped
+    );
+}
+
 /// Scans `updates` against `intervals` on `jobs` worker threads, producing
 /// a [`ScanResult`] byte-identical to the serial [`scan`].
 ///
@@ -195,6 +238,7 @@ pub fn scan_sharded(
     window_after_withdraw: u64,
     jobs: usize,
 ) -> ScanResult {
+    let _span = bgpz_obs::span("core::scan", "scan_sharded");
     // Group interval indices by prefix.
     let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
     for (i, interval) in intervals.iter().enumerate() {
@@ -202,8 +246,15 @@ pub fn scan_sharded(
     }
     let shard_count = jobs.min(by_prefix.len());
     if shard_count <= 1 {
-        return scan(updates, intervals, window_after_withdraw);
+        let result = scan(updates, intervals, window_after_withdraw);
+        record_scan_metrics(&result);
+        return result;
     }
+    bgpz_obs::debug!(
+        target: "core::scan",
+        "scanning {} intervals across {shard_count} shards",
+        intervals.len()
+    );
 
     // Deterministic shard assignment: sorted prefixes, round-robin.
     let mut prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
@@ -252,6 +303,7 @@ pub fn scan_sharded(
             merged.histories[orig] = history;
         }
     }
+    record_scan_metrics(&merged);
     merged
 }
 
@@ -656,7 +708,10 @@ mod tests {
 
         let serial = scan(bytes.clone(), &intervals, 4 * 3_600);
         let reference = fingerprint(&serial);
-        assert!(!serial.histories[1].is_empty(), "archive exercises histories");
+        assert!(
+            !serial.histories[1].is_empty(),
+            "archive exercises histories"
+        );
         for jobs in [1, 2, 3, 8] {
             let sharded = scan_sharded(bytes.clone(), &intervals, 4 * 3_600, jobs);
             assert_eq!(

@@ -126,8 +126,10 @@ mod tests {
         let scan = scan();
         let points = threshold_sweep(&scan, &paper_thresholds(), &[], true);
         assert_eq!(points.len(), 10);
-        let by_minutes: HashMap<u64, usize> =
-            points.iter().map(|p| (p.threshold / 60, p.routes)).collect();
+        let by_minutes: HashMap<u64, usize> = points
+            .iter()
+            .map(|p| (p.threshold / 60, p.routes))
+            .collect();
         // 90 min: peers 1 (slow withdrawal pending), 2, 3 all stuck → 3.
         assert_eq!(by_minutes[&90], 3);
         // 110 min: peer 1's withdrawal landed → 2.

@@ -9,8 +9,7 @@
 
 use bgpz_beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
 use bgpz_core::{
-    classify, detect_noisy_peers, intervals_from_schedule, scan, track_lifespans,
-    ClassifyOptions,
+    classify, detect_noisy_peers, intervals_from_schedule, scan, track_lifespans, ClassifyOptions,
 };
 use bgpz_netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
 use bgpz_ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
@@ -207,7 +206,11 @@ fn noisy_sticky_router_flagged_and_excluded() {
     assert_eq!(flagged.peer.asn, Asn(201));
     // Likelihood is diluted across both families (the router is sticky on
     // IPv6 only — 14 of the 27 beacons).
-    assert!(flagged.likelihood > 0.3, "likelihood {}", flagged.likelihood);
+    assert!(
+        flagged.likelihood > 0.3,
+        "likelihood {}",
+        flagged.likelihood
+    );
 
     // Excluding it silences everything (IPv6 zombies were only there).
     let clean = classify(

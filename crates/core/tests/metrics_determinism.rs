@@ -1,0 +1,240 @@
+//! End-to-end metrics determinism: running the detection pipeline at any
+//! worker count must leave the global metrics registry byte-identical —
+//! the `metrics.json` contract.
+//!
+//! Everything lives in ONE `#[test]` function on purpose: integration-test
+//! files get their own process, but functions within a file run on
+//! parallel threads sharing the process-wide registry. A single function
+//! keeps the global state owned by this test alone.
+
+use bgpz_core::{
+    classify, detect_noisy_peers, scan_sharded, track_lifespans, BeaconInterval, ClassifyOptions,
+};
+use bgpz_mrt::bgp4mp::SessionHeader;
+use bgpz_mrt::table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
+use bgpz_mrt::{Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtBody, MrtRecord, MrtWriter};
+use bgpz_obs::metrics;
+use bgpz_types::attrs::{MpReach, MpUnreach, NextHop, Origin};
+use bgpz_types::{Afi, AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes, Prefix, SimTime};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+fn session(n: u8) -> SessionHeader {
+    SessionHeader {
+        peer_as: Asn(65_000 + n as u32),
+        local_as: Asn(12_654),
+        ifindex: 0,
+        peer_ip: format!("2001:db8:{n}::1").parse().unwrap(),
+        local_ip: "2001:7f8:24::82".parse().unwrap(),
+    }
+}
+
+fn announce(session: SessionHeader, t: u64, prefix: &str) -> MrtRecord {
+    let prefix: Prefix = prefix.parse().unwrap();
+    let attrs = PathAttributes {
+        origin: Some(Origin::Igp),
+        as_path: Some(AsPath::from_sequence([
+            session.peer_as.0,
+            25_091,
+            8_298,
+            210_312,
+        ])),
+        mp_reach: Some(MpReach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            next_hop: NextHop::V6 {
+                global: "2a0c:9a40:1031::504".parse().unwrap(),
+                link_local: None,
+            },
+            nlri: vec![prefix],
+        }),
+        ..PathAttributes::default()
+    };
+    MrtRecord::new(
+        SimTime(t),
+        MrtBody::Message(Bgp4mpMessage {
+            session,
+            message: BgpMessage::Update(BgpUpdate {
+                attrs,
+                ..BgpUpdate::default()
+            }),
+        }),
+    )
+}
+
+fn withdraw(session: SessionHeader, t: u64, prefix: &str) -> MrtRecord {
+    let prefix: Prefix = prefix.parse().unwrap();
+    MrtRecord::new(
+        SimTime(t),
+        MrtBody::Message(Bgp4mpMessage {
+            session,
+            message: BgpMessage::Update(BgpUpdate {
+                attrs: PathAttributes {
+                    mp_unreach: Some(MpUnreach {
+                        afi: Afi::Ipv6,
+                        safi: 1,
+                        withdrawn: vec![prefix],
+                    }),
+                    ..PathAttributes::default()
+                },
+                ..BgpUpdate::default()
+            }),
+        }),
+    )
+}
+
+fn session_down(session: SessionHeader, t: u64) -> MrtRecord {
+    MrtRecord::new(
+        SimTime(t),
+        MrtBody::StateChange(Bgp4mpStateChange {
+            session,
+            old_state: BgpState::Established,
+            new_state: BgpState::Idle,
+        }),
+    )
+}
+
+/// A RIB dump at `t` in which each `(peer number, prefixes)` entry lists
+/// what that peer holds.
+fn dump(t: u64, holdings: &[(u8, &[&str])]) -> (SimTime, Bytes) {
+    let mut writer = MrtWriter::new();
+    let peers: Vec<PeerEntry> = holdings
+        .iter()
+        .map(|&(n, _)| PeerEntry {
+            bgp_id: Ipv4Addr::new(10, 0, 0, n),
+            addr: format!("2001:db8:{n}::1").parse().unwrap(),
+            asn: Asn(65_000 + n as u32),
+        })
+        .collect();
+    writer.push(&MrtRecord::new(
+        SimTime(t),
+        MrtBody::PeerIndex(PeerIndexTable {
+            collector_id: Ipv4Addr::new(193, 0, 4, 0),
+            view_name: String::new(),
+            peers,
+        }),
+    ));
+    let mut all: Vec<Prefix> = holdings
+        .iter()
+        .flat_map(|&(_, ps)| ps.iter().map(|p| p.parse().unwrap()))
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    for (seq, prefix) in all.into_iter().enumerate() {
+        let entries: Vec<RibEntry> = holdings
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, ps))| ps.iter().any(|p| p.parse::<Prefix>().unwrap() == prefix))
+            .map(|(i, _)| RibEntry {
+                peer_index: i as u16,
+                originated: SimTime(t),
+                attrs: PathAttributes::announcement(AsPath::from_sequence([65_001, 210_312])),
+            })
+            .collect();
+        writer.push(&MrtRecord::new(
+            SimTime(t),
+            MrtBody::Rib(RibSnapshot {
+                sequence: seq as u32,
+                prefix,
+                entries,
+            }),
+        ));
+    }
+    (SimTime(t), writer.finish())
+}
+
+/// The multi-prefix multi-peer archive from the `scan_sharded` unit tests:
+/// 3 prefixes × 3 intervals, two peers, stuck routes on some intervals, a
+/// session drop, and a cross-interval boundary withdrawal.
+fn fixture() -> (Bytes, Vec<BeaconInterval>) {
+    let prefixes = ["2a0d:3dc1:1::/48", "2a0d:3dc1:2::/48", "2a0d:3dc1:3::/48"];
+    let mut intervals = Vec::new();
+    for prefix in &prefixes {
+        for k in 0..3u64 {
+            intervals.push(BeaconInterval {
+                prefix: prefix.parse().unwrap(),
+                start: SimTime(k * 14_400),
+                withdraw_at: SimTime(k * 14_400 + 7_200),
+            });
+        }
+    }
+    let mut records = Vec::new();
+    for (p, prefix) in prefixes.iter().enumerate() {
+        for k in 0..3u64 {
+            let base = k * 14_400;
+            records.push(announce(session(1), base + 5 + p as u64, prefix));
+            if (k + p as u64) % 2 == 0 {
+                records.push(withdraw(session(1), base + 7_210, prefix));
+            }
+            records.push(announce(session(2), base + 9, prefix));
+        }
+        records.push(withdraw(session(2), 15_000, prefix));
+    }
+    records.push(session_down(session(1), 8_000));
+    records.sort_by_key(|r| r.timestamp);
+    let mut writer = MrtWriter::new();
+    for record in &records {
+        writer.push(record);
+    }
+    (writer.finish(), intervals)
+}
+
+/// Runs the full pipeline against a fresh registry and returns the
+/// deterministic snapshot.
+fn pipeline_snapshot(
+    updates: &Bytes,
+    intervals: &[BeaconInterval],
+    dumps: &[(SimTime, Bytes)],
+    finals: &[(Prefix, SimTime)],
+    jobs: usize,
+) -> String {
+    metrics::global().reset();
+    let result = scan_sharded(updates.clone(), intervals, 4 * 3_600, jobs);
+    let report = classify(&result, &ClassifyOptions::default());
+    let _noisy = detect_noisy_peers(&result, &report, 10.0, 0.05);
+    let _lifespans = track_lifespans(dumps, finals, &[]);
+    metrics::global().to_json_pretty_with(false)
+}
+
+#[test]
+fn pipeline_metrics_identical_at_any_job_count() {
+    let (updates, intervals) = fixture();
+    let tracked: Prefix = "2a0d:3dc1:1::/48".parse().unwrap();
+    let finals = [(tracked, SimTime(3 * 14_400 - 7_200))];
+    let dumps = [
+        dump(4 * 14_400, &[(1, &["2a0d:3dc1:1::/48"][..]), (2, &[][..])]),
+        dump(5 * 14_400, &[(1, &["2a0d:3dc1:1::/48"][..]), (2, &[][..])]),
+        dump(6 * 14_400, &[(1, &[][..]), (2, &[][..])]),
+    ];
+
+    let reference = pipeline_snapshot(&updates, &intervals, &dumps, &finals, 1);
+
+    // The pipeline actually recorded something at every stage.
+    for key in [
+        "records_ok",
+        "records_ok_messages",
+        "records_ok_state_changes",
+        "\"intervals\": 9",
+        "peers_considered",
+        "peers_pruned",
+        "outbreaks@5400s",
+        "zombie_routes@5400s",
+        "outbreaks_tracked",
+        "duration_days",
+        "scan_sharded",
+        "track_lifespans",
+    ] {
+        assert!(reference.contains(key), "missing {key} in:\n{reference}");
+    }
+    // Span counts are jobs-invariant: scan_sharded is entered once no
+    // matter how many shards it fans out to.
+    assert!(reference.contains("\"count\": 1"), "{reference}");
+
+    for jobs in [1, 3, 8] {
+        let snapshot = pipeline_snapshot(&updates, &intervals, &dumps, &finals, jobs);
+        assert_eq!(
+            snapshot, reference,
+            "metrics snapshot diverged at jobs={jobs}"
+        );
+    }
+}

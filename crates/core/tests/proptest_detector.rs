@@ -133,10 +133,7 @@ fn build(
                 }
                 Behavior::SlowWithdraw(minutes) => {
                     records.push(announce_record(p, start + 5, start));
-                    records.push(withdraw_record(
-                        p,
-                        withdraw_at + (*minutes as u64) * 60,
-                    ));
+                    records.push(withdraw_record(p, withdraw_at + (*minutes as u64) * 60));
                     if (*minutes as u64) > threshold_minutes {
                         expected.insert((i, p));
                     }

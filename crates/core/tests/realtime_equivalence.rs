@@ -57,17 +57,14 @@ fn batch_keys(archive: &bgpz_ris::RisArchive, schedule: &bgpz_beacon::BeaconSche
         .outbreaks
         .iter()
         .flat_map(|o| {
-            o.routes.iter().map(move |r| {
-                (o.interval.prefix, o.interval.start, r.peer.addr.to_string())
-            })
+            o.routes
+                .iter()
+                .map(move |r| (o.interval.prefix, o.interval.start, r.peer.addr.to_string()))
         })
         .collect()
 }
 
-fn streaming_keys(
-    archive: &bgpz_ris::RisArchive,
-    schedule: &bgpz_beacon::BeaconSchedule,
-) -> Keys {
+fn streaming_keys(archive: &bgpz_ris::RisArchive, schedule: &bgpz_beacon::BeaconSchedule) -> Keys {
     let mut detector = RealtimeDetector::new(ClassifyOptions::default());
     detector.expect_all(intervals_from_schedule(schedule));
     let mut keys = Keys::new();

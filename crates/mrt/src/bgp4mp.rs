@@ -129,10 +129,7 @@ impl SessionHeader {
                 let mut l = [0u8; 4];
                 buf.copy_to_slice(&mut p);
                 buf.copy_to_slice(&mut l);
-                (
-                    IpAddr::V4(Ipv4Addr::from(p)),
-                    IpAddr::V4(Ipv4Addr::from(l)),
-                )
+                (IpAddr::V4(Ipv4Addr::from(p)), IpAddr::V4(Ipv4Addr::from(l)))
             }
             Afi::Ipv6 => {
                 ensure(buf, 32, "BGP4MP IPv6 endpoints")?;
@@ -140,10 +137,7 @@ impl SessionHeader {
                 let mut l = [0u8; 16];
                 buf.copy_to_slice(&mut p);
                 buf.copy_to_slice(&mut l);
-                (
-                    IpAddr::V6(Ipv6Addr::from(p)),
-                    IpAddr::V6(Ipv6Addr::from(l)),
-                )
+                (IpAddr::V6(Ipv6Addr::from(p)), IpAddr::V6(Ipv6Addr::from(l)))
             }
         };
         Ok(SessionHeader {

@@ -4,13 +4,15 @@
 //! so a record whose *body* fails to parse can still be skipped precisely —
 //! the behaviour a real pipeline needs against archives polluted by
 //! misbehaving peers (paper §3.2). Skipped records are counted in
-//! [`MrtReadStats`] so noise is measured, never silently dropped.
+//! [`MrtReadStats`] so noise is measured, never silently dropped, and each
+//! skip emits a `Debug` event on the `mrt::read` target
+//! (`BGPZ_LOG=mrt::read=debug` follows the noise record by record).
 
-use crate::record::MrtRecord;
+use crate::record::{MrtBody, MrtRecord};
 use bgpz_types::error::CodecError;
 use bytes::{Buf, Bytes, BytesMut};
 
-/// Counters accumulated by a tolerant scan.
+/// Counters accumulated by a tolerant scan, by record type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MrtReadStats {
     /// Records decoded successfully.
@@ -20,6 +22,27 @@ pub struct MrtReadStats {
     /// Trailing bytes that could not even be framed (stream ended inside a
     /// common header or declared body).
     pub trailing_bytes: usize,
+    /// Well-formed `BGP4MP` message records (BGP UPDATEs and friends).
+    pub ok_messages: usize,
+    /// Well-formed `BGP4MP_STATE_CHANGE` records.
+    pub ok_state_changes: usize,
+    /// Well-formed `TABLE_DUMP_V2` RIB entry records.
+    pub ok_rib: usize,
+    /// Well-formed `TABLE_DUMP_V2` peer-index tables.
+    pub ok_peer_index: usize,
+}
+
+impl MrtReadStats {
+    /// Tallies one well-formed record under its type.
+    fn record_ok(&mut self, body: &MrtBody) {
+        self.ok += 1;
+        match body {
+            MrtBody::Message(_) => self.ok_messages += 1,
+            MrtBody::StateChange(_) => self.ok_state_changes += 1,
+            MrtBody::Rib(_) => self.ok_rib += 1,
+            MrtBody::PeerIndex(_) => self.ok_peer_index += 1,
+        }
+    }
 }
 
 /// A tolerant, pull-based MRT record reader.
@@ -71,30 +94,41 @@ impl MrtReader {
             }
             // Frame: need the 12-byte common header to know the body length.
             if self.data.remaining() < 12 {
-                self.stats.trailing_bytes += self.data.remaining();
-                self.data.advance(self.data.remaining());
+                let tail = self.data.remaining();
+                bgpz_obs::warn!(
+                    target: "mrt::read",
+                    "{tail} trailing bytes could not be framed (stream ended inside a common header)"
+                );
+                self.stats.trailing_bytes += tail;
+                self.data.advance(tail);
                 return None;
             }
-            let body_len = u32::from_be_bytes([
-                self.data[8],
-                self.data[9],
-                self.data[10],
-                self.data[11],
-            ]) as usize;
+            let body_len =
+                u32::from_be_bytes([self.data[8], self.data[9], self.data[10], self.data[11]])
+                    as usize;
             let total = 12 + body_len;
             if self.data.remaining() < total {
-                self.stats.trailing_bytes += self.data.remaining();
-                self.data.advance(self.data.remaining());
+                let tail = self.data.remaining();
+                bgpz_obs::warn!(
+                    target: "mrt::read",
+                    "{tail} trailing bytes could not be framed (declared body of {body_len} bytes truncated)"
+                );
+                self.stats.trailing_bytes += tail;
+                self.data.advance(tail);
                 return None;
             }
             let mut record_bytes = self.data.slice(..total);
             self.data.advance(total);
             match MrtRecord::decode(&mut record_bytes) {
                 Ok(rec) => {
-                    self.stats.ok += 1;
+                    self.stats.record_ok(&rec.body);
                     return Some(rec);
                 }
-                Err(_) => {
+                Err(e) => {
+                    bgpz_obs::debug!(
+                        target: "mrt::read",
+                        "skipped malformed record ({} body bytes): {e}", body_len
+                    );
                     self.stats.skipped += 1;
                     // Loop: try the next frame.
                 }
@@ -110,7 +144,7 @@ impl MrtReader {
         let before = self.data.clone();
         match MrtRecord::decode(&mut self.data) {
             Ok(rec) => {
-                self.stats.ok += 1;
+                self.stats.record_ok(&rec.body);
                 Some(Ok(rec))
             }
             Err(e) => {
@@ -198,9 +232,7 @@ mod tests {
                     local_ip: "193.0.4.28".parse().unwrap(),
                 },
                 message: BgpMessage::Update(BgpUpdate {
-                    attrs: PathAttributes::announcement(AsPath::from_sequence([
-                        211_509, 210_312,
-                    ])),
+                    attrs: PathAttributes::announcement(AsPath::from_sequence([211_509, 210_312])),
                     ..BgpUpdate::default()
                 }),
             }),
@@ -220,6 +252,10 @@ mod tests {
         assert_eq!(records.len(), 100);
         assert_eq!(records[7].timestamp, SimTime(7));
         assert_eq!(reader.stats().ok, 100);
+        assert_eq!(reader.stats().ok_messages, 100);
+        assert_eq!(reader.stats().ok_state_changes, 0);
+        assert_eq!(reader.stats().ok_rib, 0);
+        assert_eq!(reader.stats().ok_peer_index, 0);
         assert_eq!(reader.stats().skipped, 0);
     }
 

@@ -76,9 +76,10 @@ impl PeerIndexTable {
         let name_len = buf.get_u16() as usize;
         ensure(buf, name_len, "PEER_INDEX_TABLE view name")?;
         let name_bytes = buf.copy_to_bytes(name_len);
-        let view_name = String::from_utf8(name_bytes.to_vec()).map_err(|_| CodecError::Invalid {
-            context: "view name is not UTF-8",
-        })?;
+        let view_name =
+            String::from_utf8(name_bytes.to_vec()).map_err(|_| CodecError::Invalid {
+                context: "view name is not UTF-8",
+            })?;
         ensure(buf, 2, "PEER_INDEX_TABLE count")?;
         let count = buf.get_u16() as usize;
         let mut peers = Vec::with_capacity(count);

@@ -3,18 +3,24 @@
 
 use bgpz_mrt::bgp4mp::SessionHeader;
 use bgpz_mrt::table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
-use bgpz_mrt::{Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtBody, MrtReader, MrtRecord, MrtWriter};
-use bgpz_types::attrs::{MpReach, NextHop};
-use bgpz_types::{
-    AsPath, Asn, BgpMessage, BgpUpdate, Ipv6Net, PathAttributes, Prefix, SimTime,
+use bgpz_mrt::{
+    Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtBody, MrtReader, MrtRecord, MrtWriter,
 };
+use bgpz_types::attrs::{MpReach, NextHop};
+use bgpz_types::{AsPath, Asn, BgpMessage, BgpUpdate, Ipv6Net, PathAttributes, Prefix, SimTime};
 use bytes::BytesMut;
 use proptest::prelude::*;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 fn arb_session() -> impl Strategy<Value = SessionHeader> {
-    (any::<u32>(), any::<u32>(), any::<bool>(), any::<u128>(), any::<u128>()).prop_map(
-        |(peer_as, local_as, v6, a, b)| SessionHeader {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<u128>(),
+        any::<u128>(),
+    )
+        .prop_map(|(peer_as, local_as, v6, a, b)| SessionHeader {
             peer_as: Asn(peer_as),
             local_as: Asn(local_as),
             ifindex: 0,
@@ -28,8 +34,7 @@ fn arb_session() -> impl Strategy<Value = SessionHeader> {
             } else {
                 IpAddr::V4(Ipv4Addr::from(b as u32))
             },
-        },
-    )
+        })
 }
 
 fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {

@@ -65,7 +65,12 @@ fn host_prefix(dst: IpAddr) -> Prefix {
 /// Each AS does longest-prefix match over its best routes; the next hop is
 /// the neighbor its best route was learned from; a locally-originated match
 /// is a delivery.
-pub fn trace(sim: &Simulator, src: Asn, dst: IpAddr, hop_limit: usize) -> (Vec<TraceHop>, ForwardOutcome) {
+pub fn trace(
+    sim: &Simulator,
+    src: Asn,
+    dst: IpAddr,
+    hop_limit: usize,
+) -> (Vec<TraceHop>, ForwardOutcome) {
     let dst_prefix = host_prefix(dst);
     let mut hops = Vec::new();
     let mut node = sim
@@ -190,7 +195,10 @@ mod tests {
         sim.run_until(SimTime(10_000));
 
         // Control-plane state matches the figure.
-        assert!(sim.holds_prefix(Asn(3), p("2001:db8::/48")), "zombie at AS3");
+        assert!(
+            sim.holds_prefix(Asn(3), p("2001:db8::/48")),
+            "zombie at AS3"
+        );
         assert!(!sim.holds_prefix(Asn(64_001), p("2001:db8::/48")));
         assert!(sim.holds_prefix(Asn(64_001), p("2001:db8::/32")));
 

@@ -22,10 +22,10 @@
 //!   routes that became invalid; import-only ASes never re-validate.
 
 use crate::faults::{EpisodeEnd, FaultPlan};
-use bgpz_types::Afi;
 use crate::route::{Relationship, RouteEntry, RouteMeta, RovPolicy};
 use crate::topology::Topology;
 use bgpz_rpki::RoaTimeline;
+use bgpz_types::Afi;
 use bgpz_types::{AsPath, Asn, Prefix, SimTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -104,14 +104,40 @@ enum Msg {
 /// Scheduled work.
 #[derive(Debug, Clone)]
 enum EventKind {
-    Deliver { from: NodeId, to: NodeId, msg: Msg },
-    OriginateAnnounce { node: NodeId, prefix: Prefix, meta: RouteMeta },
-    OriginateWithdraw { node: NodeId, prefix: Prefix },
-    FreezeStart { from: NodeId, to: NodeId, filter: FreezeFilter, flush: bool },
-    FreezeEnd { from: NodeId, to: NodeId, mode: EpisodeEnd, filter: FreezeFilter },
-    SessionReset { a: NodeId, b: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Msg,
+    },
+    OriginateAnnounce {
+        node: NodeId,
+        prefix: Prefix,
+        meta: RouteMeta,
+    },
+    OriginateWithdraw {
+        node: NodeId,
+        prefix: Prefix,
+    },
+    FreezeStart {
+        from: NodeId,
+        to: NodeId,
+        filter: FreezeFilter,
+        flush: bool,
+    },
+    FreezeEnd {
+        from: NodeId,
+        to: NodeId,
+        mode: EpisodeEnd,
+        filter: FreezeFilter,
+    },
+    SessionReset {
+        a: NodeId,
+        b: NodeId,
+    },
     RpkiChange,
-    RpkiRevalidate { node: NodeId },
+    RpkiRevalidate {
+        node: NodeId,
+    },
 }
 
 /// What a freeze window applies to.
@@ -355,7 +381,13 @@ impl Simulator {
     }
 
     /// Schedules an origination of `prefix` by `origin` at `time`.
-    pub fn schedule_announce(&mut self, time: SimTime, origin: Asn, prefix: Prefix, meta: RouteMeta) {
+    pub fn schedule_announce(
+        &mut self,
+        time: SimTime,
+        origin: Asn,
+        prefix: Prefix,
+        meta: RouteMeta,
+    ) {
         let node = self.node_of(origin);
         self.push(time, EventKind::OriginateAnnounce { node, prefix, meta });
     }
@@ -446,7 +478,9 @@ impl Simulator {
             if !prefix.contains(dst) {
                 continue;
             }
-            let Some(best) = st.best.as_ref() else { continue };
+            let Some(best) = st.best.as_ref() else {
+                continue;
+            };
             if hit.is_none_or(|(p, _)| prefix.len() > p.len()) {
                 hit = Some((prefix, best.from));
             }
@@ -473,7 +507,12 @@ impl Simulator {
                     self.recompute(node, prefix);
                 }
             }
-            EventKind::FreezeStart { from, to, filter, flush } => {
+            EventKind::FreezeStart {
+                from,
+                to,
+                filter,
+                flush,
+            } => {
                 if flush {
                     self.flush_session(from, to);
                 }
@@ -620,7 +659,9 @@ impl Simulator {
     /// Strict-ROV re-validation of every installed route at `node`.
     fn revalidate(&mut self, node: NodeId) {
         self.stats.revalidations += 1;
-        let Some(rpki) = self.rpki.clone() else { return };
+        let Some(rpki) = self.rpki.clone() else {
+            return;
+        };
         let mut prefixes: Vec<Prefix> = self.nodes[node].prefixes.keys().copied().collect();
         prefixes.sort_unstable();
         for prefix in prefixes {
@@ -767,8 +808,7 @@ impl Simulator {
                         let key = entry.selection_key();
                         let cur_key = cur.selection_key();
                         key > cur_key
-                            || (key == cur_key
-                                && self.topo.asn(*neighbor) < self.topo.asn(cur_n))
+                            || (key == cur_key && self.topo.asn(*neighbor) < self.topo.asn(cur_n))
                     }
                 };
                 if better {
@@ -1274,12 +1314,7 @@ mod tests {
             .provider_customer(Asn(100), Asn(200))
             .provider_customer(Asn(200), ORIGIN)
             .build();
-        let plan = FaultPlan::none().outage(
-            Asn(200),
-            Asn(100),
-            SimTime(5_000),
-            SimTime(20_000),
-        );
+        let plan = FaultPlan::none().outage(Asn(200), Asn(100), SimTime(5_000), SimTime(20_000));
         let mut sim = Simulator::new(topo, &plan, 1);
         let beacon = p("2a0d:3dc1:1145::/48");
         sim.schedule_announce(SimTime(0), ORIGIN, beacon, meta(1));

@@ -97,10 +97,7 @@ impl RouteEntry {
     /// Selection key: higher is better. Tie-break on lower neighbor ASN is
     /// applied by the caller (it knows the neighbor).
     pub fn selection_key(&self) -> (u8, isize) {
-        (
-            self.rel.pref_rank(),
-            -(self.path.selection_len() as isize),
-        )
+        (self.rel.pref_rank(), -(self.path.selection_len() as isize))
     }
 }
 

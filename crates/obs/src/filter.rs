@@ -1,0 +1,283 @@
+//! Severity levels and the `BGPZ_LOG` env filter.
+//!
+//! The filter syntax is modeled on `tracing`'s `EnvFilter`, restricted to
+//! target/level directives (the only kind the pipeline needs):
+//!
+//! ```text
+//! BGPZ_LOG=core::scan=debug,mrt=trace,info
+//! ```
+//!
+//! Each comma-separated directive is either `target=level` or a bare
+//! `level` (which sets the default). Targets match by `::`-separated
+//! path prefix — `core` matches `core::scan` but not `corette` — and the
+//! longest matching directive wins.
+
+use std::str::FromStr;
+
+/// Event severity, ordered least (`Trace`) to most (`Error`) severe.
+///
+/// A directive names the *least* severe level it lets through: `debug`
+/// enables `Debug`, `Info`, `Warn` and `Error` events; `off` disables
+/// everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Finest-grained diagnostics.
+    Trace,
+    /// Diagnostics for following the pipeline stage by stage.
+    Debug,
+    /// Progress lines a default run prints.
+    Info,
+    /// Measured noise: skipped records, pruned peers, truncated streams.
+    Warn,
+    /// Failures surfaced to the user.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name, as written in `BGPZ_LOG` and the JSON sink.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Level, ()> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "trace" => Ok(Level::Trace),
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" | "warning" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            _ => Err(()),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The threshold a directive sets: a minimum level, or everything off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Threshold {
+    Min(Level),
+    Off,
+}
+
+impl Threshold {
+    fn parse(s: &str) -> Option<Threshold> {
+        let trimmed = s.trim();
+        if trimmed.eq_ignore_ascii_case("off") {
+            return Some(Threshold::Off);
+        }
+        trimmed.parse().ok().map(Threshold::Min)
+    }
+
+    fn enables(self, level: Level) -> bool {
+        match self {
+            Threshold::Min(min) => level >= min,
+            Threshold::Off => false,
+        }
+    }
+}
+
+/// A parsed `BGPZ_LOG` filter: per-target thresholds plus a default.
+#[derive(Debug, Clone)]
+pub struct EnvFilter {
+    /// `(target prefix, threshold)`, sorted longest prefix first so the
+    /// most specific directive wins.
+    directives: Vec<(String, Threshold)>,
+    default: Threshold,
+}
+
+impl Default for EnvFilter {
+    /// The filter a run gets with no `BGPZ_LOG`: `info`.
+    fn default() -> EnvFilter {
+        EnvFilter {
+            directives: Vec::new(),
+            default: Threshold::Min(Level::Info),
+        }
+    }
+}
+
+impl EnvFilter {
+    /// Parses a filter string. Malformed directives are ignored rather
+    /// than fatal — a typo in `BGPZ_LOG` must never take the pipeline
+    /// down.
+    pub fn parse(spec: &str) -> EnvFilter {
+        let mut filter = EnvFilter::default();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            match directive.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(threshold) = Threshold::parse(level) {
+                        filter
+                            .directives
+                            .push((target.trim().to_string(), threshold));
+                    }
+                }
+                None => {
+                    if let Some(threshold) = Threshold::parse(directive) {
+                        filter.default = threshold;
+                    }
+                }
+            }
+        }
+        filter
+            .directives
+            .sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.0.cmp(&b.0)));
+        filter
+    }
+
+    /// Parses the filter from an environment variable (default filter if
+    /// unset or not UTF-8).
+    pub fn from_env(var: &str) -> EnvFilter {
+        match std::env::var(var) {
+            Ok(spec) => EnvFilter::parse(&spec),
+            Err(_) => EnvFilter::default(),
+        }
+    }
+
+    /// True if an event at `level` for `target` passes the filter.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        for (prefix, threshold) in &self.directives {
+            if target_matches(target, prefix) {
+                return threshold.enables(level);
+            }
+        }
+        self.default.enables(level)
+    }
+
+    /// The most verbose level any directive enables — lets hot paths skip
+    /// formatting entirely when nothing could print.
+    pub fn max_verbosity(&self) -> Option<Level> {
+        let mut max: Option<Level> = None;
+        for threshold in self
+            .directives
+            .iter()
+            .map(|(_, t)| *t)
+            .chain([self.default])
+        {
+            if let Threshold::Min(min) = threshold {
+                max = Some(match max {
+                    Some(current) => current.min(min),
+                    None => min,
+                });
+            }
+        }
+        max
+    }
+}
+
+/// Path-prefix match: `prefix` matches `target` when equal or when
+/// `target` continues with `::` right after the prefix.
+fn target_matches(target: &str, prefix: &str) -> bool {
+    match target.strip_prefix(prefix) {
+        Some("") => true,
+        Some(rest) => rest.starts_with("::"),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_least_to_most_severe() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [
+            Level::Trace,
+            Level::Debug,
+            Level::Info,
+            Level::Warn,
+            Level::Error,
+        ] {
+            assert_eq!(level.name().parse::<Level>(), Ok(level));
+        }
+        assert_eq!("WARNING".parse::<Level>(), Ok(Level::Warn));
+        assert!("verbose".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn default_filter_is_info() {
+        let filter = EnvFilter::default();
+        assert!(filter.enabled("core::scan", Level::Info));
+        assert!(filter.enabled("core::scan", Level::Error));
+        assert!(!filter.enabled("core::scan", Level::Debug));
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let filter = EnvFilter::parse("debug");
+        assert!(filter.enabled("anything", Level::Debug));
+        assert!(!filter.enabled("anything", Level::Trace));
+    }
+
+    #[test]
+    fn target_directive_overrides_default() {
+        let filter = EnvFilter::parse("core::scan=debug,info");
+        assert!(filter.enabled("core::scan", Level::Debug));
+        assert!(!filter.enabled("core::noisy", Level::Debug));
+        assert!(filter.enabled("core::noisy", Level::Info));
+    }
+
+    #[test]
+    fn prefix_matches_whole_path_segments_only() {
+        let filter = EnvFilter::parse("core=trace,off");
+        assert!(filter.enabled("core", Level::Trace));
+        assert!(filter.enabled("core::scan", Level::Trace));
+        assert!(!filter.enabled("corette", Level::Error));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let filter = EnvFilter::parse("core=off,core::scan=trace");
+        assert!(filter.enabled("core::scan", Level::Trace));
+        assert!(!filter.enabled("core::noisy", Level::Error));
+    }
+
+    #[test]
+    fn off_disables_everything() {
+        let filter = EnvFilter::parse("off");
+        assert!(!filter.enabled("core::scan", Level::Error));
+        assert_eq!(filter.max_verbosity(), None);
+    }
+
+    #[test]
+    fn malformed_directives_ignored() {
+        let filter = EnvFilter::parse("core::scan=loud, ,=,junk");
+        // Falls back to the default for everything.
+        assert!(filter.enabled("core::scan", Level::Info));
+        assert!(!filter.enabled("core::scan", Level::Debug));
+    }
+
+    #[test]
+    fn max_verbosity_spans_directives() {
+        assert_eq!(
+            EnvFilter::parse("core::scan=trace,warn").max_verbosity(),
+            Some(Level::Trace)
+        );
+        assert_eq!(EnvFilter::default().max_verbosity(), Some(Level::Info));
+    }
+}

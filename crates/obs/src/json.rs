@@ -1,0 +1,60 @@
+//! Minimal deterministic JSON encoding.
+//!
+//! `bgpz-obs` is dependency-free, so it carries its own encoder for the
+//! two JSON shapes it emits: the `metrics.json` artifact and the
+//! JSON-lines log sink. Keys always come from sorted `BTreeMap`s, so the
+//! byte output is a pure function of the recorded values — the property
+//! the determinism tests pin.
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a `"key": ` fragment (with trailing colon and space).
+pub fn push_json_key(out: &mut String, key: &str) {
+    push_json_str(out, key);
+    out.push_str(": ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(s: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn plain_strings_quoted() {
+        assert_eq!(encode("core::scan"), "\"core::scan\"");
+    }
+
+    #[test]
+    fn specials_escaped() {
+        assert_eq!(encode("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(encode("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(encode("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        assert_eq!(encode("préfixe"), "\"préfixe\"");
+    }
+}

@@ -1,0 +1,128 @@
+//! # bgpz-obs
+//!
+//! Structured observability for the zombie-detection pipeline: scoped
+//! timing spans, leveled events with `tracing`-style target/level
+//! filtering, pluggable sinks, and a **deterministic metrics registry**
+//! emitted as the `metrics.json` run artifact.
+//!
+//! The crate is dependency-free by design: the authoring environment has
+//! no route to crates.io, and the pipeline's needs are narrow enough
+//! (targets, levels, counters, fixed-bound histograms, span tallies)
+//! that a ~600-line layer beats gating the whole workspace on `tracing`.
+//! The filtering model is `tracing`'s, so a future swap is mechanical.
+//!
+//! ## Events
+//!
+//! ```
+//! bgpz_obs::info!(target: "experiments::run", "# finished {} in {:.1}s", "t1", 0.3);
+//! bgpz_obs::debug!(target: "core::scan", "{} shards", 4);
+//! ```
+//!
+//! Filtering is controlled by `BGPZ_LOG` (default `info`), e.g.
+//! `BGPZ_LOG=core::scan=debug,mrt=trace,warn`. `BGPZ_LOG_JSON=<path>`
+//! adds a JSON-lines file sink.
+//!
+//! ## Spans
+//!
+//! ```
+//! {
+//!     let _span = bgpz_obs::span("core::scan", "scan_sharded");
+//!     // ... stage work ...
+//! } // drop records the entry in metrics and its wall time for timings
+//! ```
+//!
+//! ## Metrics
+//!
+//! ```
+//! bgpz_obs::metrics::counter("mrt::read", "records_ok", 128);
+//! let snapshot = bgpz_obs::metrics::global().to_json_pretty();
+//! assert!(snapshot.contains("records_ok"));
+//! ```
+//!
+//! Everything recorded is an order-independent aggregate, so the snapshot
+//! is byte-identical at any worker count — the `metrics.json` contract
+//! the determinism tests pin.
+
+pub mod filter;
+pub mod json;
+pub mod logger;
+pub mod metrics;
+pub mod sink;
+
+pub use filter::{EnvFilter, Level};
+pub use logger::{emit, enabled, span, SpanGuard};
+pub use sink::{Event, HumanSink, JsonLinesSink, Sink};
+
+/// Emits an event at an explicit level:
+/// `event!(target: "core::scan", Level::Debug, "...", ...)`.
+#[macro_export]
+macro_rules! event {
+    (target: $target:expr, $level:expr, $($arg:tt)+) => {{
+        let level = $level;
+        let target = $target;
+        if $crate::enabled(level, target) {
+            $crate::emit(level, target, &::std::format!($($arg)+));
+        }
+    }};
+}
+
+/// Emits a `Trace` event for a target.
+#[macro_export]
+macro_rules! trace {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::event!(target: $target, $crate::Level::Trace, $($arg)+)
+    };
+}
+
+/// Emits a `Debug` event for a target.
+#[macro_export]
+macro_rules! debug {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::event!(target: $target, $crate::Level::Debug, $($arg)+)
+    };
+}
+
+/// Emits an `Info` event for a target (stdout in the default sink).
+#[macro_export]
+macro_rules! info {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::event!(target: $target, $crate::Level::Info, $($arg)+)
+    };
+}
+
+/// Emits a `Warn` event for a target.
+#[macro_export]
+macro_rules! warn {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::event!(target: $target, $crate::Level::Warn, $($arg)+)
+    };
+}
+
+/// Emits an `Error` event for a target (stderr in the default sink).
+#[macro_export]
+macro_rules! error {
+    (target: $target:expr, $($arg:tt)+) => {
+        $crate::event!(target: $target, $crate::Level::Error, $($arg)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_compile_and_filter() {
+        // Disabled by the default Info filter — must not format or panic.
+        crate::trace!(target: "obs::lib::test", "value {}", 1);
+        crate::debug!(target: "obs::lib::test", "value {}", 2);
+        // Enabled — exercised for the formatting path.
+        crate::info!(target: "obs::lib::test", "macro smoke {}", 3);
+        crate::warn!(target: "obs::lib::test", "macro smoke {}", 4);
+        crate::error!(target: "obs::lib::test", "macro smoke {}", 5);
+        crate::event!(target: "obs::lib::test", crate::Level::Info, "explicit {}", 6);
+    }
+
+    #[test]
+    fn inline_format_captures_work() {
+        let shards = 4;
+        crate::info!(target: "obs::lib::test", "scanned with {shards} shards");
+    }
+}

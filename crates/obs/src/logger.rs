@@ -1,0 +1,124 @@
+//! The process-wide logger: env-configured filter + sinks, and timing
+//! spans that feed the metrics registry.
+//!
+//! The logger initializes lazily on first use from `BGPZ_LOG` (filter)
+//! and `BGPZ_LOG_JSON` (optional JSON-lines file sink), so library crates
+//! can emit events without any binary-side setup.
+
+use crate::filter::{EnvFilter, Level};
+use crate::sink::{Event, HumanSink, JsonLinesSink, Sink};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+struct Logger {
+    filter: EnvFilter,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Logger {
+    fn from_env() -> Logger {
+        let filter = EnvFilter::from_env("BGPZ_LOG");
+        let mut sinks: Vec<Box<dyn Sink>> = vec![Box::new(HumanSink)];
+        if let Ok(path) = std::env::var("BGPZ_LOG_JSON") {
+            match JsonLinesSink::create(&path) {
+                Ok(sink) => sinks.push(Box::new(sink)),
+                Err(e) => eprintln!("bgpz-obs: cannot open BGPZ_LOG_JSON={path}: {e}"),
+            }
+        }
+        Logger { filter, sinks }
+    }
+}
+
+fn logger() -> &'static Logger {
+    static LOGGER: OnceLock<Logger> = OnceLock::new();
+    LOGGER.get_or_init(Logger::from_env)
+}
+
+/// True if an event at `level` for `target` would reach a sink. Check
+/// this before formatting expensive messages (the event macros do).
+pub fn enabled(level: Level, target: &str) -> bool {
+    logger().filter.enabled(target, level)
+}
+
+/// Emits one event to every sink (no-op when filtered out).
+pub fn emit(level: Level, target: &str, message: &str) {
+    let logger = logger();
+    if !logger.filter.enabled(target, level) {
+        return;
+    }
+    let event = Event {
+        level,
+        target,
+        message,
+    };
+    for sink in &logger.sinks {
+        sink.write(&event);
+    }
+}
+
+/// A scoped timing span: tallies `(target, name)` in the global metrics
+/// registry when dropped, and emits a `Debug` close event with the
+/// elapsed wall time.
+#[must_use = "a span records its duration when dropped — bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    target: &'static str,
+    name: &'static str,
+    start: Instant,
+}
+
+/// Opens a span. The entry count lands in `metrics.json` (deterministic);
+/// the wall-clock duration lands in the `timings.json` span section.
+pub fn span(target: &'static str, name: &'static str) -> SpanGuard {
+    if enabled(Level::Trace, target) {
+        emit(Level::Trace, target, &format!("{name} started"));
+    }
+    SpanGuard {
+        target,
+        name,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        crate::metrics::global().record_span(self.target, self.name, secs);
+        if enabled(Level::Debug, self.target) {
+            emit(
+                Level::Debug,
+                self.target,
+                &format!("{} finished in {secs:.3}s", self.name),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tallies_into_global_metrics() {
+        // Unique target so parallel tests sharing the global registry
+        // cannot interfere.
+        let before = crate::metrics::global().span_count("obs::test::span", "unit");
+        {
+            let _span = span("obs::test::span", "unit");
+        }
+        let after = crate::metrics::global().span_count("obs::test::span", "unit");
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn emit_respects_filter() {
+        // The default filter (no BGPZ_LOG in the test environment) is
+        // Info; Trace must be disabled, Error enabled.
+        if std::env::var("BGPZ_LOG").is_err() {
+            assert!(!enabled(Level::Trace, "obs::test"));
+            assert!(enabled(Level::Error, "obs::test"));
+        }
+        // Either way, emitting must not panic.
+        emit(Level::Trace, "obs::test", "filtered or printed");
+    }
+}

@@ -1,0 +1,482 @@
+//! The deterministic metrics registry behind `metrics.json`.
+//!
+//! Counters, histograms and span tallies are keyed `(target, name)` with
+//! the same `::`-path targets the event filter uses. Everything stored is
+//! an order-independent aggregate — counter sums, fixed-bound bucket
+//! counts, span entry counts — so concurrent recording from any number of
+//! worker threads produces the same registry, and the sorted-key JSON
+//! snapshot is byte-identical at any `--jobs` count.
+//!
+//! Wall-clock span durations are the one non-deterministic measurement.
+//! They are accumulated too ([`Metrics::spans_wall`] feeds `timings.json`)
+//! but are excluded from the snapshot unless `BGPZ_METRICS_WALL=1` asks
+//! for them, keeping the default `metrics.json` a regression-testable
+//! fixture.
+
+use crate::json::push_json_key;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A fixed-bound histogram: `counts[i]` tallies values `v` with
+/// `bounds[i-1] < v <= bounds[i]`; the final bucket is overflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Bucket counts; `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let bucket = self.bounds.partition_point(|&b| b < value);
+        self.counts[bucket] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Aggregated record of one span callsite.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock seconds across entries (non-deterministic).
+    pub total_secs: f64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, BTreeMap<String, u64>>,
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+    spans: BTreeMap<String, BTreeMap<String, SpanStat>>,
+}
+
+impl Registry {
+    const fn new() -> Registry {
+        Registry {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: BTreeMap::new(),
+        }
+    }
+}
+
+/// A metrics accumulator — usually the process-wide [`global`], but local
+/// instances support the per-shard accumulate-then-merge pattern and
+/// isolated tests.
+#[derive(Debug)]
+pub struct Metrics {
+    inner: Mutex<Registry>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub const fn new() -> Metrics {
+        Metrics {
+            inner: Mutex::new(Registry::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.inner.lock().expect("metrics registry poisoned")
+    }
+
+    /// Adds `delta` to the `(target, name)` counter.
+    pub fn add(&self, target: &str, name: &str, delta: u64) {
+        let mut registry = self.lock();
+        *registry
+            .counters
+            .entry(target.to_string())
+            .or_default()
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    }
+
+    /// Records `value` in the `(target, name)` histogram. The bucket
+    /// bounds are fixed by the first observation; later calls must pass
+    /// the same bounds (they are ignored once the histogram exists).
+    pub fn observe(&self, target: &str, name: &str, bounds: &[u64], value: u64) {
+        let mut registry = self.lock();
+        registry
+            .histograms
+            .entry(target.to_string())
+            .or_default()
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Tallies one completed span entry.
+    pub fn record_span(&self, target: &str, name: &str, secs: f64) {
+        let mut registry = self.lock();
+        let stat = registry
+            .spans
+            .entry(target.to_string())
+            .or_default()
+            .entry(name.to_string())
+            .or_default();
+        stat.count += 1;
+        stat.total_secs += secs;
+    }
+
+    /// Current value of a counter (0 if never recorded).
+    pub fn counter_value(&self, target: &str, name: &str) -> u64 {
+        self.lock()
+            .counters
+            .get(target)
+            .and_then(|names| names.get(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Times a span was entered (0 if never).
+    pub fn span_count(&self, target: &str, name: &str) -> u64 {
+        self.lock()
+            .spans
+            .get(target)
+            .and_then(|names| names.get(name))
+            .map(|stat| stat.count)
+            .unwrap_or(0)
+    }
+
+    /// Folds another registry into this one (counter sums, bucket sums,
+    /// span tallies). Use with per-shard local accumulators, merging in
+    /// input order.
+    pub fn merge(&self, other: &Metrics) {
+        let other = other.lock();
+        let mut registry = self.lock();
+        for (target, names) in &other.counters {
+            for (name, delta) in names {
+                *registry
+                    .counters
+                    .entry(target.clone())
+                    .or_default()
+                    .entry(name.clone())
+                    .or_insert(0) += delta;
+            }
+        }
+        for (target, names) in &other.histograms {
+            for (name, histogram) in names {
+                let entry = registry
+                    .histograms
+                    .entry(target.clone())
+                    .or_default()
+                    .entry(name.clone())
+                    .or_insert_with(|| Histogram::new(&histogram.bounds));
+                if entry.bounds == histogram.bounds {
+                    for (mine, theirs) in entry.counts.iter_mut().zip(&histogram.counts) {
+                        *mine += theirs;
+                    }
+                }
+            }
+        }
+        for (target, names) in &other.spans {
+            for (name, stat) in names {
+                let entry = registry
+                    .spans
+                    .entry(target.clone())
+                    .or_default()
+                    .entry(name.clone())
+                    .or_default();
+                entry.count += stat.count;
+                entry.total_secs += stat.total_secs;
+            }
+        }
+    }
+
+    /// Clears everything (tests; a fresh process starts empty anyway).
+    pub fn reset(&self) {
+        *self.lock() = Registry::new();
+    }
+
+    /// Every span tally as `(target, name, count, total wall seconds)` —
+    /// the non-deterministic view, embedded in `timings.json`.
+    pub fn spans_wall(&self) -> Vec<(String, String, u64, f64)> {
+        let registry = self.lock();
+        registry
+            .spans
+            .iter()
+            .flat_map(|(target, names)| {
+                names.iter().map(move |(name, stat)| {
+                    (target.clone(), name.clone(), stat.count, stat.total_secs)
+                })
+            })
+            .collect()
+    }
+
+    /// The `metrics.json` snapshot. Honors `BGPZ_METRICS_WALL=1` (adds
+    /// wall-clock span durations, making the artifact non-deterministic).
+    pub fn to_json_pretty(&self) -> String {
+        let include_wall = std::env::var("BGPZ_METRICS_WALL").is_ok_and(|v| v == "1");
+        self.to_json_pretty_with(include_wall)
+    }
+
+    /// The snapshot with explicit control over wall-clock inclusion.
+    pub fn to_json_pretty_with(&self, include_wall: bool) -> String {
+        let registry = self.lock();
+        let mut out = String::from("{\n");
+        push_section(
+            &mut out,
+            "counters",
+            &registry.counters,
+            &|out, &value, _| {
+                out.push_str(&value.to_string());
+            },
+        );
+        out.push_str(",\n");
+        push_section(
+            &mut out,
+            "histograms",
+            &registry.histograms,
+            &|out, histogram: &Histogram, indent| {
+                out.push_str("{\n");
+                push_indent(out, indent + 2);
+                push_json_key(out, "bounds");
+                push_u64_array(out, &histogram.bounds);
+                out.push_str(",\n");
+                push_indent(out, indent + 2);
+                push_json_key(out, "counts");
+                push_u64_array(out, &histogram.counts);
+                out.push_str(",\n");
+                push_indent(out, indent + 2);
+                push_json_key(out, "total");
+                out.push_str(&histogram.total().to_string());
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            },
+        );
+        out.push_str(",\n");
+        push_section(
+            &mut out,
+            "spans",
+            &registry.spans,
+            &|out, stat: &SpanStat, indent| {
+                out.push_str("{\n");
+                push_indent(out, indent + 2);
+                push_json_key(out, "count");
+                out.push_str(&stat.count.to_string());
+                if include_wall {
+                    out.push_str(",\n");
+                    push_indent(out, indent + 2);
+                    push_json_key(out, "total_secs");
+                    out.push_str(&format!("{:.6}", stat.total_secs));
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            },
+        );
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+}
+
+fn push_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, value) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&value.to_string());
+    }
+    out.push(']');
+}
+
+/// Renders one top-level section (`"name": { "target": { "leaf": ... } }`)
+/// at two-space indentation, leaves rendered by `leaf` at their indent.
+fn push_section<V>(
+    out: &mut String,
+    name: &str,
+    map: &BTreeMap<String, BTreeMap<String, V>>,
+    leaf: &dyn Fn(&mut String, &V, usize),
+) {
+    push_indent(out, 2);
+    push_json_key(out, name);
+    if map.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    let outer_last = map.len() - 1;
+    for (i, (target, names)) in map.iter().enumerate() {
+        push_indent(out, 4);
+        push_json_key(out, target);
+        if names.is_empty() {
+            out.push_str("{}");
+        } else {
+            out.push_str("{\n");
+            let inner_last = names.len() - 1;
+            for (j, (leaf_name, value)) in names.iter().enumerate() {
+                push_indent(out, 6);
+                push_json_key(out, leaf_name);
+                leaf(out, value, 6);
+                if j != inner_last {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, 4);
+            out.push('}');
+        }
+        if i != outer_last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    push_indent(out, 2);
+    out.push('}');
+}
+
+/// The process-wide registry every pipeline stage records into.
+pub fn global() -> &'static Metrics {
+    static GLOBAL: Metrics = Metrics::new();
+    &GLOBAL
+}
+
+/// Adds `delta` to a counter in the [`global`] registry.
+pub fn counter(target: &str, name: &str, delta: u64) {
+    global().add(target, name, delta);
+}
+
+/// Records a histogram observation in the [`global`] registry.
+pub fn observe(target: &str, name: &str, bounds: &[u64], value: u64) {
+    global().observe(target, name, bounds, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let metrics = Metrics::new();
+        metrics.add("core::scan", "intervals", 3);
+        metrics.add("core::scan", "intervals", 2);
+        metrics.add("mrt::read", "records_ok", 10);
+        assert_eq!(metrics.counter_value("core::scan", "intervals"), 5);
+        assert_eq!(metrics.counter_value("mrt::read", "records_ok"), 10);
+        assert_eq!(metrics.counter_value("mrt::read", "missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_inclusive_upper() {
+        let metrics = Metrics::new();
+        let bounds = [1, 7, 30];
+        for value in [0, 1, 2, 7, 8, 30, 31, 1000] {
+            metrics.observe("core::lifespan", "duration_days", &bounds, value);
+        }
+        let json = metrics.to_json_pretty_with(false);
+        // 0,1 → ≤1; 2,7 → ≤7; 8,30 → ≤30; 31,1000 → overflow.
+        assert!(json.contains("\"counts\": [2, 2, 2, 2]"), "{json}");
+        assert!(json.contains("\"bounds\": [1, 7, 30]"), "{json}");
+        assert!(json.contains("\"total\": 8"), "{json}");
+    }
+
+    #[test]
+    fn span_counts_recorded_wall_excluded_by_default() {
+        let metrics = Metrics::new();
+        metrics.record_span("core::scan", "scan_sharded", 0.5);
+        metrics.record_span("core::scan", "scan_sharded", 0.25);
+        assert_eq!(metrics.span_count("core::scan", "scan_sharded"), 2);
+        let json = metrics.to_json_pretty_with(false);
+        assert!(json.contains("\"count\": 2"), "{json}");
+        assert!(!json.contains("total_secs"), "{json}");
+        let wall = metrics.to_json_pretty_with(true);
+        assert!(wall.contains("\"total_secs\": 0.750000"), "{wall}");
+        let spans = metrics.spans_wall();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].2, 2);
+    }
+
+    #[test]
+    fn snapshot_is_order_independent() {
+        let a = Metrics::new();
+        a.add("b::y", "m", 1);
+        a.add("a::x", "n", 2);
+        a.add("a::x", "m", 3);
+        let b = Metrics::new();
+        b.add("a::x", "m", 3);
+        b.add("a::x", "n", 2);
+        b.add("b::y", "m", 1);
+        assert_eq!(a.to_json_pretty_with(false), b.to_json_pretty_with(false));
+    }
+
+    #[test]
+    fn merge_folds_everything() {
+        let shard_a = Metrics::new();
+        shard_a.add("core::scan", "observations", 4);
+        shard_a.observe("core::lifespan", "duration_days", &[1, 7], 2);
+        shard_a.record_span("core::scan", "scan", 0.1);
+        let shard_b = Metrics::new();
+        shard_b.add("core::scan", "observations", 6);
+        shard_b.observe("core::lifespan", "duration_days", &[1, 7], 9);
+        shard_b.record_span("core::scan", "scan", 0.2);
+
+        let merged = Metrics::new();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(merged.counter_value("core::scan", "observations"), 10);
+        assert_eq!(merged.span_count("core::scan", "scan"), 2);
+        let json = merged.to_json_pretty_with(false);
+        assert!(json.contains("\"counts\": [0, 1, 1]"), "{json}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_sections() {
+        let metrics = Metrics::new();
+        let json = metrics.to_json_pretty_with(false);
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn reset_clears() {
+        let metrics = Metrics::new();
+        metrics.add("a", "b", 1);
+        metrics.reset();
+        assert_eq!(metrics.counter_value("a", "b"), 0);
+    }
+
+    #[test]
+    fn snapshot_parses_as_json_shape() {
+        // Sanity on the emitted structure: braces balance and keys are
+        // quoted. (The full pipeline artifact is exercised end to end by
+        // the binary determinism test.)
+        let metrics = Metrics::new();
+        metrics.add("core::classify", "outbreaks@5400s", 2);
+        metrics.observe("core::lifespan", "duration_days", &[1], 3);
+        metrics.record_span("experiments::run", "t1", 0.01);
+        let json = metrics.to_json_pretty_with(false);
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+        assert!(json.contains("\"outbreaks@5400s\": 2"), "{json}");
+    }
+}

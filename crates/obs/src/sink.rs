@@ -1,0 +1,157 @@
+//! Event sinks: where filtered events go.
+//!
+//! [`HumanSink`] is the default, wired for byte-compatibility with the
+//! `println!`/`eprintln!` lines it replaced: `Info` progress goes to
+//! stdout bare, `Error` goes to stderr bare, and the diagnostic levels
+//! (`Warn`, `Debug`, `Trace`) go to stderr prefixed with
+//! `[level target]` so they never pollute piped artifact output.
+//! [`JsonLinesSink`] appends one JSON object per event to a file
+//! (`BGPZ_LOG_JSON=<path>`).
+
+use crate::filter::Level;
+use crate::json::{push_json_key, push_json_str};
+use std::io::Write as _;
+use std::sync::Mutex;
+
+/// One filtered event, as handed to every sink.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Severity.
+    pub level: Level,
+    /// `::`-path target (`core::scan`, `mrt::read`, …).
+    pub target: &'a str,
+    /// The formatted message.
+    pub message: &'a str,
+}
+
+/// A destination for filtered events. Sinks must be callable from any
+/// worker thread.
+pub trait Sink: Send + Sync {
+    /// Writes one event. Sinks swallow I/O errors — observability must
+    /// never take the pipeline down.
+    fn write(&self, event: &Event<'_>);
+}
+
+/// Human-readable terminal sink (see module docs for the level routing).
+#[derive(Debug, Default)]
+pub struct HumanSink;
+
+impl Sink for HumanSink {
+    fn write(&self, event: &Event<'_>) {
+        match event.level {
+            Level::Info => {
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                let _ = writeln!(lock, "{}", event.message);
+            }
+            Level::Error => {
+                let stderr = std::io::stderr();
+                let mut lock = stderr.lock();
+                let _ = writeln!(lock, "{}", event.message);
+            }
+            Level::Warn | Level::Debug | Level::Trace => {
+                let stderr = std::io::stderr();
+                let mut lock = stderr.lock();
+                let _ = writeln!(lock, "[{} {}] {}", event.level, event.target, event.message);
+            }
+        }
+    }
+}
+
+/// One-JSON-object-per-line file sink.
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    file: Mutex<std::fs::File>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncating) the log file.
+    pub fn create(path: &str) -> std::io::Result<JsonLinesSink> {
+        Ok(JsonLinesSink {
+            file: Mutex::new(std::fs::File::create(path)?),
+        })
+    }
+
+    /// Renders one event as its JSON line (no trailing newline).
+    pub fn render(event: &Event<'_>) -> String {
+        let mut line = String::from("{");
+        push_json_key(&mut line, "level");
+        push_json_str(&mut line, event.level.name());
+        line.push_str(", ");
+        push_json_key(&mut line, "target");
+        push_json_str(&mut line, event.target);
+        line.push_str(", ");
+        push_json_key(&mut line, "message");
+        push_json_str(&mut line, event.message);
+        line.push('}');
+        line
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn write(&self, event: &Event<'_>) {
+        let line = JsonLinesSink::render(event);
+        if let Ok(mut file) = self.file.lock() {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape() {
+        let event = Event {
+            level: Level::Debug,
+            target: "core::scan",
+            message: "3 shards, \"quoted\"",
+        };
+        assert_eq!(
+            JsonLinesSink::render(&event),
+            "{\"level\": \"debug\", \"target\": \"core::scan\", \
+             \"message\": \"3 shards, \\\"quoted\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn json_sink_writes_lines() {
+        let path = std::env::temp_dir().join(format!("bgpz-obs-sink-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let sink = JsonLinesSink::create(path_str).expect("create sink");
+        sink.write(&Event {
+            level: Level::Info,
+            target: "experiments::run",
+            message: "first",
+        });
+        sink.write(&Event {
+            level: Level::Warn,
+            target: "mrt::read",
+            message: "second",
+        });
+        let contents = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"target\": \"experiments::run\""));
+        assert!(lines[1].contains("\"level\": \"warn\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn human_sink_does_not_panic() {
+        for level in [
+            Level::Trace,
+            Level::Debug,
+            Level::Info,
+            Level::Warn,
+            Level::Error,
+        ] {
+            HumanSink.write(&Event {
+                level,
+                target: "obs::test",
+                message: "sink smoke test",
+            });
+        }
+    }
+}

@@ -240,7 +240,8 @@ impl RisNetwork {
                         .rib
                         .insert(event.prefix, (Arc::clone(path), *meta, event.time));
                     if state.session_up {
-                        let record = self.announce_record(router, event.time, event.prefix, path, meta);
+                        let record =
+                            self.announce_record(router, event.time, event.prefix, path, meta);
                         self.writer.push(&record);
                         self.stats.announces_emitted += 1;
                     }
@@ -293,8 +294,7 @@ impl RisNetwork {
             FlapPhase::Up => {
                 self.routers[router].session_up = true;
                 self.stats.flaps += 1;
-                let record =
-                    self.state_record(router, time, BgpState::Idle, BgpState::Established);
+                let record = self.state_record(router, time, BgpState::Idle, BgpState::Established);
                 self.writer.push(&record);
                 // Full table re-announcement from the router's mirror.
                 let table: Vec<(Prefix, Arc<AsPath>, RouteMeta)> = self.routers[router]
@@ -608,7 +608,7 @@ mod tests {
         let mut reader = MrtReader::new(archive.rib_dumps[0].1.clone());
         let records = reader.collect_all();
         assert_eq!(records.len(), 1); // just the peer index
-        // Dump at 8h: both peers hold the beacon.
+                                      // Dump at 8h: both peers hold the beacon.
         let mut reader = MrtReader::new(archive.rib_dumps[1].1.clone());
         let records = reader.collect_all();
         assert_eq!(records.len(), 2);
@@ -721,11 +721,10 @@ mod tests {
     fn export_freeze_window_keeps_mirror_stale() {
         let (topo, mut config) = tiny_world();
         // Peer 0's export pipeline wedges from 1 h to 10 h.
-        config.peers[0] = config.peers[0].clone().with_freeze(
-            SimTime(3_600),
-            SimTime(10 * 3_600),
-            None,
-        );
+        config.peers[0] =
+            config.peers[0]
+                .clone()
+                .with_freeze(SimTime(3_600), SimTime(10 * 3_600), None);
         let mut sim = Simulator::new(topo, &FaultPlan::none(), 1);
         let mut ris = RisNetwork::new(config, SimTime(0), 7);
         ris.attach(&mut sim);
@@ -741,7 +740,9 @@ mod tests {
         let mut reader = MrtReader::new(dump.clone());
         let records = reader.collect_all();
         assert_eq!(records.len(), 2, "peer index + one stale rib entry");
-        let MrtBody::Rib(rib) = &records[1].body else { panic!() };
+        let MrtBody::Rib(rib) = &records[1].body else {
+            panic!()
+        };
         assert_eq!(rib.entries.len(), 1);
         assert_eq!(rib.entries[0].peer_index, 0);
     }

@@ -237,7 +237,7 @@ impl RisConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgpz_netsim::{TopologyConfig};
+    use bgpz_netsim::TopologyConfig;
 
     #[test]
     fn numbered_collector() {

@@ -243,17 +243,18 @@ mod tests {
             RpkiValidity::Valid
         );
         // At and after removal: the /32 ROA still covers ⇒ invalid.
-        assert_eq!(
-            t.validate(beacon, ORIGIN, removal),
-            RpkiValidity::Invalid
-        );
+        assert_eq!(t.validate(beacon, ORIGIN, removal), RpkiValidity::Invalid);
         assert_eq!(
             t.validate(beacon, ORIGIN, SimTime::from_ymd_hms(2025, 1, 1, 0, 0, 0)),
             RpkiValidity::Invalid
         );
         // The covering /32 itself stays valid throughout.
         assert_eq!(
-            t.validate(p("2a0d:3dc1::/32"), ORIGIN, SimTime::from_ymd_hms(2025, 1, 1, 0, 0, 0)),
+            t.validate(
+                p("2a0d:3dc1::/32"),
+                ORIGIN,
+                SimTime::from_ymd_hms(2025, 1, 1, 0, 0, 0)
+            ),
             RpkiValidity::Valid
         );
     }

@@ -296,10 +296,7 @@ mod tests {
     #[test]
     fn prepend_builds_wire_order() {
         let p = AsPath::from_sequence([8298, 210_312]).prepend(Asn(25_091));
-        assert_eq!(
-            p.to_vec(),
-            vec![Asn(25_091), Asn(8298), Asn(210_312)]
-        );
+        assert_eq!(p.to_vec(), vec![Asn(25_091), Asn(8298), Asn(210_312)]);
         // Prepending onto an empty path creates a sequence segment.
         let q = AsPath::empty().prepend(Asn(1));
         assert_eq!(q.to_vec(), vec![Asn(1)]);

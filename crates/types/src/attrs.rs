@@ -377,7 +377,11 @@ impl PathAttributes {
     }
 
     /// Decodes an attribute block occupying exactly `total` bytes.
-    pub fn decode(buf: &mut impl Buf, total: usize, four_byte: bool) -> CodecResult<PathAttributes> {
+    pub fn decode(
+        buf: &mut impl Buf,
+        total: usize,
+        four_byte: bool,
+    ) -> CodecResult<PathAttributes> {
         ensure(buf, total, "path attributes")?;
         let mut sub = buf.copy_to_bytes(total);
         let mut attrs = PathAttributes::default();

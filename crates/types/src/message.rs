@@ -114,7 +114,11 @@ impl BgpUpdate {
     }
 
     /// Decodes an UPDATE body occupying exactly `total` bytes.
-    pub fn decode_body(buf: &mut impl Buf, total: usize, four_byte: bool) -> CodecResult<BgpUpdate> {
+    pub fn decode_body(
+        buf: &mut impl Buf,
+        total: usize,
+        four_byte: bool,
+    ) -> CodecResult<BgpUpdate> {
         ensure(buf, total, "UPDATE body")?;
         let mut sub = buf.copy_to_bytes(total);
 

@@ -83,7 +83,11 @@ impl Ipv4Net {
             return Err(CodecError::BadPrefixLength { bits: len, max: 32 });
         }
         let raw = u32::from(addr);
-        let masked = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        let masked = if len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - len))
+        };
         Ok(Ipv4Net {
             addr: Ipv4Addr::from(masked),
             len,
@@ -107,13 +111,21 @@ impl Ipv4Net {
         if other.len < self.len {
             return false;
         }
-        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
         (u32::from(other.addr) & mask) == u32::from(self.addr)
     }
 
     /// True if this prefix covers the host address `ip`.
     pub fn contains_addr(self, ip: Ipv4Addr) -> bool {
-        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
         (u32::from(ip) & mask) == u32::from(self.addr)
     }
 }
@@ -334,7 +346,9 @@ impl FromStr for Prefix {
     type Err = PrefixParseError;
 
     fn from_str(s: &str) -> Result<Prefix, PrefixParseError> {
-        let (addr, len) = s.split_once('/').ok_or_else(|| PrefixParseError(s.into()))?;
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError(s.into()))?;
         let len: u8 = len.parse().map_err(|_| PrefixParseError(s.into()))?;
         if let Ok(v4) = addr.parse::<Ipv4Addr>() {
             return Ipv4Net::new(v4, len)
@@ -459,7 +473,12 @@ mod tests {
         v.sort();
         assert_eq!(
             v.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
-            vec!["10.0.0.0/8", "10.0.0.0/16", "2a0d:3dc1::/32", "2a0d:3dc1:1::/48"]
+            vec![
+                "10.0.0.0/8",
+                "10.0.0.0/16",
+                "2a0d:3dc1::/32",
+                "2a0d:3dc1:1::/48"
+            ]
         );
     }
 
@@ -477,6 +496,9 @@ mod tests {
             "2a0d:3dc1:1851::/48".parse::<Prefix>().unwrap().to_string(),
             "2a0d:3dc1:1851::/48"
         );
-        assert_eq!(Prefix::v4(93, 175, 146, 0, 24).to_string(), "93.175.146.0/24");
+        assert_eq!(
+            Prefix::v4(93, 175, 146, 0, 24).to_string(),
+            "93.175.146.0/24"
+        );
     }
 }

@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn start_of_month_and_secs_into_month() {
         let t = SimTime::from_ymd_hms(2018, 7, 19, 2, 0, 2);
-        assert_eq!(t.start_of_month(), SimTime::from_ymd_hms(2018, 7, 1, 0, 0, 0));
+        assert_eq!(
+            t.start_of_month(),
+            SimTime::from_ymd_hms(2018, 7, 1, 0, 0, 0)
+        );
         assert_eq!(t.secs_into_month(), 18 * DAY + 2 * HOUR + 2);
     }
 

@@ -14,15 +14,13 @@ use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
-        Prefix::V4(Ipv4Net::new(Ipv4Addr::from(addr), len).unwrap())
-    })
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(addr, len)| Prefix::V4(Ipv4Net::new(Ipv4Addr::from(addr), len).unwrap()))
 }
 
 fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
-    (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
-        Prefix::V6(Ipv6Net::new(Ipv6Addr::from(addr), len).unwrap())
-    })
+    (any::<u128>(), 0u8..=128)
+        .prop_map(|(addr, len)| Prefix::V6(Ipv6Net::new(Ipv6Addr::from(addr), len).unwrap()))
 }
 
 fn arb_as_path() -> impl Strategy<Value = AsPath> {
@@ -38,7 +36,10 @@ fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
         proptest::option::of((1u32..1_000_000, any::<u32>())),
         proptest::collection::vec(any::<u32>(), 0..6),
         proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..4),
-        proptest::option::of((any::<u128>(), proptest::collection::vec(arb_prefix_v6(), 0..5))),
+        proptest::option::of((
+            any::<u128>(),
+            proptest::collection::vec(arb_prefix_v6(), 0..5),
+        )),
         proptest::option::of(proptest::collection::vec(arb_prefix_v6(), 0..5)),
     )
         .prop_map(

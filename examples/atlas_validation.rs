@@ -9,12 +9,12 @@
 //! cargo run --release --example atlas_validation
 //! ```
 
+use bgp_zombies::beacon::{apply_schedule, BeaconEvent, BeaconEventKind, BeaconSchedule};
 use bgp_zombies::netsim::dataplane::{trace, ForwardOutcome, DEFAULT_HOP_LIMIT};
 use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
 use bgp_zombies::ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
 use bgp_zombies::types::{Asn, Prefix, SimTime};
 use bgp_zombies::zombies::{classify, intervals_from_schedule, scan, ClassifyOptions};
-use bgp_zombies::beacon::{apply_schedule, BeaconEvent, BeaconEventKind, BeaconSchedule};
 use std::net::IpAddr;
 
 const ORIGIN: Asn = Asn(210_312);
@@ -77,7 +77,10 @@ fn main() {
     let intervals = intervals_from_schedule(&schedule);
     let result = scan(archive.updates.clone(), &intervals, 4 * 3_600);
     let report = classify(&result, &ClassifyOptions::default());
-    println!("control plane: {} zombie route(s) detected", report.route_count());
+    println!(
+        "control plane: {} zombie route(s) detected",
+        report.route_count()
+    );
     for outbreak in &report.outbreaks {
         for route in &outbreak.routes {
             println!("  stuck at {} via [{}]", route.peer, route.zombie_path);
@@ -104,10 +107,7 @@ fn main() {
                 format!("ANOMALY — delivered to {at} although withdrawn!")
             }
         };
-        println!(
-            "  from {vantage}: {} hop(s) — {verdict}",
-            hops.len(),
-        );
+        println!("  from {vantage}: {} hop(s) — {verdict}", hops.len(),);
     }
 
     // 3. The validation cross-check the prior study performed: every

@@ -59,7 +59,10 @@ fn main() {
         days.len(),
         days.last().copied().unwrap_or(0.0)
     );
-    let resurrected = lifespans.iter().filter(|l| !l.resurrections.is_empty()).count();
+    let resurrected = lifespans
+        .iter()
+        .filter(|l| !l.resurrections.is_empty())
+        .count();
     println!("{resurrected} outbreaks resurrected (gap in RIB visibility, no new announcement)");
 
     // The §5.2 case studies, end to end.

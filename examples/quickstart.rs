@@ -10,7 +10,9 @@ use bgp_zombies::beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
 use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
 use bgp_zombies::ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
 use bgp_zombies::types::{Asn, SimTime};
-use bgp_zombies::zombies::{classify, infer_root_cause, intervals_from_schedule, scan, ClassifyOptions};
+use bgp_zombies::zombies::{
+    classify, infer_root_cause, intervals_from_schedule, scan, ClassifyOptions,
+};
 
 fn main() {
     // 1. A five-AS Internet: two Tier-1s peering on top, two transits,

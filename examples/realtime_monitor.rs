@@ -7,7 +7,9 @@
 //! cargo run --release --example realtime_monitor
 //! ```
 
-use bgp_zombies::beacon::{apply_schedule, PaperBeaconConfig, PaperBeacons, PrefixClock, RecycleMode};
+use bgp_zombies::beacon::{
+    apply_schedule, PaperBeaconConfig, PaperBeacons, PrefixClock, RecycleMode,
+};
 use bgp_zombies::mrt::MrtReader;
 use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
 use bgp_zombies::ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};

@@ -48,7 +48,13 @@ fn main() {
         .freeze(UPSTREAM, INFECTED, start + 60, death, EpisodeEnd::Reset)
         // INFECTED's session to DOWNSTREAM is dark across the whole
         // episode start, so nobody sees the stale route at first...
-        .freeze(INFECTED, DOWNSTREAM, SimTime(start.secs() - 300), dark_until, EpisodeEnd::Reset);
+        .freeze(
+            INFECTED,
+            DOWNSTREAM,
+            SimTime(start.secs() - 300),
+            dark_until,
+            EpisodeEnd::Reset,
+        );
     // ...until the session re-establishes on 2024-06-29 (the freeze ends
     // with a reset), and the resync re-announces the zombie.
 

@@ -3,6 +3,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings

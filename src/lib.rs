@@ -45,3 +45,6 @@ pub use bgpz_baseline as baseline;
 
 /// Experiment drivers for every table and figure.
 pub use bgpz_analysis as analysis;
+
+/// Structured tracing, metrics, and the `metrics.json` artifact.
+pub use bgpz_obs as obs;

@@ -30,7 +30,11 @@ fn replication_shape_holds() {
     // Table 2: raw data finds MORE than the looking-glass baseline before
     // filtering (paper: +12.5%), FEWER after (paper: −13%).
     let t2 = table2::compute(&bundle);
-    assert!(t2.surplus_over_study() > 0.0, "{:?}", t2.surplus_over_study());
+    assert!(
+        t2.surplus_over_study() > 0.0,
+        "{:?}",
+        t2.surplus_over_study()
+    );
     assert!(t2.deficit_after_filter() > 0.0);
 }
 
@@ -72,11 +76,7 @@ fn beacon_study_shape_holds() {
     // window; the noisy-excluded population is a subset.
     let f3 = fig3::compute(&bundle);
     assert!(f3.noisy_excluded.len() <= f3.all_peers.len());
-    let max_days = f3
-        .all_peers
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let max_days = f3.all_peers.iter().copied().fold(0.0f64, f64::max);
     assert!(max_days > 7.0, "no week-long zombie at all: max {max_days}");
 }
 
@@ -112,8 +112,7 @@ fn case_studies_pin_the_right_culprits() {
             !through.is_empty(),
             "{prefix}: no stuck route through {expected}"
         );
-        let cause =
-            bgp_zombies::zombies::rootcause::infer_from_paths(&through).expect("routes");
+        let cause = bgp_zombies::zombies::rootcause::infer_from_paths(&through).expect("routes");
         assert_eq!(cause.suspect, Some(expected), "{prefix}");
         assert_eq!(cause.chain.last(), Some(&Asn(210_312)));
     }
