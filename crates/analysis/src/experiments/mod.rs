@@ -22,7 +22,8 @@ use crate::worlds::{
     final_withdrawals, replication_periods, run_beacon_study, run_replication, BeaconRun,
     ReplicationRun, Scale,
 };
-use bgpz_core::{intervals_from_schedule, scan_sharded, BeaconInterval, ScanResult};
+use bgpz_core::{intervals_from_schedule, scan_indexed, BeaconInterval, ScanResult};
+use bgpz_mrt::FrameIndex;
 use bgpz_types::time::HOUR;
 use bgpz_types::{Prefix, SimTime};
 use serde_json::Value;
@@ -198,12 +199,10 @@ pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> Replica
     let build = |period: &crate::worlds::ReplicationPeriod, scan_jobs: usize| {
         let run = run_replication(period, scale, seed);
         let intervals = intervals_from_schedule(&run.schedule);
-        let result = scan_sharded(
-            run.archive.updates.clone(),
-            &intervals,
-            SCAN_WINDOW,
-            scan_jobs,
-        );
+        // One framing pass per period archive; the scan prefilters on the
+        // indexed frames and decodes each relevant record at most once.
+        let index = FrameIndex::build(run.archive.updates.clone());
+        let result = scan_indexed(&index, &intervals, SCAN_WINDOW, scan_jobs);
         (run, result)
     };
     if jobs <= 1 {
@@ -279,7 +278,8 @@ pub fn beacon_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> BeaconBundle
         intervals.len(),
         before - intervals.len()
     );
-    let scan_result = scan_sharded(run.archive.updates.clone(), &intervals, SCAN_WINDOW, jobs);
+    let index = FrameIndex::build(run.archive.updates.clone());
+    let scan_result = scan_indexed(&index, &intervals, SCAN_WINDOW, jobs);
     let finals = final_withdrawals(&run.schedule);
     BeaconBundle {
         scan: scan_result,

@@ -8,7 +8,8 @@
 use super::{pct, ExperimentOutput, SCAN_WINDOW};
 use crate::render::TextTable;
 use crate::worlds::{run_beacon_study_with_routeviews, Scale};
-use bgpz_core::{classify, intervals_from_schedule, scan, ClassifyOptions};
+use bgpz_core::{classify, intervals_from_schedule, scan_indexed, ClassifyOptions};
+use bgpz_mrt::FrameIndex;
 use serde_json::json;
 use std::collections::BTreeSet;
 use std::net::IpAddr;
@@ -49,7 +50,8 @@ pub fn compute(scale: &Scale, seed: u64) -> RouteViews {
             .iter()
             .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
     });
-    let result = scan(run.archive.updates.clone(), &intervals, SCAN_WINDOW);
+    let index = FrameIndex::build(run.archive.updates.clone());
+    let result = scan_indexed(&index, &intervals, SCAN_WINDOW, 1);
 
     // All peer routers seen in the archive, partitioned into RIS vs RV.
     let rv: BTreeSet<IpAddr> = run.routeviews_routers.iter().copied().collect();

@@ -1,0 +1,63 @@
+//! Frame-index benches: the framing pass alone (frames/sec), and the
+//! archive scan eager vs indexed (records/sec) on a `Scale::bench`
+//! replication archive mixed with background noise — the workload the
+//! prefilter targets. The indexed scan should win because most frames in
+//! a collector stream never mention a beacon prefix and are skipped
+//! without a full decode.
+
+use bgpz_analysis::experiments::SCAN_WINDOW;
+use bgpz_analysis::worlds::{replication_periods, run_replication};
+use bgpz_analysis::Scale;
+use bgpz_bench::with_background_noise;
+use bgpz_core::{intervals_from_schedule, scan, scan_indexed};
+use bgpz_mrt::FrameIndex;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn index_benches(c: &mut Criterion) {
+    let scale = Scale::bench();
+    let period = replication_periods(&scale)[0];
+    let run = run_replication(&period, &scale, 42);
+    let intervals = intervals_from_schedule(&run.schedule);
+    let beacon_frames = FrameIndex::build(run.archive.updates.clone()).len();
+    let updates = with_background_noise(run.archive.updates.clone(), beacon_frames * 4);
+    let index = FrameIndex::build(updates.clone());
+    let frames = index.len() as u64;
+
+    // The framing pass alone, in bytes/sec: one cheap sweep over the
+    // archive headers, no record decoding.
+    let mut group = c.benchmark_group("mrt_index_bytes");
+    group.throughput(Throughput::Bytes(updates.len() as u64));
+    group.bench_function("frame_index_build", |b| {
+        b.iter(|| black_box(FrameIndex::build(black_box(updates.clone()))))
+    });
+    group.finish();
+
+    // Frames (= records attempted) per second: the framing pass, then the
+    // full scans — decode-everything vs prefilter-then-decode. Both scans
+    // produce byte-identical `ScanResult`s (asserted by the equivalence
+    // tests); only the work per frame differs.
+    let mut group = c.benchmark_group("mrt_index_frames");
+    group.throughput(Throughput::Elements(frames));
+    group.bench_function("frame_index_build", |b| {
+        b.iter(|| black_box(FrameIndex::build(black_box(updates.clone()))))
+    });
+    group.bench_function("scan_eager", |b| {
+        b.iter(|| black_box(scan(black_box(updates.clone()), &intervals, SCAN_WINDOW)))
+    });
+    group.bench_function("scan_indexed", |b| {
+        b.iter(|| black_box(scan_indexed(black_box(&index), &intervals, SCAN_WINDOW, 1)))
+    });
+    // Including the framing pass, to show the end-to-end win for a
+    // caller that scans an archive exactly once.
+    group.bench_function("scan_indexed_with_framing", |b| {
+        b.iter(|| {
+            let index = FrameIndex::build(black_box(updates.clone()));
+            black_box(scan_indexed(&index, &intervals, SCAN_WINDOW, 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_benches);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! `scan_bench` — wall-clock comparison of the eager decode-everything
+//! archive scan against the zero-copy indexed scan, without the criterion
+//! harness (bins cannot use dev-dependencies), writing `BENCH_scan.json`.
+//!
+//! Modes:
+//!
+//! * default: time both paths over several iterations on a `--scale`
+//!   archive and write records/sec, bytes/sec, and the speedup.
+//! * `--smoke`: one tiny iteration asserting the indexed scan produces
+//!   counts identical to the eager scan — no timing, no JSON. Wired into
+//!   `scripts/ci.sh` via `scripts/bench.sh --smoke` so the equivalence
+//!   contract is exercised on every CI run.
+
+use bgpz_analysis::experiments::SCAN_WINDOW;
+use bgpz_analysis::worlds::{replication_periods, run_replication};
+use bgpz_analysis::Scale;
+use bgpz_bench::with_background_noise;
+use bgpz_core::{intervals_from_schedule, scan, scan_indexed, ScanResult};
+use bgpz_mrt::FrameIndex;
+use serde_json::json;
+use std::time::Instant;
+
+/// Background (non-beacon) UPDATEs appended per beacon frame. A real RIS
+/// collector stream is dominated by unrelated traffic; 4:1 keeps the
+/// bench archive shaped like the data the prefilter targets while staying
+/// cheap enough for CI smoke runs.
+const NOISE_PER_FRAME: usize = 4;
+
+fn observation_count(result: &ScanResult) -> usize {
+    result
+        .histories
+        .iter()
+        .map(|h| h.values().map(Vec::len).sum::<usize>())
+        .sum()
+}
+
+/// The counts two equivalent scans must agree on.
+fn counts(result: &ScanResult) -> String {
+    format!(
+        "stats={:?} peers={} observations={} downs={}",
+        result.read_stats,
+        result.peers.len(),
+        observation_count(result),
+        result.session_downs.values().map(Vec::len).sum::<usize>(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale_name = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "bench".to_string());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scan.json".to_string());
+    let scale = Scale::parse(&scale_name).unwrap_or_else(|| {
+        eprintln!("unknown --scale {scale_name:?} (bench|quick|standard|full)");
+        std::process::exit(2);
+    });
+
+    let period = replication_periods(&scale)[0];
+    let run = run_replication(&period, &scale, 42);
+    let intervals = intervals_from_schedule(&run.schedule);
+    let beacon_frames = FrameIndex::build(run.archive.updates.clone()).len();
+    let updates =
+        with_background_noise(run.archive.updates.clone(), beacon_frames * NOISE_PER_FRAME);
+    let bytes = updates.len();
+
+    if smoke {
+        let eager = scan(updates.clone(), &intervals, SCAN_WINDOW);
+        let indexed = scan_indexed(&FrameIndex::build(updates), &intervals, SCAN_WINDOW, 2);
+        let (want, got) = (counts(&eager), counts(&indexed));
+        assert_eq!(want, got, "indexed scan diverged from eager scan");
+        println!(
+            "smoke ok: scale={} {} frames, {}",
+            scale.name,
+            eager.read_stats.ok + eager.read_stats.skipped,
+            want
+        );
+        return;
+    }
+
+    let iterations = 10;
+    let index = FrameIndex::build(updates.clone());
+    let frames = index.len();
+
+    // Warm both paths once, then time.
+    let eager_result = scan(updates.clone(), &intervals, SCAN_WINDOW);
+    let _ = scan_indexed(&index, &intervals, SCAN_WINDOW, 1);
+
+    let started = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(scan(updates.clone(), &intervals, SCAN_WINDOW));
+    }
+    let eager_secs = started.elapsed().as_secs_f64() / iterations as f64;
+
+    // The indexed timing includes the framing pass: this is the honest
+    // single-scan comparison (callers scanning one archive repeatedly
+    // amortize the framing and do even better).
+    let started = Instant::now();
+    for _ in 0..iterations {
+        let index = FrameIndex::build(updates.clone());
+        std::hint::black_box(scan_indexed(&index, &intervals, SCAN_WINDOW, 1));
+    }
+    let indexed_secs = started.elapsed().as_secs_f64() / iterations as f64;
+
+    let speedup = eager_secs / indexed_secs;
+    let report = json!({
+        "scale": scale.name,
+        "iterations": iterations,
+        "archive_bytes": bytes,
+        "frames": frames,
+        "records_ok": eager_result.read_stats.ok,
+        "records_skipped": eager_result.read_stats.skipped,
+        "eager": {
+            "secs_per_scan": eager_secs,
+            "records_per_sec": frames as f64 / eager_secs,
+            "bytes_per_sec": bytes as f64 / eager_secs,
+        },
+        "indexed": {
+            "secs_per_scan": indexed_secs,
+            "records_per_sec": frames as f64 / indexed_secs,
+            "bytes_per_sec": bytes as f64 / indexed_secs,
+        },
+        "speedup_vs_eager": speedup,
+    });
+    let file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    serde_json::to_writer_pretty(file, &report).expect("write BENCH_scan.json");
+    println!(
+        "scan_bench: scale={} frames={} eager={:.1}ms indexed={:.1}ms speedup={:.2}x -> {}",
+        scale.name,
+        frames,
+        eager_secs * 1e3,
+        indexed_secs * 1e3,
+        speedup,
+        out_path
+    );
+}

@@ -13,6 +13,12 @@ use bgpz_analysis::experiments::{
     beacon_bundle, replication_bundle, BeaconBundle, ReplicationBundle, Substrates,
 };
 use bgpz_analysis::Scale;
+use bgpz_mrt::bgp4mp::SessionHeader;
+use bgpz_mrt::{Bgp4mpMessage, MrtBody, MrtRecord, MrtWriter};
+use bgpz_types::attrs::{MpReach, NextHop};
+use bgpz_types::{Afi, AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes, Prefix, SimTime};
+use bytes::Bytes;
+use std::net::Ipv6Addr;
 
 /// The shared bench-scale replication bundle (built once per process).
 pub fn bench_replication() -> ReplicationBundle {
@@ -33,6 +39,62 @@ pub fn bench_substrates() -> Substrates {
         replication: Some(bench_replication()),
         beacon: Some(bench_beacon()),
     }
+}
+
+/// Appends `noise_records` deterministic background UPDATEs (unrelated
+/// prefixes, a handful of peers) to an MRT update stream.
+///
+/// The simulated beacon archives contain *only* beacon traffic, but a
+/// real RIS collector's update stream is overwhelmingly unrelated
+/// announcements — the workload the indexed scan's raw-byte prefilter is
+/// built for. Scan benches mix noise in so the eager-vs-indexed
+/// comparison reflects the paper's actual data shape.
+pub fn with_background_noise(base: Bytes, noise_records: usize) -> Bytes {
+    let mut writer = MrtWriter::new();
+    for i in 0..noise_records {
+        // 64 distinct /48s far from the beacon ranges, cycled.
+        let net: u16 = (i % 64) as u16;
+        let prefix = Prefix::V6(
+            bgpz_types::Ipv6Net::new(Ipv6Addr::new(0x2600, 0x9000 + net, 0, 0, 0, 0, 0, 0), 48)
+                .expect("static prefix"),
+        );
+        let peer = (i % 7) as u32;
+        let mut attrs = PathAttributes::announcement(AsPath::from_sequence([
+            65_100 + peer,
+            3_356,
+            1_299,
+            13_335 + net as u32,
+        ]));
+        attrs.mp_reach = Some(MpReach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            next_hop: NextHop::V6 {
+                global: Ipv6Addr::new(0x2001, 0xdb8, 0x99, 0, 0, 0, 0, peer as u16 + 1),
+                link_local: None,
+            },
+            nlri: vec![prefix],
+        });
+        let record = MrtRecord::new(
+            SimTime((i * 13 % 86_400) as u64),
+            MrtBody::Message(Bgp4mpMessage {
+                session: SessionHeader {
+                    peer_as: Asn(65_100 + peer),
+                    local_as: Asn(12_654),
+                    ifindex: 0,
+                    peer_ip: Ipv6Addr::new(0x2001, 0xdb8, 0x99, 0, 0, 0, 0, peer as u16 + 1).into(),
+                    local_ip: "2001:7f8:24::82".parse().expect("static"),
+                },
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs,
+                    ..BgpUpdate::default()
+                }),
+            }),
+        );
+        writer.push(&record);
+    }
+    let mut out = base.to_vec();
+    out.extend_from_slice(&writer.finish());
+    Bytes::from(out)
 }
 
 /// Prints an experiment's regenerated rows once (so `cargo bench` output

@@ -5,9 +5,9 @@ use crate::args::ParsedArgs;
 use crate::render::{render_record, ArchiveStats, DumpKind};
 use crate::{CliError, CliResult};
 use bgpz_beacon::{decode_aggregator_clock, PrefixClock, RecycleMode};
-use bgpz_core::{classify, infer_root_cause, scan_sharded, BeaconInterval, ClassifyOptions};
-use bgpz_mrt::{MrtBody, MrtReader};
-use bgpz_types::{Asn, BgpMessage, Prefix, SimTime};
+use bgpz_core::{classify, infer_root_cause, scan_indexed, BeaconInterval, ClassifyOptions};
+use bgpz_mrt::{FrameIndex, FrameKind, MrtBody, MrtReader, NlriKind};
+use bgpz_types::{Asn, BgpMessage, MessageKind, Prefix, SimTime};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -163,17 +163,34 @@ pub fn clock_prefix(args: &ParsedArgs) -> CliResult<String> {
     Ok(out)
 }
 
-/// Reconstructs beacon intervals from the archive itself: announcements
+/// Reconstructs beacon intervals from an indexed archive: announcements
 /// whose AS-path origin is the beacon origin, aligned to the period grid.
+///
+/// Works on a prebuilt [`FrameIndex`] so [`detect`] frames the archive
+/// once and shares the index with the scan. Only BGP UPDATEs that
+/// actually announce something are decoded (the origin check needs the
+/// AS_PATH attribute); everything else is skipped from the raw bytes.
 pub fn intervals_from_archive(
-    data: Bytes,
+    index: &FrameIndex,
     origin: Asn,
     period: u64,
     up_time: u64,
 ) -> Vec<BeaconInterval> {
     let mut starts: BTreeMap<(Prefix, SimTime), ()> = BTreeMap::new();
-    let mut reader = MrtReader::new(data);
-    while let Some(record) = reader.next_record() {
+    for frame in index.frames() {
+        if !matches!(frame.peek_kind(), FrameKind::Message { .. }) || !frame.validate() {
+            continue;
+        }
+        if frame.peek_bgp_kind() != Some(MessageKind::Update) {
+            continue;
+        }
+        let announces_anything = frame
+            .nlri_prefixes()
+            .any(|(kind, _)| kind == NlriKind::Announced);
+        if !announces_anything {
+            continue;
+        }
+        let record = frame.decode().expect("validated frame must decode");
         let MrtBody::Message(msg) = &record.body else {
             continue;
         };
@@ -228,13 +245,16 @@ pub fn detect(args: &ParsedArgs) -> CliResult<String> {
             .collect::<CliResult<_>>()?,
     };
 
-    let intervals = intervals_from_archive(updates.clone(), origin, period, up_time);
+    // Frame the archive once; interval discovery and the scan share the
+    // same zero-copy index.
+    let index = FrameIndex::build(updates);
+    let intervals = intervals_from_archive(&index, origin, period, up_time);
     if intervals.is_empty() {
         return Err(CliError(format!(
             "no beacon announcements from {origin} found in the archive"
         )));
     }
-    let result = scan_sharded(updates, &intervals, threshold + 2 * 3_600, jobs);
+    let result = scan_indexed(&index, &intervals, threshold + 2 * 3_600, jobs);
     let report = classify(
         &result,
         &ClassifyOptions {

@@ -9,9 +9,13 @@
 //!    MRT update stream at message granularity, one **beacon interval** at
 //!    a time with *no prior knowledge* (stale RIB entries from earlier
 //!    intervals cannot leak in), honouring STATE messages (a session drop
-//!    removes every route of that peer). [`scan_sharded`] partitions the
-//!    intervals by prefix over worker threads and merges deterministically
-//!    — same input ⇒ byte-identical [`ScanResult`] at any thread count.
+//!    removes every route of that peer). [`scan_sharded`] frames the
+//!    archive once into a zero-copy index, prefilters frames on raw bytes
+//!    (decoding only records that mention a beacon prefix), partitions the
+//!    frame list over worker threads, and merges deterministically — same
+//!    input ⇒ byte-identical [`ScanResult`] at any thread count.
+//!    [`scan_indexed`] accepts a prebuilt `FrameIndex` so several scans of
+//!    one archive pay the framing pass once.
 //! 2. [`classify`] — at `withdrawal + threshold` (90 minutes by default,
 //!    like all prior work), a peer whose last message for the prefix is an
 //!    announcement holds a **zombie route**; all zombie routes of one
@@ -49,5 +53,5 @@ pub use noisy::{
 pub use paths::{path_length_samples, PathLengthSamples};
 pub use realtime::{RealtimeDetector, ZombieAlert};
 pub use rootcause::{infer_root_cause, RootCause};
-pub use scan::{scan, scan_sharded, PeerId, ScanResult};
+pub use scan::{scan, scan_indexed, scan_sharded, PeerId, ScanResult};
 pub use sweep::{threshold_sweep, SweepPoint};

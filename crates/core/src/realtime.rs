@@ -16,8 +16,8 @@ use crate::classify::ClassifyOptions;
 use crate::interval::BeaconInterval;
 use crate::scan::PeerId;
 use bgpz_beacon::decode_aggregator_clock;
-use bgpz_mrt::{BgpState, MrtBody, MrtRecord};
-use bgpz_types::{AsPath, BgpMessage, Prefix, SimTime};
+use bgpz_mrt::{BgpState, FrameIndex, FrameKind, MrtBody, MrtRecord};
+use bgpz_types::{AsPath, BgpMessage, MessageKind, Prefix, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
@@ -251,6 +251,61 @@ impl RealtimeDetector {
             _ => {}
         }
         alerts.extend(self.fire_due(record.timestamp, true));
+        alerts
+    }
+
+    /// Feeds a whole pre-framed archive, decoding only the frames that can
+    /// affect detector state; returns every alert in firing order.
+    ///
+    /// Equivalent to decoding the archive with the tolerant reader and
+    /// [`RealtimeDetector::push`]ing each record — asserted by the
+    /// equivalence test below — but BGP UPDATEs that mention no expected
+    /// prefix only pay for a raw-byte NLRI peek, not a full decode. The
+    /// early-return structure of `push` is mirrored exactly: undecodable
+    /// frames do nothing (the reader never yields them), and non-UPDATE
+    /// or excluded-peer messages advance the clock and run only the
+    /// pre-record deadline pass.
+    pub fn ingest_index(&mut self, index: &FrameIndex) -> Vec<ZombieAlert> {
+        let mut alerts = Vec::new();
+        for frame in index.frames() {
+            match frame.peek_kind() {
+                FrameKind::Message { .. } => {
+                    if !frame.validate() {
+                        continue;
+                    }
+                    let ts = frame.peek_timestamp();
+                    let is_update = frame.peek_bgp_kind() == Some(MessageKind::Update);
+                    let excluded = frame
+                        .peer_addr()
+                        .map(|(addr, _)| self.options.excluded_peers.contains(&addr));
+                    if !is_update || excluded == Some(true) {
+                        // `push` returns before touching per-interval state.
+                        self.now = self.now.max(ts);
+                        alerts.extend(self.fire_due(ts, false));
+                        continue;
+                    }
+                    let relevant = frame
+                        .nlri_prefixes()
+                        .any(|(_, prefix)| self.by_prefix.contains_key(&prefix));
+                    if relevant || excluded.is_none() {
+                        let record = frame.decode().expect("validated frame must decode");
+                        alerts.extend(self.push(&record));
+                    } else {
+                        // Irrelevant UPDATE: both state loops are no-ops, so
+                        // only the two deadline passes remain.
+                        self.now = self.now.max(ts);
+                        alerts.extend(self.fire_due(ts, false));
+                        alerts.extend(self.fire_due(ts, true));
+                    }
+                }
+                FrameKind::StateChange { .. } | FrameKind::PeerIndex | FrameKind::Rib => {
+                    if let Ok(record) = frame.decode() {
+                        alerts.extend(self.push(&record));
+                    }
+                }
+                FrameKind::Unknown => {}
+            }
+        }
         alerts
     }
 
@@ -542,6 +597,81 @@ mod tests {
         });
         d.push(&announce(10));
         assert!(d.advance(SimTime(100_000)).is_empty());
+    }
+
+    /// The indexed ingest and the decode-everything push loop must raise
+    /// identical alerts over an archive mixing relevant updates, an
+    /// irrelevant update (which must still fire due deadlines), a
+    /// KEEPALIVE, a session reset, a malformed-but-framed record, and
+    /// trailing garbage.
+    #[test]
+    fn ingest_index_matches_push() {
+        use bgpz_mrt::{FrameIndex, MrtReader, MrtWriter};
+
+        let mut writer = MrtWriter::new();
+        writer.push(&announce(10));
+        writer.push(&withdraw(930));
+        writer.push(&MrtRecord::new(
+            SimTime(1_000),
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Keepalive,
+            }),
+        ));
+        writer.push(&MrtRecord::new(
+            SimTime(2_000),
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: session(),
+                old_state: BgpState::Established,
+                new_state: BgpState::Idle,
+            }),
+        ));
+        // Resurrection: the route comes back after a clean deadline...
+        writer.push(&announce(900 + 110 * 60));
+        // ...and an unrelated prefix much later forces the next deadline
+        // to fire from the irrelevant-update tick.
+        let mut late = announce(100_000);
+        if let MrtBody::Message(m) = &mut late.body {
+            if let BgpMessage::Update(u) = &mut m.message {
+                u.attrs.mp_reach.as_mut().unwrap().nlri =
+                    vec!["2001:db8:ffff::/48".parse().unwrap()];
+            }
+        }
+        writer.push(&late);
+        let mut bytes = writer.finish().to_vec();
+        // A framed record with an undecodable body, then a truncated header.
+        bytes.extend_from_slice(&[0, 0, 0, 50, 0, 16, 0, 1, 0, 0, 0, 2, 0xde, 0xad]);
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let bytes = bytes::Bytes::from(bytes);
+
+        let schedule = [
+            BeaconInterval {
+                prefix: prefix(),
+                start: SimTime(0),
+                withdraw_at: SimTime(900),
+            },
+            BeaconInterval {
+                prefix: prefix(),
+                start: SimTime(14_400),
+                withdraw_at: SimTime(14_400 + 900),
+            },
+        ];
+
+        let mut eager = RealtimeDetector::new(ClassifyOptions::default());
+        eager.expect_all(schedule);
+        let mut eager_alerts = Vec::new();
+        let mut reader = MrtReader::new(bytes.clone());
+        while let Some(record) = reader.next_record() {
+            eager_alerts.extend(eager.push(&record));
+        }
+
+        let mut lazy = RealtimeDetector::new(ClassifyOptions::default());
+        lazy.expect_all(schedule);
+        let lazy_alerts = lazy.ingest_index(&FrameIndex::build(bytes));
+
+        assert!(!eager_alerts.is_empty(), "archive exercises alerts");
+        assert_eq!(format!("{eager_alerts:?}"), format!("{lazy_alerts:?}"));
+        assert_eq!(eager.pending(), lazy.pending());
     }
 
     #[test]

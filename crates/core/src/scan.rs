@@ -4,13 +4,28 @@
 //! prefix" — done solely from archived raw data: BGP UPDATE messages give
 //! announce/withdraw transitions, STATE messages give session failures.
 //! Each interval is processed with no knowledge of earlier intervals.
+//!
+//! Two equivalent execution paths produce byte-identical [`ScanResult`]s:
+//!
+//! * [`scan`] — the eager reference path: decode every record with the
+//!   tolerant [`MrtReader`] and fold it into the accumulator.
+//! * [`scan_indexed`] — the fast path: frame the archive once into a
+//!   [`FrameIndex`], then *prefilter on raw bytes*. Each frame is
+//!   validated and classified without allocating; a BGP UPDATE pays for
+//!   a full decode only when its NLRI mentions a beacon prefix. STATE
+//!   records (session downs) and relevant UPDATEs decode fully;
+//!   everything else is counted and skipped at the byte level.
+//!
+//! [`scan_sharded`] is the public entry point used by experiments: it
+//! builds the index and delegates to [`scan_indexed`].
 
 use crate::interval::BeaconInterval;
-use bgpz_mrt::{BgpState, MrtBody, MrtReadStats, MrtReader};
-use bgpz_types::{AsPath, Asn, BgpMessage, Prefix, SimTime};
+use bgpz_mrt::{BgpState, FrameIndex, FrameKind, MrtBody, MrtReadStats, MrtReader, MrtRecord};
+use bgpz_types::{AsPath, Asn, BgpMessage, MessageKind, Prefix, SimTime};
 use bytes::Bytes;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{IpAddr, Ipv4Addr};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Identity of one peer router as seen in the archive.
@@ -71,77 +86,129 @@ impl ScanResult {
     }
 }
 
-/// Scans `updates` (an MRT BGP4MP stream) against `intervals`.
+/// Prefix → interval lookup shared by every scan path.
 ///
-/// `window_after_withdraw` bounds how far past each withdrawal
-/// observations are collected — make it at least the largest threshold you
-/// will classify with (the paper sweeps to 180 minutes).
-pub fn scan(
-    updates: Bytes,
-    intervals: &[BeaconInterval],
+/// Locating prefers the latest-starting interval of a prefix whose window
+/// still covers the observation (collision safety when windows overlap).
+struct IntervalLocator<'a> {
+    intervals: &'a [BeaconInterval],
+    /// Interval indices per prefix, sorted by interval start.
+    by_prefix: HashMap<Prefix, Vec<usize>>,
     window_after_withdraw: u64,
-) -> ScanResult {
-    // Index intervals by prefix, sorted by start, for window lookup.
-    let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
-    for (i, interval) in intervals.iter().enumerate() {
-        by_prefix.entry(interval.prefix).or_default().push(i);
-    }
-    for list in by_prefix.values_mut() {
-        list.sort_by_key(|&i| intervals[i].start);
-    }
-    let window_end = |iv: &BeaconInterval| -> SimTime { iv.withdraw_at + window_after_withdraw };
+}
 
-    // Locates the interval whose window contains (prefix, t), preferring
-    // the latest-starting one (collision safety).
-    let locate = |prefix: Prefix, t: SimTime| -> Option<usize> {
-        let list = by_prefix.get(&prefix)?;
+impl<'a> IntervalLocator<'a> {
+    fn new(intervals: &'a [BeaconInterval], window_after_withdraw: u64) -> IntervalLocator<'a> {
+        let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
+        for (i, interval) in intervals.iter().enumerate() {
+            by_prefix.entry(interval.prefix).or_default().push(i);
+        }
+        for list in by_prefix.values_mut() {
+            list.sort_by_key(|&i| intervals[i].start);
+        }
+        IntervalLocator {
+            intervals,
+            by_prefix,
+            window_after_withdraw,
+        }
+    }
+
+    /// Cheap relevance test: is `prefix` a beacon prefix at all? Used by
+    /// the raw-byte prefilter before paying for a full decode; windows are
+    /// checked later by [`IntervalLocator::locate`], so a `true` here is a
+    /// superset of what actually lands in a history.
+    fn relevant(&self, prefix: Prefix) -> bool {
+        self.by_prefix.contains_key(&prefix)
+    }
+
+    /// Locates the interval whose window contains (prefix, t), preferring
+    /// the latest-starting one.
+    fn locate(&self, prefix: Prefix, t: SimTime) -> Option<usize> {
+        let list = self.by_prefix.get(&prefix)?;
         // Binary search for the last interval with start <= t.
-        let pos = list.partition_point(|&i| intervals[i].start <= t);
+        let pos = list.partition_point(|&i| self.intervals[i].start <= t);
         if pos == 0 {
             return None;
         }
         let idx = list[pos - 1];
-        (t <= window_end(&intervals[idx])).then_some(idx)
-    };
+        let end = self.intervals[idx].withdraw_at + self.window_after_withdraw;
+        (t <= end).then_some(idx)
+    }
+}
 
-    let mut result = ScanResult {
-        intervals: intervals.to_vec(),
-        histories: vec![HashMap::new(); intervals.len()],
-        ..ScanResult::default()
-    };
-    let mut peers_seen: HashMap<PeerId, ()> = HashMap::new();
+/// Hash-consing cache for AS paths: one `Arc<AsPath>` per distinct path
+/// per scan. Archives repeat the same handful of paths thousands of
+/// times; interning collapses them to shared allocations.
+#[derive(Default)]
+struct PathInterner {
+    paths: HashMap<AsPath, Arc<AsPath>>,
+}
 
-    let mut reader = MrtReader::new(updates);
-    while let Some(record) = reader.next_record() {
-        match record.body {
+impl PathInterner {
+    fn intern(&mut self, path: &AsPath) -> Arc<AsPath> {
+        if let Some(interned) = self.paths.get(path) {
+            return Arc::clone(interned);
+        }
+        let interned = Arc::new(path.clone());
+        self.paths.insert(path.clone(), Arc::clone(&interned));
+        interned
+    }
+}
+
+/// Mutable scan state folded over records in archive order. Both the
+/// eager and the indexed path funnel decoded records through
+/// [`Accum::apply`], so their per-record semantics cannot drift.
+struct Accum {
+    histories: Vec<HashMap<PeerId, History>>,
+    peers: HashSet<PeerId>,
+    session_downs: HashMap<PeerId, Vec<SimTime>>,
+    interner: PathInterner,
+}
+
+impl Accum {
+    fn new(interval_count: usize) -> Accum {
+        Accum {
+            histories: vec![HashMap::new(); interval_count],
+            peers: HashSet::new(),
+            session_downs: HashMap::new(),
+            interner: PathInterner::default(),
+        }
+    }
+
+    fn apply(&mut self, record: &MrtRecord, locator: &IntervalLocator<'_>) {
+        match &record.body {
             MrtBody::Message(msg) => {
                 let peer = PeerId {
                     addr: msg.session.peer_ip,
                     asn: msg.session.peer_as,
                 };
-                let BgpMessage::Update(update) = msg.message else {
-                    continue;
+                let BgpMessage::Update(update) = &msg.message else {
+                    return;
                 };
-                peers_seen.entry(peer).or_default();
-                let aggregator = update.attrs.aggregator.map(|a| a.addr);
-                let path = update.attrs.as_path.clone().map(Arc::new);
+                self.peers.insert(peer);
+                let aggregator = update.attrs.aggregator.as_ref().map(|a| a.addr);
+                let path = update
+                    .attrs
+                    .as_path
+                    .as_ref()
+                    .map(|p| self.interner.intern(p));
                 for prefix in update.announced() {
-                    let Some(idx) = locate(prefix, record.timestamp) else {
+                    let Some(idx) = locator.locate(prefix, record.timestamp) else {
                         continue;
                     };
                     let Some(path) = path.clone() else {
                         continue; // an announcement without AS_PATH is bogus
                     };
-                    result.histories[idx]
+                    self.histories[idx]
                         .entry(peer)
                         .or_default()
                         .push((record.timestamp, Observation::Announce { path, aggregator }));
                 }
                 for prefix in update.withdrawn_all() {
-                    let Some(idx) = locate(prefix, record.timestamp) else {
+                    let Some(idx) = locator.locate(prefix, record.timestamp) else {
                         continue;
                     };
-                    result.histories[idx]
+                    self.histories[idx]
                         .entry(peer)
                         .or_default()
                         .push((record.timestamp, Observation::Withdraw));
@@ -152,12 +219,11 @@ pub fn scan(
                     addr: change.session.peer_ip,
                     asn: change.session.peer_as,
                 };
-                peers_seen.entry(peer).or_default();
+                self.peers.insert(peer);
                 if change.old_state == BgpState::Established
                     && change.new_state != BgpState::Established
                 {
-                    result
-                        .session_downs
+                    self.session_downs
                         .entry(peer)
                         .or_default()
                         .push(record.timestamp);
@@ -168,18 +234,53 @@ pub fn scan(
             }
         }
     }
+}
+
+/// Finalizes an accumulator into a [`ScanResult`]: sorts downs and peers,
+/// attaches the read statistics.
+fn finish(acc: Accum, intervals: &[BeaconInterval], read_stats: MrtReadStats) -> ScanResult {
+    let mut result = ScanResult {
+        intervals: intervals.to_vec(),
+        histories: acc.histories,
+        session_downs: acc.session_downs,
+        read_stats,
+        ..ScanResult::default()
+    };
     for downs in result.session_downs.values_mut() {
         downs.sort_unstable();
     }
-    result.peers = peers_seen.into_keys().collect();
+    result.peers = acc.peers.into_iter().collect();
     result.peers.sort();
-    result.read_stats = reader.stats();
     result
 }
 
+/// Scans `updates` (an MRT BGP4MP stream) against `intervals`.
+///
+/// `window_after_withdraw` bounds how far past each withdrawal
+/// observations are collected — make it at least the largest threshold you
+/// will classify with (the paper sweeps to 180 minutes).
+///
+/// This is the eager reference path: every record is fully decoded. Prefer
+/// [`scan_sharded`] (or [`scan_indexed`] with a prebuilt [`FrameIndex`]),
+/// which skips irrelevant records at the byte level and parallelizes.
+pub fn scan(
+    updates: Bytes,
+    intervals: &[BeaconInterval],
+    window_after_withdraw: u64,
+) -> ScanResult {
+    let locator = IntervalLocator::new(intervals, window_after_withdraw);
+    let mut acc = Accum::new(intervals.len());
+    let mut reader = MrtReader::new(updates);
+    while let Some(record) = reader.next_record() {
+        acc.apply(&record, &locator);
+    }
+    let stats = reader.stats();
+    finish(acc, intervals, stats)
+}
+
 /// Records post-merge scan metrics. Called exactly once per
-/// [`scan_sharded`] call — never per shard, where totals would scale with
-/// the worker count — so every counter is invariant under `jobs`.
+/// [`scan_indexed`] call — never per worker, where totals would scale with
+/// the thread count — so every counter is invariant under `jobs`.
 fn record_scan_metrics(result: &ScanResult) {
     use bgpz_obs::metrics::counter;
     let stats = result.read_stats;
@@ -217,94 +318,204 @@ fn record_scan_metrics(result: &ScanResult) {
     );
 }
 
-/// Scans `updates` against `intervals` on `jobs` worker threads, producing
-/// a [`ScanResult`] byte-identical to the serial [`scan`].
+/// One worker's output: the fold state plus the read statistics for its
+/// frame range (trailing bytes are accounted once by the index, not here).
+struct ChunkScan {
+    acc: Accum,
+    stats: MrtReadStats,
+}
+
+/// Splits `count` frames into at most `workers` contiguous, near-equal
+/// ranges (first `count % workers` ranges get one extra frame).
+fn chunk_ranges(count: usize, workers: usize) -> Vec<Range<usize>> {
+    let base = count / workers;
+    let extra = count % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for k in 0..workers {
+        let len = base + usize::from(k < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Scans one contiguous range of indexed frames with the raw-byte
+/// prefilter: a frame is fully decoded at most once, and a BGP UPDATE is
+/// decoded only if its NLRI mentions a beacon prefix.
+fn scan_frames(
+    index: &FrameIndex,
+    range: Range<usize>,
+    locator: &IntervalLocator<'_>,
+) -> ChunkScan {
+    let mut acc = Accum::new(locator.intervals.len());
+    let mut stats = MrtReadStats::default();
+    for i in range {
+        let frame = index.frame(i);
+        match frame.peek_kind() {
+            FrameKind::Message { .. } => {
+                // Zero-allocation validation stands in for the decode the
+                // tolerant reader would have attempted: `validate()` agrees
+                // with `MrtRecord::decode(..).is_ok()` byte for byte.
+                if !frame.validate() {
+                    stats.skipped += 1;
+                    bgpz_obs::debug!(
+                        target: "mrt::read",
+                        "skipped malformed record ({} body bytes)",
+                        frame.meta().body_len()
+                    );
+                    continue;
+                }
+                stats.ok += 1;
+                stats.ok_messages += 1;
+                if frame.peek_bgp_kind() != Some(MessageKind::Update) {
+                    continue; // OPEN / KEEPALIVE / NOTIFICATION: no peer, no NLRI
+                }
+                let peer = frame.peer_addr().map(|(addr, asn)| PeerId { addr, asn });
+                let relevant = frame
+                    .nlri_prefixes()
+                    .any(|(_, prefix)| locator.relevant(prefix));
+                match (relevant, peer) {
+                    (false, Some(peer)) => {
+                        // Irrelevant UPDATE: register the peer (the eager
+                        // path does) and skip the decode entirely.
+                        acc.peers.insert(peer);
+                    }
+                    _ => {
+                        let record = frame.decode().expect("validated frame must decode");
+                        acc.apply(&record, locator);
+                    }
+                }
+            }
+            FrameKind::StateChange { .. } | FrameKind::PeerIndex | FrameKind::Rib => {
+                // Session downs always matter; RIB records are rare in
+                // update archives. Decode fully, tolerant-reader style.
+                match frame.decode() {
+                    Ok(record) => {
+                        stats.record_ok(&record.body);
+                        acc.apply(&record, locator);
+                    }
+                    Err(e) => {
+                        stats.skipped += 1;
+                        bgpz_obs::debug!(
+                            target: "mrt::read",
+                            "skipped malformed record ({} body bytes): {e}",
+                            frame.meta().body_len()
+                        );
+                    }
+                }
+            }
+            FrameKind::Unknown => {
+                // The decoder's dispatch table rejects exactly these
+                // type/subtype combinations, so no decode is needed to know
+                // the tolerant reader would skip the frame.
+                stats.skipped += 1;
+                bgpz_obs::debug!(
+                    target: "mrt::read",
+                    "skipped malformed record ({} body bytes)",
+                    frame.meta().body_len()
+                );
+            }
+        }
+    }
+    ChunkScan { acc, stats }
+}
+
+/// Scans a prebuilt [`FrameIndex`] against `intervals` on up to `jobs`
+/// worker threads, producing a [`ScanResult`] byte-identical to the serial
+/// eager [`scan`] at every thread count.
 ///
-/// The intervals are partitioned by **prefix** (all intervals of one
-/// prefix land in the same shard) because interval location prefers the
-/// latest-starting interval of a prefix whose window still covers the
-/// observation: splitting a prefix's intervals across shards could hand an
-/// observation to an older interval that the serial path assigns to a
-/// newer one. Prefix groups are dealt round-robin over the shards in
-/// sorted-prefix order and each shard's histories are scattered back into
-/// the original interval positions, so the merge is deterministic and
-/// independent of both thread count and scheduling order: same input ⇒
-/// identical output for every `jobs`.
-///
-/// `jobs <= 1` (or a trivially small input) delegates to [`scan`].
+/// The index's frame list is split into contiguous near-equal ranges, one
+/// per worker; each worker folds its range with the raw-byte prefilter
+/// (see [`scan_frames`]) into an independent accumulator. Merging walks
+/// the chunks in archive order and appends per-(interval, peer) histories,
+/// so concatenation reproduces exactly the order the serial fold would
+/// have produced — deterministic and independent of scheduling. Peers are
+/// a set union; session downs are concatenated then sorted; read
+/// statistics are summed, with trailing bytes taken from the index (they
+/// belong to the archive, not to any frame range).
+pub fn scan_indexed(
+    index: &FrameIndex,
+    intervals: &[BeaconInterval],
+    window_after_withdraw: u64,
+    jobs: usize,
+) -> ScanResult {
+    let _span = bgpz_obs::span("core::scan", "scan_sharded");
+    let locator = IntervalLocator::new(intervals, window_after_withdraw);
+    let frame_count = index.len();
+    let workers = jobs.max(1).min(frame_count.max(1));
+
+    let chunks: Vec<ChunkScan> = if workers <= 1 {
+        vec![scan_frames(index, 0..frame_count, &locator)]
+    } else {
+        bgpz_obs::debug!(
+            target: "core::scan",
+            "scanning {frame_count} frames across {workers} chunks"
+        );
+        let ranges = chunk_ranges(frame_count, workers);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    let locator = &locator;
+                    s.spawn(move |_| scan_frames(index, range, locator))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan chunk worker panicked"))
+                .collect()
+        })
+        .expect("scan chunk scope panicked")
+    };
+
+    // Merge in chunk (= archive) order.
+    let mut merged = Accum::new(intervals.len());
+    let mut stats = MrtReadStats::default();
+    for chunk in chunks {
+        stats.absorb(&chunk.stats);
+        merged.peers.extend(chunk.acc.peers);
+        for (idx, histories) in chunk.acc.histories.into_iter().enumerate() {
+            for (peer, mut history) in histories {
+                merged.histories[idx]
+                    .entry(peer)
+                    .or_default()
+                    .append(&mut history);
+            }
+        }
+        for (peer, mut times) in chunk.acc.session_downs {
+            merged
+                .session_downs
+                .entry(peer)
+                .or_default()
+                .append(&mut times);
+        }
+    }
+    stats.trailing_bytes = index.trailing_bytes();
+
+    let result = finish(merged, intervals, stats);
+    record_scan_metrics(&result);
+    result
+}
+
+/// Scans `updates` against `intervals` on `jobs` worker threads: frames
+/// the archive once into a [`FrameIndex`] and delegates to
+/// [`scan_indexed`]. Same input ⇒ byte-identical [`ScanResult`] at every
+/// `jobs`. Callers scanning the same archive against several interval sets
+/// should build the index themselves and call [`scan_indexed`] directly so
+/// the framing pass is paid once.
 pub fn scan_sharded(
     updates: Bytes,
     intervals: &[BeaconInterval],
     window_after_withdraw: u64,
     jobs: usize,
 ) -> ScanResult {
-    let _span = bgpz_obs::span("core::scan", "scan_sharded");
-    // Group interval indices by prefix.
-    let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
-    for (i, interval) in intervals.iter().enumerate() {
-        by_prefix.entry(interval.prefix).or_default().push(i);
-    }
-    let shard_count = jobs.min(by_prefix.len());
-    if shard_count <= 1 {
-        let result = scan(updates, intervals, window_after_withdraw);
-        record_scan_metrics(&result);
-        return result;
-    }
-    bgpz_obs::debug!(
-        target: "core::scan",
-        "scanning {} intervals across {shard_count} shards",
-        intervals.len()
-    );
-
-    // Deterministic shard assignment: sorted prefixes, round-robin.
-    let mut prefixes: Vec<Prefix> = by_prefix.keys().copied().collect();
-    prefixes.sort_unstable();
-    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
-    for (k, prefix) in prefixes.iter().enumerate() {
-        shards[k % shard_count].extend(by_prefix[prefix].iter().copied());
-    }
-
-    // Scan every shard against the shared archive (Bytes clones share the
-    // underlying buffer) and collect in shard order.
-    let shard_results: Vec<ScanResult> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|indices| {
-                let updates = updates.clone();
-                s.spawn(move |_| {
-                    let subset: Vec<BeaconInterval> =
-                        indices.iter().map(|&i| intervals[i]).collect();
-                    scan(updates, &subset, window_after_withdraw)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan shard worker panicked"))
-            .collect()
-    })
-    .expect("scan shard scope panicked");
-
-    // Merge. Peers, session downs, and read stats are derived from the
-    // whole archive, so every shard computed identical copies — take the
-    // first. Histories are scattered back to their original positions.
-    let mut merged = ScanResult {
-        intervals: intervals.to_vec(),
-        histories: (0..intervals.len()).map(|_| HashMap::new()).collect(),
-        ..ScanResult::default()
-    };
-    let mut shard_results = shard_results;
-    let first = &mut shard_results[0];
-    merged.peers = std::mem::take(&mut first.peers);
-    merged.session_downs = std::mem::take(&mut first.session_downs);
-    merged.read_stats = first.read_stats;
-    for (indices, result) in shards.iter().zip(shard_results) {
-        for (&orig, history) in indices.iter().zip(result.histories) {
-            merged.histories[orig] = history;
-        }
-    }
-    record_scan_metrics(&merged);
-    merged
+    scan_indexed(
+        &FrameIndex::build(updates),
+        intervals,
+        window_after_withdraw,
+        jobs,
+    )
 }
 
 /// The peer's route state for an interval at `check_time`, derived from

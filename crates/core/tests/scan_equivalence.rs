@@ -1,0 +1,235 @@
+//! Property tests for the zero-copy indexed scan: the raw-byte
+//! prefilter path must be observably identical to the eager
+//! decode-everything path over archives that interleave well-formed,
+//! malformed, and truncated records — including identical tolerant-reader
+//! statistics — and the sharded merge must be byte-identical at every
+//! worker count.
+
+use bgpz_core::{scan, scan_indexed, BeaconInterval, PeerId, ScanResult};
+use bgpz_mrt::bgp4mp::SessionHeader;
+use bgpz_mrt::{
+    Bgp4mpMessage, Bgp4mpStateChange, BgpState, FrameIndex, MrtBody, MrtRecord, MrtWriter,
+};
+use bgpz_types::attrs::{MpReach, MpUnreach, NextHop};
+use bgpz_types::{AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes, Prefix, SimTime};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// First four are beacon prefixes with intervals; the rest are noise the
+/// prefilter should skip without decoding.
+const PREFIXES: [&str; 6] = [
+    "2a0d:3dc1:1::/48",
+    "2a0d:3dc1:2::/48",
+    "2a0d:3dc1:3::/48",
+    "2a0d:3dc1:4::/48",
+    "2001:db8:aaaa::/48",
+    "2001:db8:bbbb::/48",
+];
+
+const WINDOW: u64 = 4 * 3_600;
+
+fn intervals() -> Vec<BeaconInterval> {
+    let mut out = Vec::new();
+    for prefix in &PREFIXES[..4] {
+        for k in 0..2u64 {
+            out.push(BeaconInterval {
+                prefix: prefix.parse().unwrap(),
+                start: SimTime(k * 14_400),
+                withdraw_at: SimTime(k * 14_400 + 7_200),
+            });
+        }
+    }
+    out
+}
+
+fn session(peer: u8) -> SessionHeader {
+    SessionHeader {
+        peer_as: Asn(64_000 + peer as u32),
+        local_as: Asn(12_654),
+        ifindex: 0,
+        peer_ip: format!("2001:db8:90::{}", peer + 1).parse().unwrap(),
+        local_ip: "2001:7f8:24::82".parse().unwrap(),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Announce { with_path: bool },
+    Withdraw,
+    Down,
+    Keepalive,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => any::<bool>().prop_map(|with_path| Action::Announce { with_path }),
+        2 => Just(Action::Withdraw),
+        1 => Just(Action::Down),
+        1 => Just(Action::Keepalive),
+    ]
+}
+
+fn build_record(ts: u64, peer: u8, prefix_idx: usize, action: &Action) -> MrtRecord {
+    let prefix: Prefix = PREFIXES[prefix_idx].parse().unwrap();
+    let body = match action {
+        Action::Announce { with_path } => {
+            let mut attrs = if *with_path {
+                PathAttributes::announcement(AsPath::from_sequence([
+                    64_000 + peer as u32,
+                    25_091,
+                    210_312,
+                ]))
+            } else {
+                // An announcement without AS_PATH: the scan must register
+                // the peer but record no observation.
+                PathAttributes::default()
+            };
+            attrs.mp_reach = Some(MpReach {
+                afi: bgpz_types::Afi::Ipv6,
+                safi: 1,
+                next_hop: NextHop::V6 {
+                    global: "2001:db8::1".parse().unwrap(),
+                    link_local: None,
+                },
+                nlri: vec![prefix],
+            });
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(peer),
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs,
+                    ..BgpUpdate::default()
+                }),
+            })
+        }
+        Action::Withdraw => MrtBody::Message(Bgp4mpMessage {
+            session: session(peer),
+            message: BgpMessage::Update(BgpUpdate {
+                attrs: PathAttributes {
+                    mp_unreach: Some(MpUnreach {
+                        afi: bgpz_types::Afi::Ipv6,
+                        safi: 1,
+                        withdrawn: vec![prefix],
+                    }),
+                    ..PathAttributes::default()
+                },
+                ..BgpUpdate::default()
+            }),
+        }),
+        Action::Down => MrtBody::StateChange(Bgp4mpStateChange {
+            session: session(peer),
+            old_state: BgpState::Established,
+            new_state: BgpState::Idle,
+        }),
+        Action::Keepalive => MrtBody::Message(Bgp4mpMessage {
+            session: session(peer),
+            message: BgpMessage::Keepalive,
+        }),
+    };
+    MrtRecord::new(SimTime(ts), body)
+}
+
+/// A deterministic, order-insensitive rendering of a [`ScanResult`],
+/// including the tolerant-reader statistics.
+fn fingerprint(result: &ScanResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "intervals={:?}", result.intervals);
+    let _ = writeln!(out, "peers={:?}", result.peers);
+    let _ = writeln!(out, "stats={:?}", result.read_stats);
+    for (i, histories) in result.histories.iter().enumerate() {
+        let mut keys: Vec<&PeerId> = histories.keys().collect();
+        keys.sort();
+        for key in keys {
+            let _ = writeln!(out, "history[{i}][{key}]={:?}", histories[key]);
+        }
+    }
+    let mut downs: Vec<(&PeerId, &Vec<SimTime>)> = result.session_downs.iter().collect();
+    downs.sort_by_key(|&(peer, _)| peer);
+    for (peer, times) in downs {
+        let _ = writeln!(out, "downs[{peer}]={times:?}");
+    }
+    out
+}
+
+type ArchiveSpec = (
+    Vec<(u64, u8, usize, Action)>,
+    Vec<(prop::sample::Index, u8)>,
+    Option<prop::sample::Index>,
+    Vec<u8>,
+);
+
+/// Records (possibly unsorted), byte flips, an optional truncation point,
+/// and trailing garbage — together they produce archives interleaving
+/// well-formed, malformed, and truncated records.
+fn arb_archive() -> impl Strategy<Value = ArchiveSpec> {
+    (
+        proptest::collection::vec(
+            (0u64..40_000, 0u8..3, 0usize..PREFIXES.len(), arb_action()),
+            0..24,
+        ),
+        proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..8),
+        proptest::option::of(any::<prop::sample::Index>()),
+        proptest::collection::vec(any::<u8>(), 0..32),
+    )
+}
+
+fn assemble(spec: ArchiveSpec) -> Bytes {
+    let (actions, flips, truncate, garbage) = spec;
+    let mut records: Vec<MrtRecord> = actions
+        .iter()
+        .map(|(ts, peer, prefix_idx, action)| build_record(*ts, *peer, *prefix_idx, action))
+        .collect();
+    records.sort_by_key(|r| r.timestamp);
+    let mut writer = MrtWriter::new();
+    for record in &records {
+        writer.push(record);
+    }
+    let mut bytes = writer.finish().to_vec();
+    for (idx, val) in flips {
+        if !bytes.is_empty() {
+            let i = idx.index(bytes.len());
+            bytes[i] = val;
+        }
+    }
+    if let Some(at) = truncate {
+        let keep = at.index(bytes.len() + 1);
+        bytes.truncate(keep);
+    }
+    bytes.extend(garbage);
+    Bytes::from(bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lazy-prefilter scan produces a `ScanResult` identical to the
+    /// eager decode-everything scan — histories, peers, session downs,
+    /// and `read_stats` — over corrupted archives.
+    #[test]
+    fn indexed_scan_matches_eager(spec in arb_archive()) {
+        let bytes = assemble(spec);
+        let intervals = intervals();
+        let eager = scan(bytes.clone(), &intervals, WINDOW);
+        let index = FrameIndex::build(bytes);
+        let indexed = scan_indexed(&index, &intervals, WINDOW, 1);
+        prop_assert_eq!(fingerprint(&eager), fingerprint(&indexed));
+    }
+
+    /// The chunk-parallel merge is byte-identical at every worker count.
+    #[test]
+    fn indexed_scan_deterministic_across_jobs(spec in arb_archive()) {
+        let bytes = assemble(spec);
+        let intervals = intervals();
+        let index = FrameIndex::build(bytes);
+        let reference = fingerprint(&scan_indexed(&index, &intervals, WINDOW, 1));
+        for jobs in [2, 8] {
+            let sharded = scan_indexed(&index, &intervals, WINDOW, jobs);
+            prop_assert_eq!(
+                fingerprint(&sharded),
+                reference.clone(),
+                "jobs={} diverged",
+                jobs
+            );
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Zero-copy MRT frame index.
+//!
+//! [`FrameIndex::build`] makes **one** cheap framing pass over an archive:
+//! it walks the 12-byte common headers, records each frame's byte range,
+//! MRT type/subtype and timestamp, and counts unframeable trailing bytes
+//! exactly once. No record body is parsed and nothing is allocated beyond
+//! the [`FrameMeta`] vector, so indexing runs at memory-bandwidth speed.
+//!
+//! The index is the substrate of the lazy scan path (see [`crate::lazy`]):
+//! consumers peek at raw frame bytes through [`crate::lazy::LazyFrame`]
+//! views and pay for a full [`MrtRecord::decode`](crate::MrtRecord::decode)
+//! only on the frames that matter. Shared `Bytes` semantics make the index
+//! cheap to hand to worker threads — all views borrow one buffer.
+
+use crate::lazy::LazyFrame;
+use bgpz_types::SimTime;
+use bytes::Bytes;
+
+/// Outcome of framing one record at the head of a byte slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameOutcome {
+    /// The slice is exhausted.
+    Empty,
+    /// A complete frame of `total` bytes (common header + declared body).
+    Frame {
+        /// Whole frame length in bytes, header included.
+        total: usize,
+    },
+    /// `tail` bytes remain but cannot hold a complete frame.
+    Trailing {
+        /// Remaining unframeable byte count.
+        tail: usize,
+        /// True when even the 12-byte common header is incomplete;
+        /// false when the declared body is truncated.
+        header: bool,
+        /// The declared body length (0 when the header is incomplete).
+        body_len: usize,
+    },
+}
+
+/// Frames the record at the head of `data` using only the common header.
+///
+/// This is the single definition of MRT framing in the crate: the tolerant
+/// [`MrtReader`](crate::MrtReader) and [`FrameIndex::build`] both call it,
+/// so their `trailing_bytes` accounting can never diverge.
+pub(crate) fn frame_at(data: &[u8]) -> FrameOutcome {
+    if data.is_empty() {
+        return FrameOutcome::Empty;
+    }
+    if data.len() < 12 {
+        return FrameOutcome::Trailing {
+            tail: data.len(),
+            header: true,
+            body_len: 0,
+        };
+    }
+    let body_len = u32::from_be_bytes([data[8], data[9], data[10], data[11]]) as usize;
+    let total = 12 + body_len;
+    if data.len() < total {
+        return FrameOutcome::Trailing {
+            tail: data.len(),
+            header: false,
+            body_len,
+        };
+    }
+    FrameOutcome::Frame { total }
+}
+
+/// Per-frame metadata recorded by the framing pass: everything the common
+/// header declares, plus the frame's position in the archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Byte offset of the frame (start of the common header).
+    pub offset: usize,
+    /// Whole frame length in bytes, 12-byte header included.
+    pub len: usize,
+    /// MRT type code (see [`crate::record::mrt_type`]).
+    pub mrt_type: u16,
+    /// MRT subtype code.
+    pub subtype: u16,
+    /// Header timestamp (second granularity).
+    pub timestamp: SimTime,
+}
+
+impl FrameMeta {
+    /// Declared body length (frame length minus the common header).
+    pub fn body_len(&self) -> usize {
+        self.len - 12
+    }
+}
+
+/// A frame index over one in-memory MRT archive.
+///
+/// ```
+/// use bgpz_mrt::{FrameIndex, MrtBody, MrtRecord, MrtWriter};
+/// use bgpz_mrt::table_dump::PeerIndexTable;
+/// use bgpz_types::SimTime;
+/// let mut writer = MrtWriter::new();
+/// writer.push(&MrtRecord::new(
+///     SimTime(42),
+///     MrtBody::PeerIndex(PeerIndexTable {
+///         collector_id: std::net::Ipv4Addr::new(193, 0, 4, 28),
+///         view_name: String::new(),
+///         peers: vec![],
+///     }),
+/// ));
+/// let index = FrameIndex::build(writer.finish());
+/// assert_eq!(index.len(), 1);
+/// assert_eq!(index.frame(0).peek_timestamp(), SimTime(42));
+/// assert!(index.frame(0).decode().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameIndex {
+    data: Bytes,
+    frames: Vec<FrameMeta>,
+    trailing_bytes: usize,
+}
+
+impl FrameIndex {
+    /// Builds the index with one framing pass over `data`.
+    ///
+    /// Trailing bytes that cannot be framed (stream ends inside a common
+    /// header or declared body) are counted once, exactly as the tolerant
+    /// [`MrtReader`](crate::MrtReader) counts them.
+    pub fn build(data: Bytes) -> FrameIndex {
+        let mut frames = Vec::new();
+        let mut trailing_bytes = 0;
+        let mut pos = 0;
+        loop {
+            match frame_at(&data[pos..]) {
+                FrameOutcome::Empty => break,
+                FrameOutcome::Frame { total } => {
+                    let b = &data[pos..];
+                    frames.push(FrameMeta {
+                        offset: pos,
+                        len: total,
+                        timestamp: SimTime(u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as u64),
+                        mrt_type: u16::from_be_bytes([b[4], b[5]]),
+                        subtype: u16::from_be_bytes([b[6], b[7]]),
+                    });
+                    pos += total;
+                }
+                FrameOutcome::Trailing {
+                    tail,
+                    header,
+                    body_len,
+                } => {
+                    if header {
+                        bgpz_obs::warn!(
+                            target: "mrt::read",
+                            "{tail} trailing bytes could not be framed (stream ended inside a common header)"
+                        );
+                    } else {
+                        bgpz_obs::warn!(
+                            target: "mrt::read",
+                            "{tail} trailing bytes could not be framed (declared body of {body_len} bytes truncated)"
+                        );
+                    }
+                    trailing_bytes = tail;
+                    break;
+                }
+            }
+        }
+        FrameIndex {
+            data,
+            frames,
+            trailing_bytes,
+        }
+    }
+
+    /// The underlying archive bytes.
+    pub fn data(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Number of framed records.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the archive framed no records.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Unframeable trailing bytes, counted once for the whole archive.
+    pub fn trailing_bytes(&self) -> usize {
+        self.trailing_bytes
+    }
+
+    /// Metadata of frame `i`.
+    pub fn meta(&self, i: usize) -> &FrameMeta {
+        &self.frames[i]
+    }
+
+    /// A lazy zero-copy view of frame `i`.
+    pub fn frame(&self, i: usize) -> LazyFrame<'_> {
+        LazyFrame::new(self, &self.frames[i])
+    }
+
+    /// Iterates lazy views over every frame, in archive order.
+    pub fn frames(&self) -> impl ExactSizeIterator<Item = LazyFrame<'_>> {
+        self.frames
+            .iter()
+            .map(move |meta| LazyFrame::new(self, meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp4mp::{Bgp4mpMessage, SessionHeader};
+    use crate::reader::MrtWriter;
+    use crate::record::{bgp4mp_subtype, mrt_type, MrtBody, MrtRecord};
+    use bgpz_types::{AsPath, Asn, BgpMessage, BgpUpdate, PathAttributes};
+    use bytes::BytesMut;
+
+    fn sample_record(ts: u64) -> MrtRecord {
+        MrtRecord::new(
+            SimTime(ts),
+            MrtBody::Message(Bgp4mpMessage {
+                session: SessionHeader {
+                    peer_as: Asn(211_509),
+                    local_as: Asn(12_654),
+                    ifindex: 0,
+                    peer_ip: "176.119.234.201".parse().unwrap(),
+                    local_ip: "193.0.4.28".parse().unwrap(),
+                },
+                message: BgpMessage::Update(BgpUpdate {
+                    attrs: PathAttributes::announcement(AsPath::from_sequence([211_509, 210_312])),
+                    ..BgpUpdate::default()
+                }),
+            }),
+        )
+    }
+
+    #[test]
+    fn indexes_every_frame_with_header_fields() {
+        let mut writer = MrtWriter::new();
+        for ts in 0..50 {
+            writer.push(&sample_record(ts));
+        }
+        let bytes = writer.finish();
+        let index = FrameIndex::build(bytes.clone());
+        assert_eq!(index.len(), 50);
+        assert_eq!(index.trailing_bytes(), 0);
+        let mut pos = 0;
+        for (i, meta) in (0..index.len()).map(|i| (i, *index.meta(i))) {
+            assert_eq!(meta.offset, pos);
+            assert_eq!(meta.timestamp, SimTime(i as u64));
+            assert_eq!(meta.mrt_type, mrt_type::BGP4MP);
+            assert_eq!(meta.subtype, bgp4mp_subtype::MESSAGE_AS4);
+            pos += meta.len;
+        }
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn truncated_tail_counted_once() {
+        let mut writer = MrtWriter::new();
+        writer.push(&sample_record(1));
+        writer.push(&sample_record(2));
+        let bytes = writer.finish();
+        let cut = bytes.slice(..bytes.len() - 5);
+        let index = FrameIndex::build(cut.clone());
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.trailing_bytes(), cut.len() - index.meta(0).len);
+    }
+
+    #[test]
+    fn tiny_tail_counted() {
+        let index = FrameIndex::build(Bytes::from_static(&[1, 2, 3]));
+        assert!(index.is_empty());
+        assert_eq!(index.trailing_bytes(), 3);
+    }
+
+    #[test]
+    fn empty_archive() {
+        let index = FrameIndex::build(Bytes::new());
+        assert!(index.is_empty());
+        assert_eq!(index.trailing_bytes(), 0);
+    }
+
+    #[test]
+    fn unknown_type_still_framed() {
+        let mut writer = MrtWriter::new();
+        writer.push(&sample_record(7));
+        let mut bytes = BytesMut::from(&writer.finish()[..]);
+        bytes[4] = 0;
+        bytes[5] = 99;
+        let index = FrameIndex::build(bytes.freeze());
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.meta(0).mrt_type, 99);
+        assert!(index.frame(0).decode().is_err());
+    }
+}

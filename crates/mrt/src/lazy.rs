@@ -1,0 +1,792 @@
+//! Zero-allocation lazy views over indexed MRT frames.
+//!
+//! A [`LazyFrame`] reads directly from the archive's wire bytes without
+//! materializing a record: [`LazyFrame::peek_kind`],
+//! [`LazyFrame::peek_timestamp`], [`LazyFrame::peer_addr`] and the
+//! [`LazyFrame::nlri_prefixes`] iterator answer the questions a scan asks
+//! of *every* frame ("who sent this?", "does it mention a beacon
+//! prefix?"), so the expensive [`MrtRecord::decode`] — path attributes,
+//! `String`s, `Vec`s — is paid only for the frames that matter.
+//!
+//! [`LazyFrame::validate`] walks the complete structural validation of
+//! [`MrtRecord::decode`] without allocating, and returns `true` exactly
+//! when a full decode would succeed. This is what preserves the tolerant
+//! reader's accounting (paper §3.2): a lazy scan can classify every frame
+//! as ok/skipped byte-for-byte identically to the eager path while
+//! decoding almost none of them. The equivalence is enforced by proptests
+//! interleaving well-formed, malformed and truncated records.
+//!
+//! `BGP4MP_STATE_CHANGE` and `TABLE_DUMP_V2` frames validate by decoding —
+//! they are rare in UPDATE streams and their decode is cheap relative to a
+//! message's attribute block — so only the hot `BGP4MP_MESSAGE` path
+//! carries a hand-written walk.
+
+use crate::index::{FrameIndex, FrameMeta};
+use crate::record::{bgp4mp_subtype, mrt_type, tdv2_subtype, MrtRecord};
+use bgpz_types::error::CodecResult;
+use bgpz_types::{Afi, Asn, MessageKind, Prefix, SimTime};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// What a frame's (type, subtype) pair declares it to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// `BGP4MP_MESSAGE(_AS4)`, plain or `_ET`.
+    Message {
+        /// 4-octet AS encoding (`_AS4` subtype).
+        as4: bool,
+    },
+    /// `BGP4MP_STATE_CHANGE(_AS4)`, plain or `_ET`.
+    StateChange {
+        /// 4-octet AS encoding (`_AS4` subtype).
+        as4: bool,
+    },
+    /// `TABLE_DUMP_V2 PEER_INDEX_TABLE`.
+    PeerIndex,
+    /// `TABLE_DUMP_V2 RIB_IPV4_UNICAST` / `RIB_IPV6_UNICAST`.
+    Rib,
+    /// Anything else — a full decode would reject it as an unknown variant.
+    Unknown,
+}
+
+/// Whether an NLRI prefix was announced or withdrawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlriKind {
+    /// Announced (legacy NLRI field or MP_REACH_NLRI).
+    Announced,
+    /// Withdrawn (legacy withdrawn field or MP_UNREACH_NLRI).
+    Withdrawn,
+}
+
+/// A zero-copy view of one indexed frame.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyFrame<'a> {
+    index: &'a FrameIndex,
+    meta: &'a FrameMeta,
+}
+
+impl<'a> LazyFrame<'a> {
+    pub(crate) fn new(index: &'a FrameIndex, meta: &'a FrameMeta) -> LazyFrame<'a> {
+        LazyFrame { index, meta }
+    }
+
+    /// The frame's header metadata.
+    pub fn meta(&self) -> &FrameMeta {
+        self.meta
+    }
+
+    /// The whole frame on the wire, common header included.
+    pub fn bytes(&self) -> &'a [u8] {
+        &self.index.data()[self.meta.offset..self.meta.offset + self.meta.len]
+    }
+
+    /// The declared record body (after the common header).
+    fn body(&self) -> &'a [u8] {
+        &self.bytes()[12..]
+    }
+
+    /// The BGP4MP payload: the body with the `_ET` microsecond word
+    /// stripped. `None` if an `_ET` body is too short to hold it.
+    fn bgp4mp_payload(&self) -> Option<&'a [u8]> {
+        let body = self.body();
+        if self.meta.mrt_type == mrt_type::BGP4MP_ET {
+            if body.len() < 4 {
+                return None;
+            }
+            Some(&body[4..])
+        } else {
+            Some(body)
+        }
+    }
+
+    /// Classifies the frame from its type/subtype alone.
+    pub fn peek_kind(&self) -> FrameKind {
+        match (self.meta.mrt_type, self.meta.subtype) {
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::MESSAGE) => {
+                FrameKind::Message { as4: false }
+            }
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::MESSAGE_AS4) => {
+                FrameKind::Message { as4: true }
+            }
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::STATE_CHANGE) => {
+                FrameKind::StateChange { as4: false }
+            }
+            (mrt_type::BGP4MP | mrt_type::BGP4MP_ET, bgp4mp_subtype::STATE_CHANGE_AS4) => {
+                FrameKind::StateChange { as4: true }
+            }
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE) => FrameKind::PeerIndex,
+            (
+                mrt_type::TABLE_DUMP_V2,
+                tdv2_subtype::RIB_IPV4_UNICAST | tdv2_subtype::RIB_IPV6_UNICAST,
+            ) => FrameKind::Rib,
+            _ => FrameKind::Unknown,
+        }
+    }
+
+    /// The common-header timestamp, read without decoding.
+    pub fn peek_timestamp(&self) -> SimTime {
+        self.meta.timestamp
+    }
+
+    /// The peer (address, AS) of a BGP4MP session header, read straight
+    /// from the wire. `None` for non-BGP4MP frames or ones too short /
+    /// malformed to carry a session header.
+    pub fn peer_addr(&self) -> Option<(IpAddr, Asn)> {
+        let as4 = match self.peek_kind() {
+            FrameKind::Message { as4 } | FrameKind::StateChange { as4 } => as4,
+            _ => return None,
+        };
+        let mut c = Cur::new(self.bgp4mp_payload()?);
+        let peer_as = if as4 {
+            Asn(c.u32()?)
+        } else {
+            Asn(c.u16()? as u32)
+        };
+        c.skip(if as4 { 4 } else { 2 })?; // local AS
+        c.skip(2)?; // ifindex
+        let addr = match c.u16()? {
+            1 => {
+                let o: [u8; 4] = c.take(4)?.try_into().ok()?;
+                IpAddr::V4(Ipv4Addr::from(o))
+            }
+            2 => {
+                let o: [u8; 16] = c.take(16)?.try_into().ok()?;
+                IpAddr::V6(Ipv6Addr::from(o))
+            }
+            _ => return None,
+        };
+        Some((addr, peer_as))
+    }
+
+    /// The BGP message type of a `BGP4MP_MESSAGE` frame, read from the
+    /// byte after the marker and length. `None` for non-message frames or
+    /// ones too short to position into.
+    pub fn peek_bgp_kind(&self) -> Option<MessageKind> {
+        let mut c = Cur::new(self.bgp4mp_payload()?);
+        self.skip_session(&mut c)?;
+        c.skip(16 + 2)?; // marker + length
+        MessageKind::from_code(c.u8()?).ok()
+    }
+
+    /// Skips a session header matching this frame's AS width; `None` for
+    /// non-message frames or truncated/invalid headers.
+    fn skip_session(&self, c: &mut Cur<'a>) -> Option<()> {
+        let as4 = match self.peek_kind() {
+            FrameKind::Message { as4 } => as4,
+            _ => return None,
+        };
+        c.skip(if as4 { 8 } else { 4 })?; // peer + local AS
+        c.skip(2)?; // ifindex
+        let endpoints = match c.u16()? {
+            1 => 8,
+            2 => 32,
+            _ => return None,
+        };
+        c.skip(endpoints)
+    }
+
+    /// Iterates every NLRI prefix an UPDATE mentions — the legacy
+    /// withdrawn field, MP_REACH_NLRI, MP_UNREACH_NLRI and the legacy
+    /// NLRI field — without decoding attributes.
+    ///
+    /// Empty for non-UPDATE frames. On a malformed frame the iterator
+    /// stops at the first structural inconsistency; pair it with
+    /// [`LazyFrame::validate`] when exactness matters.
+    pub fn nlri_prefixes(&self) -> NlriIter<'a> {
+        NlriIter::new(*self)
+    }
+
+    /// Locates the NLRI-bearing regions of an UPDATE body. Returns what
+    /// was found before the first structural inconsistency (if any).
+    fn nlri_regions(&self) -> [Option<Region<'a>>; 4] {
+        let mut regions: [Option<Region<'a>>; 4] = [None; 4];
+        let Some(payload) = self.bgp4mp_payload() else {
+            return regions;
+        };
+        let mut c = Cur::new(payload);
+        if self.skip_session(&mut c).is_none() {
+            return regions;
+        }
+        // BGP header: marker, length, type. Only UPDATEs carry NLRI.
+        if c.skip(16).is_none() {
+            return regions;
+        }
+        let Some(msg_len) = c.u16() else {
+            return regions;
+        };
+        if c.u8() != Some(MessageKind::Update.code()) {
+            return regions;
+        }
+        let Some(body_len) = (msg_len as usize).checked_sub(19) else {
+            return regions;
+        };
+        let Some(body) = c.take(body_len) else {
+            return regions;
+        };
+
+        let mut b = Cur::new(body);
+        // Legacy withdrawn routes (IPv4).
+        let Some(wd_len) = b.u16() else {
+            return regions;
+        };
+        let Some(withdrawn) = b.take(wd_len as usize) else {
+            return regions;
+        };
+        regions[0] = Some(Region {
+            kind: NlriKind::Withdrawn,
+            afi: Afi::Ipv4,
+            bytes: withdrawn,
+        });
+        // Attribute block: pick out MP_REACH / MP_UNREACH NLRI runs. Like
+        // the eager decoder, a repeated attribute keeps the last value.
+        let Some(at_len) = b.u16() else {
+            return regions;
+        };
+        let Some(attrs) = b.take(at_len as usize) else {
+            return regions;
+        };
+        // Legacy NLRI (IPv4): everything after the attribute block.
+        regions[3] = Some(Region {
+            kind: NlriKind::Announced,
+            afi: Afi::Ipv4,
+            bytes: b.rest(),
+        });
+        let mut a = Cur::new(attrs);
+        while !a.is_empty() {
+            let Some(flags) = a.u8() else { break };
+            let Some(type_code) = a.u8() else { break };
+            let len = if flags & 0x10 != 0 {
+                match a.u16() {
+                    Some(l) => l as usize,
+                    None => break,
+                }
+            } else {
+                match a.u8() {
+                    Some(l) => l as usize,
+                    None => break,
+                }
+            };
+            let Some(val) = a.take(len) else { break };
+            match type_code {
+                14 => {
+                    // MP_REACH_NLRI: afi, safi, nh_len, next hop, reserved.
+                    let mut v = Cur::new(val);
+                    let Some(afi) = v.u16().and_then(|code| Afi::from_code(code).ok()) else {
+                        continue;
+                    };
+                    if v.skip(1).is_none() {
+                        continue; // SAFI
+                    }
+                    let Some(nh_len) = v.u8() else { continue };
+                    if v.skip(nh_len as usize + 1).is_none() {
+                        continue; // next hop + reserved
+                    }
+                    regions[1] = Some(Region {
+                        kind: NlriKind::Announced,
+                        afi,
+                        bytes: v.rest(),
+                    });
+                }
+                15 => {
+                    // MP_UNREACH_NLRI: afi, safi.
+                    let mut v = Cur::new(val);
+                    let Some(afi) = v.u16().and_then(|code| Afi::from_code(code).ok()) else {
+                        continue;
+                    };
+                    if v.skip(1).is_none() {
+                        continue; // SAFI
+                    }
+                    regions[2] = Some(Region {
+                        kind: NlriKind::Withdrawn,
+                        afi,
+                        bytes: v.rest(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        regions
+    }
+
+    /// True exactly when [`MrtRecord::decode`] would succeed on this
+    /// frame, determined without allocating for message frames.
+    pub fn validate(&self) -> bool {
+        match self.peek_kind() {
+            FrameKind::Message { as4 } => match self.bgp4mp_payload() {
+                Some(payload) => validate_message(payload, as4).is_some(),
+                None => false,
+            },
+            FrameKind::Unknown => false,
+            // State changes and TABLE_DUMP_V2 records are rare in UPDATE
+            // streams and cheap to decode; reuse the decoder wholesale so
+            // the accounting cannot drift.
+            _ => self.decode().is_ok(),
+        }
+    }
+
+    /// Fully decodes the frame — identical to what the eager reader does.
+    pub fn decode(&self) -> CodecResult<MrtRecord> {
+        MrtRecord::decode(&mut self.bytes())
+    }
+}
+
+/// One NLRI byte run inside an UPDATE.
+#[derive(Debug, Clone, Copy)]
+struct Region<'a> {
+    kind: NlriKind,
+    afi: Afi,
+    bytes: &'a [u8],
+}
+
+/// Iterator over the NLRI prefixes of one UPDATE frame. See
+/// [`LazyFrame::nlri_prefixes`].
+#[derive(Debug)]
+pub struct NlriIter<'a> {
+    regions: [Option<Region<'a>>; 4],
+    next_region: usize,
+    current: Option<(NlriKind, Afi, &'a [u8])>,
+}
+
+impl<'a> NlriIter<'a> {
+    fn new(frame: LazyFrame<'a>) -> NlriIter<'a> {
+        let regions = frame.nlri_regions();
+        NlriIter {
+            regions,
+            next_region: 0,
+            current: None,
+        }
+    }
+}
+
+impl Iterator for NlriIter<'_> {
+    type Item = (NlriKind, Prefix);
+
+    fn next(&mut self) -> Option<(NlriKind, Prefix)> {
+        loop {
+            if let Some((kind, afi, rest)) = self.current.take() {
+                if !rest.is_empty() {
+                    let mut buf = rest;
+                    match Prefix::decode_nlri(afi, &mut buf) {
+                        Ok(prefix) => {
+                            self.current = Some((kind, afi, buf));
+                            return Some((kind, prefix));
+                        }
+                        Err(_) => {
+                            // Malformed run: stop yielding from this region.
+                        }
+                    }
+                }
+            }
+            let region = loop {
+                if self.next_region >= self.regions.len() {
+                    return None;
+                }
+                let slot = self.regions[self.next_region].take();
+                self.next_region += 1;
+                if let Some(region) = slot {
+                    break region;
+                }
+            };
+            self.current = Some((region.kind, region.afi, region.bytes));
+        }
+    }
+}
+
+// ---- zero-alloc structural validation ---------------------------------
+
+/// A forward-only cursor over a byte slice; every accessor returns `None`
+/// on underrun, mirroring the decoder's `ensure` checks.
+#[derive(Debug, Clone, Copy)]
+struct Cur<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Cur<'a> {
+        Cur { b }
+    }
+
+    fn len(&self) -> usize {
+        self.b.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.b.is_empty()
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        self.b
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.b.len() < n {
+            return None;
+        }
+        let (head, tail) = self.b.split_at(n);
+        self.b = tail;
+        Some(head)
+    }
+
+    fn skip(&mut self, n: usize) -> Option<()> {
+        self.take(n).map(|_| ())
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Validates a `BGP4MP_MESSAGE` payload (session header + BGP message)
+/// exactly as [`Bgp4mpMessage::decode`](crate::Bgp4mpMessage::decode)
+/// followed by the record's trailing-bytes check would.
+fn validate_message(payload: &[u8], as4: bool) -> Option<()> {
+    let mut c = Cur::new(payload);
+    // Session header.
+    c.skip(if as4 { 8 } else { 4 })?; // peer + local AS
+    c.skip(2)?; // ifindex
+    let endpoints = match c.u16()? {
+        1 => 8,
+        2 => 32,
+        _ => return None,
+    };
+    c.skip(endpoints)?;
+    // BGP message header.
+    if c.len() < 19 {
+        return None;
+    }
+    if c.take(16)? != [0xFF; 16] {
+        return None;
+    }
+    let msg_len = c.u16()?;
+    if !(19..=4096).contains(&msg_len) {
+        return None;
+    }
+    let kind = c.u8()?;
+    let body = c.take(msg_len as usize - 19)?;
+    match kind {
+        1 => validate_open(body)?,
+        2 => validate_update(body, as4)?,
+        3 => {
+            // NOTIFICATION: error code + subcode, data free-form.
+            if body.len() < 2 {
+                return None;
+            }
+        }
+        4 => {
+            // KEEPALIVE: empty body.
+            if !body.is_empty() {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    // MrtRecord::decode rejects bytes left over in the declared body.
+    if !c.is_empty() {
+        return None;
+    }
+    Some(())
+}
+
+/// OPEN body: fixed 10 bytes + declared optional parameters. Bytes after
+/// the parameters are tolerated, exactly like the decoder.
+fn validate_open(body: &[u8]) -> Option<()> {
+    if body.len() < 10 {
+        return None;
+    }
+    let opt_len = body[9] as usize;
+    if 10 + opt_len > body.len() {
+        return None;
+    }
+    Some(())
+}
+
+/// UPDATE body: withdrawn run, attribute block, NLRI run.
+fn validate_update(body: &[u8], as4: bool) -> Option<()> {
+    let mut b = Cur::new(body);
+    let wd_len = b.u16()? as usize;
+    if wd_len > b.len() {
+        return None;
+    }
+    validate_nlri_run(b.take(wd_len)?, Afi::Ipv4)?;
+    let at_len = b.u16()? as usize;
+    if at_len > b.len() {
+        return None;
+    }
+    validate_attrs(b.take(at_len)?, as4)?;
+    validate_nlri_run(b.rest(), Afi::Ipv4)
+}
+
+/// An NLRI run must consist of whole prefixes with legal bit lengths.
+fn validate_nlri_run(run: &[u8], afi: Afi) -> Option<()> {
+    let mut c = Cur::new(run);
+    while !c.is_empty() {
+        let bits = c.u8()?;
+        if bits > afi.max_bits() {
+            return None;
+        }
+        c.skip((bits as usize).div_ceil(8))?;
+    }
+    Some(())
+}
+
+/// The attribute block: TLV framing plus each known type's value rules,
+/// mirroring `PathAttributes::decode` case by case.
+fn validate_attrs(block: &[u8], as4: bool) -> Option<()> {
+    let mut c = Cur::new(block);
+    while !c.is_empty() {
+        let flags = c.u8()?;
+        let type_code = c.u8()?;
+        let len = if flags & 0x10 != 0 {
+            c.u16()? as usize
+        } else {
+            c.u8()? as usize
+        };
+        let val = c.take(len)?;
+        let ok = match type_code {
+            1 => len == 1 && val[0] <= 2,                // ORIGIN
+            2 => validate_as_path(val, as4).is_some(),   // AS_PATH
+            3..=5 => len == 4,                           // NEXT_HOP, MED, LOCAL_PREF
+            6 => len == 0,                               // ATOMIC_AGGREGATE
+            7 => len == if as4 { 8 } else { 6 },         // AGGREGATOR
+            8 => len % 4 == 0,                           // COMMUNITIES
+            14 => validate_mp_reach(val).is_some(),      // MP_REACH_NLRI
+            15 => validate_mp_unreach(val).is_some(),    // MP_UNREACH_NLRI
+            17 => validate_as_path(val, true).is_some(), // AS4_PATH
+            18 => len == 8,                              // AS4_AGGREGATOR
+            32 => len % 12 == 0,                         // LARGE_COMMUNITIES
+            _ => true,                                   // unknown: kept raw
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(())
+}
+
+/// AS_PATH: whole segments of kind SET/SEQUENCE with declared AS counts.
+fn validate_as_path(val: &[u8], four_byte: bool) -> Option<()> {
+    let width = if four_byte { 4 } else { 2 };
+    let mut c = Cur::new(val);
+    while !c.is_empty() {
+        let kind = c.u8()?;
+        if kind != 1 && kind != 2 {
+            return None;
+        }
+        let count = c.u8()? as usize;
+        c.skip(count * width)?;
+    }
+    Some(())
+}
+
+/// MP_REACH_NLRI: header, AFI-consistent next hop, reserved byte, NLRI.
+fn validate_mp_reach(val: &[u8]) -> Option<()> {
+    if val.len() < 5 {
+        return None;
+    }
+    let mut c = Cur::new(val);
+    let afi = Afi::from_code(c.u16()?).ok()?;
+    c.skip(1)?; // SAFI
+    let nh_len = c.u8()? as usize;
+    c.skip(nh_len)?;
+    match (afi, nh_len) {
+        (Afi::Ipv4, 4) | (Afi::Ipv6, 16) | (Afi::Ipv6, 32) => {}
+        _ => return None,
+    }
+    c.skip(1)?; // reserved SNPA count
+    validate_nlri_run(c.rest(), afi)
+}
+
+/// MP_UNREACH_NLRI: header + withdrawn NLRI.
+fn validate_mp_unreach(val: &[u8]) -> Option<()> {
+    if val.len() < 3 {
+        return None;
+    }
+    let mut c = Cur::new(val);
+    let afi = Afi::from_code(c.u16()?).ok()?;
+    c.skip(1)?; // SAFI
+    validate_nlri_run(c.rest(), afi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange, BgpState, SessionHeader};
+    use crate::reader::MrtWriter;
+    use crate::record::MrtBody;
+    use bgpz_types::attrs::{MpReach, MpUnreach, NextHop};
+    use bgpz_types::{AsPath, BgpMessage, BgpUpdate, PathAttributes};
+    use bytes::{BufMut, Bytes, BytesMut};
+
+    fn session() -> SessionHeader {
+        SessionHeader {
+            peer_as: Asn(211_380),
+            local_as: Asn(12_654),
+            ifindex: 0,
+            peer_ip: "2a0c:9a40:1031::504".parse().unwrap(),
+            local_ip: "2001:7f8:24::82".parse().unwrap(),
+        }
+    }
+
+    fn update_record(ts: u64, microseconds: Option<u32>) -> MrtRecord {
+        let mut attrs =
+            PathAttributes::announcement(AsPath::from_sequence([211_380, 25_091, 8_298, 210_312]));
+        attrs.mp_reach = Some(MpReach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            next_hop: NextHop::V6 {
+                global: "2001:db8::1".parse().unwrap(),
+                link_local: None,
+            },
+            nlri: vec!["2a0d:3dc1:1::/48".parse().unwrap()],
+        });
+        attrs.mp_unreach = Some(MpUnreach {
+            afi: Afi::Ipv6,
+            safi: 1,
+            withdrawn: vec!["2a0d:3dc1:2::/48".parse().unwrap()],
+        });
+        MrtRecord {
+            timestamp: SimTime(ts),
+            microseconds,
+            body: MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Update(BgpUpdate {
+                    withdrawn: vec![Prefix::v4(84, 205, 64, 0, 24)],
+                    nlri: vec![Prefix::v4(84, 205, 65, 0, 24)],
+                    attrs,
+                }),
+            }),
+        }
+    }
+
+    fn index_of(records: &[MrtRecord]) -> FrameIndex {
+        let mut writer = MrtWriter::new();
+        for r in records {
+            writer.push(r);
+        }
+        FrameIndex::build(writer.finish())
+    }
+
+    #[test]
+    fn peeks_match_decoded_record() {
+        for us in [None, Some(123_456)] {
+            let index = index_of(&[update_record(99, us)]);
+            let frame = index.frame(0);
+            assert_eq!(frame.peek_kind(), FrameKind::Message { as4: true });
+            assert_eq!(frame.peek_timestamp(), SimTime(99));
+            assert_eq!(
+                frame.peer_addr(),
+                Some((session().peer_ip, session().peer_as))
+            );
+            assert_eq!(frame.peek_bgp_kind(), Some(MessageKind::Update));
+            assert!(frame.validate());
+            assert_eq!(frame.decode().unwrap(), update_record(99, us));
+        }
+    }
+
+    #[test]
+    fn nlri_iterator_covers_all_four_regions() {
+        let index = index_of(&[update_record(1, None)]);
+        let frame = index.frame(0);
+        let got: Vec<(NlriKind, Prefix)> = frame.nlri_prefixes().collect();
+        let expect = |s: &str| -> Prefix { s.parse().unwrap() };
+        assert_eq!(
+            got,
+            vec![
+                (NlriKind::Withdrawn, Prefix::v4(84, 205, 64, 0, 24)),
+                (NlriKind::Announced, expect("2a0d:3dc1:1::/48")),
+                (NlriKind::Withdrawn, expect("2a0d:3dc1:2::/48")),
+                (NlriKind::Announced, Prefix::v4(84, 205, 65, 0, 24)),
+            ]
+        );
+    }
+
+    #[test]
+    fn nlri_iterator_empty_for_non_update_frames() {
+        let state = MrtRecord::new(
+            SimTime(5),
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: session(),
+                old_state: BgpState::Established,
+                new_state: BgpState::Idle,
+            }),
+        );
+        let index = index_of(&[state]);
+        assert_eq!(index.frame(0).nlri_prefixes().count(), 0);
+        assert_eq!(index.frame(0).peek_bgp_kind(), None);
+        assert!(index.frame(0).validate());
+    }
+
+    /// Corrupting any single byte of a valid frame must keep validate()
+    /// and decode() in agreement.
+    #[test]
+    fn single_byte_corruption_agreement() {
+        let mut writer = MrtWriter::new();
+        writer.push(&update_record(7, None));
+        let pristine = writer.finish();
+        for pos in 0..pristine.len() {
+            for delta in [1u8, 0x80] {
+                let mut bytes = BytesMut::from(&pristine[..]);
+                bytes[pos] ^= delta;
+                // Keep the declared body length intact so the frame still
+                // frames; framing is the index's job, not validate()'s.
+                if (8..12).contains(&pos) {
+                    continue;
+                }
+                let index = FrameIndex::build(bytes.freeze());
+                assert_eq!(index.len(), 1);
+                let frame = index.frame(0);
+                assert_eq!(
+                    frame.validate(),
+                    frame.decode().is_ok(),
+                    "divergence at byte {pos} delta {delta:#x}"
+                );
+            }
+        }
+    }
+
+    /// Truncating the declared body at every length must keep validate()
+    /// and decode() in agreement (the header is patched so it frames).
+    #[test]
+    fn truncation_agreement() {
+        let mut writer = MrtWriter::new();
+        writer.push(&update_record(7, Some(1))); // ET: exercises the µs word
+        let pristine = writer.finish();
+        let body_len = pristine.len() - 12;
+        for keep in 0..body_len {
+            let mut bytes = BytesMut::with_capacity(12 + keep);
+            bytes.put_slice(&pristine[..8]);
+            bytes.put_u32(keep as u32);
+            bytes.put_slice(&pristine[12..12 + keep]);
+            let index = FrameIndex::build(bytes.freeze());
+            assert_eq!(index.len(), 1);
+            let frame = index.frame(0);
+            assert_eq!(
+                frame.validate(),
+                frame.decode().is_ok(),
+                "divergence at body length {keep}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_frame_invalid() {
+        let index = FrameIndex::build(Bytes::from_static(&[
+            0, 0, 0, 1, // timestamp
+            0, 99, 0, 1, // bogus type, subtype 1
+            0, 0, 0, 0, // empty body
+        ]));
+        let frame = index.frame(0);
+        assert_eq!(frame.peek_kind(), FrameKind::Unknown);
+        assert!(!frame.validate());
+        assert!(frame.decode().is_err());
+        assert!(frame.peer_addr().is_none());
+    }
+}

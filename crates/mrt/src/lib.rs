@@ -16,13 +16,22 @@
 //! skipped (its length is known from the common header) and counted, rather
 //! than aborting the scan — real archives contain corrupted records, e.g.
 //! the FRR ADD-PATH incident the paper cites.
+//!
+//! For scans where only a sliver of the stream matters, [`index::FrameIndex`]
+//! frames the archive once and hands out zero-copy [`lazy::LazyFrame`] views
+//! that answer peer/prefix questions straight from the wire bytes, deferring
+//! the full decode to the frames that actually match.
 
 pub mod bgp4mp;
+pub mod index;
+pub mod lazy;
 pub mod reader;
 pub mod record;
 pub mod table_dump;
 
 pub use bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange, BgpState};
+pub use index::{FrameIndex, FrameMeta};
+pub use lazy::{FrameKind, LazyFrame, NlriIter, NlriKind};
 pub use reader::{MrtReadStats, MrtReader, MrtWriter};
 pub use record::{MrtBody, MrtRecord};
 pub use table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};

@@ -8,6 +8,7 @@
 //! skip emits a `Debug` event on the `mrt::read` target
 //! (`BGPZ_LOG=mrt::read=debug` follows the noise record by record).
 
+use crate::index::{frame_at, FrameOutcome};
 use crate::record::{MrtBody, MrtRecord};
 use bgpz_types::error::CodecError;
 use bytes::{Buf, Bytes, BytesMut};
@@ -34,7 +35,7 @@ pub struct MrtReadStats {
 
 impl MrtReadStats {
     /// Tallies one well-formed record under its type.
-    fn record_ok(&mut self, body: &MrtBody) {
+    pub fn record_ok(&mut self, body: &MrtBody) {
         self.ok += 1;
         match body {
             MrtBody::Message(_) => self.ok_messages += 1,
@@ -42,6 +43,18 @@ impl MrtReadStats {
             MrtBody::Rib(_) => self.ok_rib += 1,
             MrtBody::PeerIndex(_) => self.ok_peer_index += 1,
         }
+    }
+
+    /// Adds every counter of `other` into `self` — merging per-worker
+    /// tallies of disjoint slices of one archive.
+    pub fn absorb(&mut self, other: &MrtReadStats) {
+        self.ok += other.ok;
+        self.skipped += other.skipped;
+        self.trailing_bytes += other.trailing_bytes;
+        self.ok_messages += other.ok_messages;
+        self.ok_state_changes += other.ok_state_changes;
+        self.ok_rib += other.ok_rib;
+        self.ok_peer_index += other.ok_peer_index;
     }
 }
 
@@ -85,41 +98,48 @@ impl MrtReader {
         self.stats
     }
 
+    /// Frames the record at the head of the stream via
+    /// [`frame_at`](crate::index::frame_at) — the same framing the
+    /// [`FrameIndex`](crate::FrameIndex) uses — consuming and tallying any
+    /// unframeable tail. `None` when no complete frame remains.
+    fn next_frame(&mut self) -> Option<Bytes> {
+        match frame_at(&self.data) {
+            FrameOutcome::Empty => None,
+            FrameOutcome::Frame { total } => {
+                let frame = self.data.slice(..total);
+                self.data.advance(total);
+                Some(frame)
+            }
+            FrameOutcome::Trailing {
+                tail,
+                header,
+                body_len,
+            } => {
+                if header {
+                    bgpz_obs::warn!(
+                        target: "mrt::read",
+                        "{tail} trailing bytes could not be framed (stream ended inside a common header)"
+                    );
+                } else {
+                    bgpz_obs::warn!(
+                        target: "mrt::read",
+                        "{tail} trailing bytes could not be framed (declared body of {body_len} bytes truncated)"
+                    );
+                }
+                self.stats.trailing_bytes += tail;
+                self.data.advance(tail);
+                None
+            }
+        }
+    }
+
     /// Returns the next well-formed record, skipping malformed ones.
     /// `None` when the stream is exhausted.
     pub fn next_record(&mut self) -> Option<MrtRecord> {
         loop {
-            if self.data.remaining() == 0 {
-                return None;
-            }
-            // Frame: need the 12-byte common header to know the body length.
-            if self.data.remaining() < 12 {
-                let tail = self.data.remaining();
-                bgpz_obs::warn!(
-                    target: "mrt::read",
-                    "{tail} trailing bytes could not be framed (stream ended inside a common header)"
-                );
-                self.stats.trailing_bytes += tail;
-                self.data.advance(tail);
-                return None;
-            }
-            let body_len =
-                u32::from_be_bytes([self.data[8], self.data[9], self.data[10], self.data[11]])
-                    as usize;
-            let total = 12 + body_len;
-            if self.data.remaining() < total {
-                let tail = self.data.remaining();
-                bgpz_obs::warn!(
-                    target: "mrt::read",
-                    "{tail} trailing bytes could not be framed (declared body of {body_len} bytes truncated)"
-                );
-                self.stats.trailing_bytes += tail;
-                self.data.advance(tail);
-                return None;
-            }
-            let mut record_bytes = self.data.slice(..total);
-            self.data.advance(total);
-            match MrtRecord::decode(&mut record_bytes) {
+            let mut frame = self.next_frame()?;
+            let body_len = frame.len() - 12;
+            match MrtRecord::decode(&mut frame) {
                 Ok(rec) => {
                     self.stats.record_ok(&rec.body);
                     return Some(rec);
@@ -136,20 +156,39 @@ impl MrtReader {
         }
     }
 
-    /// Strict variant: returns the decode error instead of skipping.
+    /// Strict variant: returns the decode error instead of skipping. The
+    /// malformed frame is consumed and tallied under `skipped` (an
+    /// unframeable tail under `trailing_bytes`), so [`stats`](Self::stats)
+    /// stays accurate even when the caller aborts on the error.
     pub fn next_record_strict(&mut self) -> Option<Result<MrtRecord, CodecError>> {
-        if self.data.remaining() == 0 {
-            return None;
-        }
-        let before = self.data.clone();
-        match MrtRecord::decode(&mut self.data) {
+        let needed = match frame_at(&self.data) {
+            FrameOutcome::Empty => return None,
+            FrameOutcome::Frame { .. } => 0,
+            FrameOutcome::Trailing {
+                tail,
+                header,
+                body_len,
+            } => {
+                if header {
+                    12 - tail
+                } else {
+                    12 + body_len - tail
+                }
+            }
+        };
+        let Some(mut frame) = self.next_frame() else {
+            return Some(Err(CodecError::Truncated {
+                needed,
+                context: "mrt frame",
+            }));
+        };
+        match MrtRecord::decode(&mut frame) {
             Ok(rec) => {
                 self.stats.record_ok(&rec.body);
                 Some(Ok(rec))
             }
             Err(e) => {
-                // Restore nothing: strict mode aborts the scan.
-                self.data = before.slice(before.len()..);
+                self.stats.skipped += 1;
                 Some(Err(e))
             }
         }
@@ -316,11 +355,32 @@ mod tests {
     fn strict_mode_reports_error() {
         let mut writer = MrtWriter::new();
         writer.push(&sample_record(1));
+        writer.push(&sample_record(2));
         let mut bytes = BytesMut::from(&writer.finish()[..]);
         bytes[4] = 0;
         bytes[5] = 99; // unknown MRT type
         let mut reader = MrtReader::new(bytes.freeze());
         let result = reader.next_record_strict().unwrap();
         assert!(result.is_err());
+        // The error path still tallies: one skipped record, and the stream
+        // resumes at the next frame rather than draining silently.
+        assert_eq!(reader.stats().skipped, 1);
+        let next = reader.next_record_strict().unwrap().unwrap();
+        assert_eq!(next.timestamp, SimTime(2));
+        assert_eq!(reader.stats().ok, 1);
+    }
+
+    #[test]
+    fn strict_mode_counts_trailing_bytes() {
+        let mut writer = MrtWriter::new();
+        writer.push(&sample_record(1));
+        let bytes = writer.finish();
+        let cut = bytes.slice(..bytes.len() - 5);
+        let tail_len = cut.len();
+        let mut reader = MrtReader::new(cut);
+        let result = reader.next_record_strict().unwrap();
+        assert!(result.is_err());
+        assert_eq!(reader.stats().trailing_bytes, tail_len);
+        assert!(reader.next_record_strict().is_none());
     }
 }

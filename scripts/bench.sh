@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Scan throughput bench: eager decode-everything vs the zero-copy indexed
+# prefilter, writing BENCH_scan.json (records/sec, bytes/sec, speedup).
+#
+#   scripts/bench.sh                  # bench-scale timing run
+#   scripts/bench.sh --scale quick    # bigger archive
+#   scripts/bench.sh --smoke          # CI mode: one tiny iteration that
+#                                     # asserts indexed == eager counts,
+#                                     # no timing, no JSON
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  cargo run --release -q -p bgpz-bench --bin scan_bench -- --smoke --scale bench
+else
+  cargo run --release -q -p bgpz-bench --bin scan_bench -- "$@"
+fi

@@ -7,3 +7,4 @@ cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+scripts/bench.sh --smoke
