@@ -55,6 +55,8 @@ fn usage_text() -> String {
 
 fn usage() -> ! {
     eprintln!("{}", usage_text());
+    // Binary entry point; the never-type contract needs a direct exit.
+    #[allow(clippy::disallowed_methods)]
     std::process::exit(EXIT_USAGE)
 }
 
@@ -121,6 +123,8 @@ fn main() {
                     target: "experiments::run",
                     "unknown experiment id: {id}\nvalid ids: {}", valid.join(", ")
                 );
+                // Binary entry point; exits before any experiment runs.
+                #[allow(clippy::disallowed_methods)]
                 std::process::exit(EXIT_UNKNOWN_ID);
             })
         })

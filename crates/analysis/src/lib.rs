@@ -35,6 +35,8 @@
 //! deterministic merges, so the same `(scale, seed)` produces
 //! byte-identical artifacts at any worker count.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod render;
 pub mod stats;

@@ -21,6 +21,8 @@
 //! * **false negatives** — a late (resurrected) announcement inside the
 //!   lag window is missed.
 
+#![forbid(unsafe_code)]
+
 use bgpz_core::classify::{Outbreak, ZombieReport, ZombieRoute};
 use bgpz_core::scan::{normal_path, state_at, ScanResult};
 use bgpz_types::SimTime;

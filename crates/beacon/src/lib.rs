@@ -18,6 +18,8 @@
 //! event form and the driver that feeds a schedule into a
 //! [`bgpz_netsim::Simulator`].
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod paper;
 pub mod ris;

@@ -60,6 +60,8 @@ fn main() {
         .unwrap_or_else(|| "BENCH_scan.json".to_string());
     let scale = Scale::parse(&scale_name).unwrap_or_else(|| {
         eprintln!("unknown --scale {scale_name:?} (bench|quick|standard|full)");
+        // Binary entry point; usage errors exit before any work starts.
+        #[allow(clippy::disallowed_methods)]
         std::process::exit(2);
     });
 

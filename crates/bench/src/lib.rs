@@ -9,6 +9,8 @@
 //!
 //! Run with `cargo bench --workspace`; see `benches/`.
 
+#![forbid(unsafe_code)]
+
 use bgpz_analysis::experiments::{
     beacon_bundle, replication_bundle, BeaconBundle, ReplicationBundle, Substrates,
 };
@@ -105,6 +107,7 @@ pub fn print_once(id: &str, text: &str) {
     let mut guard = PRINTED.lock().expect("not poisoned");
     let set = guard.get_or_insert_with(Default::default);
     if set.insert(id.to_string()) {
+        // lint: allow(println) — the bench harness contract is to print regenerated rows to the cargo-bench log
         println!("\n==== regenerated {id} ====\n{text}");
     }
 }

@@ -16,6 +16,8 @@
 //!
 //! The binary lives in `src/main.rs`; everything testable is here.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;
 pub mod render;

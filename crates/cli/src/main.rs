@@ -29,6 +29,8 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             bgpz_obs::error!(target: "cli::main", "bgpz: {e}");
+            // The CLI entry point owns the process exit code.
+            #[allow(clippy::disallowed_methods)]
             std::process::exit(1);
         }
     }

@@ -33,6 +33,8 @@
 //!    outbreak share an origin-side chain; the last AS of that chain is
 //!    the likely culprit (paper §5.2).
 
+#![forbid(unsafe_code)]
+
 pub mod classify;
 pub mod interval;
 pub mod lifespan;

@@ -1,0 +1,161 @@
+//! The `lint-baseline.toml` ratchet.
+//!
+//! Only the panic-family lints are baselined; every other lint is a hard
+//! failure. The file records per-file, per-lint counts for findings that
+//! predate the lint pass. A count can only go down: new findings fail the
+//! run, and after paying findings down the file must be regenerated with
+//! `bgpz-lint --update-baseline` (a too-high recorded count is itself an
+//! error, so the ratchet cannot silently slacken).
+//!
+//! The format is a small TOML subset written and parsed here so the lint
+//! binary stays dependency-free:
+//!
+//! ```text
+//! ["crates/core/src/scan.rs"]
+//! expect = 2
+//! unwrap = 1
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::lints::PANIC_LINTS;
+use crate::Finding;
+
+/// Per-file, per-lint accepted counts. Both maps are ordered so rendering
+/// is canonical.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    /// Builds a baseline from the ratcheted findings in `findings`
+    /// (non-panic lints are ignored — they cannot be baselined).
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for f in findings {
+            if PANIC_LINTS.contains(&f.lint) {
+                *counts
+                    .entry(f.file.clone())
+                    .or_default()
+                    .entry(f.lint.to_owned())
+                    .or_insert(0) += 1;
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Accepted count for one file/lint pair.
+    pub fn get(&self, file: &str, lint: &str) -> usize {
+        self.counts
+            .get(file)
+            .and_then(|m| m.get(lint))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Renders the canonical file contents.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# bgpz-lint panic-safety baseline: accepted pre-existing findings per file.\n\
+             # Counts may only shrink. Regenerate with `bgpz-lint --update-baseline`.\n",
+        );
+        for (file, lints) in &self.counts {
+            out.push_str(&format!("\n[\"{file}\"]\n"));
+            for (lint, count) in lints {
+                out.push_str(&format!("{lint} = {count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses file contents produced by [`Baseline::render`] (or edited by
+    /// hand in the same shape).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(rest) = line.strip_prefix("[\"") {
+                let Some(file) = rest.strip_suffix("\"]") else {
+                    return Err(format!("line {lineno}: malformed section header `{line}`"));
+                };
+                counts.entry(file.to_owned()).or_default();
+                current = Some(file.to_owned());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `lint = count`, got `{line}`"
+                ));
+            };
+            let lint = key.trim();
+            if !PANIC_LINTS.contains(&lint) {
+                return Err(format!(
+                    "line {lineno}: `{lint}` is not a ratcheted lint (only {PANIC_LINTS:?} can be baselined)"
+                ));
+            }
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {lineno}: bad count `{}`", value.trim()))?;
+            let Some(file) = current.as_ref() else {
+                return Err(format!(
+                    "line {lineno}: `{lint}` appears before any [\"file\"] section"
+                ));
+            };
+            if let Some(m) = counts.get_mut(file) {
+                m.insert(lint.to_owned(), count);
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, lint: &'static str) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line: 1,
+            lint,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let findings = vec![
+            f("crates/core/src/scan.rs", "expect"),
+            f("crates/core/src/scan.rs", "expect"),
+            f("crates/core/src/scan.rs", "unwrap"),
+            f("crates/mrt/src/lazy.rs", "indexing"),
+            f("crates/mrt/src/lazy.rs", "truncating_cast"), // not baselined
+        ];
+        let b = Baseline::from_findings(&findings);
+        assert_eq!(b.get("crates/core/src/scan.rs", "expect"), 2);
+        assert_eq!(b.get("crates/mrt/src/lazy.rs", "truncating_cast"), 0);
+        let parsed = Baseline::parse(&b.render());
+        assert_eq!(parsed.as_ref().ok(), Some(&b));
+    }
+
+    #[test]
+    fn rejects_unknown_lint_and_garbage() {
+        assert!(Baseline::parse("[\"a.rs\"]\nprintln = 3\n").is_err());
+        assert!(Baseline::parse("unwrap = 1\n").is_err());
+        assert!(Baseline::parse("[\"a.rs\"\nunwrap = 1\n").is_err());
+        assert!(Baseline::parse("[\"a.rs\"]\nunwrap = many\n").is_err());
+    }
+
+    #[test]
+    fn missing_entries_read_as_zero() {
+        let b = Baseline::default();
+        assert_eq!(b.get("x.rs", "unwrap"), 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! A lightweight Rust lexer: just enough structure for line-oriented
+//! repo lints.
+//!
+//! The lexer does two things a regex over raw source cannot:
+//!
+//! * **masking** — comments are stripped and string/char literal *contents*
+//!   are blanked (delimiters kept), so token matching never fires inside a
+//!   doc comment that says "`.unwrap()`" or a log message quoting
+//!   `println!`. Line comments are captured separately so allow markers
+//!   (`// lint: allow(name) — reason`) stay visible to the lint driver.
+//! * **tokenizing** — masked code is split into identifier / integer /
+//!   string / punctuation tokens with line numbers, and every token is
+//!   annotated with whether it sits inside a `#[cfg(test)]` item, so test
+//!   code is exempt from library lints without any parsing of the tree.
+//!
+//! This is deliberately not a full parser: block structure is tracked by
+//! brace depth only, which is exact for rustfmt-formatted sources.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Token text (`""` for string literals — contents are masked).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// True when the token is inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// Token kinds the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (decimal, hex, octal, binary; `_` separators kept).
+    Int,
+    /// String literal (contents masked away).
+    Str,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// A masked source file: raw lines, code-only lines, per-line comments.
+#[derive(Debug)]
+pub struct Masked {
+    /// Code with comments removed and literal contents blanked, per line.
+    pub code: Vec<String>,
+    /// Text of `//` comments per line (without the slashes), `""` if none.
+    pub comments: Vec<String>,
+}
+
+/// Strips comments and blanks literal contents. See the module docs.
+pub fn mask(source: &str) -> Masked {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Block(u32),
+        Str { raw_hashes: Option<u32> },
+        Char,
+    }
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+    for line in source.lines() {
+        let mut code_line = String::with_capacity(line.len());
+        let mut comment_line = String::new();
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars.get(i).copied().unwrap_or(' ');
+            let next = chars.get(i + 1).copied();
+            match &mut state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        // Line comment: capture the text, stop lexing code.
+                        comment_line = chars.iter().skip(i + 2).collect();
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        code_line.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        code_line.push('"');
+                        state = State::Str { raw_hashes: None };
+                    }
+                    'r' | 'b' => {
+                        // Possible raw / byte string prefix. `br#"`, `r"`,
+                        // `b"`, `r#"` … scan the prefix run.
+                        let mut j = i;
+                        while matches!(chars.get(j), Some('r') | Some('b')) {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        let mut k = j;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        let is_raw = chars.get(i..j).is_some_and(|p| p.contains(&'r'))
+                            && chars.get(k) == Some(&'"');
+                        let is_plain_byte_str = hashes == 0
+                            && chars.get(j) == Some(&'"')
+                            && chars.get(i..j).is_some_and(|p| !p.contains(&'r'));
+                        // Only treat as a literal prefix when the run is not
+                        // part of a longer identifier (`raw`, `bytes`, …).
+                        let prev_is_ident = i
+                            .checked_sub(1)
+                            .and_then(|p| chars.get(p))
+                            .is_some_and(|p| p.is_alphanumeric() || *p == '_');
+                        if !prev_is_ident && is_raw {
+                            code_line.push('"');
+                            state = State::Str {
+                                raw_hashes: Some(hashes),
+                            };
+                            i = k + 1;
+                            continue;
+                        } else if !prev_is_ident && is_plain_byte_str {
+                            code_line.push('"');
+                            state = State::Str { raw_hashes: None };
+                            i = j + 1;
+                            continue;
+                        }
+                        code_line.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes within
+                        // a few chars; a lifetime never closes.
+                        if next == Some('\\') {
+                            code_line.push('\'');
+                            state = State::Char;
+                            i += 2; // skip the backslash
+                            continue;
+                        }
+                        if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                            code_line.push('\'');
+                            state = State::Char;
+                            i += 2; // position on the closing quote
+                            continue;
+                        }
+                        code_line.push('\''); // lifetime
+                    }
+                    _ => code_line.push(c),
+                },
+                State::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            state = State::Code;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        *depth += 1;
+                        i += 2;
+                        continue;
+                    }
+                }
+                State::Str { raw_hashes } => match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            i += 2; // skip escaped char (incl. \" and \\)
+                            continue;
+                        }
+                        if c == '"' {
+                            code_line.push('"');
+                            state = State::Code;
+                        } else {
+                            code_line.push(' ');
+                        }
+                    }
+                    Some(hashes) => {
+                        let n = *hashes as usize;
+                        let closes = c == '"' && (0..n).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                        if closes {
+                            code_line.push('"');
+                            state = State::Code;
+                            i += 1 + n;
+                            continue;
+                        }
+                        code_line.push(' ');
+                    }
+                },
+                State::Char => {
+                    if c == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if c == '\'' {
+                        code_line.push('\'');
+                        state = State::Code;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Unterminated string/char at EOL: strings can span lines (keep
+        // state); chars cannot — that was a lifetime-ish stray, recover.
+        if state == State::Char {
+            state = State::Code;
+        }
+        code.push(code_line);
+        comments.push(comment_line);
+    }
+    Masked { code, comments }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes masked code lines (see [`mask`]).
+pub fn tokenize(masked: &Masked) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (line_idx, line) in masked.code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars.get(i).copied().unwrap_or(' ');
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if is_ident_start(c) {
+                let start = i;
+                while chars.get(i).copied().is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                let text: String = chars.get(start..i).unwrap_or(&[]).iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line: line_idx + 1,
+                    in_test: false,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while chars
+                    .get(i)
+                    .copied()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    i += 1;
+                }
+                let text: String = chars.get(start..i).unwrap_or(&[]).iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Int,
+                    text,
+                    line: line_idx + 1,
+                    in_test: false,
+                });
+                continue;
+            }
+            if c == '"' {
+                // Masked literal: `"` … `"` with blanks between. A string
+                // continued from the previous line may open mid-token; we
+                // just need "a string literal sits here".
+                let mut j = i + 1;
+                while j < chars.len() && chars.get(j) != Some(&'"') {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: line_idx + 1,
+                    in_test: false,
+                });
+                i = j + 1;
+                continue;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line: line_idx + 1,
+                in_test: false,
+            });
+            i += 1;
+        }
+    }
+    mark_test_regions(&mut tokens);
+    tokens
+}
+
+/// Marks every token inside a `#[cfg(test)]` / `#[test]` item.
+///
+/// Detection: on seeing the attribute, the *next* item's braces (or its
+/// terminating `;` for brace-less items) delimit the test region. Nested
+/// braces are tracked by depth, which is exact for well-formed code.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    let mut pending_test_attr = false;
+    let mut region_stack: Vec<usize> = Vec::new(); // depths of open test braces
+    let mut depth: usize = 0;
+    while i < tokens.len() {
+        let in_test = !region_stack.is_empty();
+        if let Some(tok) = tokens.get_mut(i) {
+            tok.in_test = in_test;
+        }
+        let text = tokens.get(i).map(|t| t.text.clone()).unwrap_or_default();
+        match text.as_str() {
+            "#" if is_test_attribute(tokens, i) => {
+                pending_test_attr = true;
+                // The attribute tokens themselves count as test code.
+                if let Some(end) = attribute_end(tokens, i) {
+                    for tok in tokens.iter_mut().take(end + 1).skip(i) {
+                        tok.in_test = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            "{" => {
+                depth += 1;
+                if pending_test_attr {
+                    region_stack.push(depth);
+                    pending_test_attr = false;
+                    if let Some(tok) = tokens.get_mut(i) {
+                        tok.in_test = true;
+                    }
+                }
+            }
+            "}" => {
+                if region_stack.last() == Some(&depth) {
+                    region_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            // A brace-less item (`#[cfg(test)] mod tests;`) ends here.
+            ";" if pending_test_attr && region_stack.is_empty() => {
+                pending_test_attr = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Does the attribute starting at `tokens[i] == "#"` contain `test`?
+/// Matches `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, …
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    let Some(end) = attribute_end(tokens, i) else {
+        return false;
+    };
+    tokens
+        .get(i..=end)
+        .unwrap_or(&[])
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "test")
+}
+
+/// Index of the `]` closing the attribute starting at `tokens[i] == "#"`.
+fn attribute_end(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, tok) in tokens.iter().enumerate().skip(i + 1) {
+        match tok.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_masked() {
+        let m = mask("let x = \"a.unwrap()\"; // .expect(\nlet y = 1; /* panic! */ let z = 2;");
+        let tokens = tokenize(&m);
+        assert!(!texts(&tokens).contains(&"unwrap"), "{tokens:?}");
+        assert!(!texts(&tokens).contains(&"panic"), "{tokens:?}");
+        assert_eq!(m.comments.first().map(String::as_str), Some(" .expect("));
+        assert!(m.code.get(1).is_some_and(|l| l.contains("let z = 2;")));
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let m = mask("let s = r#\"no \"quotes\" issue\"#; let t = 3;");
+        let code = m.code.first().cloned().unwrap_or_default();
+        assert!(code.contains("let t = 3;"), "{code}");
+        assert!(!code.contains("quotes"), "{code}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = mask("fn f<'a>(x: &'a str) -> char { ',' }");
+        let code = m.code.first().cloned().unwrap_or_default();
+        assert!(code.contains("fn f<'a>(x: &'a str)"), "{code}");
+        // The comma inside the char literal is masked.
+        let tokens = tokenize(&m);
+        assert!(!texts(&tokens).contains(&","), "{tokens:?}");
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let m = mask("a /* x /* y */ z */ b");
+        assert_eq!(m.code.first().map(String::as_str), Some("a   b"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_state() {
+        let m = mask("let s = \"line one\nline .unwrap() two\";\nlet x = 1;");
+        let tokens = tokenize(&m);
+        assert!(!texts(&tokens).contains(&"unwrap"), "{tokens:?}");
+        assert!(texts(&tokens).contains(&"x"));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\nfn lib2() {}";
+        let tokens = tokenize(&mask(src));
+        let unwraps: Vec<&Token> = tokens.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps.first().is_some_and(|t| t.in_test));
+        assert!(unwraps.get(1).is_some_and(|t| t.in_test));
+        assert!(tokens
+            .iter()
+            .filter(|t| t.text == "lib2")
+            .all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_leak() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { a.unwrap(); }";
+        let tokens = tokenize(&mask(src));
+        let unwrap = tokens.iter().find(|t| t.text == "unwrap");
+        assert!(unwrap.is_some_and(|t| !t.in_test));
+    }
+
+    #[test]
+    fn byte_strings_masked() {
+        let m = mask("let b = b\"bytes.unwrap()\"; let r = 1;");
+        let tokens = tokenize(&m);
+        assert!(!texts(&tokens).contains(&"unwrap"), "{tokens:?}");
+        assert!(texts(&tokens).contains(&"r"));
+    }
+}

@@ -1,0 +1,196 @@
+//! bgpz-lint: workspace-invariant static analysis for the bgp-zombies
+//! pipeline.
+//!
+//! Clippy checks Rust; this crate checks *this repo's* contracts — the
+//! invariants PRs 1–3 promised and integration tests only spot-check:
+//!
+//! * **determinism** (`hash_iteration`, `wall_clock`) — artifacts must be
+//!   byte-identical at every `--jobs` count, so no hash-order iteration
+//!   feeds serialization and no wall-clock reads happen outside the obs
+//!   timing layer;
+//! * **panic-safety** (`unwrap`, `expect`, `panic`, `indexing`) — library
+//!   code propagates errors instead of panicking, ratcheted down through
+//!   `lint-baseline.toml`;
+//! * **wire-parsing soundness** (`truncating_cast`) — the MRT decoder
+//!   never silently truncates a length or type field;
+//! * **obs discipline** (`println`) — progress output flows through
+//!   bgpz-obs, not stdout;
+//! * **no unsafe** (`forbid_unsafe`) — every library crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! The binary prints findings as `file:line: lint: message` in a
+//! deterministic order and exits nonzero on any violation.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use baseline::Baseline;
+use lints::PANIC_LINTS;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Lint name (stable, used in baseline keys and allow markers).
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `file:line: lint: message` output line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Runs every lint over the workspace at `root`. Findings are sorted by
+/// (file, line, lint).
+pub fn analyze_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, abs) in walk::workspace_sources(root)? {
+        let source = std::fs::read_to_string(&abs)?;
+        findings.extend(lints::analyze(&rel, &source));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.lint,
+            b.message.as_str(),
+        ))
+    });
+    Ok(findings)
+}
+
+/// The result of checking findings against a baseline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Enforcement {
+    /// Findings that fail the run: every hard-lint finding, plus the
+    /// panic-family findings of any file/lint pair over its baseline.
+    pub violations: Vec<Finding>,
+    /// Stale-baseline diagnostics: recorded counts higher than the tree
+    /// (the ratchet must be re-tightened with `--update-baseline`).
+    pub stale: Vec<String>,
+}
+
+impl Enforcement {
+    /// True when the run should exit 0.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Applies the baseline ratchet to `findings`.
+pub fn enforce(findings: &[Finding], baseline: &Baseline) -> Enforcement {
+    let mut result = Enforcement::default();
+    let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for f in findings {
+        if PANIC_LINTS.contains(&f.lint) {
+            *counts.entry((f.file.as_str(), f.lint)).or_insert(0) += 1;
+        } else {
+            result.violations.push(f.clone());
+        }
+    }
+    for f in findings {
+        if !PANIC_LINTS.contains(&f.lint) {
+            continue;
+        }
+        let found = counts.get(&(f.file.as_str(), f.lint)).copied().unwrap_or(0);
+        let accepted = baseline.get(&f.file, f.lint);
+        if found > accepted {
+            let mut f = f.clone();
+            f.message = format!("{} [{found} found, baseline accepts {accepted}]", f.message);
+            result.violations.push(f);
+        }
+    }
+    // Baseline entries above the tree's actual count are stale: the
+    // ratchet would silently slacken if we let them stand.
+    for (file, lints) in &baseline.counts {
+        for (lint, accepted) in lints {
+            let found = counts
+                .get(&(file.as_str(), lint.as_str()))
+                .copied()
+                .unwrap_or(0);
+            if found < *accepted {
+                result.stale.push(format!(
+                    "lint-baseline.toml: stale: [\"{file}\"] {lint} = {accepted} but the tree has {found}; run `cargo run -p bgpz-lint --release -- --update-baseline`"
+                ));
+            }
+        }
+    }
+    result.violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.lint,
+            b.message.as_str(),
+        ))
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, line: usize, lint: &'static str) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            lint,
+            message: format!("{lint} here"),
+        }
+    }
+
+    #[test]
+    fn hard_lints_always_fail() {
+        let findings = vec![f("a.rs", 3, "println")];
+        let e = enforce(&findings, &Baseline::default());
+        assert_eq!(e.violations.len(), 1);
+        assert!(e.stale.is_empty());
+    }
+
+    #[test]
+    fn baselined_counts_pass_exact_fail_above_stale_below() {
+        let findings = vec![f("a.rs", 1, "unwrap"), f("a.rs", 9, "unwrap")];
+        let two = Baseline::from_findings(&findings);
+        assert!(enforce(&findings, &two).clean());
+
+        let three = Baseline::parse("[\"a.rs\"]\nunwrap = 3\n").unwrap_or_default();
+        let e = enforce(&findings, &three);
+        assert!(e.violations.is_empty());
+        assert_eq!(e.stale.len(), 1);
+
+        let one = Baseline::parse("[\"a.rs\"]\nunwrap = 1\n").unwrap_or_default();
+        let e = enforce(&findings, &one);
+        assert_eq!(e.violations.len(), 2);
+        assert!(e
+            .violations
+            .iter()
+            .all(|v| v.message.contains("baseline accepts 1")));
+    }
+
+    #[test]
+    fn removed_file_makes_baseline_stale() {
+        let b = Baseline::parse("[\"gone.rs\"]\nexpect = 2\n").unwrap_or_default();
+        let e = enforce(&[], &b);
+        assert_eq!(e.stale.len(), 1);
+        assert!(!e.clean());
+    }
+}

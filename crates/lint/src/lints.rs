@@ -1,0 +1,636 @@
+//! The lint passes. Each pass walks the token stream produced by
+//! [`crate::lexer`] and emits [`Finding`]s; which passes run for a given
+//! file is decided by [`crate::policy`].
+//!
+//! Hard lints (`truncating_cast`, `hash_iteration`, `wall_clock`,
+//! `println`, `forbid_unsafe`) can be suppressed with an inline marker on
+//! the finding line or the line above:
+//!
+//! ```text
+//! // lint: allow(truncating_cast) — header length is <= u16::MAX by construction
+//! ```
+//!
+//! A marker without a reason does not suppress. The panic-family lints
+//! (`unwrap`, `expect`, `panic`, `indexing`) take no markers — they are
+//! governed by the baseline ratchet instead.
+
+use crate::lexer::{mask, tokenize, Masked, Token, TokenKind};
+use crate::policy;
+use crate::Finding;
+
+/// Lints governed by the `lint-baseline.toml` ratchet.
+pub const PANIC_LINTS: &[&str] = &["unwrap", "expect", "panic", "indexing"];
+
+/// Analyzes one source file. `path` is workspace-relative with `/`
+/// separators; it selects which passes apply.
+pub fn analyze(path: &str, source: &str) -> Vec<Finding> {
+    if policy::is_test_path(path) {
+        return Vec::new();
+    }
+    let masked = mask(source);
+    let tokens = tokenize(&masked);
+    let mut out = Vec::new();
+    if policy::panic_scope(path) {
+        panic_pass(path, &tokens, &mut out);
+    }
+    if policy::cast_scope(path) {
+        cast_pass(path, &masked, &tokens, &mut out);
+    }
+    if policy::artifact_module(path) {
+        hash_pass(path, &masked, &tokens, &mut out);
+    }
+    if !policy::wallclock_allowed(path) {
+        wallclock_pass(path, &masked, &tokens, &mut out);
+    }
+    if !policy::println_allowed(path) {
+        println_pass(path, &masked, &tokens, &mut out);
+    }
+    if policy::lib_root(path) {
+        forbid_unsafe_pass(path, &masked, &mut out);
+    }
+    out.sort_by(|a, b| {
+        (a.line, a.lint, a.message.as_str()).cmp(&(b.line, b.lint, b.message.as_str()))
+    });
+    out
+}
+
+fn finding(path: &str, line: usize, lint: &'static str, message: &str) -> Finding {
+    Finding {
+        file: path.to_owned(),
+        line,
+        lint,
+        message: message.to_owned(),
+    }
+}
+
+/// True when a `// lint: allow(<lint>) — <reason>` marker with a
+/// non-empty reason sits on `line` or the line above.
+fn allowed(masked: &Masked, line: usize, lint: &str) -> bool {
+    let check = |idx: Option<usize>| {
+        idx.and_then(|i| masked.comments.get(i))
+            .is_some_and(|c| marker_allows(c, lint))
+    };
+    check(line.checked_sub(1)) || check(line.checked_sub(2))
+}
+
+fn marker_allows(comment: &str, lint: &str) -> bool {
+    let Some(pos) = comment.find("lint: allow(") else {
+        return false;
+    };
+    let rest = comment.get(pos + 12..).unwrap_or("");
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    if rest.get(..close).unwrap_or("").trim() != lint {
+        return false;
+    }
+    let reason = rest.get(close + 1..).unwrap_or("").trim_matches(|c: char| {
+        c.is_whitespace() || c == '\u{2014}' || c == '-' || c == ':' || c == ','
+    });
+    !reason.is_empty()
+}
+
+fn tok_text(tokens: &[Token], i: usize) -> &str {
+    tokens.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+// ---------------------------------------------------------------------------
+// panic family: unwrap / expect / panic / indexing
+// ---------------------------------------------------------------------------
+
+/// Idents that legitimately precede `[` without being an indexed value
+/// (slice patterns, array types, attribute positions).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+fn panic_pass(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let prev_dot = i.checked_sub(1).is_some_and(|p| tok_text(tokens, p) == ".");
+                match t.text.as_str() {
+                    "unwrap" if prev_dot && tok_text(tokens, i + 1) == "(" => {
+                        out.push(finding(
+                            path,
+                            t.line,
+                            "unwrap",
+                            "`.unwrap()` in library code; propagate an error (ratcheted by lint-baseline.toml)",
+                        ));
+                    }
+                    "expect"
+                        if prev_dot
+                            && tok_text(tokens, i + 1) == "("
+                            && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str) =>
+                    {
+                        out.push(finding(
+                            path,
+                            t.line,
+                            "expect",
+                            "`.expect(..)` in library code; propagate an error (ratcheted by lint-baseline.toml)",
+                        ));
+                    }
+                    "panic" if tok_text(tokens, i + 1) == "!" => {
+                        out.push(finding(
+                            path,
+                            t.line,
+                            "panic",
+                            "`panic!` in library code; return an error (ratcheted by lint-baseline.toml)",
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            TokenKind::Punct if t.text == "[" => {
+                let indexed = i
+                    .checked_sub(1)
+                    .and_then(|p| tokens.get(p))
+                    .is_some_and(|prev| match prev.kind {
+                        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                        TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                        _ => false,
+                    });
+                if indexed {
+                    out.push(finding(
+                        path,
+                        t.line,
+                        "indexing",
+                        "slice/array indexing can panic; prefer `.get(..)` (ratcheted by lint-baseline.toml)",
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// truncating_cast
+// ---------------------------------------------------------------------------
+
+fn int_width(name: &str) -> Option<u32> {
+    match name {
+        "u8" | "i8" => Some(8),
+        "u16" | "i16" => Some(16),
+        "u32" | "i32" => Some(32),
+        "u64" | "i64" | "usize" | "isize" => Some(64),
+        "u128" | "i128" => Some(128),
+        _ => None,
+    }
+}
+
+/// Bit width produced by a known callee in this workspace (`bytes`-style
+/// readers, our `Cur` cursor, length accessors).
+fn callee_width(name: &str) -> Option<u32> {
+    match name {
+        "get_u8" | "u8" => Some(8),
+        "get_u16" | "u16" => Some(16),
+        "get_u32" | "u32" => Some(32),
+        "get_u64" | "u64" | "secs" => Some(64),
+        "len" | "wire_len" | "remaining" => Some(64),
+        _ => None,
+    }
+}
+
+fn literal_value(text: &str) -> Option<u128> {
+    let t = text.replace('_', "").to_ascii_lowercase();
+    let (radix, digits) = if let Some(h) = t.strip_prefix("0x") {
+        (16, h)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        (8, o)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        (2, b)
+    } else {
+        (10, t.as_str())
+    };
+    let run: String = digits.chars().take_while(|c| c.is_digit(radix)).collect();
+    if run.is_empty() {
+        return None;
+    }
+    u128::from_str_radix(&run, radix).ok()
+}
+
+fn fits(value: u128, target: &str, width: u32) -> bool {
+    let max = if width >= 128 {
+        u128::MAX
+    } else if target.starts_with('i') {
+        (1u128 << (width - 1)) - 1
+    } else {
+        (1u128 << width) - 1
+    };
+    value <= max
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backwards.
+fn open_paren(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0u32;
+    let mut k = close;
+    loop {
+        let t = tokens.get(k)?;
+        if t.kind == TokenKind::Punct {
+            if t.text == ")" {
+                depth += 1;
+            } else if t.text == "(" {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// Bit width of the expression ending just before the `as` at `as_idx`,
+/// when it can be proven from the token stream; `None` means unknown.
+fn source_width(tokens: &[Token], as_idx: usize) -> Option<SourceWidth> {
+    let mut j = as_idx.checked_sub(1)?;
+    while tok_text(tokens, j) == "?" {
+        j = j.checked_sub(1)?;
+    }
+    let t = tokens.get(j)?;
+    match t.kind {
+        TokenKind::Int => literal_value(&t.text).map(SourceWidth::Literal),
+        TokenKind::Ident => int_width(&t.text).map(SourceWidth::Bits),
+        TokenKind::Punct if t.text == ")" => {
+            let open = open_paren(tokens, j)?;
+            let callee = open.checked_sub(1)?;
+            let c = tokens.get(callee)?;
+            if c.kind != TokenKind::Ident {
+                return None;
+            }
+            if c.text == "from_be_bytes" || c.text == "from_le_bytes" || c.text == "from" {
+                // `u32::from_be_bytes(..)` — width from the path's type.
+                let colon2 = callee.checked_sub(1)?;
+                let colon1 = colon2.checked_sub(1)?;
+                if tok_text(tokens, colon2) == ":" && tok_text(tokens, colon1) == ":" {
+                    let ty = colon1.checked_sub(1)?;
+                    return int_width(tok_text(tokens, ty)).map(SourceWidth::Bits);
+                }
+                None
+            } else {
+                callee_width(&c.text).map(SourceWidth::Bits)
+            }
+        }
+        _ => None,
+    }
+}
+
+enum SourceWidth {
+    Bits(u32),
+    Literal(u128),
+}
+
+fn cast_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident || t.text != "as" {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else {
+            continue;
+        };
+        let Some(target_width) = int_width(&target.text) else {
+            continue; // `use x as y`, float casts, pointer casts
+        };
+        let safe = match source_width(tokens, i) {
+            Some(SourceWidth::Bits(w)) => w <= target_width,
+            Some(SourceWidth::Literal(v)) => fits(v, &target.text, target_width),
+            None => false,
+        };
+        if !safe && !allowed(masked, t.line, "truncating_cast") {
+            out.push(finding(
+                path,
+                t.line,
+                "truncating_cast",
+                &format!(
+                    "cast to `{}` may truncate in a wire path; use `try_from`/`from` or add `// lint: allow(truncating_cast) \u{2014} <reason>`",
+                    target.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hash_iteration
+// ---------------------------------------------------------------------------
+
+const ITER_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+];
+
+/// Substrings that make iteration order-safe when they appear on the
+/// finding line or within the next two lines: an explicit sort, a
+/// collect into an ordered map, or an order-independent reduction.
+const ORDER_SAFE: &[&str] = &[
+    ".sort", "BTreeMap", "BTreeSet", ".sum", ".count", ".max", ".min", ".any(", ".all(", ".fold(",
+];
+
+fn order_safe(masked: &Masked, line: usize) -> bool {
+    (line.saturating_sub(1)..=line.saturating_add(1)).any(|idx| {
+        masked
+            .code
+            .get(idx)
+            .is_some_and(|l| ORDER_SAFE.iter().any(|p| l.contains(p)))
+    })
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file: `name: HashMap<..>`
+/// (let, field, or param position, through `&`/`mut`) and
+/// `name = HashMap::new()`.
+fn hash_bindings(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        let mut j = match i.checked_sub(1) {
+            Some(j) => j,
+            None => continue,
+        };
+        while tok_text(tokens, j) == "&" || tok_text(tokens, j) == "mut" {
+            j = match j.checked_sub(1) {
+                Some(j) => j,
+                None => break,
+            };
+        }
+        let sep = tok_text(tokens, j);
+        if sep != ":" && sep != "=" {
+            continue;
+        }
+        // Exclude the `::` of a qualified path (`collections::HashMap`).
+        let Some(prev) = j.checked_sub(1).and_then(|p| tokens.get(p)) else {
+            continue;
+        };
+        if prev.kind == TokenKind::Ident && !names.contains(&prev.text) {
+            names.push(prev.text.clone());
+        }
+    }
+    names
+}
+
+fn is_hash_name(name: &str, bindings: &[String]) -> bool {
+    bindings.iter().any(|b| b == name) || policy::HASH_FIELDS.contains(&name)
+}
+
+fn hash_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Finding>) {
+    let bindings = hash_bindings(tokens);
+    let flag = |line: usize, name: &str, out: &mut Vec<Finding>| {
+        if !order_safe(masked, line) && !allowed(masked, line, "hash_iteration") {
+            out.push(finding(
+                path,
+                line,
+                "hash_iteration",
+                &format!(
+                    "iteration over hash-ordered `{name}` in an artifact-writing module; sort or collect into a BTreeMap first"
+                ),
+            ));
+        }
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `recv.iter()` family.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && i.checked_sub(1).is_some_and(|p| tok_text(tokens, p) == ".")
+            && tok_text(tokens, i + 1) == "("
+        {
+            if let Some(recv) = i.checked_sub(2).and_then(|p| tokens.get(p)) {
+                if recv.kind == TokenKind::Ident && is_hash_name(&recv.text, &bindings) {
+                    flag(t.line, &recv.text, out);
+                }
+            }
+        }
+        // `for pat in [&][mut] name {` (no method call in the iterable).
+        if t.text == "for" {
+            let Some(in_idx) = (i + 1..i + 12).find(|&k| tok_text(tokens, k) == "in") else {
+                continue;
+            };
+            let mut k = in_idx + 1;
+            let mut last_ident: Option<usize> = None;
+            let mut has_call = false;
+            while k < in_idx + 8 {
+                match tok_text(tokens, k) {
+                    "{" => break,
+                    "(" => {
+                        has_call = true;
+                        break;
+                    }
+                    "&" | "mut" | "." => {}
+                    _ => {
+                        if tokens.get(k).is_some_and(|t| t.kind == TokenKind::Ident) {
+                            last_ident = Some(k);
+                        } else {
+                            has_call = true; // unexpected shape — don't guess
+                            break;
+                        }
+                    }
+                }
+                k += 1;
+            }
+            if has_call {
+                continue;
+            }
+            if let Some(l) = last_ident.and_then(|k| tokens.get(k)) {
+                if is_hash_name(&l.text, &bindings) {
+                    flag(l.line, &l.text, out);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wall_clock / println / forbid_unsafe
+// ---------------------------------------------------------------------------
+
+fn wallclock_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if (t.text == "SystemTime" || t.text == "Instant")
+            && tok_text(tokens, i + 1) == ":"
+            && tok_text(tokens, i + 2) == ":"
+            && tok_text(tokens, i + 3) == "now"
+            && !allowed(masked, t.line, "wall_clock")
+        {
+            out.push(finding(
+                path,
+                t.line,
+                "wall_clock",
+                &format!(
+                    "`{}::now` outside the obs/timings layer makes runs unreplayable; take time via bgpz-obs",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn println_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+            && tok_text(tokens, i + 1) == "!"
+            && !allowed(masked, t.line, "println")
+        {
+            out.push(finding(
+                path,
+                t.line,
+                "println",
+                &format!(
+                    "`{}!` outside crates/cli and the obs sinks; route output through bgpz-obs",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn forbid_unsafe_pass(path: &str, masked: &Masked, out: &mut Vec<Finding>) {
+    let present = masked.code.iter().any(|l| {
+        let squeezed: String = l.chars().filter(|c| !c.is_whitespace()).collect();
+        squeezed.contains("#![forbid(unsafe_code)]")
+    });
+    if !present {
+        out.push(finding(
+            path,
+            1,
+            "forbid_unsafe",
+            "library crate root is missing `#![forbid(unsafe_code)]`",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+        analyze(path, src)
+            .into_iter()
+            .map(|f| (f.lint, f.line))
+            .collect()
+    }
+
+    const LIB: &str = "crates/core/src/demo.rs";
+
+    #[test]
+    fn unwrap_expect_panic_flagged_outside_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn g() { panic!(\"no\") }\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        let got = lints_of(LIB, src);
+        assert_eq!(got, vec![("unwrap", 2), ("panic", 4)]);
+    }
+
+    #[test]
+    fn expect_requires_string_literal_argument() {
+        let src =
+            "fn f(s: &S) { s.expect(interval); }\nfn g(x: Option<u8>) { x.expect(\"must\"); }\n";
+        let got = lints_of(LIB, src);
+        assert_eq!(got, vec![("expect", 2)]);
+    }
+
+    #[test]
+    fn indexing_flagged_but_not_slice_patterns() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    let [a, _b] = [1u8, 2];\n    v[0] + a\n}\n";
+        let got = lints_of(LIB, src);
+        assert_eq!(got, vec![("indexing", 3)]);
+    }
+
+    #[test]
+    fn doc_comments_and_strings_do_not_fire() {
+        let src = "/// Call `.unwrap()` at your peril.\nfn f() -> &'static str {\n    \"panic! is a word\"\n}\n";
+        assert!(lints_of(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn widening_casts_pass_truncating_casts_flagged() {
+        let path = "crates/mrt/src/demo.rs";
+        let src = "fn f(b: &mut B, n: u64) -> usize {\n    let _a = b.get_u16() as usize;\n    let _c = u32::from_be_bytes(w) as u64;\n    let d = n as u16;\n    usize::from(d)\n}\n";
+        let got = lints_of(path, src);
+        assert_eq!(got, vec![("truncating_cast", 4)]);
+    }
+
+    #[test]
+    fn cast_marker_with_reason_suppresses_without_reason_does_not() {
+        let path = "crates/mrt/src/demo.rs";
+        let src = "fn f(n: u64) -> (u16, u16) {\n    // lint: allow(truncating_cast) \u{2014} length checked above\n    let a = n as u16;\n    // lint: allow(truncating_cast)\n    let b = n as u16;\n    (a, b)\n}\n";
+        let got = lints_of(path, src);
+        assert_eq!(got, vec![("truncating_cast", 5)]);
+    }
+
+    #[test]
+    fn literal_casts_use_value_not_width() {
+        let path = "crates/mrt/src/demo.rs";
+        let src = "fn f() -> (u8, u8) { (255 as u8, 0x1FF as u8) }\n";
+        let got = lints_of(path, src);
+        assert_eq!(got, vec![("truncating_cast", 1)]);
+    }
+
+    #[test]
+    fn hash_iteration_in_artifact_module() {
+        let path = "crates/analysis/src/demo.rs";
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\nfn g(m: &HashMap<u32, u32>) -> u32 {\n    m.values().sum()\n}\nfn h(m: &HashMap<u32, u32>) {\n    for k in m {\n        use_it(k);\n    }\n}\n";
+        let got = lints_of(path, src);
+        assert_eq!(got, vec![("hash_iteration", 2), ("hash_iteration", 8)]);
+    }
+
+    #[test]
+    fn hash_iteration_sorted_window_suppresses() {
+        let path = "crates/analysis/src/demo.rs";
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort_unstable();\n    v\n}\n";
+        assert!(lints_of(path, src).is_empty());
+    }
+
+    #[test]
+    fn known_hash_fields_flagged() {
+        let path = "crates/analysis/src/demo.rs";
+        let src = "fn f(r: &ScanResult) -> usize {\n    r.histories.iter().map(ignore).collect::<Vec<_>>().len()\n}\n";
+        let got = lints_of(path, src);
+        assert_eq!(got, vec![("hash_iteration", 2)]);
+    }
+
+    #[test]
+    fn wall_clock_and_println_scoped() {
+        let src = "fn f() {\n    let t = Instant::now();\n    println!(\"{t:?}\");\n}\n";
+        let got = lints_of(LIB, src);
+        assert_eq!(got, vec![("wall_clock", 2), ("println", 3)]);
+        assert!(lints_of("crates/obs/src/logger.rs", src).is_empty());
+        assert!(lints_of("crates/cli/src/render.rs", "fn f() { println!(\"ok\"); }\n").is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checked_on_lib_roots() {
+        let with = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        let without = "pub fn f() {}\n";
+        assert!(lints_of("crates/types/src/lib.rs", with).is_empty());
+        assert_eq!(
+            lints_of("crates/types/src/lib.rs", without),
+            vec![("forbid_unsafe", 1)]
+        );
+        assert!(lints_of("crates/types/src/asn.rs", without).is_empty());
+    }
+
+    #[test]
+    fn test_paths_fully_exempt() {
+        let src = "fn t() { x.unwrap(); println!(\"hi\"); }\n";
+        assert!(lints_of("crates/core/tests/e2e.rs", src).is_empty());
+    }
+}

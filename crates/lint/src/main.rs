@@ -1,0 +1,174 @@
+//! bgpz-lint CLI. See `bgpz-lint --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bgpz_lint::baseline::Baseline;
+use bgpz_lint::{analyze_tree, enforce};
+
+const USAGE: &str = "\
+bgpz-lint: workspace-invariant static analysis
+
+USAGE:
+    bgpz-lint [--root <dir>] [--baseline <file>] [--update-baseline]
+
+OPTIONS:
+    --root <dir>        Workspace root (default: the workspace containing
+                        this crate, else the current directory)
+    --baseline <file>   Baseline path (default: <root>/lint-baseline.toml)
+    --update-baseline   Rewrite the baseline from the current tree instead
+                        of enforcing it (hard lints still fail the run)
+
+EXIT CODES:
+    0  clean            1  findings or stale baseline     2  usage/IO error
+";
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    update: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(argv.next().ok_or("--root needs a value")?));
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    argv.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--update-baseline" => update = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    Ok(Args {
+        root,
+        baseline,
+        update,
+    })
+}
+
+/// When run via `cargo run -p bgpz-lint`, the workspace root is two
+/// levels above this crate's manifest; otherwise lint the cwd.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .filter(|ws| ws.join("Cargo.toml").is_file())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("bgpz-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match analyze_tree(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "bgpz-lint: failed to read sources under {}: {e}",
+                args.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update {
+        let fresh = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&args.baseline, fresh.render()) {
+            eprintln!(
+                "bgpz-lint: failed to write {}: {e}",
+                args.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+        let entries: usize = fresh.counts.values().map(|m| m.len()).sum();
+        println!(
+            "bgpz-lint: wrote {} ({} file(s), {entries} ratchet entr{})",
+            args.baseline.display(),
+            fresh.counts.len(),
+            if entries == 1 { "y" } else { "ies" },
+        );
+        // Hard lints cannot be baselined away; still enforce them.
+        let e = enforce(&findings, &fresh);
+        for v in &e.violations {
+            println!("{}", v.render());
+        }
+        if e.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "bgpz-lint: {} finding(s) cannot be baselined",
+                e.violations.len()
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        let base = match std::fs::read_to_string(&args.baseline) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("bgpz-lint: {}: {e}", args.baseline.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "bgpz-lint: cannot read {} ({e}); run with --update-baseline to create it",
+                    args.baseline.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let e = enforce(&findings, &base);
+        for v in &e.violations {
+            println!("{}", v.render());
+        }
+        for s in &e.stale {
+            println!("{s}");
+        }
+        if e.clean() {
+            println!(
+                "bgpz-lint: clean ({} source file(s) checked)",
+                checked_count(&args.root)
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "bgpz-lint: {} violation(s), {} stale baseline entr{}",
+                e.violations.len(),
+                e.stale.len(),
+                if e.stale.len() == 1 { "y" } else { "ies" },
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn checked_count(root: &std::path::Path) -> usize {
+    bgpz_lint::walk::workspace_sources(root)
+        .map(|v| v.len())
+        .unwrap_or(0)
+}

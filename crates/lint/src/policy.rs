@@ -1,0 +1,117 @@
+//! Which lints apply where.
+//!
+//! The paths below are the repo's invariant map: every entry encodes a
+//! contract established by an earlier PR (artifact determinism, tolerant
+//! wire parsing, obs-routed output). Paths are workspace-relative with
+//! `/` separators.
+
+/// Test-only source: exempt from every lint.
+pub fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/") || path.contains("/benches/") || path.starts_with("tests/")
+}
+
+/// Binary entry points: own their stdout/stderr and exit codes.
+pub fn is_bin_path(path: &str) -> bool {
+    path.contains("/src/bin/") || path.ends_with("/src/main.rs") || path == "src/main.rs"
+}
+
+/// Library code covered by the panic-safety ratchet (`unwrap`, `expect`,
+/// `panic`, `indexing`). The CLI owns user-facing error reporting and the
+/// bench harness is test support, so both are out of scope, as are binary
+/// entry points of otherwise-library crates.
+pub fn panic_scope(path: &str) -> bool {
+    if is_test_path(path) || is_bin_path(path) {
+        return false;
+    }
+    if path.starts_with("crates/cli/") || path.starts_with("crates/bench/") {
+        return false;
+    }
+    path.starts_with("crates/") || path.starts_with("src/")
+}
+
+/// Modules that build or write run artifacts (`metrics.json`,
+/// `timings.json`, experiment .txt/.csv/.json, BENCH_scan.json, `bgpz`
+/// report output). Hash-order iteration here can leak nondeterminism into
+/// bytes that PR 1/2 promise are identical at every `--jobs` count.
+pub fn artifact_module(path: &str) -> bool {
+    if is_test_path(path) {
+        return false;
+    }
+    path.starts_with("crates/analysis/src/")
+        || path.starts_with("crates/bench/src/")
+        || path == "crates/obs/src/metrics.rs"
+        || path == "crates/obs/src/json.rs"
+        || path == "crates/cli/src/render.rs"
+        || path == "crates/cli/src/commands.rs"
+}
+
+/// Where reading the wall clock is legitimate: the obs timing layer and
+/// the `timings.json` path (which exists to record wall time).
+pub fn wallclock_allowed(path: &str) -> bool {
+    is_test_path(path)
+        || path.starts_with("crates/obs/")
+        || path.starts_with("crates/bench/")
+        || path == "crates/analysis/src/experiments/mod.rs"
+        || path == "crates/analysis/src/bin/experiments.rs"
+}
+
+/// Where direct `println!`/`eprintln!` is legitimate: the CLI crate, the
+/// obs sinks themselves, and binary entry points (their stdout is the
+/// product; *progress* output still belongs to obs events).
+pub fn println_allowed(path: &str) -> bool {
+    is_test_path(path)
+        || is_bin_path(path)
+        || path.starts_with("crates/cli/")
+        || path == "crates/obs/src/sink.rs"
+        || path == "crates/obs/src/logger.rs"
+}
+
+/// Wire-decode soundness scope: every non-test source of the MRT crate.
+pub fn cast_scope(path: &str) -> bool {
+    path.starts_with("crates/mrt/src/") && !is_test_path(path)
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+pub fn lib_root(path: &str) -> bool {
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+/// Struct fields known (from the workspace's data model) to be hash-keyed
+/// collections: `ScanResult::histories`, `ScanResult::session_downs`.
+/// Iterating them in an artifact module is hash-order iteration even when
+/// the receiver is not a locally-declared binding.
+pub const HASH_FIELDS: &[&str] = &["histories", "session_downs"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes() {
+        assert!(panic_scope("crates/core/src/scan.rs"));
+        assert!(panic_scope("crates/analysis/src/stats.rs"));
+        assert!(!panic_scope("crates/analysis/src/bin/experiments.rs"));
+        assert!(!panic_scope("crates/cli/src/commands.rs"));
+        assert!(!panic_scope("crates/bench/src/lib.rs"));
+        assert!(!panic_scope("crates/core/tests/e2e_pipeline.rs"));
+
+        assert!(artifact_module("crates/analysis/src/experiments/table5.rs"));
+        assert!(artifact_module("crates/obs/src/metrics.rs"));
+        assert!(!artifact_module("crates/core/src/scan.rs"));
+
+        assert!(wallclock_allowed("crates/obs/src/logger.rs"));
+        assert!(wallclock_allowed("crates/analysis/src/bin/experiments.rs"));
+        assert!(!wallclock_allowed("crates/core/src/scan.rs"));
+
+        assert!(println_allowed("crates/cli/src/render.rs"));
+        assert!(println_allowed("crates/analysis/src/bin/experiments.rs"));
+        assert!(!println_allowed("crates/obs/src/metrics.rs"));
+
+        assert!(cast_scope("crates/mrt/src/record.rs"));
+        assert!(!cast_scope("crates/core/src/scan.rs"));
+
+        assert!(lib_root("crates/types/src/lib.rs"));
+        assert!(lib_root("src/lib.rs"));
+        assert!(!lib_root("crates/types/src/asn.rs"));
+    }
+}

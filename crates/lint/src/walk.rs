@@ -1,0 +1,57 @@
+//! Workspace source discovery.
+//!
+//! The lint pass covers library/binary sources only: `src/**/*.rs` at the
+//! workspace root plus `crates/*/src/**/*.rs`. Integration tests and
+//! benches are exempt from every lint (see [`crate::policy`]), so they are
+//! not walked at all. Paths are returned workspace-relative with `/`
+//! separators, sorted, so output order is deterministic on every platform.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All lintable sources under `root`: `(workspace-relative path, absolute
+/// path)` pairs, sorted by relative path.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect(&root_src, root, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect(&src, root, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

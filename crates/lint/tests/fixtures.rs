@@ -1,0 +1,125 @@
+//! Fixture-based positive/negative coverage for every lint.
+//!
+//! Each fixture under `tests/fixtures/` is analyzed under a virtual
+//! workspace path chosen to put it in the right policy scope; `_pos`
+//! fixtures must produce exactly the expected findings, `_neg` fixtures
+//! must produce none.
+
+use bgpz_lint::lints::analyze;
+
+/// (fixture, virtual path, expected `(lint, line)` findings)
+const CASES: &[(&str, &str, &[(&str, usize)])] = &[
+    (
+        include_str!("fixtures/panic_pos.rs"),
+        "crates/core/src/fix.rs",
+        &[("unwrap", 3), ("expect", 4), ("panic", 6), ("indexing", 8)],
+    ),
+    (
+        include_str!("fixtures/panic_test_neg.rs"),
+        "crates/core/src/fix.rs",
+        &[],
+    ),
+    (
+        include_str!("fixtures/expect_method_neg.rs"),
+        "crates/core/src/fix.rs",
+        &[],
+    ),
+    (
+        include_str!("fixtures/cast_pos.rs"),
+        "crates/mrt/src/fix.rs",
+        &[("truncating_cast", 3), ("truncating_cast", 4)],
+    ),
+    (
+        include_str!("fixtures/cast_neg.rs"),
+        "crates/mrt/src/fix.rs",
+        &[],
+    ),
+    (
+        include_str!("fixtures/cast_marker_neg.rs"),
+        "crates/mrt/src/fix.rs",
+        &[],
+    ),
+    (
+        include_str!("fixtures/cast_marker_bad_pos.rs"),
+        "crates/mrt/src/fix.rs",
+        &[("truncating_cast", 4)],
+    ),
+    (
+        include_str!("fixtures/hash_pos.rs"),
+        "crates/analysis/src/fix.rs",
+        &[("hash_iteration", 3), ("hash_iteration", 4)],
+    ),
+    (
+        include_str!("fixtures/hash_sorted_neg.rs"),
+        "crates/analysis/src/fix.rs",
+        &[],
+    ),
+    (
+        include_str!("fixtures/wallclock_pos.rs"),
+        "crates/core/src/fix.rs",
+        &[("wall_clock", 3), ("wall_clock", 4)],
+    ),
+    (
+        include_str!("fixtures/println_pos.rs"),
+        "crates/core/src/fix.rs",
+        &[("println", 3), ("println", 4)],
+    ),
+    (
+        include_str!("fixtures/forbid_pos.rs"),
+        "crates/demo/src/lib.rs",
+        &[("forbid_unsafe", 1)],
+    ),
+    (
+        include_str!("fixtures/forbid_neg.rs"),
+        "crates/demo/src/lib.rs",
+        &[],
+    ),
+];
+
+#[test]
+fn fixtures_produce_exactly_the_expected_findings() {
+    for (source, path, expected) in CASES {
+        let got: Vec<(&str, usize)> = analyze(path, source)
+            .into_iter()
+            .map(|f| (f.lint, f.line))
+            .collect();
+        assert_eq!(&got, expected, "fixture at virtual path {path}");
+    }
+}
+
+#[test]
+fn fixtures_are_scope_sensitive() {
+    // The same violating sources are clean when policy says the path is
+    // allowed to do that.
+    let println_src = include_str!("fixtures/println_pos.rs");
+    assert!(analyze("crates/cli/src/fix.rs", println_src).is_empty());
+    assert!(analyze("crates/obs/src/sink.rs", println_src).is_empty());
+
+    let wallclock_src = include_str!("fixtures/wallclock_pos.rs");
+    assert!(analyze("crates/obs/src/timing.rs", wallclock_src).is_empty());
+
+    let cast_src = include_str!("fixtures/cast_pos.rs");
+    assert!(analyze("crates/core/src/fix.rs", cast_src).is_empty());
+
+    let hash_src = include_str!("fixtures/hash_pos.rs");
+    assert!(analyze("crates/core/src/fix.rs", hash_src).is_empty());
+
+    // Test paths are exempt from everything.
+    let panic_src = include_str!("fixtures/panic_pos.rs");
+    assert!(analyze("crates/core/tests/fix.rs", panic_src).is_empty());
+}
+
+#[test]
+fn findings_render_clickable_and_sorted() {
+    let source = include_str!("fixtures/panic_pos.rs");
+    let findings = analyze("crates/core/src/fix.rs", source);
+    let first = findings.first().map(|f| f.render()).unwrap_or_default();
+    assert!(
+        first.starts_with("crates/core/src/fix.rs:3: unwrap: "),
+        "{first}"
+    );
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted);
+}

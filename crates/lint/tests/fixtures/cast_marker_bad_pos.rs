@@ -1,0 +1,5 @@
+// Positive fixture: a marker with no reason does not suppress.
+fn encode(buf: &mut BytesMut, secs: u64) {
+    // lint: allow(truncating_cast)
+    buf.put_u32(secs as u32);
+}

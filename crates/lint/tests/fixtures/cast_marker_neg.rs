@@ -1,0 +1,7 @@
+// Negative fixture: a marker with a reason suppresses the cast lint,
+// both on the line above and inline.
+fn encode(buf: &mut BytesMut, body: &[u8], secs: u64) {
+    // lint: allow(truncating_cast) — the wire field is 32-bit by spec
+    buf.put_u32(secs as u32);
+    buf.put_u16(body.len() as u16); // lint: allow(truncating_cast) — bodies stay below 64 KiB
+}

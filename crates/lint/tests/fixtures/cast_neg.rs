@@ -1,0 +1,10 @@
+// Negative fixture: provably-widening casts and value-checked literals.
+fn decode(b: &mut Cur<'_>) -> Option<usize> {
+    let a = b.u8()? as usize;
+    let _c = b.u16()? as u32;
+    let _d = b.get_u32() as u64;
+    let e = u16::from_be_bytes(w) as usize;
+    let f = 255 as u8;
+    let _g = data.len() as u64;
+    Some(a + e + usize::from(f))
+}

@@ -1,0 +1,6 @@
+// Positive fixture: truncating casts in a wire-decode path.
+fn decode(n: u64, len: usize) -> (u16, u8) {
+    let a = n as u16;
+    let b = len as u8;
+    (a, b)
+}

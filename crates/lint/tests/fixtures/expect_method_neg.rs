@@ -1,0 +1,15 @@
+// Negative fixture: a domain method named `expect` taking a non-literal
+// argument (like Scanner::expect(interval) in bgpz-core) is not the
+// panicking Option/Result method.
+fn drive(s: &mut Scanner, interval: Interval) {
+    s.expect(interval);
+    s.expect(next_interval(interval));
+}
+
+// Doc text quoting `.unwrap()` or `panic!("boom")` must not fire either.
+/// Call `.unwrap()` at your peril; never `panic!("boom")`.
+fn documented() {}
+
+fn strings() -> &'static str {
+    "contains .unwrap() and panic! and v[0] in a string"
+}

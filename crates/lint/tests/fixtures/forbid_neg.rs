@@ -1,0 +1,5 @@
+//! A library crate root that locks out unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub fn ok() {}

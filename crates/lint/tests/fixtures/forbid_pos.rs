@@ -1,0 +1,3 @@
+//! A library crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn not_locked() {}

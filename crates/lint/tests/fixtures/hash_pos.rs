@@ -1,0 +1,8 @@
+// Positive fixture: hash-order iteration feeding artifact output.
+fn rows(m: &HashMap<u32, Row>, r: &ScanResult) -> Vec<String> {
+    let mut out: Vec<String> = m.values().map(render).collect();
+    for (peer, h) in &r.histories {
+        out.push(render_history(peer, h));
+    }
+    out
+}

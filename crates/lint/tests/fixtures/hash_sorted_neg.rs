@@ -1,0 +1,15 @@
+// Negative fixture: sorted, reduced, or BTreeMap-collected iteration is
+// order-safe; so is a HashMap outside artifact modules entirely.
+fn rows(m: &HashMap<u32, Row>) -> Vec<String> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys.iter().map(|k| render(k)).collect()
+}
+
+fn total(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+fn ordered(m: &HashMap<u32, Row>) -> BTreeMap<u32, Row> {
+    m.iter().map(|(k, v)| (*k, v.clone())).collect::<BTreeMap<_, _>>()
+}

@@ -1,0 +1,9 @@
+// Positive fixture: every panic-family lint fires once in library code.
+fn takes(v: &[u8], o: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let a = o.unwrap();
+    let b = r.expect("must be ok");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    a + b + v[0]
+}

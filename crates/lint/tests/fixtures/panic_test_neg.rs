@@ -1,0 +1,19 @@
+// Negative fixture: the same constructs inside #[cfg(test)] are exempt.
+pub fn lib_fn(x: u8) -> u8 {
+    x.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = vec![1u8];
+        let o: Option<u8> = Some(3);
+        assert_eq!(o.unwrap() + v[0], 4);
+        let r: Result<u8, ()> = Ok(1);
+        r.expect("fine in tests");
+        if false {
+            panic!("also fine");
+        }
+    }
+}

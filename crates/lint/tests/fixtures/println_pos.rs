@@ -1,0 +1,5 @@
+// Positive fixture: direct terminal output from library code.
+fn progress(done: usize, total: usize) {
+    println!("{done}/{total}");
+    eprintln!("warn: behind schedule");
+}

@@ -1,0 +1,6 @@
+// Positive fixture: wall-clock reads outside the obs/timings layer.
+fn measure() -> (Instant, SystemTime) {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    (t0, wall)
+}

@@ -1,0 +1,148 @@
+//! Self-checks against the real workspace: the shipped baseline must be
+//! exactly reproducible from the tree, the release binary must exit 0 on
+//! the shipped sources, and injecting a violation must flip it nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use bgpz_lint::baseline::Baseline;
+use bgpz_lint::{analyze_tree, enforce};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(PathBuf::from)
+        .expect("crates/lint sits two levels under the workspace root")
+}
+
+#[test]
+fn shipped_baseline_is_exactly_reproducible() {
+    let root = workspace_root();
+    let findings = analyze_tree(&root).expect("workspace sources readable");
+    let fresh = Baseline::from_findings(&findings);
+    let shipped_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml present at the workspace root");
+    let shipped = Baseline::parse(&shipped_text).expect("shipped baseline parses");
+    assert_eq!(
+        shipped,
+        fresh,
+        "lint-baseline.toml is stale; regenerate with `cargo run -p bgpz-lint --release -- --update-baseline`"
+    );
+    // Byte-exact too, so the file never drifts from the canonical render.
+    assert_eq!(
+        shipped_text,
+        fresh.render(),
+        "baseline bytes differ from canonical render"
+    );
+}
+
+#[test]
+fn shipped_tree_is_lint_clean() {
+    let root = workspace_root();
+    let findings = analyze_tree(&root).expect("workspace sources readable");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml present");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let e = enforce(&findings, &baseline);
+    assert!(
+        e.clean(),
+        "violations: {:?}\nstale: {:?}",
+        e.violations.iter().map(|v| v.render()).collect::<Vec<_>>(),
+        e.stale
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_shipped_tree() {
+    let root = workspace_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_bgpz-lint"))
+        .args(["--root"])
+        .arg(&root)
+        .output()
+        .expect("bgpz-lint runs");
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_injected_violation() {
+    // A minimal workspace with one library crate containing a hard
+    // violation (a stray println!) and an empty baseline.
+    let dir = std::env::temp_dir().join(format!("bgpz-lint-inject-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("temp tree created");
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f() {\n    println!(\"leaked\");\n}\n",
+    )
+    .expect("fixture written");
+    std::fs::write(dir.join("lint-baseline.toml"), "").expect("baseline written");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_bgpz-lint"))
+        .args(["--root"])
+        .arg(&dir)
+        .output()
+        .expect("bgpz-lint runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:3: println:"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_catches_new_panic_finding_over_baseline() {
+    let dir = std::env::temp_dir().join(format!("bgpz-lint-ratchet-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("temp tree created");
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n",
+    )
+    .expect("fixture written");
+    // Empty baseline: the unwrap is new, so the ratchet must fail it.
+    std::fs::write(dir.join("lint-baseline.toml"), "").expect("baseline written");
+    let out = Command::new(env!("CARGO_BIN_EXE_bgpz-lint"))
+        .args(["--root"])
+        .arg(&dir)
+        .output()
+        .expect("bgpz-lint runs");
+    assert_eq!(out.status.code(), Some(1));
+
+    // Baselining it makes the same tree pass.
+    std::fs::write(
+        dir.join("lint-baseline.toml"),
+        "[\"crates/demo/src/lib.rs\"]\nunwrap = 1\n",
+    )
+    .expect("baseline written");
+    let out = Command::new(env!("CARGO_BIN_EXE_bgpz-lint"))
+        .args(["--root"])
+        .arg(&dir)
+        .output()
+        .expect("bgpz-lint runs");
+    let ok = out.status.success();
+
+    // And over-accepting baselines are stale, not silently tolerated.
+    std::fs::write(
+        dir.join("lint-baseline.toml"),
+        "[\"crates/demo/src/lib.rs\"]\nunwrap = 2\n",
+    )
+    .expect("baseline written");
+    let stale = Command::new(env!("CARGO_BIN_EXE_bgpz-lint"))
+        .args(["--root"])
+        .arg(&dir)
+        .output()
+        .expect("bgpz-lint runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(ok, "exact baseline should pass");
+    assert_eq!(stale.status.code(), Some(1), "stale baseline should fail");
+}

@@ -46,7 +46,7 @@ impl BgpState {
             5 => Ok(BgpState::OpenConfirm),
             6 => Ok(BgpState::Established),
             other => Err(CodecError::UnknownVariant {
-                value: other as u32,
+                value: u32::from(other),
                 context: "BGP FSM state",
             }),
         }

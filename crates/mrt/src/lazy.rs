@@ -216,7 +216,7 @@ impl<'a> LazyFrame<'a> {
         if c.u8() != Some(MessageKind::Update.code()) {
             return regions;
         }
-        let Some(body_len) = (msg_len as usize).checked_sub(19) else {
+        let Some(body_len) = usize::from(msg_len).checked_sub(19) else {
             return regions;
         };
         let Some(body) = c.take(body_len) else {
@@ -228,7 +228,7 @@ impl<'a> LazyFrame<'a> {
         let Some(wd_len) = b.u16() else {
             return regions;
         };
-        let Some(withdrawn) = b.take(wd_len as usize) else {
+        let Some(withdrawn) = b.take(usize::from(wd_len)) else {
             return regions;
         };
         regions[0] = Some(Region {
@@ -241,7 +241,7 @@ impl<'a> LazyFrame<'a> {
         let Some(at_len) = b.u16() else {
             return regions;
         };
-        let Some(attrs) = b.take(at_len as usize) else {
+        let Some(attrs) = b.take(usize::from(at_len)) else {
             return regions;
         };
         // Legacy NLRI (IPv4): everything after the attribute block.
@@ -256,12 +256,12 @@ impl<'a> LazyFrame<'a> {
             let Some(type_code) = a.u8() else { break };
             let len = if flags & 0x10 != 0 {
                 match a.u16() {
-                    Some(l) => l as usize,
+                    Some(l) => usize::from(l),
                     None => break,
                 }
             } else {
                 match a.u8() {
-                    Some(l) => l as usize,
+                    Some(l) => usize::from(l),
                     None => break,
                 }
             };
@@ -277,7 +277,7 @@ impl<'a> LazyFrame<'a> {
                         continue; // SAFI
                     }
                     let Some(nh_len) = v.u8() else { continue };
-                    if v.skip(nh_len as usize + 1).is_none() {
+                    if v.skip(usize::from(nh_len) + 1).is_none() {
                         continue; // next hop + reserved
                     }
                     regions[1] = Some(Region {
@@ -470,7 +470,7 @@ fn validate_message(payload: &[u8], as4: bool) -> Option<()> {
         return None;
     }
     let kind = c.u8()?;
-    let body = c.take(msg_len as usize - 19)?;
+    let body = c.take(usize::from(msg_len) - 19)?;
     match kind {
         1 => validate_open(body)?,
         2 => validate_update(body, as4)?,
@@ -501,7 +501,7 @@ fn validate_open(body: &[u8]) -> Option<()> {
     if body.len() < 10 {
         return None;
     }
-    let opt_len = body[9] as usize;
+    let opt_len = usize::from(body[9]);
     if 10 + opt_len > body.len() {
         return None;
     }
@@ -532,7 +532,7 @@ fn validate_nlri_run(run: &[u8], afi: Afi) -> Option<()> {
         if bits > afi.max_bits() {
             return None;
         }
-        c.skip((bits as usize).div_ceil(8))?;
+        c.skip(usize::from(bits).div_ceil(8))?;
     }
     Some(())
 }

@@ -22,6 +22,8 @@
 //! that answer peer/prefix questions straight from the wire bytes, deferring
 //! the full decode to the frames that actually match.
 
+#![forbid(unsafe_code)]
+
 pub mod bgp4mp;
 pub mod index;
 pub mod lazy;

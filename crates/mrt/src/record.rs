@@ -120,9 +120,11 @@ impl MrtRecord {
             MrtBody::PeerIndex(t) => t.encode(&mut body),
             MrtBody::Rib(r) => r.encode(&mut body),
         }
+        // lint: allow(truncating_cast) — the MRT header timestamp field is 32-bit (RFC 6396 §2)
         buf.put_u32(self.timestamp.secs() as u32);
         buf.put_u16(mrt_type);
         buf.put_u16(subtype);
+        // lint: allow(truncating_cast) — a single MRT record body cannot reach 4 GiB
         buf.put_u32(body.len() as u32);
         buf.put_slice(&body);
     }
@@ -169,7 +171,7 @@ impl MrtRecord {
             }
             _ => {
                 return Err(CodecError::UnknownVariant {
-                    value: ((mrt_type as u32) << 16) | subtype as u32,
+                    value: (u32::from(mrt_type) << 16) | u32::from(subtype),
                     context: "MRT type/subtype",
                 })
             }

@@ -54,8 +54,10 @@ impl PeerIndexTable {
     /// Encodes the record body.
     pub fn encode(&self, buf: &mut impl BufMut) {
         buf.put_slice(&self.collector_id.octets());
+        // lint: allow(truncating_cast) — view names are collector-assigned short strings
         buf.put_u16(self.view_name.len() as u16);
         buf.put_slice(self.view_name.as_bytes());
+        // lint: allow(truncating_cast) — the TDv2 peer-count field is 16-bit (RFC 6396 §4.3.1)
         buf.put_u16(self.peers.len() as u16);
         for peer in &self.peers {
             buf.put_u8(peer.peer_type());
@@ -149,11 +151,14 @@ impl RibSnapshot {
     pub fn encode(&self, buf: &mut impl BufMut) {
         buf.put_u32(self.sequence);
         self.prefix.encode_nlri(buf);
+        // lint: allow(truncating_cast) — the TDv2 entry-count field is 16-bit (RFC 6396 §4.3.2)
         buf.put_u16(self.entries.len() as u16);
         for entry in &self.entries {
             buf.put_u16(entry.peer_index);
+            // lint: allow(truncating_cast) — the originated-time field is 32-bit (RFC 6396 §4.3.4)
             buf.put_u32(entry.originated.secs() as u32);
             let body = encode_tdv2_attrs(&entry.attrs);
+            // lint: allow(truncating_cast) — encoded attribute blocks stay far below 64 KiB
             buf.put_u16(body.len() as u16);
             buf.put_slice(&body);
         }
@@ -198,6 +203,7 @@ fn encode_tdv2_attrs(attrs: &PathAttributes) -> BytesMut {
     stripped.encode(&mut out, true);
     if let Some(mp) = mp_reach {
         let mut body = BytesMut::with_capacity(1 + mp.next_hop.wire_len());
+        // lint: allow(truncating_cast) — a BGP next hop is at most 32 bytes on the wire
         body.put_u8(mp.next_hop.wire_len() as u8);
         match mp.next_hop {
             NextHop::V4(a) => body.put_slice(&a.octets()),
@@ -210,6 +216,7 @@ fn encode_tdv2_attrs(attrs: &PathAttributes) -> BytesMut {
         }
         out.put_u8(AttrFlags::OPTIONAL);
         out.put_u8(type_code::MP_REACH_NLRI);
+        // lint: allow(truncating_cast) — MP_REACH body is 1 + next hop (<= 32) + reserved byte
         out.put_u8(body.len() as u8);
         out.put_slice(&body);
     }
@@ -283,11 +290,17 @@ fn decode_tdv2_attrs(
             if len > 255 {
                 standard.put_u8(flags.0 | AttrFlags::EXTENDED);
                 standard.put_u8(tc);
-                standard.put_u16(len as u16);
+                let wire = u16::try_from(len).map_err(|_| CodecError::Invalid {
+                    context: "TDv2 attribute length exceeds the extended-length field",
+                })?;
+                standard.put_u16(wire);
             } else {
                 standard.put_u8(flags.0 & !AttrFlags::EXTENDED);
                 standard.put_u8(tc);
-                standard.put_u8(len as u8);
+                let wire = u8::try_from(len).map_err(|_| CodecError::Invalid {
+                    context: "TDv2 attribute length exceeds the short-length field",
+                })?;
+                standard.put_u8(wire);
             }
             standard.put_slice(&val);
         }

@@ -22,6 +22,8 @@
 //! (binary heap of timed events, seeded RNG for jitter), in the sans-IO
 //! style: no threads, no sockets, no wall clock.
 
+#![forbid(unsafe_code)]
+
 pub mod dataplane;
 pub mod engine;
 pub mod faults;

@@ -43,6 +43,8 @@
 //! is byte-identical at any worker count — the `metrics.json` contract
 //! the determinism tests pin.
 
+#![forbid(unsafe_code)]
+
 pub mod filter;
 pub mod json;
 pub mod logger;

@@ -14,6 +14,8 @@
 //! router fails to process a withdrawal with some probability and stays
 //! deaf for that prefix until the next announcement.
 
+#![forbid(unsafe_code)]
+
 pub mod network;
 pub mod spec;
 

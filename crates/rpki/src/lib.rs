@@ -12,6 +12,8 @@
 //! validation at any instant, and the list of instants at which the outcome
 //! can change (used by the simulator to schedule re-validation).
 
+#![forbid(unsafe_code)]
+
 use bgpz_types::{Asn, Prefix, SimTime};
 
 /// A Route Origin Authorization.

@@ -21,6 +21,8 @@
 //! real MRT archives contain corrupted records (e.g. the FRR ADD-PATH
 //! incident cited by the paper).
 
+#![forbid(unsafe_code)]
+
 pub mod asn;
 pub mod aspath;
 pub mod attrs;

@@ -7,4 +7,5 @@ cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+cargo run -p bgpz-lint --release
 scripts/bench.sh --smoke

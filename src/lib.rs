@@ -19,6 +19,8 @@
 //! assert_eq!(Asn::BEACON_ORIGIN, Asn(210_312));
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// BGP data model and wire codecs.
 pub use bgpz_types as types;
 
