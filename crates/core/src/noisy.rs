@@ -57,8 +57,7 @@ pub fn peer_likelihoods(scan: &ScanResult, report: &ZombieReport) -> Vec<PeerLik
         .collect();
     out.sort_by(|a, b| {
         b.likelihood
-            .partial_cmp(&a.likelihood)
-            .expect("likelihoods are finite")
+            .total_cmp(&a.likelihood)
             .then(a.peer.cmp(&b.peer))
     });
     out

@@ -381,10 +381,23 @@ fn scan_frames(
                         // path does) and skip the decode entirely.
                         acc.peers.insert(peer);
                     }
-                    _ => {
-                        let record = frame.decode().expect("validated frame must decode");
-                        acc.apply(&record, locator);
-                    }
+                    _ => match frame.decode() {
+                        Ok(record) => acc.apply(&record, locator),
+                        Err(e) => {
+                            // `validate()` is meant to guarantee this decode
+                            // succeeds; stay tolerant anyway and reclassify
+                            // the frame as skipped.
+                            stats.ok -= 1;
+                            stats.ok_messages -= 1;
+                            stats.skipped += 1;
+                            bgpz_obs::debug!(
+                                target: "mrt::read",
+                                "skipped record that validated but failed decode \
+                                 ({} body bytes): {e}",
+                                frame.meta().body_len()
+                            );
+                        }
+                    },
                 }
             }
             FrameKind::StateChange { .. } | FrameKind::PeerIndex | FrameKind::Rib => {
@@ -463,10 +476,10 @@ pub fn scan_indexed(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scan chunk worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         })
-        .expect("scan chunk scope panicked")
+        .unwrap_or_else(|p| std::panic::resume_unwind(p))
     };
 
     // Merge in chunk (= archive) order.

@@ -193,6 +193,11 @@ fn callee_width(name: &str) -> Option<u32> {
         "get_u32" | "u32" => Some(32),
         "get_u64" | "u64" | "secs" => Some(64),
         "len" | "wire_len" | "remaining" => Some(64),
+        // Helpers follow the `foo_u32` return-width naming convention.
+        n if n.ends_with("_u8") => Some(8),
+        n if n.ends_with("_u16") => Some(16),
+        n if n.ends_with("_u32") => Some(32),
+        n if n.ends_with("_u64") => Some(64),
         _ => None,
     }
 }
@@ -563,9 +568,9 @@ mod tests {
     #[test]
     fn widening_casts_pass_truncating_casts_flagged() {
         let path = "crates/mrt/src/demo.rs";
-        let src = "fn f(b: &mut B, n: u64) -> usize {\n    let _a = b.get_u16() as usize;\n    let _c = u32::from_be_bytes(w) as u64;\n    let d = n as u16;\n    usize::from(d)\n}\n";
+        let src = "fn f(b: &mut B, n: u64) -> usize {\n    let _a = b.get_u16() as usize;\n    let _c = u32::from_be_bytes(w) as u64;\n    let _e = header_u32(b, 8) as usize;\n    let d = n as u16;\n    usize::from(d)\n}\n";
         let got = lints_of(path, src);
-        assert_eq!(got, vec![("truncating_cast", 4)]);
+        assert_eq!(got, vec![("truncating_cast", 5)]);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub(crate) fn frame_at(data: &[u8]) -> FrameOutcome {
             body_len: 0,
         };
     }
-    let body_len = u32::from_be_bytes([data[8], data[9], data[10], data[11]]) as usize;
+    let body_len = header_u32(data, 8) as usize;
     let total = 12 + body_len;
     if data.len() < total {
         return FrameOutcome::Trailing {
@@ -64,6 +64,21 @@ pub(crate) fn frame_at(data: &[u8]) -> FrameOutcome {
         };
     }
     FrameOutcome::Frame { total }
+}
+
+/// Big-endian `u16` at byte offset `at`; zero when out of range (callers
+/// frame the record first, so the header bytes are always present).
+fn header_u16(b: &[u8], at: usize) -> u16 {
+    b.get(at..at + 2)
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map_or(0, u16::from_be_bytes)
+}
+
+/// Big-endian `u32` at byte offset `at`; zero when out of range.
+fn header_u32(b: &[u8], at: usize) -> u32 {
+    b.get(at..at + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map_or(0, u32::from_be_bytes)
 }
 
 /// Per-frame metadata recorded by the framing pass: everything the common
@@ -134,9 +149,9 @@ impl FrameIndex {
                     frames.push(FrameMeta {
                         offset: pos,
                         len: total,
-                        timestamp: SimTime(u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as u64),
-                        mrt_type: u16::from_be_bytes([b[4], b[5]]),
-                        subtype: u16::from_be_bytes([b[6], b[7]]),
+                        timestamp: SimTime(u64::from(header_u32(b, 0))),
+                        mrt_type: header_u16(b, 4),
+                        subtype: header_u16(b, 6),
                     });
                     pos += total;
                 }

@@ -431,16 +431,19 @@ impl<'a> Cur<'a> {
     }
 
     fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|b| b[0])
+        self.take(1).and_then(|b| b.first().copied())
     }
 
     fn u16(&mut self) -> Option<u16> {
-        self.take(2).map(|b| u16::from_be_bytes([b[0], b[1]]))
+        self.take(2)
+            .and_then(|b| <[u8; 2]>::try_from(b).ok())
+            .map(u16::from_be_bytes)
     }
 
     fn u32(&mut self) -> Option<u32> {
         self.take(4)
-            .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+            .and_then(|b| <[u8; 4]>::try_from(b).ok())
+            .map(u32::from_be_bytes)
     }
 }
 
@@ -501,7 +504,7 @@ fn validate_open(body: &[u8]) -> Option<()> {
     if body.len() < 10 {
         return None;
     }
-    let opt_len = usize::from(body[9]);
+    let opt_len = usize::from(*body.get(9)?);
     if 10 + opt_len > body.len() {
         return None;
     }
