@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N]
-//!                  [--out DIR] [--jobs N] [--list]
+//!                  [--out DIR] [--jobs N] [--cache-dir DIR] [--list]
 //!
 //!   IDS     comma-separated subset of the registry ids (default: all;
 //!           see --list)
@@ -13,6 +13,11 @@
 //!           experiment dispatch (default: available parallelism;
 //!           --jobs 1 = fully serial). Artifacts are byte-identical at
 //!           every job count — only timings.json varies.
+//!   --cache-dir  substrate cache directory: simulated archives and their
+//!           frame indexes are reused across runs keyed on (scale, seed),
+//!           making warm runs skip the simulation entirely. Falls back to
+//!           the BGPZ_CACHE environment variable; empty = disabled.
+//!           Artifacts are byte-identical with or without the cache.
 //!   --list  print the experiment registry (id, substrate, title) and exit
 //! ```
 //!
@@ -29,10 +34,11 @@
 //! Exit codes: 0 success, 2 unknown experiment id, 64 usage error.
 
 use bgpz_analysis::experiments::{
-    build_substrates, find, registry, BundleTimings, Experiment, ExperimentOutput, Substrates,
+    build_substrates_cached, find, registry, BundleTimings, Experiment, ExperimentOutput,
+    Substrates,
 };
 use bgpz_analysis::worlds::default_jobs;
-use bgpz_analysis::Scale;
+use bgpz_analysis::{Scale, SubstrateCache};
 use serde_json::json;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -47,8 +53,9 @@ fn usage_text() -> String {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     format!(
         "usage: bgpz-experiments [IDS] [--scale quick|standard|full] [--seed N] [--out DIR]\n\
-         \x20                        [--jobs N] [--list]\n\
-         IDS: comma-separated subset of {} (default all)",
+         \x20                        [--jobs N] [--cache-dir DIR] [--list]\n\
+         IDS: comma-separated subset of {} (default all)\n\
+         --cache-dir (or BGPZ_CACHE): reuse simulated substrates across runs",
         ids.join(",")
     )
 }
@@ -66,6 +73,7 @@ fn main() {
     let mut seed: u64 = 42;
     let mut out_dir = PathBuf::from("results");
     let mut jobs: usize = default_jobs();
+    let mut cache_dir: Option<String> = None;
     let mut list = false;
 
     let mut args = std::env::args().skip(1);
@@ -88,6 +96,9 @@ fn main() {
                 if jobs == 0 {
                     usage();
                 }
+            }
+            "--cache-dir" => {
+                cache_dir = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--list" => list = true,
             "--help" | "-h" => {
@@ -138,8 +149,17 @@ fn main() {
         out_dir.display()
     );
 
+    let cache = SubstrateCache::resolve(cache_dir.as_deref());
+    if let Some(cache) = &cache {
+        bgpz_obs::info!(
+            target: "experiments::run",
+            "# substrate cache: {}", cache.dir().display()
+        );
+    }
+
     let total_start = Instant::now();
-    let (ctx, bundle_timings) = build_substrates(&scale, seed, &experiments, jobs);
+    let (ctx, bundle_timings) =
+        build_substrates_cached(&scale, seed, &experiments, jobs, cache.as_ref());
     if let Some(secs) = bundle_timings.replication_secs {
         bgpz_obs::info!(target: "experiments::run", "# replication bundle built in {secs:.1}s");
     }

@@ -4,8 +4,8 @@
 //! cones.
 
 use super::{BeaconBundle, ExperimentOutput};
-use bgpz_core::{classify, infer_root_cause, track_lifespans, ClassifyOptions};
-use bgpz_types::{Asn, Prefix, SimTime};
+use bgpz_core::{classify, infer_root_cause, ClassifyOptions};
+use bgpz_types::{Asn, Prefix};
 use serde_json::json;
 use std::fmt::Write as _;
 
@@ -60,14 +60,8 @@ fn analyze(bundle: &BeaconBundle, prefix: Prefix) -> Option<Case> {
     ases.sort_unstable();
     ases.dedup();
     let cause = infer_root_cause(outbreak);
-    let finals: Vec<(Prefix, SimTime)> = bundle
-        .finals
-        .iter()
-        .copied()
-        .filter(|&(p, _)| p == prefix)
-        .collect();
-    let duration_days = track_lifespans(&bundle.run.archive.rib_dumps, &finals, &[])
-        .first()
+    let duration_days = bundle
+        .lifespan_of(prefix)
         .map(|l| l.duration_days())
         .unwrap_or(0.0);
     Some(Case {

@@ -6,7 +6,6 @@
 use super::{BeaconBundle, ExperimentOutput};
 use crate::render::{AsciiSeries, TextTable};
 use crate::stats::Ecdf;
-use bgpz_core::track_lifespans;
 use serde_json::json;
 
 /// The two duration distributions.
@@ -22,12 +21,8 @@ pub struct Fig3 {
 
 /// Computes the distributions from the RIB dumps.
 pub fn compute(bundle: &BeaconBundle) -> Fig3 {
-    let all = track_lifespans(&bundle.run.archive.rib_dumps, &bundle.finals, &[]);
-    let excluded = track_lifespans(
-        &bundle.run.archive.rib_dumps,
-        &bundle.finals,
-        &bundle.run.noisy_routers,
-    );
+    let all = bundle.lifespans();
+    let excluded = bundle.lifespans_excluding(&bundle.run.noisy_routers);
     let days = |lifespans: &[bgpz_core::OutbreakLifespan]| -> Vec<f64> {
         let mut out: Vec<f64> = lifespans
             .iter()
@@ -43,7 +38,7 @@ pub fn compute(bundle: &BeaconBundle) -> Fig3 {
         .filter(|&&d| (35.0..=37.5).contains(&d))
         .count();
     Fig3 {
-        all_peers: days(&all),
+        all_peers: days(all),
         noisy_excluded: excluded_days,
         cluster_35_37: cluster,
     }

@@ -2,7 +2,6 @@
 //! resurrected twice, visible for a total of ~8.5 months.
 
 use super::{BeaconBundle, ExperimentOutput};
-use bgpz_core::track_lifespans;
 use bgpz_types::{Prefix, SimTime};
 use serde_json::json;
 use std::fmt::Write as _;
@@ -28,18 +27,11 @@ pub fn resurrection_prefix() -> Prefix {
 /// Computes the timeline.
 pub fn compute(bundle: &BeaconBundle) -> Fig4 {
     let prefix = resurrection_prefix();
-    let finals: Vec<(Prefix, SimTime)> = bundle
-        .finals
-        .iter()
-        .copied()
-        .filter(|&(p, _)| p == prefix)
-        .collect();
     // The paper's Fig. 4 tracks the prefix in *one* RIS peer's RIB (it
     // "appeared again in a RIPE RIS peer's RIB") — the peer behind the
     // resurrection chain. Restrict the lifespan to AS61573's router so
     // coincidental background zombies elsewhere don't mask the gaps.
-    let lifespans = track_lifespans(&bundle.run.archive.rib_dumps, &finals, &[]);
-    let Some(mut lifespan) = lifespans.into_iter().next() else {
+    let Some(mut lifespan) = bundle.lifespan_of(prefix).cloned() else {
         return Fig4::default();
     };
     lifespan

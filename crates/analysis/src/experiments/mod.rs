@@ -18,15 +18,22 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 
+use crate::substrate_cache::SubstrateCache;
 use crate::worlds::{
     final_withdrawals, replication_periods, run_beacon_study, run_replication, BeaconRun,
     ReplicationRun, Scale,
 };
-use bgpz_core::{intervals_from_schedule, scan_indexed, BeaconInterval, ScanResult};
+use bgpz_core::{
+    intervals_from_schedule, scan_indexed, track_lifespans, BeaconInterval, OutbreakLifespan,
+    ScanResult,
+};
 use bgpz_mrt::FrameIndex;
 use bgpz_types::time::HOUR;
 use bgpz_types::{Prefix, SimTime};
 use serde_json::Value;
+use std::net::IpAddr;
+use std::panic::resume_unwind;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// What every experiment produces.
@@ -184,6 +191,20 @@ pub fn replication_bundle(scale: &Scale, seed: u64) -> ReplicationBundle {
 /// deterministic sharded merge, and the periods are collected in schedule
 /// order — so the bundle is identical at every `jobs`.
 pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> ReplicationBundle {
+    replication_bundle_jobs_cached(scale, seed, jobs, None)
+}
+
+/// [`replication_bundle_jobs`] with an optional substrate cache: each
+/// period's simulated archive and frame index are looked up before the
+/// simulator runs, and stored after a miss. The scan itself always runs
+/// (its output depends on the scan window and shard count, not just the
+/// substrate), so a warm bundle is byte-identical to a cold one.
+pub fn replication_bundle_jobs_cached(
+    scale: &Scale,
+    seed: u64,
+    jobs: usize,
+    cache: Option<&SubstrateCache>,
+) -> ReplicationBundle {
     let _span = bgpz_obs::span("analysis::bundle", "replication");
     let periods = replication_periods(scale);
     bgpz_obs::metrics::counter(
@@ -197,11 +218,21 @@ pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> Replica
         periods.len()
     );
     let build = |period: &crate::worlds::ReplicationPeriod, scan_jobs: usize| {
-        let run = run_replication(period, scale, seed);
+        let (run, index) = match cache.and_then(|c| c.load_replication(scale, seed, period)) {
+            Some(hit) => hit,
+            None => {
+                let run = run_replication(period, scale, seed);
+                // One framing pass per period archive; the scan prefilters
+                // on the indexed frames and decodes each relevant record at
+                // most once.
+                let index = FrameIndex::build(run.archive.updates.clone());
+                if let Some(c) = cache {
+                    c.store_replication(scale, seed, period, &run, &index);
+                }
+                (run, index)
+            }
+        };
         let intervals = intervals_from_schedule(&run.schedule);
-        // One framing pass per period archive; the scan prefilters on the
-        // indexed frames and decodes each relevant record at most once.
-        let index = FrameIndex::build(run.archive.updates.clone());
         let result = scan_indexed(&index, &intervals, SCAN_WINDOW, scan_jobs);
         (run, result)
     };
@@ -221,10 +252,10 @@ pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> Replica
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("replication period worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|panic| resume_unwind(panic)))
             .collect()
     })
-    .expect("replication scope panicked");
+    .unwrap_or_else(|panic| resume_unwind(panic));
     ReplicationBundle { runs }
 }
 
@@ -240,6 +271,37 @@ pub struct BeaconBundle {
     pub intervals: Vec<BeaconInterval>,
     /// Final withdrawal per prefix (for lifespan tracking).
     pub finals: Vec<(Prefix, SimTime)>,
+    /// Shared lifespan table: `track_lifespans` over the full finals set,
+    /// computed once on first use (see [`BeaconBundle::lifespans`]).
+    lifespans: OnceLock<Vec<OutbreakLifespan>>,
+}
+
+impl BeaconBundle {
+    /// The outbreak lifespan table for every final withdrawal, with no
+    /// peer exclusions — the most general tracking pass, computed at most
+    /// once per bundle and shared by every driver that needs lifespans
+    /// (F3, F4, the §5.2 cases). Per-prefix and per-peer views are carved
+    /// out of this table instead of re-tracking the RIB dumps.
+    pub fn lifespans(&self) -> &[OutbreakLifespan] {
+        self.lifespans
+            .get_or_init(|| track_lifespans(&self.run.archive.rib_dumps, &self.finals, &[]))
+    }
+
+    /// The lifespan of one outbreak prefix, if it was ever visible.
+    pub fn lifespan_of(&self, prefix: Prefix) -> Option<&OutbreakLifespan> {
+        self.lifespans().iter().find(|l| l.prefix == prefix)
+    }
+
+    /// The lifespan table with the `excluded` peer routers' sightings
+    /// removed — equivalent to re-tracking with the exclusion list, but
+    /// derived from the shared table (lifespans left empty by the
+    /// exclusion are dropped, matching `track_lifespans`).
+    pub fn lifespans_excluding(&self, excluded: &[IpAddr]) -> Vec<OutbreakLifespan> {
+        self.lifespans()
+            .iter()
+            .filter_map(|l| l.without_peers(excluded))
+            .collect()
+    }
 }
 
 /// Runs the beacon study and scans it, serially (equivalent to
@@ -252,8 +314,30 @@ pub fn beacon_bundle(scale: &Scale, seed: u64) -> BeaconBundle {
 /// simulation itself is one sequential event loop; the archive scan —
 /// the post-simulation hot path — shards deterministically.
 pub fn beacon_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> BeaconBundle {
+    beacon_bundle_jobs_cached(scale, seed, jobs, None)
+}
+
+/// [`beacon_bundle_jobs`] with an optional substrate cache: the simulated
+/// archive and its frame index are looked up before the year-long event
+/// loop runs, and stored after a miss.
+pub fn beacon_bundle_jobs_cached(
+    scale: &Scale,
+    seed: u64,
+    jobs: usize,
+    cache: Option<&SubstrateCache>,
+) -> BeaconBundle {
     let _span = bgpz_obs::span("analysis::bundle", "beacon");
-    let run = run_beacon_study(scale, seed);
+    let (run, index) = match cache.and_then(|c| c.load_beacon(scale, seed)) {
+        Some(hit) => hit,
+        None => {
+            let run = run_beacon_study(scale, seed);
+            let index = FrameIndex::build(run.archive.updates.clone());
+            if let Some(c) = cache {
+                c.store_beacon(scale, seed, &run, &index);
+            }
+            (run, index)
+        }
+    };
     let mut intervals = intervals_from_schedule(&run.schedule);
     // Footnote 3: drop the earlier announcement of each colliding pair.
     let before = intervals.len();
@@ -278,7 +362,6 @@ pub fn beacon_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> BeaconBundle
         intervals.len(),
         before - intervals.len()
     );
-    let index = FrameIndex::build(run.archive.updates.clone());
     let scan_result = scan_indexed(&index, &intervals, SCAN_WINDOW, jobs);
     let finals = final_withdrawals(&run.schedule);
     BeaconBundle {
@@ -286,6 +369,7 @@ pub fn beacon_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> BeaconBundle
         intervals,
         finals,
         run,
+        lifespans: OnceLock::new(),
     }
 }
 
@@ -302,6 +386,18 @@ pub fn build_substrates(
     experiments: &[&'static dyn Experiment],
     jobs: usize,
 ) -> (Substrates, BundleTimings) {
+    build_substrates_cached(scale, seed, experiments, jobs, None)
+}
+
+/// [`build_substrates`] with an optional substrate cache threaded through
+/// to both bundle builders.
+pub fn build_substrates_cached(
+    scale: &Scale,
+    seed: u64,
+    experiments: &[&'static dyn Experiment],
+    jobs: usize,
+    cache: Option<&SubstrateCache>,
+) -> (Substrates, BundleTimings) {
     let need_replication = experiments
         .iter()
         .any(|e| e.substrate() == Substrate::Replication);
@@ -311,12 +407,12 @@ pub fn build_substrates(
 
     let timed_replication = |jobs: usize| {
         let t0 = Instant::now();
-        let bundle = replication_bundle_jobs(scale, seed, jobs);
+        let bundle = replication_bundle_jobs_cached(scale, seed, jobs, cache);
         (bundle, t0.elapsed().as_secs_f64())
     };
     let timed_beacon = |jobs: usize| {
         let t0 = Instant::now();
-        let bundle = beacon_bundle_jobs(scale, seed, jobs);
+        let bundle = beacon_bundle_jobs_cached(scale, seed, jobs, cache);
         (bundle, t0.elapsed().as_secs_f64())
     };
 
@@ -327,10 +423,12 @@ pub fn build_substrates(
         crossbeam::thread::scope(|s| {
             let beacon_handle = s.spawn(|_| timed_beacon(jobs));
             let replication = timed_replication(jobs);
-            let beacon = beacon_handle.join().expect("beacon bundle worker panicked");
+            let beacon = beacon_handle
+                .join()
+                .unwrap_or_else(|panic| resume_unwind(panic));
             (Some(replication), Some(beacon))
         })
-        .expect("substrate scope panicked")
+        .unwrap_or_else(|panic| resume_unwind(panic))
     } else {
         (
             need_replication.then(|| timed_replication(jobs.max(1))),
@@ -440,6 +538,70 @@ mod tests {
                     .collect()
             };
             assert_eq!(observations(s_scan), observations(p_scan));
+        }
+    }
+
+    /// A warm (cache-hit) bundle must agree with a cold one in every
+    /// field the drivers consume, and with an uncached build.
+    #[test]
+    fn cached_bundles_match_uncached() {
+        let dir = std::env::temp_dir().join(format!("bgpz-bundle-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = SubstrateCache::new(&dir);
+        let scale = Scale::bench();
+
+        let uncached = beacon_bundle_jobs(&scale, 42, 1);
+        let cold = beacon_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
+        let warm = beacon_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
+        for bundle in [&cold, &warm] {
+            assert_eq!(bundle.run.archive.updates, uncached.run.archive.updates);
+            assert_eq!(bundle.run.schedule.events, uncached.run.schedule.events);
+            assert_eq!(bundle.intervals, uncached.intervals);
+            assert_eq!(bundle.finals, uncached.finals);
+            assert_eq!(bundle.scan.intervals, uncached.scan.intervals);
+            assert_eq!(bundle.scan.peers, uncached.scan.peers);
+        }
+
+        let uncached_repl = replication_bundle_jobs(&scale, 42, 1);
+        let cold_repl = replication_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
+        let warm_repl = replication_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
+        for bundle in [&cold_repl, &warm_repl] {
+            assert_eq!(bundle.runs.len(), uncached_repl.runs.len());
+            for ((run, scan), (u_run, u_scan)) in bundle.runs.iter().zip(&uncached_repl.runs) {
+                assert_eq!(run.period.name, u_run.period.name);
+                assert_eq!(run.archive.updates, u_run.archive.updates);
+                assert_eq!(scan.intervals, u_scan.intervals);
+                assert_eq!(scan.peers, u_scan.peers);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The memoized lifespan views agree with direct tracking calls.
+    #[test]
+    fn memoized_lifespans_match_direct_tracking() {
+        let scale = Scale::bench();
+        let bundle = beacon_bundle_jobs(&scale, 42, 1);
+        let direct = track_lifespans(&bundle.run.archive.rib_dumps, &bundle.finals, &[]);
+        assert_eq!(bundle.lifespans().len(), direct.len());
+        for (memo, fresh) in bundle.lifespans().iter().zip(&direct) {
+            assert_eq!(memo.prefix, fresh.prefix);
+            assert_eq!(memo.spells, fresh.spells);
+            assert_eq!(memo.resurrections, fresh.resurrections);
+        }
+        let excluded_direct = track_lifespans(
+            &bundle.run.archive.rib_dumps,
+            &bundle.finals,
+            &bundle.run.noisy_routers,
+        );
+        let excluded_memo = bundle.lifespans_excluding(&bundle.run.noisy_routers);
+        assert_eq!(excluded_memo.len(), excluded_direct.len());
+        for (memo, fresh) in excluded_memo.iter().zip(&excluded_direct) {
+            assert_eq!(memo.prefix, fresh.prefix);
+            assert_eq!(memo.spells, fresh.spells);
+            assert_eq!(memo.first_seen, fresh.first_seen);
+            assert_eq!(memo.last_seen, fresh.last_seen);
+            assert_eq!(memo.resurrections, fresh.resurrections);
         }
     }
 }

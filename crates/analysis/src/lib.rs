@@ -40,9 +40,11 @@
 pub mod experiments;
 pub mod render;
 pub mod stats;
+pub mod substrate_cache;
 pub mod worlds;
 
 pub use experiments::{registry, Experiment, Substrate, Substrates};
 pub use render::{AsciiSeries, TextTable};
 pub use stats::Ecdf;
+pub use substrate_cache::SubstrateCache;
 pub use worlds::Scale;

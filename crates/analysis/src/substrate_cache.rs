@@ -1,0 +1,580 @@
+//! Content-addressed cache of the simulated substrates.
+//!
+//! Both worlds are deterministic in `(scale, seed)`, so their outputs —
+//! the MRT archive bytes, the beacon schedule, the ground-truth side
+//! channels, and the archive's frame index — are pure functions of a
+//! handful of parameters. This module gives those functions an on-disk
+//! memo: [`SubstrateCache`] keys a [`bgpz_cache::CacheStore`] entry on
+//! the full parameter set (plus [`SUBSTRATE_SCHEMA_VERSION`]) and stores
+//! the run *as MRT bytes* — the archive's native representation, sliced
+//! back out zero-copy on load — alongside the serialized
+//! [`FrameIndex`] metadata, so a warm run skips both the simulation and
+//! the framing pass.
+//!
+//! Every failure mode (missing entry, corrupt file, stale schema,
+//! undecodable payload) degrades to a miss: the caller recomputes and
+//! overwrites. Nothing here can fail a run.
+
+use crate::worlds::{BeaconRun, ReplicationPeriod, ReplicationRun, Scale};
+use bgpz_beacon::{BeaconEvent, BeaconEventKind, BeaconSchedule};
+use bgpz_cache::{CacheKey, CacheStore, CodecError, CodecResult, KeyBuilder, Reader, Writer};
+use bgpz_mrt::FrameIndex;
+use bgpz_ris::{Collector, FreezeWindow, RisArchive, RisConfig, RisPeerSpec, RisStats};
+use bgpz_types::attrs::Aggregator;
+use bgpz_types::{Afi, Asn, Prefix, SimTime};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Version of the substrate payload encoding *and* of the simulated
+/// worlds' parameter surface. Bump on any change to the encoders below,
+/// to the world builders' outputs, or to the [`Scale`] fields — old
+/// entries then simply never match and age out.
+pub const SUBSTRATE_SCHEMA_VERSION: u32 = 1;
+
+/// Observability target for substrate-level cache events.
+const TARGET: &str = "analysis::substrate_cache";
+
+/// The on-disk substrate memo. Cheap to construct; directories and
+/// entries are created lazily on first store.
+#[derive(Debug, Clone)]
+pub struct SubstrateCache {
+    store: CacheStore,
+}
+
+impl SubstrateCache {
+    /// A cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> SubstrateCache {
+        SubstrateCache {
+            store: CacheStore::new(dir),
+        }
+    }
+
+    /// Resolves the cache location from an explicit flag value (e.g.
+    /// `--cache-dir`) falling back to the `BGPZ_CACHE` environment
+    /// variable. `None` (or an empty value) means caching is disabled.
+    pub fn resolve(flag: Option<&str>) -> Option<SubstrateCache> {
+        let dir = match flag {
+            Some(value) => value.to_string(),
+            None => std::env::var("BGPZ_CACHE").ok()?,
+        };
+        if dir.is_empty() {
+            return None;
+        }
+        Some(SubstrateCache::new(dir))
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// The content key of one replication period's run.
+    fn replication_key(scale: &Scale, seed: u64, period: &ReplicationPeriod) -> CacheKey {
+        Self::scale_key(scale, seed)
+            .str("kind", "replication")
+            .str("period", period.name)
+            .u64("period_start", period.start.secs())
+            .u64("period_end", period.end.secs())
+            .u64("paper_days", period.paper_days)
+            .finish()
+    }
+
+    /// The content key of the beacon-study run.
+    fn beacon_key(scale: &Scale, seed: u64) -> CacheKey {
+        Self::scale_key(scale, seed).str("kind", "beacon").finish()
+    }
+
+    fn scale_key(scale: &Scale, seed: u64) -> KeyBuilder {
+        KeyBuilder::new(SUBSTRATE_SCHEMA_VERSION)
+            .str("scale", scale.name)
+            .f64("day_fraction", scale.day_fraction)
+            .u64("stubs", scale.stubs as u64)
+            .u64("tier2", scale.tier2 as u64)
+            .u64("ris_peers", scale.ris_peers as u64)
+            .u64("seed", seed)
+    }
+
+    /// Loads one replication period's run and its archive frame index.
+    /// Any failure — absent entry, corruption, undecodable payload — is
+    /// `None`: recompute and [`store_replication`](Self::store_replication).
+    pub fn load_replication(
+        &self,
+        scale: &Scale,
+        seed: u64,
+        period: &ReplicationPeriod,
+    ) -> Option<(ReplicationRun, FrameIndex)> {
+        let key = Self::replication_key(scale, seed, period);
+        let payload = self.store.load(&key)?;
+        match decode_replication(payload, period) {
+            Ok(hit) => Some(hit),
+            Err(why) => {
+                decode_failure("replication", period.name, why);
+                None
+            }
+        }
+    }
+
+    /// Stores one replication period's run and its archive frame index.
+    pub fn store_replication(
+        &self,
+        scale: &Scale,
+        seed: u64,
+        period: &ReplicationPeriod,
+        run: &ReplicationRun,
+        index: &FrameIndex,
+    ) -> bool {
+        let key = Self::replication_key(scale, seed, period);
+        self.store.store(&key, &encode_replication(run, index))
+    }
+
+    /// Loads the beacon-study run and its archive frame index.
+    pub fn load_beacon(&self, scale: &Scale, seed: u64) -> Option<(BeaconRun, FrameIndex)> {
+        let key = Self::beacon_key(scale, seed);
+        let payload = self.store.load(&key)?;
+        match decode_beacon(payload) {
+            Ok(hit) => Some(hit),
+            Err(why) => {
+                decode_failure("beacon", "study", why);
+                None
+            }
+        }
+    }
+
+    /// Stores the beacon-study run and its archive frame index.
+    pub fn store_beacon(
+        &self,
+        scale: &Scale,
+        seed: u64,
+        run: &BeaconRun,
+        index: &FrameIndex,
+    ) -> bool {
+        let key = Self::beacon_key(scale, seed);
+        self.store.store(&key, &encode_beacon(run, index))
+    }
+}
+
+/// A verified entry whose payload would not decode: possible only under
+/// an encoder bug or schema drift without a version bump. Count it,
+/// warn, and fall back to recomputation.
+fn decode_failure(kind: &str, which: &str, why: DecodeFailure) {
+    bgpz_obs::metrics::counter(TARGET, "decode_failures", 1);
+    bgpz_obs::warn!(
+        target: TARGET,
+        "cached {kind} substrate {which:?} failed to decode ({why}); recomputing"
+    );
+}
+
+/// Why a verified payload was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodeFailure {
+    /// The payload codec hit a malformed field.
+    Codec(CodecError),
+    /// The embedded frame-index metadata disagreed with the archive.
+    Index(bgpz_mrt::IndexMetaError),
+}
+
+impl std::fmt::Display for DecodeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeFailure::Codec(e) => write!(f, "payload: {e}"),
+            DecodeFailure::Index(e) => write!(f, "frame index: {e}"),
+        }
+    }
+}
+
+impl From<CodecError> for DecodeFailure {
+    fn from(e: CodecError) -> DecodeFailure {
+        DecodeFailure::Codec(e)
+    }
+}
+
+impl From<bgpz_mrt::IndexMetaError> for DecodeFailure {
+    fn from(e: bgpz_mrt::IndexMetaError) -> DecodeFailure {
+        DecodeFailure::Index(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------
+
+fn encode_replication(run: &ReplicationRun, index: &FrameIndex) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_archive(&mut w, &run.archive);
+    encode_schedule(&mut w, &run.schedule);
+    w.ip(run.noisy_peer);
+    w.bytes(&index.serialize_meta());
+    w.into_vec()
+}
+
+/// Decodes a replication entry. The period is part of the cache key, not
+/// the payload (its name is a `&'static str` label), so the caller's
+/// period is copied back into the run.
+fn decode_replication(
+    payload: Bytes,
+    period: &ReplicationPeriod,
+) -> Result<(ReplicationRun, FrameIndex), DecodeFailure> {
+    let mut r = Reader::new(payload);
+    let archive = decode_archive(&mut r)?;
+    let schedule = decode_schedule(&mut r)?;
+    let noisy_peer = r.ip()?;
+    let index_meta = r.take_bytes()?;
+    r.finish()?;
+    let index = FrameIndex::from_serialized_meta(archive.updates.clone(), &index_meta)?;
+    Ok((
+        ReplicationRun {
+            archive,
+            schedule,
+            period: *period,
+            noisy_peer,
+        },
+        index,
+    ))
+}
+
+fn encode_beacon(run: &BeaconRun, index: &FrameIndex) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_archive(&mut w, &run.archive);
+    encode_schedule(&mut w, &run.schedule);
+    w.usize(run.noisy_routers.len());
+    for &addr in &run.noisy_routers {
+        w.ip(addr);
+    }
+    w.usize(run.routeviews_routers.len());
+    for &addr in &run.routeviews_routers {
+        w.ip(addr);
+    }
+    w.u64(run.roa_removal.secs());
+    w.u64(run.observed_until.secs());
+    w.usize(run.customer_cones.len());
+    for &(asn, cone) in &run.customer_cones {
+        w.u32(asn.0);
+        w.usize(cone);
+    }
+    w.usize(run.polluted.len());
+    for &(prefix, start) in &run.polluted {
+        encode_prefix(&mut w, prefix);
+        w.u64(start.secs());
+    }
+    w.bytes(&index.serialize_meta());
+    w.into_vec()
+}
+
+fn decode_beacon(payload: Bytes) -> Result<(BeaconRun, FrameIndex), DecodeFailure> {
+    let mut r = Reader::new(payload);
+    let archive = decode_archive(&mut r)?;
+    let schedule = decode_schedule(&mut r)?;
+    let noisy_routers = decode_vec(&mut r, Reader::ip)?;
+    let routeviews_routers = decode_vec(&mut r, Reader::ip)?;
+    let roa_removal = SimTime(r.u64()?);
+    let observed_until = SimTime(r.u64()?);
+    let customer_cones = decode_vec(&mut r, |r| Ok((Asn(r.u32()?), r.usize()?)))?;
+    let polluted = decode_vec(&mut r, |r| Ok((decode_prefix(r)?, SimTime(r.u64()?))))?;
+    let index_meta = r.take_bytes()?;
+    r.finish()?;
+    let index = FrameIndex::from_serialized_meta(archive.updates.clone(), &index_meta)?;
+    Ok((
+        BeaconRun {
+            archive,
+            schedule,
+            noisy_routers,
+            routeviews_routers,
+            roa_removal,
+            observed_until,
+            customer_cones,
+            polluted,
+        },
+        index,
+    ))
+}
+
+fn encode_archive(w: &mut Writer, archive: &RisArchive) {
+    w.bytes(&archive.updates);
+    w.usize(archive.rib_dumps.len());
+    for (time, bytes) in &archive.rib_dumps {
+        w.u64(time.secs());
+        w.bytes(bytes);
+    }
+    let s = &archive.stats;
+    for v in [
+        s.announces_emitted,
+        s.withdraws_emitted,
+        s.sticky_drops,
+        s.flaps,
+        s.dumps,
+        s.export_frozen_drops,
+    ] {
+        w.u64(v);
+    }
+    encode_config(w, &archive.config);
+}
+
+/// The archive bytes come back as zero-copy slices of the cache entry:
+/// the MRT stream *is* the cache's native value format.
+fn decode_archive(r: &mut Reader) -> CodecResult<RisArchive> {
+    let updates = r.take_bytes()?;
+    let rib_dumps = decode_vec(r, |r| Ok((SimTime(r.u64()?), r.take_bytes()?)))?;
+    let stats = RisStats {
+        announces_emitted: r.u64()?,
+        withdraws_emitted: r.u64()?,
+        sticky_drops: r.u64()?,
+        flaps: r.u64()?,
+        dumps: r.u64()?,
+        export_frozen_drops: r.u64()?,
+    };
+    let config = decode_config(r)?;
+    Ok(RisArchive {
+        updates,
+        rib_dumps,
+        stats,
+        config,
+    })
+}
+
+fn encode_config(w: &mut Writer, config: &RisConfig) {
+    w.usize(config.collectors.len());
+    for c in &config.collectors {
+        w.str(&c.name);
+        w.u32(c.asn.0);
+        w.ip(c.ip);
+        w.u32(u32::from(c.bgp_id));
+    }
+    w.usize(config.peers.len());
+    for p in &config.peers {
+        w.u32(p.asn.0);
+        w.ip(p.addr);
+        w.u32(u32::from(p.bgp_id));
+        w.usize(p.collector);
+        w.f64(p.sticky_v4);
+        w.f64(p.sticky_v6);
+        w.usize(p.flaps.len());
+        for t in &p.flaps {
+            w.u64(t.secs());
+        }
+        w.usize(p.collector_outages.len());
+        for (down, up) in &p.collector_outages {
+            w.u64(down.secs());
+            w.u64(up.secs());
+        }
+        w.usize(p.freeze_windows.len());
+        for fw in &p.freeze_windows {
+            w.u64(fw.start.secs());
+            w.u64(fw.end.secs());
+            encode_afi(w, fw.afi);
+        }
+    }
+    w.u64(config.rib_period);
+}
+
+fn decode_config(r: &mut Reader) -> CodecResult<RisConfig> {
+    let collectors = decode_vec(r, |r| {
+        Ok(Collector {
+            name: r.str()?,
+            asn: Asn(r.u32()?),
+            ip: r.ip()?,
+            bgp_id: Ipv4Addr::from(r.u32()?),
+        })
+    })?;
+    let peers = decode_vec(r, |r| {
+        Ok(RisPeerSpec {
+            asn: Asn(r.u32()?),
+            addr: r.ip()?,
+            bgp_id: Ipv4Addr::from(r.u32()?),
+            collector: r.usize()?,
+            sticky_v4: r.f64()?,
+            sticky_v6: r.f64()?,
+            flaps: decode_vec(r, |r| Ok(SimTime(r.u64()?)))?,
+            collector_outages: decode_vec(r, |r| Ok((SimTime(r.u64()?), SimTime(r.u64()?))))?,
+            freeze_windows: decode_vec(r, |r| {
+                Ok(FreezeWindow {
+                    start: SimTime(r.u64()?),
+                    end: SimTime(r.u64()?),
+                    afi: decode_afi(r)?,
+                })
+            })?,
+        })
+    })?;
+    let rib_period = r.u64()?;
+    Ok(RisConfig {
+        collectors,
+        peers,
+        rib_period,
+    })
+}
+
+fn encode_schedule(w: &mut Writer, schedule: &BeaconSchedule) {
+    w.usize(schedule.events.len());
+    for event in &schedule.events {
+        w.u64(event.time.secs());
+        encode_prefix(w, event.prefix);
+        w.u32(event.origin.0);
+        match event.kind {
+            BeaconEventKind::Withdraw => w.u8(0),
+            BeaconEventKind::Announce { aggregator: None } => w.u8(1),
+            BeaconEventKind::Announce {
+                aggregator: Some(agg),
+            } => {
+                w.u8(2);
+                w.u32(agg.asn.0);
+                w.u32(u32::from(agg.addr));
+            }
+        }
+    }
+}
+
+fn decode_schedule(r: &mut Reader) -> CodecResult<BeaconSchedule> {
+    let events = decode_vec(r, |r| {
+        let time = SimTime(r.u64()?);
+        let prefix = decode_prefix(r)?;
+        let origin = Asn(r.u32()?);
+        let kind = match r.u8()? {
+            0 => BeaconEventKind::Withdraw,
+            1 => BeaconEventKind::Announce { aggregator: None },
+            2 => BeaconEventKind::Announce {
+                aggregator: Some(Aggregator {
+                    asn: Asn(r.u32()?),
+                    addr: Ipv4Addr::from(r.u32()?),
+                }),
+            },
+            tag => return Err(CodecError::BadTag(tag)),
+        };
+        Ok(BeaconEvent {
+            time,
+            prefix,
+            origin,
+            kind,
+        })
+    })?;
+    Ok(BeaconSchedule { events })
+}
+
+/// Prefixes go through their canonical text form: the parser enforces the
+/// family/length invariants, so a corrupted field is a clean error.
+fn encode_prefix(w: &mut Writer, prefix: Prefix) {
+    w.str(&prefix.to_string());
+}
+
+fn decode_prefix(r: &mut Reader) -> CodecResult<Prefix> {
+    r.str()?
+        .parse()
+        .map_err(|_| CodecError::BadValue("malformed prefix"))
+}
+
+fn encode_afi(w: &mut Writer, afi: Option<Afi>) {
+    w.u8(match afi {
+        None => 0,
+        Some(Afi::Ipv4) => 1,
+        Some(Afi::Ipv6) => 2,
+    });
+}
+
+fn decode_afi(r: &mut Reader) -> CodecResult<Option<Afi>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(Afi::Ipv4)),
+        2 => Ok(Some(Afi::Ipv6)),
+        tag => Err(CodecError::BadTag(tag)),
+    }
+}
+
+fn decode_vec<T>(
+    r: &mut Reader,
+    mut item: impl FnMut(&mut Reader) -> CodecResult<T>,
+) -> CodecResult<Vec<T>> {
+    let n = r.usize()?;
+    // Guard the pre-allocation: a corrupted count must not OOM before the
+    // per-item reads run out of bytes.
+    let mut out = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        out.push(item(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::{replication_periods, run_beacon_study, run_replication};
+
+    fn temp_cache(tag: &str) -> SubstrateCache {
+        let dir =
+            std::env::temp_dir().join(format!("bgpz-substrate-cache-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        SubstrateCache::new(dir)
+    }
+
+    fn archives_equal(a: &RisArchive, b: &RisArchive) {
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.rib_dumps, b.rib_dumps);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.config.collectors, b.config.collectors);
+        assert_eq!(a.config.peers, b.config.peers);
+        assert_eq!(a.config.rib_period, b.config.rib_period);
+    }
+
+    #[test]
+    fn replication_round_trips_and_misses_on_other_keys() {
+        let cache = temp_cache("repl");
+        let scale = Scale::bench();
+        let periods = replication_periods(&scale);
+        let period = periods[0];
+        assert!(cache.load_replication(&scale, 42, &period).is_none());
+
+        let run = run_replication(&period, &scale, 42);
+        let index = FrameIndex::build(run.archive.updates.clone());
+        assert!(cache.store_replication(&scale, 42, &period, &run, &index));
+
+        let (cached, cached_index) = cache
+            .load_replication(&scale, 42, &period)
+            .expect("stored entry");
+        archives_equal(&cached.archive, &run.archive);
+        assert_eq!(cached.schedule.events, run.schedule.events);
+        assert_eq!(cached.noisy_peer, run.noisy_peer);
+        assert_eq!(cached.period.name, period.name);
+        assert_eq!(cached_index.serialize_meta(), index.serialize_meta());
+
+        // Other seeds, scales, and periods are distinct keys.
+        assert!(cache.load_replication(&scale, 43, &period).is_none());
+        assert!(cache
+            .load_replication(&Scale::quick(), 42, &period)
+            .is_none());
+        assert!(cache.load_replication(&scale, 42, &periods[1]).is_none());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn beacon_round_trips_with_zero_copy_archive() {
+        let cache = temp_cache("beacon");
+        let scale = Scale::bench();
+        let run = run_beacon_study(&scale, 7);
+        let index = FrameIndex::build(run.archive.updates.clone());
+        assert!(cache.store_beacon(&scale, 7, &run, &index));
+
+        let (cached, cached_index) = cache.load_beacon(&scale, 7).expect("stored entry");
+        archives_equal(&cached.archive, &run.archive);
+        assert_eq!(cached.schedule.events, run.schedule.events);
+        assert_eq!(cached.noisy_routers, run.noisy_routers);
+        assert_eq!(cached.routeviews_routers, run.routeviews_routers);
+        assert_eq!(cached.roa_removal, run.roa_removal);
+        assert_eq!(cached.observed_until, run.observed_until);
+        assert_eq!(cached.customer_cones, run.customer_cones);
+        assert_eq!(cached.polluted, run.polluted);
+        assert_eq!(cached_index.serialize_meta(), index.serialize_meta());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn resolve_prefers_flag_and_rejects_empty() {
+        assert!(SubstrateCache::resolve(Some("")).is_none());
+        let cache = SubstrateCache::resolve(Some("/tmp/bgpz-resolve-test")).expect("flag");
+        assert_eq!(cache.dir(), Path::new("/tmp/bgpz-resolve-test"));
+    }
+
+    #[test]
+    fn undecodable_payload_is_a_miss() {
+        let period = replication_periods(&Scale::bench())[0];
+        // A syntactically valid but truncated payload.
+        assert!(decode_replication(Bytes::from_static(&[1, 2, 3]), &period).is_err());
+    }
+}

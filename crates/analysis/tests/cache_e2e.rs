@@ -1,0 +1,208 @@
+//! Black-box tests of the substrate cache through the `bgpz-experiments`
+//! binary: cold, warm, and cache-disabled runs must write byte-identical
+//! result artifacts at every `--jobs` count; `metrics.json` must stay
+//! deterministic across jobs within each mode and differ across modes
+//! only in the cache's own counter section; and a corrupted cache entry
+//! must degrade to recomputation (with a warning), never to a failure or
+//! a changed artifact.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Experiments covering both substrates: t1 (replication), f3 (beacon,
+/// exercises the shared lifespan table).
+const IDS: &str = "t1,f3";
+/// The artifacts those experiments write (besides metrics/timings).
+const ARTIFACTS: &[&str] = &["t1.txt", "t1.json", "f3.txt", "f3.json", "fig3_series.csv"];
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bgpz-experiments")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgpz-cache-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Runs the binary against `out_dir` with a clean observability and cache
+/// environment, plus an optional `--cache-dir`.
+fn run(out_dir: &Path, jobs: &str, cache_dir: Option<&Path>) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        IDS, "--scale", "bench", "--seed", "7", "--jobs", jobs, "--out",
+    ])
+    .arg(out_dir)
+    .env_remove("BGPZ_LOG")
+    .env_remove("BGPZ_LOG_JSON")
+    .env_remove("BGPZ_METRICS_WALL")
+    .env_remove("BGPZ_CACHE");
+    if let Some(dir) = cache_dir {
+        cmd.arg("--cache-dir").arg(dir);
+    }
+    let out = cmd.output().expect("run bgpz-experiments");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    out
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `metrics.json` with the cache's own counter sections removed — the
+/// only sections that legitimately differ between disabled, cold, and
+/// warm runs (the pipeline sections must not). The `core::*` targets
+/// sort after both removed targets in every section, so dropping the
+/// lines (including the section's close-with-comma) leaves the
+/// surrounding commas untouched.
+fn metrics_sans_cache(dir: &Path) -> String {
+    let metrics = read(&dir.join("metrics.json"));
+    let mut out = String::new();
+    let mut skipping = false;
+    for line in metrics.lines() {
+        let trimmed = line.trim();
+        if skipping {
+            if trimmed == "}," || trimmed == "}" {
+                skipping = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("\"cache::store\":")
+            || trimmed.starts_with("\"analysis::substrate_cache\":")
+        {
+            skipping = !trimmed.ends_with("{},") && !trimmed.ends_with("{}");
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn cold_warm_disabled_artifacts_identical_across_jobs() {
+    let cache_j1 = temp_dir("cache-j1");
+    let cache_j8 = temp_dir("cache-j8");
+
+    // (tag, jobs, cache): disabled / cold / warm, each at 1 and 8 jobs.
+    let runs = [
+        ("disabled-j1", "1", None),
+        ("disabled-j8", "8", None),
+        ("cold-j1", "1", Some(cache_j1.as_path())),
+        ("warm-j1", "1", Some(cache_j1.as_path())),
+        ("cold-j8", "8", Some(cache_j8.as_path())),
+        ("warm-j8", "8", Some(cache_j8.as_path())),
+    ];
+    let dirs: Vec<(&str, PathBuf)> = runs
+        .iter()
+        .map(|&(tag, jobs, cache)| {
+            let dir = temp_dir(tag);
+            run(&dir, jobs, cache);
+            (tag, dir)
+        })
+        .collect();
+
+    // Every result artifact is byte-identical across all six runs.
+    let (_, reference_dir) = &dirs[0];
+    for name in ARTIFACTS {
+        let reference = read(&reference_dir.join(name));
+        for (tag, dir) in &dirs[1..] {
+            assert_eq!(reference, read(&dir.join(name)), "{name} diverged in {tag}");
+        }
+    }
+
+    // metrics.json is byte-identical across jobs within each mode…
+    for (a, b) in [
+        ("disabled-j1", "disabled-j8"),
+        ("cold-j1", "cold-j8"),
+        ("warm-j1", "warm-j8"),
+    ] {
+        let find = |tag| &dirs.iter().find(|(t, _)| *t == tag).expect("run dir").1;
+        assert_eq!(
+            read(&find(a).join("metrics.json")),
+            read(&find(b).join("metrics.json")),
+            "{a} vs {b}"
+        );
+    }
+    // …and identical across modes once the cache's own section is
+    // stripped: caching must not perturb any pipeline counter.
+    let reference = metrics_sans_cache(reference_dir);
+    for (tag, dir) in &dirs[1..] {
+        assert_eq!(reference, metrics_sans_cache(dir), "{tag}");
+    }
+
+    // The cache section exists exactly when a cache was configured, and
+    // the warm runs actually hit.
+    let raw = |tag: &str| {
+        let dir = &dirs.iter().find(|(t, _)| *t == tag).expect("run dir").1;
+        read(&dir.join("metrics.json"))
+    };
+    assert!(!raw("disabled-j1").contains("cache::store"));
+    assert!(raw("cold-j1").contains("cache::store"));
+    let warm = raw("warm-j1");
+    assert!(warm.contains("\"hits\""), "{warm}");
+    assert!(warm.contains("\"bytes_read\""), "{warm}");
+
+    for (_, dir) in dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    std::fs::remove_dir_all(cache_j1).ok();
+    std::fs::remove_dir_all(cache_j8).ok();
+}
+
+#[test]
+fn corrupted_entry_degrades_to_recompute() {
+    let cache = temp_dir("cache-corrupt");
+    let clean_dir = temp_dir("corrupt-clean");
+    run(&clean_dir, "1", Some(&cache));
+
+    // Flip bytes in the middle of every cached entry.
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&cache).expect("read cache dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("bgpzc") {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        bytes[mid + 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite entry");
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "no cache entries were written");
+
+    // The corrupted run succeeds, warns, recomputes, and reproduces the
+    // clean run's artifacts exactly.
+    let corrupt_dir = temp_dir("corrupt-rerun");
+    let out = run(&corrupt_dir, "1", Some(&cache));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt or stale"), "{stderr}");
+    for name in ARTIFACTS {
+        assert_eq!(
+            read(&clean_dir.join(name)),
+            read(&corrupt_dir.join(name)),
+            "{name} diverged after cache corruption"
+        );
+    }
+    let metrics = read(&corrupt_dir.join("metrics.json"));
+    assert!(metrics.contains("corrupt_entries"), "{metrics}");
+
+    // The corrupt entries were overwritten: the next run hits cleanly.
+    let healed_dir = temp_dir("corrupt-healed");
+    let healed = run(&healed_dir, "1", Some(&cache));
+    let healed_stderr = String::from_utf8_lossy(&healed.stderr);
+    assert!(
+        !healed_stderr.contains("corrupt or stale"),
+        "{healed_stderr}"
+    );
+    assert!(read(&healed_dir.join("metrics.json")).contains("\"hits\""));
+    for name in ARTIFACTS {
+        assert_eq!(read(&clean_dir.join(name)), read(&healed_dir.join(name)));
+    }
+
+    for dir in [cache, clean_dir, corrupt_dir, healed_dir] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -20,7 +20,8 @@ fn run(args: &[&str], envs: &[(&str, &str)]) -> Output {
     cmd.args(args)
         .env_remove("BGPZ_LOG")
         .env_remove("BGPZ_LOG_JSON")
-        .env_remove("BGPZ_METRICS_WALL");
+        .env_remove("BGPZ_METRICS_WALL")
+        .env_remove("BGPZ_CACHE");
     for (key, value) in envs {
         cmd.env(key, value);
     }

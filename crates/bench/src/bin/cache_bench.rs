@@ -1,0 +1,222 @@
+//! `cache_bench` — wall-clock comparison of cold (simulate + frame +
+//! store) vs warm (load) substrate acquisition through the content-
+//! addressed cache, without the criterion harness (bins cannot use
+//! dev-dependencies), writing `BENCH_cache.json`.
+//!
+//! Two layers are timed:
+//!
+//! * **substrate** — the phase the cache memoizes: running both world
+//!   simulators and framing their archives (cold) vs decoding the cached
+//!   entries (warm). This is the headline `speedup_warm_vs_cold`.
+//! * **bundle** — the full `*_bundle_jobs_cached` builds, which also
+//!   include the (deliberately uncached) archive scans, so the end-to-end
+//!   win a caller sees is on record too.
+//!
+//! Modes:
+//!
+//! * default: time both layers on a `--scale` substrate and write the
+//!   timings plus the cache's bytes-reused/bytes-written counters.
+//! * `--smoke`: assert that disabled, cold, and warm bundles agree on
+//!   every field the drivers consume and that the warm pass actually hit
+//!   the cache — no timing thresholds (CI machines vary), no JSON.
+//!   Wired into `scripts/ci.sh` via `scripts/bench.sh --smoke`.
+
+use bgpz_analysis::experiments::{
+    beacon_bundle_jobs_cached, replication_bundle_jobs_cached, BeaconBundle, ReplicationBundle,
+};
+use bgpz_analysis::worlds::{replication_periods, run_beacon_study, run_replication};
+use bgpz_analysis::{Scale, SubstrateCache};
+use bgpz_core::ScanResult;
+use bgpz_mrt::FrameIndex;
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+/// The fields two equivalent scans must agree on.
+fn scan_digest(result: &ScanResult) -> String {
+    format!(
+        "stats={:?} peers={} observations={} downs={}",
+        result.read_stats,
+        result.peers.len(),
+        result
+            .histories
+            .iter()
+            .map(|h| h.values().map(Vec::len).sum::<usize>())
+            .sum::<usize>(),
+        result.session_downs.values().map(Vec::len).sum::<usize>(),
+    )
+}
+
+/// Everything a driver consumes from the two bundles, flattened to one
+/// comparable string.
+fn digest(replication: &ReplicationBundle, beacon: &BeaconBundle) -> String {
+    let mut out = String::new();
+    for (run, scan) in &replication.runs {
+        out.push_str(&format!(
+            "period={} updates={} ribs={} schedule={} {}\n",
+            run.period.name,
+            run.archive.updates.len(),
+            run.archive.rib_dumps.len(),
+            run.schedule.events.len(),
+            scan_digest(scan),
+        ));
+    }
+    out.push_str(&format!(
+        "beacon updates={} ribs={} schedule={} intervals={} finals={} lifespans={} {}\n",
+        beacon.run.archive.updates.len(),
+        beacon.run.archive.rib_dumps.len(),
+        beacon.run.schedule.events.len(),
+        beacon.intervals.len(),
+        beacon.finals.len(),
+        beacon.lifespans().len(),
+        scan_digest(&beacon.scan),
+    ));
+    out
+}
+
+/// Builds both bundles through an optional cache, returning the digest
+/// and the wall time.
+fn build(scale: &Scale, cache: Option<&SubstrateCache>) -> (String, f64) {
+    let t0 = Instant::now();
+    let replication = replication_bundle_jobs_cached(scale, SEED, 1, cache);
+    let beacon = beacon_bundle_jobs_cached(scale, SEED, 1, cache);
+    (digest(&replication, &beacon), t0.elapsed().as_secs_f64())
+}
+
+/// Times the memoized phase alone: simulating both worlds and framing
+/// their archives (what a cold run pays and a warm run skips).
+fn time_substrate_cold(scale: &Scale) -> f64 {
+    let t0 = Instant::now();
+    for period in replication_periods(scale) {
+        let run = run_replication(&period, scale, SEED);
+        std::hint::black_box(FrameIndex::build(run.archive.updates.clone()));
+    }
+    let run = run_beacon_study(scale, SEED);
+    std::hint::black_box(FrameIndex::build(run.archive.updates.clone()));
+    t0.elapsed().as_secs_f64()
+}
+
+/// Times the warm equivalent: decoding every cached entry.
+fn time_substrate_warm(scale: &Scale, cache: &SubstrateCache) -> f64 {
+    let t0 = Instant::now();
+    for period in replication_periods(scale) {
+        std::hint::black_box(
+            cache
+                .load_replication(scale, SEED, &period)
+                .expect("warm replication entry"),
+        );
+    }
+    std::hint::black_box(cache.load_beacon(scale, SEED).expect("warm beacon entry"));
+    t0.elapsed().as_secs_f64()
+}
+
+fn counter(name: &str) -> u64 {
+    bgpz_obs::metrics::global().counter_value("cache::store", name)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale_name = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "bench".to_string());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_cache.json".to_string());
+    let scale = Scale::parse(&scale_name).unwrap_or_else(|| {
+        eprintln!("unknown --scale {scale_name:?} (bench|quick|standard|full)");
+        // Binary entry point; usage errors exit before any work starts.
+        #[allow(clippy::disallowed_methods)]
+        std::process::exit(2);
+    });
+
+    let cache_dir: PathBuf = std::env::temp_dir().join(format!(
+        "bgpz-cache-bench-{}-{}",
+        scale.name,
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let cache = SubstrateCache::new(&cache_dir);
+
+    let (disabled_digest, disabled_secs) = build(&scale, None);
+
+    let written_before = counter("bytes_written");
+    let (cold_digest, cold_bundle_secs) = build(&scale, Some(&cache));
+    let bytes_written = counter("bytes_written") - written_before;
+
+    let (hits_before, read_before) = (counter("hits"), counter("bytes_read"));
+    let (warm_digest, warm_bundle_secs) = build(&scale, Some(&cache));
+    let warm_hits = counter("hits") - hits_before;
+    let bytes_reused = counter("bytes_read") - read_before;
+
+    assert_eq!(
+        cold_digest, disabled_digest,
+        "cold cached bundles diverged from uncached bundles"
+    );
+    assert_eq!(
+        warm_digest, disabled_digest,
+        "warm cached bundles diverged from uncached bundles"
+    );
+    assert!(warm_hits > 0, "warm pass never hit the cache");
+
+    if smoke {
+        println!(
+            "smoke ok: scale={} warm hits={warm_hits} bytes_reused={bytes_reused} \
+             digests identical across disabled/cold/warm",
+            scale.name
+        );
+        std::fs::remove_dir_all(&cache_dir).ok();
+        return;
+    }
+
+    let substrate_cold_secs = time_substrate_cold(&scale);
+    let substrate_warm_secs = time_substrate_warm(&scale, &cache);
+    let speedup = substrate_cold_secs / substrate_warm_secs;
+
+    let report = json!({
+        "scale": scale.name,
+        "seed": SEED,
+        "cold_secs": substrate_cold_secs,
+        "warm_secs": substrate_warm_secs,
+        "speedup_warm_vs_cold": speedup,
+        "substrate": {
+            "cold_secs": substrate_cold_secs,
+            "warm_secs": substrate_warm_secs,
+            "speedup": speedup,
+            "what": "simulate both worlds + frame archives (cold) vs decode cached entries (warm)",
+        },
+        "bundle": {
+            "disabled_secs": disabled_secs,
+            "cold_secs": cold_bundle_secs,
+            "warm_secs": warm_bundle_secs,
+            "speedup": cold_bundle_secs / warm_bundle_secs,
+            "what": "full bundle builds including the (uncached) archive scans",
+        },
+        "warm_hits": warm_hits,
+        "bytes_reused": bytes_reused,
+        "bytes_written": bytes_written,
+    });
+    let file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    serde_json::to_writer_pretty(file, &report).expect("write BENCH_cache.json");
+    println!(
+        "cache_bench: scale={} substrate cold={:.2}s warm={:.3}s ({:.0}x) \
+         bundle cold={:.2}s warm={:.2}s ({:.1}x) bytes_reused={} -> {}",
+        scale.name,
+        substrate_cold_secs,
+        substrate_warm_secs,
+        speedup,
+        cold_bundle_secs,
+        warm_bundle_secs,
+        cold_bundle_secs / warm_bundle_secs,
+        bytes_reused,
+        out_path
+    );
+    std::fs::remove_dir_all(&cache_dir).ok();
+}

@@ -1,0 +1,404 @@
+//! Versioned, length-prefixed binary codec for cache payloads.
+//!
+//! The format is deliberately dumb: little-endian fixed-width integers,
+//! `f64` as IEEE-754 bit patterns, and byte strings behind `u64` length
+//! prefixes. There is no schema negotiation — compatibility is handled
+//! one level up by versioning the cache *key*, so a [`Reader`] only ever
+//! sees bytes produced by the exact same encoder revision. Anything else
+//! (truncation, bit flips, foreign files) must surface as a clean
+//! [`CodecError`], never a panic: every decode failure downgrades to a
+//! cache miss.
+//!
+//! [`Reader`] wraps [`Bytes`], so [`Reader::take_bytes`] hands back
+//! zero-copy slices of the underlying buffer — decoded MRT archives
+//! share the storage of the entry they were read from.
+
+use bytes::Bytes;
+use std::fmt;
+use std::net::IpAddr;
+
+/// A decode failure. Always a recoverable "this entry is unusable"
+/// signal, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a fixed-width or length-prefixed field.
+    UnexpectedEof {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were left.
+        remaining: usize,
+    },
+    /// An enum tag byte had no defined meaning.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A decoded value violated a domain invariant (e.g. a prefix length
+    /// over the family maximum).
+    BadValue(&'static str),
+    /// Bytes remained after the value was fully decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected EOF: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            CodecError::BadTag(tag) => write!(f, "unknown tag byte {tag:#04x}"),
+            CodecError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::BadValue(what) => write!(f, "invalid value: {what}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Decode result.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// Appends primitive values to a growable buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Raw bytes, no length prefix (fixed-width fields like magic).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `usize` stored as `u64` (cache entries are 64-bit sized even on
+    /// 32-bit hosts).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// `f64` as its IEEE-754 bit pattern — bit-exact round trips, no
+    /// formatting ambiguity.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// A bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// An IP address: family tag byte (4 or 6) + network-order octets.
+    pub fn ip(&mut self, addr: IpAddr) {
+        match addr {
+            IpAddr::V4(a) => {
+                self.u8(4);
+                self.raw(&a.octets());
+            }
+            IpAddr::V6(a) => {
+                self.u8(6);
+                self.raw(&a.octets());
+            }
+        }
+    }
+}
+
+/// Decodes values from a shared byte buffer.
+///
+/// All reads are bounds-checked; running off the end is a
+/// [`CodecError::UnexpectedEof`], not a panic.
+#[derive(Debug, Clone)]
+pub struct Reader {
+    data: Bytes,
+    pos: usize,
+}
+
+impl Reader {
+    /// A reader over `data`, positioned at the start.
+    pub fn new(data: Bytes) -> Reader {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed.
+    pub fn finish(self) -> CodecResult<()> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> CodecResult<&[u8]> {
+        let slice = self
+            .data
+            .get(
+                self.pos..self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof {
+                    needed: n,
+                    remaining: self.remaining(),
+                })?,
+            )
+            .ok_or(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            })?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn array<const N: usize>(&mut self) -> CodecResult<[u8; N]> {
+        let b = self.take(N)?;
+        <[u8; N]>::try_from(b).map_err(|_| CodecError::UnexpectedEof {
+            needed: N,
+            remaining: 0,
+        })
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> CodecResult<u8> {
+        Ok(u8::from_le_bytes(self.array::<1>()?))
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> CodecResult<u16> {
+        Ok(u16::from_le_bytes(self.array::<2>()?))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> CodecResult<u32> {
+        Ok(u32::from_le_bytes(self.array::<4>()?))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> CodecResult<u64> {
+        Ok(u64::from_le_bytes(self.array::<8>()?))
+    }
+
+    /// A `u64` that must fit the host `usize` (lengths, counts).
+    pub fn usize(&mut self) -> CodecResult<usize> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::BadValue("u64 exceeds usize"))
+    }
+
+    /// `f64` from its bit pattern.
+    pub fn f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A bool byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> CodecResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag(tag)),
+        }
+    }
+
+    /// `n` raw bytes (no length prefix) as a zero-copy slice of the
+    /// underlying buffer.
+    pub fn raw(&mut self, n: usize) -> CodecResult<Bytes> {
+        if n > self.remaining() {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = self.data.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Length-prefixed byte string as a zero-copy slice of the
+    /// underlying buffer.
+    pub fn take_bytes(&mut self) -> CodecResult<Bytes> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(CodecError::UnexpectedEof {
+                needed: len,
+                remaining: self.remaining(),
+            });
+        }
+        let out = self.data.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> CodecResult<String> {
+        let bytes = self.take_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// An IP address (family tag byte + octets).
+    pub fn ip(&mut self) -> CodecResult<IpAddr> {
+        match self.u8()? {
+            4 => Ok(IpAddr::from(self.array::<4>()?)),
+            6 => Ok(IpAddr::from(self.array::<16>()?)),
+            tag => Err(CodecError::BadTag(tag)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(0.35);
+        w.bool(true);
+        w.bool(false);
+        w.bytes(b"archive");
+        w.str("rrc25");
+        w.ip("176.119.234.201".parse().unwrap());
+        w.ip("2a0c:9a40:1031::504".parse().unwrap());
+        let mut r = Reader::new(Bytes::from(w.into_vec()));
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), 0.35);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(&r.take_bytes().unwrap()[..], b"archive");
+        assert_eq!(r.str().unwrap(), "rrc25");
+        assert_eq!(
+            r.ip().unwrap(),
+            "176.119.234.201".parse::<IpAddr>().unwrap()
+        );
+        assert_eq!(
+            r.ip().unwrap(),
+            "2a0c:9a40:1031::504".parse::<IpAddr>().unwrap()
+        );
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_bit_exact() {
+        for v in [0.0, -0.0, 0.05, f64::MIN_POSITIVE, f64::INFINITY] {
+            let mut w = Writer::new();
+            w.f64(v);
+            let mut r = Reader::new(Bytes::from(w.into_vec()));
+            assert_eq!(r.f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn eof_is_an_error_not_a_panic() {
+        let mut r = Reader::new(Bytes::from_static(&[1, 2]));
+        assert!(matches!(
+            r.u64(),
+            Err(CodecError::UnexpectedEof {
+                needed: 8,
+                remaining: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // absurd length prefix
+        let mut r = Reader::new(Bytes::from(w.into_vec()));
+        assert!(r.take_bytes().is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_errors() {
+        let mut r = Reader::new(Bytes::from_static(&[9]));
+        assert_eq!(r.ip(), Err(CodecError::BadTag(9)));
+        let mut r = Reader::new(Bytes::from_static(&[2]));
+        assert_eq!(r.bool(), Err(CodecError::BadTag(2)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(Bytes::from_static(&[0, 0, 0]));
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn take_bytes_is_zero_copy() {
+        let mut w = Writer::new();
+        w.bytes(&[0xAB; 64]);
+        let buf = Bytes::from(w.into_vec());
+        let mut r = Reader::new(buf.clone());
+        let slice = r.take_bytes().unwrap();
+        // Same backing storage: the slice starts 8 bytes (length prefix)
+        // into the original allocation.
+        assert_eq!(slice.as_ptr(), buf[8..].as_ptr());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let mut r = Reader::new(Bytes::from(w.into_vec()));
+        assert_eq!(r.str(), Err(CodecError::BadUtf8));
+    }
+}

@@ -1,0 +1,180 @@
+//! Content addressing: stable 64-bit FNV-1a keys over tagged fields.
+//!
+//! A [`CacheKey`] is built from an ordered sequence of `(tag, value)`
+//! fields — schema version first, then whatever parameters the cached
+//! computation is deterministic in. Fields are serialized with the
+//! [`codec`](crate::codec) length-prefix scheme before hashing, so
+//! `("ab", "c")` and `("a", "bc")` hash differently and the byte stream
+//! is identical on every platform.
+//!
+//! The builder keeps the exact serialized *material* alongside the hash.
+//! The store embeds it in every entry and compares it on load: two keys
+//! that collide in 64 bits address the same file, but only the matching
+//! material is ever returned — the other key sees a verified miss.
+
+use crate::codec::Writer;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte slice. Stable across platforms and
+/// releases; also used as the whole-entry checksum by the store.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A finished cache key: the 64-bit address plus the exact field
+/// material it was hashed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    hash: u64,
+    material: Vec<u8>,
+}
+
+impl CacheKey {
+    /// The 64-bit content address.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The serialized field material (embedded in entries for collision
+    /// verification).
+    pub fn material(&self) -> &[u8] {
+        &self.material
+    }
+
+    /// The entry file name for this key: 16 lowercase hex digits plus
+    /// the `.bgpzc` suffix.
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.bgpzc", self.hash)
+    }
+}
+
+/// Accumulates tagged fields into a [`CacheKey`].
+///
+/// ```
+/// use bgpz_cache::KeyBuilder;
+/// let a = KeyBuilder::new(1)
+///     .str("scale", "bench")
+///     .u64("seed", 42)
+///     .finish();
+/// let b = KeyBuilder::new(1)
+///     .str("scale", "bench")
+///     .u64("seed", 43)
+///     .finish();
+/// assert_ne!(a.hash(), b.hash());
+/// assert_eq!(a.file_name().len(), "0123456789abcdef.bgpzc".len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    w: Writer,
+}
+
+impl KeyBuilder {
+    /// Starts a key with the caller's schema version as field zero: any
+    /// format or semantics bump re-addresses every entry, so stale files
+    /// are simply never loaded again.
+    pub fn new(schema_version: u32) -> KeyBuilder {
+        let mut w = Writer::new();
+        w.str("schema");
+        w.u32(schema_version);
+        KeyBuilder { w }
+    }
+
+    /// A string field.
+    pub fn str(mut self, tag: &str, value: &str) -> KeyBuilder {
+        self.w.str(tag);
+        self.w.str(value);
+        self
+    }
+
+    /// A `u64` field.
+    pub fn u64(mut self, tag: &str, value: u64) -> KeyBuilder {
+        self.w.str(tag);
+        self.w.u64(value);
+        self
+    }
+
+    /// An `f64` field, hashed by bit pattern.
+    pub fn f64(mut self, tag: &str, value: f64) -> KeyBuilder {
+        self.w.str(tag);
+        self.w.f64(value);
+        self
+    }
+
+    /// Hashes the accumulated material.
+    pub fn finish(self) -> CacheKey {
+        let material = self.w.into_vec();
+        CacheKey {
+            hash: fnv1a64(&material),
+            material,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn every_field_matters() {
+        let base = || {
+            KeyBuilder::new(3)
+                .str("kind", "replication/0")
+                .str("scale", "bench")
+                .f64("day_fraction", 0.05)
+                .u64("seed", 42)
+        };
+        let key = base().finish();
+        assert_eq!(key, base().finish());
+        for other in [
+            KeyBuilder::new(4)
+                .str("kind", "replication/0")
+                .str("scale", "bench")
+                .f64("day_fraction", 0.05)
+                .u64("seed", 42)
+                .finish(),
+            base().u64("extra", 0).finish(),
+            KeyBuilder::new(3)
+                .str("kind", "replication/1")
+                .str("scale", "bench")
+                .f64("day_fraction", 0.05)
+                .u64("seed", 42)
+                .finish(),
+        ] {
+            assert_ne!(key.hash(), other.hash());
+            assert_ne!(key.material(), other.material());
+        }
+    }
+
+    #[test]
+    fn boundary_shifts_change_the_key() {
+        let a = KeyBuilder::new(1).str("ab", "c").finish();
+        let b = KeyBuilder::new(1).str("a", "bc").finish();
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn file_name_is_fixed_width_hex() {
+        let key = KeyBuilder::new(1).u64("seed", 7).finish();
+        let name = key.file_name();
+        assert!(name.ends_with(".bgpzc"));
+        assert_eq!(name.len(), 22);
+        assert_eq!(name, name.to_lowercase());
+    }
+}

@@ -1,0 +1,40 @@
+//! # bgpz-cache
+//!
+//! A content-addressed on-disk artifact cache for deterministic,
+//! expensive-to-recompute values. Both simulated worlds are pure
+//! functions of `(scale, seed)`, so their substrates — MRT archive
+//! bytes, schedules, frame indexes — can be computed exactly once, ever,
+//! and replayed from disk on every later run.
+//!
+//! The crate is std-only by design (the authoring environment has no
+//! route to crates.io) and deliberately small:
+//!
+//! * [`codec`] — a versioned, length-prefixed binary writer/reader pair.
+//!   No wall-clock timestamps, no platform-dependent layout: encoding
+//!   the same value always produces the same bytes, which is what makes
+//!   entries content-addressed rather than merely keyed.
+//! * [`key`] — [`KeyBuilder`](key::KeyBuilder) hashes tagged key fields
+//!   into a 64-bit FNV-1a address and keeps the exact material so a
+//!   loaded entry can be verified against the key that addressed it
+//!   (a hash collision degrades to a recompute, never to wrong data).
+//! * [`store`] — [`CacheStore`](store::CacheStore) maps keys to files
+//!   under one directory. Writes are atomic (temp file + rename), loads
+//!   verify magic, format version, key material, and a whole-entry
+//!   checksum. Every failure path is a cache *miss*: corrupt, stale, or
+//!   foreign entries are reported through `bgpz-obs` counters and
+//!   recomputed, never propagated as errors.
+//!
+//! Cache observability flows through the `cache::store` metrics target:
+//! `hits`, `misses`, `bytes_read`, `bytes_written`, `verify_failures`,
+//! and `corrupt_entries` — all order-independent aggregates, so
+//! `metrics.json` stays byte-identical at every `--jobs` count.
+
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod key;
+pub mod store;
+
+pub use codec::{CodecError, CodecResult, Reader, Writer};
+pub use key::{fnv1a64, CacheKey, KeyBuilder};
+pub use store::CacheStore;

@@ -1,0 +1,362 @@
+//! The on-disk entry store: one file per key under one directory.
+//!
+//! Entry layout (all little-endian, written with [`crate::codec`]):
+//!
+//! ```text
+//! magic            8 raw bytes  "BGPZCACH"
+//! format version   u16          ENTRY_FORMAT_VERSION
+//! key material     len-prefixed bytes (the CacheKey material)
+//! payload          len-prefixed bytes
+//! checksum         u64          FNV-1a of every preceding byte
+//! ```
+//!
+//! Loads verify all four layers in order; any mismatch is counted,
+//! reported as a `warn` obs event, and surfaced as a miss so the caller
+//! recomputes (and overwrites the bad entry). Writes go to a unique
+//! temp file in the same directory and are published with an atomic
+//! rename, so concurrent writers and readers of the same key can never
+//! observe a torn entry — the worst case is a duplicated compute.
+
+use crate::codec::{Reader, Writer};
+use crate::key::{fnv1a64, CacheKey};
+use bytes::Bytes;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Entry file magic.
+const MAGIC: &[u8; 8] = b"BGPZCACH";
+
+/// Bump when the entry framing above changes shape. (Payload encodings
+/// are versioned by the *key* — see [`crate::key::KeyBuilder::new`] —
+/// so this only covers the envelope.)
+pub const ENTRY_FORMAT_VERSION: u16 = 1;
+
+/// Metrics/event target for everything the store reports.
+const TARGET: &str = "cache::store";
+
+/// Distinguishes concurrent temp files within one process.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed entry store rooted at one directory.
+///
+/// All failure modes — missing directory, unreadable file, corrupt or
+/// foreign entry, failed write — degrade to "not cached" and are
+/// reported through `bgpz-obs`; no method returns an error or panics.
+#[derive(Debug, Clone)]
+pub struct CacheStore {
+    dir: PathBuf,
+}
+
+impl CacheStore {
+    /// A store rooted at `dir`. The directory is created lazily on the
+    /// first write, so constructing a store never touches the disk.
+    pub fn new(dir: impl Into<PathBuf>) -> CacheStore {
+        CacheStore { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a key.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Loads and verifies the payload stored under `key`, or `None` on
+    /// any miss: absent file, torn/corrupt entry, stale envelope
+    /// version, or a 64-bit collision with a different key.
+    pub fn load(&self, key: &CacheKey) -> Option<Bytes> {
+        let path = self.entry_path(key);
+        let raw = match std::fs::read(&path) {
+            Ok(raw) => Bytes::from(raw),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                bgpz_obs::metrics::counter(TARGET, "misses", 1);
+                return None;
+            }
+            Err(e) => {
+                bgpz_obs::metrics::counter(TARGET, "misses", 1);
+                bgpz_obs::warn!(
+                    target: TARGET,
+                    "cache entry {} unreadable ({e}); recomputing",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        match verify_entry(&raw, key) {
+            Ok(payload) => {
+                bgpz_obs::metrics::counter(TARGET, "hits", 1);
+                bgpz_obs::metrics::counter(TARGET, "bytes_read", payload.len() as u64);
+                bgpz_obs::debug!(
+                    target: TARGET,
+                    "cache hit {} ({} payload bytes)",
+                    path.display(),
+                    payload.len()
+                );
+                Some(payload)
+            }
+            Err(EntryRejected::WrongKey) => {
+                // A 64-bit collision (or a file someone renamed): the
+                // entry is intact but belongs to a different key.
+                bgpz_obs::metrics::counter(TARGET, "misses", 1);
+                bgpz_obs::metrics::counter(TARGET, "verify_failures", 1);
+                bgpz_obs::warn!(
+                    target: TARGET,
+                    "cache entry {} belongs to a different key; recomputing",
+                    path.display()
+                );
+                None
+            }
+            Err(EntryRejected::Corrupt(why)) => {
+                bgpz_obs::metrics::counter(TARGET, "misses", 1);
+                bgpz_obs::metrics::counter(TARGET, "corrupt_entries", 1);
+                bgpz_obs::warn!(
+                    target: TARGET,
+                    "cache entry {} is corrupt or stale ({why}); recomputing",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Atomically stores `payload` under `key`, overwriting any existing
+    /// entry. Returns whether the entry was published; failures are
+    /// reported as `warn` events and otherwise ignored (the cache is an
+    /// accelerator, not a dependency).
+    pub fn store(&self, key: &CacheKey, payload: &[u8]) -> bool {
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            bgpz_obs::warn!(
+                target: TARGET,
+                "cannot create cache dir {} ({e}); not caching",
+                self.dir.display()
+            );
+            return false;
+        }
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u16(ENTRY_FORMAT_VERSION);
+        w.bytes(key.material());
+        w.bytes(payload);
+        let checksum = fnv1a64(w.as_slice());
+        w.u64(checksum);
+        let entry = w.into_vec();
+
+        // Unique temp name: same directory (rename must not cross a
+        // filesystem), distinguished by pid + an in-process sequence.
+        let temp = self.dir.join(format!(
+            ".{:016x}.{}.{}.tmp",
+            key.hash(),
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let path = self.entry_path(key);
+        if let Err(e) = std::fs::write(&temp, &entry) {
+            bgpz_obs::warn!(
+                target: TARGET,
+                "cannot write cache temp {} ({e}); not caching",
+                temp.display()
+            );
+            return false;
+        }
+        if let Err(e) = std::fs::rename(&temp, &path) {
+            bgpz_obs::warn!(
+                target: TARGET,
+                "cannot publish cache entry {} ({e}); not caching",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&temp);
+            return false;
+        }
+        bgpz_obs::metrics::counter(TARGET, "bytes_written", entry.len() as u64);
+        bgpz_obs::debug!(
+            target: TARGET,
+            "cache store {} ({} payload bytes)",
+            path.display(),
+            payload.len()
+        );
+        true
+    }
+}
+
+/// Why a present entry was rejected.
+enum EntryRejected {
+    /// Structurally intact but addressed by different key material.
+    WrongKey,
+    /// Torn, truncated, bit-flipped, or from a different envelope
+    /// version.
+    Corrupt(&'static str),
+}
+
+/// Verifies magic, envelope version, checksum, and key material; returns
+/// the payload as a zero-copy slice of the entry buffer.
+fn verify_entry(raw: &Bytes, key: &CacheKey) -> Result<Bytes, EntryRejected> {
+    use EntryRejected::Corrupt;
+    // Checksum first: it covers everything, so random corruption is
+    // reported as corruption even when it lands in the key material.
+    let body_len = raw
+        .len()
+        .checked_sub(8)
+        .ok_or(Corrupt("shorter than a checksum"))?;
+    let stored = raw.get(body_len..).ok_or(Corrupt("missing checksum"))?;
+    let stored = <[u8; 8]>::try_from(stored).map_err(|_| Corrupt("missing checksum"))?;
+    let body = raw.get(..body_len).ok_or(Corrupt("missing body"))?;
+    if fnv1a64(body) != u64::from_le_bytes(stored) {
+        return Err(Corrupt("checksum mismatch"));
+    }
+    let mut r = Reader::new(raw.slice(..body_len));
+    let magic = r.raw(MAGIC.len()).map_err(|_| Corrupt("truncated magic"))?;
+    if magic.as_ref() != MAGIC {
+        return Err(Corrupt("bad magic"));
+    }
+    let version = r.u16().map_err(|_| Corrupt("truncated version"))?;
+    if version != ENTRY_FORMAT_VERSION {
+        return Err(Corrupt("envelope version mismatch"));
+    }
+    let material = r
+        .take_bytes()
+        .map_err(|_| Corrupt("truncated key material"))?;
+    let payload = r.take_bytes().map_err(|_| Corrupt("truncated payload"))?;
+    r.finish().map_err(|_| Corrupt("trailing bytes"))?;
+    if material.as_ref() != key.material() {
+        return Err(EntryRejected::WrongKey);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyBuilder;
+
+    fn temp_store(tag: &str) -> CacheStore {
+        let dir = std::env::temp_dir().join(format!(
+            "bgpz-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheStore::new(dir)
+    }
+
+    fn key(seed: u64) -> CacheKey {
+        KeyBuilder::new(1).u64("seed", seed).finish()
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let store = temp_store("roundtrip");
+        let k = key(42);
+        assert!(store.load(&k).is_none());
+        assert!(store.store(&k, b"payload bytes"));
+        assert_eq!(store.load(&k).as_deref(), Some(&b"payload bytes"[..]));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn overwrite_replaces_the_payload() {
+        let store = temp_store("overwrite");
+        let k = key(7);
+        assert!(store.store(&k, b"old"));
+        assert!(store.store(&k, b"new"));
+        assert_eq!(store.load(&k).as_deref(), Some(&b"new"[..]));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_rejected() {
+        let store = temp_store("bitflip");
+        let k = key(9);
+        assert!(store.store(&k, b"precious payload"));
+        let path = store.entry_path(&k);
+        let good = std::fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(store.load(&k).is_none(), "flip at byte {i} accepted");
+        }
+        // The pristine entry still loads.
+        std::fs::write(&path, &good).unwrap();
+        assert!(store.load(&k).is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let store = temp_store("truncate");
+        let k = key(11);
+        assert!(store.store(&k, b"a longer payload, truncated below"));
+        let path = store.entry_path(&k);
+        let good = std::fs::read(&path).unwrap();
+        for cut in [0, 1, 7, 8, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(store.load(&k).is_none(), "truncation to {cut} accepted");
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn colliding_key_material_is_a_verified_miss() {
+        let store = temp_store("collide");
+        let a = key(1);
+        let b = key(2);
+        assert!(store.store(&a, b"payload of a"));
+        // Simulate a 64-bit collision: b's lookup lands on a's file.
+        std::fs::rename(store.entry_path(&a), store.entry_path(&b)).unwrap();
+        assert!(store.load(&b).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stale_envelope_version_is_rejected() {
+        let store = temp_store("version");
+        let k = key(3);
+        assert!(store.store(&k, b"payload"));
+        let path = store.entry_path(&k);
+        let mut raw = std::fs::read(&path).unwrap();
+        // Bump the version field and re-checksum so only the version
+        // check can reject it.
+        raw[8] = raw[8].wrapping_add(1);
+        let body_len = raw.len() - 8;
+        let sum = fnv1a64(&raw[..body_len]).to_le_bytes();
+        raw[body_len..].copy_from_slice(&sum);
+        std::fs::write(&path, &raw).unwrap();
+        assert!(store.load(&k).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn counters_flow_through_obs() {
+        let store = temp_store("counters");
+        let k = key(5);
+        let metrics = bgpz_obs::metrics::global();
+        let hits0 = metrics.counter_value(TARGET, "hits");
+        let misses0 = metrics.counter_value(TARGET, "misses");
+        let written0 = metrics.counter_value(TARGET, "bytes_written");
+        assert!(store.load(&k).is_none());
+        assert!(store.store(&k, b"x"));
+        assert!(store.load(&k).is_some());
+        assert_eq!(metrics.counter_value(TARGET, "hits"), hits0 + 1);
+        assert_eq!(metrics.counter_value(TARGET, "misses"), misses0 + 1);
+        assert!(metrics.counter_value(TARGET, "bytes_written") > written0);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn no_temp_files_left_behind() {
+        let store = temp_store("tempfiles");
+        for seed in 0..8 {
+            assert!(store.store(&key(seed), &[0xCD; 256]));
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

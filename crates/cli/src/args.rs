@@ -158,6 +158,8 @@ USAGE:
               --withdrawn-at <T> [--exclude addr,addr,...]
   bgpz simulate --out <dir> [--scale bench|quick|standard|full]
               [--seed N] [--world replication|beacon]
+              [--cache-dir DIR]  (substrate cache, or BGPZ_CACHE env:
+                            reuses the simulated world across runs)
   bgpz help
 
 `mrt dump` prints bgpdump-style lines:

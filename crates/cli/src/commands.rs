@@ -402,13 +402,17 @@ pub fn lifespan(args: &ParsedArgs) -> CliResult<String> {
     Ok(out)
 }
 
-/// `bgpz simulate --out <dir> [--scale S] [--seed N] [--world W]`
+/// `bgpz simulate --out <dir> [--scale S] [--seed N] [--world W]
+/// [--cache-dir DIR]`
 pub fn simulate(args: &ParsedArgs) -> CliResult<String> {
     let out_dir = args.required("out")?.to_string();
     let seed = args.opt_u64("seed", 42)?;
     let scale = bgpz_analysis::Scale::parse(args.opt_or("scale", "bench"))
         .ok_or_else(|| CliError("--scale expects bench|quick|standard|full".into()))?;
     let world = args.opt_or("world", "replication");
+    // Substrate cache (--cache-dir or BGPZ_CACHE): the same entries the
+    // experiments binary reads, so a simulate warms later analysis runs.
+    let cache = bgpz_analysis::SubstrateCache::resolve(args.opt("cache-dir"));
 
     std::fs::create_dir_all(&out_dir)?;
     let dir = Path::new(&out_dir);
@@ -417,7 +421,20 @@ pub fn simulate(args: &ParsedArgs) -> CliResult<String> {
     let (archive, label) = match world {
         "replication" => {
             let period = bgpz_analysis::worlds::replication_periods(&scale)[0];
-            let run = bgpz_analysis::worlds::run_replication(&period, &scale, seed);
+            let run = match cache
+                .as_ref()
+                .and_then(|c| c.load_replication(&scale, seed, &period))
+            {
+                Some((run, _index)) => run,
+                None => {
+                    let run = bgpz_analysis::worlds::run_replication(&period, &scale, seed);
+                    if let Some(c) = &cache {
+                        let index = bgpz_mrt::FrameIndex::build(run.archive.updates.clone());
+                        c.store_replication(&scale, seed, &period, &run, &index);
+                    }
+                    run
+                }
+            };
             let _ = writeln!(
                 manifest,
                 "world=replication period={} origin-sites={} noisy-peer={}",
@@ -437,7 +454,17 @@ pub fn simulate(args: &ParsedArgs) -> CliResult<String> {
             (run.archive, "replication")
         }
         "beacon" => {
-            let run = bgpz_analysis::worlds::run_beacon_study(&scale, seed);
+            let run = match cache.as_ref().and_then(|c| c.load_beacon(&scale, seed)) {
+                Some((run, _index)) => run,
+                None => {
+                    let run = bgpz_analysis::worlds::run_beacon_study(&scale, seed);
+                    if let Some(c) = &cache {
+                        let index = bgpz_mrt::FrameIndex::build(run.archive.updates.clone());
+                        c.store_beacon(&scale, seed, &run, &index);
+                    }
+                    run
+                }
+            };
             let _ = writeln!(
                 manifest,
                 "world=beacon origin=210312 noisy-routers={}",

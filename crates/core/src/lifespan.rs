@@ -91,6 +91,40 @@ impl OutbreakLifespan {
         out.dedup();
         out
     }
+
+    /// This lifespan with every spell and resurrection of the `excluded`
+    /// peer routers removed, or `None` if no other peer ever held the
+    /// route.
+    ///
+    /// Per-peer spells and resurrections are independent, so dropping a
+    /// peer from an already-tracked lifespan is exactly what
+    /// [`track_lifespans`] returns when called with the same exclusion
+    /// list — the derivation lets callers share one full tracking pass
+    /// and carve peer-filtered views out of it for free.
+    pub fn without_peers(&self, excluded: &[IpAddr]) -> Option<OutbreakLifespan> {
+        let spells: Vec<VisibilitySpell> = self
+            .spells
+            .iter()
+            .filter(|s| !excluded.contains(&s.peer.addr))
+            .copied()
+            .collect();
+        let first_seen = spells.iter().map(|s| s.first).min()?;
+        let last_seen = spells.iter().map(|s| s.last).max()?;
+        let resurrections = self
+            .resurrections
+            .iter()
+            .filter(|r| !excluded.contains(&r.peer.addr))
+            .copied()
+            .collect();
+        Some(OutbreakLifespan {
+            prefix: self.prefix,
+            withdrawn_at: self.withdrawn_at,
+            spells,
+            first_seen,
+            last_seen,
+            resurrections,
+        })
+    }
 }
 
 /// Scans `rib_dumps` for the given `(prefix, final withdrawal)` pairs and
@@ -371,6 +405,47 @@ mod tests {
             &[peer_id(1).addr],
         );
         assert!(lifespans.is_empty());
+    }
+
+    /// `without_peers` must agree with re-tracking under the same
+    /// exclusion list — the contract that lets the analysis layer share
+    /// one tracking pass.
+    #[test]
+    fn without_peers_matches_tracking_with_exclusion() {
+        // Peer 1 has a gap (a resurrection); peer 2 bridges it; peer 3
+        // appears only late.
+        let dumps = vec![
+            dump(H8, &[(1, &[P]), (2, &[P]), (3, &[])]),
+            dump(2 * H8, &[(1, &[]), (2, &[P]), (3, &[])]),
+            dump(3 * H8, &[(1, &[P]), (2, &[P]), (3, &[P])]),
+            dump(4 * H8, &[(1, &[]), (2, &[]), (3, &[P])]),
+        ];
+        let finals = [(P.parse().unwrap(), SimTime(900))];
+        let full = track_lifespans(&dumps, &finals, &[]);
+        assert_eq!(full.len(), 1);
+        for excluded in [
+            vec![peer_id(1).addr],
+            vec![peer_id(2).addr],
+            vec![peer_id(1).addr, peer_id(3).addr],
+        ] {
+            let retracked = track_lifespans(&dumps, &finals, &excluded);
+            let derived = full[0].without_peers(&excluded).expect("peers remain");
+            assert_eq!(retracked.len(), 1, "excluded {excluded:?}");
+            let want = &retracked[0];
+            assert_eq!(derived.prefix, want.prefix);
+            assert_eq!(derived.withdrawn_at, want.withdrawn_at);
+            assert_eq!(derived.spells, want.spells, "excluded {excluded:?}");
+            assert_eq!(
+                derived.resurrections, want.resurrections,
+                "excluded {excluded:?}"
+            );
+            assert_eq!(derived.first_seen, want.first_seen);
+            assert_eq!(derived.last_seen, want.last_seen);
+        }
+        // Excluding every peer yields None, matching an empty re-track.
+        let all = vec![peer_id(1).addr, peer_id(2).addr, peer_id(3).addr];
+        assert!(full[0].without_peers(&all).is_none());
+        assert!(track_lifespans(&dumps, &finals, &all).is_empty());
     }
 
     #[test]

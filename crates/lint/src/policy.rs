@@ -39,6 +39,7 @@ pub fn artifact_module(path: &str) -> bool {
     }
     path.starts_with("crates/analysis/src/")
         || path.starts_with("crates/bench/src/")
+        || path.starts_with("crates/cache/src/")
         || path == "crates/obs/src/metrics.rs"
         || path == "crates/obs/src/json.rs"
         || path == "crates/cli/src/render.rs"
@@ -97,6 +98,7 @@ mod tests {
 
         assert!(artifact_module("crates/analysis/src/experiments/table5.rs"));
         assert!(artifact_module("crates/obs/src/metrics.rs"));
+        assert!(artifact_module("crates/cache/src/store.rs"));
         assert!(!artifact_module("crates/core/src/scan.rs"));
 
         assert!(wallclock_allowed("crates/obs/src/logger.rs"));

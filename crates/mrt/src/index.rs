@@ -15,6 +15,7 @@
 use crate::lazy::LazyFrame;
 use bgpz_types::SimTime;
 use bytes::Bytes;
+use std::fmt;
 
 /// Outcome of framing one record at the head of a byte slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +220,184 @@ impl FrameIndex {
             .iter()
             .map(move |meta| LazyFrame::new(self, meta))
     }
+
+    /// Serializes the index *metadata* — everything except the archive
+    /// bytes themselves — so a later run can rebuild the index with
+    /// [`FrameIndex::from_serialized_meta`] instead of re-framing.
+    ///
+    /// Layout (little-endian): version byte, archive length, trailing
+    /// byte count, frame count, then per frame `offset`/`len` (`u64`),
+    /// `mrt_type`/`subtype` (`u16`), `timestamp` (`u64`), and finally an
+    /// FNV-1a 64 checksum of every preceding byte. No wall-clock
+    /// timestamps: the same index always serializes to the same bytes.
+    pub fn serialize_meta(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(25 + self.frames.len() * 28 + 8);
+        out.push(INDEX_META_VERSION);
+        push_usize(&mut out, self.data.len());
+        push_usize(&mut out, self.trailing_bytes);
+        push_usize(&mut out, self.frames.len());
+        for meta in &self.frames {
+            push_usize(&mut out, meta.offset);
+            push_usize(&mut out, meta.len);
+            out.extend_from_slice(&meta.mrt_type.to_le_bytes());
+            out.extend_from_slice(&meta.subtype.to_le_bytes());
+            out.extend_from_slice(&meta.timestamp.secs().to_le_bytes());
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Rebuilds an index over `data` from metadata produced by
+    /// [`FrameIndex::serialize_meta`], skipping the framing pass.
+    ///
+    /// The metadata is fully validated — version byte, checksum, and
+    /// structural agreement with `data` (matching archive length,
+    /// contiguous frames starting at offset 0, header-sized lengths,
+    /// trailing bytes accounting for the remainder) — so truncation, bit
+    /// flips, stale versions, or pairing the metadata with the wrong
+    /// archive all surface as a clean [`IndexMetaError`], never a panic
+    /// and never an index that disagrees with [`FrameIndex::build`].
+    pub fn from_serialized_meta(data: Bytes, meta: &[u8]) -> Result<FrameIndex, IndexMetaError> {
+        let version = *meta.first().ok_or(IndexMetaError::Truncated)?;
+        if version != INDEX_META_VERSION {
+            return Err(IndexMetaError::Version(version));
+        }
+        let body_len = meta.len().checked_sub(8).ok_or(IndexMetaError::Truncated)?;
+        let stored = meta
+            .get(body_len..)
+            .and_then(|s| <[u8; 8]>::try_from(s).ok())
+            .ok_or(IndexMetaError::Truncated)?;
+        let body = meta.get(..body_len).ok_or(IndexMetaError::Truncated)?;
+        if fnv1a64(body) != u64::from_le_bytes(stored) {
+            return Err(IndexMetaError::Checksum);
+        }
+        let mut pos = 1; // past the version byte
+        let data_len = read_usize(body, &mut pos)?;
+        if data_len != data.len() {
+            return Err(IndexMetaError::Mismatch("archive length"));
+        }
+        let trailing_bytes = read_usize(body, &mut pos)?;
+        let count = read_usize(body, &mut pos)?;
+        // 28 bytes per frame must exactly fill the remaining body.
+        if count
+            .checked_mul(28)
+            .is_none_or(|need| body_len - pos != need)
+        {
+            return Err(IndexMetaError::Truncated);
+        }
+        let mut frames = Vec::with_capacity(count);
+        let mut next_offset = 0usize;
+        for _ in 0..count {
+            let offset = read_usize(body, &mut pos)?;
+            let len = read_usize(body, &mut pos)?;
+            let mrt_type = read_u16(body, &mut pos)?;
+            let subtype = read_u16(body, &mut pos)?;
+            let timestamp = SimTime(read_u64(body, &mut pos)?);
+            if offset != next_offset {
+                return Err(IndexMetaError::Mismatch("frame offsets not contiguous"));
+            }
+            if len < 12 {
+                return Err(IndexMetaError::Mismatch("frame shorter than a header"));
+            }
+            next_offset = offset
+                .checked_add(len)
+                .filter(|&end| end <= data_len)
+                .ok_or(IndexMetaError::Mismatch("frame exceeds the archive"))?;
+            frames.push(FrameMeta {
+                offset,
+                len,
+                mrt_type,
+                subtype,
+                timestamp,
+            });
+        }
+        if next_offset
+            .checked_add(trailing_bytes)
+            .is_none_or(|end| end != data_len)
+        {
+            return Err(IndexMetaError::Mismatch("trailing byte count"));
+        }
+        Ok(FrameIndex {
+            data,
+            frames,
+            trailing_bytes,
+        })
+    }
+}
+
+/// Version byte heading [`FrameIndex::serialize_meta`] output.
+pub const INDEX_META_VERSION: u8 = 1;
+
+/// Why [`FrameIndex::from_serialized_meta`] rejected its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMetaError {
+    /// The metadata buffer is shorter than its fixed fields declare.
+    Truncated,
+    /// The version byte is not [`INDEX_META_VERSION`].
+    Version(u8),
+    /// The embedded checksum does not match the metadata bytes.
+    Checksum,
+    /// The metadata is well-formed but disagrees with the archive bytes
+    /// it was paired with.
+    Mismatch(&'static str),
+}
+
+impl fmt::Display for IndexMetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexMetaError::Truncated => write!(f, "index metadata truncated"),
+            IndexMetaError::Version(v) => {
+                write!(
+                    f,
+                    "index metadata version {v} (expected {INDEX_META_VERSION})"
+                )
+            }
+            IndexMetaError::Checksum => write!(f, "index metadata checksum mismatch"),
+            IndexMetaError::Mismatch(what) => {
+                write!(f, "index metadata does not match the archive: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexMetaError {}
+
+/// 64-bit FNV-1a (the serialized metadata's integrity checksum).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends a `usize` as little-endian `u64`.
+fn push_usize(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u64).to_le_bytes()); // lint: allow(truncating_cast) — usize is at most 64 bits on every Rust platform
+}
+
+fn read_u64(body: &[u8], pos: &mut usize) -> Result<u64, IndexMetaError> {
+    let bytes = body
+        .get(*pos..pos.checked_add(8).ok_or(IndexMetaError::Truncated)?)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .ok_or(IndexMetaError::Truncated)?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+fn read_u16(body: &[u8], pos: &mut usize) -> Result<u16, IndexMetaError> {
+    let bytes = body
+        .get(*pos..pos.checked_add(2).ok_or(IndexMetaError::Truncated)?)
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .ok_or(IndexMetaError::Truncated)?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(bytes))
+}
+
+fn read_usize(body: &[u8], pos: &mut usize) -> Result<usize, IndexMetaError> {
+    usize::try_from(read_u64(body, pos)?).map_err(|_| IndexMetaError::Mismatch("value over usize"))
 }
 
 #[cfg(test)]
@@ -294,6 +473,52 @@ mod tests {
         let index = FrameIndex::build(Bytes::new());
         assert!(index.is_empty());
         assert_eq!(index.trailing_bytes(), 0);
+    }
+
+    #[test]
+    fn serialized_meta_round_trips() {
+        let mut writer = MrtWriter::new();
+        for ts in 0..20 {
+            writer.push(&sample_record(ts));
+        }
+        let bytes = writer.finish();
+        // Include a truncated tail so trailing_bytes round-trips too.
+        let cut = bytes.slice(..bytes.len() - 3);
+        let index = FrameIndex::build(cut.clone());
+        let meta = index.serialize_meta();
+        let rebuilt = FrameIndex::from_serialized_meta(cut, &meta).unwrap();
+        assert_eq!(rebuilt.len(), index.len());
+        assert_eq!(rebuilt.trailing_bytes(), index.trailing_bytes());
+        for i in 0..index.len() {
+            assert_eq!(rebuilt.meta(i), index.meta(i));
+        }
+        // Same bytes in = same bytes out: the format is deterministic.
+        assert_eq!(rebuilt.serialize_meta(), meta);
+    }
+
+    #[test]
+    fn serialized_meta_rejects_stale_version() {
+        let index = FrameIndex::build(Bytes::new());
+        let mut meta = index.serialize_meta();
+        meta[0] = INDEX_META_VERSION + 1;
+        assert_eq!(
+            FrameIndex::from_serialized_meta(Bytes::new(), &meta).unwrap_err(),
+            IndexMetaError::Version(INDEX_META_VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn serialized_meta_rejects_wrong_archive() {
+        let mut writer = MrtWriter::new();
+        writer.push(&sample_record(1));
+        let bytes = writer.finish();
+        let meta = FrameIndex::build(bytes.clone()).serialize_meta();
+        // Pairing the metadata with a shorter archive is a Mismatch.
+        let shorter = bytes.slice(..bytes.len() - 1);
+        assert!(matches!(
+            FrameIndex::from_serialized_meta(shorter, &meta),
+            Err(IndexMetaError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
-# Scan throughput bench: eager decode-everything vs the zero-copy indexed
-# prefilter, writing BENCH_scan.json (records/sec, bytes/sec, speedup).
+# Perf benches without the criterion harness:
 #
-#   scripts/bench.sh                  # bench-scale timing run
+#   * scan_bench — eager decode-everything vs the zero-copy indexed
+#     prefilter, writing BENCH_scan.json (records/sec, bytes/sec, speedup)
+#   * cache_bench — cold (simulate + frame + store) vs warm (load)
+#     substrate acquisition through bgpz-cache, writing BENCH_cache.json
+#
+#   scripts/bench.sh                  # bench-scale timing runs
 #   scripts/bench.sh --scale quick    # bigger archive
-#   scripts/bench.sh --smoke          # CI mode: one tiny iteration that
-#                                     # asserts indexed == eager counts,
+#   scripts/bench.sh --smoke          # CI mode: tiny iterations that
+#                                     # assert indexed == eager counts and
+#                                     # warm == cold == disabled bundles,
 #                                     # no timing, no JSON
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
   cargo run --release -q -p bgpz-bench --bin scan_bench -- --smoke --scale bench
+  cargo run --release -q -p bgpz-bench --bin cache_bench -- --smoke --scale bench
 else
   cargo run --release -q -p bgpz-bench --bin scan_bench -- "$@"
+  cargo run --release -q -p bgpz-bench --bin cache_bench -- "$@"
 fi

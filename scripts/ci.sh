@@ -9,3 +9,12 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo run -p bgpz-lint --release
 scripts/bench.sh --smoke
+# Cache smoke: a warm `bgpz simulate` must reproduce the cold run's
+# archive bytes exactly from the substrate cache.
+CACHE_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_SMOKE_DIR"' EXIT
+cargo run --release -q -p bgpz-cli -- simulate --out "$CACHE_SMOKE_DIR/cold" \
+  --scale bench --seed 7 --cache-dir "$CACHE_SMOKE_DIR/cache"
+cargo run --release -q -p bgpz-cli -- simulate --out "$CACHE_SMOKE_DIR/warm" \
+  --scale bench --seed 7 --cache-dir "$CACHE_SMOKE_DIR/cache"
+diff -r "$CACHE_SMOKE_DIR/cold" "$CACHE_SMOKE_DIR/warm"

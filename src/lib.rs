@@ -50,3 +50,6 @@ pub use bgpz_analysis as analysis;
 
 /// Structured tracing, metrics, and the `metrics.json` artifact.
 pub use bgpz_obs as obs;
+
+/// Content-addressed substrate cache (warm runs skip simulation).
+pub use bgpz_cache as cache;
