@@ -178,85 +178,218 @@ pub struct ReplicationBundle {
 /// 180-minute sweep ceiling).
 pub const SCAN_WINDOW: u64 = 4 * HOUR;
 
-/// Runs all three replication periods and scans their archives, serially
-/// (equivalent to [`replication_bundle_jobs`] with `jobs = 1`).
-pub fn replication_bundle(scale: &Scale, seed: u64) -> ReplicationBundle {
-    replication_bundle_jobs(scale, seed, 1)
-}
-
-/// Runs all three replication periods and scans their archives, building
-/// the periods concurrently on up to `jobs` crossbeam scoped threads.
+/// Options-struct builder for the shared substrates — one API in place
+/// of the old `replication_bundle_jobs[_cached]` /
+/// `beacon_bundle_jobs[_cached]` function matrix.
 ///
-/// Each period is deterministic in `(scale, seed)` and is scanned with a
-/// deterministic sharded merge, and the periods are collected in schedule
-/// order — so the bundle is identical at every `jobs`.
-pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> ReplicationBundle {
-    replication_bundle_jobs_cached(scale, seed, jobs, None)
+/// ```ignore
+/// let replication = BundleBuilder::new(&scale, seed)
+///     .jobs(8)
+///     .cache(&cache)
+///     .replication();
+/// let rv = BundleBuilder::new(&scale, seed).routeviews(true).beacon();
+/// ```
+///
+/// Every option combination is deterministic in `(scale, seed)`: bundles
+/// are identical at any `jobs` count and byte-identical warm or cold.
+#[derive(Clone, Copy)]
+pub struct BundleBuilder<'c> {
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    cache: Option<&'c SubstrateCache>,
+    routeviews: bool,
 }
 
-/// [`replication_bundle_jobs`] with an optional substrate cache: each
-/// period's simulated archive and frame index are looked up before the
-/// simulator runs, and stored after a miss. The scan itself always runs
-/// (its output depends on the scan window and shard count, not just the
-/// substrate), so a warm bundle is byte-identical to a cold one.
+impl<'c> BundleBuilder<'c> {
+    /// A serial, uncached, RIS-only builder for `(scale, seed)`.
+    pub fn new(scale: &Scale, seed: u64) -> BundleBuilder<'c> {
+        BundleBuilder {
+            scale: *scale,
+            seed,
+            jobs: 1,
+            cache: None,
+            routeviews: false,
+        }
+    }
+
+    /// Builds on up to `n` worker threads (`0` is clamped to 1). The
+    /// replication periods fan out across threads and both scans shard;
+    /// the result is identical at every count.
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n.max(1);
+        self
+    }
+
+    /// Threads a substrate cache through the build: simulated archives
+    /// and frame indexes are looked up before the simulator runs and
+    /// stored after a miss. The scan itself always runs (its output
+    /// depends on the scan window and shard count, not just the
+    /// substrate), so a warm bundle is byte-identical to a cold one.
+    /// Accepts `&cache` or an `Option`.
+    pub fn cache<C: Into<Option<&'c SubstrateCache>>>(mut self, cache: C) -> Self {
+        self.cache = cache.into();
+        self
+    }
+
+    /// Adds the RouteViews-like second peer set to the beacon world (the
+    /// §6 two-platform study; see
+    /// [`crate::worlds::run_beacon_study_with_routeviews`]). RouteViews
+    /// worlds bypass the substrate cache — the cache key is `(scale,
+    /// seed)` and must not collide with the RIS-only world.
+    pub fn routeviews(mut self, on: bool) -> Self {
+        self.routeviews = on;
+        self
+    }
+
+    /// Runs all three replication periods and scans their archives
+    /// (`routeviews` does not apply — the 2017/2018 periods are RIS-only
+    /// by construction).
+    pub fn replication(&self) -> ReplicationBundle {
+        let _span = bgpz_obs::span("analysis::bundle", "replication");
+        let scale = &self.scale;
+        let seed = self.seed;
+        let cache = self.cache;
+        let periods = replication_periods(scale);
+        bgpz_obs::metrics::counter(
+            "analysis::bundle",
+            "replication_periods",
+            periods.len() as u64,
+        );
+        bgpz_obs::debug!(
+            target: "analysis::bundle",
+            "building replication bundle: {} periods, {} jobs",
+            periods.len(),
+            self.jobs
+        );
+        let build = |period: &crate::worlds::ReplicationPeriod, scan_jobs: usize| {
+            let (run, index) = match cache.and_then(|c| c.load_replication(scale, seed, period)) {
+                Some(hit) => hit,
+                None => {
+                    let run = run_replication(period, scale, seed);
+                    // One framing pass per period archive; the scan
+                    // prefilters on the indexed frames and decodes each
+                    // relevant record at most once.
+                    let index = FrameIndex::build(run.archive.updates.clone());
+                    if let Some(c) = cache {
+                        c.store_replication(scale, seed, period, &run, &index);
+                    }
+                    (run, index)
+                }
+            };
+            let intervals = intervals_from_schedule(&run.schedule);
+            let result = scan_indexed(&index, &intervals, SCAN_WINDOW, scan_jobs);
+            (run, result)
+        };
+        if self.jobs <= 1 {
+            return ReplicationBundle {
+                runs: periods.iter().map(|period| build(period, 1)).collect(),
+            };
+        }
+        // Periods run concurrently; each period's scan gets a share of
+        // the job budget.
+        let scan_jobs = self.jobs.div_ceil(periods.len().max(1));
+        let runs = crossbeam::thread::scope(|s| {
+            let build = &build;
+            let handles: Vec<_> = periods
+                .iter()
+                .map(|period| s.spawn(move |_| build(period, scan_jobs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|panic| resume_unwind(panic)))
+                .collect()
+        })
+        .unwrap_or_else(|panic| resume_unwind(panic));
+        ReplicationBundle { runs }
+    }
+
+    /// Runs the beacon study and scans it. The simulation itself is one
+    /// sequential event loop; the archive scan — the post-simulation hot
+    /// path — shards across `jobs`.
+    pub fn beacon(&self) -> BeaconBundle {
+        let _span = bgpz_obs::span("analysis::bundle", "beacon");
+        let scale = &self.scale;
+        let seed = self.seed;
+        // The cache is keyed `(scale, seed)`; the RouteViews world is a
+        // different archive under the same key, so it builds uncached.
+        let cache = if self.routeviews { None } else { self.cache };
+        let (run, index) = match cache.and_then(|c| c.load_beacon(scale, seed)) {
+            Some(hit) => hit,
+            None => {
+                let run = if self.routeviews {
+                    crate::worlds::run_beacon_study_with_routeviews(scale, seed)
+                } else {
+                    run_beacon_study(scale, seed)
+                };
+                let index = FrameIndex::build(run.archive.updates.clone());
+                if let Some(c) = cache {
+                    c.store_beacon(scale, seed, &run, &index);
+                }
+                (run, index)
+            }
+        };
+        let mut intervals = intervals_from_schedule(&run.schedule);
+        // Footnote 3: drop the earlier announcement of each colliding pair.
+        let before = intervals.len();
+        intervals.retain(|iv| {
+            !run.polluted
+                .iter()
+                .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
+        });
+        bgpz_obs::metrics::counter(
+            "analysis::bundle",
+            "beacon_intervals",
+            intervals.len() as u64,
+        );
+        bgpz_obs::metrics::counter(
+            "analysis::bundle",
+            "polluted_intervals_dropped",
+            (before - intervals.len()) as u64,
+        );
+        bgpz_obs::debug!(
+            target: "analysis::bundle",
+            "building beacon bundle: {} intervals ({} polluted dropped), {} jobs",
+            intervals.len(),
+            before - intervals.len(),
+            self.jobs
+        );
+        let scan_result = scan_indexed(&index, &intervals, SCAN_WINDOW, self.jobs);
+        let finals = final_withdrawals(&run.schedule);
+        BeaconBundle {
+            scan: scan_result,
+            intervals,
+            finals,
+            run,
+            lifespans: OnceLock::new(),
+        }
+    }
+}
+
+/// Runs all three replication periods and scans their archives, serially
+/// (shorthand for [`BundleBuilder::replication`] with default options).
+pub fn replication_bundle(scale: &Scale, seed: u64) -> ReplicationBundle {
+    BundleBuilder::new(scale, seed).replication()
+}
+
+/// Thin wrapper kept for one release while callers migrate.
+#[deprecated(note = "use BundleBuilder::new(scale, seed).jobs(n).replication()")]
+pub fn replication_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> ReplicationBundle {
+    BundleBuilder::new(scale, seed).jobs(jobs).replication()
+}
+
+/// Thin wrapper kept for one release while callers migrate.
+#[deprecated(note = "use BundleBuilder::new(scale, seed).jobs(n).cache(cache).replication()")]
 pub fn replication_bundle_jobs_cached(
     scale: &Scale,
     seed: u64,
     jobs: usize,
     cache: Option<&SubstrateCache>,
 ) -> ReplicationBundle {
-    let _span = bgpz_obs::span("analysis::bundle", "replication");
-    let periods = replication_periods(scale);
-    bgpz_obs::metrics::counter(
-        "analysis::bundle",
-        "replication_periods",
-        periods.len() as u64,
-    );
-    bgpz_obs::debug!(
-        target: "analysis::bundle",
-        "building replication bundle: {} periods, {jobs} jobs",
-        periods.len()
-    );
-    let build = |period: &crate::worlds::ReplicationPeriod, scan_jobs: usize| {
-        let (run, index) = match cache.and_then(|c| c.load_replication(scale, seed, period)) {
-            Some(hit) => hit,
-            None => {
-                let run = run_replication(period, scale, seed);
-                // One framing pass per period archive; the scan prefilters
-                // on the indexed frames and decodes each relevant record at
-                // most once.
-                let index = FrameIndex::build(run.archive.updates.clone());
-                if let Some(c) = cache {
-                    c.store_replication(scale, seed, period, &run, &index);
-                }
-                (run, index)
-            }
-        };
-        let intervals = intervals_from_schedule(&run.schedule);
-        let result = scan_indexed(&index, &intervals, SCAN_WINDOW, scan_jobs);
-        (run, result)
-    };
-    if jobs <= 1 {
-        return ReplicationBundle {
-            runs: periods.iter().map(|period| build(period, 1)).collect(),
-        };
-    }
-    // Periods run concurrently; each period's scan gets a share of the
-    // job budget.
-    let scan_jobs = jobs.div_ceil(periods.len().max(1));
-    let runs = crossbeam::thread::scope(|s| {
-        let build = &build;
-        let handles: Vec<_> = periods
-            .iter()
-            .map(|period| s.spawn(move |_| build(period, scan_jobs)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|panic| resume_unwind(panic)))
-            .collect()
-    })
-    .unwrap_or_else(|panic| resume_unwind(panic));
-    ReplicationBundle { runs }
+    BundleBuilder::new(scale, seed)
+        .jobs(jobs)
+        .cache(cache)
+        .replication()
 }
 
 /// The beacon-study substrate, computed once and shared by T5, F2–F4 and
@@ -304,73 +437,30 @@ impl BeaconBundle {
     }
 }
 
-/// Runs the beacon study and scans it, serially (equivalent to
-/// [`beacon_bundle_jobs`] with `jobs = 1`).
+/// Runs the beacon study and scans it, serially (shorthand for
+/// [`BundleBuilder::beacon`] with default options).
 pub fn beacon_bundle(scale: &Scale, seed: u64) -> BeaconBundle {
-    beacon_bundle_jobs(scale, seed, 1)
+    BundleBuilder::new(scale, seed).beacon()
 }
 
-/// Runs the beacon study and scans it with `jobs` scan shards. The
-/// simulation itself is one sequential event loop; the archive scan —
-/// the post-simulation hot path — shards deterministically.
+/// Thin wrapper kept for one release while callers migrate.
+#[deprecated(note = "use BundleBuilder::new(scale, seed).jobs(n).beacon()")]
 pub fn beacon_bundle_jobs(scale: &Scale, seed: u64, jobs: usize) -> BeaconBundle {
-    beacon_bundle_jobs_cached(scale, seed, jobs, None)
+    BundleBuilder::new(scale, seed).jobs(jobs).beacon()
 }
 
-/// [`beacon_bundle_jobs`] with an optional substrate cache: the simulated
-/// archive and its frame index are looked up before the year-long event
-/// loop runs, and stored after a miss.
+/// Thin wrapper kept for one release while callers migrate.
+#[deprecated(note = "use BundleBuilder::new(scale, seed).jobs(n).cache(cache).beacon()")]
 pub fn beacon_bundle_jobs_cached(
     scale: &Scale,
     seed: u64,
     jobs: usize,
     cache: Option<&SubstrateCache>,
 ) -> BeaconBundle {
-    let _span = bgpz_obs::span("analysis::bundle", "beacon");
-    let (run, index) = match cache.and_then(|c| c.load_beacon(scale, seed)) {
-        Some(hit) => hit,
-        None => {
-            let run = run_beacon_study(scale, seed);
-            let index = FrameIndex::build(run.archive.updates.clone());
-            if let Some(c) = cache {
-                c.store_beacon(scale, seed, &run, &index);
-            }
-            (run, index)
-        }
-    };
-    let mut intervals = intervals_from_schedule(&run.schedule);
-    // Footnote 3: drop the earlier announcement of each colliding pair.
-    let before = intervals.len();
-    intervals.retain(|iv| {
-        !run.polluted
-            .iter()
-            .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
-    });
-    bgpz_obs::metrics::counter(
-        "analysis::bundle",
-        "beacon_intervals",
-        intervals.len() as u64,
-    );
-    bgpz_obs::metrics::counter(
-        "analysis::bundle",
-        "polluted_intervals_dropped",
-        (before - intervals.len()) as u64,
-    );
-    bgpz_obs::debug!(
-        target: "analysis::bundle",
-        "building beacon bundle: {} intervals ({} polluted dropped), {jobs} jobs",
-        intervals.len(),
-        before - intervals.len()
-    );
-    let scan_result = scan_indexed(&index, &intervals, SCAN_WINDOW, jobs);
-    let finals = final_withdrawals(&run.schedule);
-    BeaconBundle {
-        scan: scan_result,
-        intervals,
-        finals,
-        run,
-        lifespans: OnceLock::new(),
-    }
+    BundleBuilder::new(scale, seed)
+        .jobs(jobs)
+        .cache(cache)
+        .beacon()
 }
 
 /// Builds exactly the bundles the selected experiments need.
@@ -407,12 +497,18 @@ pub fn build_substrates_cached(
 
     let timed_replication = |jobs: usize| {
         let t0 = Instant::now();
-        let bundle = replication_bundle_jobs_cached(scale, seed, jobs, cache);
+        let bundle = BundleBuilder::new(scale, seed)
+            .jobs(jobs)
+            .cache(cache)
+            .replication();
         (bundle, t0.elapsed().as_secs_f64())
     };
     let timed_beacon = |jobs: usize| {
         let t0 = Instant::now();
-        let bundle = beacon_bundle_jobs_cached(scale, seed, jobs, cache);
+        let bundle = BundleBuilder::new(scale, seed)
+            .jobs(jobs)
+            .cache(cache)
+            .beacon();
         (bundle, t0.elapsed().as_secs_f64())
     };
 
@@ -524,8 +620,8 @@ mod tests {
     #[test]
     fn parallel_replication_bundle_matches_serial() {
         let scale = Scale::bench();
-        let serial = replication_bundle_jobs(&scale, 42, 1);
-        let parallel = replication_bundle_jobs(&scale, 42, 4);
+        let serial = BundleBuilder::new(&scale, 42).replication();
+        let parallel = BundleBuilder::new(&scale, 42).jobs(4).replication();
         assert_eq!(serial.runs.len(), parallel.runs.len());
         for ((s_run, s_scan), (p_run, p_scan)) in serial.runs.iter().zip(&parallel.runs) {
             assert_eq!(s_run.period.name, p_run.period.name);
@@ -550,9 +646,9 @@ mod tests {
         let cache = SubstrateCache::new(&dir);
         let scale = Scale::bench();
 
-        let uncached = beacon_bundle_jobs(&scale, 42, 1);
-        let cold = beacon_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
-        let warm = beacon_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
+        let uncached = BundleBuilder::new(&scale, 42).beacon();
+        let cold = BundleBuilder::new(&scale, 42).cache(&cache).beacon();
+        let warm = BundleBuilder::new(&scale, 42).cache(&cache).beacon();
         for bundle in [&cold, &warm] {
             assert_eq!(bundle.run.archive.updates, uncached.run.archive.updates);
             assert_eq!(bundle.run.schedule.events, uncached.run.schedule.events);
@@ -562,9 +658,9 @@ mod tests {
             assert_eq!(bundle.scan.peers, uncached.scan.peers);
         }
 
-        let uncached_repl = replication_bundle_jobs(&scale, 42, 1);
-        let cold_repl = replication_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
-        let warm_repl = replication_bundle_jobs_cached(&scale, 42, 1, Some(&cache));
+        let uncached_repl = BundleBuilder::new(&scale, 42).replication();
+        let cold_repl = BundleBuilder::new(&scale, 42).cache(&cache).replication();
+        let warm_repl = BundleBuilder::new(&scale, 42).cache(&cache).replication();
         for bundle in [&cold_repl, &warm_repl] {
             assert_eq!(bundle.runs.len(), uncached_repl.runs.len());
             for ((run, scan), (u_run, u_scan)) in bundle.runs.iter().zip(&uncached_repl.runs) {
@@ -577,11 +673,32 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// The deprecated wrappers are thin: they must return exactly what
+    /// the builder they delegate to returns.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let scale = Scale::bench();
+        let wrapper = replication_bundle_jobs(&scale, 42, 2);
+        let builder = BundleBuilder::new(&scale, 42).jobs(2).replication();
+        assert_eq!(wrapper.runs.len(), builder.runs.len());
+        for ((w_run, w_scan), (b_run, b_scan)) in wrapper.runs.iter().zip(&builder.runs) {
+            assert_eq!(w_run.period.name, b_run.period.name);
+            assert_eq!(w_scan.intervals, b_scan.intervals);
+            assert_eq!(w_scan.peers, b_scan.peers);
+        }
+        let wrapper = beacon_bundle_jobs(&scale, 42, 2);
+        let builder = BundleBuilder::new(&scale, 42).jobs(2).beacon();
+        assert_eq!(wrapper.intervals, builder.intervals);
+        assert_eq!(wrapper.finals, builder.finals);
+        assert_eq!(wrapper.scan.peers, builder.scan.peers);
+    }
+
     /// The memoized lifespan views agree with direct tracking calls.
     #[test]
     fn memoized_lifespans_match_direct_tracking() {
         let scale = Scale::bench();
-        let bundle = beacon_bundle_jobs(&scale, 42, 1);
+        let bundle = BundleBuilder::new(&scale, 42).beacon();
         let direct = track_lifespans(&bundle.run.archive.rib_dumps, &bundle.finals, &[]);
         assert_eq!(bundle.lifespans().len(), direct.len());
         for (memo, fresh) in bundle.lifespans().iter().zip(&direct) {

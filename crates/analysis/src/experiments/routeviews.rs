@@ -5,11 +5,10 @@
 //! second, independently-sampled peer set and comparing what each
 //! platform sees alone against the combination.
 
-use super::{pct, ExperimentOutput, SCAN_WINDOW};
+use super::{pct, BundleBuilder, ExperimentOutput};
 use crate::render::TextTable;
-use crate::worlds::{run_beacon_study_with_routeviews, Scale};
-use bgpz_core::{classify, intervals_from_schedule, scan_indexed, ClassifyOptions};
-use bgpz_mrt::FrameIndex;
+use crate::worlds::Scale;
+use bgpz_core::{classify, ClassifyOptions};
 use serde_json::json;
 use std::collections::BTreeSet;
 use std::net::IpAddr;
@@ -43,15 +42,9 @@ impl RouteViews {
 
 /// Runs the two-platform beacon study and computes the visibility Venn.
 pub fn compute(scale: &Scale, seed: u64) -> RouteViews {
-    let run = run_beacon_study_with_routeviews(scale, seed);
-    let mut intervals = intervals_from_schedule(&run.schedule);
-    intervals.retain(|iv| {
-        !run.polluted
-            .iter()
-            .any(|&(prefix, start)| iv.prefix == prefix && iv.start == start)
-    });
-    let index = FrameIndex::build(run.archive.updates.clone());
-    let result = scan_indexed(&index, &intervals, SCAN_WINDOW, 1);
+    let bundle = BundleBuilder::new(scale, seed).routeviews(true).beacon();
+    let run = &bundle.run;
+    let result = &bundle.scan;
 
     // All peer routers seen in the archive, partitioned into RIS vs RV.
     let rv: BTreeSet<IpAddr> = run.routeviews_routers.iter().copied().collect();
@@ -67,7 +60,7 @@ pub fn compute(scale: &Scale, seed: u64) -> RouteViews {
         let mut excluded = excluded;
         excluded.extend(run.noisy_routers.iter().copied());
         classify(
-            &result,
+            result,
             &ClassifyOptions {
                 excluded_peers: excluded,
                 ..ClassifyOptions::default()

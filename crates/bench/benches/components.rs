@@ -3,9 +3,7 @@
 //! scanning and classification, and full world construction (the setup
 //! cost amortized by the table/figure benches).
 
-use bgpz_analysis::experiments::{
-    beacon_bundle, replication_bundle, replication_bundle_jobs, SCAN_WINDOW,
-};
+use bgpz_analysis::experiments::{beacon_bundle, replication_bundle, BundleBuilder, SCAN_WINDOW};
 use bgpz_analysis::worlds::{replication_periods, run_replication};
 use bgpz_analysis::Scale;
 use bgpz_beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
@@ -174,7 +172,13 @@ fn pipeline_benches(c: &mut Criterion) {
         b.iter(|| black_box(replication_bundle(&scale, 42)))
     });
     group.bench_function("replication_bundle_parallel", |b| {
-        b.iter(|| black_box(replication_bundle_jobs(&scale, 42, shard_jobs)))
+        b.iter(|| {
+            black_box(
+                BundleBuilder::new(&scale, 42)
+                    .jobs(shard_jobs)
+                    .replication(),
+            )
+        })
     });
     group.bench_function("beacon_bundle_bench_scale", |b| {
         b.iter(|| black_box(beacon_bundle(&scale, 42)))

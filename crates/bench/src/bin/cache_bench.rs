@@ -8,7 +8,7 @@
 //! * **substrate** — the phase the cache memoizes: running both world
 //!   simulators and framing their archives (cold) vs decoding the cached
 //!   entries (warm). This is the headline `speedup_warm_vs_cold`.
-//! * **bundle** — the full `*_bundle_jobs_cached` builds, which also
+//! * **bundle** — the full cache-threaded [`BundleBuilder`] builds, which also
 //!   include the (deliberately uncached) archive scans, so the end-to-end
 //!   win a caller sees is on record too.
 //!
@@ -21,9 +21,7 @@
 //!   the cache — no timing thresholds (CI machines vary), no JSON.
 //!   Wired into `scripts/ci.sh` via `scripts/bench.sh --smoke`.
 
-use bgpz_analysis::experiments::{
-    beacon_bundle_jobs_cached, replication_bundle_jobs_cached, BeaconBundle, ReplicationBundle,
-};
+use bgpz_analysis::experiments::{BeaconBundle, BundleBuilder, ReplicationBundle};
 use bgpz_analysis::worlds::{replication_periods, run_beacon_study, run_replication};
 use bgpz_analysis::{Scale, SubstrateCache};
 use bgpz_core::ScanResult;
@@ -80,8 +78,8 @@ fn digest(replication: &ReplicationBundle, beacon: &BeaconBundle) -> String {
 /// and the wall time.
 fn build(scale: &Scale, cache: Option<&SubstrateCache>) -> (String, f64) {
     let t0 = Instant::now();
-    let replication = replication_bundle_jobs_cached(scale, SEED, 1, cache);
-    let beacon = beacon_bundle_jobs_cached(scale, SEED, 1, cache);
+    let replication = BundleBuilder::new(scale, SEED).cache(cache).replication();
+    let beacon = BundleBuilder::new(scale, SEED).cache(cache).beacon();
     (digest(&replication, &beacon), t0.elapsed().as_secs_f64())
 }
 

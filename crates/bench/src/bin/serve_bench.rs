@@ -1,0 +1,341 @@
+//! `serve_bench` — load-test of the `bgpz serve` monitoring daemon,
+//! writing `BENCH_serve.json`.
+//!
+//! The bench synthesizes a fleet of collector peer streams (each a clone
+//! of one real peer's feed under a unique peer address and ASN), replays
+//! them through the daemon's sharded ingest pipeline, and hammers the
+//! HTTP/JSON API from concurrent keep-alive clients *while ingest is
+//! running* — so the latency histograms cover both cache hits and the
+//! render-under-version-churn path.
+//!
+//! Modes:
+//!
+//! * default: `--peers 2048` synthesized streams, `--queries 1000000`
+//!   HTTP round trips over 16 keep-alive connections. Writes ingest
+//!   throughput plus p50/p90/p99 query latency taken from the
+//!   `serve::http` observability histogram, and a determinism digest:
+//!   the zombie set of the load run must equal a single-worker reference
+//!   run on the same streams.
+//! * `--smoke`: a small fleet and a few hundred queries, plus a full
+//!   parity check of the daemon's zombie set against the batch pipeline
+//!   (`scan` + `classify`) on the merged archive. Still writes
+//!   `BENCH_serve.json` (with `"digest_match": true`) so
+//!   `scripts/bench.sh --smoke` can assert the digest from the file.
+
+use bgpz_analysis::experiments::SCAN_WINDOW;
+use bgpz_analysis::worlds::{replication_periods, run_replication};
+use bgpz_analysis::Scale;
+use bgpz_core::{classify, intervals_from_schedule, scan, BeaconInterval, ClassifyOptions};
+use bgpz_mrt::{MrtBody, MrtReader, MrtRecord, MrtWriter};
+use bgpz_serve::{ServeConfig, Server};
+use bytes::Bytes;
+use serde_json::json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Ipv6Addr, SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Records per synthesized peer stream: enough feed to keep ingest busy,
+/// small enough that thousands of peers fit in memory.
+const TEMPLATE_CAP: usize = 512;
+
+/// Endpoints the query load rotates through. `/metrics` renders the full
+/// observability snapshot, so it rides along at a lower weight below.
+const HOT_PATHS: [&str; 4] = ["/zombies", "/lifespans", "/peers", "/healthz"];
+
+/// The per-peer feed all synthesized peers replay: the first session
+/// peer's records, in archive order.
+fn template_records(updates: Bytes, cap: usize) -> Vec<MrtRecord> {
+    let mut reader = MrtReader::new(updates);
+    let mut template_peer = None;
+    let mut records = Vec::new();
+    while let Some(record) = reader.next_record() {
+        let peer = match &record.body {
+            MrtBody::Message(m) => Some(m.session.peer_ip),
+            MrtBody::StateChange(c) => Some(c.session.peer_ip),
+            _ => None,
+        };
+        let Some(peer) = peer else { continue };
+        let owner = *template_peer.get_or_insert(peer);
+        if peer == owner {
+            records.push(record);
+            if records.len() >= cap {
+                break;
+            }
+        }
+    }
+    assert!(!records.is_empty(), "the world produced no session records");
+    records
+}
+
+/// Clones the template feed under `peers` distinct peer identities:
+/// stream `k` is the template with peer address `2001:db8:5e47::k` and a
+/// private-range ASN. One encoded stream per peer.
+fn synthesize_streams(template: &[MrtRecord], peers: usize) -> Vec<Bytes> {
+    (0..peers)
+        .map(|k| {
+            let addr = std::net::IpAddr::V6(Ipv6Addr::from(
+                0x2001_0db8_5e47_0000_0000_0000_0000_0000_u128 + k as u128,
+            ));
+            let asn = bgpz_types::Asn(4_200_000_000 + k as u32);
+            let mut writer = MrtWriter::new();
+            for record in template {
+                let mut record = record.clone();
+                match &mut record.body {
+                    MrtBody::Message(m) => {
+                        m.session.peer_ip = addr;
+                        m.session.peer_as = asn;
+                    }
+                    MrtBody::StateChange(c) => {
+                        c.session.peer_ip = addr;
+                        c.session.peer_as = asn;
+                    }
+                    _ => {}
+                }
+                writer.push(&record);
+            }
+            writer.finish()
+        })
+        .collect()
+}
+
+/// Merges the synthesized streams back into one archive in global
+/// timestamp order (record-major: all peers' copies of record 0, then
+/// record 1, ...) — the batch pipeline's view of the same feed.
+fn merge_streams(streams: &[Bytes]) -> Bytes {
+    let decoded: Vec<Vec<MrtRecord>> = streams
+        .iter()
+        .map(|s| {
+            let mut reader = MrtReader::new(s.clone());
+            let mut records = Vec::new();
+            while let Some(record) = reader.next_record() {
+                records.push(record);
+            }
+            records
+        })
+        .collect();
+    let longest = decoded.iter().map(Vec::len).max().unwrap_or(0);
+    let mut writer = MrtWriter::new();
+    for i in 0..longest {
+        for stream in &decoded {
+            if let Some(record) = stream.get(i) {
+                writer.push(record);
+            }
+        }
+    }
+    writer.finish()
+}
+
+/// Sorted canonical zombie keys from the daemon's state.
+fn serve_keys(server: &Server) -> Vec<(String, u64, String)> {
+    let state = server.state();
+    let keys = state.lock().zombie_keys();
+    let mut keys: Vec<_> = keys
+        .into_iter()
+        .map(|(prefix, start, peer)| (prefix.to_string(), start.secs(), peer))
+        .collect();
+    // Canonical (string) order — `Prefix` orders numerically, so the
+    // BTreeMap's iteration order is not the rendered order.
+    keys.sort();
+    keys
+}
+
+/// FNV-1a digest of the canonical key lines — run-to-run comparable.
+fn digest(keys: &[(String, u64, String)]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (prefix, start, peer) in keys {
+        for b in format!("{prefix}|{start}|{peer}\n").as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// One keep-alive HTTP/1.1 client issuing `count` rotating queries.
+fn query_worker(addr: SocketAddr, count: usize, worker: usize) {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    for i in 0..count {
+        // Every 100th query pulls the full /metrics snapshot; the rest
+        // rotate through the hot endpoints.
+        let path = if i % 100 == 99 {
+            "/metrics"
+        } else {
+            HOT_PATHS[(i + worker) % HOT_PATHS.len()]
+        };
+        write!(
+            writer,
+            "GET {path} HTTP/1.1\r\nHost: bgpz\r\nConnection: keep-alive\r\n\r\n"
+        )
+        .expect("write request");
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status line");
+        assert!(status.contains("200"), "{path}: {status}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+    }
+}
+
+/// Runs the full serve lifecycle: ingest + concurrent query load, then
+/// drain. Returns (zombie keys, ingest seconds, records).
+fn run_serve(
+    intervals: &[BeaconInterval],
+    streams: Vec<Bytes>,
+    workers: usize,
+    shards: usize,
+    queries: usize,
+    connections: usize,
+) -> (Vec<(String, u64, String)>, f64, u64) {
+    let config = ServeConfig {
+        workers,
+        shards,
+        queue_capacity: 4_096,
+        ..ServeConfig::default()
+    };
+    let started = Instant::now();
+    let mut server = Server::start(&config, intervals.to_vec(), streams).expect("start daemon");
+    let addr = server.addr();
+    let clients: Vec<_> = (0..connections)
+        .map(|w| {
+            let count = queries / connections + usize::from(w < queries % connections);
+            std::thread::spawn(move || query_worker(addr, count, w))
+        })
+        .collect();
+    server.drain();
+    let ingest_secs = started.elapsed().as_secs_f64();
+    for client in clients {
+        client.join().expect("query client");
+    }
+    let keys = serve_keys(&server);
+    let summary = server.shutdown();
+    assert_eq!(summary.shed, 0, "Block policy never sheds");
+    (keys, ingest_secs, summary.records)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale_name = arg("--scale").unwrap_or_else(|| "bench".to_string());
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let scale = Scale::parse(&scale_name).unwrap_or_else(|| {
+        eprintln!("unknown --scale {scale_name:?} (bench|quick|standard|full)");
+        // Binary entry point; usage errors exit before any work starts.
+        #[allow(clippy::disallowed_methods)]
+        std::process::exit(2);
+    });
+    let peers: usize = arg("--peers")
+        .map(|v| v.parse().expect("--peers expects an integer"))
+        .unwrap_or(if smoke { 8 } else { 2_048 });
+    let queries: usize = arg("--queries")
+        .map(|v| v.parse().expect("--queries expects an integer"))
+        .unwrap_or(if smoke { 400 } else { 1_000_000 });
+    let connections = if smoke { 2 } else { 16 };
+    let workers = if smoke { 2 } else { 8 };
+    let shards = if smoke { 2 } else { 8 };
+
+    let period = replication_periods(&scale)[0];
+    let run = run_replication(&period, &scale, 42);
+    let intervals = intervals_from_schedule(&run.schedule);
+    let cap = if smoke { 128 } else { TEMPLATE_CAP };
+    let template = template_records(run.archive.updates.clone(), cap);
+    let streams = synthesize_streams(&template, peers);
+    let stream_bytes: usize = streams.iter().map(Bytes::len).sum();
+
+    // Reference pass: single worker, no query load. Its zombie set is
+    // the determinism baseline the load run must reproduce.
+    let (reference_keys, _, _) = run_serve(&intervals, streams.clone(), 1, shards, 0, 1);
+
+    if smoke {
+        // Smoke also proves the daemon against the batch pipeline on the
+        // very same records, merged back into one archive.
+        let merged = merge_streams(&streams);
+        let result = scan(merged, &intervals, SCAN_WINDOW);
+        let report = classify(&result, &ClassifyOptions::default());
+        let mut batch: Vec<(String, u64, String)> = report
+            .outbreaks
+            .iter()
+            .flat_map(|o| {
+                o.routes.iter().map(move |r| {
+                    (
+                        o.interval.prefix.to_string(),
+                        o.interval.start.secs(),
+                        r.peer.addr.to_string(),
+                    )
+                })
+            })
+            .collect();
+        batch.sort();
+        assert_eq!(
+            reference_keys, batch,
+            "daemon zombie set diverged from the batch pipeline"
+        );
+    }
+
+    let (keys, ingest_secs, records) =
+        run_serve(&intervals, streams, workers, shards, queries, connections);
+    let digest_match = keys == reference_keys;
+    assert!(digest_match, "load run diverged from the reference run");
+
+    let metrics = bgpz_obs::metrics::global();
+    let histogram = metrics
+        .histogram("serve::http", "query_us")
+        .expect("query latency histogram");
+    let quantile = |q: f64| histogram.quantile(q).unwrap_or(0);
+    let report = json!({
+        "mode": if smoke { "smoke" } else { "load" },
+        "scale": scale.name,
+        "peer_streams": peers,
+        "stream_bytes": stream_bytes,
+        "records_ingested": records,
+        "ingest_secs": ingest_secs,
+        "records_per_sec": records as f64 / ingest_secs.max(1e-9),
+        "workers": workers,
+        "shards": shards,
+        "queries": queries,
+        "connections": connections,
+        "query_us": {
+            "observed": histogram.total(),
+            "p50": quantile(0.50),
+            "p90": quantile(0.90),
+            "p99": quantile(0.99),
+        },
+        "zombie_keys": keys.len(),
+        "digest": digest(&keys),
+        "digest_match": digest_match,
+    });
+    let file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    serde_json::to_writer_pretty(file, &report).expect("write BENCH_serve.json");
+    println!(
+        "serve_bench: {} peers, {} records in {:.1}s, {} queries p99={}us digest={} -> {}",
+        peers,
+        records,
+        ingest_secs,
+        queries,
+        quantile(0.99),
+        digest(&keys),
+        out_path
+    );
+}

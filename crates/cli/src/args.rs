@@ -71,6 +71,8 @@ pub enum Command {
     Lifespan(ParsedArgs),
     /// `bgpz simulate --out <dir> ...`
     Simulate(ParsedArgs),
+    /// `bgpz serve --updates <file> ...`
+    Serve(ParsedArgs),
     /// `bgpz help`
     Help,
 }
@@ -134,6 +136,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(raw: I) -> CliResult<Command> 
         "detect" => Ok(Command::Detect(split_args(rest))),
         "lifespan" => Ok(Command::Lifespan(split_args(rest))),
         "simulate" => Ok(Command::Simulate(split_args(rest))),
+        "serve" => Ok(Command::Serve(split_args(rest))),
         other => Err(CliError(format!(
             "unknown command {other:?}; try `bgpz help`"
         ))),
@@ -160,6 +163,11 @@ USAGE:
               [--seed N] [--world replication|beacon]
               [--cache-dir DIR]  (substrate cache, or BGPZ_CACHE env:
                             reuses the simulated world across runs)
+  bgpz serve  --updates <file> --beacon-origin <asn>
+              [--period 14400] [--up 7200] [--threshold 5400]
+              [--no-aggregator-filter] [--exclude addr,addr,...]
+              [--streams 8] [--workers 1] [--shards 4] [--queue 1024]
+              [--port 0] [--smoke]
   bgpz help
 
 `mrt dump` prints bgpdump-style lines:
@@ -175,6 +183,13 @@ outbreak with its Aggregator-clock verdict and palm-tree root cause.
 `simulate` writes a synthetic archive (updates.mrt + ribs/*.mrt +
 manifest.txt) generated by the calibrated world of the reproduction —
 useful as detector input for testing.
+
+`serve` replays the archive as concurrent collector streams through the
+long-running monitoring daemon and answers queries over HTTP/JSON
+(GET /healthz /zombies /lifespans /peers /metrics, POST /shutdown).
+`--smoke` runs the full lifecycle in-process — real HTTP round trips,
+a zombie-set parity check against the batch pipeline, clean shutdown —
+and prints the canonical zombie keys for cross-run diffing.
 ";
 
 #[cfg(test)]
@@ -224,6 +239,13 @@ mod tests {
             parse_args(v(&["simulate", "--out", "d"])).unwrap(),
             Command::Simulate(_)
         ));
+        match parse_args(v(&["serve", "--updates", "u.mrt", "--smoke"])).unwrap() {
+            Command::Serve(rest) => {
+                assert_eq!(rest.opt("updates"), Some("u.mrt"));
+                assert!(rest.has("smoke"));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -503,6 +503,176 @@ pub fn simulate(args: &ParsedArgs) -> CliResult<String> {
     ))
 }
 
+/// One blocking HTTP round trip against the daemon (Connection: close).
+/// Returns `(status line, body)`.
+fn http_request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+) -> CliResult<(String, String)> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| CliError(format!("connect {addr}: {e}")))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bgpz\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| CliError(format!("{path}: malformed HTTP response")))?;
+    let status = head.lines().next().unwrap_or_default().to_string();
+    Ok((status, body.to_string()))
+}
+
+/// `bgpz serve --updates <file> --beacon-origin <asn> [--streams N]
+/// [--workers N] [--shards N] [--queue N] [--port P] [--smoke]`
+///
+/// Replays the archive as concurrent per-peer collector streams through
+/// the monitoring daemon. Without `--smoke` the daemon serves until a
+/// client POSTs `/shutdown`; with it, the full lifecycle runs in-process
+/// — endpoints are exercised over real TCP, the zombie set is checked
+/// against the batch pipeline on the very same archive, and the
+/// canonical zombie keys are printed for cross-run diffing.
+pub fn serve(args: &ParsedArgs) -> CliResult<String> {
+    let updates = read_file(args.required("updates")?)?;
+    let origin: Asn = args
+        .required("beacon-origin")?
+        .parse()
+        .map_err(|e| CliError(format!("--beacon-origin: {e}")))?;
+    let period = args.opt_u64("period", 4 * 3_600)?;
+    let up_time = args.opt_u64("up", 2 * 3_600)?;
+    let threshold = args.opt_u64("threshold", 90 * 60)?;
+    let stream_count = args.opt_u64("streams", 8)?.max(1) as usize;
+    let workers = args.opt_u64("workers", 1)?.max(1) as usize;
+    let shards = args.opt_u64("shards", 4)?.max(1) as usize;
+    let queue = args.opt_u64("queue", 1_024)?.max(1) as usize;
+    let port = u16::try_from(args.opt_u64("port", 0)?)
+        .map_err(|_| CliError("--port expects a TCP port".into()))?;
+    let excluded: Vec<IpAddr> = match args.opt("exclude") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("--exclude: {s:?} is not an address")))
+            })
+            .collect::<CliResult<_>>()?,
+    };
+
+    let index = FrameIndex::build(updates.clone());
+    let intervals = intervals_from_archive(&index, origin, period, up_time);
+    if intervals.is_empty() {
+        return Err(CliError(format!(
+            "no beacon announcements from {origin} found in the archive"
+        )));
+    }
+    let options = ClassifyOptions {
+        threshold,
+        aggregator_filter: !args.has("no-aggregator-filter"),
+        excluded_peers: excluded,
+        ..ClassifyOptions::default()
+    };
+    let config = bgpz_serve::ServeConfig {
+        workers,
+        shards,
+        queue_capacity: queue,
+        options: options.clone(),
+        staleness_window: Some(period),
+        bind: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+        ..bgpz_serve::ServeConfig::default()
+    };
+    let streams = bgpz_serve::split_streams(updates, stream_count);
+    let mut server = bgpz_serve::Server::start(&config, intervals.clone(), streams)
+        .map_err(|e| CliError(format!("cannot start serve: {e}")))?;
+    let addr = server.addr();
+
+    let mut out = String::new();
+    if args.has("smoke") {
+        server.drain();
+        // Every endpoint answers over real TCP.
+        for path in ["/healthz", "/zombies", "/lifespans", "/peers", "/metrics"] {
+            let (status, body) = http_request(addr, "GET", path)?;
+            if !status.contains("200") {
+                return Err(CliError(format!("GET {path}: {status}")));
+            }
+            if body.is_empty() {
+                return Err(CliError(format!("GET {path}: empty body")));
+            }
+        }
+        // Parity: the daemon's zombie set vs the batch pipeline on the
+        // same index, intervals, and options — key for key.
+        let result = scan_indexed(&index, &intervals, threshold + 2 * 3_600, 1);
+        let report = classify(&result, &options);
+        let batch: std::collections::BTreeSet<(Prefix, SimTime, String)> = report
+            .outbreaks
+            .iter()
+            .flat_map(|o| {
+                o.routes
+                    .iter()
+                    .map(move |r| (o.interval.prefix, o.interval.start, r.peer.addr.to_string()))
+            })
+            .collect();
+        let state = server.state();
+        let serve_set: std::collections::BTreeSet<(Prefix, SimTime, String)> =
+            state.lock().zombie_keys().into_iter().collect();
+        if serve_set != batch {
+            return Err(CliError(format!(
+                "serve/batch parity failure: serve {} keys, batch {} keys",
+                serve_set.len(),
+                batch.len()
+            )));
+        }
+        // No worker/shard counts here: the smoke output must be
+        // byte-identical at every concurrency so CI can diff runs.
+        let _ = writeln!(
+            out,
+            "# serve smoke: {} intervals, {} streams",
+            intervals.len(),
+            stream_count
+        );
+        for (prefix, start, peer) in &serve_set {
+            let _ = writeln!(out, "zombie|{prefix}|{}|{peer}", start.secs());
+        }
+        let _ = writeln!(
+            out,
+            "# parity ok: {} zombie key(s) match batch",
+            serve_set.len()
+        );
+        // Clean shutdown over HTTP.
+        let (status, _) = http_request(addr, "POST", "/shutdown")?;
+        if !status.contains("200") {
+            return Err(CliError(format!("POST /shutdown: {status}")));
+        }
+        if !server.shutdown_requested() {
+            return Err(CliError("shutdown not registered".into()));
+        }
+        let summary = server.shutdown();
+        let _ = writeln!(
+            out,
+            "# clean shutdown: {} record(s) ingested, {} shed",
+            summary.records, summary.shed
+        );
+        return Ok(out);
+    }
+
+    // The address must reach the user before the command blocks.
+    println!("# bgpz serve: listening on http://{addr} (POST /shutdown to stop)");
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    server.drain();
+    let summary = server.shutdown();
+    let _ = writeln!(
+        out,
+        "# serve done: {} zombie(s), {} resurrection(s), {} peer(s), {} record(s), {} shed",
+        summary.zombies, summary.resurrections, summary.peers, summary.records, summary.shed
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

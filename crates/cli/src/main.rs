@@ -21,6 +21,7 @@ fn run() -> CliResult<String> {
         Command::Detect(rest) => commands::detect(&rest),
         Command::Lifespan(rest) => commands::lifespan(&rest),
         Command::Simulate(rest) => commands::simulate(&rest),
+        Command::Serve(rest) => commands::serve(&rest),
     }
 }
 

@@ -53,7 +53,7 @@ pub use noisy::{
     PeerLikelihood,
 };
 pub use paths::{path_length_samples, PathLengthSamples};
-pub use realtime::{RealtimeDetector, ZombieAlert};
+pub use realtime::{RealtimeDetector, RealtimeEvent};
 pub use rootcause::{infer_root_cause, RootCause};
 pub use scan::{scan, scan_indexed, scan_sharded, PeerId, ScanResult};
 pub use sweep::{threshold_sweep, SweepPoint};

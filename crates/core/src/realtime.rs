@@ -4,13 +4,19 @@
 //! whole archive up front. [`RealtimeDetector`] instead consumes MRT
 //! records *as they arrive* — e.g. from a RIS Live-style feed — keeping
 //! only the latest observation per `(interval, peer)`, and emits a
-//! [`ZombieAlert`] the moment a beacon interval's check deadline passes
-//! with a stuck route, plus a [`ZombieAlert::Resurrection`] when a
-//! withdrawn-and-clean prefix is announced again after its deadline with
-//! no new beacon cycle — the paper's §5.1 phenomenon, detected live.
+//! [`RealtimeEvent`] stream: [`RealtimeEvent::ZombieDetected`] the moment
+//! a beacon interval's check deadline passes with a stuck route,
+//! [`RealtimeEvent::Resurrected`] when a withdrawn-and-clean prefix is
+//! announced again after its deadline with no new beacon cycle (the
+//! paper's §5.1 phenomenon, detected live), and — when a staleness window
+//! is armed — [`RealtimeEvent::PeerStale`] for feeds that have gone dark.
 //!
 //! Fed the same records, it raises exactly the zombie routes the batch
-//! classifier reports (asserted by the equivalence tests below).
+//! classifier reports (asserted by the equivalence tests below). The
+//! detector also tolerates imperfect feeds: a record older than the
+//! latest observation for its `(interval, peer)` slot never clobbers
+//! newer state, and exact duplicates are idempotent — the properties the
+//! `bgpz serve` ingest path leans on when collector streams interleave.
 
 use crate::classify::ClassifyOptions;
 use crate::interval::BeaconInterval;
@@ -24,14 +30,22 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 /// A live detection event.
+///
+/// Every variant carries its detection timestamp, and the route-level
+/// variants carry the zombie's lifespan-so-far (seconds since the missed
+/// withdrawal), so consumers — the `bgpz serve` daemon, the
+/// `realtime_monitor` example — never recompute either from interval
+/// bookkeeping.
 #[derive(Debug, Clone)]
-pub enum ZombieAlert {
+pub enum RealtimeEvent {
     /// A stuck route at the interval's check deadline.
-    Zombie {
+    ZombieDetected {
         /// The beacon prefix.
         prefix: Prefix,
         /// The interval's announcement instant.
         interval_start: SimTime,
+        /// The withdrawal the route failed to honor.
+        withdrawn_at: SimTime,
         /// The peer holding the stuck route.
         peer: PeerId,
         /// The stuck AS path.
@@ -41,44 +55,89 @@ pub enum ZombieAlert {
         /// True if the clock shows the route predates the interval
         /// (a duplicate under the paper's revised methodology).
         is_duplicate: bool,
-        /// When the alert fired (the check deadline).
+        /// Seconds the route has been stuck at detection
+        /// (`detected_at - withdrawn_at`).
+        lifespan_so_far: u64,
+        /// When the event fired (the check deadline).
         detected_at: SimTime,
     },
     /// A prefix that was clean at its deadline got announced again with no
     /// new beacon cycle — a live resurrection.
-    Resurrection {
+    Resurrected {
         /// The beacon prefix.
         prefix: Prefix,
         /// The interval whose deadline had already passed.
         interval_start: SimTime,
+        /// The withdrawal the resurrected route ignores.
+        withdrawn_at: SimTime,
         /// The peer that re-learned the route.
         peer: PeerId,
         /// The resurrected AS path.
         path: Arc<AsPath>,
+        /// Seconds since the withdrawal when the route came back.
+        lifespan_so_far: u64,
         /// When the late announcement arrived.
+        detected_at: SimTime,
+    },
+    /// A peer whose feed has been silent past the armed staleness window
+    /// (see [`RealtimeDetector::with_staleness_window`]) — the per-peer
+    /// health signal a monitoring service surfaces.
+    PeerStale {
+        /// The silent peer.
+        peer: PeerId,
+        /// Its last observed activity.
+        last_seen: SimTime,
+        /// When the staleness check fired.
         detected_at: SimTime,
     },
 }
 
-impl ZombieAlert {
-    /// The prefix concerned.
-    pub fn prefix(&self) -> Prefix {
+impl RealtimeEvent {
+    /// The prefix concerned (`None` for peer-health events).
+    pub fn prefix(&self) -> Option<Prefix> {
         match self {
-            ZombieAlert::Zombie { prefix, .. } | ZombieAlert::Resurrection { prefix, .. } => {
-                *prefix
-            }
+            RealtimeEvent::ZombieDetected { prefix, .. }
+            | RealtimeEvent::Resurrected { prefix, .. } => Some(*prefix),
+            RealtimeEvent::PeerStale { .. } => None,
         }
     }
 
     /// The peer concerned.
     pub fn peer(&self) -> PeerId {
         match self {
-            ZombieAlert::Zombie { peer, .. } | ZombieAlert::Resurrection { peer, .. } => *peer,
+            RealtimeEvent::ZombieDetected { peer, .. }
+            | RealtimeEvent::Resurrected { peer, .. }
+            | RealtimeEvent::PeerStale { peer, .. } => *peer,
+        }
+    }
+
+    /// When the event fired.
+    pub fn detected_at(&self) -> SimTime {
+        match self {
+            RealtimeEvent::ZombieDetected { detected_at, .. }
+            | RealtimeEvent::Resurrected { detected_at, .. }
+            | RealtimeEvent::PeerStale { detected_at, .. } => *detected_at,
+        }
+    }
+
+    /// Seconds since the missed withdrawal (`None` for peer-health
+    /// events, which have no route).
+    pub fn lifespan_so_far(&self) -> Option<u64> {
+        match self {
+            RealtimeEvent::ZombieDetected {
+                lifespan_so_far, ..
+            }
+            | RealtimeEvent::Resurrected {
+                lifespan_so_far, ..
+            } => Some(*lifespan_so_far),
+            RealtimeEvent::PeerStale { .. } => None,
         }
     }
 }
 
-/// Latest observation for one (interval, peer).
+/// Latest observation for one (interval, peer). Both variants remember
+/// when they were stamped so a late-arriving older record cannot clobber
+/// newer state (out-of-order tolerance).
 #[derive(Debug, Clone)]
 enum LastObs {
     Announce {
@@ -86,7 +145,17 @@ enum LastObs {
         path: Arc<AsPath>,
         aggregator: Option<Ipv4Addr>,
     },
-    Withdraw,
+    Withdraw {
+        time: SimTime,
+    },
+}
+
+impl LastObs {
+    fn time(&self) -> SimTime {
+        match self {
+            LastObs::Announce { time, .. } | LastObs::Withdraw { time } => *time,
+        }
+    }
 }
 
 /// Per-interval live state.
@@ -101,6 +170,15 @@ struct IntervalState {
 }
 
 /// The streaming detector.
+///
+/// Construction is fluent and infallible:
+///
+/// ```ignore
+/// let mut detector = RealtimeDetector::new(ClassifyOptions::default())
+///     .with_resurrection_window(3 * 3_600)
+///     .with_staleness_window(1_800);
+/// detector.arm_intervals(intervals_from_schedule(&schedule));
+/// ```
 pub struct RealtimeDetector {
     options: ClassifyOptions,
     intervals: Vec<BeaconInterval>,
@@ -111,10 +189,17 @@ pub struct RealtimeDetector {
     deadlines: BinaryHeap<Reverse<(SimTime, usize)>>,
     /// Per-peer latest session-down instant.
     last_down: HashMap<PeerId, SimTime>,
+    /// Per-peer latest activity of any kind (feed-health bookkeeping).
+    last_activity: HashMap<PeerId, SimTime>,
+    /// Peers currently flagged stale (re-armed by fresh activity).
+    stale: Vec<PeerId>,
     /// High-water mark of observed time.
     now: SimTime,
     /// How long after the deadline resurrection alerts stay armed.
     resurrection_window: u64,
+    /// Idle seconds after which [`RealtimeDetector::advance`] raises
+    /// [`RealtimeEvent::PeerStale`]; `None` disables the check.
+    staleness_window: Option<u64>,
 }
 
 impl RealtimeDetector {
@@ -127,43 +212,54 @@ impl RealtimeDetector {
             by_prefix: HashMap::new(),
             deadlines: BinaryHeap::new(),
             last_down: HashMap::new(),
+            last_activity: HashMap::new(),
+            stale: Vec::new(),
             now: SimTime::ZERO,
             resurrection_window: 2 * 3_600,
+            staleness_window: None,
         }
     }
 
     /// Widens/narrows the post-deadline window in which late announcements
-    /// raise resurrection alerts (default 2 h, mirroring the paper's
+    /// raise resurrection events (default 2 h, mirroring the paper's
     /// Fig. 2 sweep ceiling).
-    pub fn set_resurrection_window(&mut self, secs: u64) {
+    pub fn with_resurrection_window(mut self, secs: u64) -> RealtimeDetector {
         self.resurrection_window = secs;
+        self
+    }
+
+    /// Arms the per-peer staleness check: [`RealtimeDetector::advance`]
+    /// raises [`RealtimeEvent::PeerStale`] for any known peer silent for
+    /// more than `secs` (once per silence; fresh activity re-arms).
+    pub fn with_staleness_window(mut self, secs: u64) -> RealtimeDetector {
+        self.staleness_window = Some(secs);
+        self
     }
 
     /// Registers an upcoming beacon interval (call when the beacon
     /// controller schedules the announcement).
-    pub fn expect(&mut self, interval: BeaconInterval) {
+    pub fn arm_interval(&mut self, interval: BeaconInterval) {
         let idx = self.intervals.len();
         self.deadlines
             .push(Reverse((interval.check_time(self.options.threshold), idx)));
-        self.by_prefix.entry(interval.prefix).or_default().push(idx);
-        self.by_prefix
-            .get_mut(&interval.prefix)
-            .expect("just inserted")
-            .sort_by_key(|&i| {
-                if i == idx {
-                    interval.start
-                } else {
-                    self.intervals[i].start
-                }
-            });
+        let intervals = &self.intervals;
+        let list = self.by_prefix.entry(interval.prefix).or_default();
+        list.push(idx);
+        list.sort_by_key(|&i| {
+            if i == idx {
+                interval.start
+            } else {
+                intervals[i].start
+            }
+        });
         self.intervals.push(interval);
         self.states.push(IntervalState::default());
     }
 
     /// Registers a whole schedule's intervals.
-    pub fn expect_all<I: IntoIterator<Item = BeaconInterval>>(&mut self, intervals: I) {
+    pub fn arm_intervals<I: IntoIterator<Item = BeaconInterval>>(&mut self, intervals: I) {
         for interval in intervals {
-            self.expect(interval);
+            self.arm_interval(interval);
         }
     }
 
@@ -180,26 +276,37 @@ impl RealtimeDetector {
         (t <= horizon).then_some(idx)
     }
 
-    /// Feeds one record; returns any alerts that became due.
+    /// Notes activity from a peer (feed-health bookkeeping; fresh
+    /// activity clears a standing stale flag).
+    fn record_activity(&mut self, peer: PeerId, t: SimTime) {
+        let entry = self.last_activity.entry(peer).or_insert(t);
+        if t > *entry {
+            *entry = t;
+        }
+        self.stale.retain(|p| *p != peer);
+    }
+
+    /// Feeds one record; returns any events that became due.
     ///
     /// Deadline/record ties follow the batch semantics: an observation
     /// stamped exactly at the check instant is part of the checked state,
     /// so deadlines strictly before the record fire first, the record is
     /// applied, and deadlines at the record's own timestamp fire last.
-    pub fn push(&mut self, record: &MrtRecord) -> Vec<ZombieAlert> {
+    pub fn push(&mut self, record: &MrtRecord) -> Vec<RealtimeEvent> {
         self.now = self.now.max(record.timestamp);
-        let mut alerts = self.fire_due(record.timestamp, false);
+        let mut events = self.fire_due(record.timestamp, false);
         match &record.body {
             MrtBody::Message(msg) => {
                 let peer = PeerId {
                     addr: msg.session.peer_ip,
                     asn: msg.session.peer_as,
                 };
+                self.record_activity(peer, record.timestamp);
                 if self.options.excluded_peers.contains(&peer.addr) {
-                    return alerts;
+                    return events;
                 }
                 let BgpMessage::Update(update) = &msg.message else {
-                    return alerts;
+                    return events;
                 };
                 let aggregator = update.attrs.aggregator.map(|a| a.addr);
                 let path = update.attrs.as_path.clone().map(Arc::new);
@@ -208,54 +315,88 @@ impl RealtimeDetector {
                         continue;
                     };
                     let Some(path) = path.clone() else { continue };
-                    let interval_start = self.intervals[idx].start;
+                    let interval = self.intervals[idx];
+                    let check_at = interval.check_time(self.options.threshold);
                     let state = &mut self.states[idx];
+                    // Out-of-order tolerance: an older record never
+                    // clobbers newer state for this (interval, peer).
+                    let newer = state
+                        .last
+                        .get(&peer)
+                        .is_none_or(|prev| record.timestamp >= prev.time());
                     // A late announcement after a clean deadline = live
-                    // resurrection.
-                    if state.checked && !state.alerted.contains(&peer) {
-                        alerts.push(ZombieAlert::Resurrection {
+                    // resurrection. The timestamp guard keeps a delayed
+                    // *pre-deadline* record (out-of-order arrival) from
+                    // counting as one.
+                    if state.checked
+                        && record.timestamp > check_at
+                        && !state.alerted.contains(&peer)
+                    {
+                        events.push(RealtimeEvent::Resurrected {
                             prefix,
-                            interval_start,
+                            interval_start: interval.start,
+                            withdrawn_at: interval.withdraw_at,
                             peer,
                             path: Arc::clone(&path),
+                            lifespan_so_far: record
+                                .timestamp
+                                .secs()
+                                .saturating_sub(interval.withdraw_at.secs()),
                             detected_at: record.timestamp,
                         });
                         state.alerted.push(peer);
                     }
-                    state.last.insert(
-                        peer,
-                        LastObs::Announce {
-                            time: record.timestamp,
-                            path,
-                            aggregator,
-                        },
-                    );
+                    if newer {
+                        state.last.insert(
+                            peer,
+                            LastObs::Announce {
+                                time: record.timestamp,
+                                path,
+                                aggregator,
+                            },
+                        );
+                    }
                 }
                 for prefix in update.withdrawn_all() {
                     let Some(idx) = self.locate(prefix, record.timestamp) else {
                         continue;
                     };
-                    self.states[idx].last.insert(peer, LastObs::Withdraw);
+                    let state = &mut self.states[idx];
+                    let newer = state
+                        .last
+                        .get(&peer)
+                        .is_none_or(|prev| record.timestamp >= prev.time());
+                    if newer {
+                        state.last.insert(
+                            peer,
+                            LastObs::Withdraw {
+                                time: record.timestamp,
+                            },
+                        );
+                    }
                 }
             }
-            MrtBody::StateChange(change)
-                if change.old_state == BgpState::Established
-                    && change.new_state != BgpState::Established =>
-            {
+            MrtBody::StateChange(change) => {
                 let peer = PeerId {
                     addr: change.session.peer_ip,
                     asn: change.session.peer_as,
                 };
-                self.last_down.insert(peer, record.timestamp);
+                self.record_activity(peer, record.timestamp);
+                if change.old_state == BgpState::Established
+                    && change.new_state != BgpState::Established
+                {
+                    let entry = self.last_down.entry(peer).or_insert(record.timestamp);
+                    *entry = (*entry).max(record.timestamp);
+                }
             }
             _ => {}
         }
-        alerts.extend(self.fire_due(record.timestamp, true));
-        alerts
+        events.extend(self.fire_due(record.timestamp, true));
+        events
     }
 
     /// Feeds a whole pre-framed archive, decoding only the frames that can
-    /// affect detector state; returns every alert in firing order.
+    /// affect detector state; returns every event in firing order.
     ///
     /// Equivalent to decoding the archive with the tolerant reader and
     /// [`RealtimeDetector::push`]ing each record — asserted by the
@@ -263,10 +404,10 @@ impl RealtimeDetector {
     /// prefix only pay for a raw-byte NLRI peek, not a full decode. The
     /// early-return structure of `push` is mirrored exactly: undecodable
     /// frames do nothing (the reader never yields them), and non-UPDATE
-    /// or excluded-peer messages advance the clock and run only the
-    /// pre-record deadline pass.
-    pub fn ingest_index(&mut self, index: &FrameIndex) -> Vec<ZombieAlert> {
-        let mut alerts = Vec::new();
+    /// or excluded-peer messages advance the clock, note the peer's
+    /// activity, and run only the pre-record deadline pass.
+    pub fn ingest_index(&mut self, index: &FrameIndex) -> Vec<RealtimeEvent> {
+        let mut events = Vec::new();
         for frame in index.frames() {
             match frame.peek_kind() {
                 FrameKind::Message { .. } => {
@@ -275,13 +416,15 @@ impl RealtimeDetector {
                     }
                     let ts = frame.peek_timestamp();
                     let is_update = frame.peek_bgp_kind() == Some(MessageKind::Update);
-                    let excluded = frame
-                        .peer_addr()
-                        .map(|(addr, _)| self.options.excluded_peers.contains(&addr));
+                    let peer = frame.peer_addr().map(|(addr, asn)| PeerId { addr, asn });
+                    let excluded = peer.map(|p| self.options.excluded_peers.contains(&p.addr));
                     if !is_update || excluded == Some(true) {
                         // `push` returns before touching per-interval state.
                         self.now = self.now.max(ts);
-                        alerts.extend(self.fire_due(ts, false));
+                        events.extend(self.fire_due(ts, false));
+                        if let Some(peer) = peer {
+                            self.record_activity(peer, ts);
+                        }
                         continue;
                     }
                     let relevant = frame
@@ -289,39 +432,64 @@ impl RealtimeDetector {
                         .any(|(_, prefix)| self.by_prefix.contains_key(&prefix));
                     if relevant || excluded.is_none() {
                         let record = frame.decode().expect("validated frame must decode");
-                        alerts.extend(self.push(&record));
+                        events.extend(self.push(&record));
                     } else {
                         // Irrelevant UPDATE: both state loops are no-ops, so
-                        // only the two deadline passes remain.
+                        // only the activity note and the two deadline passes
+                        // remain.
                         self.now = self.now.max(ts);
-                        alerts.extend(self.fire_due(ts, false));
-                        alerts.extend(self.fire_due(ts, true));
+                        events.extend(self.fire_due(ts, false));
+                        if let Some(peer) = peer {
+                            self.record_activity(peer, ts);
+                        }
+                        events.extend(self.fire_due(ts, true));
                     }
                 }
                 FrameKind::StateChange { .. } | FrameKind::PeerIndex | FrameKind::Rib => {
                     if let Ok(record) = frame.decode() {
-                        alerts.extend(self.push(&record));
+                        events.extend(self.push(&record));
                     }
                 }
                 FrameKind::Unknown => {}
             }
         }
-        alerts
+        events
     }
 
-    /// Advances the clock without data, firing any due deadlines (call
+    /// Advances the clock without data, firing any due deadlines and —
+    /// when a staleness window is armed — flagging silent peers (call
     /// this on a timer when the feed is quiet).
-    pub fn advance(&mut self, now: SimTime) -> Vec<ZombieAlert> {
+    pub fn advance(&mut self, now: SimTime) -> Vec<RealtimeEvent> {
         if now < self.now {
             return Vec::new();
         }
         self.now = now;
-        self.fire_due(now, true)
+        let mut events = self.fire_due(now, true);
+        if let Some(window) = self.staleness_window {
+            let mut idle: Vec<(PeerId, SimTime)> = self
+                .last_activity
+                .iter()
+                .filter(|(peer, &seen)| {
+                    now.secs().saturating_sub(seen.secs()) > window && !self.stale.contains(peer)
+                })
+                .map(|(&peer, &seen)| (peer, seen))
+                .collect();
+            idle.sort();
+            for (peer, last_seen) in idle {
+                self.stale.push(peer);
+                events.push(RealtimeEvent::PeerStale {
+                    peer,
+                    last_seen,
+                    detected_at: now,
+                });
+            }
+        }
+        events
     }
 
     /// Fires deadlines up to `now` (`inclusive` controls the boundary).
-    fn fire_due(&mut self, now: SimTime, inclusive: bool) -> Vec<ZombieAlert> {
-        let mut alerts = Vec::new();
+    fn fire_due(&mut self, now: SimTime, inclusive: bool) -> Vec<RealtimeEvent> {
+        let mut events = Vec::new();
         while let Some(&Reverse((deadline, idx))) = self.deadlines.peek() {
             let due = if inclusive {
                 deadline <= now
@@ -332,17 +500,17 @@ impl RealtimeDetector {
                 break;
             }
             self.deadlines.pop();
-            alerts.extend(self.fire(idx, deadline));
+            events.extend(self.fire(idx, deadline));
         }
-        alerts
+        events
     }
 
     /// Fires one interval's deadline check.
-    fn fire(&mut self, idx: usize, deadline: SimTime) -> Vec<ZombieAlert> {
+    fn fire(&mut self, idx: usize, deadline: SimTime) -> Vec<RealtimeEvent> {
         let interval = self.intervals[idx];
         let state = &mut self.states[idx];
         state.checked = true;
-        let mut alerts = Vec::new();
+        let mut events = Vec::new();
         let mut peers: Vec<PeerId> = state.last.keys().copied().collect();
         peers.sort();
         for peer in peers {
@@ -368,17 +536,19 @@ impl RealtimeDetector {
                 continue;
             }
             state.alerted.push(peer);
-            alerts.push(ZombieAlert::Zombie {
+            events.push(RealtimeEvent::ZombieDetected {
                 prefix: interval.prefix,
                 interval_start: interval.start,
+                withdrawn_at: interval.withdraw_at,
                 peer,
                 path: Arc::clone(path),
                 aggregator_time,
                 is_duplicate,
+                lifespan_so_far: deadline.secs().saturating_sub(interval.withdraw_at.secs()),
                 detected_at: deadline,
             });
         }
-        alerts
+        events
     }
 
     /// Number of intervals still awaiting their deadline.
@@ -463,7 +633,7 @@ mod tests {
 
     fn detector() -> RealtimeDetector {
         let mut detector = RealtimeDetector::new(ClassifyOptions::default());
-        detector.expect(BeaconInterval {
+        detector.arm_interval(BeaconInterval {
             prefix: prefix(),
             start: SimTime(0),
             withdraw_at: SimTime(900),
@@ -476,8 +646,8 @@ mod tests {
         let mut d = detector();
         assert!(d.push(&announce(10)).is_empty());
         assert!(d.push(&withdraw(930)).is_empty());
-        let alerts = d.advance(SimTime(10_000));
-        assert!(alerts.is_empty());
+        let events = d.advance(SimTime(10_000));
+        assert!(events.is_empty());
         assert_eq!(d.pending(), 0);
     }
 
@@ -486,20 +656,24 @@ mod tests {
         let mut d = detector();
         assert!(d.push(&announce(10)).is_empty());
         // Deadline = withdraw_at (900) + 90 min.
-        let alerts = d.advance(SimTime(900 + 90 * 60));
-        assert_eq!(alerts.len(), 1);
-        match &alerts[0] {
-            ZombieAlert::Zombie {
+        let events = d.advance(SimTime(900 + 90 * 60));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            RealtimeEvent::ZombieDetected {
                 prefix: p,
                 peer: who,
                 is_duplicate,
+                lifespan_so_far,
                 detected_at,
+                withdrawn_at,
                 ..
             } => {
                 assert_eq!(*p, prefix());
                 assert_eq!(*who, peer());
                 assert!(!is_duplicate);
                 assert_eq!(*detected_at, SimTime(900 + 90 * 60));
+                assert_eq!(*withdrawn_at, SimTime(900));
+                assert_eq!(*lifespan_so_far, 90 * 60);
             }
             other => panic!("{other:?}"),
         }
@@ -519,9 +693,9 @@ mod tests {
                     vec!["2001:db8:ffff::/48".parse().unwrap()];
             }
         }
-        let alerts = d.push(&late);
-        assert_eq!(alerts.len(), 1);
-        assert!(matches!(alerts[0], ZombieAlert::Zombie { .. }));
+        let events = d.push(&late);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], RealtimeEvent::ZombieDetected { .. }));
     }
 
     #[test]
@@ -541,13 +715,12 @@ mod tests {
 
     #[test]
     fn duplicate_suppressed_when_filter_on() {
-        let d = detector();
         // Announce carrying a clock that predates the interval: make the
         // interval start late in the month so the clock (pointing at the
         // 1st) is "old".
         let mut det = RealtimeDetector::new(ClassifyOptions::default());
         let start = SimTime::from_ymd_hms(2018, 7, 19, 8, 0, 0);
-        det.expect(BeaconInterval {
+        det.arm_interval(BeaconInterval {
             prefix: prefix(),
             start,
             withdraw_at: start + 7_200,
@@ -564,9 +737,8 @@ mod tests {
             }
         }
         det.push(&rec);
-        let alerts = det.advance(SimTime(start.secs() + 100_000));
-        assert!(alerts.is_empty(), "{alerts:?}");
-        drop(d);
+        let events = det.advance(SimTime(start.secs() + 100_000));
+        assert!(events.is_empty(), "{events:?}");
     }
 
     #[test]
@@ -577,9 +749,19 @@ mod tests {
         // Deadline passes clean.
         assert!(d.advance(SimTime(900 + 90 * 60)).is_empty());
         // The route comes back 20 minutes later — §5.1 live.
-        let alerts = d.push(&announce(900 + 110 * 60));
-        assert_eq!(alerts.len(), 1);
-        assert!(matches!(alerts[0], ZombieAlert::Resurrection { .. }));
+        let events = d.push(&announce(900 + 110 * 60));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            RealtimeEvent::Resurrected {
+                lifespan_so_far,
+                detected_at,
+                ..
+            } => {
+                assert_eq!(*detected_at, SimTime(900 + 110 * 60));
+                assert_eq!(*lifespan_so_far, 110 * 60);
+            }
+            other => panic!("{other:?}"),
+        }
         // Only once per peer.
         assert!(d.push(&announce(900 + 115 * 60)).is_empty());
     }
@@ -590,7 +772,7 @@ mod tests {
             excluded_peers: vec![peer().addr],
             ..ClassifyOptions::default()
         });
-        d.expect(BeaconInterval {
+        d.arm_interval(BeaconInterval {
             prefix: prefix(),
             start: SimTime(0),
             withdraw_at: SimTime(900),
@@ -599,8 +781,86 @@ mod tests {
         assert!(d.advance(SimTime(100_000)).is_empty());
     }
 
+    #[test]
+    fn out_of_order_announce_does_not_clobber_withdraw() {
+        // The withdraw (t=930) arrives before a delayed copy of the
+        // announce (t=10): the stale announce must not resurrect the
+        // route in the state table, so the deadline stays clean.
+        let mut d = detector();
+        d.push(&withdraw(930));
+        d.push(&announce(10));
+        assert!(d.advance(SimTime(100_000)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_records_are_idempotent() {
+        let mut d = detector();
+        d.push(&announce(10));
+        d.push(&announce(10));
+        d.push(&withdraw(930));
+        d.push(&withdraw(930));
+        assert!(d.advance(SimTime(100_000)).is_empty());
+
+        let mut d = detector();
+        d.push(&announce(10));
+        d.push(&announce(10));
+        let events = d.advance(SimTime(100_000));
+        assert_eq!(events.len(), 1, "one zombie despite the duplicate");
+    }
+
+    #[test]
+    fn delayed_pre_deadline_record_is_not_a_resurrection() {
+        // The peer was silent through the deadline; a pre-deadline
+        // announce that arrives *after* the check fired must not raise a
+        // resurrection (its timestamp shows it is not a late announce).
+        let mut d = detector();
+        assert!(d.advance(SimTime(900 + 90 * 60)).is_empty());
+        assert!(d.push(&announce(500)).is_empty());
+    }
+
+    #[test]
+    fn stale_peer_flagged_once_and_rearmed_by_activity() {
+        let mut d = RealtimeDetector::new(ClassifyOptions::default()).with_staleness_window(3_600);
+        d.arm_interval(BeaconInterval {
+            prefix: prefix(),
+            start: SimTime(0),
+            withdraw_at: SimTime(900),
+        });
+        d.push(&announce(10));
+        d.push(&withdraw(930));
+        let events = d.advance(SimTime(930 + 3_700));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            RealtimeEvent::PeerStale {
+                peer: who,
+                last_seen,
+                detected_at,
+            } => {
+                assert_eq!(*who, peer());
+                assert_eq!(*last_seen, SimTime(930));
+                assert_eq!(*detected_at, SimTime(930 + 3_700));
+                assert!(events[0].prefix().is_none());
+                assert!(events[0].lifespan_so_far().is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Flagged once per silence...
+        assert!(d.advance(SimTime(930 + 7_400)).is_empty());
+        // ...and fresh activity re-arms the check. The keepalive-shaped
+        // late record is outside every interval window, so only the
+        // activity bookkeeping sees it.
+        let mut rec = announce(20_000);
+        if let MrtBody::Message(m) = &mut rec.body {
+            m.message = BgpMessage::Keepalive;
+        }
+        d.push(&rec);
+        let events = d.advance(SimTime(20_000 + 3_700));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], RealtimeEvent::PeerStale { .. }));
+    }
+
     /// The indexed ingest and the decode-everything push loop must raise
-    /// identical alerts over an archive mixing relevant updates, an
+    /// identical events over an archive mixing relevant updates, an
     /// irrelevant update (which must still fire due deadlines), a
     /// KEEPALIVE, a session reset, a malformed-but-framed record, and
     /// trailing garbage.
@@ -658,28 +918,36 @@ mod tests {
         ];
 
         let mut eager = RealtimeDetector::new(ClassifyOptions::default());
-        eager.expect_all(schedule);
-        let mut eager_alerts = Vec::new();
+        eager.arm_intervals(schedule);
+        let mut eager_events = Vec::new();
         let mut reader = MrtReader::new(bytes.clone());
         while let Some(record) = reader.next_record() {
-            eager_alerts.extend(eager.push(&record));
+            eager_events.extend(eager.push(&record));
         }
 
         let mut lazy = RealtimeDetector::new(ClassifyOptions::default());
-        lazy.expect_all(schedule);
-        let lazy_alerts = lazy.ingest_index(&FrameIndex::build(bytes));
+        lazy.arm_intervals(schedule);
+        let lazy_events = lazy.ingest_index(&FrameIndex::build(bytes));
 
-        assert!(!eager_alerts.is_empty(), "archive exercises alerts");
-        assert_eq!(format!("{eager_alerts:?}"), format!("{lazy_alerts:?}"));
+        assert!(!eager_events.is_empty(), "archive exercises events");
+        assert_eq!(format!("{eager_events:?}"), format!("{lazy_events:?}"));
         assert_eq!(eager.pending(), lazy.pending());
+        // The activity bookkeeping must agree too, or staleness checks
+        // would diverge between the two ingest paths.
+        assert_eq!(
+            format!("{:?}", eager.advance(SimTime(200_000))),
+            format!("{:?}", lazy.advance(SimTime(200_000)))
+        );
     }
 
     #[test]
-    fn alert_accessors() {
+    fn event_accessors() {
         let mut d = detector();
         d.push(&announce(10));
-        let alerts = d.advance(SimTime(100_000));
-        assert_eq!(alerts[0].prefix(), prefix());
-        assert_eq!(alerts[0].peer(), peer());
+        let events = d.advance(SimTime(100_000));
+        assert_eq!(events[0].prefix(), Some(prefix()));
+        assert_eq!(events[0].peer(), peer());
+        assert_eq!(events[0].detected_at(), SimTime(900 + 90 * 60));
+        assert_eq!(events[0].lifespan_so_far(), Some(90 * 60));
     }
 }

@@ -2,7 +2,7 @@
 //! with *known* per-(interval, peer) ground truth, then assert the
 //! scan + classify pipeline recovers exactly that truth.
 
-use bgpz_core::realtime::{RealtimeDetector, ZombieAlert};
+use bgpz_core::realtime::{RealtimeDetector, RealtimeEvent};
 use bgpz_core::{classify, scan, BeaconInterval, ClassifyOptions};
 use bgpz_mrt::bgp4mp::SessionHeader;
 use bgpz_mrt::{Bgp4mpMessage, MrtBody, MrtReader, MrtRecord, MrtWriter};
@@ -252,13 +252,13 @@ proptest! {
         let batch = detected_set(archive.clone(), &intervals, 90);
 
         let mut detector = RealtimeDetector::new(ClassifyOptions::default());
-        detector.expect_all(intervals.iter().copied());
+        detector.arm_intervals(intervals.iter().copied());
         let mut streaming = BTreeSet::new();
         let mut reader = MrtReader::new(archive);
         let mut last = SimTime::ZERO;
-        let drain = |alerts: Vec<ZombieAlert>, set: &mut BTreeSet<(usize, usize)>| {
-            for alert in alerts {
-                if let ZombieAlert::Zombie { interval_start, peer, .. } = alert {
+        let drain = |events: Vec<RealtimeEvent>, set: &mut BTreeSet<(usize, usize)>| {
+            for event in events {
+                if let RealtimeEvent::ZombieDetected { interval_start, peer, .. } = event {
                     let idx = intervals
                         .iter()
                         .position(|iv| iv.start == interval_start)

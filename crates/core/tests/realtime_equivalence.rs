@@ -2,7 +2,7 @@
 //! same records — zombie-for-zombie.
 
 use bgpz_beacon::{apply_schedule, RisBeaconConfig, RisBeacons};
-use bgpz_core::realtime::{RealtimeDetector, ZombieAlert};
+use bgpz_core::realtime::{RealtimeDetector, RealtimeEvent};
 use bgpz_core::{classify, intervals_from_schedule, scan, ClassifyOptions};
 use bgpz_mrt::MrtReader;
 use bgpz_netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
@@ -66,32 +66,32 @@ fn batch_keys(archive: &bgpz_ris::RisArchive, schedule: &bgpz_beacon::BeaconSche
 
 fn streaming_keys(archive: &bgpz_ris::RisArchive, schedule: &bgpz_beacon::BeaconSchedule) -> Keys {
     let mut detector = RealtimeDetector::new(ClassifyOptions::default());
-    detector.expect_all(intervals_from_schedule(schedule));
+    detector.arm_intervals(intervals_from_schedule(schedule));
     let mut keys = Keys::new();
     let mut reader = MrtReader::new(archive.updates.clone());
     let mut last = SimTime::ZERO;
     while let Some(record) = reader.next_record() {
         last = record.timestamp;
-        for alert in detector.push(&record) {
-            if let ZombieAlert::Zombie {
+        for event in detector.push(&record) {
+            if let RealtimeEvent::ZombieDetected {
                 prefix,
                 interval_start,
                 peer,
                 ..
-            } = alert
+            } = event
             {
                 keys.insert((prefix, interval_start, peer.addr.to_string()));
             }
         }
     }
     // Drain deadlines past the last record.
-    for alert in detector.advance(last + 24 * HOUR) {
-        if let ZombieAlert::Zombie {
+    for event in detector.advance(last + 24 * HOUR) {
+        if let RealtimeEvent::ZombieDetected {
             prefix,
             interval_start,
             peer,
             ..
-        } = alert
+        } = event
         {
             keys.insert((prefix, interval_start, peer.addr.to_string()));
         }
@@ -137,7 +137,7 @@ fn streaming_detects_live_without_full_archive() {
     );
     let (archive, schedule) = run_world(plan);
     let mut detector = RealtimeDetector::new(ClassifyOptions::default());
-    detector.expect_all(intervals_from_schedule(&schedule));
+    detector.arm_intervals(intervals_from_schedule(&schedule));
     let cutoff = SimTime::from_ymd_hms(2018, 7, 19, 4, 0, 0);
     let mut reader = MrtReader::new(archive.updates.clone());
     let mut alerts = Vec::new();
@@ -150,14 +150,14 @@ fn streaming_detects_live_without_full_archive() {
     alerts.extend(detector.advance(cutoff));
     let zombies: Vec<_> = alerts
         .iter()
-        .filter(|a| matches!(a, ZombieAlert::Zombie { .. }))
+        .filter(|a| matches!(a, RealtimeEvent::ZombieDetected { .. }))
         .collect();
     assert!(
         !zombies.is_empty(),
         "the first interval's zombie must be detected before the archive ends"
     );
-    for alert in &zombies {
-        if let ZombieAlert::Zombie { detected_at, .. } = alert {
+    for event in &zombies {
+        if let RealtimeEvent::ZombieDetected { detected_at, .. } = event {
             assert!(*detected_at <= cutoff);
         }
     }

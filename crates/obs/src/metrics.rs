@@ -44,6 +44,26 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// The smallest bucket bound at or below which a `q` fraction of the
+    /// observations fall (`None` on an empty histogram). Observations in
+    /// the overflow bucket clip to the largest bound — fixed-bound
+    /// histograms cannot resolve beyond their ceiling.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank.max(1) {
+                return Some(*self.bounds.get(i).or(self.bounds.last())?);
+            }
+        }
+        self.bounds.last().copied()
+    }
 }
 
 /// Aggregated record of one span callsite.
@@ -58,6 +78,7 @@ pub struct SpanStat {
 #[derive(Debug, Default)]
 struct Registry {
     counters: BTreeMap<String, BTreeMap<String, u64>>,
+    gauges: BTreeMap<String, BTreeMap<String, u64>>,
     histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
     spans: BTreeMap<String, BTreeMap<String, SpanStat>>,
 }
@@ -66,6 +87,7 @@ impl Registry {
     const fn new() -> Registry {
         Registry {
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
             spans: BTreeMap::new(),
         }
@@ -109,6 +131,27 @@ impl Metrics {
             .or_insert(0) += delta;
     }
 
+    /// Sets the `(target, name)` gauge to `value` (last write wins —
+    /// gauges are point-in-time levels like queue depths, not aggregates;
+    /// a drained pipeline leaves them at deterministic values).
+    pub fn set_gauge(&self, target: &str, name: &str, value: u64) {
+        let mut registry = self.lock();
+        registry
+            .gauges
+            .entry(target.to_string())
+            .or_default()
+            .insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge (`None` if never set).
+    pub fn gauge_value(&self, target: &str, name: &str) -> Option<u64> {
+        self.lock()
+            .gauges
+            .get(target)
+            .and_then(|names| names.get(name))
+            .copied()
+    }
+
     /// Records `value` in the `(target, name)` histogram. The bucket
     /// bounds are fixed by the first observation; later calls must pass
     /// the same bounds (they are ignored once the histogram exists).
@@ -144,6 +187,16 @@ impl Metrics {
             .and_then(|names| names.get(name))
             .copied()
             .unwrap_or(0)
+    }
+
+    /// A snapshot of one histogram (`None` if never observed) — the hook
+    /// percentile reporting (e.g. `BENCH_serve.json`) reads.
+    pub fn histogram(&self, target: &str, name: &str) -> Option<Histogram> {
+        self.lock()
+            .histograms
+            .get(target)
+            .and_then(|names| names.get(name))
+            .cloned()
     }
 
     /// Times a span was entered (0 if never).
@@ -185,6 +238,15 @@ impl Metrics {
                         *mine += theirs;
                     }
                 }
+            }
+        }
+        for (target, names) in &other.gauges {
+            for (name, value) in names {
+                registry
+                    .gauges
+                    .entry(target.clone())
+                    .or_default()
+                    .insert(name.clone(), *value);
             }
         }
         for (target, names) in &other.spans {
@@ -240,6 +302,15 @@ impl Metrics {
                 out.push_str(&value.to_string());
             },
         );
+        // Gauges render only when present: the batch pipeline sets none,
+        // and the seed's `metrics.json` fixtures pin the three-section
+        // shape byte for byte.
+        if !registry.gauges.is_empty() {
+            out.push_str(",\n");
+            push_section(&mut out, "gauges", &registry.gauges, &|out, &value, _| {
+                out.push_str(&value.to_string());
+            });
+        }
         out.push_str(",\n");
         push_section(
             &mut out,
@@ -367,6 +438,49 @@ pub fn observe(target: &str, name: &str, bounds: &[u64], value: u64) {
     global().observe(target, name, bounds, value);
 }
 
+/// Sets a gauge in the [`global`] registry.
+pub fn gauge(target: &str, name: &str, value: u64) {
+    global().set_gauge(target, name, value);
+}
+
+/// Microsecond bucket bounds for latency histograms (1 µs – 10 s).
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// A drop guard that records elapsed wall-clock microseconds into a
+/// [`global`] latency histogram — the ingest/query latency hook for the
+/// serving layer:
+///
+/// ```
+/// {
+///     let _timer = bgpz_obs::metrics::latency_timer("serve::http", "query_us");
+///     // ... handle one request ...
+/// } // drop observes the elapsed microseconds
+/// ```
+pub struct LatencyTimer {
+    target: &'static str,
+    name: &'static str,
+    start: std::time::Instant,
+}
+
+impl Drop for LatencyTimer {
+    fn drop(&mut self) {
+        let micros = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        observe(self.target, self.name, LATENCY_BOUNDS_US, micros);
+    }
+}
+
+/// Starts a latency timer over [`LATENCY_BOUNDS_US`].
+pub fn latency_timer(target: &'static str, name: &'static str) -> LatencyTimer {
+    LatencyTimer {
+        target,
+        name,
+        start: std::time::Instant::now(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +567,54 @@ mod tests {
             json,
             "{\n  \"counters\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}\n"
         );
+    }
+
+    #[test]
+    fn gauges_last_write_wins_and_render_when_present() {
+        let metrics = Metrics::new();
+        assert_eq!(metrics.gauge_value("serve::ingest", "queue_depth"), None);
+        metrics.set_gauge("serve::ingest", "queue_depth", 7);
+        metrics.set_gauge("serve::ingest", "queue_depth", 3);
+        assert_eq!(metrics.gauge_value("serve::ingest", "queue_depth"), Some(3));
+        let json = metrics.to_json_pretty_with(false);
+        assert!(json.contains("\"gauges\""), "{json}");
+        assert!(json.contains("\"queue_depth\": 3"), "{json}");
+
+        let merged = Metrics::new();
+        merged.set_gauge("serve::ingest", "queue_depth", 9);
+        merged.merge(&metrics);
+        assert_eq!(merged.gauge_value("serve::ingest", "queue_depth"), Some(3));
+    }
+
+    #[test]
+    fn histogram_snapshot_and_quantiles() {
+        let metrics = Metrics::new();
+        assert!(metrics.histogram("serve::http", "query_us").is_none());
+        for value in [1, 2, 3, 9, 10, 11, 95, 250] {
+            metrics.observe("serve::http", "query_us", &[1, 10, 100], value);
+        }
+        let histogram = metrics.histogram("serve::http", "query_us").unwrap();
+        assert_eq!(histogram.total(), 8);
+        assert_eq!(histogram.quantile(0.0), Some(1));
+        assert_eq!(histogram.quantile(0.5), Some(10));
+        assert_eq!(histogram.quantile(0.8), Some(100));
+        // Overflow observations clip to the ceiling bound.
+        assert_eq!(histogram.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new(&[5]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn latency_timer_observes_on_drop() {
+        let before = global()
+            .histogram("obs::test", "timer_us")
+            .map_or(0, |h| h.total());
+        {
+            let _timer = latency_timer("obs::test", "timer_us");
+        }
+        let after = global()
+            .histogram("obs::test", "timer_us")
+            .map_or(0, |h| h.total());
+        assert_eq!(after, before + 1);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! The query surface: a deliberately minimal HTTP/1.1 server on
+//! `std::net` alone — the workspace's no-new-dependencies rule is a
+//! feature here, and the API is five fixed JSON routes, not a framework
+//! problem.
+//!
+//! Routes:
+//!
+//! | route             | body                                              |
+//! |-------------------|---------------------------------------------------|
+//! | `GET /healthz`    | status, version, record/shed/zombie counters      |
+//! | `GET /zombies`    | the canonical zombie + resurrection sets          |
+//! | `GET /lifespans`  | nearest-rank lifespan percentiles                 |
+//! | `GET /peers`      | per-peer feed health                              |
+//! | `GET /metrics`    | the `bgpz-obs` metrics registry as JSON           |
+//! | `POST /shutdown`  | acknowledges, then stops the accept loop          |
+//!
+//! Hot-path responses (`/zombies`, `/lifespans`, `/peers`) go through a
+//! cache keyed by the state's mutation version: while ingest is quiet,
+//! repeated queries serve one rendered body without re-walking state —
+//! the cache invalidates itself the instant a shard folds in an event.
+
+use crate::state::ServeState;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared handles the connection threads need.
+struct Router {
+    state: Arc<Mutex<ServeState>>,
+    cache: Mutex<HashMap<&'static str, (u64, Arc<String>)>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// The running HTTP front end.
+pub(crate) struct HttpServer {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Binds `listener`'s accept loop to a background thread.
+    pub fn start(
+        listener: TcpListener,
+        state: Arc<Mutex<ServeState>>,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::io::Result<HttpServer> {
+        let addr = listener.local_addr()?;
+        let router = Arc::new(Router {
+            state,
+            cache: Mutex::new(HashMap::new()),
+            shutdown: Arc::clone(&shutdown),
+        });
+        let flag = Arc::clone(&shutdown);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let router = Arc::clone(&router);
+                std::thread::spawn(move || serve_connection(stream, &router));
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            accept: Some(accept),
+            shutdown,
+        })
+    }
+
+    /// The bound address (port 0 resolves here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once `POST /shutdown` has been acknowledged.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            if handle.join().is_err() {
+                bgpz_obs::error!(target: "serve::http", "accept loop panicked");
+            }
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Handles one keep-alive connection until the client closes or asks to.
+fn serve_connection(stream: TcpStream, router: &Router) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(peer);
+    let mut writer = stream;
+    loop {
+        let Some(request) = read_request(&mut reader) else {
+            return;
+        };
+        let _t = bgpz_obs::metrics::latency_timer("serve::http", "query_us");
+        bgpz_obs::metrics::counter("serve::http", "requests", 1);
+        let (status, body) = router.route(&request.method, &request.path);
+        let keep_alive = request.keep_alive && !router.shutdown.load(Ordering::SeqCst);
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let head = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            body.len()
+        );
+        if writer.write_all(head.as_bytes()).is_err() || writer.write_all(body.as_bytes()).is_err()
+        {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    keep_alive: bool,
+}
+
+/// Parses one request head, discarding any body. `None` ends the
+/// connection (EOF or malformed input — this server answers queries, it
+/// does not negotiate).
+fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut keep_alive = true;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header).ok()? == 0 {
+            return None;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        }
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length.min(64 * 1024)];
+        reader.read_exact(&mut body).ok()?;
+    }
+    Some(Request {
+        method,
+        path,
+        keep_alive,
+    })
+}
+
+impl Router {
+    fn route(&self, method: &str, path: &str) -> (&'static str, Arc<String>) {
+        match (method, path) {
+            ("GET", "/healthz") => ("200 OK", Arc::new(self.state.lock().render_health())),
+            ("GET", "/zombies") | ("GET", "/lifespans") | ("GET", "/peers") => {
+                ("200 OK", self.cached(path))
+            }
+            ("GET", "/metrics") => (
+                "200 OK",
+                Arc::new(bgpz_obs::metrics::global().to_json_pretty()),
+            ),
+            ("POST", "/shutdown") => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                bgpz_obs::debug!(target: "serve::http", "shutdown requested over HTTP");
+                (
+                    "200 OK",
+                    Arc::new(String::from("{\"status\":\"draining\"}")),
+                )
+            }
+            _ => (
+                "404 Not Found",
+                Arc::new(String::from("{\"error\":\"no such route\"}")),
+            ),
+        }
+    }
+
+    /// Version-checked response cache: a hit costs one state-version
+    /// read; any state mutation bumps the version and implicitly evicts.
+    fn cached(&self, path: &str) -> Arc<String> {
+        let state = self.state.lock();
+        let version = state.version();
+        let key: &'static str = match path {
+            "/zombies" => "/zombies",
+            "/lifespans" => "/lifespans",
+            _ => "/peers",
+        };
+        if let Some((cached_version, body)) = self.cache.lock().get(key) {
+            if *cached_version == version {
+                bgpz_obs::metrics::counter("serve::http", "cache_hits", 1);
+                return Arc::clone(body);
+            }
+        }
+        bgpz_obs::metrics::counter("serve::http", "cache_misses", 1);
+        let body = Arc::new(match key {
+            "/zombies" => state.render_zombies(),
+            "/lifespans" => state.render_lifespans(),
+            _ => state.render_peers(),
+        });
+        drop(state);
+        self.cache.lock().insert(key, (version, Arc::clone(&body)));
+        body
+    }
+}

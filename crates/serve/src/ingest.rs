@@ -1,0 +1,441 @@
+//! The bounded ingest event loop: one worker per group of collector
+//! streams, one shard task per slice of the armed beacon intervals.
+//!
+//! Parity with the batch pipeline at any worker count rests on three
+//! invariants:
+//!
+//! 1. **Streams are per-peer.** [`crate::split_streams`] routes every
+//!    record of one peer router to one stream, so each stream preserves
+//!    the archive's per-peer record order.
+//! 2. **Shards reorder before detecting.** A shard buffers incoming
+//!    records in a min-heap keyed `(timestamp, stream, seq)` and only
+//!    releases a record to its [`RealtimeDetector`] once every live
+//!    stream's watermark has passed the record's timestamp — the
+//!    detector therefore replays a valid global time order no matter how
+//!    ingest workers interleave.
+//! 3. **Every record advances every shard's watermarks.** A record is
+//!    routed as a payload to the shards owning its prefixes (session
+//!    state changes go everywhere) and as a bare watermark to the rest,
+//!    so no shard ever stalls waiting for a quiet stream.
+//!
+//! Backpressure is explicit: shard queues are bounded
+//! [`std::sync::mpsc::sync_channel`]s. Under [`OverloadPolicy::Block`]
+//! (the default) a full queue blocks the ingest worker; under
+//! [`OverloadPolicy::Shed`] the payload is dropped, counted, and
+//! replaced by its watermark so the pipeline keeps draining.
+
+use crate::state::ServeState;
+use bgpz_core::realtime::{RealtimeDetector, RealtimeEvent};
+use bgpz_core::scan::PeerId;
+use bgpz_core::{BeaconInterval, ClassifyOptions};
+use bgpz_mrt::{MrtBody, MrtReader, MrtRecord};
+use bgpz_types::{Prefix, SimTime};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// What a full shard queue does to an incoming payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the ingest worker until the shard catches up (lossless).
+    Block,
+    /// Drop the payload, count it, and forward only its watermark.
+    Shed,
+}
+
+/// One message on a shard queue. The record rides in a `Box` so the
+/// watermark-only variants stay pointer-sized on the queue.
+pub(crate) enum ShardMsg {
+    /// A record the shard's detector must see.
+    Record {
+        stream: usize,
+        seq: u64,
+        record: Box<MrtRecord>,
+    },
+    /// A stream's clock advanced past `ts` with nothing for this shard.
+    Watermark { stream: usize, ts: SimTime },
+    /// The stream ended; its watermark is now infinite.
+    Flush { stream: usize },
+}
+
+/// A shard queue endpoint plus its depth gauge.
+#[derive(Clone)]
+pub(crate) struct ShardSender {
+    pub tx: SyncSender<ShardMsg>,
+    pub depth: Arc<AtomicU64>,
+}
+
+/// Deterministic FNV-1a over a prefix's canonical text — stable across
+/// processes (unlike `std` hashing), so interval arming and record
+/// routing always agree.
+pub(crate) fn shard_of(prefix: &Prefix, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in prefix.to_string().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Sends one message, honoring the overload policy. Returns `false` when
+/// the shard is gone (shutdown race) and the worker should stop.
+fn send(sender: &ShardSender, msg: ShardMsg, policy: OverloadPolicy, shed: &mut u64) -> bool {
+    let msg = match policy {
+        OverloadPolicy::Block => msg,
+        OverloadPolicy::Shed => match sender.tx.try_send(msg) {
+            Ok(()) => {
+                sender.depth.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+            Err(TrySendError::Full(ShardMsg::Record { stream, record, .. })) => {
+                // Shed the payload but never the clock: the watermark
+                // still advances so the shard keeps releasing.
+                *shed += 1;
+                bgpz_obs::metrics::counter("serve::ingest", "shed_records", 1);
+                ShardMsg::Watermark {
+                    stream,
+                    ts: record.timestamp,
+                }
+            }
+            Err(TrySendError::Full(other)) => other,
+        },
+    };
+    if sender.tx.send(msg).is_err() {
+        return false;
+    }
+    sender.depth.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// How many records an ingest worker batches before flushing activity
+/// notes and counters into the shared state.
+const ACTIVITY_FLUSH: u64 = 512;
+
+/// One ingest worker: drains its streams in round order, routing each
+/// record to shard queues.
+pub(crate) struct IngestWorker {
+    /// `(stream id, MRT bytes)` pairs owned by this worker.
+    pub streams: Vec<(usize, Bytes)>,
+    pub senders: Vec<ShardSender>,
+    pub policy: OverloadPolicy,
+    pub shards: usize,
+    pub state: Arc<Mutex<ServeState>>,
+}
+
+impl IngestWorker {
+    pub fn run(self) {
+        let _span = bgpz_obs::span("serve::ingest", "worker");
+        let mut activity: HashMap<PeerId, SimTime> = HashMap::new();
+        let mut pending_records = 0u64;
+        let mut pending_shed = 0u64;
+        let mut targets = vec![false; self.shards];
+        for (stream, data) in &self.streams {
+            let mut reader = MrtReader::new(data.clone());
+            let mut seq = 0u64;
+            while let Some(record) = reader.next_record() {
+                let _t = bgpz_obs::metrics::latency_timer("serve::ingest", "record_us");
+                for t in targets.iter_mut() {
+                    *t = false;
+                }
+                match &record.body {
+                    MrtBody::Message(msg) => {
+                        let peer = PeerId {
+                            addr: msg.session.peer_ip,
+                            asn: msg.session.peer_as,
+                        };
+                        note(&mut activity, peer, record.timestamp);
+                        if let bgpz_types::BgpMessage::Update(update) = &msg.message {
+                            for prefix in update.announced() {
+                                if let Some(t) = targets.get_mut(shard_of(&prefix, self.shards)) {
+                                    *t = true;
+                                }
+                            }
+                            for prefix in update.withdrawn_all() {
+                                if let Some(t) = targets.get_mut(shard_of(&prefix, self.shards)) {
+                                    *t = true;
+                                }
+                            }
+                        }
+                    }
+                    MrtBody::StateChange(change) => {
+                        let peer = PeerId {
+                            addr: change.session.peer_ip,
+                            asn: change.session.peer_as,
+                        };
+                        note(&mut activity, peer, record.timestamp);
+                        // A session drop affects every interval's state.
+                        for t in targets.iter_mut() {
+                            *t = true;
+                        }
+                    }
+                    _ => {}
+                }
+                let ts = record.timestamp;
+                for (sender, hit) in self.senders.iter().zip(&targets) {
+                    let msg = if *hit {
+                        ShardMsg::Record {
+                            stream: *stream,
+                            seq,
+                            record: Box::new(record.clone()),
+                        }
+                    } else {
+                        ShardMsg::Watermark {
+                            stream: *stream,
+                            ts,
+                        }
+                    };
+                    if !send(sender, msg, self.policy, &mut pending_shed) {
+                        return;
+                    }
+                }
+                seq += 1;
+                pending_records += 1;
+                if pending_records >= ACTIVITY_FLUSH {
+                    self.flush(&mut activity, &mut pending_records, &mut pending_shed);
+                }
+            }
+            for sender in &self.senders {
+                if !send(
+                    sender,
+                    ShardMsg::Flush { stream: *stream },
+                    self.policy,
+                    &mut pending_shed,
+                ) {
+                    return;
+                }
+            }
+            bgpz_obs::metrics::counter("serve::ingest", "streams_drained", 1);
+        }
+        self.flush(&mut activity, &mut pending_records, &mut pending_shed);
+    }
+
+    fn flush(
+        &self,
+        activity: &mut HashMap<PeerId, SimTime>,
+        pending_records: &mut u64,
+        pending_shed: &mut u64,
+    ) {
+        if activity.is_empty() && *pending_records == 0 && *pending_shed == 0 {
+            return;
+        }
+        bgpz_obs::metrics::counter("serve::ingest", "records", *pending_records);
+        let mut notes: Vec<(PeerId, SimTime)> = activity.drain().collect();
+        notes.sort();
+        let mut state = self.state.lock();
+        for (peer, seen) in notes {
+            state.note_activity(peer, seen);
+        }
+        state.note_records(*pending_records);
+        if *pending_shed > 0 {
+            state.note_shed(*pending_shed);
+        }
+        *pending_records = 0;
+        *pending_shed = 0;
+    }
+}
+
+fn note(activity: &mut HashMap<PeerId, SimTime>, peer: PeerId, ts: SimTime) {
+    let entry = activity.entry(peer).or_insert(ts);
+    if ts > *entry {
+        *entry = ts;
+    }
+}
+
+/// A buffered record awaiting release, ordered by
+/// `(timestamp, stream, seq)` — a deterministic global order consistent
+/// with every stream's own order.
+struct Pending {
+    key: (SimTime, usize, u64),
+    record: Box<MrtRecord>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Pending) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Pending) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Pending) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// How many queue messages a shard handles between depth-gauge updates.
+const GAUGE_EVERY: u64 = 256;
+
+/// One shard task: owns the detector for its slice of the armed
+/// intervals and replays released records in global time order.
+pub(crate) struct Shard {
+    pub id: usize,
+    pub rx: Receiver<ShardMsg>,
+    pub depth: Arc<AtomicU64>,
+    pub detector: RealtimeDetector,
+    pub streams: usize,
+    pub state: Arc<Mutex<ServeState>>,
+    /// Seconds past the last observed timestamp the drain advances the
+    /// detector clock, firing every remaining deadline.
+    pub drain_grace: u64,
+}
+
+impl Shard {
+    /// Builds a detector armed with the interval subset hashed to `id`.
+    pub fn detector_for(
+        id: usize,
+        shards: usize,
+        intervals: &[BeaconInterval],
+        options: ClassifyOptions,
+        resurrection_window: Option<u64>,
+    ) -> RealtimeDetector {
+        let mut detector = RealtimeDetector::new(options);
+        if let Some(secs) = resurrection_window {
+            detector = detector.with_resurrection_window(secs);
+        }
+        detector.arm_intervals(
+            intervals
+                .iter()
+                .filter(|iv| shard_of(&iv.prefix, shards) == id)
+                .copied(),
+        );
+        detector
+    }
+
+    pub fn run(mut self) {
+        let _span = bgpz_obs::span("serve::shard", "run");
+        let mut watermarks: Vec<SimTime> = vec![SimTime::ZERO; self.streams];
+        let mut flushed: Vec<bool> = vec![false; self.streams];
+        let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+        let mut max_ts = SimTime::ZERO;
+        let mut handled = 0u64;
+        let gauge_name = format!("shard{}_depth", self.id);
+        while let Ok(msg) = self.rx.recv() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            match msg {
+                ShardMsg::Record {
+                    stream,
+                    seq,
+                    record,
+                } => {
+                    let ts = record.timestamp;
+                    advance_mark(&mut watermarks, stream, ts);
+                    max_ts = max_ts.max(ts);
+                    heap.push(Reverse(Pending {
+                        key: (ts, stream, seq),
+                        record,
+                    }));
+                }
+                ShardMsg::Watermark { stream, ts } => {
+                    advance_mark(&mut watermarks, stream, ts);
+                    max_ts = max_ts.max(ts);
+                }
+                ShardMsg::Flush { stream } => {
+                    if let Some(f) = flushed.get_mut(stream) {
+                        *f = true;
+                    }
+                }
+            }
+            self.release(&mut heap, min_watermark(&watermarks, &flushed));
+            handled += 1;
+            if handled.is_multiple_of(GAUGE_EVERY) {
+                bgpz_obs::metrics::gauge(
+                    "serve::queue",
+                    &gauge_name,
+                    self.depth.load(Ordering::Relaxed),
+                );
+            }
+        }
+        // Every sender hung up: drain whatever is buffered, then fire the
+        // remaining deadlines well past the last observed instant.
+        self.release(&mut heap, SimTime(u64::MAX));
+        let horizon = SimTime(max_ts.secs().saturating_add(self.drain_grace));
+        let events = self.detector.advance(horizon);
+        self.apply(events);
+        bgpz_obs::metrics::gauge("serve::queue", &gauge_name, 0);
+        bgpz_obs::debug!(
+            target: "serve::shard",
+            "shard {} drained ({} deadlines pending)",
+            self.id,
+            self.detector.pending()
+        );
+    }
+
+    /// Releases buffered records whose timestamp every live stream has
+    /// passed, in `(ts, stream, seq)` order.
+    fn release(&mut self, heap: &mut BinaryHeap<Reverse<Pending>>, min: SimTime) {
+        while heap.peek().is_some_and(|Reverse(p)| p.key.0 <= min) {
+            let Some(Reverse(pending)) = heap.pop() else {
+                break;
+            };
+            let events = self.detector.push(&pending.record);
+            self.apply(events);
+        }
+    }
+
+    fn apply(&self, events: Vec<RealtimeEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        bgpz_obs::metrics::counter("serve::shard", "events", events.len() as u64);
+        let mut state = self.state.lock();
+        for event in &events {
+            state.apply(event);
+        }
+    }
+}
+
+fn advance_mark(watermarks: &mut [SimTime], stream: usize, ts: SimTime) {
+    if let Some(mark) = watermarks.get_mut(stream) {
+        *mark = (*mark).max(ts);
+    }
+}
+
+/// The earliest timestamp any live stream could still deliver; `MAX`
+/// once every stream has flushed.
+fn min_watermark(watermarks: &[SimTime], flushed: &[bool]) -> SimTime {
+    watermarks
+        .iter()
+        .zip(flushed)
+        .filter(|(_, f)| !**f)
+        .map(|(w, _)| *w)
+        .min()
+        .unwrap_or(SimTime(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_deterministic_and_total() {
+        let prefixes = ["2001:7fb:fe00::/48", "2001:7fb:fe01::/48", "84.205.64.0/24"];
+        for shards in [1usize, 2, 7] {
+            for p in prefixes {
+                let prefix: Prefix = p.parse().unwrap();
+                let a = shard_of(&prefix, shards);
+                assert_eq!(a, shard_of(&prefix, shards));
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn min_watermark_ignores_flushed_streams() {
+        let marks = vec![SimTime(10), SimTime(5), SimTime(99)];
+        assert_eq!(min_watermark(&marks, &[false, false, false]), SimTime(5));
+        assert_eq!(min_watermark(&marks, &[false, true, false]), SimTime(10));
+        assert_eq!(
+            min_watermark(&marks, &[true, true, true]),
+            SimTime(u64::MAX)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # bgpz-serve
+//!
+//! `bgpz serve`: the paper's §6 "future work" — continuous zombie
+//! monitoring — run as a long-lived service instead of a batch job.
+//!
+//! Many simulated collector streams are ingested concurrently on a
+//! bounded mpsc event loop: one ingest worker per group of streams, one
+//! shard task per slice of the armed beacon intervals, each shard owning
+//! a [`bgpz_core::RealtimeDetector`] and a reorder buffer that replays
+//! records in global time order (see [`ingest`] for the parity
+//! argument). Every [`bgpz_core::RealtimeEvent`] — zombie, resurrection,
+//! stale peer — folds into one canonical [`ServeState`], queried over a
+//! minimal std-only HTTP/JSON API ([`http`]) whose hot-path responses
+//! are cached and invalidated by state version.
+//!
+//! Backpressure is explicit (bounded queues; [`OverloadPolicy::Shed`]
+//! drops-and-counts under overload), shutdown drains gracefully, and the
+//! whole pipeline is instrumented through `bgpz-obs`: ingest and query
+//! latency histograms, queue-depth gauges, cache hit counters.
+//!
+//! Fed the same records, the daemon's zombie set is byte-for-byte the
+//! batch pipeline's — at any worker or shard count. The serve smoke in
+//! `scripts/ci.sh` and the `tests/parity.rs` suite hold it to that.
+
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod ingest;
+pub mod server;
+pub mod state;
+
+pub use ingest::OverloadPolicy;
+pub use server::{split_streams, ServeConfig, ServeSummary, Server};
+pub use state::{PeerHealth, ResurrectionEntry, ServeState, ZombieEntry};

@@ -1,0 +1,268 @@
+//! Wiring: streams → ingest workers → shard queues → shared state →
+//! HTTP, plus the graceful drain that proves parity with the batch
+//! pipeline.
+
+use crate::http::HttpServer;
+use crate::ingest::{IngestWorker, OverloadPolicy, Shard, ShardSender};
+use crate::state::ServeState;
+use bgpz_core::scan::PeerId;
+use bgpz_core::{BeaconInterval, ClassifyOptions};
+use bgpz_mrt::{MrtBody, MrtReader, MrtRecord, MrtWriter};
+use bgpz_types::SimTime;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Daemon tuning knobs. `Default` is a small single-worker deployment;
+/// raise `workers`/`shards` to scale ingest.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent ingest workers (streams are split between them).
+    pub workers: usize,
+    /// Detector shards (armed intervals are hashed across them).
+    pub shards: usize,
+    /// Bound of each shard queue — the explicit backpressure budget.
+    pub queue_capacity: usize,
+    /// What a full shard queue does (block by default; shed-and-count
+    /// for overload experiments).
+    pub overload: OverloadPolicy,
+    /// Detection options, shared with the batch pipeline.
+    pub options: ClassifyOptions,
+    /// Override of the detector's post-deadline resurrection window.
+    pub resurrection_window: Option<u64>,
+    /// Idle seconds before the drain sweep flags a peer stale.
+    pub staleness_window: Option<u64>,
+    /// Seconds past the last observed timestamp the drain advances the
+    /// detector clocks (fires every remaining deadline).
+    pub drain_grace: u64,
+    /// Bind address for the HTTP API (port 0 picks a free port).
+    pub bind: SocketAddr,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            shards: 2,
+            queue_capacity: 1_024,
+            overload: OverloadPolicy::Block,
+            options: ClassifyOptions::default(),
+            resurrection_window: None,
+            staleness_window: None,
+            drain_grace: 24 * 3_600,
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+        }
+    }
+}
+
+/// What a completed run looked like (returned by [`Server::shutdown`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Zombie routes detected.
+    pub zombies: usize,
+    /// Live resurrections detected.
+    pub resurrections: usize,
+    /// Peers observed.
+    pub peers: usize,
+    /// Records ingested.
+    pub records: u64,
+    /// Records shed under overload.
+    pub shed: u64,
+}
+
+/// The running daemon.
+pub struct Server {
+    state: Arc<Mutex<ServeState>>,
+    http: HttpServer,
+    ingest: Vec<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    staleness_window: Option<u64>,
+    drained: bool,
+}
+
+impl Server {
+    /// Boots the full pipeline: shard tasks, ingest workers over
+    /// `streams`, and the HTTP front end on `config.bind`.
+    pub fn start(
+        config: &ServeConfig,
+        intervals: Vec<BeaconInterval>,
+        streams: Vec<Bytes>,
+    ) -> std::io::Result<Server> {
+        let _span = bgpz_obs::span("serve", "start");
+        let shard_count = config.shards.max(1);
+        let worker_count = config.workers.max(1);
+        let state = Arc::new(Mutex::new(ServeState::default()));
+        // Debug, not info: operational logs stay on stderr so the
+        // daemon's stdout remains canonical artifact output.
+        bgpz_obs::debug!(
+            target: "serve",
+            "starting: {} streams, {} workers, {} shards, queue bound {}",
+            streams.len(),
+            worker_count,
+            shard_count,
+            config.queue_capacity
+        );
+
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut shard_handles = Vec::with_capacity(shard_count);
+        for id in 0..shard_count {
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+            let depth = Arc::new(AtomicU64::new(0));
+            senders.push(ShardSender {
+                tx,
+                depth: Arc::clone(&depth),
+            });
+            let shard = Shard {
+                id,
+                rx,
+                depth,
+                detector: Shard::detector_for(
+                    id,
+                    shard_count,
+                    &intervals,
+                    config.options.clone(),
+                    config.resurrection_window,
+                ),
+                streams: streams.len(),
+                state: Arc::clone(&state),
+                drain_grace: config.drain_grace,
+            };
+            shard_handles.push(std::thread::spawn(move || shard.run()));
+        }
+
+        // Streams round-robin across workers; each stream has exactly one
+        // owner, so per-stream order survives.
+        let mut per_worker: Vec<Vec<(usize, Bytes)>> =
+            (0..worker_count).map(|_| Vec::new()).collect();
+        for (stream_id, data) in streams.into_iter().enumerate() {
+            if let Some(bucket) = per_worker.get_mut(stream_id % worker_count) {
+                bucket.push((stream_id, data));
+            }
+        }
+        let mut ingest = Vec::with_capacity(worker_count);
+        for bucket in per_worker {
+            let worker = IngestWorker {
+                streams: bucket,
+                senders: senders.clone(),
+                policy: config.overload,
+                shards: shard_count,
+                state: Arc::clone(&state),
+            };
+            ingest.push(std::thread::spawn(move || worker.run()));
+        }
+        drop(senders);
+
+        let listener = TcpListener::bind(config.bind)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let http = HttpServer::start(listener, Arc::clone(&state), shutdown)?;
+        Ok(Server {
+            state,
+            http,
+            ingest,
+            shards: shard_handles,
+            staleness_window: config.staleness_window,
+            drained: false,
+        })
+    }
+
+    /// The HTTP API's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// A handle on the shared state (tests and in-process queries).
+    pub fn state(&self) -> Arc<Mutex<ServeState>> {
+        Arc::clone(&self.state)
+    }
+
+    /// True once a client has POSTed `/shutdown`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.http.shutdown_requested()
+    }
+
+    /// Blocks until every stream is ingested and every shard has fired
+    /// its remaining deadlines — after this, query responses are final.
+    pub fn drain(&mut self) {
+        if self.drained {
+            return;
+        }
+        let _span = bgpz_obs::span("serve", "drain");
+        for handle in self.ingest.drain(..) {
+            if handle.join().is_err() {
+                bgpz_obs::error!(target: "serve", "ingest worker panicked");
+            }
+        }
+        for handle in self.shards.drain(..) {
+            if handle.join().is_err() {
+                bgpz_obs::error!(target: "serve", "shard task panicked");
+            }
+        }
+        if let Some(window) = self.staleness_window {
+            // The sweep instant is the feed's own end of time — the
+            // latest activity any peer showed — so a peer is stale when
+            // it went quiet more than `window` seconds before the feed
+            // ended. Simulated time, never the wall clock.
+            let mut state = self.state.lock();
+            let now = SimTime(state.latest_activity().secs().saturating_add(1));
+            state.sweep_stale(now, window);
+        }
+        self.drained = true;
+        bgpz_obs::debug!(target: "serve", "drain complete");
+    }
+
+    /// Drains, stops the HTTP front end, and reports the run.
+    pub fn shutdown(mut self) -> ServeSummary {
+        self.drain();
+        self.http.stop();
+        let state = self.state.lock();
+        ServeSummary {
+            zombies: state.zombie_count(),
+            resurrections: state.resurrection_count(),
+            peers: state.peer_count(),
+            records: state.records(),
+            shed: state.shed(),
+        }
+    }
+}
+
+/// Splits one merged collector archive into `n` per-peer streams: every
+/// record of one peer router lands in one stream, in archive order —
+/// the ingest invariant the shard reorder buffer builds on. Records
+/// without a session header follow stream 0.
+pub fn split_streams(updates: Bytes, n: usize) -> Vec<Bytes> {
+    let n = n.max(1);
+    let mut writers: Vec<MrtWriter> = (0..n).map(|_| MrtWriter::new()).collect();
+    let mut reader = MrtReader::new(updates);
+    while let Some(record) = reader.next_record() {
+        let slot = stream_of(&record, n);
+        if let Some(writer) = writers.get_mut(slot) {
+            writer.push(&record);
+        }
+    }
+    writers.into_iter().map(MrtWriter::finish).collect()
+}
+
+/// Deterministic peer→stream routing (FNV-1a over the peer address).
+fn stream_of(record: &MrtRecord, n: usize) -> usize {
+    let peer = match &record.body {
+        MrtBody::Message(msg) => Some(PeerId {
+            addr: msg.session.peer_ip,
+            asn: msg.session.peer_as,
+        }),
+        MrtBody::StateChange(change) => Some(PeerId {
+            addr: change.session.peer_ip,
+            asn: change.session.peer_as,
+        }),
+        _ => None,
+    };
+    let Some(peer) = peer else { return 0 };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in peer.addr.to_string().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    (h % n as u64) as usize
+}

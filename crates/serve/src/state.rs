@@ -1,0 +1,415 @@
+//! The daemon's shared monitoring state: every shard's
+//! [`RealtimeEvent`]s fold into one canonical view, queried by the HTTP
+//! layer.
+//!
+//! All collections are B-tree keyed, so every rendered response body is
+//! byte-identical regardless of how many ingest workers or shards
+//! produced the events — the serve-side face of the workspace's
+//! determinism contract. A monotonically increasing `version` stamps
+//! each mutation; the HTTP response cache compares versions instead of
+//! re-rendering on every query.
+
+use bgpz_core::realtime::RealtimeEvent;
+use bgpz_core::scan::PeerId;
+use bgpz_types::{Prefix, SimTime};
+use serde_json::json;
+use std::collections::BTreeMap;
+
+/// Canonical key of a route-level event: `(prefix, interval start, peer)`.
+pub type RouteKey = (Prefix, SimTime, PeerId);
+
+/// One detected zombie route, as surfaced by `GET /zombies`.
+#[derive(Debug, Clone)]
+pub struct ZombieEntry {
+    /// The withdrawal the route failed to honor.
+    pub withdrawn_at: SimTime,
+    /// The stuck AS path, rendered.
+    pub path: String,
+    /// Decoded Aggregator clock, if the route carried one.
+    pub aggregator_time: Option<SimTime>,
+    /// True if the clock shows the route predates the interval.
+    pub is_duplicate: bool,
+    /// Seconds stuck at detection time.
+    pub lifespan_so_far: u64,
+    /// When the detection fired.
+    pub detected_at: SimTime,
+}
+
+/// One live resurrection, as surfaced by `GET /zombies` (`resurrections`).
+#[derive(Debug, Clone)]
+pub struct ResurrectionEntry {
+    /// The withdrawal the resurrected route ignores.
+    pub withdrawn_at: SimTime,
+    /// The resurrected AS path, rendered.
+    pub path: String,
+    /// Seconds after the withdrawal the route came back.
+    pub lifespan_so_far: u64,
+    /// When the late announcement arrived.
+    pub detected_at: SimTime,
+}
+
+/// Per-peer feed health, as surfaced by `GET /peers`.
+#[derive(Debug, Clone, Default)]
+pub struct PeerHealth {
+    /// Latest observed activity of any kind.
+    pub last_seen: SimTime,
+    /// Zombie routes detected at this peer.
+    pub zombies: u64,
+    /// Live resurrections at this peer.
+    pub resurrections: u64,
+    /// True while the peer is past the armed staleness window.
+    pub stale: bool,
+}
+
+/// The daemon's aggregate view. One instance, shared behind a lock;
+/// shards batch their events in, queries render out.
+#[derive(Debug, Default)]
+pub struct ServeState {
+    zombies: BTreeMap<RouteKey, ZombieEntry>,
+    resurrections: BTreeMap<RouteKey, ResurrectionEntry>,
+    /// Lifespan-so-far samples from every route-level event, unsorted.
+    lifespans: Vec<u64>,
+    peers: BTreeMap<PeerId, PeerHealth>,
+    records: u64,
+    shed: u64,
+    version: u64,
+}
+
+/// The `q`-th percentile (0.0..=1.0) of a sorted sample set, by the
+/// nearest-rank method (matches `bgpz_obs::metrics::Histogram::quantile`).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted.get(rank - 1).copied().unwrap_or_default()
+}
+
+impl ServeState {
+    /// Folds one detector event in. This is the single write path — the
+    /// daemon, the drain sweep, and the tests all speak [`RealtimeEvent`].
+    pub fn apply(&mut self, event: &RealtimeEvent) {
+        match event {
+            RealtimeEvent::ZombieDetected {
+                prefix,
+                interval_start,
+                withdrawn_at,
+                peer,
+                path,
+                aggregator_time,
+                is_duplicate,
+                lifespan_so_far,
+                detected_at,
+            } => {
+                self.zombies.insert(
+                    (*prefix, *interval_start, *peer),
+                    ZombieEntry {
+                        withdrawn_at: *withdrawn_at,
+                        path: path.to_string(),
+                        aggregator_time: *aggregator_time,
+                        is_duplicate: *is_duplicate,
+                        lifespan_so_far: *lifespan_so_far,
+                        detected_at: *detected_at,
+                    },
+                );
+                self.lifespans.push(*lifespan_so_far);
+                let health = self.peers.entry(*peer).or_default();
+                health.zombies += 1;
+                self.touch(*peer, *detected_at);
+            }
+            RealtimeEvent::Resurrected {
+                prefix,
+                interval_start,
+                withdrawn_at,
+                peer,
+                path,
+                lifespan_so_far,
+                detected_at,
+            } => {
+                self.resurrections.insert(
+                    (*prefix, *interval_start, *peer),
+                    ResurrectionEntry {
+                        withdrawn_at: *withdrawn_at,
+                        path: path.to_string(),
+                        lifespan_so_far: *lifespan_so_far,
+                        detected_at: *detected_at,
+                    },
+                );
+                self.lifespans.push(*lifespan_so_far);
+                let health = self.peers.entry(*peer).or_default();
+                health.resurrections += 1;
+                self.touch(*peer, *detected_at);
+            }
+            RealtimeEvent::PeerStale {
+                peer, last_seen, ..
+            } => {
+                let health = self.peers.entry(*peer).or_default();
+                health.last_seen = health.last_seen.max(*last_seen);
+                health.stale = true;
+                self.version += 1;
+            }
+        }
+    }
+
+    /// Notes feed activity (ingest workers report in batches). Fresh
+    /// activity clears a standing stale flag.
+    pub fn note_activity(&mut self, peer: PeerId, seen: SimTime) {
+        let health = self.peers.entry(peer).or_default();
+        if seen > health.last_seen {
+            health.last_seen = seen;
+            health.stale = false;
+        }
+        self.version += 1;
+    }
+
+    /// Counts ingested records (ingest workers report in batches).
+    pub fn note_records(&mut self, n: u64) {
+        self.records += n;
+    }
+
+    /// Counts shed records (overload policy `Shed` dropped them).
+    pub fn note_shed(&mut self, n: u64) {
+        self.shed += n;
+        self.version += 1;
+    }
+
+    /// Flags peers silent for more than `window` seconds at `now`,
+    /// routing each through the uniform [`RealtimeEvent::PeerStale`]
+    /// path. Returns how many were flagged.
+    pub fn sweep_stale(&mut self, now: SimTime, window: u64) -> usize {
+        let idle: Vec<(PeerId, SimTime)> = self
+            .peers
+            .iter()
+            .filter(|(_, h)| !h.stale && now.secs().saturating_sub(h.last_seen.secs()) > window)
+            .map(|(&peer, h)| (peer, h.last_seen))
+            .collect();
+        for &(peer, last_seen) in &idle {
+            self.apply(&RealtimeEvent::PeerStale {
+                peer,
+                last_seen,
+                detected_at: now,
+            });
+        }
+        idle.len()
+    }
+
+    fn touch(&mut self, peer: PeerId, seen: SimTime) {
+        let health = self.peers.entry(peer).or_default();
+        health.last_seen = health.last_seen.max(seen);
+        self.version += 1;
+    }
+
+    /// The latest activity instant any peer has shown — the feed's own
+    /// end of time, used as the drain staleness sweep's `now`.
+    pub fn latest_activity(&self) -> SimTime {
+        self.peers
+            .values()
+            .map(|h| h.last_seen)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The mutation stamp the response cache compares against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total records ingested.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total records shed under overload.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Current zombie-route count.
+    pub fn zombie_count(&self) -> usize {
+        self.zombies.len()
+    }
+
+    /// Current resurrection count.
+    pub fn resurrection_count(&self) -> usize {
+        self.resurrections.len()
+    }
+
+    /// Known peer count.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Canonical `(prefix, interval start, peer address)` keys of the
+    /// zombie set — the byte-comparable parity handle the smoke checks
+    /// diff against the batch pipeline.
+    pub fn zombie_keys(&self) -> Vec<(Prefix, SimTime, String)> {
+        self.zombies
+            .keys()
+            .map(|&(prefix, start, peer)| (prefix, start, peer.addr.to_string()))
+            .collect()
+    }
+
+    /// Renders `GET /zombies`.
+    pub fn render_zombies(&self) -> String {
+        let zombies: Vec<_> = self
+            .zombies
+            .iter()
+            .map(|(&(prefix, start, peer), z)| {
+                json!({
+                    "prefix": prefix.to_string(),
+                    "interval_start": start.secs(),
+                    "withdrawn_at": z.withdrawn_at.secs(),
+                    "peer": peer.addr.to_string(),
+                    "peer_asn": peer.asn.0,
+                    "path": z.path,
+                    "aggregator_time": z.aggregator_time.map(SimTime::secs),
+                    "is_duplicate": z.is_duplicate,
+                    "lifespan_so_far": z.lifespan_so_far,
+                    "detected_at": z.detected_at.secs(),
+                })
+            })
+            .collect();
+        let resurrections: Vec<_> = self
+            .resurrections
+            .iter()
+            .map(|(&(prefix, start, peer), r)| {
+                json!({
+                    "prefix": prefix.to_string(),
+                    "interval_start": start.secs(),
+                    "withdrawn_at": r.withdrawn_at.secs(),
+                    "peer": peer.addr.to_string(),
+                    "peer_asn": peer.asn.0,
+                    "path": r.path,
+                    "lifespan_so_far": r.lifespan_so_far,
+                    "detected_at": r.detected_at.secs(),
+                })
+            })
+            .collect();
+        json!({
+            "count": zombies.len(),
+            "zombies": zombies,
+            "resurrection_count": resurrections.len(),
+            "resurrections": resurrections,
+        })
+        .to_string()
+    }
+
+    /// Renders `GET /lifespans`: nearest-rank percentiles over every
+    /// route-level event's lifespan-so-far.
+    pub fn render_lifespans(&self) -> String {
+        let mut sorted = self.lifespans.clone();
+        sorted.sort_unstable();
+        json!({
+            "count": sorted.len(),
+            "p50": percentile(&sorted, 0.50),
+            "p90": percentile(&sorted, 0.90),
+            "p99": percentile(&sorted, 0.99),
+            "max": sorted.last().copied().unwrap_or_default(),
+        })
+        .to_string()
+    }
+
+    /// Renders `GET /peers`.
+    pub fn render_peers(&self) -> String {
+        let peers: Vec<_> = self
+            .peers
+            .iter()
+            .map(|(peer, h)| {
+                json!({
+                    "addr": peer.addr.to_string(),
+                    "asn": peer.asn.0,
+                    "last_seen": h.last_seen.secs(),
+                    "zombies": h.zombies,
+                    "resurrections": h.resurrections,
+                    "stale": h.stale,
+                })
+            })
+            .collect();
+        json!({ "count": peers.len(), "peers": peers }).to_string()
+    }
+
+    /// Renders `GET /healthz`.
+    pub fn render_health(&self) -> String {
+        json!({
+            "status": "ok",
+            "version": self.version,
+            "records": self.records,
+            "shed": self.shed,
+            "zombies": self.zombies.len(),
+            "resurrections": self.resurrections.len(),
+            "peers": self.peers.len(),
+        })
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpz_types::{AsPath, Asn};
+    use std::sync::Arc;
+
+    fn peer(n: u32) -> PeerId {
+        PeerId {
+            addr: format!("2001:db8:90::{n}").parse().unwrap(),
+            asn: Asn(64_000 + n),
+        }
+    }
+
+    fn zombie(n: u32, at: u64) -> RealtimeEvent {
+        RealtimeEvent::ZombieDetected {
+            prefix: "2001:7fb:fe00::/48".parse().unwrap(),
+            interval_start: SimTime(at),
+            withdrawn_at: SimTime(at + 600),
+            peer: peer(n),
+            path: Arc::new(AsPath::from_sequence([64_000 + n, 12_654])),
+            aggregator_time: None,
+            is_duplicate: false,
+            lifespan_so_far: 5_400,
+            detected_at: SimTime(at + 6_000),
+        }
+    }
+
+    #[test]
+    fn apply_bumps_version_and_folds_counters() {
+        let mut state = ServeState::default();
+        let v0 = state.version();
+        state.apply(&zombie(1, 0));
+        state.apply(&zombie(2, 0));
+        assert!(state.version() > v0);
+        assert_eq!(state.zombie_count(), 2);
+        assert_eq!(state.peer_count(), 2);
+        assert_eq!(state.zombie_keys().len(), 2);
+        // Re-detecting the same key is idempotent on the set.
+        state.apply(&zombie(1, 0));
+        assert_eq!(state.zombie_count(), 2);
+    }
+
+    #[test]
+    fn stale_sweep_flags_once_and_activity_rearms() {
+        let mut state = ServeState::default();
+        state.note_activity(peer(1), SimTime(100));
+        assert_eq!(state.sweep_stale(SimTime(10_000), 3_600), 1);
+        assert_eq!(state.sweep_stale(SimTime(10_000), 3_600), 0);
+        state.note_activity(peer(1), SimTime(10_050));
+        assert_eq!(state.sweep_stale(SimTime(10_100), 3_600), 0);
+        assert_eq!(state.sweep_stale(SimTime(20_000), 3_600), 1);
+    }
+
+    #[test]
+    fn renders_are_canonical_json() {
+        let mut state = ServeState::default();
+        state.apply(&zombie(2, 0));
+        state.apply(&zombie(1, 0));
+        let body = state.render_zombies();
+        // BTreeMap keying: peer 1 renders before peer 2 regardless of
+        // apply order.
+        let one = body.find("64001").unwrap();
+        let two = body.find("64002").unwrap();
+        assert!(one < two);
+        let lifespans: serde_json::Value = serde_json::from_str(&state.render_lifespans()).unwrap();
+        assert_eq!(lifespans["count"], 2);
+        assert_eq!(lifespans["p50"], 5_400);
+        assert_eq!(lifespans["p99"], 5_400);
+    }
+}

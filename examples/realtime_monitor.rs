@@ -15,7 +15,7 @@ use bgp_zombies::netsim::{EpisodeEnd, FaultPlan, Simulator, Tier, Topology};
 use bgp_zombies::ris::{Collector, RisConfig, RisNetwork, RisPeerSpec};
 use bgp_zombies::types::time::{HOUR, MINUTE};
 use bgp_zombies::types::{Asn, SimTime};
-use bgp_zombies::zombies::realtime::{RealtimeDetector, ZombieAlert};
+use bgp_zombies::zombies::realtime::{RealtimeDetector, RealtimeEvent};
 use bgp_zombies::zombies::{intervals_from_schedule, ClassifyOptions};
 
 const ORIGIN: Asn = Asn(210_312);
@@ -77,8 +77,12 @@ fn main() {
     let archive = network.finish();
 
     // --- the live side -------------------------------------------------
-    let mut detector = RealtimeDetector::new(ClassifyOptions::default());
-    detector.expect_all(intervals_from_schedule(&schedule));
+    // Fluent construction: widen the resurrection window to the paper's
+    // 3-hour sweep ceiling and flag peers dark for more than an hour.
+    let mut detector = RealtimeDetector::new(ClassifyOptions::default())
+        .with_resurrection_window(3 * HOUR)
+        .with_staleness_window(HOUR);
+    detector.arm_intervals(intervals_from_schedule(&schedule));
     println!("# monitoring the feed (threshold 90 min) ...");
     let mut reader = MrtReader::new(archive.updates.clone());
     let mut last = SimTime::ZERO;
@@ -86,38 +90,53 @@ fn main() {
     let mut resurrection_count = 0;
     while let Some(record) = reader.next_record() {
         last = record.timestamp;
-        for alert in detector.push(&record) {
-            match alert {
-                ZombieAlert::Zombie {
+        for event in detector.push(&record) {
+            match event {
+                RealtimeEvent::ZombieDetected {
                     prefix,
                     peer,
                     path,
+                    lifespan_so_far,
                     detected_at,
                     ..
                 } => {
                     zombie_count += 1;
-                    println!("[{detected_at}] ZOMBIE       {prefix} at {peer} via [{path}]");
+                    println!(
+                        "[{detected_at}] ZOMBIE       {prefix} at {peer} via [{path}] \
+                         (stuck {} min)",
+                        lifespan_so_far / 60
+                    );
                 }
-                ZombieAlert::Resurrection {
+                RealtimeEvent::Resurrected {
                     prefix,
                     peer,
                     path,
+                    lifespan_so_far,
                     detected_at,
                     ..
                 } => {
                     resurrection_count += 1;
-                    println!("[{detected_at}] RESURRECTION {prefix} at {peer} via [{path}]");
+                    println!(
+                        "[{detected_at}] RESURRECTION {prefix} at {peer} via [{path}] \
+                         ({} min after withdrawal)",
+                        lifespan_so_far / 60
+                    );
+                }
+                RealtimeEvent::PeerStale {
+                    peer, last_seen, ..
+                } => {
+                    println!("# peer {peer} silent since {last_seen}");
                 }
             }
         }
     }
-    for alert in detector.advance(last + 4 * HOUR) {
-        if let ZombieAlert::Zombie {
+    for event in detector.advance(last + 4 * HOUR) {
+        if let RealtimeEvent::ZombieDetected {
             prefix,
             peer,
             detected_at,
             ..
-        } = alert
+        } = event
         {
             zombie_count += 1;
             println!("[{detected_at}] ZOMBIE       {prefix} at {peer}");

@@ -5,20 +5,29 @@
 #     prefilter, writing BENCH_scan.json (records/sec, bytes/sec, speedup)
 #   * cache_bench — cold (simulate + frame + store) vs warm (load)
 #     substrate acquisition through bgpz-cache, writing BENCH_cache.json
+#   * serve_bench — the `bgpz serve` daemon under synthesized peer-stream
+#     fleets and concurrent HTTP query load, writing BENCH_serve.json
+#     (ingest throughput, p50/p90/p99 query latency, zombie-set digest)
 #
 #   scripts/bench.sh                  # bench-scale timing runs
 #   scripts/bench.sh --scale quick    # bigger archive
 #   scripts/bench.sh --smoke          # CI mode: tiny iterations that
-#                                     # assert indexed == eager counts and
+#                                     # assert indexed == eager counts,
 #                                     # warm == cold == disabled bundles,
-#                                     # no timing, no JSON
+#                                     # and serve == batch zombie sets;
+#                                     # no timing
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
   cargo run --release -q -p bgpz-bench --bin scan_bench -- --smoke --scale bench
   cargo run --release -q -p bgpz-bench --bin cache_bench -- --smoke --scale bench
+  cargo run --release -q -p bgpz-bench --bin serve_bench -- --smoke --scale bench
+  # The smoke run still writes BENCH_serve.json; the digest line is the
+  # cross-run determinism contract.
+  grep -q '"digest_match": true' BENCH_serve.json
 else
   cargo run --release -q -p bgpz-bench --bin scan_bench -- "$@"
   cargo run --release -q -p bgpz-bench --bin cache_bench -- "$@"
+  cargo run --release -q -p bgpz-bench --bin serve_bench -- "$@"
 fi

@@ -18,3 +18,15 @@ cargo run --release -q -p bgpz-cli -- simulate --out "$CACHE_SMOKE_DIR/cold" \
 cargo run --release -q -p bgpz-cli -- simulate --out "$CACHE_SMOKE_DIR/warm" \
   --scale bench --seed 7 --cache-dir "$CACHE_SMOKE_DIR/cache"
 diff -r "$CACHE_SMOKE_DIR/cold" "$CACHE_SMOKE_DIR/warm"
+# Serve smoke: the daemon replayed over the cached world must answer
+# every endpoint over real HTTP, report the exact zombie set the batch
+# `detect` pipeline finds (asserted in-process by --smoke), and shut
+# down cleanly — byte-identically at 1 and 8 ingest workers.
+SERVE_ORIGIN="$(sed -n 's/^beacon-origins=\([0-9]*\).*/\1/p' "$CACHE_SMOKE_DIR/warm/manifest.txt")"
+cargo run --release -q -p bgpz-cli -- serve --updates "$CACHE_SMOKE_DIR/warm/updates.mrt" \
+  --beacon-origin "$SERVE_ORIGIN" --smoke --streams 8 --workers 1 > "$CACHE_SMOKE_DIR/serve-w1.txt"
+cargo run --release -q -p bgpz-cli -- serve --updates "$CACHE_SMOKE_DIR/warm/updates.mrt" \
+  --beacon-origin "$SERVE_ORIGIN" --smoke --streams 8 --workers 8 > "$CACHE_SMOKE_DIR/serve-w8.txt"
+diff "$CACHE_SMOKE_DIR/serve-w1.txt" "$CACHE_SMOKE_DIR/serve-w8.txt"
+grep -q "parity ok" "$CACHE_SMOKE_DIR/serve-w1.txt"
+grep -q "clean shutdown" "$CACHE_SMOKE_DIR/serve-w1.txt"

@@ -53,3 +53,6 @@ pub use bgpz_obs as obs;
 
 /// Content-addressed substrate cache (warm runs skip simulation).
 pub use bgpz_cache as cache;
+
+/// The long-running monitoring service (`bgpz serve`).
+pub use bgpz_serve as serve;
