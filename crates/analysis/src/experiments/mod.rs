@@ -247,6 +247,7 @@ impl<'c> BundleBuilder<'c> {
     /// by construction).
     pub fn replication(&self) -> ReplicationBundle {
         let _span = bgpz_obs::span("analysis::bundle", "replication");
+        let trace0 = bgpz_obs::trace::enabled().then(bgpz_obs::trace::now_us);
         let scale = &self.scale;
         let seed = self.seed;
         let cache = self.cache;
@@ -281,27 +282,40 @@ impl<'c> BundleBuilder<'c> {
             let result = scan_indexed(&index, &intervals, SCAN_WINDOW, scan_jobs);
             (run, result)
         };
-        if self.jobs <= 1 {
-            return ReplicationBundle {
+        let bundle = if self.jobs <= 1 {
+            ReplicationBundle {
                 runs: periods.iter().map(|period| build(period, 1)).collect(),
-            };
+            }
+        } else {
+            // Periods run concurrently; each period's scan gets a share
+            // of the job budget.
+            let scan_jobs = self.jobs.div_ceil(periods.len().max(1));
+            let runs = crossbeam::thread::scope(|s| {
+                let build = &build;
+                let handles: Vec<_> = periods
+                    .iter()
+                    .map(|period| s.spawn(move |_| build(period, scan_jobs)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|panic| resume_unwind(panic)))
+                    .collect()
+            })
+            .unwrap_or_else(|panic| resume_unwind(panic));
+            ReplicationBundle { runs }
+        };
+        if let Some(t0) = trace0 {
+            bgpz_obs::trace::emit(
+                "analysis::bundle",
+                "replication_build",
+                5_000,
+                bgpz_obs::trace::TraceCtx::root("bundle", 0, seed),
+                t0,
+                bgpz_obs::trace::now_us().saturating_sub(t0),
+            );
+            bgpz_obs::trace::flush_thread();
         }
-        // Periods run concurrently; each period's scan gets a share of
-        // the job budget.
-        let scan_jobs = self.jobs.div_ceil(periods.len().max(1));
-        let runs = crossbeam::thread::scope(|s| {
-            let build = &build;
-            let handles: Vec<_> = periods
-                .iter()
-                .map(|period| s.spawn(move |_| build(period, scan_jobs)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|panic| resume_unwind(panic)))
-                .collect()
-        })
-        .unwrap_or_else(|panic| resume_unwind(panic));
-        ReplicationBundle { runs }
+        bundle
     }
 
     /// Runs the beacon study and scans it. The simulation itself is one
@@ -309,6 +323,7 @@ impl<'c> BundleBuilder<'c> {
     /// path — shards across `jobs`.
     pub fn beacon(&self) -> BeaconBundle {
         let _span = bgpz_obs::span("analysis::bundle", "beacon");
+        let trace0 = bgpz_obs::trace::enabled().then(bgpz_obs::trace::now_us);
         let scale = &self.scale;
         let seed = self.seed;
         // The cache is keyed `(scale, seed)`; the RouteViews world is a
@@ -356,6 +371,17 @@ impl<'c> BundleBuilder<'c> {
         );
         let scan_result = scan_indexed(&index, &intervals, SCAN_WINDOW, self.jobs);
         let finals = final_withdrawals(&run.schedule);
+        if let Some(t0) = trace0 {
+            bgpz_obs::trace::emit(
+                "analysis::bundle",
+                "beacon_build",
+                5_001,
+                bgpz_obs::trace::TraceCtx::root("bundle", 1, seed),
+                t0,
+                bgpz_obs::trace::now_us().saturating_sub(t0),
+            );
+            bgpz_obs::trace::flush_thread();
+        }
         BeaconBundle {
             scan: scan_result,
             intervals,

@@ -1,0 +1,414 @@
+//! `obs_check` — std-only validators for the observability artifacts the
+//! CI smoke produces: Chrome trace-event JSON (`BGPZ_TRACE`) and the
+//! Prometheus text exposition (`GET /metrics`).
+//!
+//! Subcommands (exit 0 on success, 1 on validation failure, 2 on usage
+//! errors):
+//!
+//! * `trace-validate <file>` — the file parses as Chrome trace JSON: a
+//!   `traceEvents` array of at least one complete event (`ph: "X"`)
+//!   carrying `name`/`cat`/`ts`/`dur`/`pid`/`tid` and the causal
+//!   identity (`trace`/`span`/`parent`) in `args`.
+//! * `trace-compare <a> <b>` — both traces record the same *span set*
+//!   modulo the three wall-clock fields (`ts`, `dur`, `tid`). Span
+//!   identities are content-derived from worker-count-invariant
+//!   coordinates, so a `--jobs 1` and a `--jobs 8` run over the same
+//!   input must agree on everything else.
+//! * `prom-validate <file>` — the file parses under a minimal
+//!   Prometheus 0.0.4 text-format grammar: `# HELP`/`# TYPE` comments,
+//!   metric-name and label charsets, float sample values, and a
+//!   `# TYPE` preceding every sample's family (histogram
+//!   `_bucket`/`_sum`/`_count` ride under the family's type, and
+//!   `_bucket` samples must carry an `le` label).
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Parses a Chrome trace file, checks every event's shape, and returns
+/// one canonical identity line per event — everything but `ts`, `dur`
+/// and `tid` — sorted so two runs compare as span *sets*.
+fn trace_identities(label: &str, text: &str) -> Result<Vec<String>, String> {
+    let value = serde_json::from_str(text).map_err(|e| format!("{label}: not valid JSON: {e}"))?;
+    let events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{label}: no traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!(
+            "{label}: traceEvents is empty — nothing was traced"
+        ));
+    }
+    let mut lines = Vec::with_capacity(events.len());
+    for (i, event) in events.iter().enumerate() {
+        let text_field = |key: &str| {
+            event
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{label}: event {i}: missing string field {key:?}"))
+        };
+        let numeric_field = |key: &str| {
+            event
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{label}: event {i}: missing numeric field {key:?}"))
+        };
+        let ph = text_field("ph")?;
+        if ph != "X" {
+            return Err(format!(
+                "{label}: event {i}: ph {ph:?}, want \"X\" (complete event)"
+            ));
+        }
+        let name = text_field("name")?;
+        let cat = text_field("cat")?;
+        numeric_field("ts")?;
+        numeric_field("dur")?;
+        let pid = numeric_field("pid")?;
+        numeric_field("tid")?;
+        let args = event
+            .get("args")
+            .ok_or_else(|| format!("{label}: event {i}: missing args object"))?;
+        let id_field = |key: &str| {
+            args.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{label}: event {i}: missing args.{key}"))
+        };
+        let trace = id_field("trace")?;
+        let span = id_field("span")?;
+        let parent = id_field("parent")?;
+        lines.push(format!(
+            "cat={cat} name={name} pid={pid} trace={trace} span={span} parent={parent}"
+        ));
+    }
+    lines.sort();
+    Ok(lines)
+}
+
+/// Compares two traces as identity sets; `Err` carries the first
+/// divergence.
+fn compare_traces(a: &[String], b: &[String]) -> Result<(), String> {
+    if a == b {
+        return Ok(());
+    }
+    let detail = a
+        .iter()
+        .zip(b.iter())
+        .enumerate()
+        .find(|(_, (x, y))| x != y)
+        .map(|(i, (x, y))| format!("first divergence at span {i}:\n  a: {x}\n  b: {y}"))
+        .unwrap_or_else(|| "one trace is a strict prefix of the other".to_string());
+    Err(format!(
+        "traces diverge modulo ts/dur/tid: {} vs {} spans; {detail}",
+        a.len(),
+        b.len()
+    ))
+}
+
+/// True for the Prometheus metric-name charset `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses one sample line: `name{labels} value [timestamp]`. Returns the
+/// metric name and whether an `le` label is present.
+fn parse_sample(line: &str) -> Result<(String, bool), String> {
+    let name_end = line
+        .char_indices()
+        .find(|&(i, c)| {
+            if i == 0 {
+                !(c.is_ascii_alphabetic() || c == '_' || c == ':')
+            } else {
+                !(c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            }
+        })
+        .map_or(line.len(), |(i, _)| i);
+    if name_end == 0 {
+        return Err(format!("expected a metric name, got {line:?}"));
+    }
+    let name = &line[..name_end];
+    let mut rest = &line[name_end..];
+    let mut has_le = false;
+    if let Some(open) = rest.strip_prefix('{') {
+        let mut r = open;
+        loop {
+            if let Some(after) = r.strip_prefix('}') {
+                rest = after;
+                break;
+            }
+            let key_end = r
+                .char_indices()
+                .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+                .map_or(r.len(), |(i, _)| i);
+            if key_end == 0 {
+                return Err(format!("bad label key at {r:?}"));
+            }
+            let key = &r[..key_end];
+            r = r[key_end..]
+                .strip_prefix("=\"")
+                .ok_or_else(|| format!("label {key:?}: expected =\"value\""))?;
+            // Scan the quoted value, honouring \" and \\ escapes.
+            let mut close = None;
+            let mut escaped = false;
+            for (i, c) in r.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    close = Some(i);
+                    break;
+                }
+            }
+            let close = close.ok_or_else(|| format!("label {key:?}: unterminated value"))?;
+            if key == "le" {
+                has_le = true;
+            }
+            r = &r[close + 1..];
+            r = r.strip_prefix(',').unwrap_or(r);
+        }
+    }
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| "missing sample value".to_string())?;
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("bad sample value {value:?}"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after the timestamp".to_string());
+    }
+    Ok((name.to_string(), has_le))
+}
+
+const TYPE_KINDS: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+
+/// Validates a Prometheus text exposition; returns (families, samples).
+fn validate_prometheus(label: &str, text: &str) -> Result<(usize, usize), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("{label}:{}: {msg}", idx + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(at(format!("HELP names an invalid metric {name:?}")));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut words = rest.split_whitespace();
+                let name = words.next().unwrap_or("");
+                let kind = words.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(at(format!("TYPE names an invalid metric {name:?}")));
+                }
+                if !TYPE_KINDS.contains(&kind) {
+                    return Err(at(format!("unknown TYPE kind {kind:?}")));
+                }
+                types.insert(name.to_string(), kind.to_string());
+            }
+            // Any other comment is legal and ignored.
+            continue;
+        }
+        let (name, has_le) = parse_sample(line).map_err(at)?;
+        samples += 1;
+        let family_kind = types.get(&name).map(String::as_str);
+        let histogram_suffix = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            let base = name.strip_suffix(suffix)?;
+            (types.get(base).map(String::as_str) == Some("histogram")).then_some(*suffix)
+        });
+        if family_kind.is_none() && histogram_suffix.is_none() {
+            return Err(at(format!("sample {name:?} has no preceding # TYPE")));
+        }
+        if histogram_suffix == Some("_bucket") && !has_le {
+            return Err(at(format!("histogram bucket {name:?} lacks an le label")));
+        }
+    }
+    if samples == 0 {
+        return Err(format!("{label}: no samples — nothing was scraped"));
+    }
+    Ok((types.len(), samples))
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let arg = |i: usize, what: &str| {
+        args.get(i)
+            .cloned()
+            .ok_or_else(|| format!("usage: obs_check {what}"))
+    };
+    match args.first().map(String::as_str) {
+        Some("trace-validate") => {
+            let path = arg(1, "trace-validate <file>")?;
+            let spans = trace_identities(&path, &read(&path)?)?;
+            Ok(format!("trace-validate: {path}: {} spans ok", spans.len()))
+        }
+        Some("trace-compare") => {
+            let a = arg(1, "trace-compare <a> <b>")?;
+            let b = arg(2, "trace-compare <a> <b>")?;
+            let ids_a = trace_identities(&a, &read(&a)?)?;
+            let ids_b = trace_identities(&b, &read(&b)?)?;
+            compare_traces(&ids_a, &ids_b)?;
+            Ok(format!(
+                "trace-compare: {a} == {b} modulo ts/dur/tid ({} spans)",
+                ids_a.len()
+            ))
+        }
+        Some("prom-validate") => {
+            let path = arg(1, "prom-validate <file>")?;
+            let (families, samples) = validate_prometheus(&path, &read(&path)?)?;
+            Ok(format!(
+                "prom-validate: {path}: {families} families, {samples} samples ok"
+            ))
+        }
+        _ => Err("usage: obs_check <trace-validate|trace-compare|prom-validate> ...".to_string()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("obs_check: {e}");
+            let code = if e.starts_with("usage:") { 2 } else { 1 };
+            // Binary entry point; the exit code is the whole contract.
+            #[allow(clippy::disallowed_methods)]
+            std::process::exit(code);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, ts: u64, tid: u64, span: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"serve::shard\",\"ph\":\"X\",\"ts\":{ts},\
+             \"dur\":3,\"pid\":1,\"tid\":{tid},\"args\":{{\"trace\":\"0xa\",\
+             \"span\":\"{span}\",\"parent\":\"0x0\"}}}}"
+        )
+    }
+
+    fn trace(events: &[String]) -> String {
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+
+    #[test]
+    fn trace_validation_accepts_well_formed_and_rejects_broken() {
+        let good = trace(&[event("detect", 10, 2000, "0x1")]);
+        assert_eq!(trace_identities("t", &good).unwrap().len(), 1);
+        assert!(trace_identities("t", "{}").is_err(), "no traceEvents");
+        assert!(
+            trace_identities("t", "{\"traceEvents\":[]}").is_err(),
+            "empty trace"
+        );
+        let bad_ph = good.replace("\"X\"", "\"B\"");
+        assert!(trace_identities("t", &bad_ph).is_err());
+        let no_args = trace(&["{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":1,\
+             \"dur\":1,\"pid\":1,\"tid\":1}"
+            .to_string()]);
+        assert!(trace_identities("t", &no_args).is_err());
+    }
+
+    #[test]
+    fn compare_ignores_exactly_ts_dur_tid() {
+        let a = trace(&[
+            event("detect", 10, 2000, "0x1"),
+            event("reorder", 20, 2000, "0x2"),
+        ]);
+        // Same spans, different wall clock and lanes, different order.
+        let b = trace(&[
+            event("reorder", 99, 7, "0x2"),
+            event("detect", 55, 8, "0x1"),
+        ]);
+        let ids_a = trace_identities("a", &a).unwrap();
+        let ids_b = trace_identities("b", &b).unwrap();
+        compare_traces(&ids_a, &ids_b).unwrap();
+        // A different span id is a real divergence.
+        let c = trace(&[
+            event("detect", 10, 2000, "0x1"),
+            event("reorder", 20, 2000, "0x9"),
+        ]);
+        let ids_c = trace_identities("c", &c).unwrap();
+        assert!(compare_traces(&ids_a, &ids_c).is_err());
+        // So is a missing span.
+        let d = trace(&[event("detect", 10, 2000, "0x1")]);
+        let ids_d = trace_identities("d", &d).unwrap();
+        assert!(compare_traces(&ids_a, &ids_d).is_err());
+    }
+
+    #[test]
+    fn prometheus_validator_accepts_repo_exposition_shapes() {
+        let text = "\
+# HELP bgpz_serve_http_query_us serve::http/query_us histogram
+# TYPE bgpz_serve_http_query_us histogram
+bgpz_serve_http_query_us_bucket{le=\"100\"} 3
+bgpz_serve_http_query_us_bucket{le=\"+Inf\"} 4
+bgpz_serve_http_query_us_sum 1052
+bgpz_serve_http_query_us_count 4
+# HELP bgpz_serve_queue_depth serve::queue/shard0_depth gauge
+# TYPE bgpz_serve_queue_depth gauge
+bgpz_serve_queue_depth{shard=\"0\"} 7
+# TYPE bgpz_mrt_read_records_ok_total counter
+bgpz_mrt_read_records_ok_total 128
+";
+        let (families, samples) = validate_prometheus("m", text).unwrap();
+        assert_eq!(families, 3);
+        assert_eq!(samples, 6);
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("m", "").is_err(), "no samples");
+        assert!(
+            validate_prometheus("m", "orphan_sample 1\n").is_err(),
+            "sample without TYPE"
+        );
+        assert!(
+            validate_prometheus("m", "# TYPE x frobnitz\nx 1\n").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            validate_prometheus("m", "# TYPE 9bad counter\n9bad 1\n").is_err(),
+            "bad name charset"
+        );
+        assert!(
+            validate_prometheus("m", "# TYPE x counter\nx notanumber\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate_prometheus("m", "# TYPE h histogram\nh_bucket{quantile=\"0.5\"} 1\n").is_err(),
+            "bucket without le"
+        );
+    }
+
+    #[test]
+    fn sample_parser_handles_labels_values_timestamps() {
+        assert_eq!(parse_sample("x 1").unwrap(), ("x".to_string(), false));
+        assert_eq!(
+            parse_sample("x{le=\"0.5\",job=\"a b\"} 2.5 1700000000").unwrap(),
+            ("x".to_string(), true)
+        );
+        assert_eq!(parse_sample("x +Inf").unwrap().0, "x");
+        assert!(parse_sample("x{le=\"1\"} 1 2 3").is_err(), "trailing token");
+        assert!(parse_sample("x{le=1} 1").is_err(), "unquoted label");
+        assert!(parse_sample("{} 1").is_err(), "no name");
+    }
+}

@@ -298,6 +298,22 @@ fn main() {
     let digest_match = keys == reference_keys;
     assert!(digest_match, "load run diverged from the reference run");
 
+    // Disabled-path tracing cost: every traced call site pays one
+    // relaxed atomic load when `BGPZ_TRACE` is unset. Measure that load
+    // here so BENCH_serve.json documents the "<3% regression when
+    // disabled" budget with a number instead of a claim.
+    let trace_enabled = bgpz_obs::trace::enabled();
+    let trace_check_ns = {
+        let iters = 10_000_000u64;
+        let started = Instant::now();
+        let mut hits = 0u64;
+        for _ in 0..iters {
+            hits += u64::from(std::hint::black_box(bgpz_obs::trace::enabled()));
+        }
+        std::hint::black_box(hits);
+        started.elapsed().as_nanos() as f64 / iters as f64
+    };
+
     let metrics = bgpz_obs::metrics::global();
     let histogram = metrics
         .histogram("serve::http", "query_us")
@@ -320,6 +336,10 @@ fn main() {
             "p50": quantile(0.50),
             "p90": quantile(0.90),
             "p99": quantile(0.99),
+        },
+        "trace": {
+            "enabled": trace_enabled,
+            "disabled_check_ns": trace_check_ns,
         },
         "zombie_keys": keys.len(),
         "digest": digest(&keys),

@@ -73,6 +73,8 @@ pub enum Command {
     Simulate(ParsedArgs),
     /// `bgpz serve --updates <file> ...`
     Serve(ParsedArgs),
+    /// `bgpz profile [serve|<experiment-id>] ...`
+    Profile(ParsedArgs),
     /// `bgpz help`
     Help,
 }
@@ -137,6 +139,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(raw: I) -> CliResult<Command> 
         "lifespan" => Ok(Command::Lifespan(split_args(rest))),
         "simulate" => Ok(Command::Simulate(split_args(rest))),
         "serve" => Ok(Command::Serve(split_args(rest))),
+        "profile" => Ok(Command::Profile(split_args(rest))),
         other => Err(CliError(format!(
             "unknown command {other:?}; try `bgpz help`"
         ))),
@@ -167,7 +170,12 @@ USAGE:
               [--period 14400] [--up 7200] [--threshold 5400]
               [--no-aggregator-filter] [--exclude addr,addr,...]
               [--streams 8] [--workers 1] [--shards 4] [--queue 1024]
-              [--port 0] [--smoke]
+              [--port 0] [--smoke] [--metrics-out FILE]
+  bgpz profile [serve | t1|t2|...|f2|...|cases] [--scale bench]
+              [--seed 42] [--jobs N]
+              (runs the target under tracing and prints a per-stage
+               self-time table; BGPZ_TRACE=<file> additionally writes
+               the Chrome trace JSON for chrome://tracing / Perfetto)
   bgpz help
 
 `mrt dump` prints bgpdump-style lines:
@@ -185,11 +193,18 @@ manifest.txt) generated by the calibrated world of the reproduction —
 useful as detector input for testing.
 
 `serve` replays the archive as concurrent collector streams through the
-long-running monitoring daemon and answers queries over HTTP/JSON
-(GET /healthz /zombies /lifespans /peers /metrics, POST /shutdown).
+long-running monitoring daemon and answers queries over HTTP
+(GET /healthz /zombies /lifespans /peers /metrics.json as JSON,
+GET /metrics as Prometheus text exposition, POST /shutdown).
 `--smoke` runs the full lifecycle in-process — real HTTP round trips,
 a zombie-set parity check against the batch pipeline, clean shutdown —
-and prints the canonical zombie keys for cross-run diffing.
+and prints the canonical zombie keys for cross-run diffing;
+`--metrics-out` saves the final Prometheus exposition to a file.
+
+`profile` force-enables causal tracing, runs a bench-scale serve smoke
+(default) or one experiment driver, and prints each pipeline stage's
+span count and self time plus the fraction of wall time the named
+stages cover.
 ";
 
 #[cfg(test)]
@@ -243,6 +258,13 @@ mod tests {
             Command::Serve(rest) => {
                 assert_eq!(rest.opt("updates"), Some("u.mrt"));
                 assert!(rest.has("smoke"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(v(&["profile", "serve", "--jobs", "2"])).unwrap() {
+            Command::Profile(rest) => {
+                assert_eq!(rest.positional, vec!["serve"]);
+                assert_eq!(rest.opt("jobs"), Some("2"));
             }
             other => panic!("{other:?}"),
         }

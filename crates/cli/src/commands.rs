@@ -5,7 +5,10 @@ use crate::args::ParsedArgs;
 use crate::render::{render_record, ArchiveStats, DumpKind};
 use crate::{CliError, CliResult};
 use bgpz_beacon::{decode_aggregator_clock, PrefixClock, RecycleMode};
-use bgpz_core::{classify, infer_root_cause, scan_indexed, BeaconInterval, ClassifyOptions};
+use bgpz_core::{
+    classify, infer_root_cause, intervals_from_schedule, scan_indexed, BeaconInterval,
+    ClassifyOptions,
+};
 use bgpz_mrt::{FrameIndex, FrameKind, MrtBody, MrtReader, NlriKind};
 use bgpz_types::{Asn, BgpMessage, MessageKind, Prefix, SimTime};
 use bytes::Bytes;
@@ -593,7 +596,14 @@ pub fn serve(args: &ParsedArgs) -> CliResult<String> {
     if args.has("smoke") {
         server.drain();
         // Every endpoint answers over real TCP.
-        for path in ["/healthz", "/zombies", "/lifespans", "/peers", "/metrics"] {
+        for path in [
+            "/healthz",
+            "/zombies",
+            "/lifespans",
+            "/peers",
+            "/metrics",
+            "/metrics.json",
+        ] {
             let (status, body) = http_request(addr, "GET", path)?;
             if !status.contains("200") {
                 return Err(CliError(format!("GET {path}: {status}")));
@@ -601,6 +611,16 @@ pub fn serve(args: &ParsedArgs) -> CliResult<String> {
             if body.is_empty() {
                 return Err(CliError(format!("GET {path}: empty body")));
             }
+        }
+        // The final Prometheus exposition, saved aside for scrape-format
+        // validation — a file, not stdout, so the smoke output stays
+        // byte-identical at every worker count.
+        if let Some(path) = args.opt("metrics-out") {
+            let (status, body) = http_request(addr, "GET", "/metrics")?;
+            if !status.contains("200") {
+                return Err(CliError(format!("GET /metrics: {status}")));
+            }
+            std::fs::write(path, body)?;
         }
         // Parity: the daemon's zombie set vs the batch pipeline on the
         // same index, intervals, and options — key for key.
@@ -671,6 +691,144 @@ pub fn serve(args: &ParsedArgs) -> CliResult<String> {
         summary.zombies, summary.resurrections, summary.peers, summary.records, summary.shed
     );
     Ok(out)
+}
+
+/// Maps a span's `(cat, name)` to its pipeline stage, `None` for spans
+/// that ride inside a stage (e.g. `detect_events` within `detect`) and
+/// must not count toward the tiling coverage.
+fn stage_of(cat: &str, name: &str) -> Option<&'static str> {
+    match (cat, name) {
+        ("serve::ingest", "ingest_batch") => Some("ingest"),
+        ("serve::shard", "queue_wait") => Some("queue-wait"),
+        ("serve::shard", "reorder") => Some("reorder"),
+        ("serve::shard", "detect") => Some("detect"),
+        ("serve::http", _) => Some("http"),
+        ("core::scan", "scan_chunk") => Some("scan"),
+        ("analysis::bundle", _) => Some("build"),
+        _ => None,
+    }
+}
+
+/// The profile table: one row per `(cat, name)` aggregate, largest self
+/// time first, plus the fraction of per-lane wall time the named stages
+/// cover.
+fn render_profile(
+    header: &str,
+    seed: u64,
+    jobs: usize,
+    spans: &[bgpz_obs::trace::TraceSpan],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# bgpz profile: {header} (seed {seed}, jobs {jobs})");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<18} {:<18} {:>8} {:>12}",
+        "stage", "cat", "name", "spans", "total_ms"
+    );
+    for row in bgpz_obs::trace::profile_rows(spans) {
+        let stage = stage_of(&row.cat, &row.name).unwrap_or("-");
+        let _ = writeln!(
+            out,
+            "{:<12} {:<18} {:<18} {:>8} {:>12.3}",
+            stage,
+            row.cat,
+            row.name,
+            row.count,
+            row.total_us as f64 / 1_000.0
+        );
+    }
+    let coverage = bgpz_obs::trace::coverage(spans, |s| stage_of(s.cat, s.name).is_some());
+    let _ = writeln!(
+        out,
+        "coverage: {:.1}% of pipeline wall time attributed to named stages",
+        coverage * 100.0
+    );
+    out
+}
+
+/// The `profile serve` workload: a bench-scale replication world pushed
+/// through scan → serve ingest → shards → HTTP queries → shutdown, all
+/// under tracing.
+fn profile_serve(scale: &bgpz_analysis::Scale, seed: u64, jobs: usize) -> CliResult<String> {
+    let periods = bgpz_analysis::worlds::replication_periods(scale);
+    let period = periods
+        .first()
+        .copied()
+        .ok_or_else(|| CliError("no replication periods at this scale".into()))?;
+    let run = bgpz_analysis::worlds::run_replication(&period, scale, seed);
+    let intervals = intervals_from_schedule(&run.schedule);
+    // The batch scan first: its chunk spans put the scan stage on the
+    // same timeline as the daemon that follows.
+    let index = FrameIndex::build(run.archive.updates.clone());
+    let result = scan_indexed(&index, &intervals, 4 * 3_600, jobs);
+    let config = bgpz_serve::ServeConfig {
+        workers: jobs,
+        staleness_window: Some(4 * 3_600),
+        ..bgpz_serve::ServeConfig::default()
+    };
+    let streams = bgpz_serve::split_streams(run.archive.updates.clone(), 4);
+    let mut server = bgpz_serve::Server::start(&config, intervals, streams)
+        .map_err(|e| CliError(format!("cannot start serve: {e}")))?;
+    server.drain();
+    let addr = server.addr();
+    for path in [
+        "/healthz",
+        "/zombies",
+        "/lifespans",
+        "/peers",
+        "/metrics",
+        "/metrics.json",
+    ] {
+        let (status, _) = http_request(addr, "GET", path)?;
+        if !status.contains("200") {
+            return Err(CliError(format!("GET {path}: {status}")));
+        }
+    }
+    let (status, _) = http_request(addr, "POST", "/shutdown")?;
+    if !status.contains("200") {
+        return Err(CliError(format!("POST /shutdown: {status}")));
+    }
+    let summary = server.shutdown();
+    Ok(format!(
+        "serve smoke: {} peer(s) scanned, {} record(s) ingested, {} zombie route(s)",
+        result.peers.len(),
+        summary.records,
+        summary.zombies
+    ))
+}
+
+/// `bgpz profile [serve|<experiment-id>] [--scale S] [--seed N] [--jobs N]`
+///
+/// Force-enables causal tracing, runs the target, and renders the
+/// per-stage self-time table. With `BGPZ_TRACE=<file>` set, the raw
+/// Chrome trace is additionally written at process exit.
+pub fn profile(args: &ParsedArgs) -> CliResult<String> {
+    let target = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("serve");
+    let scale = bgpz_analysis::Scale::parse(args.opt_or("scale", "bench"))
+        .ok_or_else(|| CliError("--scale expects bench|quick|standard|full".into()))?;
+    let seed = args.opt_u64("seed", 42)?;
+    let jobs = args.opt_u64("jobs", 2)?.max(1) as usize;
+    bgpz_obs::trace::force_enable();
+    let header = match target {
+        "serve" => profile_serve(&scale, seed, jobs)?,
+        id => {
+            let exp = bgpz_analysis::experiments::find(id).ok_or_else(|| {
+                CliError(format!(
+                    "unknown profile target {id:?} (want serve or an experiment id)"
+                ))
+            })?;
+            let (subs, _timings) =
+                bgpz_analysis::experiments::build_substrates(&scale, seed, &[exp], jobs);
+            let output = exp.run(&subs);
+            format!("experiment {} ({})", output.id, output.title)
+        }
+    };
+    let spans = bgpz_obs::trace::snapshot_sorted();
+    Ok(render_profile(&header, seed, jobs, &spans))
 }
 
 #[cfg(test)]

@@ -22,11 +22,20 @@ fn run() -> CliResult<String> {
         Command::Lifespan(rest) => commands::lifespan(&rest),
         Command::Simulate(rest) => commands::simulate(&rest),
         Command::Serve(rest) => commands::serve(&rest),
+        Command::Profile(rest) => commands::profile(&rest),
     }
 }
 
 fn main() {
-    match run() {
+    let result = run();
+    // The trace drains once, on exit, whatever the command was — any
+    // traced run with BGPZ_TRACE set leaves a Chrome trace behind.
+    match bgpz_obs::trace::write_env_trace() {
+        Ok(Some(path)) => bgpz_obs::debug!(target: "cli::main", "trace written to {path}"),
+        Ok(None) => {}
+        Err(e) => bgpz_obs::error!(target: "cli::main", "cannot write BGPZ_TRACE trace: {e}"),
+    }
+    match result {
         Ok(output) => print!("{output}"),
         Err(e) => {
             bgpz_obs::error!(target: "cli::main", "bgpz: {e}");

@@ -340,6 +340,28 @@ fn chunk_ranges(count: usize, workers: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// Frames per scan trace block. Chunk spans are emitted at fixed
+/// *absolute* frame boundaries rather than per worker range: exactly one
+/// worker processes any block's first frame, so the set of span
+/// identities a scan emits is invariant under `jobs` — only `ts`/`dur`/
+/// `tid` vary, which is precisely what the CI trace comparison masks.
+const SCAN_TRACE_BLOCK: usize = 8_192;
+
+/// Closes the open scan block span, if any.
+fn close_scan_block(block: &mut Option<(u64, u64)>) {
+    if let Some((id, start_us)) = block.take() {
+        let end = bgpz_obs::trace::now_us();
+        bgpz_obs::trace::emit(
+            "core::scan",
+            "scan_chunk",
+            3_000 + id,
+            bgpz_obs::trace::TraceCtx::root("scan", id, 0),
+            start_us,
+            end.saturating_sub(start_us),
+        );
+    }
+}
+
 /// Scans one contiguous range of indexed frames with the raw-byte
 /// prefilter: a frame is fully decoded at most once, and a BGP UPDATE is
 /// decoded only if its NLRI mentions a beacon prefix.
@@ -350,7 +372,13 @@ fn scan_frames(
 ) -> ChunkScan {
     let mut acc = Accum::new(locator.intervals.len());
     let mut stats = MrtReadStats::default();
+    let tracing = bgpz_obs::trace::enabled();
+    let mut block: Option<(u64, u64)> = None;
     for i in range {
+        if tracing && i.is_multiple_of(SCAN_TRACE_BLOCK) {
+            close_scan_block(&mut block);
+            block = Some(((i / SCAN_TRACE_BLOCK) as u64, bgpz_obs::trace::now_us()));
+        }
         let frame = index.frame(i);
         match frame.peek_kind() {
             FrameKind::Message { .. } => {
@@ -430,6 +458,12 @@ fn scan_frames(
                 );
             }
         }
+    }
+    close_scan_block(&mut block);
+    // Chunk workers are joined before the drain that writes the trace,
+    // but flush eagerly so scoped-thread teardown order never matters.
+    if tracing {
+        bgpz_obs::trace::flush_thread();
     }
     ChunkScan { acc, stats }
 }

@@ -49,6 +49,16 @@ pub struct Masked {
     pub code: Vec<String>,
     /// Text of `//` comments per line (without the slashes), `""` if none.
     pub comments: Vec<String>,
+    /// Contents of string literals that open *and* close on the line, in
+    /// opening order. The `k`-th entry pairs with the `k`-th `Str` token
+    /// [`tokenize`] produces for the line (literals spanning lines are
+    /// not captured and sort after every captured one, so the pairing
+    /// holds). The metric-name lint reads these.
+    pub literals: Vec<Vec<String>>,
+    /// True when the line begins inside a string continued from the
+    /// previous line — its first `Str` token is the continuation, so the
+    /// ordinal pairing above does not apply on such lines.
+    pub starts_in_str: Vec<bool>,
 }
 
 /// Strips comments and blanks literal contents. See the module docs.
@@ -62,8 +72,16 @@ pub fn mask(source: &str) -> Masked {
     }
     let mut code = Vec::new();
     let mut comments = Vec::new();
+    let mut literals = Vec::new();
+    let mut starts_in_str = Vec::new();
     let mut state = State::Code;
+    // Capture buffer for the string literal currently open; `single_line`
+    // stays true only while the literal has not crossed a line boundary.
+    let mut buf = String::new();
+    let mut single_line = false;
     for line in source.lines() {
+        starts_in_str.push(matches!(state, State::Str { .. }));
+        let mut line_literals: Vec<String> = Vec::new();
         let mut code_line = String::with_capacity(line.len());
         let mut comment_line = String::new();
         let chars: Vec<char> = line.chars().collect();
@@ -87,6 +105,8 @@ pub fn mask(source: &str) -> Masked {
                     }
                     '"' => {
                         code_line.push('"');
+                        buf.clear();
+                        single_line = true;
                         state = State::Str { raw_hashes: None };
                     }
                     'r' | 'b' => {
@@ -115,6 +135,8 @@ pub fn mask(source: &str) -> Masked {
                             .is_some_and(|p| p.is_alphanumeric() || *p == '_');
                         if !prev_is_ident && is_raw {
                             code_line.push('"');
+                            buf.clear();
+                            single_line = true;
                             state = State::Str {
                                 raw_hashes: Some(hashes),
                             };
@@ -122,6 +144,8 @@ pub fn mask(source: &str) -> Masked {
                             continue;
                         } else if !prev_is_ident && is_plain_byte_str {
                             code_line.push('"');
+                            buf.clear();
+                            single_line = true;
                             state = State::Str { raw_hashes: None };
                             i = j + 1;
                             continue;
@@ -165,13 +189,20 @@ pub fn mask(source: &str) -> Masked {
                 State::Str { raw_hashes } => match raw_hashes {
                     None => {
                         if c == '\\' {
+                            // Captured verbatim, escape sequence included.
+                            buf.push('\\');
+                            buf.extend(next);
                             i += 2; // skip escaped char (incl. \" and \\)
                             continue;
                         }
                         if c == '"' {
                             code_line.push('"');
+                            if single_line {
+                                line_literals.push(std::mem::take(&mut buf));
+                            }
                             state = State::Code;
                         } else {
+                            buf.push(c);
                             code_line.push(' ');
                         }
                     }
@@ -180,10 +211,14 @@ pub fn mask(source: &str) -> Masked {
                         let closes = c == '"' && (0..n).all(|k| chars.get(i + 1 + k) == Some(&'#'));
                         if closes {
                             code_line.push('"');
+                            if single_line {
+                                line_literals.push(std::mem::take(&mut buf));
+                            }
                             state = State::Code;
                             i += 1 + n;
                             continue;
                         }
+                        buf.push(c);
                         code_line.push(' ');
                     }
                 },
@@ -205,10 +240,21 @@ pub fn mask(source: &str) -> Masked {
         if state == State::Char {
             state = State::Code;
         }
+        if matches!(state, State::Str { .. }) {
+            // The literal spans lines: not captured.
+            single_line = false;
+            buf.clear();
+        }
         code.push(code_line);
         comments.push(comment_line);
+        literals.push(line_literals);
     }
-    Masked { code, comments }
+    Masked {
+        code,
+        comments,
+        literals,
+        starts_in_str,
+    }
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -451,6 +497,30 @@ mod tests {
         let tokens = tokenize(&mask(src));
         let unwrap = tokens.iter().find(|t| t.text == "unwrap");
         assert!(unwrap.is_some_and(|t| !t.in_test));
+    }
+
+    #[test]
+    fn single_line_literal_contents_captured() {
+        let m = mask("counter(\"serve::ingest\", \"records\", 1); // \"not code\"");
+        assert_eq!(
+            m.literals.first().map(Vec::as_slice),
+            Some(&["serve::ingest".to_string(), "records".to_string()][..])
+        );
+        assert_eq!(m.starts_in_str.first(), Some(&false));
+        // Escapes ride along verbatim; raw strings capture their body.
+        let esc = mask("f(\"a\\\"b\", r#\"raw \"body\"\"#);");
+        assert_eq!(
+            esc.literals.first().map(Vec::as_slice),
+            Some(&["a\\\"b".to_string(), "raw \"body\"".to_string()][..])
+        );
+        // Multi-line literals are not captured, on either line.
+        let multi = mask("let s = \"first\nsecond\"; g(\"after\");");
+        assert_eq!(multi.literals.first().map(Vec::len), Some(0));
+        assert_eq!(multi.starts_in_str.get(1), Some(&true));
+        assert_eq!(
+            multi.literals.get(1).map(Vec::as_slice),
+            Some(&["after".to_string()][..])
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! file is decided by [`crate::policy`].
 //!
 //! Hard lints (`truncating_cast`, `hash_iteration`, `wall_clock`,
-//! `println`, `forbid_unsafe`) can be suppressed with an inline marker on
-//! the finding line or the line above:
+//! `println`, `forbid_unsafe`, `metric_name`) can be suppressed with an
+//! inline marker on the finding line or the line above:
 //!
 //! ```text
 //! // lint: allow(truncating_cast) — header length is <= u16::MAX by construction
@@ -48,6 +48,7 @@ pub fn analyze(path: &str, source: &str) -> Vec<Finding> {
     if policy::lib_root(path) {
         forbid_unsafe_pass(path, &masked, &mut out);
     }
+    metric_name_pass(path, &masked, &tokens, &mut out);
     out.sort_by(|a, b| {
         (a.line, a.lint, a.message.as_str()).cmp(&(b.line, b.lint, b.message.as_str()))
     });
@@ -460,6 +461,115 @@ fn hash_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Findin
 }
 
 // ---------------------------------------------------------------------------
+// metric_name
+// ---------------------------------------------------------------------------
+
+/// The metric-name registry: the inventory of every literal
+/// `(target, name)` pair the bgpz-obs recording surfaces accept.
+const METRIC_REGISTRY: &str = include_str!("../../obs/metric_names.txt");
+
+/// bgpz-obs recording and lookup functions whose first two arguments are
+/// the `(target, name)` registry key. The pattern additionally requires
+/// both arguments to be string literals, so generically-named methods on
+/// other types (`timeline.add(roa, ..)`) never match.
+const METRIC_FNS: &[&str] = &[
+    "counter",
+    "observe",
+    "gauge",
+    "set_gauge",
+    "add",
+    "record_span",
+    "span",
+    "scoped",
+    "emit",
+    "histogram",
+    "counter_value",
+    "span_count",
+    "gauge_history",
+];
+
+fn metric_registry() -> &'static std::collections::BTreeSet<(String, String)> {
+    static REGISTRY: std::sync::OnceLock<std::collections::BTreeSet<(String, String)>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        METRIC_REGISTRY
+            .lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    return None;
+                }
+                let (target, name) = line.split_once(' ')?;
+                Some((target.trim().to_string(), name.trim().to_string()))
+            })
+            .collect()
+    })
+}
+
+/// Content of the string literal token at `idx`, when the lexer captured
+/// it (`None` for non-`Str` tokens, multi-line literals, and lines that
+/// continue a string from the previous line).
+fn str_content<'a>(masked: &'a Masked, tokens: &[Token], idx: usize) -> Option<&'a str> {
+    let tok = tokens.get(idx)?;
+    if tok.kind != TokenKind::Str {
+        return None;
+    }
+    let line_idx = tok.line.checked_sub(1)?;
+    if *masked.starts_in_str.get(line_idx)? {
+        return None;
+    }
+    let ordinal = tokens
+        .get(..idx)?
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str && t.line == tok.line)
+        .count();
+    masked
+        .literals
+        .get(line_idx)?
+        .get(ordinal)
+        .map(String::as_str)
+}
+
+/// Every literal `(target, name)` pair passed to an obs recording
+/// function must appear in `crates/obs/metric_names.txt` — a typo'd name
+/// fails CI instead of silently forking a metric series. Dynamic names
+/// (non-literal arguments) are skipped; they are inventoried as comments
+/// in the registry file.
+fn metric_name_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident || !METRIC_FNS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if tok_text(tokens, i + 1) != "(" || tok_text(tokens, i + 3) != "," {
+            continue;
+        }
+        let (Some(target), Some(name)) = (
+            str_content(masked, tokens, i + 2),
+            str_content(masked, tokens, i + 4),
+        ) else {
+            continue;
+        };
+        // Anchor the finding to the name literal (rustfmt may wrap the
+        // call); the marker is honoured at the call site or the literal.
+        let line = tokens.get(i + 4).map_or(t.line, |n| n.line);
+        if metric_registry().contains(&(target.to_string(), name.to_string()))
+            || allowed(masked, t.line, "metric_name")
+            || allowed(masked, line, "metric_name")
+        {
+            continue;
+        }
+        out.push(finding(
+            path,
+            line,
+            "metric_name",
+            &format!(
+                "metric ({target:?}, {name:?}) is not in crates/obs/metric_names.txt; register it or fix the typo"
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // wall_clock / println / forbid_unsafe
 // ---------------------------------------------------------------------------
 
@@ -631,6 +741,30 @@ mod tests {
             vec![("forbid_unsafe", 1)]
         );
         assert!(lints_of("crates/types/src/asn.rs", without).is_empty());
+    }
+
+    #[test]
+    fn metric_names_checked_against_registry() {
+        let path = "crates/serve/src/demo.rs";
+        // Registered pairs pass; a typo'd name is flagged.
+        let src = "fn f() {\n    bgpz_obs::metrics::counter(\"serve::ingest\", \"records\", 1);\n    bgpz_obs::metrics::counter(\"serve::ingest\", \"recrods\", 1);\n}\n";
+        let got = lints_of(path, src);
+        assert_eq!(got, vec![("metric_name", 3)]);
+        // Multi-line (rustfmt-wrapped) call sites are still checked.
+        let wrapped = "fn f() {\n    trace::emit(\n        \"serve::shard\",\n        \"detcet\",\n        0, ctx, t0, d,\n    );\n}\n";
+        assert_eq!(lints_of(path, wrapped), vec![("metric_name", 4)]);
+    }
+
+    #[test]
+    fn metric_name_dynamic_and_allowed_sites_skipped() {
+        let path = "crates/serve/src/demo.rs";
+        // Non-literal target or name: not statically checkable, skipped.
+        let dynamic = "fn f(id: usize) {\n    bgpz_obs::metrics::counter(TARGET, \"misses\", 1);\n    bgpz_obs::metrics::gauge(\"serve::queue\", format!(\"shard{id}_depth\"), 3);\n}\n";
+        assert!(lints_of(path, dynamic).is_empty());
+        // A marker with a reason suppresses; unrelated methods named
+        // `add` with non-string arguments never match.
+        let src = "fn f(t: &mut T) {\n    // lint: allow(metric_name) \u{2014} experimental series\n    bgpz_obs::metrics::counter(\"serve::ingest\", \"experimental\", 1);\n    t.add(roa, SimTime::ZERO, None);\n}\n";
+        assert!(lints_of(path, src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Prometheus text exposition (format version 0.0.4) of the metrics
+//! registry — what `GET /metrics` serves.
+//!
+//! Mapping rules:
+//!
+//! - Metric names are `bgpz_<target>_<name>` with `::` and any other
+//!   non-`[a-zA-Z0-9_]` byte folded to `_` (`serve::http` / `query_us`
+//!   → `bgpz_serve_http_query_us`).
+//! - Counters gain the conventional `_total` suffix.
+//! - Gauges named `shard<N>_<rest>` (the per-shard depth convention)
+//!   become one `bgpz_<target>_<rest>` family with a `shard="N"` label,
+//!   so a scrape sees a labelled series per shard instead of N metric
+//!   names. Each gauge also exposes a `_peak` companion: the maximum of
+//!   its ring-buffered history (the high-water mark a last-write-wins
+//!   gauge forgets).
+//! - Histograms expose cumulative `_bucket{le="…"}` series plus the
+//!   `+Inf` bucket, `_sum`, and `_count`.
+//! - Span tallies expose `_spans_total` (entries) and
+//!   `_span_seconds_total` (wall seconds, the one non-deterministic
+//!   value — scrapes are observational, not artifacts).
+
+use crate::metrics::Metrics;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+struct Series {
+    kind: Kind,
+    help: String,
+    lines: Vec<String>,
+}
+
+/// Folds a registry key fragment into the Prometheus name charset.
+fn sanitize(s: &str) -> String {
+    s.replace("::", "_")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn metric_name(target: &str, name: &str) -> String {
+    format!("bgpz_{}_{}", sanitize(target), sanitize(name))
+}
+
+/// Splits the `shard<N>_<rest>` gauge naming convention into its label
+/// value and base name.
+fn shard_split(name: &str) -> Option<(u64, &str)> {
+    let rest = name.strip_prefix("shard")?;
+    let underscore = rest.find('_')?;
+    let (digits, tail) = rest.split_at(underscore);
+    let tail = tail.strip_prefix('_')?;
+    if digits.is_empty() || tail.is_empty() {
+        return None;
+    }
+    Some((digits.parse().ok()?, tail))
+}
+
+fn push_series(
+    series: &mut BTreeMap<String, Series>,
+    name: String,
+    kind: Kind,
+    help: String,
+    lines: Vec<String>,
+) {
+    series
+        .entry(name)
+        .or_insert_with(|| Series {
+            kind,
+            help,
+            lines: Vec::new(),
+        })
+        .lines
+        .extend(lines);
+}
+
+/// Renders the registry in Prometheus text exposition format. Output is
+/// sorted by metric name, one `# HELP`/`# TYPE` pair per family.
+pub fn to_prometheus(metrics: &Metrics) -> String {
+    let mut series: BTreeMap<String, Series> = BTreeMap::new();
+
+    for (target, name, value) in metrics.counters_snapshot() {
+        let family = format!("{}_total", metric_name(&target, &name));
+        let line = format!("{family} {value}");
+        push_series(
+            &mut series,
+            family,
+            Kind::Counter,
+            format!("{target}/{name} counter"),
+            vec![line],
+        );
+    }
+
+    for (target, name, value) in metrics.gauges_snapshot() {
+        let history = metrics.gauge_history(&target, &name);
+        let peak = history.iter().copied().max().unwrap_or(value);
+        let (family, label) = match shard_split(&name) {
+            Some((shard, tail)) => (metric_name(&target, tail), format!("{{shard=\"{shard}\"}}")),
+            None => (metric_name(&target, &name), String::new()),
+        };
+        let peak_family = format!("{family}_peak");
+        push_series(
+            &mut series,
+            family.clone(),
+            Kind::Gauge,
+            format!("{target}/{name} gauge"),
+            vec![format!("{family}{label} {value}")],
+        );
+        push_series(
+            &mut series,
+            peak_family.clone(),
+            Kind::Gauge,
+            format!("{target}/{name} gauge high-water mark"),
+            vec![format!("{peak_family}{label} {peak}")],
+        );
+    }
+
+    for (target, name, histogram) in metrics.histograms_snapshot() {
+        let family = metric_name(&target, &name);
+        let mut lines = Vec::with_capacity(histogram.counts.len() + 2);
+        let mut cumulative = 0u64;
+        for (bound, count) in histogram.bounds.iter().zip(&histogram.counts) {
+            cumulative += count;
+            lines.push(format!("{family}_bucket{{le=\"{bound}\"}} {cumulative}"));
+        }
+        let total = histogram.total();
+        lines.push(format!("{family}_bucket{{le=\"+Inf\"}} {total}"));
+        lines.push(format!("{family}_sum {}", histogram.sum()));
+        lines.push(format!("{family}_count {total}"));
+        push_series(
+            &mut series,
+            family,
+            Kind::Histogram,
+            format!("{target}/{name} histogram"),
+            lines,
+        );
+    }
+
+    for (target, name, count, secs) in metrics.spans_wall() {
+        let base = metric_name(&target, &name);
+        let entries = format!("{base}_spans_total");
+        push_series(
+            &mut series,
+            entries.clone(),
+            Kind::Counter,
+            format!("{target}/{name} span entries"),
+            vec![format!("{entries} {count}")],
+        );
+        let wall = format!("{base}_span_seconds_total");
+        push_series(
+            &mut series,
+            wall.clone(),
+            Kind::Counter,
+            format!("{target}/{name} span wall seconds"),
+            vec![format!("{wall} {secs:.6}")],
+        );
+    }
+
+    let mut out = String::new();
+    for (family, s) in &series {
+        out.push_str("# HELP ");
+        out.push_str(family);
+        out.push(' ');
+        out.push_str(&s.help);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(family);
+        out.push(' ');
+        out.push_str(s.kind.as_str());
+        out.push('\n');
+        for line in &s.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_names_sanitize() {
+        let metrics = Metrics::new();
+        metrics.add("mrt::read", "records_ok", 128);
+        metrics.add("core::classify", "outbreaks@5400s", 2);
+        let text = to_prometheus(&metrics);
+        assert!(
+            text.contains("# TYPE bgpz_mrt_read_records_ok_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bgpz_mrt_read_records_ok_total 128"),
+            "{text}"
+        );
+        // '@' folds into the legal charset.
+        assert!(
+            text.contains("bgpz_core_classify_outbreaks_5400s_total 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn shard_gauges_become_labels_with_peaks() {
+        let metrics = Metrics::new();
+        metrics.set_gauge("serve::queue", "shard0_depth", 7);
+        metrics.set_gauge("serve::queue", "shard0_depth", 3);
+        metrics.set_gauge("serve::queue", "shard1_depth", 5);
+        metrics.set_gauge("serve::queue", "plain", 1);
+        let text = to_prometheus(&metrics);
+        assert!(
+            text.contains("bgpz_serve_queue_depth{shard=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bgpz_serve_queue_depth{shard=\"1\"} 5"),
+            "{text}"
+        );
+        // One TYPE line for the whole labelled family.
+        assert_eq!(
+            text.matches("# TYPE bgpz_serve_queue_depth gauge").count(),
+            1,
+            "{text}"
+        );
+        // The ring history surfaces the high-water mark.
+        assert!(
+            text.contains("bgpz_serve_queue_depth_peak{shard=\"0\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("bgpz_serve_queue_plain 1"), "{text}");
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets_sum_count() {
+        let metrics = Metrics::new();
+        for value in [1, 2, 50, 999] {
+            metrics.observe("serve::http", "query_us", &[1, 10, 100], value);
+        }
+        let text = to_prometheus(&metrics);
+        assert!(
+            text.contains("# TYPE bgpz_serve_http_query_us histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bgpz_serve_http_query_us_bucket{le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bgpz_serve_http_query_us_bucket{le=\"10\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bgpz_serve_http_query_us_bucket{le=\"100\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bgpz_serve_http_query_us_bucket{le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("bgpz_serve_http_query_us_sum 1052"), "{text}");
+        assert!(text.contains("bgpz_serve_http_query_us_count 4"), "{text}");
+    }
+
+    #[test]
+    fn spans_expose_entries_and_wall_seconds() {
+        let metrics = Metrics::new();
+        metrics.record_span("core::scan", "scan_sharded", 0.5);
+        metrics.record_span("core::scan", "scan_sharded", 0.25);
+        let text = to_prometheus(&metrics);
+        assert!(
+            text.contains("bgpz_core_scan_scan_sharded_spans_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bgpz_core_scan_scan_sharded_span_seconds_total 0.750000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(to_prometheus(&Metrics::new()), "");
+    }
+
+    #[test]
+    fn shard_split_convention() {
+        assert_eq!(shard_split("shard0_depth"), Some((0, "depth")));
+        assert_eq!(
+            shard_split("shard12_queue_depth"),
+            Some((12, "queue_depth"))
+        );
+        assert_eq!(shard_split("shardx_depth"), None);
+        assert_eq!(shard_split("shard3"), None);
+        assert_eq!(shard_split("depth"), None);
+    }
+}

@@ -42,14 +42,26 @@
 //! Everything recorded is an order-independent aggregate, so the snapshot
 //! is byte-identical at any worker count — the `metrics.json` contract
 //! the determinism tests pin.
+//!
+//! ## Tracing and exposition
+//!
+//! [`trace`] adds causal spans: a [`trace::TraceCtx`] minted from stable
+//! coordinates is threaded explicitly through the pipeline and recorded
+//! into per-thread buffers; `BGPZ_TRACE=<path>` writes the drained spans
+//! as Chrome trace-event JSON on CLI exit, and `trace::enabled()` costs
+//! one relaxed atomic load when off. [`expo`] renders the metrics
+//! registry in Prometheus text exposition format (the serve daemon's
+//! `GET /metrics`; the JSON snapshot moved to `/metrics.json`).
 
 #![forbid(unsafe_code)]
 
+pub mod expo;
 pub mod filter;
 pub mod json;
 pub mod logger;
 pub mod metrics;
 pub mod sink;
+pub mod trace;
 
 pub use filter::{EnvFilter, Level};
 pub use logger::{emit, enabled, span, SpanGuard};

@@ -25,6 +25,10 @@ pub struct Histogram {
     pub bounds: Vec<u64>,
     /// Bucket counts; `bounds.len() + 1` entries.
     pub counts: Vec<u64>,
+    /// Sum of observed values (saturating). Feeds the Prometheus `_sum`
+    /// series; deliberately excluded from the JSON snapshot, whose
+    /// three-section shape is pinned by seed fixtures.
+    sum: u64,
 }
 
 impl Histogram {
@@ -32,12 +36,14 @@ impl Histogram {
         Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
+            sum: 0,
         }
     }
 
     fn observe(&mut self, value: u64) {
         let bucket = self.bounds.partition_point(|&b| b < value);
         self.counts[bucket] += 1;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Total observations.
@@ -45,10 +51,24 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// Sum of observed values (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// The smallest bucket bound at or below which a `q` fraction of the
-    /// observations fall (`None` on an empty histogram). Observations in
-    /// the overflow bucket clip to the largest bound — fixed-bound
-    /// histograms cannot resolve beyond their ceiling.
+    /// observations fall, using ceiling rank over the bucket counts.
+    ///
+    /// Edge behaviour (tested below):
+    /// - An **empty histogram** (no observations, or constructed with no
+    ///   bounds) returns `None` — there is no data to rank.
+    /// - **`q = 0.0`** returns the bound of the first non-empty bucket —
+    ///   the minimum bucket bound consistent with any observation (the
+    ///   rank is floored at 1, never 0).
+    /// - **`q = 1.0`** returns the bound of the last non-empty bucket;
+    ///   observations in the overflow bucket clip to the largest bound —
+    ///   fixed-bound histograms cannot resolve beyond their ceiling.
+    /// - `q` outside `[0, 1]` is clamped.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.total();
         if total == 0 {
@@ -75,10 +95,18 @@ pub struct SpanStat {
     pub total_secs: f64,
 }
 
+/// Ring capacity of each gauge's recent-value history.
+pub const GAUGE_HISTORY: usize = 64;
+
 #[derive(Debug, Default)]
 struct Registry {
     counters: BTreeMap<String, BTreeMap<String, u64>>,
     gauges: BTreeMap<String, BTreeMap<String, u64>>,
+    /// The last [`GAUGE_HISTORY`] values each gauge was set to, oldest
+    /// first — a bounded flight recorder for levels like queue depths,
+    /// which a last-write-wins gauge alone cannot show. Excluded from
+    /// the JSON snapshot (histories are timing-dependent).
+    gauge_history: BTreeMap<String, BTreeMap<String, Vec<u64>>>,
     histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
     spans: BTreeMap<String, BTreeMap<String, SpanStat>>,
 }
@@ -88,6 +116,7 @@ impl Registry {
         Registry {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            gauge_history: BTreeMap::new(),
             histograms: BTreeMap::new(),
             spans: BTreeMap::new(),
         }
@@ -141,6 +170,16 @@ impl Metrics {
             .entry(target.to_string())
             .or_default()
             .insert(name.to_string(), value);
+        let ring = registry
+            .gauge_history
+            .entry(target.to_string())
+            .or_default()
+            .entry(name.to_string())
+            .or_default();
+        ring.push(value);
+        if ring.len() > GAUGE_HISTORY {
+            ring.remove(0);
+        }
     }
 
     /// Current value of a gauge (`None` if never set).
@@ -150,6 +189,17 @@ impl Metrics {
             .get(target)
             .and_then(|names| names.get(name))
             .copied()
+    }
+
+    /// The last [`GAUGE_HISTORY`] values the gauge was set to, oldest
+    /// first (empty if never set).
+    pub fn gauge_history(&self, target: &str, name: &str) -> Vec<u64> {
+        self.lock()
+            .gauge_history
+            .get(target)
+            .and_then(|names| names.get(name))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Records `value` in the `(target, name)` histogram. The bucket
@@ -237,6 +287,7 @@ impl Metrics {
                     for (mine, theirs) in entry.counts.iter_mut().zip(&histogram.counts) {
                         *mine += theirs;
                     }
+                    entry.sum = entry.sum.saturating_add(histogram.sum);
                 }
             }
         }
@@ -247,6 +298,20 @@ impl Metrics {
                     .entry(target.clone())
                     .or_default()
                     .insert(name.clone(), *value);
+            }
+        }
+        for (target, names) in &other.gauge_history {
+            for (name, history) in names {
+                let ring = registry
+                    .gauge_history
+                    .entry(target.clone())
+                    .or_default()
+                    .entry(name.clone())
+                    .or_default();
+                ring.extend_from_slice(history);
+                if ring.len() > GAUGE_HISTORY {
+                    ring.drain(..ring.len() - GAUGE_HISTORY);
+                }
             }
         }
         for (target, names) in &other.spans {
@@ -266,6 +331,49 @@ impl Metrics {
     /// Clears everything (tests; a fresh process starts empty anyway).
     pub fn reset(&self) {
         *self.lock() = Registry::new();
+    }
+
+    /// Every counter as `(target, name, value)`, key-sorted — the
+    /// exposition snapshot ([`crate::expo`]).
+    pub fn counters_snapshot(&self) -> Vec<(String, String, u64)> {
+        let registry = self.lock();
+        registry
+            .counters
+            .iter()
+            .flat_map(|(target, names)| {
+                names
+                    .iter()
+                    .map(move |(name, value)| (target.clone(), name.clone(), *value))
+            })
+            .collect()
+    }
+
+    /// Every gauge as `(target, name, value)`, key-sorted.
+    pub fn gauges_snapshot(&self) -> Vec<(String, String, u64)> {
+        let registry = self.lock();
+        registry
+            .gauges
+            .iter()
+            .flat_map(|(target, names)| {
+                names
+                    .iter()
+                    .map(move |(name, value)| (target.clone(), name.clone(), *value))
+            })
+            .collect()
+    }
+
+    /// Every histogram as `(target, name, snapshot)`, key-sorted.
+    pub fn histograms_snapshot(&self) -> Vec<(String, String, Histogram)> {
+        let registry = self.lock();
+        registry
+            .histograms
+            .iter()
+            .flat_map(|(target, names)| {
+                names
+                    .iter()
+                    .map(move |(name, h)| (target.clone(), name.clone(), h.clone()))
+            })
+            .collect()
     }
 
     /// Every span tally as `(target, name, count, total wall seconds)` —
@@ -601,6 +709,95 @@ mod tests {
         // Overflow observations clip to the ceiling bound.
         assert_eq!(histogram.quantile(1.0), Some(100));
         assert_eq!(Histogram::new(&[5]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_edges_min_max_and_empty() {
+        // Empty histogram: no observations → None, regardless of q.
+        let empty = Histogram::new(&[1, 10, 100]);
+        assert_eq!(empty.quantile(0.0), None);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile(1.0), None);
+        // A histogram with no bounds at all is also empty.
+        assert_eq!(Histogram::new(&[]).quantile(0.5), None);
+
+        let metrics = Metrics::new();
+        for value in [7, 8, 42] {
+            metrics.observe("obs::test", "edge_us", &[1, 10, 100], value);
+        }
+        let h = metrics.histogram("obs::test", "edge_us").unwrap();
+        // q=0 → the first non-empty bucket's bound (rank floors at 1).
+        assert_eq!(h.quantile(0.0), Some(10));
+        // q=1 → the last non-empty bucket's bound.
+        assert_eq!(h.quantile(1.0), Some(100));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.5), h.quantile(1.0));
+
+        // Overflow-only data clips to the ceiling bound for every q.
+        let lonely = {
+            let m = Metrics::new();
+            m.observe("obs::test", "over_us", &[1, 10], 999);
+            m.histogram("obs::test", "over_us").unwrap()
+        };
+        assert_eq!(lonely.quantile(0.0), Some(10));
+        assert_eq!(lonely.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    fn histogram_sum_tracks_and_merges() {
+        let metrics = Metrics::new();
+        for value in [3, 4, 100] {
+            metrics.observe("obs::test", "sum_us", &[10], value);
+        }
+        assert_eq!(metrics.histogram("obs::test", "sum_us").unwrap().sum(), 107);
+        let other = Metrics::new();
+        other.observe("obs::test", "sum_us", &[10], 13);
+        metrics.merge(&other);
+        assert_eq!(metrics.histogram("obs::test", "sum_us").unwrap().sum(), 120);
+        // The JSON snapshot shape is pinned by fixtures: no sum leaks in.
+        assert!(!metrics.to_json_pretty_with(false).contains("\"sum\""));
+    }
+
+    #[test]
+    fn gauge_history_rings() {
+        let metrics = Metrics::new();
+        assert!(metrics
+            .gauge_history("serve::queue", "shard0_depth")
+            .is_empty());
+        for v in 0..(GAUGE_HISTORY as u64 + 5) {
+            metrics.set_gauge("serve::queue", "shard0_depth", v);
+        }
+        let history = metrics.gauge_history("serve::queue", "shard0_depth");
+        assert_eq!(history.len(), GAUGE_HISTORY);
+        assert_eq!(history.first().copied(), Some(5));
+        assert_eq!(history.last().copied(), Some(GAUGE_HISTORY as u64 + 4));
+        // Histories never surface in the snapshot.
+        assert!(!metrics.to_json_pretty_with(false).contains("history"));
+    }
+
+    #[test]
+    fn snapshots_are_key_sorted() {
+        let metrics = Metrics::new();
+        metrics.add("b::y", "m", 1);
+        metrics.add("a::x", "n", 2);
+        metrics.set_gauge("z::q", "depth", 3);
+        metrics.observe("a::x", "lat_us", &[1], 5);
+        assert_eq!(
+            metrics.counters_snapshot(),
+            vec![
+                ("a::x".to_string(), "n".to_string(), 2),
+                ("b::y".to_string(), "m".to_string(), 1)
+            ]
+        );
+        assert_eq!(
+            metrics.gauges_snapshot(),
+            vec![("z::q".to_string(), "depth".to_string(), 3)]
+        );
+        let histograms = metrics.histograms_snapshot();
+        assert_eq!(histograms.len(), 1);
+        assert_eq!(histograms[0].0, "a::x");
+        assert_eq!(histograms[0].2.total(), 1);
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! Causal tracing: deterministic span contexts threaded explicitly
+//! through the pipeline, per-thread span buffers, and a Chrome
+//! trace-event export.
+//!
+//! A [`TraceCtx`] is minted per unit of causally-related work (an
+//! ingested record batch, an HTTP query, a scan chunk) and passed *by
+//! value* through the code that does the work — never smuggled through
+//! thread-locals — so a span's parentage survives queue hops between
+//! threads. Span **identities** (trace/span/parent ids) are FNV-1a
+//! hashes of stable coordinates (stream id, batch index, shard id, …),
+//! so the *set* of spans a run emits is byte-identical at any worker or
+//! shard count; only the wall-clock `ts`/`dur` fields and the recording
+//! thread id vary. The CI trace smoke diffs two runs modulo exactly
+//! those three fields.
+//!
+//! Recording is buffered per thread (a `thread_local!` `Vec` flushed
+//! into one global store on overflow and at thread exit), so the
+//! enabled-path cost is a push, and the disabled-path cost is a single
+//! relaxed atomic load — cheap enough to leave the call sites
+//! unconditionally compiled in (the bench suite holds the disabled
+//! overhead under 3%).
+//!
+//! Enable with `BGPZ_TRACE=<path>` (the CLI writes a Chrome trace-event
+//! JSON there on exit — load it in `chrome://tracing` or Perfetto) or
+//! programmatically with [`force_enable`] (`bgpz profile`).
+
+use crate::json::push_json_str;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, value: u64) -> u64 {
+    fnv_bytes(h, &value.to_le_bytes())
+}
+
+/// A causal context: which trace this work belongs to, which span is
+/// doing it, and which span caused it. Ids are content-derived (FNV-1a
+/// over the coordinates), never random, so identical runs mint
+/// identical contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Groups every span of one causal chain (e.g. one record batch).
+    pub trace_id: u64,
+    /// This unit of work.
+    pub span_id: u64,
+    /// The span that caused this one (0 for roots).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// The null context — carried when tracing is disabled.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+        parent: 0,
+    };
+
+    /// Mints a root context from stable coordinates: `kind` names the
+    /// unit ("ingest", "http", …), `a` selects the lane (stream id,
+    /// route hash), `b` the instance (batch index, request sequence).
+    pub fn root(kind: &str, a: u64, b: u64) -> TraceCtx {
+        let trace_id = fnv_u64(fnv_bytes(FNV_OFFSET, kind.as_bytes()), a);
+        TraceCtx {
+            trace_id,
+            span_id: fnv_u64(trace_id, b),
+            parent: 0,
+        }
+    }
+
+    /// Derives a child context: same trace, new span id hashed from this
+    /// span's id plus the child coordinates, parent pointing here.
+    pub fn child(&self, kind: &str, a: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: fnv_u64(
+                fnv_bytes(fnv_u64(FNV_OFFSET, self.span_id), kind.as_bytes()),
+                a,
+            ),
+            parent: self.span_id,
+        }
+    }
+}
+
+/// One completed span, Chrome trace-event shaped (`ph: "X"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Category — the same `::`-path targets the metrics registry uses.
+    pub cat: &'static str,
+    /// Stage name within the category.
+    pub name: &'static str,
+    /// Causal identity.
+    pub ctx: TraceCtx,
+    /// Logical thread lane (worker/shard/connection id, not an OS tid).
+    pub tid: u64,
+    /// Start, microseconds since process trace epoch (wall clock).
+    pub ts_us: u64,
+    /// Duration in microseconds (wall clock).
+    pub dur_us: u64,
+}
+
+// Tracing enablement: 0 = undecided, 1 = off, 2 = on. The first call
+// consults `BGPZ_TRACE`; every later `enabled()` is one relaxed load —
+// that load *is* the disabled-path overhead.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// The `BGPZ_TRACE` output path, if set non-empty.
+pub fn env_trace_path() -> Option<String> {
+    std::env::var("BGPZ_TRACE").ok().filter(|p| !p.is_empty())
+}
+
+/// Whether spans are being recorded. Hot-path cheap when off.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = env_trace_path().is_some();
+            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turns recording on regardless of the environment (`bgpz profile`).
+pub fn force_enable() {
+    STATE.store(2, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch (first call anchors it).
+pub fn now_us() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Local buffer size that triggers a flush into the global store.
+const FLUSH_AT: usize = 4_096;
+
+struct LocalBuf {
+    spans: Vec<TraceSpan>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        flush_into_global(&mut self.spans);
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = const {
+        RefCell::new(LocalBuf { spans: Vec::new() })
+    };
+}
+
+fn global_store() -> &'static Mutex<Vec<TraceSpan>> {
+    static STORE: OnceLock<Mutex<Vec<TraceSpan>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn flush_into_global(spans: &mut Vec<TraceSpan>) {
+    if spans.is_empty() {
+        return;
+    }
+    let mut store = global_store()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    store.append(spans);
+}
+
+/// Records one completed span (no-op while disabled).
+pub fn emit(
+    cat: &'static str,
+    name: &'static str,
+    tid: u64,
+    ctx: TraceCtx,
+    ts_us: u64,
+    dur_us: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let span = TraceSpan {
+        cat,
+        name,
+        ctx,
+        tid,
+        ts_us,
+        dur_us,
+    };
+    // `try_with` so late emissions during thread teardown degrade to a
+    // direct global push instead of aborting the process.
+    let buffered = LOCAL.try_with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.spans.push(span);
+        if buf.spans.len() >= FLUSH_AT {
+            flush_into_global(&mut buf.spans);
+        }
+    });
+    if buffered.is_err() {
+        flush_into_global(&mut vec![span]);
+    }
+}
+
+/// Moves this thread's buffered spans into the global store. Call before
+/// handing results to another thread (e.g. before writing an HTTP
+/// response whose request span must be visible to a later drain).
+pub fn flush_thread() {
+    let _ = LOCAL.try_with(|cell| flush_into_global(&mut cell.borrow_mut().spans));
+}
+
+/// Flushes the calling thread and takes every recorded span, sorted by
+/// the deterministic identity key `(cat, name, trace, span, ts, dur,
+/// tid)` — two runs that mint the same span set drain in the same order.
+pub fn drain_sorted() -> Vec<TraceSpan> {
+    flush_thread();
+    let mut spans = {
+        let mut store = global_store()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut *store)
+    };
+    spans.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    spans
+}
+
+/// Flushes the calling thread and returns a sorted *copy* of every
+/// recorded span, leaving the store intact — the profiler reads its
+/// table from this while a later [`write_env_trace`] still sees the full
+/// run.
+pub fn snapshot_sorted() -> Vec<TraceSpan> {
+    flush_thread();
+    let mut spans = global_store()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    spans.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+    spans
+}
+
+fn sort_key(s: &TraceSpan) -> (&'static str, &'static str, u64, u64, u64, u64, u64) {
+    (
+        s.cat,
+        s.name,
+        s.ctx.trace_id,
+        s.ctx.span_id,
+        s.ts_us,
+        s.dur_us,
+        s.tid,
+    )
+}
+
+/// A guard that emits a span covering its own lifetime. `None` while
+/// tracing is disabled, so the timestamp reads are skipped entirely.
+#[must_use = "the span covers the guard's lifetime"]
+pub struct ScopedSpan {
+    cat: &'static str,
+    name: &'static str,
+    tid: u64,
+    ctx: TraceCtx,
+    start_us: u64,
+}
+
+impl Drop for ScopedSpan {
+    fn drop(&mut self) {
+        let end = now_us();
+        emit(
+            self.cat,
+            self.name,
+            self.tid,
+            self.ctx,
+            self.start_us,
+            end.saturating_sub(self.start_us),
+        );
+    }
+}
+
+/// Opens a scoped span (`None` while disabled).
+pub fn scoped(
+    cat: &'static str,
+    name: &'static str,
+    tid: u64,
+    ctx: TraceCtx,
+) -> Option<ScopedSpan> {
+    if !enabled() {
+        return None;
+    }
+    Some(ScopedSpan {
+        cat,
+        name,
+        tid,
+        ctx,
+        start_us: now_us(),
+    })
+}
+
+/// Renders spans as Chrome trace-event JSON (`ph: "X"` complete events,
+/// one per line) — loadable in `chrome://tracing` and Perfetto. Ids ride
+/// in `args` as hex strings. Deterministic given a deterministic input
+/// order ([`drain_sorted`]).
+pub fn to_chrome_json(spans: &[TraceSpan]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, span) in spans.iter().enumerate() {
+        out.push('{');
+        push_json_str(&mut out, "name");
+        out.push(':');
+        push_json_str(&mut out, span.name);
+        out.push(',');
+        push_json_str(&mut out, "cat");
+        out.push(':');
+        push_json_str(&mut out, span.cat);
+        out.push_str(",\"ph\":\"X\",\"ts\":");
+        out.push_str(&span.ts_us.to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&span.dur_us.to_string());
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&span.tid.to_string());
+        out.push_str(",\"args\":{\"trace\":");
+        push_json_str(&mut out, &format!("{:#x}", span.ctx.trace_id));
+        out.push_str(",\"span\":");
+        push_json_str(&mut out, &format!("{:#x}", span.ctx.span_id));
+        out.push_str(",\"parent\":");
+        push_json_str(&mut out, &format!("{:#x}", span.ctx.parent));
+        out.push_str("}}");
+        if i + 1 != spans.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Drains every recorded span and writes the Chrome trace to the
+/// `BGPZ_TRACE` path. Returns the path written, `None` when the variable
+/// is unset. The CLI calls this once on exit.
+pub fn write_env_trace() -> std::io::Result<Option<String>> {
+    let Some(path) = env_trace_path() else {
+        return Ok(None);
+    };
+    let spans = drain_sorted();
+    std::fs::write(&path, to_chrome_json(&spans))?;
+    Ok(Some(path))
+}
+
+/// One aggregated `(cat, name)` row of a profile table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    pub cat: String,
+    pub name: String,
+    /// Spans aggregated into this row.
+    pub count: u64,
+    /// Summed span duration, microseconds.
+    pub total_us: u64,
+}
+
+/// Aggregates spans into per-`(cat, name)` rows, largest total first
+/// (ties broken by `(cat, name)` so the table is stable).
+pub fn profile_rows(spans: &[TraceSpan]) -> Vec<ProfileRow> {
+    let mut by_key: std::collections::BTreeMap<(&str, &str), (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for span in spans {
+        let slot = by_key.entry((span.cat, span.name)).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 = slot.1.saturating_add(span.dur_us);
+    }
+    let mut rows: Vec<ProfileRow> = by_key
+        .into_iter()
+        .map(|((cat, name), (count, total_us))| ProfileRow {
+            cat: cat.to_string(),
+            name: name.to_string(),
+            count,
+            total_us,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total_us
+            .cmp(&a.total_us)
+            .then_with(|| a.cat.cmp(&b.cat))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Fraction of pipeline busy time attributed to spans the `tiling`
+/// predicate accepts: for each logical thread lane (tid) the busy window
+/// is `max(ts + dur) - min(ts)` over its tiling spans, and coverage is
+/// total tiling duration over total window. Meaningful when the tiling
+/// spans of one lane are non-overlapping and back-to-back (the pipeline
+/// stage spans are emitted that way). Returns 0.0 with no spans.
+pub fn coverage<F: Fn(&TraceSpan) -> bool>(spans: &[TraceSpan], tiling: F) -> f64 {
+    let mut windows: std::collections::BTreeMap<u64, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut busy = 0u64;
+    for span in spans.iter().filter(|s| tiling(s)) {
+        busy = busy.saturating_add(span.dur_us);
+        let end = span.ts_us.saturating_add(span.dur_us);
+        let window = windows.entry(span.tid).or_insert((span.ts_us, end));
+        window.0 = window.0.min(span.ts_us);
+        window.1 = window.1.max(end);
+    }
+    let total: u64 = windows
+        .values()
+        .map(|(lo, hi)| hi.saturating_sub(*lo))
+        .sum();
+    if total == 0 {
+        return 0.0;
+    }
+    busy as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_ids_are_content_derived() {
+        let a = TraceCtx::root("ingest", 3, 0);
+        let b = TraceCtx::root("ingest", 3, 0);
+        assert_eq!(a, b, "same coordinates mint the same context");
+        assert_ne!(a, TraceCtx::root("ingest", 3, 1));
+        assert_ne!(a, TraceCtx::root("http", 3, 0));
+        assert_eq!(a.parent, 0);
+
+        let child = a.child("rec", 7);
+        assert_eq!(child.trace_id, a.trace_id, "children stay in the trace");
+        assert_eq!(child.parent, a.span_id);
+        assert_eq!(child, a.child("rec", 7));
+        assert_ne!(child.span_id, a.child("rec", 8).span_id);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let spans = vec![
+            TraceSpan {
+                cat: "serve::ingest",
+                name: "ingest_batch",
+                ctx: TraceCtx::root("ingest", 0, 0),
+                tid: 1000,
+                ts_us: 10,
+                dur_us: 25,
+            },
+            TraceSpan {
+                cat: "serve::http",
+                name: "/zombies",
+                ctx: TraceCtx::root("http", 1, 0),
+                tid: 4000,
+                ts_us: 50,
+                dur_us: 5,
+            },
+        ];
+        let json = to_chrome_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":[\n"), "{json}");
+        assert!(json.ends_with("]}\n"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"name\":\"ingest_batch\""), "{json}");
+        assert!(
+            json.contains("\"ts\":10,\"dur\":25,\"pid\":1,\"tid\":1000"),
+            "{json}"
+        );
+        assert_eq!(json.matches("\"ph\"").count(), 2);
+        // Every event object carries its causal identity.
+        assert_eq!(json.matches("\"trace\":").count(), 2);
+        assert_eq!(json.matches("\"parent\":").count(), 2);
+    }
+
+    #[test]
+    fn profile_rows_aggregate_and_sort() {
+        let mk = |cat, name, dur| TraceSpan {
+            cat,
+            name,
+            ctx: TraceCtx::NONE,
+            tid: 1,
+            ts_us: 0,
+            dur_us: dur,
+        };
+        let rows = profile_rows(&[
+            mk("serve::shard", "detect", 10),
+            mk("serve::shard", "detect", 30),
+            mk("serve::ingest", "ingest_batch", 15),
+        ]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "detect");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_us, 40);
+        assert_eq!(rows[1].name, "ingest_batch");
+        assert_eq!(rows[1].total_us, 15);
+    }
+
+    #[test]
+    fn coverage_over_tiled_lanes() {
+        let mk = |tid, ts, dur| TraceSpan {
+            cat: "serve::shard",
+            name: "detect",
+            ctx: TraceCtx::NONE,
+            tid,
+            ts_us: ts,
+            dur_us: dur,
+        };
+        // Lane 1: busy 80 of window 100; lane 2: busy 100 of window 100.
+        let spans = vec![mk(1, 0, 50), mk(1, 70, 30), mk(2, 0, 100)];
+        let c = coverage(&spans, |_| true);
+        assert!((c - 0.9).abs() < 1e-9, "{c}");
+        assert_eq!(coverage(&[], |_| true), 0.0);
+    }
+
+    // The global span store is process-wide, so tests that drain it must
+    // not interleave.
+    static DRAIN_TESTS: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn emit_flush_drain_roundtrip() {
+        let _serial = DRAIN_TESTS.lock().unwrap_or_else(PoisonError::into_inner);
+        force_enable();
+        let ctx = TraceCtx::root("test-rt", 1, 2);
+        emit("obs::test_trace_rt", "unit", 42, ctx, 5, 7);
+        let drained = drain_sorted();
+        let mine: Vec<&TraceSpan> = drained
+            .iter()
+            .filter(|s| s.cat == "obs::test_trace_rt")
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].ctx, ctx);
+        assert_eq!(mine[0].tid, 42);
+        assert_eq!(mine[0].dur_us, 7);
+        // Drained means gone.
+        assert!(!drain_sorted().iter().any(|s| s.cat == "obs::test_trace_rt"));
+    }
+
+    #[test]
+    fn scoped_span_emits_on_drop() {
+        let _serial = DRAIN_TESTS.lock().unwrap_or_else(PoisonError::into_inner);
+        force_enable();
+        {
+            let _guard = scoped("obs::test_trace_scoped", "unit", 9, TraceCtx::NONE);
+        }
+        let drained = drain_sorted();
+        assert!(
+            drained.iter().any(|s| s.cat == "obs::test_trace_scoped"),
+            "scoped guard must record on drop"
+        );
+    }
+}

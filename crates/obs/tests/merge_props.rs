@@ -1,0 +1,161 @@
+//! Property tests for `Metrics::merge`: the per-shard
+//! accumulate-then-merge pattern is only sound if merging is a
+//! commutative, associative fold — shards finish in any order, and the
+//! snapshot artifact must not care.
+//!
+//! Span wall-seconds use whole-number values so float addition is exact
+//! and order-independent here; the deterministic snapshot excludes wall
+//! time anyway, but exactness lets the wall-including view be asserted
+//! byte-identical too.
+
+use bgpz_obs::metrics::Metrics;
+use proptest::prelude::*;
+
+/// A small shared key space so random op sets actually collide.
+const TARGETS: [&str; 3] = ["core::scan", "serve::http", "mrt::read"];
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Bucket bounds are fixed per key: the registry pins bounds at first
+/// observation, so a well-formed recorder always passes the same bounds
+/// for one `(target, name)`.
+const BOUNDS: [&[u64]; 3] = [&[1, 10, 100], &[5, 50], &[2, 4, 8, 16]];
+
+fn key_bounds(target: usize, name: usize) -> &'static [u64] {
+    BOUNDS[(target + name) % BOUNDS.len()]
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Counter {
+        target: usize,
+        name: usize,
+        delta: u64,
+    },
+    Observe {
+        target: usize,
+        name: usize,
+        value: u64,
+    },
+    Span {
+        target: usize,
+        name: usize,
+        secs: u16,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, 0usize..3, 0u64..1_000).prop_map(|(target, name, delta)| Op::Counter {
+            target,
+            name,
+            delta
+        }),
+        (0usize..3, 0usize..3, 0u64..500).prop_map(|(target, name, value)| Op::Observe {
+            target,
+            name,
+            value
+        }),
+        (0usize..3, 0usize..3, 0u16..100).prop_map(|(target, name, secs)| Op::Span {
+            target,
+            name,
+            secs
+        }),
+    ]
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(arb_op(), 0..40)
+}
+
+fn apply(ops: &[Op]) -> Metrics {
+    let metrics = Metrics::new();
+    for op in ops {
+        match *op {
+            Op::Counter {
+                target,
+                name,
+                delta,
+            } => {
+                metrics.add(TARGETS[target], NAMES[name], delta);
+            }
+            Op::Observe {
+                target,
+                name,
+                value,
+            } => {
+                metrics.observe(
+                    TARGETS[target],
+                    NAMES[name],
+                    key_bounds(target, name),
+                    value,
+                );
+            }
+            Op::Span { target, name, secs } => {
+                metrics.record_span(TARGETS[target], NAMES[name], f64::from(secs));
+            }
+        }
+    }
+    metrics
+}
+
+fn merged(parts: &[&Metrics]) -> Metrics {
+    let out = Metrics::new();
+    for part in parts {
+        out.merge(part);
+    }
+    out
+}
+
+/// Both snapshot views: the deterministic artifact and the
+/// wall-including one (exact here by construction).
+fn snapshot(metrics: &Metrics) -> (String, String) {
+    (
+        metrics.to_json_pretty_with(false),
+        metrics.to_json_pretty_with(true),
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_ops(), b in arb_ops()) {
+        let (ma, mb) = (apply(&a), apply(&b));
+        prop_assert_eq!(snapshot(&merged(&[&ma, &mb])), snapshot(&merged(&[&mb, &ma])));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_ops(), b in arb_ops(), c in arb_ops()) {
+        let (ma, mb, mc) = (apply(&a), apply(&b), apply(&c));
+        // (a ⊕ b) ⊕ c
+        let left = merged(&[&ma, &mb]);
+        left.merge(&mc);
+        // a ⊕ (b ⊕ c)
+        let right = Metrics::new();
+        right.merge(&ma);
+        right.merge(&merged(&[&mb, &mc]));
+        prop_assert_eq!(snapshot(&left), snapshot(&right));
+    }
+
+    #[test]
+    fn snapshot_is_merge_order_invariant(a in arb_ops(), b in arb_ops(), c in arb_ops()) {
+        let (ma, mb, mc) = (apply(&a), apply(&b), apply(&c));
+        let reference = snapshot(&merged(&[&ma, &mb, &mc]));
+        for order in [
+            [&ma, &mc, &mb],
+            [&mb, &ma, &mc],
+            [&mb, &mc, &ma],
+            [&mc, &ma, &mb],
+            [&mc, &mb, &ma],
+        ] {
+            prop_assert_eq!(&snapshot(&merged(&order)), &reference);
+        }
+    }
+
+    #[test]
+    fn merge_matches_directly_recorded_union(a in arb_ops(), b in arb_ops()) {
+        // Merging two halves equals recording the concatenated op list
+        // into one registry — merge loses nothing and invents nothing.
+        let union: Vec<Op> = a.iter().chain(b.iter()).cloned().collect();
+        let direct = apply(&union);
+        prop_assert_eq!(snapshot(&merged(&[&apply(&a), &apply(&b)])), snapshot(&direct));
+    }
+}

@@ -5,14 +5,20 @@
 //!
 //! Routes:
 //!
-//! | route             | body                                              |
-//! |-------------------|---------------------------------------------------|
-//! | `GET /healthz`    | status, version, record/shed/zombie counters      |
-//! | `GET /zombies`    | the canonical zombie + resurrection sets          |
-//! | `GET /lifespans`  | nearest-rank lifespan percentiles                 |
-//! | `GET /peers`      | per-peer feed health                              |
-//! | `GET /metrics`    | the `bgpz-obs` metrics registry as JSON           |
-//! | `POST /shutdown`  | acknowledges, then stops the accept loop          |
+//! | route                | body                                            |
+//! |----------------------|-------------------------------------------------|
+//! | `GET /healthz`       | status, version, record/shed/zombie counters    |
+//! | `GET /zombies`       | the canonical zombie + resurrection sets        |
+//! | `GET /lifespans`     | nearest-rank lifespan percentiles               |
+//! | `GET /peers`         | per-peer feed health                            |
+//! | `GET /metrics`       | the registry in Prometheus text exposition      |
+//! | `GET /metrics.json`  | the registry as the `metrics.json` artifact     |
+//! | `POST /shutdown`     | acknowledges, then stops the accept loop        |
+//!
+//! When tracing is on, each request is one span (`serve::http` /
+//! `<route>`) emitted and flushed *before* the response bytes go out, so
+//! a client that drains the trace after its last response always sees
+//! its own requests.
 //!
 //! Hot-path responses (`/zombies`, `/lifespans`, `/peers`) go through a
 //! cache keyed by the state's mutation version: while ingest is quiet,
@@ -20,13 +26,19 @@
 //! the cache invalidates itself the instant a shard folds in an event.
 
 use crate::state::ServeState;
+use bgpz_obs::trace::{self, TraceCtx};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Global request sequence — the `b` coordinate of each request's trace
+/// root, so sequential clients (the smoke, the profiler) get
+/// run-invariant span identities.
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Shared handles the connection threads need.
 struct Router {
@@ -113,11 +125,28 @@ fn serve_connection(stream: TcpStream, router: &Router) {
         };
         let _t = bgpz_obs::metrics::latency_timer("serve::http", "query_us");
         bgpz_obs::metrics::counter("serve::http", "requests", 1);
-        let (status, body) = router.route(&request.method, &request.path);
+        let tracing = trace::enabled();
+        let t0 = if tracing { trace::now_us() } else { 0 };
+        let (status, body, content_type, route_name) = router.route(&request.method, &request.path);
+        if tracing {
+            // Emit and flush before the response: once the client has
+            // the bytes, the span is already in the global store.
+            let seq = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
+            let ctx = TraceCtx::root("http", 0, seq);
+            trace::emit(
+                "serve::http",
+                route_name,
+                4_000,
+                ctx,
+                t0,
+                trace::now_us().saturating_sub(t0),
+            );
+            trace::flush_thread();
+        }
         let keep_alive = request.keep_alive && !router.shutdown.load(Ordering::SeqCst);
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let head = format!(
-            "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
             body.len()
         );
         if writer.write_all(head.as_bytes()).is_err() || writer.write_all(body.as_bytes()).is_err()
@@ -179,16 +208,39 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
     })
 }
 
+const JSON: &str = "application/json";
+/// The Prometheus text exposition format version `/metrics` speaks.
+const PROM: &str = "text/plain; version=0.0.4";
+
 impl Router {
-    fn route(&self, method: &str, path: &str) -> (&'static str, Arc<String>) {
+    /// Resolves one request to `(status, body, content type, route name)`
+    /// — the route name doubles as the request's trace-span name.
+    fn route(
+        &self,
+        method: &str,
+        path: &str,
+    ) -> (&'static str, Arc<String>, &'static str, &'static str) {
         match (method, path) {
-            ("GET", "/healthz") => ("200 OK", Arc::new(self.state.lock().render_health())),
-            ("GET", "/zombies") | ("GET", "/lifespans") | ("GET", "/peers") => {
-                ("200 OK", self.cached(path))
-            }
+            ("GET", "/healthz") => (
+                "200 OK",
+                Arc::new(self.state.lock().render_health()),
+                JSON,
+                "/healthz",
+            ),
+            ("GET", "/zombies") => ("200 OK", self.cached(path), JSON, "/zombies"),
+            ("GET", "/lifespans") => ("200 OK", self.cached(path), JSON, "/lifespans"),
+            ("GET", "/peers") => ("200 OK", self.cached(path), JSON, "/peers"),
             ("GET", "/metrics") => (
                 "200 OK",
+                Arc::new(bgpz_obs::expo::to_prometheus(bgpz_obs::metrics::global())),
+                PROM,
+                "/metrics",
+            ),
+            ("GET", "/metrics.json") => (
+                "200 OK",
                 Arc::new(bgpz_obs::metrics::global().to_json_pretty()),
+                JSON,
+                "/metrics.json",
             ),
             ("POST", "/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -196,11 +248,15 @@ impl Router {
                 (
                     "200 OK",
                     Arc::new(String::from("{\"status\":\"draining\"}")),
+                    JSON,
+                    "/shutdown",
                 )
             }
             _ => (
                 "404 Not Found",
                 Arc::new(String::from("{\"error\":\"no such route\"}")),
+                JSON,
+                "other",
             ),
         }
     }

@@ -21,19 +21,37 @@
 //! Backpressure is explicit: shard queues are bounded
 //! [`std::sync::mpsc::sync_channel`]s. Under [`OverloadPolicy::Block`]
 //! (the default) a full queue blocks the ingest worker; under
-//! [`OverloadPolicy::Shed`] the payload is dropped, counted, and
-//! replaced by its watermark so the pipeline keeps draining.
+//! [`OverloadPolicy::Shed`] *detector-irrelevant* payloads are dropped,
+//! counted, and replaced by their watermark so the pipeline keeps
+//! draining. A payload is protected from shedding when its shard's
+//! detector actually needs it — session state changes, and updates
+//! mentioning an armed beacon prefix owned by that shard — so shedding
+//! never changes the final zombie set, only the load (the parity test
+//! pins this).
+//!
+//! ## Tracing
+//!
+//! When `bgpz_obs::trace` is enabled, every per-stream batch of
+//! [`TRACE_BATCH`] records mints a [`TraceCtx`] root; each record
+//! carries a child context across the queue hop, and shards emit
+//! `queue_wait` / `reorder` / `detect` stage spans per
+//! [`TRACE_CHUNK`]-message chunk plus a `detect_events` span (parented
+//! on the releasing record's context) whenever the detector fires.
+//! Every span identity derives from worker-count-invariant coordinates
+//! (stream id, batch index, shard id, chunk index), so two runs differ
+//! only in `ts`/`dur`/`tid`.
 
 use crate::state::ServeState;
 use bgpz_core::realtime::{RealtimeDetector, RealtimeEvent};
 use bgpz_core::scan::PeerId;
 use bgpz_core::{BeaconInterval, ClassifyOptions};
 use bgpz_mrt::{MrtBody, MrtReader, MrtRecord};
+use bgpz_obs::trace::{self, TraceCtx};
 use bgpz_types::{Prefix, SimTime};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -43,7 +61,8 @@ use std::sync::Arc;
 pub enum OverloadPolicy {
     /// Block the ingest worker until the shard catches up (lossless).
     Block,
-    /// Drop the payload, count it, and forward only its watermark.
+    /// Drop detector-irrelevant payloads, count them, and forward only
+    /// their watermarks. Payloads the shard's detector needs still block.
     Shed,
 }
 
@@ -55,6 +74,9 @@ pub(crate) enum ShardMsg {
         stream: usize,
         seq: u64,
         record: Box<MrtRecord>,
+        /// Causal context minted by the ingest worker (zero when tracing
+        /// is off) — crosses the queue with the record.
+        ctx: TraceCtx,
     },
     /// A stream's clock advanced past `ts` with nothing for this shard.
     Watermark { stream: usize, ts: SimTime },
@@ -81,9 +103,17 @@ pub(crate) fn shard_of(prefix: &Prefix, shards: usize) -> usize {
     (h % shards.max(1) as u64) as usize
 }
 
-/// Sends one message, honoring the overload policy. Returns `false` when
-/// the shard is gone (shutdown race) and the worker should stop.
-fn send(sender: &ShardSender, msg: ShardMsg, policy: OverloadPolicy, shed: &mut u64) -> bool {
+/// Sends one message, honoring the overload policy. `protected` marks a
+/// payload the receiving shard's detector needs — it is never shed, only
+/// blocked on. Returns `false` when the shard is gone (shutdown race)
+/// and the worker should stop.
+fn send(
+    sender: &ShardSender,
+    msg: ShardMsg,
+    policy: OverloadPolicy,
+    protected: bool,
+    shed: &mut u64,
+) -> bool {
     let msg = match policy {
         OverloadPolicy::Block => msg,
         OverloadPolicy::Shed => match sender.tx.try_send(msg) {
@@ -92,9 +122,11 @@ fn send(sender: &ShardSender, msg: ShardMsg, policy: OverloadPolicy, shed: &mut 
                 return true;
             }
             Err(TrySendError::Disconnected(_)) => return false,
-            Err(TrySendError::Full(ShardMsg::Record { stream, record, .. })) => {
+            Err(TrySendError::Full(ShardMsg::Record { stream, record, .. })) if !protected => {
                 // Shed the payload but never the clock: the watermark
-                // still advances so the shard keeps releasing.
+                // still advances so the shard keeps releasing. Only
+                // detector-irrelevant payloads reach this arm, so the
+                // zombie set is untouched by construction.
                 *shed += 1;
                 bgpz_obs::metrics::counter("serve::ingest", "shed_records", 1);
                 ShardMsg::Watermark {
@@ -116,6 +148,12 @@ fn send(sender: &ShardSender, msg: ShardMsg, policy: OverloadPolicy, shed: &mut 
 /// notes and counters into the shared state.
 const ACTIVITY_FLUSH: u64 = 512;
 
+/// Records per stream per trace batch. A fixed **per-stream** size (not
+/// the cross-stream [`ACTIVITY_FLUSH`]): each stream has exactly one
+/// owning worker at any worker count, so the batch set — and therefore
+/// the trace span identities — is worker-count-invariant.
+const TRACE_BATCH: u64 = 256;
+
 /// One ingest worker: drains its streams in round order, routing each
 /// record to shard queues.
 pub(crate) struct IngestWorker {
@@ -125,22 +163,42 @@ pub(crate) struct IngestWorker {
     pub policy: OverloadPolicy,
     pub shards: usize,
     pub state: Arc<Mutex<ServeState>>,
+    /// Stable worker index — the trace `tid` lane.
+    pub worker_id: usize,
+    /// The armed beacon prefixes: updates touching one are
+    /// shed-protected for the shard that owns it.
+    pub armed: Arc<BTreeSet<Prefix>>,
 }
 
 impl IngestWorker {
     pub fn run(self) {
         let _span = bgpz_obs::span("serve::ingest", "worker");
+        let tracing = trace::enabled();
+        let tid = 1_000 + self.worker_id as u64;
         let mut activity: HashMap<PeerId, SimTime> = HashMap::new();
         let mut pending_records = 0u64;
-        let mut pending_shed = 0u64;
+        // Shed counts per shard, flushed into state with the activity.
+        let mut pending_shed = vec![0u64; self.shards];
         let mut targets = vec![false; self.shards];
+        let mut protected = vec![false; self.shards];
         for (stream, data) in &self.streams {
             let mut reader = MrtReader::new(data.clone());
             let mut seq = 0u64;
+            let mut batch_idx = 0u64;
+            let mut batch_ctx = TraceCtx::NONE;
+            let mut batch_start = 0u64;
+            let mut in_batch = 0u64;
+            if tracing {
+                batch_ctx = TraceCtx::root("ingest", *stream as u64, 0);
+                batch_start = trace::now_us();
+            }
             while let Some(record) = reader.next_record() {
                 let _t = bgpz_obs::metrics::latency_timer("serve::ingest", "record_us");
                 for t in targets.iter_mut() {
                     *t = false;
+                }
+                for p in protected.iter_mut() {
+                    *p = false;
                 }
                 match &record.body {
                     MrtBody::Message(msg) => {
@@ -150,14 +208,19 @@ impl IngestWorker {
                         };
                         note(&mut activity, peer, record.timestamp);
                         if let bgpz_types::BgpMessage::Update(update) = &msg.message {
-                            for prefix in update.announced() {
-                                if let Some(t) = targets.get_mut(shard_of(&prefix, self.shards)) {
+                            for prefix in
+                                update.announced().into_iter().chain(update.withdrawn_all())
+                            {
+                                let shard = shard_of(&prefix, self.shards);
+                                if let Some(t) = targets.get_mut(shard) {
                                     *t = true;
                                 }
-                            }
-                            for prefix in update.withdrawn_all() {
-                                if let Some(t) = targets.get_mut(shard_of(&prefix, self.shards)) {
-                                    *t = true;
+                                // Only updates the shard's detector will
+                                // actually consume are shed-protected.
+                                if self.armed.contains(&prefix) {
+                                    if let Some(p) = protected.get_mut(shard) {
+                                        *p = true;
+                                    }
                                 }
                             }
                         }
@@ -172,16 +235,32 @@ impl IngestWorker {
                         for t in targets.iter_mut() {
                             *t = true;
                         }
+                        for p in protected.iter_mut() {
+                            *p = true;
+                        }
                     }
                     _ => {}
                 }
                 let ts = record.timestamp;
-                for (sender, hit) in self.senders.iter().zip(&targets) {
+                let ctx = if tracing {
+                    batch_ctx.child("rec", seq)
+                } else {
+                    TraceCtx::NONE
+                };
+                let mut ok = true;
+                for (((sender, hit), guard), shed) in self
+                    .senders
+                    .iter()
+                    .zip(&targets)
+                    .zip(&protected)
+                    .zip(pending_shed.iter_mut())
+                {
                     let msg = if *hit {
                         ShardMsg::Record {
                             stream: *stream,
                             seq,
                             record: Box::new(record.clone()),
+                            ctx,
                         }
                     } else {
                         ShardMsg::Watermark {
@@ -189,22 +268,56 @@ impl IngestWorker {
                             ts,
                         }
                     };
-                    if !send(sender, msg, self.policy, &mut pending_shed) {
-                        return;
+                    if !send(sender, msg, self.policy, *guard, shed) {
+                        ok = false;
+                        break;
                     }
+                }
+                if !ok {
+                    return;
                 }
                 seq += 1;
                 pending_records += 1;
+                if tracing {
+                    in_batch += 1;
+                    if in_batch == TRACE_BATCH {
+                        let end = trace::now_us();
+                        trace::emit(
+                            "serve::ingest",
+                            "ingest_batch",
+                            tid,
+                            batch_ctx,
+                            batch_start,
+                            end.saturating_sub(batch_start),
+                        );
+                        batch_idx += 1;
+                        batch_ctx = TraceCtx::root("ingest", *stream as u64, batch_idx);
+                        batch_start = end;
+                        in_batch = 0;
+                    }
+                }
                 if pending_records >= ACTIVITY_FLUSH {
                     self.flush(&mut activity, &mut pending_records, &mut pending_shed);
                 }
             }
-            for sender in &self.senders {
+            if tracing && in_batch > 0 {
+                let end = trace::now_us();
+                trace::emit(
+                    "serve::ingest",
+                    "ingest_batch",
+                    tid,
+                    batch_ctx,
+                    batch_start,
+                    end.saturating_sub(batch_start),
+                );
+            }
+            for (sender, shed) in self.senders.iter().zip(pending_shed.iter_mut()) {
                 if !send(
                     sender,
                     ShardMsg::Flush { stream: *stream },
                     self.policy,
-                    &mut pending_shed,
+                    true,
+                    shed,
                 ) {
                     return;
                 }
@@ -212,15 +325,19 @@ impl IngestWorker {
             bgpz_obs::metrics::counter("serve::ingest", "streams_drained", 1);
         }
         self.flush(&mut activity, &mut pending_records, &mut pending_shed);
+        if tracing {
+            trace::flush_thread();
+        }
     }
 
     fn flush(
         &self,
         activity: &mut HashMap<PeerId, SimTime>,
         pending_records: &mut u64,
-        pending_shed: &mut u64,
+        pending_shed: &mut [u64],
     ) {
-        if activity.is_empty() && *pending_records == 0 && *pending_shed == 0 {
+        let shed_total: u64 = pending_shed.iter().sum();
+        if activity.is_empty() && *pending_records == 0 && shed_total == 0 {
             return;
         }
         bgpz_obs::metrics::counter("serve::ingest", "records", *pending_records);
@@ -231,11 +348,13 @@ impl IngestWorker {
             state.note_activity(peer, seen);
         }
         state.note_records(*pending_records);
-        if *pending_shed > 0 {
-            state.note_shed(*pending_shed);
+        for (shard, shed) in pending_shed.iter_mut().enumerate() {
+            if *shed > 0 {
+                state.note_shed_shard(shard, *shed);
+                *shed = 0;
+            }
         }
         *pending_records = 0;
-        *pending_shed = 0;
     }
 }
 
@@ -252,6 +371,7 @@ fn note(activity: &mut HashMap<PeerId, SimTime>, peer: PeerId, ts: SimTime) {
 struct Pending {
     key: (SimTime, usize, u64),
     record: Box<MrtRecord>,
+    ctx: TraceCtx,
 }
 
 impl PartialEq for Pending {
@@ -273,6 +393,59 @@ impl Ord for Pending {
 
 /// How many queue messages a shard handles between depth-gauge updates.
 const GAUGE_EVERY: u64 = 256;
+
+/// Queue messages per shard trace chunk. Every record reaches every
+/// shard as exactly one message (payload or watermark), so per-shard
+/// message counts — and therefore chunk span identities — are invariant
+/// under the worker count.
+const TRACE_CHUNK: u64 = 1_024;
+
+/// Accumulated stage time within the current trace chunk. The three
+/// stage spans are emitted back-to-back from the chunk's start so they
+/// tile the chunk wall time without overlapping.
+#[derive(Default)]
+struct ChunkTimes {
+    idx: u64,
+    t0: u64,
+    wait: u64,
+    reorder: u64,
+    detect: u64,
+}
+
+impl ChunkTimes {
+    fn emit(&mut self, tid: u64, shard: u64) {
+        let base = self.t0;
+        trace::emit(
+            "serve::shard",
+            "queue_wait",
+            tid,
+            TraceCtx::root("shard-wait", shard, self.idx),
+            base,
+            self.wait,
+        );
+        trace::emit(
+            "serve::shard",
+            "reorder",
+            tid,
+            TraceCtx::root("shard-reorder", shard, self.idx),
+            base.saturating_add(self.wait),
+            self.reorder,
+        );
+        trace::emit(
+            "serve::shard",
+            "detect",
+            tid,
+            TraceCtx::root("shard-detect", shard, self.idx),
+            base.saturating_add(self.wait).saturating_add(self.reorder),
+            self.detect,
+        );
+        self.idx += 1;
+        self.t0 = trace::now_us();
+        self.wait = 0;
+        self.reorder = 0;
+        self.detect = 0;
+    }
+}
 
 /// One shard task: owns the detector for its slice of the armed
 /// intervals and replays released records in global time order.
@@ -312,19 +485,37 @@ impl Shard {
 
     pub fn run(mut self) {
         let _span = bgpz_obs::span("serve::shard", "run");
+        let tracing = trace::enabled();
+        let tid = 2_000 + self.id as u64;
+        let shard64 = self.id as u64;
         let mut watermarks: Vec<SimTime> = vec![SimTime::ZERO; self.streams];
         let mut flushed: Vec<bool> = vec![false; self.streams];
         let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
         let mut max_ts = SimTime::ZERO;
         let mut handled = 0u64;
+        let mut event_seq = 0u64;
+        let mut chunk = ChunkTimes::default();
+        if tracing {
+            chunk.t0 = trace::now_us();
+        }
         let gauge_name = format!("shard{}_depth", self.id);
-        while let Ok(msg) = self.rx.recv() {
+        loop {
+            let wait0 = if tracing { trace::now_us() } else { 0 };
+            let Ok(msg) = self.rx.recv() else { break };
+            let handle0 = if tracing {
+                let t = trace::now_us();
+                chunk.wait += t.saturating_sub(wait0);
+                t
+            } else {
+                0
+            };
             self.depth.fetch_sub(1, Ordering::Relaxed);
             match msg {
                 ShardMsg::Record {
                     stream,
                     seq,
                     record,
+                    ctx,
                 } => {
                     let ts = record.timestamp;
                     advance_mark(&mut watermarks, stream, ts);
@@ -332,6 +523,7 @@ impl Shard {
                     heap.push(Reverse(Pending {
                         key: (ts, stream, seq),
                         record,
+                        ctx,
                     }));
                 }
                 ShardMsg::Watermark { stream, ts } => {
@@ -344,7 +536,23 @@ impl Shard {
                     }
                 }
             }
-            self.release(&mut heap, min_watermark(&watermarks, &flushed));
+            let release0 = if tracing {
+                let t = trace::now_us();
+                chunk.reorder += t.saturating_sub(handle0);
+                t
+            } else {
+                0
+            };
+            self.release(
+                &mut heap,
+                min_watermark(&watermarks, &flushed),
+                &mut event_seq,
+                tracing,
+                tid,
+            );
+            if tracing {
+                chunk.detect += trace::now_us().saturating_sub(release0);
+            }
             handled += 1;
             if handled.is_multiple_of(GAUGE_EVERY) {
                 bgpz_obs::metrics::gauge(
@@ -353,13 +561,28 @@ impl Shard {
                     self.depth.load(Ordering::Relaxed),
                 );
             }
+            if tracing && handled.is_multiple_of(TRACE_CHUNK) {
+                chunk.emit(tid, shard64);
+            }
         }
         // Every sender hung up: drain whatever is buffered, then fire the
         // remaining deadlines well past the last observed instant.
-        self.release(&mut heap, SimTime(u64::MAX));
+        let drain0 = if tracing { trace::now_us() } else { 0 };
+        self.release(&mut heap, SimTime(u64::MAX), &mut event_seq, tracing, tid);
         let horizon = SimTime(max_ts.secs().saturating_add(self.drain_grace));
         let events = self.detector.advance(horizon);
-        self.apply(events);
+        self.apply(
+            events,
+            TraceCtx::root("shard-drain", shard64, 0),
+            &mut event_seq,
+            tracing,
+            tid,
+        );
+        if tracing {
+            chunk.detect += trace::now_us().saturating_sub(drain0);
+            chunk.emit(tid, shard64);
+            trace::flush_thread();
+        }
         bgpz_obs::metrics::gauge("serve::queue", &gauge_name, 0);
         bgpz_obs::debug!(
             target: "serve::shard",
@@ -371,24 +594,58 @@ impl Shard {
 
     /// Releases buffered records whose timestamp every live stream has
     /// passed, in `(ts, stream, seq)` order.
-    fn release(&mut self, heap: &mut BinaryHeap<Reverse<Pending>>, min: SimTime) {
+    fn release(
+        &mut self,
+        heap: &mut BinaryHeap<Reverse<Pending>>,
+        min: SimTime,
+        event_seq: &mut u64,
+        tracing: bool,
+        tid: u64,
+    ) {
         while heap.peek().is_some_and(|Reverse(p)| p.key.0 <= min) {
             let Some(Reverse(pending)) = heap.pop() else {
                 break;
             };
             let events = self.detector.push(&pending.record);
-            self.apply(events);
+            self.apply(events, pending.ctx, event_seq, tracing, tid);
         }
     }
 
-    fn apply(&self, events: Vec<RealtimeEvent>) {
+    /// Folds detector events into the shared state; when tracing, the
+    /// fold is recorded as a `detect_events` span parented on the
+    /// releasing record's context, so the trace links an emitted zombie
+    /// event back to the exact ingest batch that caused it.
+    fn apply(
+        &self,
+        events: Vec<RealtimeEvent>,
+        ctx: TraceCtx,
+        event_seq: &mut u64,
+        tracing: bool,
+        tid: u64,
+    ) {
         if events.is_empty() {
             return;
         }
         bgpz_obs::metrics::counter("serve::shard", "events", events.len() as u64);
-        let mut state = self.state.lock();
-        for event in &events {
-            state.apply(event);
+        let t0 = if tracing { trace::now_us() } else { 0 };
+        {
+            let mut state = self.state.lock();
+            for event in &events {
+                state.apply(event);
+            }
+        }
+        if tracing {
+            let end = trace::now_us();
+            let ectx = ctx.child("evt", *event_seq);
+            *event_seq += 1;
+            trace::emit(
+                "serve::shard",
+                "detect_events",
+                tid,
+                ectx,
+                t0,
+                end.saturating_sub(t0),
+            );
         }
     }
 }
@@ -437,5 +694,106 @@ mod tests {
             min_watermark(&marks, &[true, true, true]),
             SimTime(u64::MAX)
         );
+    }
+
+    fn probe_record(seq: u64) -> ShardMsg {
+        ShardMsg::Record {
+            stream: 0,
+            seq,
+            record: Box::new(MrtRecord::new(
+                SimTime(42),
+                MrtBody::PeerIndex(bgpz_mrt::PeerIndexTable {
+                    collector_id: std::net::Ipv4Addr::LOCALHOST,
+                    view_name: String::new(),
+                    peers: Vec::new(),
+                }),
+            )),
+            ctx: TraceCtx::NONE,
+        }
+    }
+
+    /// Drains a queue into a `Vec` after an initial delay, so the
+    /// producer hits the queue-full case before anything is consumed.
+    fn delayed_drain(rx: Receiver<ShardMsg>) -> std::thread::JoinHandle<Vec<ShardMsg>> {
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            let mut got = Vec::new();
+            while let Ok(msg) = rx.recv() {
+                got.push(msg);
+            }
+            got
+        })
+    }
+
+    #[test]
+    fn shed_converts_unprotected_payload_to_watermark() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let sender = ShardSender {
+            tx,
+            depth: Arc::new(AtomicU64::new(0)),
+        };
+        let consumer = delayed_drain(rx);
+        let mut shed = 0u64;
+        // First send fills the capacity-1 queue; the second finds it
+        // full and, being unprotected, sheds to a watermark.
+        assert!(send(
+            &sender,
+            probe_record(0),
+            OverloadPolicy::Shed,
+            false,
+            &mut shed
+        ));
+        assert!(send(
+            &sender,
+            probe_record(1),
+            OverloadPolicy::Shed,
+            false,
+            &mut shed
+        ));
+        drop(sender);
+        let got = consumer.join().expect("consumer thread");
+        assert_eq!(shed, 1, "the overflow payload was shed");
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0], ShardMsg::Record { seq: 0, .. }));
+        assert!(
+            matches!(
+                got[1],
+                ShardMsg::Watermark {
+                    ts: SimTime(42),
+                    ..
+                }
+            ),
+            "the shed payload still advances the stream clock"
+        );
+    }
+
+    #[test]
+    fn protected_payloads_block_instead_of_shedding() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let sender = ShardSender {
+            tx,
+            depth: Arc::new(AtomicU64::new(0)),
+        };
+        let consumer = delayed_drain(rx);
+        let mut shed = 0u64;
+        assert!(send(
+            &sender,
+            probe_record(0),
+            OverloadPolicy::Shed,
+            true,
+            &mut shed
+        ));
+        assert!(send(
+            &sender,
+            probe_record(1),
+            OverloadPolicy::Shed,
+            true,
+            &mut shed
+        ));
+        drop(sender);
+        let got = consumer.join().expect("consumer thread");
+        assert_eq!(shed, 0, "protected payloads never shed");
+        assert!(matches!(got[0], ShardMsg::Record { seq: 0, .. }));
+        assert!(matches!(got[1], ShardMsg::Record { seq: 1, .. }));
     }
 }

@@ -8,9 +8,10 @@ use crate::state::ServeState;
 use bgpz_core::scan::PeerId;
 use bgpz_core::{BeaconInterval, ClassifyOptions};
 use bgpz_mrt::{MrtBody, MrtReader, MrtRecord, MrtWriter};
-use bgpz_types::SimTime;
+use bgpz_types::{Prefix, SimTime};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{mpsc, Arc};
@@ -95,6 +96,10 @@ impl Server {
         let shard_count = config.shards.max(1);
         let worker_count = config.workers.max(1);
         let state = Arc::new(Mutex::new(ServeState::default()));
+        state.lock().init_shards(shard_count);
+        // The armed beacon prefixes: the shed policy may never drop an
+        // update touching one of these for the shard that owns it.
+        let armed: Arc<BTreeSet<Prefix>> = Arc::new(intervals.iter().map(|iv| iv.prefix).collect());
         // Debug, not info: operational logs stay on stderr so the
         // daemon's stdout remains canonical artifact output.
         bgpz_obs::debug!(
@@ -143,13 +148,15 @@ impl Server {
             }
         }
         let mut ingest = Vec::with_capacity(worker_count);
-        for bucket in per_worker {
+        for (worker_id, bucket) in per_worker.into_iter().enumerate() {
             let worker = IngestWorker {
                 streams: bucket,
                 senders: senders.clone(),
                 policy: config.overload,
                 shards: shard_count,
                 state: Arc::clone(&state),
+                worker_id,
+                armed: Arc::clone(&armed),
             };
             ingest.push(std::thread::spawn(move || worker.run()));
         }

@@ -72,6 +72,9 @@ pub struct ServeState {
     peers: BTreeMap<PeerId, PeerHealth>,
     records: u64,
     shed: u64,
+    /// Shed counts broken out by the shard whose queue was full; sized
+    /// by [`ServeState::init_shards`] at boot.
+    shed_per_shard: Vec<u64>,
     version: u64,
 }
 
@@ -167,9 +170,19 @@ impl ServeState {
         self.records += n;
     }
 
-    /// Counts shed records (overload policy `Shed` dropped them).
-    pub fn note_shed(&mut self, n: u64) {
+    /// Sizes the per-shard shed breakdown. Called once at boot; shed
+    /// notes for shards beyond the sized range still count in the total.
+    pub fn init_shards(&mut self, shards: usize) {
+        self.shed_per_shard = vec![0; shards];
+    }
+
+    /// Counts records shed because `shard`'s queue was full (overload
+    /// policy `Shed` replaced them with their watermark).
+    pub fn note_shed_shard(&mut self, shard: usize, n: u64) {
         self.shed += n;
+        if let Some(slot) = self.shed_per_shard.get_mut(shard) {
+            *slot += n;
+        }
         self.version += 1;
     }
 
@@ -328,13 +341,23 @@ impl ServeState {
         json!({ "count": peers.len(), "peers": peers }).to_string()
     }
 
-    /// Renders `GET /healthz`.
+    /// Renders `GET /healthz`. `shed_rate` is shed payloads per ingested
+    /// record since start (one record fans out to up to `shards` queue
+    /// payloads, so a saturated deployment can exceed 1.0); it reads 0.0
+    /// under the default lossless `Block` policy.
     pub fn render_health(&self) -> String {
+        let shed_rate = if self.records == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.records as f64
+        };
         json!({
             "status": "ok",
             "version": self.version,
             "records": self.records,
             "shed": self.shed,
+            "shed_per_shard": self.shed_per_shard,
+            "shed_rate": shed_rate,
             "zombies": self.zombies.len(),
             "resurrections": self.resurrections.len(),
             "peers": self.peers.len(),
@@ -394,6 +417,22 @@ mod tests {
         state.note_activity(peer(1), SimTime(10_050));
         assert_eq!(state.sweep_stale(SimTime(10_100), 3_600), 0);
         assert_eq!(state.sweep_stale(SimTime(20_000), 3_600), 1);
+    }
+
+    #[test]
+    fn shed_notes_fold_per_shard_and_into_health() {
+        let mut state = ServeState::default();
+        state.init_shards(2);
+        state.note_records(100);
+        state.note_shed_shard(1, 7);
+        state.note_shed_shard(0, 3);
+        // Beyond the sized range: total still counts.
+        state.note_shed_shard(9, 2);
+        assert_eq!(state.shed(), 12);
+        let health: serde_json::Value = serde_json::from_str(&state.render_health()).unwrap();
+        assert_eq!(health["shed_per_shard"], serde_json::json!([3, 7]));
+        assert_eq!(health["shed"], 12);
+        assert!((health["shed_rate"].as_f64().unwrap() - 0.12).abs() < 1e-9);
     }
 
     #[test]

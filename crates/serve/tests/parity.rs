@@ -290,6 +290,13 @@ fn endpoints_and_shutdown_round_trip() {
         metrics.contains("serve::http"),
         "query metrics must register"
     );
+    assert!(
+        metrics.contains("# TYPE"),
+        "/metrics speaks Prometheus text exposition"
+    );
+    let metrics_json = http_get(addr, "GET", "/metrics.json");
+    let parsed: Result<serde_json::Value, _> = serde_json::from_str(&metrics_json);
+    assert!(parsed.is_ok(), "/metrics.json keeps the JSON registry");
 
     // The cache serves the second identical query from the same body.
     let first = http_get(addr, "GET", "/zombies");
@@ -331,4 +338,43 @@ fn shed_policy_completes_under_tiny_queues() {
     // Shedding is timing-dependent; the contract is completion plus an
     // honest count, not a specific drop rate.
     assert!(summary.shed <= summary.records);
+}
+
+#[test]
+fn shed_policy_preserves_the_zombie_set() {
+    let (archive, schedule) = zombie_world();
+    let batch = batch_keys(&archive, &schedule);
+    assert!(!batch.is_empty(), "the freeze must produce zombies");
+    let config = ServeConfig {
+        workers: 4,
+        shards: 2,
+        queue_capacity: 2,
+        overload: OverloadPolicy::Shed,
+        ..ServeConfig::default()
+    };
+    let streams = split_streams(archive.updates.clone(), 8);
+    let mut server = Server::start(&config, intervals_from_schedule(&schedule), streams).unwrap();
+    server.drain();
+    let body = http_get(server.addr(), "GET", "/zombies");
+    let health: serde_json::Value =
+        serde_json::from_str(&http_get(server.addr(), "GET", "/healthz")).unwrap();
+    let summary = server.shutdown();
+    // Armed-prefix payloads and session state changes are shed-protected,
+    // so however many records overload drops, the detected set is the
+    // batch pipeline's.
+    assert_eq!(
+        serve_keys(&body),
+        batch,
+        "shedding must never change the zombie set"
+    );
+    // The health surface reconciles: per-shard sheds sum to the total.
+    let per_shard: u64 = health["shed_per_shard"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .sum();
+    assert_eq!(per_shard, summary.shed);
+    assert_eq!(health["shed"].as_u64().unwrap(), summary.shed);
+    assert!(health["shed_rate"].as_f64().unwrap() >= 0.0);
 }

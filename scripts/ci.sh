@@ -21,12 +21,31 @@ diff -r "$CACHE_SMOKE_DIR/cold" "$CACHE_SMOKE_DIR/warm"
 # Serve smoke: the daemon replayed over the cached world must answer
 # every endpoint over real HTTP, report the exact zombie set the batch
 # `detect` pipeline finds (asserted in-process by --smoke), and shut
-# down cleanly — byte-identically at 1 and 8 ingest workers.
+# down cleanly — byte-identically at 1 and 8 ingest workers. The runs
+# execute under BGPZ_TRACE so the observability checks below ride on
+# the same artifacts.
 SERVE_ORIGIN="$(sed -n 's/^beacon-origins=\([0-9]*\).*/\1/p' "$CACHE_SMOKE_DIR/warm/manifest.txt")"
-cargo run --release -q -p bgpz-cli -- serve --updates "$CACHE_SMOKE_DIR/warm/updates.mrt" \
-  --beacon-origin "$SERVE_ORIGIN" --smoke --streams 8 --workers 1 > "$CACHE_SMOKE_DIR/serve-w1.txt"
-cargo run --release -q -p bgpz-cli -- serve --updates "$CACHE_SMOKE_DIR/warm/updates.mrt" \
-  --beacon-origin "$SERVE_ORIGIN" --smoke --streams 8 --workers 8 > "$CACHE_SMOKE_DIR/serve-w8.txt"
+BGPZ_TRACE="$CACHE_SMOKE_DIR/trace-w1.json" \
+  cargo run --release -q -p bgpz-cli -- serve --updates "$CACHE_SMOKE_DIR/warm/updates.mrt" \
+  --beacon-origin "$SERVE_ORIGIN" --smoke --streams 8 --workers 1 \
+  --metrics-out "$CACHE_SMOKE_DIR/metrics.prom" > "$CACHE_SMOKE_DIR/serve-w1.txt"
+BGPZ_TRACE="$CACHE_SMOKE_DIR/trace-w8.json" \
+  cargo run --release -q -p bgpz-cli -- serve --updates "$CACHE_SMOKE_DIR/warm/updates.mrt" \
+  --beacon-origin "$SERVE_ORIGIN" --smoke --streams 8 --workers 8 \
+  --metrics-out "$CACHE_SMOKE_DIR/metrics-w8.prom" > "$CACHE_SMOKE_DIR/serve-w8.txt"
 diff "$CACHE_SMOKE_DIR/serve-w1.txt" "$CACHE_SMOKE_DIR/serve-w8.txt"
 grep -q "parity ok" "$CACHE_SMOKE_DIR/serve-w1.txt"
 grep -q "clean shutdown" "$CACHE_SMOKE_DIR/serve-w1.txt"
+# Observability smoke: the traces must be valid Chrome trace JSON and
+# record the same span set at 1 and 8 workers (span identities are
+# content-derived; only ts/dur/tid may differ), the Prometheus
+# exposition must pass the in-repo validator, and `bgpz profile` must
+# attribute >= 95% of pipeline wall time to named stages.
+cargo run --release -q -p bgpz-bench --bin obs_check -- trace-validate "$CACHE_SMOKE_DIR/trace-w1.json"
+cargo run --release -q -p bgpz-bench --bin obs_check -- trace-validate "$CACHE_SMOKE_DIR/trace-w8.json"
+cargo run --release -q -p bgpz-bench --bin obs_check -- trace-compare \
+  "$CACHE_SMOKE_DIR/trace-w1.json" "$CACHE_SMOKE_DIR/trace-w8.json"
+cargo run --release -q -p bgpz-bench --bin obs_check -- prom-validate "$CACHE_SMOKE_DIR/metrics.prom"
+cargo run --release -q -p bgpz-cli -- profile serve --jobs 2 > "$CACHE_SMOKE_DIR/profile.txt"
+awk '/^coverage:/ { found = 1; pct = $2 + 0; print } END { exit (found && pct >= 95.0) ? 0 : 1 }' \
+  "$CACHE_SMOKE_DIR/profile.txt"
