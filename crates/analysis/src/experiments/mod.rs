@@ -222,11 +222,13 @@ impl<'c> BundleBuilder<'c> {
     }
 
     /// Threads a substrate cache through the build: simulated archives
-    /// and frame indexes are looked up before the simulator runs and
-    /// stored after a miss. The scan itself always runs (its output
-    /// depends on the scan window and shard count, not just the
-    /// substrate), so a warm bundle is byte-identical to a cold one.
-    /// Accepts `&cache` or an `Option`.
+    /// and frame indexes are looked up before the simulator runs, and
+    /// interval-scan results are looked up before the archive is
+    /// rescanned (keyed on archive bytes × interval set × scan window —
+    /// never on the shard count, since scans are byte-identical at every
+    /// `jobs`). Either hit is stored back after a miss, so a warm bundle
+    /// skips both the simulation and the scan yet stays byte-identical
+    /// to a cold one. Accepts `&cache` or an `Option`.
     pub fn cache<C: Into<Option<&'c SubstrateCache>>>(mut self, cache: C) -> Self {
         self.cache = cache.into();
         self
@@ -279,7 +281,17 @@ impl<'c> BundleBuilder<'c> {
                 }
             };
             let intervals = intervals_from_schedule(&run.schedule);
-            let result = scan_indexed(&index, &intervals, SCAN_WINDOW, scan_jobs);
+            let archive = &run.archive.updates;
+            let result = match cache.and_then(|c| c.load_scan(archive, &intervals, SCAN_WINDOW)) {
+                Some(hit) => hit,
+                None => {
+                    let result = scan_indexed(&index, &intervals, SCAN_WINDOW, scan_jobs);
+                    if let Some(c) = cache {
+                        c.store_scan(archive, &intervals, SCAN_WINDOW, &result);
+                    }
+                    result
+                }
+            };
             (run, result)
         };
         let bundle = if self.jobs <= 1 {
@@ -369,7 +381,19 @@ impl<'c> BundleBuilder<'c> {
             before - intervals.len(),
             self.jobs
         );
-        let scan_result = scan_indexed(&index, &intervals, SCAN_WINDOW, self.jobs);
+        // The scan cache is keyed on the cleaned interval set, so the
+        // footnote-3 retain above is already part of the key.
+        let archive = &run.archive.updates;
+        let scan_result = match cache.and_then(|c| c.load_scan(archive, &intervals, SCAN_WINDOW)) {
+            Some(hit) => hit,
+            None => {
+                let result = scan_indexed(&index, &intervals, SCAN_WINDOW, self.jobs);
+                if let Some(c) = cache {
+                    c.store_scan(archive, &intervals, SCAN_WINDOW, &result);
+                }
+                result
+            }
+        };
         let finals = final_withdrawals(&run.schedule);
         if let Some(t0) = trace0 {
             bgpz_obs::trace::emit(
@@ -694,6 +718,56 @@ mod tests {
                 assert_eq!(run.archive.updates, u_run.archive.updates);
                 assert_eq!(scan.intervals, u_scan.intervals);
                 assert_eq!(scan.peers, u_scan.peers);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The bundle scan artifact is byte-identical across every worker
+    /// count and cache state: disabled, cold (miss + store), and warm
+    /// (hit, scan skipped entirely).
+    #[test]
+    fn scan_artifact_identical_across_jobs_and_cache_states() {
+        use crate::substrate_cache::encode_scan_result;
+        let dir = std::env::temp_dir().join(format!("bgpz-scan-states-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = SubstrateCache::new(&dir);
+        let scale = Scale::bench();
+
+        let reference = BundleBuilder::new(&scale, 42).beacon();
+        let reference_bytes = encode_scan_result(&reference.scan);
+        let disabled = BundleBuilder::new(&scale, 42).jobs(2).beacon();
+        let cold = BundleBuilder::new(&scale, 42)
+            .jobs(2)
+            .cache(&cache)
+            .beacon();
+        let warm = BundleBuilder::new(&scale, 42)
+            .jobs(8)
+            .cache(&cache)
+            .beacon();
+        for (label, bundle) in [("disabled", &disabled), ("cold", &cold), ("warm", &warm)] {
+            assert_eq!(
+                encode_scan_result(&bundle.scan),
+                reference_bytes,
+                "beacon scan artifact differs ({label})"
+            );
+            assert_eq!(bundle.intervals, reference.intervals, "{label}");
+        }
+
+        let repl_reference = BundleBuilder::new(&scale, 42).replication();
+        let repl_cold = BundleBuilder::new(&scale, 42).cache(&cache).replication();
+        let repl_warm = BundleBuilder::new(&scale, 42)
+            .jobs(2)
+            .cache(&cache)
+            .replication();
+        for (label, bundle) in [("cold", &repl_cold), ("warm", &repl_warm)] {
+            assert_eq!(bundle.runs.len(), repl_reference.runs.len());
+            for ((_, scan), (_, reference_scan)) in bundle.runs.iter().zip(&repl_reference.runs) {
+                assert_eq!(
+                    encode_scan_result(scan),
+                    encode_scan_result(reference_scan),
+                    "replication scan artifact differs ({label})"
+                );
             }
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -17,14 +17,20 @@
 
 use crate::worlds::{BeaconRun, ReplicationPeriod, ReplicationRun, Scale};
 use bgpz_beacon::{BeaconEvent, BeaconEventKind, BeaconSchedule};
-use bgpz_cache::{CacheKey, CacheStore, CodecError, CodecResult, KeyBuilder, Reader, Writer};
-use bgpz_mrt::FrameIndex;
+use bgpz_cache::{
+    fnv1a64, CacheKey, CacheStore, CodecError, CodecResult, KeyBuilder, Reader, Writer,
+};
+use bgpz_core::scan::Observation;
+use bgpz_core::{BeaconInterval, PeerId, ScanResult};
+use bgpz_mrt::{FrameIndex, MrtReadStats};
 use bgpz_ris::{Collector, FreezeWindow, RisArchive, RisConfig, RisPeerSpec, RisStats};
 use bgpz_types::attrs::Aggregator;
-use bgpz_types::{Afi, Asn, Prefix, SimTime};
+use bgpz_types::{Afi, AsPath, Asn, Prefix, SimTime};
 use bytes::Bytes;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Version of the substrate payload encoding *and* of the simulated
 /// worlds' parameter surface. Bump on any change to the encoders below,
@@ -151,6 +157,77 @@ impl SubstrateCache {
     ) -> bool {
         let key = Self::beacon_key(scale, seed);
         self.store.store(&key, &encode_beacon(run, index))
+    }
+
+    /// The content key of one interval scan over an archive: the archive
+    /// *bytes* (digest and length), the interval set, and the scan
+    /// window. Deliberately **not** keyed on the worker count —
+    /// [`bgpz_core::scan_indexed`] is byte-identical at every `jobs`, so
+    /// one entry serves them all.
+    fn scan_key(
+        archive: &Bytes,
+        intervals: &[BeaconInterval],
+        window_after_withdraw: u64,
+    ) -> CacheKey {
+        let mut iw = Writer::new();
+        for interval in intervals {
+            encode_interval(&mut iw, interval);
+        }
+        KeyBuilder::new(SUBSTRATE_SCHEMA_VERSION)
+            .str("kind", "scan")
+            .u64("archive_fnv", fnv1a64(archive))
+            .u64("archive_len", archive.len() as u64)
+            .u64("intervals_fnv", fnv1a64(iw.as_slice()))
+            .u64("intervals", intervals.len() as u64)
+            .u64("window", window_after_withdraw)
+            .finish()
+    }
+
+    /// Loads a cached interval scan of `archive` against `intervals`.
+    /// A hit replays the scan's aggregate metrics
+    /// ([`bgpz_core::record_scan_metrics`]) so cold and warm runs expose
+    /// the same `mrt::read` / `core::scan` series.
+    pub fn load_scan(
+        &self,
+        archive: &Bytes,
+        intervals: &[BeaconInterval],
+        window_after_withdraw: u64,
+    ) -> Option<ScanResult> {
+        let _span = bgpz_obs::span(TARGET, "scan_lookup");
+        let key = Self::scan_key(archive, intervals, window_after_withdraw);
+        let Some(payload) = self.store.load(&key) else {
+            bgpz_obs::metrics::counter(TARGET, "scan_misses", 1);
+            return None;
+        };
+        match decode_scan(payload) {
+            Ok(result) => {
+                bgpz_obs::metrics::counter(TARGET, "scan_hits", 1);
+                bgpz_core::record_scan_metrics(&result);
+                // Replay the scan's span tally as well: `metrics.json`
+                // must be identical modulo the cache's own section
+                // whether the scan ran or was served from cache.
+                bgpz_obs::metrics::global().record_span("core::scan", "scan_sharded", 0.0);
+                Some(result)
+            }
+            Err(why) => {
+                bgpz_obs::metrics::counter(TARGET, "scan_misses", 1);
+                decode_failure("scan", "interval-scan", why);
+                None
+            }
+        }
+    }
+
+    /// Stores one interval-scan result under the archive/interval/window
+    /// key of [`load_scan`](Self::load_scan).
+    pub fn store_scan(
+        &self,
+        archive: &Bytes,
+        intervals: &[BeaconInterval],
+        window_after_withdraw: u64,
+        result: &ScanResult,
+    ) -> bool {
+        let key = Self::scan_key(archive, intervals, window_after_withdraw);
+        self.store.store(&key, &encode_scan_result(result))
     }
 }
 
@@ -449,6 +526,189 @@ fn decode_schedule(r: &mut Reader) -> CodecResult<BeaconSchedule> {
     Ok(BeaconSchedule { events })
 }
 
+/// Encodes one scan result. Public so byte-identity can be asserted
+/// across worker counts and cache states (the bench smoke and the
+/// determinism tests diff these bytes directly).
+///
+/// Observation histories reference AS paths through a unique-path table
+/// deduplicated **by value**: `Arc` sharing differs across shard counts
+/// (each scan worker interns its own chunk), and pointer-based dedup
+/// would leak that into the artifact bytes.
+pub fn encode_scan_result(result: &ScanResult) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(result.intervals.len());
+    for interval in &result.intervals {
+        encode_interval(&mut w, interval);
+    }
+    w.usize(result.peers.len());
+    for peer in &result.peers {
+        encode_peer(&mut w, peer);
+    }
+    let mut paths: Vec<&AsPath> = Vec::new();
+    let mut path_index: HashMap<&AsPath, usize> = HashMap::new();
+    let mut body = Writer::new();
+    body.usize(result.histories.len());
+    // lint: allow(hash_iteration) — `histories` is a Vec, one entry per interval; each inner map goes through `sorted_by_peer`
+    for per_interval in &result.histories {
+        let entries = sorted_by_peer(per_interval);
+        body.usize(entries.len());
+        for (peer, history) in entries {
+            encode_peer(&mut body, peer);
+            body.usize(history.len());
+            for (time, obs) in history {
+                body.u64(time.secs());
+                match obs {
+                    Observation::Withdraw => body.u8(0),
+                    Observation::Announce { path, aggregator } => {
+                        match aggregator {
+                            None => body.u8(1),
+                            Some(addr) => {
+                                body.u8(2);
+                                body.u32(u32::from(*addr));
+                            }
+                        }
+                        let idx = *path_index.entry(path.as_ref()).or_insert_with(|| {
+                            paths.push(path.as_ref());
+                            paths.len() - 1
+                        });
+                        body.usize(idx);
+                    }
+                }
+            }
+        }
+    }
+    let downs = sorted_by_peer(&result.session_downs);
+    body.usize(downs.len());
+    for (peer, times) in downs {
+        encode_peer(&mut body, peer);
+        body.usize(times.len());
+        for t in times {
+            body.u64(t.secs());
+        }
+    }
+    let s = &result.read_stats;
+    for v in [
+        s.ok,
+        s.skipped,
+        s.trailing_bytes,
+        s.ok_messages,
+        s.ok_state_changes,
+        s.ok_rib,
+        s.ok_peer_index,
+    ] {
+        body.usize(v);
+    }
+    // The table precedes the histories in the stream so decode resolves
+    // indices in one pass.
+    w.usize(paths.len());
+    for path in paths {
+        let mut wire = Vec::new();
+        path.encode(&mut wire, true);
+        w.bytes(&wire);
+    }
+    w.raw(body.as_slice());
+    w.into_vec()
+}
+
+fn decode_scan(payload: Bytes) -> Result<ScanResult, DecodeFailure> {
+    let mut r = Reader::new(payload);
+    let intervals = decode_vec(&mut r, decode_interval)?;
+    let peers = decode_vec(&mut r, decode_peer)?;
+    let paths = decode_vec(&mut r, |r| {
+        let wire = r.take_bytes()?;
+        let mut buf = wire.as_ref();
+        let path = AsPath::decode(&mut buf, wire.len(), true)
+            .map_err(|_| CodecError::BadValue("malformed AS path"))?;
+        Ok(Arc::new(path))
+    })?;
+    let histories = decode_vec(&mut r, |r| {
+        let entries = decode_vec(r, |r| {
+            let peer = decode_peer(r)?;
+            let history = decode_vec(r, |r| {
+                let time = SimTime(r.u64()?);
+                let obs = match r.u8()? {
+                    0 => Observation::Withdraw,
+                    tag @ (1 | 2) => {
+                        let aggregator = (tag == 2)
+                            .then(|| r.u32().map(Ipv4Addr::from))
+                            .transpose()?;
+                        let idx = r.usize()?;
+                        let path = paths
+                            .get(idx)
+                            .ok_or(CodecError::BadValue("AS-path index out of range"))?;
+                        Observation::Announce {
+                            path: Arc::clone(path),
+                            aggregator,
+                        }
+                    }
+                    tag => return Err(CodecError::BadTag(tag)),
+                };
+                Ok((time, obs))
+            })?;
+            Ok((peer, history))
+        })?;
+        Ok(entries.into_iter().collect::<HashMap<_, _>>())
+    })?;
+    let session_downs = decode_vec(&mut r, |r| {
+        let peer = decode_peer(r)?;
+        let times = decode_vec(r, |r| Ok(SimTime(r.u64()?)))?;
+        Ok((peer, times))
+    })?
+    .into_iter()
+    .collect();
+    let read_stats = MrtReadStats {
+        ok: r.usize()?,
+        skipped: r.usize()?,
+        trailing_bytes: r.usize()?,
+        ok_messages: r.usize()?,
+        ok_state_changes: r.usize()?,
+        ok_rib: r.usize()?,
+        ok_peer_index: r.usize()?,
+    };
+    r.finish()?;
+    Ok(ScanResult {
+        intervals,
+        peers,
+        histories,
+        session_downs,
+        read_stats,
+    })
+}
+
+/// Sorted view of a peer-keyed map: artifact bytes must not depend on
+/// hash order.
+fn sorted_by_peer<V>(map: &HashMap<PeerId, V>) -> Vec<(&PeerId, &V)> {
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort_by_key(|&(peer, _)| *peer);
+    entries
+}
+
+fn encode_interval(w: &mut Writer, interval: &BeaconInterval) {
+    encode_prefix(w, interval.prefix);
+    w.u64(interval.start.secs());
+    w.u64(interval.withdraw_at.secs());
+}
+
+fn decode_interval(r: &mut Reader) -> CodecResult<BeaconInterval> {
+    Ok(BeaconInterval {
+        prefix: decode_prefix(r)?,
+        start: SimTime(r.u64()?),
+        withdraw_at: SimTime(r.u64()?),
+    })
+}
+
+fn encode_peer(w: &mut Writer, peer: &PeerId) {
+    w.ip(peer.addr);
+    w.u32(peer.asn.0);
+}
+
+fn decode_peer(r: &mut Reader) -> CodecResult<PeerId> {
+    Ok(PeerId {
+        addr: r.ip()?,
+        asn: Asn(r.u32()?),
+    })
+}
+
 /// Prefixes go through their canonical text form: the parser enforces the
 /// family/length invariants, so a corrupted field is a clean error.
 fn encode_prefix(w: &mut Writer, prefix: Prefix) {
@@ -576,5 +836,52 @@ mod tests {
         let period = replication_periods(&Scale::bench())[0];
         // A syntactically valid but truncated payload.
         assert!(decode_replication(Bytes::from_static(&[1, 2, 3]), &period).is_err());
+        assert!(decode_scan(Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn scan_cache_round_trips_byte_identically() {
+        use bgpz_core::{intervals_from_schedule, scan_indexed};
+
+        let cache = temp_cache("scan");
+        let scale = Scale::bench();
+        let run = run_beacon_study(&scale, 7);
+        let index = FrameIndex::build(run.archive.updates.clone());
+        let intervals = intervals_from_schedule(&run.schedule);
+        let window = 4 * 3600;
+
+        assert!(cache
+            .load_scan(&run.archive.updates, &intervals, window)
+            .is_none());
+
+        let cold = scan_indexed(&index, &intervals, window, 1);
+        assert!(cache.store_scan(&run.archive.updates, &intervals, window, &cold));
+        let warm = cache
+            .load_scan(&run.archive.updates, &intervals, window)
+            .expect("stored scan");
+        assert_eq!(encode_scan_result(&warm), encode_scan_result(&cold));
+        assert_eq!(warm.peers, cold.peers);
+        assert_eq!(warm.intervals, cold.intervals);
+
+        // The encoded artifact is jobs-invariant even though Arc sharing
+        // inside the result differs per shard count.
+        for jobs in [2, 8] {
+            let sharded = scan_indexed(&index, &intervals, window, jobs);
+            assert_eq!(
+                encode_scan_result(&sharded),
+                encode_scan_result(&cold),
+                "scan artifact differs at jobs={jobs}"
+            );
+        }
+
+        // Window and interval-set changes are distinct keys.
+        assert!(cache
+            .load_scan(&run.archive.updates, &intervals, window + 1)
+            .is_none());
+        let fewer = intervals.get(1..).unwrap_or_default();
+        assert!(cache
+            .load_scan(&run.archive.updates, fewer, window)
+            .is_none());
+        std::fs::remove_dir_all(cache.dir()).ok();
     }
 }

@@ -50,28 +50,30 @@ fn read(path: &Path) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// `metrics.json` with the cache's own counter sections removed — the
-/// only sections that legitimately differ between disabled, cold, and
-/// warm runs (the pipeline sections must not). The `core::*` targets
-/// sort after both removed targets in every section, so dropping the
-/// lines (including the section's close-with-comma) leaves the
-/// surrounding commas untouched.
+/// `metrics.json` with the cache's own sections removed — the only
+/// sections that legitimately differ between disabled, cold, and warm
+/// runs (the pipeline sections must not). The `core::*` targets sort
+/// after both removed targets in every section, so dropping the lines
+/// (including the section's close-with-comma) leaves the surrounding
+/// commas untouched. Skipping tracks brace depth: span entries nest one
+/// object deeper than counters (`"target": {"name": {"count": N}}`).
 fn metrics_sans_cache(dir: &Path) -> String {
     let metrics = read(&dir.join("metrics.json"));
     let mut out = String::new();
-    let mut skipping = false;
+    let mut depth = 0usize;
     for line in metrics.lines() {
         let trimmed = line.trim();
-        if skipping {
-            if trimmed == "}," || trimmed == "}" {
-                skipping = false;
-            }
+        if depth > 0 {
+            depth += trimmed.matches('{').count();
+            depth = depth.saturating_sub(trimmed.matches('}').count());
             continue;
         }
         if trimmed.starts_with("\"cache::store\":")
             || trimmed.starts_with("\"analysis::substrate_cache\":")
         {
-            skipping = !trimmed.ends_with("{},") && !trimmed.ends_with("{}");
+            if !trimmed.ends_with("{},") && !trimmed.ends_with("{}") {
+                depth = 1;
+            }
             continue;
         }
         out.push_str(line);

@@ -4,20 +4,28 @@
 //!
 //! Modes:
 //!
-//! * default: time both paths over several iterations on a `--scale`
-//!   archive and write records/sec, bytes/sec, and the speedup.
-//! * `--smoke`: one tiny iteration asserting the indexed scan produces
-//!   counts identical to the eager scan — no timing, no JSON. Wired into
-//!   `scripts/ci.sh` via `scripts/bench.sh --smoke` so the equivalence
-//!   contract is exercised on every CI run.
+//! * default: time both scan paths, serial vs chunked-parallel framing at
+//!   1/2/4/8 workers, and scan-cache cold vs warm lookups on a `--scale`
+//!   archive, and write records/sec, bytes/sec, and the speedups. Every
+//!   timing is the fastest of `iterations` passes.
+//! * `--smoke`: one tiny iteration asserting (1) the indexed scan
+//!   produces counts identical to the eager scan, (2) parallel framing is
+//!   byte-identical to serial at every worker count, (3) the indexed scan
+//!   stays under its per-frame allocation ceiling, and (4) a warm
+//!   scan-cache hit is byte-identical to the cold store — no timing, no
+//!   JSON. Wired into `scripts/ci.sh` via `scripts/bench.sh --smoke` so
+//!   the equivalence contracts are exercised on every CI run.
 
 use bgpz_analysis::experiments::SCAN_WINDOW;
+use bgpz_analysis::substrate_cache::encode_scan_result;
 use bgpz_analysis::worlds::{replication_periods, run_replication};
-use bgpz_analysis::Scale;
+use bgpz_analysis::{Scale, SubstrateCache};
 use bgpz_bench::with_background_noise;
 use bgpz_core::{intervals_from_schedule, scan, scan_indexed, ScanResult};
 use bgpz_mrt::FrameIndex;
 use serde_json::json;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Background (non-beacon) UPDATEs appended per beacon frame. A real RIS
@@ -25,6 +33,41 @@ use std::time::Instant;
 /// bench archive shaped like the data the prefilter targets while staying
 /// cheap enough for CI smoke runs.
 const NOISE_PER_FRAME: usize = 4;
+
+/// Worker counts the framing section sweeps.
+const FRAMING_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Allocation ceiling for one indexed scan, in allocations per frame.
+/// The fused scan path decodes irrelevant frames allocation-free and
+/// reuses scratch buffers for relevant ones, so the steady state sits
+/// far below one allocation per frame; the `--smoke` assertion pins the
+/// per-record Vec churn this bench was built to catch.
+const ALLOCS_PER_FRAME_CEILING: f64 = 1.0;
+
+/// Counting wrapper over the system allocator: per-record allocation
+/// regressions in the scan path hide inside wall-clock noise, but not
+/// inside an exact allocation count.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn observation_count(result: &ScanResult) -> usize {
     result
@@ -43,6 +86,13 @@ fn counts(result: &ScanResult) -> String {
         observation_count(result),
         result.session_downs.values().map(Vec::len).sum::<usize>(),
     )
+}
+
+/// A throwaway scan-cache rooted under the temp dir.
+fn temp_cache() -> SubstrateCache {
+    let dir = std::env::temp_dir().join(format!("bgpz-scan-bench-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    SubstrateCache::new(dir)
 }
 
 fn main() {
@@ -75,7 +125,8 @@ fn main() {
 
     if smoke {
         let eager = scan(updates.clone(), &intervals, SCAN_WINDOW);
-        let indexed = scan_indexed(&FrameIndex::build(updates), &intervals, SCAN_WINDOW, 2);
+        let index = FrameIndex::build(updates.clone());
+        let indexed = scan_indexed(&index, &intervals, SCAN_WINDOW, 2);
         let (want, got) = (counts(&eager), counts(&indexed));
         assert_eq!(want, got, "indexed scan diverged from eager scan");
         println!(
@@ -84,37 +135,143 @@ fn main() {
             eager.read_stats.ok + eager.read_stats.skipped,
             want
         );
+
+        let meta = index.serialize_meta();
+        for jobs in FRAMING_JOBS {
+            let parallel = FrameIndex::build_parallel(updates.clone(), jobs);
+            assert_eq!(
+                parallel.serialize_meta(),
+                meta,
+                "parallel framing diverged from serial at jobs={jobs}"
+            );
+        }
+        println!("smoke ok: framing digest identical at jobs=1/2/4/8");
+
+        let before = allocations();
+        let rescanned = scan_indexed(&index, &intervals, SCAN_WINDOW, 1);
+        let allocs = allocations() - before;
+        let frames = index.len() as u64;
+        let per_frame = allocs as f64 / frames.max(1) as f64;
+        assert!(
+            per_frame < ALLOCS_PER_FRAME_CEILING,
+            "scan allocations regressed: {allocs} allocs over {frames} frames \
+             ({per_frame:.3}/frame, ceiling {ALLOCS_PER_FRAME_CEILING})"
+        );
+        println!("smoke ok: {allocs} allocs over {frames} frames ({per_frame:.3}/frame)");
+
+        let cache = temp_cache();
+        assert!(
+            cache.load_scan(&updates, &intervals, SCAN_WINDOW).is_none(),
+            "scan cache unexpectedly warm"
+        );
+        assert!(cache.store_scan(&updates, &intervals, SCAN_WINDOW, &rescanned));
+        let warm = cache
+            .load_scan(&updates, &intervals, SCAN_WINDOW)
+            .expect("warm scan-cache hit");
+        assert_eq!(
+            encode_scan_result(&warm),
+            encode_scan_result(&rescanned),
+            "warm scan-cache hit not byte-identical to the cold scan"
+        );
+        std::fs::remove_dir_all(cache.dir()).ok();
+        println!("smoke ok: scan cache cold/warm byte-identical");
         return;
     }
 
-    let iterations = 10;
+    let iterations = 20;
     let index = FrameIndex::build(updates.clone());
     let frames = index.len();
+
+    // All wall-clock sections report the *fastest* of `iterations` passes
+    // (criterion-style lower bound): on a shared machine the mean is
+    // dominated by scheduler noise, while the minimum estimates the true
+    // cost of the code.
+    let time_min = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..iterations {
+            let started = Instant::now();
+            f();
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
 
     // Warm both paths once, then time.
     let eager_result = scan(updates.clone(), &intervals, SCAN_WINDOW);
     let _ = scan_indexed(&index, &intervals, SCAN_WINDOW, 1);
 
-    let started = Instant::now();
-    for _ in 0..iterations {
+    let eager_secs = time_min(&mut || {
         std::hint::black_box(scan(updates.clone(), &intervals, SCAN_WINDOW));
-    }
-    let eager_secs = started.elapsed().as_secs_f64() / iterations as f64;
+    });
 
-    // The indexed timing includes the framing pass: this is the honest
-    // single-scan comparison (callers scanning one archive repeatedly
-    // amortize the framing and do even better).
-    let started = Instant::now();
-    for _ in 0..iterations {
-        let index = FrameIndex::build(updates.clone());
+    // The indexed timing includes the framing pass — the honest single-scan
+    // comparison, framed the way production (`scan_sharded`) frames:
+    // chunked `build_parallel`. Callers scanning one archive repeatedly
+    // amortize the framing and do even better.
+    let indexed_secs = time_min(&mut || {
+        let index = FrameIndex::build_parallel(updates.clone(), 1);
         std::hint::black_box(scan_indexed(&index, &intervals, SCAN_WINDOW, 1));
-    }
-    let indexed_secs = started.elapsed().as_secs_f64() / iterations as f64;
+    });
+
+    // Steady-state allocation rate of the indexed scan (prebuilt index).
+    let before = allocations();
+    std::hint::black_box(scan_indexed(&index, &intervals, SCAN_WINDOW, 1));
+    let scan_allocs = allocations() - before;
+    let allocs_per_frame = scan_allocs as f64 / frames.max(1) as f64;
+
+    // Framing: serial pass vs chunked-parallel at each worker count, with
+    // byte-identity of the resulting index asserted out-of-loop.
+    let framing_serial_secs = time_min(&mut || {
+        std::hint::black_box(FrameIndex::build(updates.clone()));
+    });
+    let meta = index.serialize_meta();
+    let framing_at = |jobs: usize| {
+        let digest_match =
+            FrameIndex::build_parallel(updates.clone(), jobs).serialize_meta() == meta;
+        let secs = time_min(&mut || {
+            std::hint::black_box(FrameIndex::build_parallel(updates.clone(), jobs));
+        });
+        json!({
+            "secs_per_pass": secs,
+            "bytes_per_sec": bytes as f64 / secs,
+            "digest_match": digest_match,
+        })
+    };
+    let framing = json!({
+        "serial": {
+            "secs_per_pass": framing_serial_secs,
+            "bytes_per_sec": bytes as f64 / framing_serial_secs,
+        },
+        "parallel_j1": framing_at(1),
+        "parallel_j2": framing_at(2),
+        "parallel_j4": framing_at(4),
+        "parallel_j8": framing_at(8),
+    });
+
+    // Scan cache: one cold fill (scan + store), then warm lookups.
+    let cache = temp_cache();
+    let started = Instant::now();
+    let cold_result = scan_indexed(&index, &intervals, SCAN_WINDOW, 1);
+    cache.store_scan(&updates, &intervals, SCAN_WINDOW, &cold_result);
+    let cache_cold_secs = started.elapsed().as_secs_f64();
+    let mut warm_result = None;
+    let cache_warm_secs = time_min(&mut || {
+        warm_result = Some(
+            cache
+                .load_scan(&updates, &intervals, SCAN_WINDOW)
+                .expect("warm scan-cache hit"),
+        );
+    });
+    let byte_identical = warm_result
+        .map(|warm| encode_scan_result(&warm) == encode_scan_result(&cold_result))
+        .unwrap_or(false);
+    std::fs::remove_dir_all(cache.dir()).ok();
 
     let speedup = eager_secs / indexed_secs;
     let report = json!({
         "scale": scale.name,
         "iterations": iterations,
+        "timing": "min_of_iterations",
         "archive_bytes": bytes,
         "frames": frames,
         "records_ok": eager_result.read_stats.ok,
@@ -128,6 +285,14 @@ fn main() {
             "secs_per_scan": indexed_secs,
             "records_per_sec": frames as f64 / indexed_secs,
             "bytes_per_sec": bytes as f64 / indexed_secs,
+            "allocs_per_frame": allocs_per_frame,
+        },
+        "framing": framing,
+        "cache": {
+            "cold_scan_and_store_secs": cache_cold_secs,
+            "warm_load_secs": cache_warm_secs,
+            "warm_speedup": cache_cold_secs / cache_warm_secs,
+            "byte_identical": byte_identical,
         },
         "speedup_vs_eager": speedup,
     });
@@ -135,12 +300,15 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
     serde_json::to_writer_pretty(file, &report).expect("write BENCH_scan.json");
     println!(
-        "scan_bench: scale={} frames={} eager={:.1}ms indexed={:.1}ms speedup={:.2}x -> {}",
+        "scan_bench: scale={} frames={} eager={:.1}ms indexed={:.1}ms speedup={:.2}x \
+         framing_serial={:.1}ms cache_warm={:.1}ms -> {}",
         scale.name,
         frames,
         eager_secs * 1e3,
         indexed_secs * 1e3,
         speedup,
+        framing_serial_secs * 1e3,
+        cache_warm_secs * 1e3,
         out_path
     );
 }

@@ -703,6 +703,7 @@ fn stage_of(cat: &str, name: &str) -> Option<&'static str> {
         ("serve::shard", "reorder") => Some("reorder"),
         ("serve::shard", "detect") => Some("detect"),
         ("serve::http", _) => Some("http"),
+        ("mrt::index", "frame_chunk") => Some("frame"),
         ("core::scan", "scan_chunk") => Some("scan"),
         ("analysis::bundle", _) => Some("build"),
         _ => None,
@@ -743,6 +744,15 @@ fn render_profile(
         "coverage: {:.1}% of pipeline wall time attributed to named stages",
         coverage * 100.0
     );
+    // The scan stage's own tiling: its chunk spans are emitted
+    // back-to-back per worker, so anything below ~100% is scan wall time
+    // the trace cannot attribute (gated in CI).
+    let scan = bgpz_obs::trace::coverage(spans, |s| stage_of(s.cat, s.name) == Some("scan"));
+    let _ = writeln!(
+        out,
+        "scan-coverage: {:.1}% of the scan window attributed to scan chunks",
+        scan * 100.0
+    );
     out
 }
 
@@ -758,8 +768,10 @@ fn profile_serve(scale: &bgpz_analysis::Scale, seed: u64, jobs: usize) -> CliRes
     let run = bgpz_analysis::worlds::run_replication(&period, scale, seed);
     let intervals = intervals_from_schedule(&run.schedule);
     // The batch scan first: its chunk spans put the scan stage on the
-    // same timeline as the daemon that follows.
-    let index = FrameIndex::build(run.archive.updates.clone());
+    // same timeline as the daemon that follows. Framing goes through the
+    // chunked-parallel path so its `frame_chunk` spans land in the
+    // profile too.
+    let index = FrameIndex::build_parallel(run.archive.updates.clone(), jobs);
     let result = scan_indexed(&index, &intervals, 4 * 3_600, jobs);
     let config = bgpz_serve::ServeConfig {
         workers: jobs,

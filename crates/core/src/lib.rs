@@ -55,5 +55,5 @@ pub use noisy::{
 pub use paths::{path_length_samples, PathLengthSamples};
 pub use realtime::{RealtimeDetector, RealtimeEvent};
 pub use rootcause::{infer_root_cause, RootCause};
-pub use scan::{scan, scan_indexed, scan_sharded, PeerId, ScanResult};
+pub use scan::{record_scan_metrics, scan, scan_indexed, scan_sharded, PeerId, ScanResult};
 pub use sweep::{threshold_sweep, SweepPoint};

@@ -20,13 +20,85 @@
 //! builds the index and delegates to [`scan_indexed`].
 
 use crate::interval::BeaconInterval;
-use bgpz_mrt::{BgpState, FrameIndex, FrameKind, MrtBody, MrtReadStats, MrtReader, MrtRecord};
-use bgpz_types::{AsPath, Asn, BgpMessage, MessageKind, Prefix, SimTime};
+use bgpz_mrt::{
+    BgpState, FrameIndex, FrameKind, MrtBody, MrtReadStats, MrtReader, MrtRecord, ScanMessage,
+    UpdateView,
+};
+use bgpz_types::{Afi, AsPath, Asn, BgpMessage, Prefix, SimTime};
 use bytes::Bytes;
 use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::net::{IpAddr, Ipv4Addr};
 use std::ops::Range;
 use std::sync::Arc;
+
+/// Multiplicative byte hasher (FxHash-style) for the scan's *internal*
+/// lookup tables: the per-frame relevance probe, the peer set, and the
+/// AS-path interner. These keys are trusted simulator/archive data, not
+/// attacker input, so SipHash's DoS hardening buys nothing here while
+/// costing a measurable slice of every frame. The tables never escape
+/// into [`ScanResult`] (its public maps keep the std hasher), and every
+/// consumer of these tables sorts before exposure, so iteration order is
+/// irrelevant.
+#[derive(Default)]
+struct FxHasher(u64);
+
+/// `BuildHasher` for [`FxHasher`] — deterministic, no per-map seed.
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().unwrap_or_default()));
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        self.mix(tail);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Identity of one peer router as seen in the archive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,15 +165,37 @@ impl ScanResult {
 struct IntervalLocator<'a> {
     intervals: &'a [BeaconInterval],
     /// Interval indices per prefix, sorted by interval start.
-    by_prefix: HashMap<Prefix, Vec<usize>>,
+    by_prefix: HashMap<Prefix, Vec<usize>, FxBuild>,
+    /// Byte-level beacon needles — (AFI, bit length, masked prefix
+    /// bytes), one per distinct beacon prefix — for
+    /// [`IntervalLocator::relevant_wire`].
+    needles: Vec<(Afi, u8, [u8; 16])>,
     window_after_withdraw: u64,
+}
+
+/// A prefix's byte-level needle: its AFI, bit length, and (masked)
+/// network bytes, zero-padded to 16.
+fn needle_of(prefix: Prefix) -> (Afi, u8, [u8; 16]) {
+    match prefix {
+        Prefix::V4(p) => {
+            let [a, b, c, d] = p.addr().octets();
+            let bytes = [a, b, c, d, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+            (Afi::Ipv4, p.len(), bytes)
+        }
+        Prefix::V6(p) => (Afi::Ipv6, p.len(), p.addr().octets()),
+    }
 }
 
 impl<'a> IntervalLocator<'a> {
     fn new(intervals: &'a [BeaconInterval], window_after_withdraw: u64) -> IntervalLocator<'a> {
-        let mut by_prefix: HashMap<Prefix, Vec<usize>> = HashMap::new();
+        let mut by_prefix: HashMap<Prefix, Vec<usize>, FxBuild> = HashMap::default();
+        let mut needles = Vec::new();
         for (i, interval) in intervals.iter().enumerate() {
             by_prefix.entry(interval.prefix).or_default().push(i);
+            let needle = needle_of(interval.prefix);
+            if !needles.contains(&needle) {
+                needles.push(needle);
+            }
         }
         for list in by_prefix.values_mut() {
             list.sort_by_key(|&i| intervals[i].start);
@@ -109,16 +203,34 @@ impl<'a> IntervalLocator<'a> {
         IntervalLocator {
             intervals,
             by_prefix,
+            needles,
             window_after_withdraw,
         }
     }
 
-    /// Cheap relevance test: is `prefix` a beacon prefix at all? Used by
-    /// the raw-byte prefilter before paying for a full decode; windows are
-    /// checked later by [`IntervalLocator::locate`], so a `true` here is a
-    /// superset of what actually lands in a history.
-    fn relevant(&self, prefix: Prefix) -> bool {
-        self.by_prefix.contains_key(&prefix)
+    /// Cheap relevance test on a raw NLRI item: does it encode a beacon
+    /// prefix? Exactly equivalent to decoding the item and probing the
+    /// prefix table — the item's trailing host bits are masked the way
+    /// [`Prefix::decode_nlri`] masks them — but pays a handful of byte
+    /// compares instead of a `Prefix` construction plus a hash. Windows
+    /// are checked later by [`IntervalLocator::locate`], so a `true` here
+    /// is a superset of what actually lands in a history.
+    fn relevant_wire(&self, afi: Afi, bits: u8, item: &[u8]) -> bool {
+        self.needles.iter().any(|&(nafi, nbits, ref nbytes)| {
+            if nafi != afi || nbits != bits {
+                return false;
+            }
+            // A /0 item carries no bytes and matches a /0 needle.
+            let Some((&last, head)) = item.split_last() else {
+                return true;
+            };
+            let Some((&nlast, nhead)) = nbytes.get(..item.len()).and_then(<[u8]>::split_last)
+            else {
+                return false;
+            };
+            let mask = 0xFFu8 << ((8 - bits % 8) % 8);
+            head == nhead && (last & mask) == nlast
+        })
     }
 
     /// Locates the interval whose window contains (prefix, t), preferring
@@ -139,9 +251,20 @@ impl<'a> IntervalLocator<'a> {
 /// Hash-consing cache for AS paths: one `Arc<AsPath>` per distinct path
 /// per scan. Archives repeat the same handful of paths thousands of
 /// times; interning collapses them to shared allocations.
+///
+/// Two keyings share the store of interned paths:
+/// * [`PathInterner::intern`] — by decoded [`AsPath`], used by the eager
+///   reference path;
+/// * [`PathInterner::intern_wire`] — by raw attribute-value bytes (plus
+///   the AS width byte), used by the fused scan path so a repeated wire
+///   encoding never pays for an `AsPath` decode at all. Distinct wire
+///   encodings of an equal path yield distinct (value-equal) `Arc`s,
+///   which is invisible to every consumer — observations compare paths by
+///   value, never by pointer.
 #[derive(Default)]
 struct PathInterner {
-    paths: HashMap<AsPath, Arc<AsPath>>,
+    paths: HashMap<AsPath, Arc<AsPath>, FxBuild>,
+    by_wire: HashMap<Box<[u8]>, Arc<AsPath>, FxBuild>,
 }
 
 impl PathInterner {
@@ -153,24 +276,66 @@ impl PathInterner {
         self.paths.insert(path.clone(), Arc::clone(&interned));
         interned
     }
+
+    /// Interns an AS path straight from its attribute-value wire bytes,
+    /// decoding only on the first sighting of an encoding. `key_buf` is
+    /// caller-provided scratch so the lookup allocates nothing on a hit.
+    /// `None` only if the (already validated) bytes fail to decode —
+    /// unreachable in practice, tolerated defensively.
+    fn intern_wire(
+        &mut self,
+        wire: &[u8],
+        four_byte: bool,
+        key_buf: &mut Vec<u8>,
+    ) -> Option<Arc<AsPath>> {
+        key_buf.clear();
+        key_buf.push(u8::from(four_byte));
+        key_buf.extend_from_slice(wire);
+        if let Some(interned) = self.by_wire.get(key_buf.as_slice()) {
+            return Some(Arc::clone(interned));
+        }
+        let mut buf = wire;
+        let path = AsPath::decode(&mut buf, wire.len(), four_byte).ok()?;
+        let interned = Arc::new(path);
+        self.by_wire
+            .insert(key_buf.as_slice().into(), Arc::clone(&interned));
+        Some(interned)
+    }
+}
+
+/// Per-worker reusable decode scratch for the fused scan path: announced
+/// and withdrawn NLRI prefix buffers plus the AS-path interning key. The
+/// buffers are cleared, never dropped, so the ≤1-visit-per-relevant-frame
+/// hot loop stops allocating per record.
+#[derive(Default)]
+struct ScratchArena {
+    announced: Vec<Prefix>,
+    withdrawn: Vec<Prefix>,
+    path_key: Vec<u8>,
 }
 
 /// Mutable scan state folded over records in archive order. Both the
 /// eager and the indexed path funnel decoded records through
 /// [`Accum::apply`], so their per-record semantics cannot drift.
+///
+/// Every map here is [`FxBuild`]-keyed: the accumulator is internal fold
+/// state touched once per observation, and [`finish`] converts the
+/// history and session maps to the std hasher when it builds the public
+/// [`ScanResult`] — one rehash per distinct key instead of a SipHash per
+/// observation.
 struct Accum {
-    histories: Vec<HashMap<PeerId, History>>,
-    peers: HashSet<PeerId>,
-    session_downs: HashMap<PeerId, Vec<SimTime>>,
+    histories: Vec<HashMap<PeerId, History, FxBuild>>,
+    peers: HashSet<PeerId, FxBuild>,
+    session_downs: HashMap<PeerId, Vec<SimTime>, FxBuild>,
     interner: PathInterner,
 }
 
 impl Accum {
     fn new(interval_count: usize) -> Accum {
         Accum {
-            histories: vec![HashMap::new(); interval_count],
-            peers: HashSet::new(),
-            session_downs: HashMap::new(),
+            histories: vec![HashMap::default(); interval_count],
+            peers: HashSet::default(),
+            session_downs: HashMap::default(),
             interner: PathInterner::default(),
         }
     }
@@ -192,7 +357,7 @@ impl Accum {
                     .as_path
                     .as_ref()
                     .map(|p| self.interner.intern(p));
-                for prefix in update.announced() {
+                for prefix in update.announced_iter() {
                     let Some(idx) = locator.locate(prefix, record.timestamp) else {
                         continue;
                     };
@@ -204,7 +369,7 @@ impl Accum {
                         .or_default()
                         .push((record.timestamp, Observation::Announce { path, aggregator }));
                 }
-                for prefix in update.withdrawn_all() {
+                for prefix in update.withdrawn_iter() {
                     let Some(idx) = locator.locate(prefix, record.timestamp) else {
                         continue;
                     };
@@ -234,15 +399,72 @@ impl Accum {
             }
         }
     }
+
+    /// Folds one *relevant* UPDATE in, straight from its zero-copy
+    /// [`UpdateView`] — the fused-path twin of the `MrtBody::Message` arm
+    /// of [`Accum::apply`], with identical per-record semantics: peer
+    /// already registered by the caller, aggregator/path captured with
+    /// last-wins, announcements without an AS path skipped, withdrawal
+    /// order preserved. NLRI decodes land in `scratch`, not fresh `Vec`s.
+    fn apply_view(
+        &mut self,
+        view: &UpdateView<'_>,
+        peer: PeerId,
+        t: SimTime,
+        locator: &IntervalLocator<'_>,
+        scratch: &mut ScratchArena,
+    ) {
+        let aggregator = view.aggregator();
+        let path = view.as_path_wire().and_then(|(wire, four_byte)| {
+            self.interner
+                .intern_wire(wire, four_byte, &mut scratch.path_key)
+        });
+        scratch.announced.clear();
+        view.announced_into(&mut scratch.announced);
+        for &prefix in &scratch.announced {
+            let Some(idx) = locator.locate(prefix, t) else {
+                continue;
+            };
+            let Some(path) = path.clone() else {
+                continue; // an announcement without AS_PATH is bogus
+            };
+            let Some(history) = self.histories.get_mut(idx) else {
+                continue;
+            };
+            history
+                .entry(peer)
+                .or_default()
+                .push((t, Observation::Announce { path, aggregator }));
+        }
+        scratch.withdrawn.clear();
+        view.withdrawn_into(&mut scratch.withdrawn);
+        for &prefix in &scratch.withdrawn {
+            let Some(idx) = locator.locate(prefix, t) else {
+                continue;
+            };
+            let Some(history) = self.histories.get_mut(idx) else {
+                continue;
+            };
+            history
+                .entry(peer)
+                .or_default()
+                .push((t, Observation::Withdraw));
+        }
+    }
 }
 
 /// Finalizes an accumulator into a [`ScanResult`]: sorts downs and peers,
-/// attaches the read statistics.
+/// converts the Fx-keyed fold maps to the std-hashed public maps (one
+/// rehash per distinct key), attaches the read statistics.
 fn finish(acc: Accum, intervals: &[BeaconInterval], read_stats: MrtReadStats) -> ScanResult {
     let mut result = ScanResult {
         intervals: intervals.to_vec(),
-        histories: acc.histories,
-        session_downs: acc.session_downs,
+        histories: acc
+            .histories
+            .into_iter()
+            .map(|h| h.into_iter().collect())
+            .collect(),
+        session_downs: acc.session_downs.into_iter().collect(),
         read_stats,
         ..ScanResult::default()
     };
@@ -281,7 +503,11 @@ pub fn scan(
 /// Records post-merge scan metrics. Called exactly once per
 /// [`scan_indexed`] call — never per worker, where totals would scale with
 /// the thread count — so every counter is invariant under `jobs`.
-fn record_scan_metrics(result: &ScanResult) {
+///
+/// Public so a scan-cache hit (which skips the scan entirely) can replay
+/// the metrics from the cached [`ScanResult`]: warm and cold runs then
+/// record identical scan counters, differing only in cache counters.
+pub fn record_scan_metrics(result: &ScanResult) {
     use bgpz_obs::metrics::counter;
     let stats = result.read_stats;
     counter("mrt::read", "records_ok", stats.ok as u64);
@@ -372,6 +598,13 @@ fn scan_frames(
 ) -> ChunkScan {
     let mut acc = Accum::new(locator.intervals.len());
     let mut stats = MrtReadStats::default();
+    let mut scratch = ScratchArena::default();
+    // Direct-mapped recent-peer cache (keyed on the ASN's low bits): an
+    // UPDATE stream cycles through a small set of session headers, so
+    // most frames would re-hash a PeerId the set already holds. A slot
+    // hit skips the insert; a miss or collision just pays the insert the
+    // uncached code always paid. The resulting peer set is identical.
+    let mut recent_peers: [Option<PeerId>; 16] = [None; 16];
     let tracing = bgpz_obs::trace::enabled();
     let mut block: Option<(u64, u64)> = None;
     for i in range {
@@ -382,50 +615,58 @@ fn scan_frames(
         let frame = index.frame(i);
         match frame.peek_kind() {
             FrameKind::Message { .. } => {
-                // Zero-allocation validation stands in for the decode the
-                // tolerant reader would have attempted: `validate()` agrees
-                // with `MrtRecord::decode(..).is_ok()` byte for byte.
-                if !frame.validate() {
-                    stats.skipped += 1;
-                    bgpz_obs::debug!(
-                        target: "mrt::read",
-                        "skipped malformed record ({} body bytes)",
-                        frame.meta().body_len()
-                    );
-                    continue;
-                }
-                stats.ok += 1;
-                stats.ok_messages += 1;
-                if frame.peek_bgp_kind() != Some(MessageKind::Update) {
-                    continue; // OPEN / KEEPALIVE / NOTIFICATION: no peer, no NLRI
-                }
-                let peer = frame.peer_addr().map(|(addr, asn)| PeerId { addr, asn });
-                let relevant = frame
-                    .nlri_prefixes()
-                    .any(|(_, prefix)| locator.relevant(prefix));
-                match (relevant, peer) {
-                    (false, Some(peer)) => {
-                        // Irrelevant UPDATE: register the peer (the eager
-                        // path does) and skip the decode entirely.
-                        acc.peers.insert(peer);
+                // One fused walk validates the frame *and* captures peer,
+                // attributes and NLRI regions: `scan_message()` classifies
+                // a frame Invalid exactly when `MrtRecord::decode` would
+                // fail, so the tolerant-reader accounting is unchanged —
+                // but the separate validate / peek / peer / NLRI passes
+                // (and the full decode for relevant frames) are gone.
+                match frame.scan_message() {
+                    ScanMessage::Invalid => {
+                        stats.skipped += 1;
+                        bgpz_obs::debug!(
+                            target: "mrt::read",
+                            "skipped malformed record ({} body bytes)",
+                            frame.meta().body_len()
+                        );
                     }
-                    _ => match frame.decode() {
-                        Ok(record) => acc.apply(&record, locator),
-                        Err(e) => {
-                            // `validate()` is meant to guarantee this decode
-                            // succeeds; stay tolerant anyway and reclassify
-                            // the frame as skipped.
-                            stats.ok -= 1;
-                            stats.ok_messages -= 1;
-                            stats.skipped += 1;
-                            bgpz_obs::debug!(
-                                target: "mrt::read",
-                                "skipped record that validated but failed decode \
-                                 ({} body bytes): {e}",
-                                frame.meta().body_len()
+                    ScanMessage::NonUpdate => {
+                        // OPEN / KEEPALIVE / NOTIFICATION: counts as a
+                        // decoded message but has no peer, no NLRI.
+                        stats.ok += 1;
+                        stats.ok_messages += 1;
+                    }
+                    ScanMessage::Update(view) => {
+                        stats.ok += 1;
+                        stats.ok_messages += 1;
+                        let (addr, asn) = view.peer();
+                        let peer = PeerId { addr, asn };
+                        // The eager path registers the peer of every valid
+                        // UPDATE, relevant or not.
+                        let slot = asn.0 as usize & (recent_peers.len() - 1);
+                        match recent_peers.get_mut(slot) {
+                            Some(entry) if *entry == Some(peer) => {}
+                            Some(entry) => {
+                                *entry = Some(peer);
+                                acc.peers.insert(peer);
+                            }
+                            // Unreachable (slot is masked); stay correct.
+                            None => {
+                                acc.peers.insert(peer);
+                            }
+                        }
+                        if view
+                            .mentions_wire(|afi, bits, item| locator.relevant_wire(afi, bits, item))
+                        {
+                            acc.apply_view(
+                                &view,
+                                peer,
+                                frame.peek_timestamp(),
+                                locator,
+                                &mut scratch,
                             );
                         }
-                    },
+                    }
                 }
             }
             FrameKind::StateChange { .. } | FrameKind::PeerIndex | FrameKind::Rib => {
@@ -516,28 +757,37 @@ pub fn scan_indexed(
         .unwrap_or_else(|p| std::panic::resume_unwind(p))
     };
 
-    // Merge in chunk (= archive) order.
-    let mut merged = Accum::new(intervals.len());
-    let mut stats = MrtReadStats::default();
-    for chunk in chunks {
-        stats.absorb(&chunk.stats);
-        merged.peers.extend(chunk.acc.peers);
-        for (idx, histories) in chunk.acc.histories.into_iter().enumerate() {
-            for (peer, mut history) in histories {
-                merged.histories[idx]
+    // Merge in chunk (= archive) order. A single chunk (jobs = 1) already
+    // *is* the serial fold, so it skips the merge rather than paying one
+    // map re-insertion per (interval, peer).
+    let mut chunks = chunks;
+    let (merged, mut stats) = if chunks.len() == 1 {
+        let chunk = chunks.remove(0);
+        (chunk.acc, chunk.stats)
+    } else {
+        let mut merged = Accum::new(intervals.len());
+        let mut stats = MrtReadStats::default();
+        for chunk in chunks {
+            stats.absorb(&chunk.stats);
+            merged.peers.extend(chunk.acc.peers);
+            for (idx, histories) in chunk.acc.histories.into_iter().enumerate() {
+                for (peer, mut history) in histories {
+                    merged.histories[idx]
+                        .entry(peer)
+                        .or_default()
+                        .append(&mut history);
+                }
+            }
+            for (peer, mut times) in chunk.acc.session_downs {
+                merged
+                    .session_downs
                     .entry(peer)
                     .or_default()
-                    .append(&mut history);
+                    .append(&mut times);
             }
         }
-        for (peer, mut times) in chunk.acc.session_downs {
-            merged
-                .session_downs
-                .entry(peer)
-                .or_default()
-                .append(&mut times);
-        }
-    }
+        (merged, stats)
+    };
     stats.trailing_bytes = index.trailing_bytes();
 
     let result = finish(merged, intervals, stats);
@@ -558,7 +808,7 @@ pub fn scan_sharded(
     jobs: usize,
 ) -> ScanResult {
     scan_indexed(
-        &FrameIndex::build(updates),
+        &FrameIndex::build_parallel(updates, jobs),
         intervals,
         window_after_withdraw,
         jobs,

@@ -148,11 +148,21 @@ fn panic_pass(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
                 }
             }
             TokenKind::Punct if t.text == "[" => {
+                // A lifetime lexes as `'` + Ident, so an ident preceded by
+                // `'` (`&'a [u8]`) is a slice *type*, never an indexing op.
+                let prev_is_lifetime = |p: usize| {
+                    p.checked_sub(1)
+                        .and_then(|q| tokens.get(q))
+                        .is_some_and(|q| q.kind == TokenKind::Punct && q.text == "'")
+                };
                 let indexed = i
                     .checked_sub(1)
-                    .and_then(|p| tokens.get(p))
-                    .is_some_and(|prev| match prev.kind {
-                        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    .and_then(|p| tokens.get(p).map(|prev| (p, prev)))
+                    .is_some_and(|(p, prev)| match prev.kind {
+                        TokenKind::Ident => {
+                            !NON_INDEX_KEYWORDS.contains(&prev.text.as_str())
+                                && !prev_is_lifetime(p)
+                        }
                         TokenKind::Punct => prev.text == ")" || prev.text == "]",
                         _ => false,
                     });
@@ -667,6 +677,12 @@ mod tests {
         let src = "fn f(v: &[u8]) -> u8 {\n    let [a, _b] = [1u8, 2];\n    v[0] + a\n}\n";
         let got = lints_of(LIB, src);
         assert_eq!(got, vec![("indexing", 3)]);
+    }
+
+    #[test]
+    fn lifetime_slice_types_are_not_indexing() {
+        let src = "struct V<'a> {\n    run: &'a [u8],\n}\nfn f<'a>(v: &V<'a>) -> &'a [u8] {\n    v.run\n}\n";
+        assert!(lints_of(LIB, src).is_empty());
     }
 
     #[test]

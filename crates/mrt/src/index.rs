@@ -16,6 +16,7 @@ use crate::lazy::LazyFrame;
 use bgpz_types::SimTime;
 use bytes::Bytes;
 use std::fmt;
+use std::ops::Range;
 
 /// Outcome of framing one record at the head of a byte slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,38 @@ pub(crate) fn frame_at(data: &[u8]) -> FrameOutcome {
         };
     }
     FrameOutcome::Frame { total }
+}
+
+/// Reads the [`FrameMeta`] of the frame at `offset` (already framed as
+/// `total` bytes). The single definition of header-field extraction: the
+/// serial and parallel framing passes both call it, so their metadata can
+/// never diverge.
+fn read_meta(data: &[u8], offset: usize, total: usize) -> FrameMeta {
+    let b = data.get(offset..).unwrap_or_default();
+    FrameMeta {
+        offset,
+        len: total,
+        timestamp: SimTime(u64::from(header_u32(b, 0))),
+        mrt_type: header_u16(b, 4),
+        subtype: header_u16(b, 6),
+    }
+}
+
+/// Warns about `tail` unframeable trailing bytes, exactly once per
+/// archive (only the final serial reconciliation pass calls this — never
+/// a parallel framing worker).
+fn warn_trailing(tail: usize, header: bool, body_len: usize) {
+    if header {
+        bgpz_obs::warn!(
+            target: "mrt::read",
+            "{tail} trailing bytes could not be framed (stream ended inside a common header)"
+        );
+    } else {
+        bgpz_obs::warn!(
+            target: "mrt::read",
+            "{tail} trailing bytes could not be framed (declared body of {body_len} bytes truncated)"
+        );
+    }
 }
 
 /// Big-endian `u16` at byte offset `at`; zero when out of range (callers
@@ -143,17 +176,10 @@ impl FrameIndex {
         let mut trailing_bytes = 0;
         let mut pos = 0;
         loop {
-            match frame_at(&data[pos..]) {
+            match frame_at(data.get(pos..).unwrap_or_default()) {
                 FrameOutcome::Empty => break,
                 FrameOutcome::Frame { total } => {
-                    let b = &data[pos..];
-                    frames.push(FrameMeta {
-                        offset: pos,
-                        len: total,
-                        timestamp: SimTime(u64::from(header_u32(b, 0))),
-                        mrt_type: header_u16(b, 4),
-                        subtype: header_u16(b, 6),
-                    });
+                    frames.push(read_meta(&data, pos, total));
                     pos += total;
                 }
                 FrameOutcome::Trailing {
@@ -161,17 +187,7 @@ impl FrameIndex {
                     header,
                     body_len,
                 } => {
-                    if header {
-                        bgpz_obs::warn!(
-                            target: "mrt::read",
-                            "{tail} trailing bytes could not be framed (stream ended inside a common header)"
-                        );
-                    } else {
-                        bgpz_obs::warn!(
-                            target: "mrt::read",
-                            "{tail} trailing bytes could not be framed (declared body of {body_len} bytes truncated)"
-                        );
-                    }
+                    warn_trailing(tail, header, body_len);
                     trailing_bytes = tail;
                     break;
                 }
@@ -182,6 +198,41 @@ impl FrameIndex {
             frames,
             trailing_bytes,
         }
+    }
+
+    /// Builds the index with up to `jobs` parallel framing workers,
+    /// producing a `FrameIndex` **byte-identical** to [`FrameIndex::build`]
+    /// at every worker count (`serialize_meta` output included).
+    ///
+    /// The archive is split into near-equal byte ranges. Worker 0 frames
+    /// from offset 0; every other worker resynchronizes onto a frame
+    /// boundary with the marker prefilter (see [`find_sync`]) and frames
+    /// every record that *starts* inside its range (frames may extend past
+    /// the range end). A cheap serial reconciliation pass then splices the
+    /// per-chunk indexes: framing from any offset is a pure function of
+    /// `(data, offset)`, so whenever the reconciliation cursor lands on an
+    /// offset a chunk framed, the chunk's whole suffix from that offset is
+    /// exactly what the serial pass would have produced and is adopted
+    /// wholesale. Prefilter mis-syncs are healed by falling back to
+    /// one-frame-at-a-time serial framing until the cursor re-enters a
+    /// chunk's frame list, so the result never depends on prefilter
+    /// quality — only the speed does.
+    pub fn build_parallel(data: Bytes, jobs: usize) -> FrameIndex {
+        let workers = jobs.max(1).min(data.len().max(1));
+        let index = if workers <= 1 {
+            FrameIndex::build(data)
+        } else {
+            build_chunked(data, workers)
+        };
+        {
+            use bgpz_obs::metrics::counter;
+            // Jobs-invariant by construction: frame and byte totals do not
+            // depend on the worker count (chunk/resync details are debug
+            // logs only, never counters).
+            counter("mrt::index", "frames_indexed", index.frames.len() as u64); // lint: allow(truncating_cast) — frame count fits u64 on every supported platform
+            counter("mrt::index", "bytes_indexed", index.data.len() as u64); // lint: allow(truncating_cast) — archive length fits u64 on every supported platform
+        }
+        index
     }
 
     /// The underlying archive bytes.
@@ -323,6 +374,191 @@ impl FrameIndex {
             frames,
             trailing_bytes,
         })
+    }
+}
+
+/// Frames whose length chain the marker prefilter verifies before
+/// accepting a resynchronization candidate.
+const SYNC_CHAIN: usize = 3;
+
+/// True when `at` could start an MRT common header: 12 bytes available
+/// and the type word reads TABLE_DUMP_V2 (13), BGP4MP (16) or
+/// BGP4MP_ET (17) — the types real archives contain. This is a heuristic
+/// prefilter only: false positives and false negatives are both healed by
+/// the reconciliation pass, so unknown-type frames (which the serial
+/// framer accepts purely on length arithmetic) merely cost speed.
+fn plausible_header(data: &[u8], at: usize) -> bool {
+    matches!(
+        data.get(at..at.saturating_add(12)),
+        Some([_, _, _, _, 0, 13 | 16 | 17, ..])
+    )
+}
+
+/// Validates a resynchronization candidate with header length arithmetic:
+/// follows the declared frame lengths for up to [`SYNC_CHAIN`] hops and
+/// requires each hop to land on another plausible header (or the end of
+/// the archive).
+fn chain_validates(data: &[u8], start: usize) -> bool {
+    let mut at = start;
+    for step in 0..SYNC_CHAIN {
+        match frame_at(data.get(at..).unwrap_or_default()) {
+            // A first-hop truncation frames nothing, so reject and keep
+            // searching; deeper in the chain it is the archive's own tail.
+            FrameOutcome::Empty | FrameOutcome::Trailing { .. } => return step > 0,
+            FrameOutcome::Frame { total } => {
+                at = at.saturating_add(total);
+                if at >= data.len() {
+                    return true;
+                }
+                if !plausible_header(data, at) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Memchr-style marker prefilter: scans `range` for the first byte offset
+/// that looks like a frame boundary ([`plausible_header`] +
+/// [`chain_validates`]). `None` means the worker frames nothing and the
+/// reconciliation pass covers its range serially.
+fn find_sync(data: &[u8], mut range: Range<usize>) -> Option<usize> {
+    range.find(|&p| plausible_header(data, p) && chain_validates(data, p))
+}
+
+/// Frames forward from `sync`, recording every frame that *starts* before
+/// `end`. Frames may extend past `end`; trailing bytes are never counted
+/// here (only the reconciliation pass accounts for — and warns about —
+/// them, exactly once per archive).
+fn frame_chunk(data: &[u8], sync: usize, end: usize) -> Vec<FrameMeta> {
+    let mut frames = Vec::new();
+    let mut pos = sync;
+    while pos < end {
+        match frame_at(data.get(pos..).unwrap_or_default()) {
+            FrameOutcome::Frame { total } => {
+                frames.push(read_meta(data, pos, total));
+                pos += total;
+            }
+            FrameOutcome::Empty | FrameOutcome::Trailing { .. } => break,
+        }
+    }
+    frames
+}
+
+/// Splits `len` bytes into `workers` contiguous near-equal ranges.
+fn byte_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for k in 0..workers {
+        let chunk = base + usize::from(k < extra);
+        ranges.push(start..start + chunk);
+        start += chunk;
+    }
+    ranges
+}
+
+/// The parallel framing pass proper: fan out per-chunk framing, then
+/// splice the chunk indexes serially (see [`FrameIndex::build_parallel`]
+/// for the correctness argument).
+fn build_chunked(data: Bytes, workers: usize) -> FrameIndex {
+    let tracing = bgpz_obs::trace::enabled();
+    let bounds = byte_ranges(data.len(), workers);
+    let parts: Vec<Vec<FrameMeta>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .enumerate()
+            .map(|(k, range)| {
+                let data = &data;
+                let range = range.clone();
+                s.spawn(move |_| {
+                    let start_us = if tracing {
+                        bgpz_obs::trace::now_us()
+                    } else {
+                        0
+                    };
+                    let sync = if k == 0 {
+                        Some(0)
+                    } else {
+                        find_sync(data, range.clone())
+                    };
+                    let frames = sync.map_or_else(Vec::new, |at| frame_chunk(data, at, range.end));
+                    if tracing {
+                        let end = bgpz_obs::trace::now_us();
+                        bgpz_obs::trace::emit(
+                            "mrt::index",
+                            "frame_chunk",
+                            3_800 + k as u64, // lint: allow(truncating_cast) — worker ordinal fits u64
+                            bgpz_obs::trace::TraceCtx::root("frame", k as u64, 0), // lint: allow(truncating_cast) — worker ordinal fits u64
+                            start_us,
+                            end.saturating_sub(start_us),
+                        );
+                        bgpz_obs::trace::flush_thread();
+                    }
+                    frames
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    })
+    .unwrap_or_else(|p| std::panic::resume_unwind(p));
+
+    // Serial reconciliation: splice chunk suffixes at the cursor, healing
+    // any prefilter mis-sync with one-frame serial fallback steps.
+    let mut frames: Vec<FrameMeta> = Vec::new();
+    let mut trailing_bytes = 0;
+    let mut cursor = 0usize;
+    let mut ci = 0usize;
+    let mut fallback_frames = 0u64;
+    loop {
+        while ci < parts.len() && bounds.get(ci).is_none_or(|r| r.end <= cursor) {
+            ci += 1;
+        }
+        if let Some(part) = parts.get(ci) {
+            if let Ok(i) = part.binary_search_by_key(&cursor, |m| m.offset) {
+                frames.extend_from_slice(part.get(i..).unwrap_or_default());
+                if let Some(last) = part.last() {
+                    cursor = last.offset + last.len;
+                }
+                ci += 1;
+                continue;
+            }
+        }
+        match frame_at(data.get(cursor..).unwrap_or_default()) {
+            FrameOutcome::Empty => break,
+            FrameOutcome::Frame { total } => {
+                frames.push(read_meta(&data, cursor, total));
+                cursor += total;
+                fallback_frames += 1;
+            }
+            FrameOutcome::Trailing {
+                tail,
+                header,
+                body_len,
+            } => {
+                warn_trailing(tail, header, body_len);
+                trailing_bytes = tail;
+                break;
+            }
+        }
+    }
+    if fallback_frames > 0 {
+        // Debug only: fallback counts vary with the worker count, so they
+        // must never become metrics (counters are jobs-invariant).
+        bgpz_obs::debug!(
+            target: "mrt::index",
+            "parallel framing fell back to serial for {fallback_frames} frames across {workers} chunks"
+        );
+    }
+    FrameIndex {
+        data,
+        frames,
+        trailing_bytes,
     }
 }
 
@@ -519,6 +755,109 @@ mod tests {
             FrameIndex::from_serialized_meta(shorter, &meta),
             Err(IndexMetaError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_at_every_worker_count() {
+        let mut writer = MrtWriter::new();
+        for ts in 0..200 {
+            writer.push(&sample_record(ts));
+        }
+        let bytes = writer.finish();
+        let serial = FrameIndex::build(bytes.clone()).serialize_meta();
+        for jobs in [1, 2, 3, 4, 8, 64] {
+            let par = FrameIndex::build_parallel(bytes.clone(), jobs);
+            assert_eq!(par.serialize_meta(), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_truncated_archive() {
+        let mut writer = MrtWriter::new();
+        for ts in 0..50 {
+            writer.push(&sample_record(ts));
+        }
+        let bytes = writer.finish();
+        for cut in [1, 5, 13, 40] {
+            let data = bytes.slice(..bytes.len() - cut);
+            let serial = FrameIndex::build(data.clone());
+            for jobs in [2, 4, 8] {
+                let par = FrameIndex::build_parallel(data.clone(), jobs);
+                assert_eq!(
+                    par.serialize_meta(),
+                    serial.serialize_meta(),
+                    "cut={cut} jobs={jobs}"
+                );
+                assert_eq!(par.trailing_bytes(), serial.trailing_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_heals_prefilter_misses_on_unknown_types() {
+        // An archive of unknown-type frames never satisfies the marker
+        // prefilter, so every worker's sync search fails and the
+        // reconciliation pass frames the whole archive serially — the
+        // result must still be identical.
+        let mut writer = MrtWriter::new();
+        for ts in 0..30 {
+            writer.push(&sample_record(ts));
+        }
+        let mut bytes = BytesMut::from(&writer.finish()[..]);
+        let serial_probe = FrameIndex::build(bytes.clone().freeze());
+        for i in 0..serial_probe.len() {
+            let at = serial_probe.meta(i).offset;
+            bytes[at + 4] = 0;
+            bytes[at + 5] = 99;
+        }
+        let data = bytes.freeze();
+        let serial = FrameIndex::build(data.clone());
+        assert_eq!(serial.len(), 30);
+        for jobs in [2, 4, 8] {
+            let par = FrameIndex::build_parallel(data.clone(), jobs);
+            assert_eq!(par.serialize_meta(), serial.serialize_meta(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_corrupted_lengths() {
+        // Corrupt a body-length byte mid-archive: the serial pass stops at
+        // the resulting truncation (or frames garbage), and the parallel
+        // pass must agree bit for bit either way.
+        let mut writer = MrtWriter::new();
+        for ts in 0..40 {
+            writer.push(&sample_record(ts));
+        }
+        let base = writer.finish();
+        let probe = FrameIndex::build(base.clone());
+        for victim in [3usize, 17, 33] {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bytes = BytesMut::from(&base[..]);
+                let at = probe.meta(victim).offset + 11;
+                bytes[at] ^= flip;
+                let data = bytes.freeze();
+                let serial = FrameIndex::build(data.clone());
+                for jobs in [2, 5, 8] {
+                    let par = FrameIndex::build_parallel(data.clone(), jobs);
+                    assert_eq!(
+                        par.serialize_meta(),
+                        serial.serialize_meta(),
+                        "victim={victim} flip={flip:#x} jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_tiny_and_empty_archives() {
+        for data in [Bytes::new(), Bytes::from_static(&[1, 2, 3])] {
+            let serial = FrameIndex::build(data.clone());
+            for jobs in [1, 2, 8] {
+                let par = FrameIndex::build_parallel(data.clone(), jobs);
+                assert_eq!(par.serialize_meta(), serial.serialize_meta());
+            }
+        }
     }
 
     #[test]

@@ -323,6 +323,30 @@ impl<'a> LazyFrame<'a> {
         }
     }
 
+    /// Validates a `BGP4MP_MESSAGE` frame and extracts everything the scan
+    /// path needs from it in the **same single walk** — peer identity,
+    /// raw AS-path/aggregator attribute values and the four NLRI regions —
+    /// replacing the separate `validate` → `peek_bgp_kind` → `peer_addr` →
+    /// `nlri_prefixes` passes with one, and the full `decode` with none.
+    ///
+    /// The walk *is* [`LazyFrame::validate`]'s walk ([`validate_message`]
+    /// is defined in terms of it), so `scan_message() != Invalid` exactly
+    /// when `decode()` succeeds; the equivalence proptests cover it for
+    /// free.
+    pub fn scan_message(&self) -> ScanMessage<'a> {
+        let FrameKind::Message { as4 } = self.peek_kind() else {
+            return ScanMessage::Invalid;
+        };
+        let Some(payload) = self.bgp4mp_payload() else {
+            return ScanMessage::Invalid;
+        };
+        match scan_payload(payload, as4) {
+            None => ScanMessage::Invalid,
+            Some(None) => ScanMessage::NonUpdate,
+            Some(Some(view)) => ScanMessage::Update(view),
+        }
+    }
+
     /// Fully decodes the frame — identical to what the eager reader does.
     pub fn decode(&self) -> CodecResult<MrtRecord> {
         MrtRecord::decode(&mut self.bytes())
@@ -391,6 +415,146 @@ impl Iterator for NlriIter<'_> {
     }
 }
 
+/// Outcome of [`LazyFrame::scan_message`]: the frame's scan-relevant
+/// content, or proof that none is needed.
+#[derive(Debug, Clone, Copy)]
+pub enum ScanMessage<'a> {
+    /// Validation failed — a full decode would fail identically.
+    Invalid,
+    /// A valid OPEN / NOTIFICATION / KEEPALIVE: counts as a decoded
+    /// message but carries nothing the scan needs.
+    NonUpdate,
+    /// A valid UPDATE with its regions borrowed from the wire.
+    Update(UpdateView<'a>),
+}
+
+/// A validated UPDATE's scan-relevant regions, borrowed zero-copy from
+/// the frame bytes. Produced by [`LazyFrame::scan_message`].
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateView<'a> {
+    peer: (IpAddr, Asn),
+    /// Raw value bytes of the winning `AS_PATH`/`AS4_PATH` attribute and
+    /// its AS width (last occurrence wins, exactly like the decoder).
+    as_path: Option<(&'a [u8], bool)>,
+    /// The winning aggregator attribute's IPv4 address.
+    aggregator: Option<Ipv4Addr>,
+    /// Legacy withdrawn-routes run (IPv4).
+    withdrawn: &'a [u8],
+    /// Legacy NLRI run (IPv4).
+    nlri: &'a [u8],
+    /// The winning `MP_REACH_NLRI` run.
+    mp_reach: Option<(Afi, &'a [u8])>,
+    /// The winning `MP_UNREACH_NLRI` run.
+    mp_unreach: Option<(Afi, &'a [u8])>,
+}
+
+impl<'a> UpdateView<'a> {
+    /// The sending peer's (address, AS) from the session header.
+    pub fn peer(&self) -> (IpAddr, Asn) {
+        self.peer
+    }
+
+    /// Raw wire bytes of the winning AS-path attribute value plus its AS
+    /// width — the byte-interning key of the scan path. `None` when the
+    /// UPDATE carries no AS_PATH/AS4_PATH attribute at all (an empty
+    /// attribute value is `Some` with an empty slice, matching the
+    /// decoder's `Some(empty AsPath)`).
+    pub fn as_path_wire(&self) -> Option<(&'a [u8], bool)> {
+        self.as_path
+    }
+
+    /// The aggregator address, when an AGGREGATOR/AS4_AGGREGATOR
+    /// attribute is present (last one wins).
+    pub fn aggregator(&self) -> Option<Ipv4Addr> {
+        self.aggregator
+    }
+
+    /// All four NLRI regions in [`LazyFrame::nlri_prefixes`] order, with
+    /// absent MP regions as empty runs.
+    fn runs(&self) -> [(Afi, &'a [u8]); 4] {
+        [
+            (Afi::Ipv4, self.withdrawn),
+            self.mp_reach.unwrap_or((Afi::Ipv4, &[])),
+            self.mp_unreach.unwrap_or((Afi::Ipv4, &[])),
+            (Afi::Ipv4, self.nlri),
+        ]
+    }
+
+    /// True when any NLRI region (withdrawn or announced) contains a
+    /// prefix `pred` accepts. Allocation-free.
+    pub fn mentions(&self, mut pred: impl FnMut(Prefix) -> bool) -> bool {
+        for (afi, run) in self.runs() {
+            let mut buf = run;
+            while !buf.is_empty() {
+                match Prefix::decode_nlri(afi, &mut buf) {
+                    Ok(prefix) => {
+                        if pred(prefix) {
+                            return true;
+                        }
+                    }
+                    // Unreachable on a validated run; stop defensively.
+                    Err(_) => break,
+                }
+            }
+        }
+        false
+    }
+
+    /// The byte-level twin of [`UpdateView::mentions`]: calls `pred` with
+    /// each raw NLRI item — its AFI, declared bit length and
+    /// `(bits + 7) / 8` wire bytes — across all four regions, until a
+    /// match. A relevance probe can compare the wire bytes against
+    /// precomputed needles without constructing (or hashing) a `Prefix`
+    /// per item; the caller must mask the item's trailing host bits
+    /// exactly as [`Prefix::decode_nlri`] would to stay equivalent.
+    pub fn mentions_wire(&self, mut pred: impl FnMut(Afi, u8, &[u8]) -> bool) -> bool {
+        for (afi, run) in self.runs() {
+            let mut buf = run;
+            while let Some((&bits, rest)) = buf.split_first() {
+                let n = usize::from(bits).div_ceil(8);
+                // Unreachable underrun on a validated run; stop defensively.
+                let Some(item) = rest.get(..n) else { break };
+                if pred(afi, bits, item) {
+                    return true;
+                }
+                buf = rest.get(n..).unwrap_or_default();
+            }
+        }
+        false
+    }
+
+    /// Appends every announced prefix to `out`: the legacy NLRI run, then
+    /// MP_REACH — the exact order of `BgpUpdate::announced`.
+    pub fn announced_into(&self, out: &mut Vec<Prefix>) {
+        decode_run(Afi::Ipv4, self.nlri, out);
+        if let Some((afi, run)) = self.mp_reach {
+            decode_run(afi, run, out);
+        }
+    }
+
+    /// Appends every withdrawn prefix to `out`: the legacy withdrawn run,
+    /// then MP_UNREACH — the exact order of `BgpUpdate::withdrawn_all`.
+    pub fn withdrawn_into(&self, out: &mut Vec<Prefix>) {
+        decode_run(Afi::Ipv4, self.withdrawn, out);
+        if let Some((afi, run)) = self.mp_unreach {
+            decode_run(afi, run, out);
+        }
+    }
+}
+
+/// Decodes a validated NLRI run into `out`. [`Prefix::decode_nlri`]
+/// accepts exactly what [`validate_nlri_run`] accepted, so the loop
+/// consumes the whole run.
+fn decode_run(afi: Afi, run: &[u8], out: &mut Vec<Prefix>) {
+    let mut buf = run;
+    while !buf.is_empty() {
+        match Prefix::decode_nlri(afi, &mut buf) {
+            Ok(prefix) => out.push(prefix),
+            Err(_) => break, // unreachable on a validated run
+        }
+    }
+}
+
 // ---- zero-alloc structural validation ---------------------------------
 
 /// A forward-only cursor over a byte slice; every accessor returns `None`
@@ -450,17 +614,43 @@ impl<'a> Cur<'a> {
 /// Validates a `BGP4MP_MESSAGE` payload (session header + BGP message)
 /// exactly as [`Bgp4mpMessage::decode`](crate::Bgp4mpMessage::decode)
 /// followed by the record's trailing-bytes check would.
+///
+/// Defined in terms of [`scan_payload`], so the validation walk and the
+/// fused scan extraction can never drift apart.
 fn validate_message(payload: &[u8], as4: bool) -> Option<()> {
+    scan_payload(payload, as4).map(|_| ())
+}
+
+/// The single validation-plus-capture walk behind both
+/// [`LazyFrame::validate`] and [`LazyFrame::scan_message`].
+///
+/// `None`: the payload fails validation (a decode would fail too).
+/// `Some(None)`: a valid non-UPDATE message.
+/// `Some(Some(view))`: a valid UPDATE, with its scan-relevant regions
+/// borrowed straight from the wire.
+fn scan_payload(payload: &[u8], as4: bool) -> Option<Option<UpdateView<'_>>> {
     let mut c = Cur::new(payload);
-    // Session header.
-    c.skip(if as4 { 8 } else { 4 })?; // peer + local AS
+    // Session header (peer identity captured on the way through).
+    let peer_as = if as4 {
+        Asn(c.u32()?)
+    } else {
+        Asn(u32::from(c.u16()?))
+    };
+    c.skip(if as4 { 4 } else { 2 })?; // local AS
     c.skip(2)?; // ifindex
-    let endpoints = match c.u16()? {
-        1 => 8,
-        2 => 32,
+    let peer_ip = match c.u16()? {
+        1 => {
+            let o: [u8; 4] = c.take(4)?.try_into().ok()?;
+            c.skip(4)?; // local address
+            IpAddr::V4(Ipv4Addr::from(o))
+        }
+        2 => {
+            let o: [u8; 16] = c.take(16)?.try_into().ok()?;
+            c.skip(16)?; // local address
+            IpAddr::V6(Ipv6Addr::from(o))
+        }
         _ => return None,
     };
-    c.skip(endpoints)?;
     // BGP message header.
     if c.len() < 19 {
         return None;
@@ -474,28 +664,33 @@ fn validate_message(payload: &[u8], as4: bool) -> Option<()> {
     }
     let kind = c.u8()?;
     let body = c.take(usize::from(msg_len) - 19)?;
-    match kind {
-        1 => validate_open(body)?,
-        2 => validate_update(body, as4)?,
+    let view = match kind {
+        1 => {
+            validate_open(body)?;
+            None
+        }
+        2 => Some(scan_update(body, as4, (peer_ip, peer_as))?),
         3 => {
             // NOTIFICATION: error code + subcode, data free-form.
             if body.len() < 2 {
                 return None;
             }
+            None
         }
         4 => {
             // KEEPALIVE: empty body.
             if !body.is_empty() {
                 return None;
             }
+            None
         }
         _ => return None,
-    }
+    };
     // MrtRecord::decode rejects bytes left over in the declared body.
     if !c.is_empty() {
         return None;
     }
-    Some(())
+    Some(view)
 }
 
 /// OPEN body: fixed 10 bytes + declared optional parameters. Bytes after
@@ -511,20 +706,34 @@ fn validate_open(body: &[u8]) -> Option<()> {
     Some(())
 }
 
-/// UPDATE body: withdrawn run, attribute block, NLRI run.
-fn validate_update(body: &[u8], as4: bool) -> Option<()> {
+/// UPDATE body: withdrawn run, attribute block, NLRI run — validated and
+/// captured into an [`UpdateView`] in one walk.
+fn scan_update(body: &[u8], as4: bool, peer: (IpAddr, Asn)) -> Option<UpdateView<'_>> {
     let mut b = Cur::new(body);
-    let wd_len = b.u16()? as usize;
+    let wd_len = usize::from(b.u16()?);
     if wd_len > b.len() {
         return None;
     }
-    validate_nlri_run(b.take(wd_len)?, Afi::Ipv4)?;
-    let at_len = b.u16()? as usize;
+    let withdrawn = b.take(wd_len)?;
+    validate_nlri_run(withdrawn, Afi::Ipv4)?;
+    let at_len = usize::from(b.u16()?);
     if at_len > b.len() {
         return None;
     }
-    validate_attrs(b.take(at_len)?, as4)?;
-    validate_nlri_run(b.rest(), Afi::Ipv4)
+    let attrs = b.take(at_len)?;
+    let nlri = b.rest();
+    validate_nlri_run(nlri, Afi::Ipv4)?;
+    let mut view = UpdateView {
+        peer,
+        as_path: None,
+        aggregator: None,
+        withdrawn,
+        nlri,
+        mp_reach: None,
+        mp_unreach: None,
+    };
+    scan_attrs(attrs, as4, &mut view)?;
+    Some(view)
 }
 
 /// An NLRI run must consist of whole prefixes with legal bit lengths.
@@ -541,8 +750,11 @@ fn validate_nlri_run(run: &[u8], afi: Afi) -> Option<()> {
 }
 
 /// The attribute block: TLV framing plus each known type's value rules,
-/// mirroring `PathAttributes::decode` case by case.
-fn validate_attrs(block: &[u8], as4: bool) -> Option<()> {
+/// mirroring `PathAttributes::decode` case by case. Captures the
+/// scan-relevant attributes into `view` with the decoder's last-wins
+/// semantics (`AS_PATH`/`AS4_PATH` share one slot, as do the two
+/// aggregator types).
+fn scan_attrs<'a>(block: &'a [u8], as4: bool, view: &mut UpdateView<'a>) -> Option<()> {
     let mut c = Cur::new(block);
     while !c.is_empty() {
         let flags = c.u8()?;
@@ -554,24 +766,73 @@ fn validate_attrs(block: &[u8], as4: bool) -> Option<()> {
         };
         let val = c.take(len)?;
         let ok = match type_code {
-            1 => len == 1 && val[0] <= 2,                // ORIGIN
-            2 => validate_as_path(val, as4).is_some(),   // AS_PATH
-            3..=5 => len == 4,                           // NEXT_HOP, MED, LOCAL_PREF
-            6 => len == 0,                               // ATOMIC_AGGREGATE
-            7 => len == if as4 { 8 } else { 6 },         // AGGREGATOR
-            8 => len % 4 == 0,                           // COMMUNITIES
-            14 => validate_mp_reach(val).is_some(),      // MP_REACH_NLRI
-            15 => validate_mp_unreach(val).is_some(),    // MP_UNREACH_NLRI
-            17 => validate_as_path(val, true).is_some(), // AS4_PATH
-            18 => len == 8,                              // AS4_AGGREGATOR
-            32 => len % 12 == 0,                         // LARGE_COMMUNITIES
-            _ => true,                                   // unknown: kept raw
+            // ORIGIN
+            1 => len == 1 && val.first().is_some_and(|&v| v <= 2),
+            // AS_PATH
+            2 => match validate_as_path(val, as4) {
+                Some(()) => {
+                    view.as_path = Some((val, as4));
+                    true
+                }
+                None => false,
+            },
+            3..=5 => len == 4, // NEXT_HOP, MED, LOCAL_PREF
+            6 => len == 0,     // ATOMIC_AGGREGATE
+            // AGGREGATOR
+            7 => {
+                len == if as4 { 8 } else { 6 } && {
+                    view.aggregator = aggregator_addr(val);
+                    view.aggregator.is_some()
+                }
+            }
+            8 => len % 4 == 0, // COMMUNITIES
+            // MP_REACH_NLRI
+            14 => match scan_mp_reach(val) {
+                Some(run) => {
+                    view.mp_reach = Some(run);
+                    true
+                }
+                None => false,
+            },
+            // MP_UNREACH_NLRI
+            15 => match scan_mp_unreach(val) {
+                Some(run) => {
+                    view.mp_unreach = Some(run);
+                    true
+                }
+                None => false,
+            },
+            // AS4_PATH
+            17 => match validate_as_path(val, true) {
+                Some(()) => {
+                    view.as_path = Some((val, true));
+                    true
+                }
+                None => false,
+            },
+            // AS4_AGGREGATOR
+            18 => {
+                len == 8 && {
+                    view.aggregator = aggregator_addr(val);
+                    view.aggregator.is_some()
+                }
+            }
+            32 => len % 12 == 0, // LARGE_COMMUNITIES
+            _ => true,           // unknown: kept raw
         };
         if !ok {
             return None;
         }
     }
     Some(())
+}
+
+/// The IPv4 address of an aggregator attribute value: the 4 bytes after
+/// the (2- or 4-octet) ASN. Always `Some` once the length check passed.
+fn aggregator_addr(val: &[u8]) -> Option<Ipv4Addr> {
+    let at = val.len().checked_sub(4)?;
+    let o: [u8; 4] = val.get(at..)?.try_into().ok()?;
+    Some(Ipv4Addr::from(o))
 }
 
 /// AS_PATH: whole segments of kind SET/SEQUENCE with declared AS counts.
@@ -590,7 +851,8 @@ fn validate_as_path(val: &[u8], four_byte: bool) -> Option<()> {
 }
 
 /// MP_REACH_NLRI: header, AFI-consistent next hop, reserved byte, NLRI.
-fn validate_mp_reach(val: &[u8]) -> Option<()> {
+/// Returns the validated NLRI run with its AFI.
+fn scan_mp_reach(val: &[u8]) -> Option<(Afi, &[u8])> {
     if val.len() < 5 {
         return None;
     }
@@ -604,18 +866,23 @@ fn validate_mp_reach(val: &[u8]) -> Option<()> {
         _ => return None,
     }
     c.skip(1)?; // reserved SNPA count
-    validate_nlri_run(c.rest(), afi)
+    let nlri = c.rest();
+    validate_nlri_run(nlri, afi)?;
+    Some((afi, nlri))
 }
 
-/// MP_UNREACH_NLRI: header + withdrawn NLRI.
-fn validate_mp_unreach(val: &[u8]) -> Option<()> {
+/// MP_UNREACH_NLRI: header + withdrawn NLRI. Returns the validated
+/// withdrawn run with its AFI.
+fn scan_mp_unreach(val: &[u8]) -> Option<(Afi, &[u8])> {
     if val.len() < 3 {
         return None;
     }
     let mut c = Cur::new(val);
     let afi = Afi::from_code(c.u16()?).ok()?;
     c.skip(1)?; // SAFI
-    validate_nlri_run(c.rest(), afi)
+    let withdrawn = c.rest();
+    validate_nlri_run(withdrawn, afi)?;
+    Some((afi, withdrawn))
 }
 
 #[cfg(test)]
@@ -775,6 +1042,90 @@ mod tests {
                 frame.validate(),
                 frame.decode().is_ok(),
                 "divergence at body length {keep}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_message_matches_decoded_update() {
+        for us in [None, Some(123_456)] {
+            let record = update_record(99, us);
+            let index = index_of(&[record.clone()]);
+            let frame = index.frame(0);
+            let ScanMessage::Update(view) = frame.scan_message() else {
+                panic!("expected an Update view");
+            };
+            let MrtBody::Message(msg) = &record.body else {
+                unreachable!()
+            };
+            let BgpMessage::Update(update) = &msg.message else {
+                unreachable!()
+            };
+            assert_eq!(view.peer(), (session().peer_ip, session().peer_as));
+            assert_eq!(view.aggregator(), None);
+            let (wire, four_byte) = view.as_path_wire().expect("AS path present");
+            let mut wire_buf = wire;
+            let decoded = bgpz_types::AsPath::decode(&mut wire_buf, wire.len(), four_byte).unwrap();
+            assert_eq!(Some(&decoded), update.attrs.as_path.as_ref());
+            let mut announced = Vec::new();
+            view.announced_into(&mut announced);
+            assert_eq!(announced, update.announced());
+            let mut withdrawn = Vec::new();
+            view.withdrawn_into(&mut withdrawn);
+            assert_eq!(withdrawn, update.withdrawn_all());
+            assert!(view.mentions(|p| p == Prefix::v4(84, 205, 64, 0, 24)));
+            assert!(!view.mentions(|p| p == Prefix::v4(10, 0, 0, 0, 8)));
+        }
+    }
+
+    #[test]
+    fn scan_message_classifies_non_updates_and_invalid_frames() {
+        let keepalive = MrtRecord::new(
+            SimTime(3),
+            MrtBody::Message(Bgp4mpMessage {
+                session: session(),
+                message: BgpMessage::Keepalive,
+            }),
+        );
+        let index = index_of(&[keepalive]);
+        assert!(matches!(
+            index.frame(0).scan_message(),
+            ScanMessage::NonUpdate
+        ));
+
+        let state = MrtRecord::new(
+            SimTime(5),
+            MrtBody::StateChange(Bgp4mpStateChange {
+                session: session(),
+                old_state: BgpState::Established,
+                new_state: BgpState::Idle,
+            }),
+        );
+        let index = index_of(&[state]);
+        assert!(matches!(
+            index.frame(0).scan_message(),
+            ScanMessage::Invalid
+        ));
+    }
+
+    /// `scan_message() != Invalid` must agree with `validate()` (and so
+    /// with `decode()`) under single-byte corruption.
+    #[test]
+    fn scan_message_corruption_agreement() {
+        let mut writer = MrtWriter::new();
+        writer.push(&update_record(7, None));
+        let pristine = writer.finish();
+        for pos in 12..pristine.len() {
+            let mut bytes = BytesMut::from(&pristine[..]);
+            bytes[pos] ^= 0x41;
+            let index = FrameIndex::build(bytes.freeze());
+            assert_eq!(index.len(), 1);
+            let frame = index.frame(0);
+            let scanned_valid = !matches!(frame.scan_message(), ScanMessage::Invalid);
+            assert_eq!(
+                scanned_valid,
+                frame.decode().is_ok(),
+                "divergence at byte {pos}"
             );
         }
     }

@@ -33,7 +33,7 @@ pub mod table_dump;
 
 pub use bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange, BgpState};
 pub use index::{FrameIndex, FrameMeta, IndexMetaError, INDEX_META_VERSION};
-pub use lazy::{FrameKind, LazyFrame, NlriIter, NlriKind};
+pub use lazy::{FrameKind, LazyFrame, NlriIter, NlriKind, ScanMessage, UpdateView};
 pub use reader::{MrtReadStats, MrtReader, MrtWriter};
 pub use record::{MrtBody, MrtRecord};
 pub use table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};

@@ -4,7 +4,8 @@
 use bgpz_mrt::bgp4mp::SessionHeader;
 use bgpz_mrt::table_dump::{PeerEntry, PeerIndexTable, RibEntry, RibSnapshot};
 use bgpz_mrt::{
-    Bgp4mpMessage, Bgp4mpStateChange, BgpState, MrtBody, MrtReader, MrtRecord, MrtWriter,
+    Bgp4mpMessage, Bgp4mpStateChange, BgpState, FrameIndex, MrtBody, MrtReader, MrtRecord,
+    MrtWriter,
 };
 use bgpz_types::attrs::{MpReach, NextHop};
 use bgpz_types::{AsPath, Asn, BgpMessage, BgpUpdate, Ipv6Net, PathAttributes, Prefix, SimTime};
@@ -197,5 +198,64 @@ proptest! {
     fn reader_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         let mut reader = MrtReader::new(bytes::Bytes::from(data));
         let _ = reader.collect_all();
+    }
+
+    /// Chunked-parallel framing must serialize to byte-identical index
+    /// metadata at every worker count, even when byte flips corrupt
+    /// record headers — the marker prefilter's resync must land on the
+    /// same frame boundaries the serial healer finds.
+    #[test]
+    fn parallel_framing_identical_under_corruption(
+        records in proptest::collection::vec(arb_record(), 1..12),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..12),
+    ) {
+        let mut writer = MrtWriter::new();
+        for rec in &records {
+            writer.push(rec);
+        }
+        let mut bytes = BytesMut::from(&writer.finish()[..]);
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] = val;
+        }
+        let archive = bytes.freeze();
+        let serial = FrameIndex::build(archive.clone()).serialize_meta();
+        for jobs in [1usize, 2, 4, 8] {
+            let parallel = FrameIndex::build_parallel(archive.clone(), jobs).serialize_meta();
+            prop_assert_eq!(&parallel, &serial, "jobs={}", jobs);
+        }
+    }
+
+    /// Same identity when the archive is truncated at an arbitrary byte —
+    /// the trailing-byte accounting must not depend on the worker count.
+    #[test]
+    fn parallel_framing_identical_on_truncation(
+        records in proptest::collection::vec(arb_record(), 1..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut writer = MrtWriter::new();
+        for rec in &records {
+            writer.push(rec);
+        }
+        let full = writer.finish();
+        let archive = full.slice(..cut.index(full.len() + 1));
+        let serial = FrameIndex::build(archive.clone()).serialize_meta();
+        for jobs in [1usize, 2, 4, 8] {
+            let parallel = FrameIndex::build_parallel(archive.clone(), jobs).serialize_meta();
+            prop_assert_eq!(&parallel, &serial, "jobs={}", jobs);
+        }
+    }
+
+    /// And on pure garbage, where nothing frames at all.
+    #[test]
+    fn parallel_framing_identical_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let archive = bytes::Bytes::from(data);
+        let serial = FrameIndex::build(archive.clone()).serialize_meta();
+        for jobs in [1usize, 2, 4, 8] {
+            let parallel = FrameIndex::build_parallel(archive.clone(), jobs).serialize_meta();
+            prop_assert_eq!(&parallel, &serial, "jobs={}", jobs);
+        }
     }
 }

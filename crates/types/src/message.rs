@@ -70,26 +70,40 @@ pub struct BgpUpdate {
 impl BgpUpdate {
     /// All prefixes announced by this update, across both families.
     pub fn announced(&self) -> Vec<Prefix> {
-        let mut out = self.nlri.clone();
-        if let Some(mp) = &self.attrs.mp_reach {
-            out.extend(mp.nlri.iter().copied());
-        }
-        out
+        self.announced_iter().collect()
     }
 
     /// All prefixes withdrawn by this update, across both families.
     pub fn withdrawn_all(&self) -> Vec<Prefix> {
-        let mut out = self.withdrawn.clone();
-        if let Some(mp) = &self.attrs.mp_unreach {
-            out.extend(mp.withdrawn.iter().copied());
-        }
-        out
+        self.withdrawn_iter().collect()
+    }
+
+    /// Iterates every announced prefix (legacy NLRI then MP_REACH, the
+    /// [`BgpUpdate::announced`] order) without allocating.
+    pub fn announced_iter(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.nlri.iter().copied().chain(
+            self.attrs
+                .mp_reach
+                .iter()
+                .flat_map(|mp| mp.nlri.iter().copied()),
+        )
+    }
+
+    /// Iterates every withdrawn prefix (legacy field then MP_UNREACH, the
+    /// [`BgpUpdate::withdrawn_all`] order) without allocating.
+    pub fn withdrawn_iter(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.withdrawn.iter().copied().chain(
+            self.attrs
+                .mp_unreach
+                .iter()
+                .flat_map(|mp| mp.withdrawn.iter().copied()),
+        )
     }
 
     /// True if the update neither announces nor withdraws anything
     /// (an End-of-RIB marker, RFC 4724).
     pub fn is_end_of_rib(&self) -> bool {
-        self.announced().is_empty() && self.withdrawn_all().is_empty()
+        self.announced_iter().next().is_none() && self.withdrawn_iter().next().is_none()
     }
 
     /// Encodes the UPDATE body (no message header).

@@ -20,7 +20,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
-  cargo run --release -q -p bgpz-bench --bin scan_bench -- --smoke --scale bench
+  SCAN_SMOKE="$(cargo run --release -q -p bgpz-bench --bin scan_bench -- --smoke --scale bench)"
+  echo "$SCAN_SMOKE"
+  # The scan smoke must have exercised all four equivalence contracts:
+  # indexed == eager counts, parallel framing digests, the allocation
+  # ceiling, and scan-cache cold/warm byte-identity.
+  grep -q 'smoke ok: framing digest identical at jobs=1/2/4/8' <<<"$SCAN_SMOKE"
+  grep -q 'allocs over' <<<"$SCAN_SMOKE"
+  grep -q 'smoke ok: scan cache cold/warm byte-identical' <<<"$SCAN_SMOKE"
   cargo run --release -q -p bgpz-bench --bin cache_bench -- --smoke --scale bench
   cargo run --release -q -p bgpz-bench --bin serve_bench -- --smoke --scale bench
   # The smoke run still writes BENCH_serve.json; the digest line is the

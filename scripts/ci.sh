@@ -40,7 +40,8 @@ grep -q "clean shutdown" "$CACHE_SMOKE_DIR/serve-w1.txt"
 # record the same span set at 1 and 8 workers (span identities are
 # content-derived; only ts/dur/tid may differ), the Prometheus
 # exposition must pass the in-repo validator, and `bgpz profile` must
-# attribute >= 95% of pipeline wall time to named stages.
+# attribute >= 95% of pipeline wall time to named stages and >= 95% of
+# the scan window to scan chunk spans.
 cargo run --release -q -p bgpz-bench --bin obs_check -- trace-validate "$CACHE_SMOKE_DIR/trace-w1.json"
 cargo run --release -q -p bgpz-bench --bin obs_check -- trace-validate "$CACHE_SMOKE_DIR/trace-w8.json"
 cargo run --release -q -p bgpz-bench --bin obs_check -- trace-compare \
@@ -48,4 +49,6 @@ cargo run --release -q -p bgpz-bench --bin obs_check -- trace-compare \
 cargo run --release -q -p bgpz-bench --bin obs_check -- prom-validate "$CACHE_SMOKE_DIR/metrics.prom"
 cargo run --release -q -p bgpz-cli -- profile serve --jobs 2 > "$CACHE_SMOKE_DIR/profile.txt"
 awk '/^coverage:/ { found = 1; pct = $2 + 0; print } END { exit (found && pct >= 95.0) ? 0 : 1 }' \
+  "$CACHE_SMOKE_DIR/profile.txt"
+awk '/^scan-coverage:/ { found = 1; pct = $2 + 0; print } END { exit (found && pct >= 95.0) ? 0 : 1 }' \
   "$CACHE_SMOKE_DIR/profile.txt"
