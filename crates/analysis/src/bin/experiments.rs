@@ -233,6 +233,7 @@ fn dispatch(
         return experiments.iter().map(|&exp| run_one(exp)).collect();
     }
 
+    // lint: allow(channel_topology) — work queue filled once with `experiments.len()` indices before any worker starts; nothing produces after that
     let (tx, rx) = crossbeam::channel::unbounded::<usize>();
     for i in 0..experiments.len() {
         tx.send(i).expect("queue experiment");

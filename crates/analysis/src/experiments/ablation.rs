@@ -54,8 +54,10 @@ pub fn compute(bundle: &ReplicationBundle) -> Vec<AblationRow> {
         ];
         for (slot, options) in configs.iter().enumerate() {
             let report = classify(scan, options);
-            variants[slot].1 += report.outbreak_count();
-            variants[slot].2 += report.route_count();
+            if let Some(v) = variants.get_mut(slot) {
+                v.1 += report.outbreak_count();
+                v.2 += report.route_count();
+            }
         }
         let baseline = classify_baseline(
             scan,
@@ -64,10 +66,12 @@ pub fn compute(bundle: &ReplicationBundle) -> Vec<AblationRow> {
                 ..LookingGlassConfig::default()
             },
         );
-        variants[4].1 += baseline.outbreak_count();
-        variants[4].2 += baseline.route_count();
+        if let Some(v) = variants.get_mut(4) {
+            v.1 += baseline.outbreak_count();
+            v.2 += baseline.route_count();
+        }
     }
-    let reference = variants[0].1.max(1) as f64;
+    let reference = variants.first().map_or(1, |v| v.1.max(1)) as f64;
     variants
         .into_iter()
         .map(|(variant, outbreaks, routes)| AblationRow {

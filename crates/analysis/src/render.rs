@@ -42,7 +42,9 @@ impl TextTable {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate().take(cols) {
-                widths[i] = widths[i].max(cell.chars().count());
+                if let Some(w) = widths.get_mut(i) {
+                    *w = (*w).max(cell.chars().count());
+                }
             }
         }
         let mut out = String::new();
@@ -51,7 +53,11 @@ impl TextTable {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                let pad = widths[i].saturating_sub(cell.chars().count());
+                let pad = widths
+                    .get(i)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_sub(cell.chars().count());
                 out.push_str(cell);
                 for _ in 0..pad {
                     out.push(' ');
@@ -128,11 +134,14 @@ impl AsciiSeries {
         let mut grid = vec![vec![' '; width]; height];
         let marks = ['*', 'o', '+', 'x', '#', '@'];
         for (si, s) in series.iter().enumerate() {
-            let mark = marks[si % marks.len()];
+            let mark = marks.get(si % marks.len()).copied().unwrap_or('*');
             for &(x, y) in &s.points {
                 let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
                 let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
-                grid[height - 1 - cy][cx.min(width - 1)] = mark;
+                let row = (height - 1).saturating_sub(cy);
+                if let Some(cell) = grid.get_mut(row).and_then(|r| r.get_mut(cx.min(width - 1))) {
+                    *cell = mark;
+                }
             }
         }
         let mut out = String::new();
@@ -149,7 +158,8 @@ impl AsciiSeries {
         out.push('\n');
         let _ = writeln!(out, " x: [{x_min:.3} .. {x_max:.3}]");
         for (si, s) in series.iter().enumerate() {
-            let _ = writeln!(out, "   {} = {}", marks[si % marks.len()], s.name);
+            let mark = marks.get(si % marks.len()).copied().unwrap_or('*');
+            let _ = writeln!(out, "   {mark} = {}", s.name);
         }
         out
     }
@@ -161,7 +171,7 @@ impl AsciiSeries {
             .iter()
             .flat_map(|s| s.points.iter().map(|&(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         xs.dedup();
         let mut out = String::new();
         let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();

@@ -548,7 +548,7 @@ pub fn encode_scan_result(result: &ScanResult) -> Vec<u8> {
     let mut path_index: HashMap<&AsPath, usize> = HashMap::new();
     let mut body = Writer::new();
     body.usize(result.histories.len());
-    // lint: allow(hash_iteration) — `histories` is a Vec, one entry per interval; each inner map goes through `sorted_by_peer`
+    // lint: allow(determinism_taint) — `histories` is a Vec, one entry per interval; each inner map goes through `sorted_by_peer`
     for per_interval in &result.histories {
         let entries = sorted_by_peer(per_interval);
         body.usize(entries.len());

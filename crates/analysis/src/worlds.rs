@@ -22,7 +22,7 @@ use bgpz_ris::{RisArchive, RisConfig, RisNetwork, RisPeerSpec};
 use bgpz_rpki::beacon_roa_timeline;
 use bgpz_types::time::{DAY, HOUR, MINUTE};
 use bgpz_types::{Afi, Asn, Prefix, SimTime};
-use std::net::IpAddr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use std::sync::Arc;
 
 /// Default worker count for parallel orchestration: the machine's
@@ -133,6 +133,15 @@ pub fn ris_sites() -> Vec<Asn> {
         .map(|i| Asn(RIS_SITE_BASE + i))
         .collect()
 }
+
+/// The IPv6 address group a decimal-formatted index yields when the
+/// textual address is parsed: the digits of `k` read back as hex, so
+/// 16 becomes 0x16. Keeps the synthetic router addresses byte-identical
+/// to the historical string-built ones (valid for `k < 100`).
+fn dec_as_hex_group(k: u32) -> u16 {
+    ((k / 10) * 0x10 + (k % 10)) as u16
+}
+
 /// The replication's noisy peer (Inherent Adista SAS).
 pub const NOISY_REPLICATION_PEER: Asn = Asn(16_347);
 
@@ -333,7 +342,7 @@ pub fn run_replication(period: &ReplicationPeriod, scale: &Scale, seed: u64) -> 
     exclude.extend(ris_sites());
     let mut config =
         RisConfig::sample_from_topology(&topo, 4, scale.ris_peers, &exclude, seed ^ 0xA5A5);
-    let noisy_addr: IpAddr = "2001:db8:163:47::1".parse().expect("static");
+    let noisy_addr = IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0x163, 0x47, 0, 0, 0, 1));
     config = config.with_peer(
         RisPeerSpec::healthy(NOISY_REPLICATION_PEER, noisy_addr, 1).with_sticky_family(0.0, 0.43),
     );
@@ -895,32 +904,54 @@ fn run_beacon_study_inner(scale: &Scale, seed: u64, routeviews: bool) -> BeaconR
     let mut config =
         RisConfig::sample_from_topology(&topo, 6, scale.ris_peers, &exclude, seed ^ 0xA5A5);
     // Named RIS peers.
-    let named_peers: Vec<(Asn, &str)> = vec![
-        (PEER_61573, "2001:db8:6157:3::1"),
-        (PEER_207301, "2a0c:b641:780:7::feca"),
-        (HGC, "2001:db8:9304::1"),
-        (PEER_17639, "2001:db8:1763:9::1"),
-        (PEER_142271, "2001:db8:1422:71::1"),
+    let named_peers: Vec<(Asn, Ipv6Addr)> = vec![
+        (
+            PEER_61573,
+            Ipv6Addr::new(0x2001, 0xdb8, 0x6157, 3, 0, 0, 0, 1),
+        ),
+        (
+            PEER_207301,
+            Ipv6Addr::new(0x2a0c, 0xb641, 0x780, 7, 0, 0, 0, 0xfeca),
+        ),
+        (HGC, Ipv6Addr::new(0x2001, 0xdb8, 0x9304, 0, 0, 0, 0, 1)),
+        (
+            PEER_17639,
+            Ipv6Addr::new(0x2001, 0xdb8, 0x1763, 9, 0, 0, 0, 1),
+        ),
+        (
+            PEER_142271,
+            Ipv6Addr::new(0x2001, 0xdb8, 0x1422, 0x71, 0, 0, 0, 1),
+        ),
     ];
     for (asn, addr) in &named_peers {
         if !config.peers.iter().any(|p| p.asn == *asn) {
-            config = config.with_peer(RisPeerSpec::healthy(*asn, addr.parse().expect("static"), 5));
+            config = config.with_peer(RisPeerSpec::healthy(*asn, IpAddr::V6(*addr), 5));
         }
     }
     // Telstra's multihomed customers peer with RIS — they are the
     // "specific peers" of the Fig. 2 uptick.
     for k in 0..6u32 {
         let asn = Asn(64_800 + k);
-        let addr: IpAddr = format!("2001:db8:6480:{k}::1").parse().expect("static");
+        let addr = IpAddr::V6(Ipv6Addr::new(
+            0x2001,
+            0xdb8,
+            0x6480,
+            dec_as_hex_group(k),
+            0,
+            0,
+            0,
+            1,
+        ));
         config = config.with_peer(RisPeerSpec::healthy(asn, addr, k as usize % 6));
     }
     // Core-Backbone cone peers: 21 ASes, 24 routers (3 dual-router).
     for k in 0..21u32 {
         let asn = Asn(65_100 + k);
-        let addr: IpAddr = format!("2001:db8:6510:{k}::1").parse().expect("static");
+        let group = dec_as_hex_group(k);
+        let addr = IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0x6510, group, 0, 0, 0, 1));
         config = config.with_peer(RisPeerSpec::healthy(asn, addr, k as usize % 6));
         if k < 3 {
-            let addr2: IpAddr = format!("2001:db8:6510:{k}::2").parse().expect("static");
+            let addr2 = IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0x6510, group, 0, 0, 0, 2));
             config = config.with_peer(RisPeerSpec::healthy(asn, addr2, k as usize % 6));
         }
     }
@@ -939,7 +970,16 @@ fn run_beacon_study_inner(scale: &Scale, seed: u64, routeviews: bool) -> BeaconR
             seed ^ 0x7272,
         );
         for (i, peer) in rv.peers.iter().enumerate() {
-            let addr: IpAddr = format!("2001:db8:7270:{i:x}::1").parse().expect("static");
+            let addr = IpAddr::V6(Ipv6Addr::new(
+                0x2001,
+                0xdb8,
+                0x7270,
+                u16::try_from(i).unwrap_or(u16::MAX),
+                0,
+                0,
+                0,
+                1,
+            ));
             routeviews_routers.push(addr);
             config = config.with_peer(RisPeerSpec::healthy(peer.asn, addr, i % 6));
         }
@@ -948,35 +988,34 @@ fn run_beacon_study_inner(scale: &Scale, seed: u64, routeviews: bool) -> BeaconR
     // The three noisy peer routers on RRC25 (collector index 5 here):
     // AS211380's router and AS211509's two routers (one on an IPv4
     // session). Sticky rates from Table 5.
-    let noisy_routers: Vec<IpAddr> = vec![
-        "2a0c:9a40:1031::504".parse().expect("static"),
-        "2001:678:3f4:5::1".parse().expect("static"),
-        "176.119.234.201".parse().expect("static"),
-    ];
+    let noisy_211380 = IpAddr::V6(Ipv6Addr::new(0x2a0c, 0x9a40, 0x1031, 0, 0, 0, 0, 0x504));
+    let noisy_211509_v6 = IpAddr::V6(Ipv6Addr::new(0x2001, 0x678, 0x3f4, 5, 0, 0, 0, 1));
+    let noisy_211509_v4 = IpAddr::V4(Ipv4Addr::new(176, 119, 234, 201));
+    let noisy_routers: Vec<IpAddr> = vec![noisy_211380, noisy_211509_v6, noisy_211509_v4];
     config = config
         .with_peer(
-            RisPeerSpec::healthy(NOISY_211380, noisy_routers[0], 5).with_sticky_family(0.0, 0.075),
+            RisPeerSpec::healthy(NOISY_211380, noisy_211380, 5).with_sticky_family(0.0, 0.075),
         )
         .with_peer(
-            RisPeerSpec::healthy(NOISY_211509, noisy_routers[1], 5).with_sticky_family(0.0, 0.105),
+            RisPeerSpec::healthy(NOISY_211509, noisy_211509_v6, 5).with_sticky_family(0.0, 0.105),
         )
         .with_peer(
-            RisPeerSpec::healthy(NOISY_211509, noisy_routers[2], 5).with_sticky_family(0.0, 0.105),
+            RisPeerSpec::healthy(NOISY_211509, noisy_211509_v4, 5).with_sticky_family(0.0, 0.105),
         );
 
     // ---- run ----------------------------------------------------------
     let customer_cones = [TELSTRA, CORE_BACKBONE, HGC]
         .iter()
-        .map(|&asn| {
-            let idx = topo.index_of(asn).expect("named AS");
-            (asn, topo.customer_cone(idx))
+        .filter_map(|&asn| {
+            let idx = topo.index_of(asn)?;
+            Some((asn, topo.customer_cone(idx)))
         })
         .collect();
 
     let mut sim = Simulator::new(topo, &plan, seed);
     sim.set_rpki(
         Arc::new(beacon_roa_timeline(
-            "2a0d:3dc1::/32".parse().expect("static"),
+            Prefix::v6([0x2a0d, 0x3dc1, 0, 0, 0, 0, 0, 0], 32),
             BEACON_ORIGIN,
             Some(roa_removal),
         )),

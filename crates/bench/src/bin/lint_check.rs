@@ -1,0 +1,191 @@
+//! `lint_check` — validator for the `bgpz-lint --format json` report CI
+//! produces. A malformed report means the machine-readable surface broke
+//! even though the lint itself exited 0, so CI gates on both.
+//!
+//! Subcommand (exit 0 on success, 1 on validation failure, 2 on usage
+//! errors):
+//!
+//! * `report-validate <file>` — the file parses as a version-1 lint
+//!   report: a `findings` array whose entries carry a workspace-relative
+//!   `file`, a 1-based `line`, a known `lint` name and a non-empty
+//!   `message`, plus a `summary` object whose `findings` count matches
+//!   the array and whose `files`/`violations`/`stale` are numeric.
+
+use serde_json::Value;
+
+/// Every lint name the analyzer can emit. Kept in sync by the report
+/// validation itself: an unknown name in a real report fails CI, which
+/// is exactly the bell we want when a lint is added without updating
+/// the tooling around it.
+const KNOWN_LINTS: [&str; 12] = [
+    "unwrap",
+    "expect",
+    "panic",
+    "indexing",
+    "println",
+    "wall_clock",
+    "truncating_cast",
+    "forbid_unsafe",
+    "metric_name",
+    "lock_order",
+    "channel_topology",
+    "determinism_taint",
+];
+
+/// Validates one report; returns (files checked, findings).
+fn validate_report(label: &str, text: &str) -> Result<(u64, u64), String> {
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| format!("{label}: not valid JSON: {e}"))?;
+    let version = value
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{label}: missing numeric field \"version\""))?;
+    if version != 1 {
+        return Err(format!("{label}: report version {version}, want 1"));
+    }
+    let findings = value
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{label}: no findings array"))?;
+    for (i, f) in findings.iter().enumerate() {
+        let text_field = |key: &str| {
+            f.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{label}: finding {i}: missing string field {key:?}"))
+        };
+        let file = text_field("file")?;
+        if file.is_empty() || file.starts_with('/') || file.contains('\\') {
+            return Err(format!(
+                "{label}: finding {i}: file {file:?} is not a workspace-relative `/` path"
+            ));
+        }
+        let line = f
+            .get("line")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{label}: finding {i}: missing numeric field \"line\""))?;
+        if line == 0 {
+            return Err(format!("{label}: finding {i}: line must be 1-based"));
+        }
+        let lint = text_field("lint")?;
+        if !KNOWN_LINTS.contains(&lint) {
+            return Err(format!("{label}: finding {i}: unknown lint {lint:?}"));
+        }
+        if text_field("message")?.is_empty() {
+            return Err(format!("{label}: finding {i}: empty message"));
+        }
+    }
+    let summary = value
+        .get("summary")
+        .ok_or_else(|| format!("{label}: no summary object"))?;
+    let numeric = |key: &str| {
+        summary
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{label}: summary: missing numeric field {key:?}"))
+    };
+    let files = numeric("files")?;
+    if files == 0 {
+        return Err(format!(
+            "{label}: summary says 0 files — nothing was linted"
+        ));
+    }
+    let counted = numeric("findings")?;
+    if counted != findings.len() as u64 {
+        return Err(format!(
+            "{label}: summary counts {counted} findings but the array has {}",
+            findings.len()
+        ));
+    }
+    numeric("violations")?;
+    numeric("stale")?;
+    Ok((files, counted))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("report-validate") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| "usage: lint_check report-validate <file>".to_string())?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let (files, findings) = validate_report(path, &text)?;
+            Ok(format!(
+                "report-validate: {path}: {files} files, {findings} findings ok"
+            ))
+        }
+        _ => Err("usage: lint_check <report-validate> ...".to_string()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("lint_check: {e}");
+            let code = if e.starts_with("usage:") { 2 } else { 1 };
+            // Binary entry point; the exit code is the whole contract.
+            #[allow(clippy::disallowed_methods)]
+            std::process::exit(code);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(findings: &str, summary: &str) -> String {
+        format!("{{\"version\":1,\"findings\":[{findings}],\"summary\":{{{summary}}}}}")
+    }
+
+    #[test]
+    fn accepts_clean_and_populated_reports() {
+        let clean = report(
+            "",
+            "\"files\":102,\"findings\":0,\"violations\":0,\"stale\":0",
+        );
+        assert_eq!(validate_report("r", &clean).unwrap(), (102, 0));
+        let one = report(
+            "{\"file\":\"crates/core/src/scan.rs\",\"line\":7,\"lint\":\"indexing\",\
+             \"message\":\"slice indexing can panic\"}",
+            "\"files\":102,\"findings\":1,\"violations\":0,\"stale\":0",
+        );
+        assert_eq!(validate_report("r", &one).unwrap(), (102, 1));
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(validate_report("r", "not json").is_err());
+        assert!(
+            validate_report("r", "{\"version\":2,\"findings\":[],\"summary\":{}}").is_err(),
+            "wrong version"
+        );
+        let sum = "\"files\":1,\"findings\":1,\"violations\":0,\"stale\":0";
+        let bad_lint = report(
+            "{\"file\":\"a.rs\",\"line\":1,\"lint\":\"mystery\",\"message\":\"m\"}",
+            sum,
+        );
+        assert!(validate_report("r", &bad_lint).is_err(), "unknown lint");
+        let abs_path = report(
+            "{\"file\":\"/etc/passwd\",\"line\":1,\"lint\":\"unwrap\",\"message\":\"m\"}",
+            sum,
+        );
+        assert!(validate_report("r", &abs_path).is_err(), "absolute path");
+        let zero_line = report(
+            "{\"file\":\"a.rs\",\"line\":0,\"lint\":\"unwrap\",\"message\":\"m\"}",
+            sum,
+        );
+        assert!(validate_report("r", &zero_line).is_err(), "0-based line");
+        let miscount = report(
+            "",
+            "\"files\":1,\"findings\":3,\"violations\":0,\"stale\":0",
+        );
+        assert!(validate_report("r", &miscount).is_err(), "count mismatch");
+        let no_files = report(
+            "",
+            "\"files\":0,\"findings\":0,\"violations\":0,\"stale\":0",
+        );
+        assert!(validate_report("r", &no_files).is_err(), "zero files");
+    }
+}

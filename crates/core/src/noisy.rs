@@ -87,6 +87,7 @@ pub fn pair_likelihoods(scan: &ScanResult, report: &ZombieReport) -> Vec<PairLik
         *per_prefix_intervals.entry(interval.prefix).or_insert(0) += 1;
     }
     let mut counts: HashMap<(bgpz_types::Prefix, PeerId), usize> = HashMap::new();
+    // lint: allow(determinism_taint) — seeds a keyed map with zeros; insertion order cannot show in `counts`
     for (&prefix, _) in per_prefix_intervals.iter() {
         for &peer in &scan.peers {
             counts.insert((prefix, peer), 0);
@@ -100,6 +101,7 @@ pub fn pair_likelihoods(scan: &ScanResult, report: &ZombieReport) -> Vec<PairLik
         }
     }
     let mut out: Vec<PairLikelihood> = counts
+        // lint: allow(determinism_taint) — `out` is sorted by (prefix, peer) immediately below
         .into_iter()
         .map(|((prefix, peer), zombie_count)| {
             let announcements = per_prefix_intervals.get(&prefix).copied().unwrap_or(1);

@@ -1,7 +1,7 @@
 //! The `lint-baseline.toml` ratchet.
 //!
-//! Only the panic-family lints are baselined; every other lint is a hard
-//! failure. The file records per-file, per-lint counts for findings that
+//! Only the ratcheted lints (the panic family plus the workspace graph
+//! families) are baselined; every other lint is a hard failure. The file records per-file, per-lint counts for findings that
 //! predate the lint pass. A count can only go down: new findings fail the
 //! run, and after paying findings down the file must be regenerated with
 //! `bgpz-lint --update-baseline` (a too-high recorded count is itself an
@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::lints::PANIC_LINTS;
+use crate::lints::RATCHETED;
 use crate::Finding;
 
 /// Per-file, per-lint accepted counts. Both maps are ordered so rendering
@@ -30,11 +30,11 @@ pub struct Baseline {
 
 impl Baseline {
     /// Builds a baseline from the ratcheted findings in `findings`
-    /// (non-panic lints are ignored — they cannot be baselined).
+    /// (hard lints are ignored — they cannot be baselined).
     pub fn from_findings(findings: &[Finding]) -> Self {
         let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
         for f in findings {
-            if PANIC_LINTS.contains(&f.lint) {
+            if RATCHETED.contains(&f.lint) {
                 *counts
                     .entry(f.file.clone())
                     .or_default()
@@ -57,7 +57,7 @@ impl Baseline {
     /// Renders the canonical file contents.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# bgpz-lint panic-safety baseline: accepted pre-existing findings per file.\n\
+            "# bgpz-lint ratchet baseline: accepted pre-existing findings per file.\n\
              # Counts may only shrink. Regenerate with `bgpz-lint --update-baseline`.\n",
         );
         for (file, lints) in &self.counts {
@@ -94,9 +94,9 @@ impl Baseline {
                 ));
             };
             let lint = key.trim();
-            if !PANIC_LINTS.contains(&lint) {
+            if !RATCHETED.contains(&lint) {
                 return Err(format!(
-                    "line {lineno}: `{lint}` is not a ratcheted lint (only {PANIC_LINTS:?} can be baselined)"
+                    "line {lineno}: `{lint}` is not a ratcheted lint (only {RATCHETED:?} can be baselined)"
                 ));
             }
             let count: usize = value

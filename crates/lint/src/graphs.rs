@@ -1,0 +1,1160 @@
+//! Phase-2 graph lints over the [`crate::resolve`] workspace index:
+//!
+//! * **lock_order** — finds every lock-acquisition site
+//!   (`parking_lot::Mutex`/`RwLock`, `std::sync`, and workspace
+//!   functions returning `*Guard` types), simulates guard lifetimes
+//!   inside each function (temporary guards die at the statement's `;`,
+//!   `let`-bound guards at block close or `drop(name)`), and propagates
+//!   two interprocedural facts over the call graph: *may this function
+//!   block?* (`send` on a `SyncSender`, zero-arg `recv`, `join`) and
+//!   *which locks does it acquire?*. A blocking operation — direct or
+//!   via a call — reachable while a lock is held is a finding, and every
+//!   `L1 held → L2 acquired` pair becomes an edge in the lock-order
+//!   graph, whose cycles are findings too.
+//! * **channel_topology** — recovers channel identities from
+//!   `sync_channel` creation sites and `SyncSender`/`Sender`/`Receiver`
+//!   declarations, flags unbounded channels (`mpsc::channel`, crossbeam
+//!   `unbounded`), and builds the consumer→producer graph: an edge
+//!   `A → B` means a consumer of channel A (transitively) sends to
+//!   channel B. Cycles over bounded channels can deadlock once every
+//!   queue is full — exactly the regime `OverloadPolicy::Block` runs in.
+//!
+//! Lock identities are per-type approximations: `state:
+//! Arc<Mutex<ServeState>>` is `serve::ServeState`, a generic payload
+//! (`Mutex<HashMap<..>>`) falls back to the declared name
+//! (`serve::cache`), and a guard obtained from a workspace call uses the
+//! callee name (`obs::global_store`). Re-entrant acquisition of the same
+//! identity is deliberately not reported — two instances may share a
+//! type. Both passes honour `// lint: allow(<lint>) — <reason>` markers
+//! and are ratcheted by `lint-baseline.toml`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::lints::allowed;
+use crate::resolve::{is_path_sep, text, SyncKind, Workspace};
+use crate::Finding;
+
+/// Everything phase 2 learned about the workspace: findings for the
+/// ratchet plus the raw graphs for `--graph-dump`.
+pub struct GraphReport {
+    pub findings: Vec<Finding>,
+    /// `(lock id, path, line, enclosing fn key)` acquisition sites.
+    pub acquires: Vec<(String, String, usize, String)>,
+    /// `(held, acquired) → (path, line)` lock-order edges.
+    pub lock_edges: BTreeMap<(String, String), (String, usize)>,
+    /// `(channel id, capacity, path, line)` creation sites.
+    pub channels: Vec<(String, String, String, usize)>,
+    /// `(channel id, path, line, fn key)` receive sites.
+    pub recvs: Vec<(String, String, usize, String)>,
+    /// `(channel id, path, line, fn key, bounded)` send sites.
+    pub sends: Vec<(String, String, usize, String, bool)>,
+    /// `(consumed, sent-to) → (path, line, bounded)` channel edges.
+    pub chan_edges: BTreeMap<(String, String), (String, usize, bool)>,
+}
+
+/// Zero-argument methods that block the calling thread forever when the
+/// other side never progresses.
+const BLOCKING_ZERO_ARG: &[&str] = &["join", "recv"];
+
+/// Guard adapters between `.lock()` and the `;` that still leave the
+/// binding holding the guard (`.lock().unwrap()` in std).
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+struct Guard {
+    lock: String,
+    depth: i32,
+    /// `Some(name)` for `let name = ..` guards (block-scoped, droppable);
+    /// `None` for temporaries (die at the statement's `;`).
+    name: Option<String>,
+}
+
+/// Per-fn facts gathered by the summary walk.
+#[derive(Default, Clone)]
+struct Summary {
+    /// Root description of the first direct blocking op, e.g.
+    /// "`.recv()` at crates/serve/src/ingest.rs:210".
+    blocking: Option<String>,
+    /// Lock ids this fn acquires directly.
+    acquires: BTreeSet<String>,
+    /// First direct acquisition — the lock a `-> MutexGuard` fn hands out.
+    primary: Option<String>,
+}
+
+/// Runs both graph passes.
+pub fn analyze_graphs(ws: &Workspace) -> GraphReport {
+    let call_at = call_site_index(ws);
+    let summaries = summarize(ws, &call_at);
+    let (may_block, acq_all) = fixpoints(ws, &summaries);
+    let mut report = GraphReport {
+        findings: Vec::new(),
+        acquires: Vec::new(),
+        lock_edges: BTreeMap::new(),
+        channels: Vec::new(),
+        recvs: Vec::new(),
+        sends: Vec::new(),
+        chan_edges: BTreeMap::new(),
+    };
+    for fi in 0..ws.fns.len() {
+        emit_fn(
+            ws,
+            fi,
+            &call_at,
+            &summaries,
+            &may_block,
+            &acq_all,
+            &mut report,
+        );
+    }
+    lock_cycles(ws, &mut report);
+    channel_pass(ws, &call_at, &mut report);
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    report
+}
+
+/// Per-file map: token index of a resolved call → target fn index.
+fn call_site_index(ws: &Workspace) -> Vec<BTreeMap<usize, usize>> {
+    let mut per_file: Vec<BTreeMap<usize, usize>> =
+        ws.files.iter().map(|_| BTreeMap::new()).collect();
+    for (caller, calls) in ws.calls.iter().enumerate() {
+        let Some(def) = ws.fn_def(caller) else {
+            continue;
+        };
+        if let Some(map) = per_file.get_mut(def.file) {
+            for c in calls {
+                map.insert(c.tok, c.target);
+            }
+        }
+    }
+    per_file
+}
+
+fn summarize(ws: &Workspace, call_at: &[BTreeMap<usize, usize>]) -> Vec<Summary> {
+    let mut out = vec![Summary::default(); ws.fns.len()];
+    for fi in 0..ws.fns.len() {
+        let mut s = Summary::default();
+        walk_fn(ws, fi, call_at, None, &mut s, &mut None);
+        if let Some(slot) = out.get_mut(fi) {
+            *slot = s;
+        }
+    }
+    // A guard-returning wrapper around another guard-returning fn has no
+    // direct acquisition; inherit the callee's primary until stable.
+    loop {
+        let mut changed = false;
+        for fi in 0..ws.fns.len() {
+            if !ws.fn_def(fi).is_some_and(|f| f.returns_guard)
+                || out.get(fi).is_some_and(|s| s.primary.is_some())
+            {
+                continue;
+            }
+            let inherited = ws
+                .calls
+                .get(fi)
+                .into_iter()
+                .flatten()
+                .filter(|c| c.target != fi)
+                .filter(|c| ws.fn_def(c.target).is_some_and(|f| f.returns_guard))
+                .find_map(|c| out.get(c.target).and_then(|s| s.primary.clone()));
+            if let Some(p) = inherited {
+                if let Some(slot) = out.get_mut(fi) {
+                    slot.acquires.insert(p.clone());
+                    slot.primary = Some(p);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
+/// Interprocedural fixpoints: blocking reachability (with the root
+/// description as witness) and the full acquired-lock set.
+fn fixpoints(
+    ws: &Workspace,
+    summaries: &[Summary],
+) -> (Vec<Option<String>>, Vec<BTreeSet<String>>) {
+    let mut may: Vec<Option<String>> = summaries.iter().map(|s| s.blocking.clone()).collect();
+    let mut acq: Vec<BTreeSet<String>> = summaries.iter().map(|s| s.acquires.clone()).collect();
+    loop {
+        let mut changed = false;
+        for f in 0..ws.fns.len() {
+            let Some(calls) = ws.calls.get(f) else {
+                continue;
+            };
+            for c in calls {
+                if may.get(f).is_some_and(Option::is_none) {
+                    if let Some(Some(w)) = may.get(c.target) {
+                        let w = w.clone();
+                        if let Some(slot) = may.get_mut(f) {
+                            *slot = Some(w);
+                            changed = true;
+                        }
+                    }
+                }
+                let extra: Vec<String> = acq
+                    .get(c.target)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+                if let Some(mine) = acq.get_mut(f) {
+                    for l in extra {
+                        changed |= mine.insert(l);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return (may, acq);
+        }
+    }
+}
+
+/// Fixpoint results threaded into the emit walk; `None` = summary mode.
+struct EmitCtx<'a> {
+    may_block: &'a [Option<String>],
+    acq_all: &'a [BTreeSet<String>],
+    summaries: &'a [Summary],
+}
+
+fn emit_fn(
+    ws: &Workspace,
+    fi: usize,
+    call_at: &[BTreeMap<usize, usize>],
+    summaries: &[Summary],
+    may_block: &[Option<String>],
+    acq_all: &[BTreeSet<String>],
+    report: &mut GraphReport,
+) {
+    let mut scratch = Summary::default();
+    let ctx = EmitCtx {
+        may_block,
+        acq_all,
+        summaries,
+    };
+    walk_fn(ws, fi, call_at, Some(&ctx), &mut scratch, &mut Some(report));
+}
+
+/// The shared guard-lifetime walker. In summary mode it fills `s`; in
+/// emit mode it appends findings, acquisition sites, and lock-order
+/// edges to `report`.
+fn walk_fn(
+    ws: &Workspace,
+    fidx: usize,
+    call_at: &[BTreeMap<usize, usize>],
+    mode: Option<&EmitCtx>,
+    s: &mut Summary,
+    report: &mut Option<&mut GraphReport>,
+) {
+    let Some(def) = ws.fn_def(fidx) else {
+        return;
+    };
+    if def.in_test {
+        return;
+    }
+    let Some(file) = ws.files.get(def.file) else {
+        return;
+    };
+    let tokens = &file.tokens;
+    let calls = call_at.get(def.file);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let (start, end) = (def.body.0.saturating_add(1), def.body.1.saturating_sub(1));
+    let mut i = start;
+    while i < end {
+        let tt = text(tokens, i);
+        match tt {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            // A `,` at the guard's own brace depth ends a match arm or
+            // struct field — temporaries die there just like at `;` (a
+            // `,` nested deeper, e.g. call args, is handled the same:
+            // slightly early release, never a phantom hold).
+            ";" | "," => guards.retain(|g| !(g.name.is_none() && depth <= g.depth)),
+            "drop"
+                if text(tokens, i + 1) == "("
+                    && text(tokens, i + 3) == ")"
+                    && tokens
+                        .get(i + 2)
+                        .is_some_and(|t| t.kind == TokenKind::Ident) =>
+            {
+                let dropped = text(tokens, i + 2);
+                guards.retain(|g| g.name.as_deref() != Some(dropped));
+            }
+            _ => {}
+        }
+        // External acquisition: zero-arg `.lock()` / `.read()` / `.write()`.
+        // Checked before call resolution: a receiver declared as a Mutex
+        // field beats a same-named workspace method.
+        let is_ident = tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident);
+        let zero_arg_method = is_ident
+            && i.checked_sub(1).is_some_and(|p| text(tokens, p) == ".")
+            && text(tokens, i + 1) == "("
+            && text(tokens, i + 2) == ")";
+        if zero_arg_method && matches!(tt, "lock" | "read" | "write") {
+            if let Some(lock) = lock_id(ws, def.file, i, calls) {
+                add_edges(
+                    &guards,
+                    std::iter::once(&lock),
+                    &file.path,
+                    line_of(tokens, i),
+                    report,
+                );
+                record_acquire(ws, def.file, fidx, i, &lock, depth, &mut guards, s, report);
+                i += 1;
+                continue;
+            }
+        }
+        // Resolved workspace call?
+        if let Some(&target) = calls.and_then(|m| m.get(&i)) {
+            let line = tokens.get(i).map(|t| t.line).unwrap_or(1);
+            if let Some(EmitCtx {
+                may_block, acq_all, ..
+            }) = mode
+            {
+                if !guards.is_empty() {
+                    let held = held_ids(&guards);
+                    if let Some(Some(op)) = may_block.get(target) {
+                        let key = ws.fn_def(target).map(|f| f.key.as_str()).unwrap_or("?");
+                        if !allowed(&file.masked, line, "lock_order") {
+                            push_finding(report, &file.path, line, "lock_order", &format!(
+                                "call into `{key}` can block ({op}) while `{held}` is held; release the guard before calling"
+                            ));
+                        }
+                    }
+                    if let Some(locks) = acq_all.get(target) {
+                        add_edges(&guards, locks.iter(), &file.path, line, report);
+                    }
+                }
+            }
+            // A `-> MutexGuard` workspace fn: the call acquires its
+            // primary lock (propagated through chains by `summarize`).
+            if target != fidx && ws.fn_def(target).is_some_and(|f| f.returns_guard) {
+                let primary = match mode {
+                    Some(EmitCtx { summaries, .. }) => {
+                        summaries.get(target).and_then(|t| t.primary.clone())
+                    }
+                    None => None, // filled in by the summarize fixpoint
+                };
+                if let Some(lock) = primary {
+                    record_acquire(ws, def.file, fidx, i, &lock, depth, &mut guards, s, report);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Blocking operations.
+        let blocking = if zero_arg_method && BLOCKING_ZERO_ARG.contains(&tt) {
+            Some(format!("`.{tt}()`"))
+        } else if is_ident
+            && tt == "send"
+            && i.checked_sub(1).is_some_and(|p| text(tokens, p) == ".")
+            && text(tokens, i + 1) == "("
+            && receiver_kind(ws, def.file, tokens, i) == Some(SyncKind::SyncSender)
+        {
+            Some("`.send(..)` on a bounded channel".to_string())
+        } else {
+            None
+        };
+        if let Some(op) = blocking {
+            let line = line_of(tokens, i);
+            let desc = format!("{op} at {}:{line}", file.path);
+            if s.blocking.is_none() {
+                s.blocking = Some(desc);
+            }
+            if mode.is_some() && !guards.is_empty() {
+                let held = held_ids(&guards);
+                if !allowed(&file.masked, line, "lock_order") {
+                    push_finding(report, &file.path, line, "lock_order", &format!(
+                        "blocking {op} while `{held}` is held; a full or quiet peer deadlocks every waiter — release the guard first"
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn line_of(tokens: &[Token], i: usize) -> usize {
+    tokens.get(i).map(|t| t.line).unwrap_or(1)
+}
+
+fn held_ids(guards: &[Guard]) -> String {
+    let set: BTreeSet<&str> = guards.iter().map(|g| g.lock.as_str()).collect();
+    set.into_iter().collect::<Vec<_>>().join("`, `")
+}
+
+fn push_finding(
+    report: &mut Option<&mut GraphReport>,
+    path: &str,
+    line: usize,
+    lint: &'static str,
+    message: &str,
+) {
+    if let Some(r) = report.as_deref_mut() {
+        r.findings.push(Finding {
+            file: path.to_string(),
+            line,
+            lint,
+            message: message.to_string(),
+        });
+    }
+}
+
+fn add_edges<'a>(
+    guards: &[Guard],
+    locks: impl Iterator<Item = &'a String>,
+    path: &str,
+    line: usize,
+    report: &mut Option<&mut GraphReport>,
+) {
+    let Some(r) = report.as_deref_mut() else {
+        return;
+    };
+    let held: BTreeSet<&str> = guards.iter().map(|g| g.lock.as_str()).collect();
+    for lock in locks {
+        for h in &held {
+            if *h == lock.as_str() {
+                continue; // re-entrant same-identity: not modeled
+            }
+            r.lock_edges
+                .entry((h.to_string(), lock.clone()))
+                .or_insert_with(|| (path.to_string(), line));
+        }
+    }
+}
+
+/// Records an acquisition at method-name token `i`: updates the summary,
+/// pushes a guard with the right scope, and logs the site in emit mode.
+#[allow(clippy::too_many_arguments)]
+fn record_acquire(
+    ws: &Workspace,
+    file_idx: usize,
+    fidx: usize,
+    i: usize,
+    lock: &str,
+    depth: i32,
+    guards: &mut Vec<Guard>,
+    s: &mut Summary,
+    report: &mut Option<&mut GraphReport>,
+) {
+    let Some(file) = ws.files.get(file_idx) else {
+        return;
+    };
+    let tokens = &file.tokens;
+    s.acquires.insert(lock.to_string());
+    if s.primary.is_none() {
+        s.primary = Some(lock.to_string());
+    }
+    if let Some(r) = report.as_deref_mut() {
+        let key = ws.fn_def(fidx).map(|f| f.key.clone()).unwrap_or_default();
+        r.acquires
+            .push((lock.to_string(), file.path.clone(), line_of(tokens, i), key));
+    }
+    let name = binding_name(tokens, i);
+    guards.push(Guard {
+        lock: lock.to_string(),
+        depth,
+        name,
+    });
+}
+
+/// `Some(name)` when the acquisition is a clean `let name = ..lock()
+/// [adapter];` binding (block-scoped guard), `None` for a temporary.
+fn binding_name(tokens: &[Token], i: usize) -> Option<String> {
+    // End of the call chain: the close paren after the method name.
+    let close = close_paren_fwd(tokens, i + 1)?;
+    let mut j = close + 1;
+    loop {
+        if text(tokens, j) == "."
+            && GUARD_ADAPTERS.contains(&text(tokens, j + 1))
+            && text(tokens, j + 2) == "("
+        {
+            j = close_paren_fwd(tokens, j + 2)? + 1;
+        } else {
+            break;
+        }
+    }
+    if text(tokens, j) != ";" {
+        return None; // more chained methods: the guard is a temporary
+    }
+    // Statement start: token after the previous `;` / `{` / `}`.
+    let mut k = i;
+    loop {
+        k = k.checked_sub(1)?;
+        if matches!(text(tokens, k), ";" | "{" | "}") {
+            break;
+        }
+    }
+    if text(tokens, k + 1) != "let" {
+        return None;
+    }
+    let name_idx = if text(tokens, k + 2) == "mut" {
+        k + 3
+    } else {
+        k + 2
+    };
+    let t = tokens.get(name_idx)?;
+    if t.kind == TokenKind::Ident && text(tokens, name_idx + 1) == "=" {
+        return Some(t.text.clone());
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn close_paren_fwd(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < tokens.len() {
+        match text(tokens, k) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Lock identity for the zero-arg acquisition at method token `i`, from
+/// the receiver just before the `.`.
+fn lock_id(
+    ws: &Workspace,
+    file_idx: usize,
+    i: usize,
+    calls: Option<&BTreeMap<usize, usize>>,
+) -> Option<String> {
+    let file = ws.files.get(file_idx)?;
+    let tokens = &file.tokens;
+    let recv_idx = i.checked_sub(2)?;
+    let recv = tokens.get(recv_idx)?;
+    let method = text(tokens, i);
+    match recv.kind {
+        TokenKind::Ident if recv.text != "self" => {
+            let key = (file.crate_id.clone(), recv.text.clone());
+            if let Some(decls) = ws.decl_by_name.get(&key) {
+                for di in decls {
+                    let d = ws.sync_decls.get(*di)?;
+                    if matches!(d.kind, SyncKind::Mutex | SyncKind::RwLock) {
+                        return Some(match (&d.inner, d.inner_generic) {
+                            (Some(inner), false) => format!("{}::{inner}", file.crate_id),
+                            _ => format!("{}::{}", file.crate_id, recv.text),
+                        });
+                    }
+                }
+                return None; // declared, but as a channel end etc.
+            }
+            // Undeclared receivers only count for `.lock()` — `.read()`
+            // and `.write()` are too generic without a typed RwLock.
+            if method == "lock" {
+                return Some(format!("{}::{}", file.crate_id, recv.text));
+            }
+            None
+        }
+        TokenKind::Punct if recv.text == ")" => {
+            // `global_store().lock()`: identity from the workspace callee.
+            let open = open_paren_back(tokens, recv_idx)?;
+            let callee_idx = open.checked_sub(1)?;
+            let callee = tokens.get(callee_idx)?;
+            if callee.kind != TokenKind::Ident {
+                return None;
+            }
+            // Only workspace-resolved callees name a lock; external calls
+            // (`io::stdout().lock()`) are not part of the graph.
+            if calls.is_some_and(|m| m.contains_key(&callee_idx)) {
+                return Some(format!("{}::{}", file.crate_id, callee.text));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backwards.
+fn open_paren_back(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = close;
+    loop {
+        match text(tokens, k) {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// Declared sync kind of the receiver just before the `.` at `i - 1`.
+fn receiver_kind(ws: &Workspace, file_idx: usize, tokens: &[Token], i: usize) -> Option<SyncKind> {
+    let file = ws.files.get(file_idx)?;
+    let recv = i.checked_sub(2).and_then(|p| tokens.get(p))?;
+    if recv.kind != TokenKind::Ident {
+        return None;
+    }
+    let key = (file.crate_id.clone(), recv.text.clone());
+    let decls = ws.decl_by_name.get(&key)?;
+    decls
+        .iter()
+        .filter_map(|di| ws.sync_decls.get(*di))
+        .map(|d| d.kind)
+        .next()
+}
+
+/// Reports an edge for every cyclic pair in the lock-order graph.
+fn lock_cycles(ws: &Workspace, report: &mut GraphReport) {
+    let edges = report.lock_edges.clone();
+    for ((a, b), (path, line)) in &edges {
+        if !reaches(edges.keys(), b, a) {
+            continue;
+        }
+        let masked = ws.files.iter().find(|f| f.path == *path).map(|f| &f.masked);
+        if masked.is_some_and(|m| allowed(m, *line, "lock_order")) {
+            continue;
+        }
+        report.findings.push(Finding {
+            file: path.clone(),
+            line: *line,
+            lint: "lock_order",
+            message: format!(
+                "lock-order cycle: `{b}` is acquired here while `{a}` is held, but elsewhere `{a}` is acquired while `{b}` is held; acquire locks in one global order"
+            ),
+        });
+    }
+}
+
+/// Is `to` reachable from `from` over the edge set?
+fn reaches<'a>(
+    edges: impl Iterator<Item = &'a (String, String)> + Clone,
+    from: &str,
+    to: &str,
+) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: Vec<&str> = vec![from];
+    while let Some(n) = queue.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        for (a, b) in edges.clone() {
+            if a == n {
+                if b == to {
+                    return true;
+                }
+                queue.push(b);
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// channel_topology
+// ---------------------------------------------------------------------------
+
+fn channel_pass(ws: &Workspace, call_at: &[BTreeMap<usize, usize>], report: &mut GraphReport) {
+    scan_creations(ws, call_at, report);
+    let (consumers, senders) = endpoints(ws);
+    for (cid, path, line, key) in &consumers {
+        report
+            .recvs
+            .push((cid.clone(), path.clone(), *line, key.clone()));
+    }
+    for (cid, path, line, key, bounded) in &senders {
+        report
+            .sends
+            .push((cid.clone(), path.clone(), *line, key.clone(), *bounded));
+    }
+    // Consumer fn of channel A reaching a send to channel B: edge A → B.
+    let mut send_by_fn: BTreeMap<String, Vec<(String, String, usize, bool)>> = BTreeMap::new();
+    for (cid, path, line, key, bounded) in &senders {
+        send_by_fn.entry(key.clone()).or_default().push((
+            cid.clone(),
+            path.clone(),
+            *line,
+            *bounded,
+        ));
+    }
+    for (cid, _, _, key) in &consumers {
+        let Some(start) = ws.fns.iter().position(|f| f.key == *key) else {
+            continue;
+        };
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![start];
+        while let Some(f) = queue.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            if let Some(def) = ws.fn_def(f) {
+                for (scid, spath, sline, bounded) in send_by_fn.get(&def.key).into_iter().flatten()
+                {
+                    report
+                        .chan_edges
+                        .entry((cid.clone(), scid.clone()))
+                        .or_insert_with(|| (spath.clone(), *sline, *bounded));
+                }
+            }
+            for c in ws.calls.get(f).into_iter().flatten() {
+                queue.push(c.target);
+            }
+        }
+    }
+    // Cycles over bounded edges deadlock once every queue is full.
+    let edges = report.chan_edges.clone();
+    let bounded_keys: Vec<&(String, String)> = edges
+        .iter()
+        .filter(|(_, (_, _, bounded))| *bounded)
+        .map(|(k, _)| k)
+        .collect();
+    for ((a, b), (path, line, bounded)) in &edges {
+        if !bounded {
+            continue;
+        }
+        let cyclic = a == b || reaches(bounded_keys.iter().copied(), b, a);
+        if !cyclic {
+            continue;
+        }
+        let masked = ws.files.iter().find(|f| f.path == *path).map(|f| &f.masked);
+        if masked.is_some_and(|m| allowed(m, *line, "channel_topology")) {
+            continue;
+        }
+        let rendezvous = report
+            .channels
+            .iter()
+            .any(|(id, cap, _, _)| (id == a || id == b) && cap == "0");
+        let extra = if rendezvous {
+            " (a capacity-0 rendezvous edge makes every send a synchronous handoff)"
+        } else {
+            ""
+        };
+        report.findings.push(Finding {
+            file: path.clone(),
+            line: *line,
+            lint: "channel_topology",
+            message: format!(
+                "send/recv cycle: a consumer of `{a}` sends into bounded `{b}`; under `OverloadPolicy::Block` full queues deadlock the loop{extra}"
+            ),
+        });
+    }
+}
+
+/// Channel-creation scan: identities, capacities, unbounded findings.
+fn scan_creations(ws: &Workspace, call_at: &[BTreeMap<usize, usize>], report: &mut GraphReport) {
+    for (fi, file) in ws.files.iter().enumerate() {
+        let tokens = &file.tokens;
+        let resolved = call_at.get(fi);
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.in_test {
+                continue;
+            }
+            if resolved.is_some_and(|m| m.contains_key(&i)) {
+                continue; // a workspace fn that happens to share the name
+            }
+            match t.text.as_str() {
+                "sync_channel" => {
+                    let (ty, open) = turbofish(tokens, i);
+                    if text(tokens, open) != "(" {
+                        continue;
+                    }
+                    let cap = capacity_expr(tokens, open);
+                    let id = ty
+                        .map(|t| format!("{}::{t}", file.crate_id))
+                        .or_else(|| unique_inner(ws, &file.crate_id, SyncKind::SyncSender))
+                        .unwrap_or_else(|| {
+                            format!("{}::<sync_channel@{}:{}>", file.crate_id, file.path, t.line)
+                        });
+                    report.channels.push((id, cap, file.path.clone(), t.line));
+                }
+                "channel" => {
+                    // `mpsc::channel(..)` only — other fns named `channel`
+                    // were either resolved above or are not std's.
+                    let qualified = is_path_sep(tokens, i.wrapping_sub(1))
+                        && i.checked_sub(3).is_some_and(|p| text(tokens, p) == "mpsc");
+                    if !qualified || text(tokens, i + 1) != "(" {
+                        continue;
+                    }
+                    unbounded_finding(file, t.line, report);
+                    let id =
+                        unique_inner(ws, &file.crate_id, SyncKind::Sender).unwrap_or_else(|| {
+                            format!("{}::<channel@{}:{}>", file.crate_id, file.path, t.line)
+                        });
+                    report
+                        .channels
+                        .push((id, "unbounded".to_string(), file.path.clone(), t.line));
+                }
+                "unbounded" => {
+                    // crossbeam's constructor, qualified or turbofished.
+                    let (_, open) = turbofish(tokens, i);
+                    if text(tokens, open) != "(" || text(tokens, open + 1) != ")" {
+                        continue;
+                    }
+                    unbounded_finding(file, t.line, report);
+                    report.channels.push((
+                        format!("{}::<unbounded@{}:{}>", file.crate_id, file.path, t.line),
+                        "unbounded".to_string(),
+                        file.path.clone(),
+                        t.line,
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn unbounded_finding(file: &crate::resolve::SourceFile, line: usize, report: &mut GraphReport) {
+    if allowed(&file.masked, line, "channel_topology") {
+        return;
+    }
+    report.findings.push(Finding {
+        file: file.path.clone(),
+        line,
+        lint: "channel_topology",
+        message: "unbounded channel: producers outrun consumers without backpressure; use \
+                  `sync_channel` with an explicit capacity or add `// lint: \
+                  allow(channel_topology) \u{2014} <reason>`"
+            .to_string(),
+    });
+}
+
+/// Skips a `::<T>` turbofish after the ident at `i`; returns the last
+/// path segment of `T` and the index where the argument list starts.
+fn turbofish(tokens: &[Token], i: usize) -> (Option<String>, usize) {
+    if text(tokens, i + 1) != ":" || text(tokens, i + 2) != ":" || text(tokens, i + 3) != "<" {
+        return (None, i + 1);
+    }
+    let mut j = i + 4;
+    let mut last = None;
+    let mut angle = 1i32;
+    while j < tokens.len() && angle > 0 {
+        match text(tokens, j) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            _ => {
+                if tokens.get(j).is_some_and(|t| t.kind == TokenKind::Ident) && angle == 1 {
+                    last = Some(text(tokens, j).to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    (last, j)
+}
+
+/// Renders the capacity argument of a `sync_channel(..)` call.
+fn capacity_expr(tokens: &[Token], open: usize) -> String {
+    let Some(close) = close_paren_fwd(tokens, open) else {
+        return "?".to_string();
+    };
+    let mut out = String::new();
+    let mut prev_word = false;
+    for k in open + 1..close {
+        let Some(t) = tokens.get(k) else {
+            break;
+        };
+        let word = matches!(t.kind, TokenKind::Ident | TokenKind::Int);
+        if word && prev_word {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+        prev_word = word;
+    }
+    if out.is_empty() {
+        "?".to_string()
+    } else {
+        out
+    }
+}
+
+/// The single distinct payload type among a crate's `SyncSender<T>` /
+/// `Sender<T>` declarations, if unambiguous.
+fn unique_inner(ws: &Workspace, crate_id: &str, kind: SyncKind) -> Option<String> {
+    let inners: BTreeSet<&str> = ws
+        .sync_decls
+        .iter()
+        .filter(|d| d.kind == kind && ws.files.get(d.file).is_some_and(|f| f.crate_id == crate_id))
+        .filter_map(|d| d.inner.as_deref())
+        .collect();
+    let mut it = inners.into_iter();
+    match (it.next(), it.next()) {
+        (Some(one), None) => Some(format!("{crate_id}::{one}")),
+        _ => None,
+    }
+}
+
+/// Receive and send endpoints: `(channel id, path, line, fn key [, bounded])`.
+#[allow(clippy::type_complexity)]
+fn endpoints(
+    ws: &Workspace,
+) -> (
+    Vec<(String, String, usize, String)>,
+    Vec<(String, String, usize, String, bool)>,
+) {
+    let mut consumers = Vec::new();
+    let mut senders = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        let tokens = &file.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.in_test {
+                continue;
+            }
+            let is_method = i.checked_sub(1).is_some_and(|p| text(tokens, p) == ".")
+                && text(tokens, i + 1) == "(";
+            if !is_method {
+                continue;
+            }
+            let Some(fidx) = ws.enclosing_fn(fi, i) else {
+                continue;
+            };
+            let Some(key) = ws.fn_def(fidx).map(|f| f.key.clone()) else {
+                continue;
+            };
+            let recv_decl = |p: usize| -> Option<(&crate::resolve::SyncDecl, String)> {
+                let r = tokens.get(p)?;
+                if r.kind != TokenKind::Ident {
+                    return None;
+                }
+                let decls = ws
+                    .decl_by_name
+                    .get(&(file.crate_id.clone(), r.text.clone()))?;
+                let d = decls
+                    .iter()
+                    .filter_map(|di| ws.sync_decls.get(*di))
+                    .next()?;
+                let inner = d.inner.as_deref()?;
+                Some((d, format!("{}::{inner}", file.crate_id)))
+            };
+            match t.text.as_str() {
+                "recv" if text(tokens, i + 2) == ")" => {
+                    if let Some((d, id)) = i.checked_sub(2).and_then(recv_decl) {
+                        if d.kind == SyncKind::Receiver {
+                            consumers.push((id, file.path.clone(), t.line, key));
+                        }
+                    }
+                }
+                "send" => {
+                    if let Some((d, id)) = i.checked_sub(2).and_then(recv_decl) {
+                        match d.kind {
+                            SyncKind::SyncSender => {
+                                senders.push((id, file.path.clone(), t.line, key, true));
+                            }
+                            SyncKind::Sender => {
+                                senders.push((id, file.path.clone(), t.line, key, false));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (consumers, senders)
+}
+
+// ---------------------------------------------------------------------------
+// --graph-dump
+// ---------------------------------------------------------------------------
+
+/// Byte-deterministic rendering of the lock and channel graphs,
+/// restricted to sites under `prefix` (empty prefix: whole workspace).
+pub fn dump(ws: &Workspace, report: &GraphReport, prefix: &str) -> String {
+    let keep = |path: &str| prefix.is_empty() || path.starts_with(prefix);
+    let mut out = String::new();
+    let scope = if prefix.is_empty() {
+        "workspace"
+    } else {
+        prefix
+    };
+    out.push_str(&format!("# bgpz-lint graph dump ({scope})\n"));
+    out.push_str("[locks]\n");
+    let mut acquires: Vec<&(String, String, usize, String)> =
+        report.acquires.iter().filter(|a| keep(&a.1)).collect();
+    acquires.sort();
+    for (lock, path, line, key) in acquires {
+        out.push_str(&format!("acquire {lock} @ {path}:{line} in {key}\n"));
+    }
+    for ((a, b), (path, line)) in &report.lock_edges {
+        if keep(path) {
+            out.push_str(&format!("edge {a} -> {b} @ {path}:{line}\n"));
+        }
+    }
+    out.push_str("[channels]\n");
+    let mut channels: Vec<&(String, String, String, usize)> =
+        report.channels.iter().filter(|c| keep(&c.2)).collect();
+    channels.sort();
+    for (id, cap, path, line) in channels {
+        out.push_str(&format!("channel {id} cap={cap} @ {path}:{line}\n"));
+    }
+    let mut recvs: Vec<&(String, String, usize, String)> =
+        report.recvs.iter().filter(|r| keep(&r.1)).collect();
+    recvs.sort();
+    for (id, path, line, key) in recvs {
+        out.push_str(&format!("recv {id} @ {path}:{line} in {key}\n"));
+    }
+    let mut sends: Vec<&(String, String, usize, String, bool)> =
+        report.sends.iter().filter(|s| keep(&s.1)).collect();
+    sends.sort();
+    for (id, path, line, key, bounded) in sends {
+        let kind = if *bounded { "bounded" } else { "unbounded" };
+        out.push_str(&format!("send {id} ({kind}) @ {path}:{line} in {key}\n"));
+    }
+    for ((a, b), (path, line, _)) in &report.chan_edges {
+        if keep(path) {
+            out.push_str(&format!("edge {a} -> {b} @ {path}:{line}\n"));
+        }
+    }
+    out.push_str("[unresolved]\n");
+    for (path, raw) in &ws.unresolved {
+        if keep(path) {
+            out.push_str(&format!("{path}: {raw}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(files: &[(&str, &str)]) -> (Workspace, GraphReport) {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let ws = Workspace::build(&sources);
+        let r = analyze_graphs(&ws);
+        (ws, r)
+    }
+
+    fn lints(r: &GraphReport) -> Vec<(&'static str, usize)> {
+        r.findings.iter().map(|f| (f.lint, f.line)).collect()
+    }
+
+    #[test]
+    fn blocking_send_under_held_lock_is_flagged() {
+        let src = "pub struct S {\n    state: Mutex<Inner>,\n    tx: SyncSender<Msg>,\n}\nimpl S {\n    fn bad(&self) {\n        let g = self.state.lock();\n        self.tx.send(1);\n        drop(g);\n    }\n    fn good(&self) {\n        let n = self.state.lock().len();\n        self.tx.send(n);\n    }\n}\n";
+        let (_, r) = report(&[("crates/serve/src/demo.rs", src)]);
+        assert_eq!(lints(&r), vec![("lock_order", 8)]);
+    }
+
+    #[test]
+    fn temp_guard_dies_at_statement_end() {
+        let src = "pub struct S {\n    state: Mutex<Inner>,\n    rx: Receiver<Msg>,\n}\nimpl S {\n    fn run(&self) {\n        let n = self.state.lock().len();\n        self.rx.recv();\n        let _ = n;\n    }\n}\n";
+        let (_, r) = report(&[("crates/serve/src/demo.rs", src)]);
+        assert!(lints(&r).is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn indirect_blocking_via_the_call_graph() {
+        let src = "pub struct S {\n    state: Mutex<Inner>,\n    rx: Receiver<Msg>,\n}\nimpl S {\n    fn wait(&self) {\n        self.rx.recv();\n    }\n    fn bad(&self) {\n        let g = self.state.lock();\n        self.wait();\n        drop(g);\n    }\n}\n";
+        let (_, r) = report(&[("crates/serve/src/demo.rs", src)]);
+        assert_eq!(lints(&r), vec![("lock_order", 11)]);
+        let msg = r.findings.first().map(|f| f.message.as_str()).unwrap_or("");
+        assert!(msg.contains("serve::demo::S::wait"), "{msg}");
+    }
+
+    #[test]
+    fn lock_order_cycle_detected_and_drop_releases() {
+        let src = "pub struct S {\n    a: Mutex<A>,\n    b: Mutex<B>,\n}\nimpl S {\n    fn ab(&self) {\n        let g = self.a.lock();\n        self.b.lock().touch();\n        drop(g);\n        self.b.lock().touch();\n    }\n    fn ba(&self) {\n        let g = self.b.lock();\n        self.a.lock().touch();\n        drop(g);\n    }\n}\n";
+        let (_, r) = report(&[("crates/serve/src/demo.rs", src)]);
+        let cycles: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.message.contains("lock-order cycle"))
+            .collect();
+        assert_eq!(cycles.len(), 2, "{:?}", r.findings);
+        assert_eq!(
+            r.lock_edges.keys().collect::<Vec<_>>(),
+            vec![
+                &("serve::A".to_string(), "serve::B".to_string()),
+                &("serve::B".to_string(), "serve::A".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn guard_returning_fn_call_counts_as_acquisition() {
+        let src = "pub struct M {\n    inner: Mutex<Registry>,\n    rx: Receiver<Msg>,\n}\nimpl M {\n    fn lock(&self) -> MutexGuard<'_, Registry> {\n        self.inner.lock()\n    }\n    fn bad(&self) {\n        let g = self.lock();\n        self.rx.recv();\n        drop(g);\n    }\n}\n";
+        let (_, r) = report(&[("crates/obs/src/demo.rs", src)]);
+        assert_eq!(lints(&r), vec![("lock_order", 11)]);
+        let msg = r.findings.first().map(|f| f.message.as_str()).unwrap_or("");
+        assert!(msg.contains("obs::Registry"), "{msg}");
+    }
+
+    #[test]
+    fn allow_marker_with_reason_suppresses_lock_order() {
+        let src = "pub struct S {\n    state: Mutex<Inner>,\n    rx: Receiver<Msg>,\n}\nimpl S {\n    fn run(&self) {\n        let g = self.state.lock();\n        // lint: allow(lock_order) \u{2014} consumer thread never takes this lock\n        self.rx.recv();\n        drop(g);\n    }\n}\n";
+        let (_, r) = report(&[("crates/serve/src/demo.rs", src)]);
+        assert!(lints(&r).is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unbounded_channels_flagged_and_allowable() {
+        let src = "fn a() {\n    let (tx, rx) = mpsc::channel();\n}\nfn b() {\n    // lint: allow(channel_topology) \u{2014} drained every tick by the collector\n    let (tx, rx) = crossbeam::channel::unbounded::<u8>();\n}\n";
+        let (_, r) = report(&[("crates/analysis/src/demo.rs", src)]);
+        assert_eq!(lints(&r), vec![("channel_topology", 2)]);
+    }
+
+    #[test]
+    fn bounded_send_recv_self_cycle_flagged() {
+        let src = "pub struct Shard {\n    tx: SyncSender<Msg>,\n    rx: Receiver<Msg>,\n}\nimpl Shard {\n    fn run(&self) {\n        self.rx.recv();\n        self.requeue();\n    }\n    fn requeue(&self) {\n        self.tx.send(1);\n    }\n}\n";
+        let (_, r) = report(&[("crates/serve/src/demo.rs", src)]);
+        let got = lints(&r);
+        assert!(got.contains(&("channel_topology", 11)), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn capacity_and_identity_recovered_for_sync_channel() {
+        let src = "pub struct W {\n    tx: SyncSender<Job>,\n}\nfn make(cfg: &Cfg) {\n    let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));\n    let (a, b) = mpsc::sync_channel::<Reply>(0);\n}\n";
+        let (_, r) = report(&[("crates/serve/src/demo.rs", src)]);
+        let caps: Vec<(&str, &str)> = r
+            .channels
+            .iter()
+            .map(|(id, cap, _, _)| (id.as_str(), cap.as_str()))
+            .collect();
+        assert_eq!(
+            caps,
+            vec![
+                ("serve::Job", "cfg.queue_capacity.max(1)"),
+                ("serve::Reply", "0")
+            ]
+        );
+    }
+
+    #[test]
+    fn graph_dump_is_deterministic_and_prefix_filtered() {
+        let files = [
+            (
+                "crates/serve/src/demo.rs",
+                "pub struct S {\n    state: Mutex<Inner>,\n}\nimpl S {\n    fn touch(&self) {\n        let g = self.state.lock();\n        drop(g);\n    }\n}\n",
+            ),
+            (
+                "crates/obs/src/demo.rs",
+                "pub struct O {\n    file: Mutex<std::fs::File>,\n}\nimpl O {\n    fn touch(&self) {\n        let g = self.file.lock();\n        drop(g);\n    }\n}\n",
+            ),
+        ];
+        let (ws, r) = report(&files);
+        let d1 = dump(&ws, &r, "crates/serve");
+        let d2 = dump(&ws, &r, "crates/serve");
+        assert_eq!(d1, d2);
+        assert!(d1.contains("acquire serve::Inner"), "{d1}");
+        assert!(!d1.contains("obs::File"), "{d1}");
+        let all = dump(&ws, &r, "");
+        assert!(all.contains("obs::File"), "{all}");
+    }
+}

@@ -269,6 +269,11 @@ fn is_ident_continue(c: char) -> bool {
 pub fn tokenize(masked: &Masked) -> Vec<Token> {
     let mut tokens = Vec::new();
     for (line_idx, line) in masked.code.iter().enumerate() {
+        // On a line that began inside a multi-line (possibly raw) string,
+        // the first `"` in the masked code *closes* that string. Treating
+        // it as an opener would swallow every real token after it up to
+        // the next quote or end of line.
+        let mut close_pending = masked.starts_in_str.get(line_idx).copied().unwrap_or(false);
         let chars: Vec<char> = line.chars().collect();
         let mut i = 0;
         while i < chars.len() {
@@ -310,9 +315,23 @@ pub fn tokenize(masked: &Masked) -> Vec<Token> {
                 continue;
             }
             if c == '"' {
-                // Masked literal: `"` … `"` with blanks between. A string
-                // continued from the previous line may open mid-token; we
-                // just need "a string literal sits here".
+                if close_pending {
+                    // Closing quote of a string continued from the
+                    // previous line: one `Str` token, and everything
+                    // after it on the line is ordinary code.
+                    close_pending = false;
+                    tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: String::new(),
+                        line: line_idx + 1,
+                        in_test: false,
+                    });
+                    i += 1;
+                    continue;
+                }
+                // Masked literal: `"` … `"` with blanks between; a quote
+                // with no closer on the line opens a multi-line string
+                // whose remainder is already blanked.
                 let mut j = i + 1;
                 while j < chars.len() && chars.get(j) != Some(&'"') {
                     j += 1;
@@ -467,6 +486,37 @@ mod tests {
     fn block_comments_nest() {
         let m = mask("a /* x /* y */ z */ b");
         assert_eq!(m.code.first().map(String::as_str), Some("a   b"));
+    }
+
+    #[test]
+    fn multiline_raw_string_close_line_keeps_trailing_code() {
+        // Regression: the closing line of a multi-line raw string used to
+        // swallow every token after the close quote, hiding real code
+        // (here a `.unwrap()`) from the lints.
+        let src = "fn f(o: Option<u8>) {\n    let s = r#\"first\nsecond\"#; o.unwrap();\n}\n";
+        let tokens = tokenize(&mask(src));
+        assert!(texts(&tokens).contains(&"unwrap"), "{tokens:?}");
+        // Same shape for plain multi-line strings.
+        let src = "fn f(o: Option<u8>) {\n    let s = \"first\nsecond\"; o.unwrap();\n}\n";
+        let tokens = tokenize(&mask(src));
+        assert!(texts(&tokens).contains(&"unwrap"), "{tokens:?}");
+    }
+
+    #[test]
+    fn multiline_string_close_then_reopen_same_line() {
+        // A closing line that also *opens* a new literal: the code between
+        // the two quotes must still tokenize.
+        let src = "let s = \"a\nb\"; t.push(\"x\"); o.unwrap();\n";
+        let tokens = tokenize(&mask(src));
+        assert!(texts(&tokens).contains(&"push"), "{tokens:?}");
+        assert!(texts(&tokens).contains(&"unwrap"), "{tokens:?}");
+        // The continuation close and the new literal are separate tokens
+        // on line 2 (the opener on line 1 is a third).
+        let strs = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str && t.line == 2)
+            .count();
+        assert_eq!(strs, 2, "{tokens:?}");
     }
 
     #[test]

@@ -2,12 +2,20 @@
 //! pipeline.
 //!
 //! Clippy checks Rust; this crate checks *this repo's* contracts — the
-//! invariants PRs 1–3 promised and integration tests only spot-check:
+//! invariants PRs 1–3 promised and integration tests only spot-check.
+//! Analysis runs in two phases: per-file lexical passes
+//! ([`lints::analyze`]), then workspace graph passes over the
+//! [`resolve`] symbol index and call graph:
 //!
-//! * **determinism** (`hash_iteration`, `wall_clock`) — artifacts must be
-//!   byte-identical at every `--jobs` count, so no hash-order iteration
-//!   feeds serialization and no wall-clock reads happen outside the obs
-//!   timing layer;
+//! * **determinism** (`determinism_taint`, `wall_clock`) — artifacts
+//!   must be byte-identical at every `--jobs` count, so no hash-order
+//!   iteration or thread-id read may flow into artifact writers — even
+//!   from three crates away — and no wall-clock reads happen outside
+//!   the obs timing layer;
+//! * **deadlock-freedom** (`lock_order`, `channel_topology`) — no
+//!   blocking operation while a lock is held, no cycles in the
+//!   lock-order graph, no unbounded channels, and no send/recv cycles
+//!   over bounded channels in the serve event loop;
 //! * **panic-safety** (`unwrap`, `expect`, `panic`, `indexing`) — library
 //!   code propagates errors instead of panicking, ratcheted down through
 //!   `lint-baseline.toml`;
@@ -19,14 +27,20 @@
 //!   `#![forbid(unsafe_code)]`.
 //!
 //! The binary prints findings as `file:line: lint: message` in a
-//! deterministic order and exits nonzero on any violation.
+//! deterministic order (or a JSON report with `--format json`) and exits
+//! nonzero on any violation. `--graph-dump [prefix]` renders the
+//! recovered lock/channel graphs byte-deterministically for golden
+//! checks in CI.
 
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod graphs;
 pub mod lexer;
 pub mod lints;
 pub mod policy;
+pub mod resolve;
+pub mod taint;
 pub mod walk;
 
 use std::collections::BTreeMap;
@@ -34,7 +48,7 @@ use std::io;
 use std::path::Path;
 
 use baseline::Baseline;
-use lints::PANIC_LINTS;
+use lints::RATCHETED;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,14 +73,17 @@ impl Finding {
     }
 }
 
-/// Runs every lint over the workspace at `root`. Findings are sorted by
+/// Runs every lint — per-file passes plus the workspace graph passes —
+/// over in-memory `(path, source)` pairs. Findings are sorted by
 /// (file, line, lint).
-pub fn analyze_tree(root: &Path) -> io::Result<Vec<Finding>> {
+pub fn analyze_files(sources: &[(String, String)]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (rel, abs) in walk::workspace_sources(root)? {
-        let source = std::fs::read_to_string(&abs)?;
-        findings.extend(lints::analyze(&rel, &source));
+    for (rel, source) in sources {
+        findings.extend(lints::analyze(rel, source));
     }
+    let ws = resolve::Workspace::build(sources);
+    findings.extend(graphs::analyze_graphs(&ws).findings);
+    findings.extend(taint::taint_pass(&ws));
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.lint, a.message.as_str()).cmp(&(
             b.file.as_str(),
@@ -75,7 +92,77 @@ pub fn analyze_tree(root: &Path) -> io::Result<Vec<Finding>> {
             b.message.as_str(),
         ))
     });
-    Ok(findings)
+    findings
+}
+
+/// Reads the workspace at `root` into `(relative path, source)` pairs.
+pub fn read_tree(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut sources = Vec::new();
+    for (rel, abs) in walk::workspace_sources(root)? {
+        sources.push((rel, std::fs::read_to_string(&abs)?));
+    }
+    Ok(sources)
+}
+
+/// Runs every lint over the workspace at `root`.
+pub fn analyze_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_files(&read_tree(root)?))
+}
+
+/// Renders the lock/channel graphs of the workspace at `root`,
+/// restricted to files under `prefix` (empty: everything).
+pub fn graph_dump(sources: &[(String, String)], prefix: &str) -> String {
+    let ws = resolve::Workspace::build(sources);
+    let report = graphs::analyze_graphs(&ws);
+    graphs::dump(&ws, &report, prefix)
+}
+
+/// Renders findings plus summary as a machine-readable JSON report.
+pub fn render_json(
+    findings: &[Finding],
+    files_checked: usize,
+    enforcement: &Enforcement,
+) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.lint),
+            json_str(&f.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"summary\":{{\"files\":{},\"findings\":{},\"violations\":{},\"stale\":{}}}}}",
+        files_checked,
+        findings.len(),
+        enforcement.violations.len(),
+        enforcement.stale.len()
+    ));
+    out.push('\n');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The result of checking findings against a baseline.
@@ -101,14 +188,14 @@ pub fn enforce(findings: &[Finding], baseline: &Baseline) -> Enforcement {
     let mut result = Enforcement::default();
     let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
     for f in findings {
-        if PANIC_LINTS.contains(&f.lint) {
+        if RATCHETED.contains(&f.lint) {
             *counts.entry((f.file.as_str(), f.lint)).or_insert(0) += 1;
         } else {
             result.violations.push(f.clone());
         }
     }
     for f in findings {
-        if !PANIC_LINTS.contains(&f.lint) {
+        if !RATCHETED.contains(&f.lint) {
             continue;
         }
         let found = counts.get(&(f.file.as_str(), f.lint)).copied().unwrap_or(0);

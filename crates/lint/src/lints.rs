@@ -2,8 +2,10 @@
 //! [`crate::lexer`] and emits [`Finding`]s; which passes run for a given
 //! file is decided by [`crate::policy`].
 //!
-//! Hard lints (`truncating_cast`, `hash_iteration`, `wall_clock`,
-//! `println`, `forbid_unsafe`, `metric_name`) can be suppressed with an
+//! Hard lints (`truncating_cast`, `wall_clock`, `println`,
+//! `forbid_unsafe`, `metric_name`) and the workspace graph lints
+//! (`lock_order`, `channel_topology`, `determinism_taint` — see
+//! [`crate::graphs`] and [`crate::taint`]) can be suppressed with an
 //! inline marker on the finding line or the line above:
 //!
 //! ```text
@@ -21,6 +23,18 @@ use crate::Finding;
 /// Lints governed by the `lint-baseline.toml` ratchet.
 pub const PANIC_LINTS: &[&str] = &["unwrap", "expect", "panic", "indexing"];
 
+/// All ratcheted lints: the panic family plus the workspace graph
+/// families added by the two-phase analyzer.
+pub const RATCHETED: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "indexing",
+    "lock_order",
+    "channel_topology",
+    "determinism_taint",
+];
+
 /// Analyzes one source file. `path` is workspace-relative with `/`
 /// separators; it selects which passes apply.
 pub fn analyze(path: &str, source: &str) -> Vec<Finding> {
@@ -35,9 +49,6 @@ pub fn analyze(path: &str, source: &str) -> Vec<Finding> {
     }
     if policy::cast_scope(path) {
         cast_pass(path, &masked, &tokens, &mut out);
-    }
-    if policy::artifact_module(path) {
-        hash_pass(path, &masked, &tokens, &mut out);
     }
     if !policy::wallclock_allowed(path) {
         wallclock_pass(path, &masked, &tokens, &mut out);
@@ -66,7 +77,7 @@ fn finding(path: &str, line: usize, lint: &'static str, message: &str) -> Findin
 
 /// True when a `// lint: allow(<lint>) — <reason>` marker with a
 /// non-empty reason sits on `line` or the line above.
-fn allowed(masked: &Masked, line: usize, lint: &str) -> bool {
+pub(crate) fn allowed(masked: &Masked, line: usize, lint: &str) -> bool {
     let check = |idx: Option<usize>| {
         idx.and_then(|i| masked.comments.get(i))
             .is_some_and(|c| marker_allows(c, lint))
@@ -333,10 +344,10 @@ fn cast_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Findin
 }
 
 // ---------------------------------------------------------------------------
-// hash_iteration
+// hash-iteration helpers (used by the determinism_taint pass)
 // ---------------------------------------------------------------------------
 
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "drain",
     "into_iter",
     "into_keys",
@@ -355,7 +366,7 @@ const ORDER_SAFE: &[&str] = &[
     ".sort", "BTreeMap", "BTreeSet", ".sum", ".count", ".max", ".min", ".any(", ".all(", ".fold(",
 ];
 
-fn order_safe(masked: &Masked, line: usize) -> bool {
+pub(crate) fn order_safe(masked: &Masked, line: usize) -> bool {
     (line.saturating_sub(1)..=line.saturating_add(1)).any(|idx| {
         masked
             .code
@@ -367,7 +378,7 @@ fn order_safe(masked: &Masked, line: usize) -> bool {
 /// Names bound to `HashMap`/`HashSet` in this file: `name: HashMap<..>`
 /// (let, field, or param position, through `&`/`mut`) and
 /// `name = HashMap::new()`.
-fn hash_bindings(tokens: &[Token]) -> Vec<String> {
+pub(crate) fn hash_bindings(tokens: &[Token]) -> Vec<String> {
     let mut names = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
@@ -398,24 +409,17 @@ fn hash_bindings(tokens: &[Token]) -> Vec<String> {
     names
 }
 
-fn is_hash_name(name: &str, bindings: &[String]) -> bool {
+pub(crate) fn is_hash_name(name: &str, bindings: &[String]) -> bool {
     bindings.iter().any(|b| b == name) || policy::HASH_FIELDS.contains(&name)
 }
 
-fn hash_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Finding>) {
-    let bindings = hash_bindings(tokens);
-    let flag = |line: usize, name: &str, out: &mut Vec<Finding>| {
-        if !order_safe(masked, line) && !allowed(masked, line, "hash_iteration") {
-            out.push(finding(
-                path,
-                line,
-                "hash_iteration",
-                &format!(
-                    "iteration over hash-ordered `{name}` in an artifact-writing module; sort or collect into a BTreeMap first"
-                ),
-            ));
-        }
-    };
+/// Hash-ordered iteration sites in one token stream: `name.iter()`-family
+/// calls on hash-typed bindings and `for pat in [&][mut] name` loops.
+/// Returns `(line, name)` pairs; order-safety and allow markers are the
+/// caller's concern. The old per-file `hash_iteration` lint used this
+/// directly; today it feeds the interprocedural `determinism_taint` pass.
+pub(crate) fn hash_iteration_sites(tokens: &[Token], bindings: &[String]) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if t.in_test || t.kind != TokenKind::Ident {
             continue;
@@ -426,8 +430,8 @@ fn hash_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Findin
             && tok_text(tokens, i + 1) == "("
         {
             if let Some(recv) = i.checked_sub(2).and_then(|p| tokens.get(p)) {
-                if recv.kind == TokenKind::Ident && is_hash_name(&recv.text, &bindings) {
-                    flag(t.line, &recv.text, out);
+                if recv.kind == TokenKind::Ident && is_hash_name(&recv.text, bindings) {
+                    sites.push((t.line, recv.text.clone()));
                 }
             }
         }
@@ -462,12 +466,13 @@ fn hash_pass(path: &str, masked: &Masked, tokens: &[Token], out: &mut Vec<Findin
                 continue;
             }
             if let Some(l) = last_ident.and_then(|k| tokens.get(k)) {
-                if is_hash_name(&l.text, &bindings) {
-                    flag(l.line, &l.text, out);
+                if is_hash_name(&l.text, bindings) {
+                    sites.push((l.line, l.text.clone()));
                 }
             }
         }
     }
+    sites
 }
 
 // ---------------------------------------------------------------------------
@@ -716,26 +721,28 @@ mod tests {
     }
 
     #[test]
-    fn hash_iteration_in_artifact_module() {
-        let path = "crates/analysis/src/demo.rs";
-        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\nfn g(m: &HashMap<u32, u32>) -> u32 {\n    m.values().sum()\n}\nfn h(m: &HashMap<u32, u32>) {\n    for k in m {\n        use_it(k);\n    }\n}\n";
-        let got = lints_of(path, src);
-        assert_eq!(got, vec![("hash_iteration", 2), ("hash_iteration", 8)]);
+    fn hash_iteration_sites_found_for_methods_fields_and_for_loops() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\nfn h(m: &HashMap<u32, u32>) {\n    for k in m {\n        use_it(k);\n    }\n}\nfn i(r: &ScanResult) -> usize {\n    r.histories.iter().count()\n}\n";
+        let masked = mask(src);
+        let tokens = tokenize(&masked);
+        let bindings = hash_bindings(&tokens);
+        let sites = hash_iteration_sites(&tokens, &bindings);
+        assert_eq!(
+            sites,
+            vec![
+                (2, "m".to_string()),
+                (5, "m".to_string()),
+                (10, "histories".to_string())
+            ]
+        );
     }
 
     #[test]
-    fn hash_iteration_sorted_window_suppresses() {
-        let path = "crates/analysis/src/demo.rs";
+    fn order_safe_window_covers_adjacent_sort() {
         let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort_unstable();\n    v\n}\n";
-        assert!(lints_of(path, src).is_empty());
-    }
-
-    #[test]
-    fn known_hash_fields_flagged() {
-        let path = "crates/analysis/src/demo.rs";
-        let src = "fn f(r: &ScanResult) -> usize {\n    r.histories.iter().map(ignore).collect::<Vec<_>>().len()\n}\n";
-        let got = lints_of(path, src);
-        assert_eq!(got, vec![("hash_iteration", 2)]);
+        let masked = mask(src);
+        assert!(order_safe(&masked, 2), "sort on the next line neutralizes");
+        assert!(!order_safe(&masked, 5));
     }
 
     #[test]

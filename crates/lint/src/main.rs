@@ -4,13 +4,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bgpz_lint::baseline::Baseline;
-use bgpz_lint::{analyze_tree, enforce};
+use bgpz_lint::{analyze_files, enforce, graph_dump, read_tree, render_json};
 
 const USAGE: &str = "\
 bgpz-lint: workspace-invariant static analysis
 
 USAGE:
     bgpz-lint [--root <dir>] [--baseline <file>] [--update-baseline]
+              [--format text|json] [--graph-dump [<prefix>]]
 
 OPTIONS:
     --root <dir>        Workspace root (default: the workspace containing
@@ -18,6 +19,11 @@ OPTIONS:
     --baseline <file>   Baseline path (default: <root>/lint-baseline.toml)
     --update-baseline   Rewrite the baseline from the current tree instead
                         of enforcing it (hard lints still fail the run)
+    --format <fmt>      `text` (default) or `json`: a machine-readable
+                        report with every finding plus a summary
+    --graph-dump [<p>]  Print the recovered lock/channel graphs for files
+                        under prefix <p> (default: whole workspace) and
+                        exit 0; byte-deterministic for golden checks
 
 EXIT CODES:
     0  clean            1  findings or stale baseline     2  usage/IO error
@@ -27,13 +33,17 @@ struct Args {
     root: PathBuf,
     baseline: PathBuf,
     update: bool,
+    json: bool,
+    graph_dump: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut update = false;
-    let mut argv = std::env::args().skip(1);
+    let mut json = false;
+    let mut dump: Option<String> = None;
+    let mut argv = std::env::args().skip(1).peekable();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--root" => {
@@ -45,6 +55,22 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--update-baseline" => update = true,
+            "--format" => {
+                let fmt = argv.next().ok_or("--format needs `text` or `json`")?;
+                match fmt.as_str() {
+                    "json" => json = true,
+                    "text" => json = false,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--graph-dump" => {
+                // Optional prefix: consume the next arg unless it is a flag.
+                let prefix = match argv.peek() {
+                    Some(next) if !next.starts_with("--") => argv.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                dump = Some(prefix);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -55,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         root,
         baseline,
         update,
+        json,
+        graph_dump: dump,
     })
 }
 
@@ -84,8 +112,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match analyze_tree(&args.root) {
-        Ok(f) => f,
+    let sources = match read_tree(&args.root) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!(
                 "bgpz-lint: failed to read sources under {}: {e}",
@@ -94,6 +122,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(prefix) = &args.graph_dump {
+        print!("{}", graph_dump(&sources, prefix));
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = analyze_files(&sources);
 
     if args.update {
         let fresh = Baseline::from_findings(&findings);
@@ -143,6 +178,14 @@ fn main() -> ExitCode {
             }
         };
         let e = enforce(&findings, &base);
+        if args.json {
+            print!("{}", render_json(&findings, sources.len(), &e));
+            return if e.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
         for v in &e.violations {
             println!("{}", v.render());
         }
@@ -152,7 +195,7 @@ fn main() -> ExitCode {
         if e.clean() {
             println!(
                 "bgpz-lint: clean ({} source file(s) checked)",
-                checked_count(&args.root)
+                sources.len()
             );
             ExitCode::SUCCESS
         } else {
@@ -165,10 +208,4 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
-}
-
-fn checked_count(root: &std::path::Path) -> usize {
-    bgpz_lint::walk::workspace_sources(root)
-        .map(|v| v.len())
-        .unwrap_or(0)
 }

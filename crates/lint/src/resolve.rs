@@ -1,0 +1,1150 @@
+//! Phase 1 of the workspace analyzer: a module-aware symbol index and a
+//! best-effort call graph over every crate.
+//!
+//! Everything is recovered from the masking lexer's token stream — no
+//! parser. Item structure is tracked by brace depth (exact for
+//! rustfmt-formatted sources), `use` declarations are expanded into a
+//! per-file import map, and call sites are resolved in this order:
+//!
+//! 1. paths rooted in `crate::` / `bgpz_<crate>::` / a sibling module,
+//! 2. inherent methods via the receiver's impl type (`self.m()` and
+//!    `Type::m(..)`),
+//! 3. names imported by the file's `use` map,
+//! 4. free functions unique within the defining crate, then unique in
+//!    the whole workspace; method names with exactly one workspace
+//!    definition.
+//!
+//! A call that matches several workspace definitions (or a
+//! workspace-rooted path that matches none) lands in the deterministic
+//! `unresolved` bucket instead of guessing, so the phase-2 graph lints
+//! under-approximate rather than invent edges. Known limits (trait
+//! dispatch, closures passed as values, macro-generated items) are
+//! documented in DESIGN.md §7a.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{mask, tokenize, Masked, Token, TokenKind};
+
+/// One parsed source file with its lexed artifacts.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Crate identifier: the directory under `crates/`, or `root` for the
+    /// workspace-root `src/` tree.
+    pub crate_id: String,
+    /// Module path derived from the file location (`crates/x/src/a/b.rs`
+    /// → `["a", "b"]`; `lib.rs`, `main.rs` and `mod.rs` add no segment).
+    pub mods: Vec<String>,
+    /// Masked source (comments and literal contents blanked).
+    pub masked: Masked,
+    /// Token stream of the masked code.
+    pub tokens: Vec<Token>,
+    /// `use` imports: simple name → full path segments.
+    pub use_map: BTreeMap<String, Vec<String>>,
+}
+
+/// A function (free, inherent method, or trait method with a body)
+/// discovered in phase 1.
+pub struct FnDef {
+    /// Canonical key `crate::mods::[Type::]name` (suffixed `#n` on the
+    /// rare same-key collision, e.g. two trait impls defining `fmt`).
+    pub key: String,
+    /// Bare function name.
+    pub name: String,
+    /// Impl type for methods (`impl Router { fn cached … }` → `Router`).
+    pub self_type: Option<String>,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the body, including both braces.
+    pub body: (usize, usize),
+    /// Declared return type mentions a lock guard (`MutexGuard`,
+    /// `RwLockReadGuard`, …): calling this function acquires a lock that
+    /// outlives the call.
+    pub returns_guard: bool,
+    /// Defined inside `#[cfg(test)]` code.
+    pub in_test: bool,
+}
+
+/// Synchronization-relevant declared types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SyncKind {
+    Mutex,
+    RwLock,
+    SyncSender,
+    Sender,
+    Receiver,
+}
+
+/// A field / binding / static declared with a sync-primitive type, e.g.
+/// `state: Arc<Mutex<ServeState>>` or `tx: SyncSender<ShardMsg>`.
+pub struct SyncDecl {
+    pub kind: SyncKind,
+    /// Declared name (`state`, `tx`, `STORE`, …).
+    pub name: String,
+    /// Last path segment of the first type argument (`ServeState`,
+    /// `ShardMsg`, `File`), when present.
+    pub inner: Option<String>,
+    /// The inner type is itself generic (`Mutex<HashMap<..>>`): its name
+    /// is a container, not an identity.
+    pub inner_generic: bool,
+    pub file: usize,
+    pub line: usize,
+}
+
+/// One resolved call site inside a function body.
+pub struct Call {
+    /// Token index of the callee name in the file's token stream.
+    pub tok: usize,
+    pub line: usize,
+    /// Index into [`Workspace::fns`].
+    pub target: usize,
+}
+
+/// The phase-1 index: files, functions, sync declarations, call graph.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub fns: Vec<FnDef>,
+    /// Per-fn resolved calls, parallel to [`Workspace::fns`].
+    pub calls: Vec<Vec<Call>>,
+    /// Per-file map token index → innermost enclosing fn index.
+    pub fn_of_token: Vec<Vec<Option<usize>>>,
+    pub sync_decls: Vec<SyncDecl>,
+    /// (crate_id, name) → sync-decl indices.
+    pub decl_by_name: BTreeMap<(String, String), Vec<usize>>,
+    /// Calls that matched no (or several) workspace definitions, as
+    /// `(file path, description)`; kept deterministic so resolution
+    /// limits stay visible in `--graph-dump`.
+    pub unresolved: BTreeSet<(String, String)>,
+    fn_by_key: BTreeMap<String, usize>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    methods_by_type: BTreeMap<(String, String), Vec<usize>>,
+}
+
+const CONTAINERS: &[(&str, SyncKind)] = &[
+    ("Mutex", SyncKind::Mutex),
+    ("RwLock", SyncKind::RwLock),
+    ("SyncSender", SyncKind::SyncSender),
+    ("Sender", SyncKind::Sender),
+    ("Receiver", SyncKind::Receiver),
+];
+
+/// Method names so common on std types that a bare `x.name()` is almost
+/// never a call into the workspace; they only resolve via a `self`
+/// receiver and the impl index.
+const STD_METHODS: &[&str] = &[
+    "append",
+    "clear",
+    "clone",
+    "contains",
+    "contains_key",
+    "drain",
+    "entry",
+    "extend",
+    "get",
+    "get_mut",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "len",
+    "lock",
+    "next",
+    "pop",
+    "push",
+    "read",
+    "recv",
+    "remove",
+    "retain",
+    "send",
+    "sort",
+    "split_off",
+    "take",
+    "values",
+    "write",
+];
+
+/// Keywords that can precede `(` without being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while",
+];
+
+pub(crate) fn text(tokens: &[Token], i: usize) -> &str {
+    tokens.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+pub(crate) fn is_path_sep(tokens: &[Token], i: usize) -> bool {
+    // `::` lexes as two `:` puncts.
+    text(tokens, i) == ":" && i.checked_sub(1).is_some_and(|p| text(tokens, p) == ":")
+}
+
+/// Crate id and module path for a workspace-relative file path.
+fn locate(path: &str) -> (String, Vec<String>) {
+    let segs: Vec<&str> = path.split('/').collect();
+    let (crate_id, rest) = if segs.first() == Some(&"crates") {
+        (
+            segs.get(1).copied().unwrap_or("unknown").to_string(),
+            segs.get(3..).unwrap_or(&[]),
+        )
+    } else {
+        // Workspace-root `src/` tree.
+        ("root".to_string(), segs.get(1..).unwrap_or(&[]))
+    };
+    let mut mods = Vec::new();
+    for (i, seg) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        if last {
+            let stem = seg.strip_suffix(".rs").unwrap_or(seg);
+            if stem != "lib" && stem != "main" && stem != "mod" {
+                mods.push(stem.to_string());
+            }
+        } else {
+            mods.push((*seg).to_string());
+        }
+    }
+    (crate_id, mods)
+}
+
+/// Expands the `use` item whose tokens span `use_idx..` (from the `use`
+/// keyword up to its `;`), inserting `name → path` pairs into `map`.
+fn expand_use(tokens: &[Token], use_idx: usize, map: &mut BTreeMap<String, Vec<String>>) -> usize {
+    // Collect the token texts of the whole item first.
+    let mut end = use_idx + 1;
+    while end < tokens.len() && text(tokens, end) != ";" {
+        end += 1;
+    }
+    let mut prefix: Vec<String> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // prefix lengths at `{` nesting
+    let mut last: Option<String> = None;
+    let mut i = use_idx + 1;
+    while i < end {
+        let t = text(tokens, i);
+        match t {
+            ":" => {}
+            "{" => {
+                stack.push(prefix.len());
+                if let Some(seg) = last.take() {
+                    prefix.push(seg);
+                }
+            }
+            "}" => {
+                if let Some(seg) = last.take() {
+                    let mut path = prefix.clone();
+                    path.push(seg.clone());
+                    map.insert(seg, path);
+                }
+                if let Some(len) = stack.pop() {
+                    prefix.truncate(len);
+                }
+            }
+            "," => {
+                if let Some(seg) = last.take() {
+                    let mut path = prefix.clone();
+                    path.push(seg.clone());
+                    map.insert(seg, path);
+                }
+                if let Some(&len) = stack.last() {
+                    prefix.truncate(len);
+                    // Re-push the group prefix segments recorded at `{`.
+                }
+            }
+            "as" => {
+                // `use a::b as c;` — bind the alias to the path so far.
+                let alias = text(tokens, i + 1).to_string();
+                if let Some(seg) = last.take() {
+                    let mut path = prefix.clone();
+                    path.push(seg);
+                    if !alias.is_empty() {
+                        map.insert(alias, path);
+                    }
+                }
+                i += 1;
+            }
+            "*" => {
+                last = None; // glob: not tracked
+            }
+            _ => {
+                if tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    if let Some(seg) = last.take() {
+                        prefix.push(seg);
+                    }
+                    last = Some(t.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    if let Some(seg) = last.take() {
+        let mut path = prefix.clone();
+        path.push(seg.clone());
+        map.insert(seg, path);
+    }
+    end
+}
+
+/// What the next `{` opens, while scanning items.
+enum Pending {
+    Mod(String),
+    Impl(String),
+    Fn {
+        name: String,
+        line: usize,
+        returns_guard: bool,
+        in_test: bool,
+    },
+}
+
+/// One entry of the open-brace context stack.
+enum Ctx {
+    Mod,
+    Impl(String),
+    Fn(usize),
+    Other,
+}
+
+impl Workspace {
+    /// Builds the index over `(path, source)` pairs. Paths must be
+    /// workspace-relative with `/` separators; order does not matter
+    /// (files are sorted internally so every id is deterministic).
+    pub fn build(sources: &[(String, String)]) -> Workspace {
+        let mut ordered: Vec<(&String, &String)> = sources.iter().map(|(p, s)| (p, s)).collect();
+        ordered.sort_by(|a, b| a.0.cmp(b.0));
+
+        let mut files = Vec::new();
+        for (path, source) in &ordered {
+            let masked = mask(source);
+            let mut tokens = tokenize(&masked);
+            if crate::policy::is_test_path(path) {
+                // Whole-file test scope: the graph passes skip these the
+                // same way they skip `#[cfg(test)]` regions.
+                for t in &mut tokens {
+                    t.in_test = true;
+                }
+            }
+            let (crate_id, mods) = locate(path);
+            let mut use_map = BTreeMap::new();
+            let mut i = 0;
+            while i < tokens.len() {
+                if text(&tokens, i) == "use"
+                    && tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    i = expand_use(&tokens, i, &mut use_map);
+                }
+                i += 1;
+            }
+            files.push(SourceFile {
+                path: (*path).clone(),
+                crate_id,
+                mods,
+                masked,
+                tokens,
+                use_map,
+            });
+        }
+
+        let mut ws = Workspace {
+            files,
+            fns: Vec::new(),
+            calls: Vec::new(),
+            fn_of_token: Vec::new(),
+            sync_decls: Vec::new(),
+            decl_by_name: BTreeMap::new(),
+            unresolved: BTreeSet::new(),
+            fn_by_key: BTreeMap::new(),
+            free_by_name: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            methods_by_type: BTreeMap::new(),
+        };
+        for fi in 0..ws.files.len() {
+            ws.scan_items(fi);
+            ws.scan_sync_decls(fi);
+        }
+        ws.index_fns();
+        ws.resolve_calls();
+        ws
+    }
+
+    /// Function definition by index.
+    pub fn fn_def(&self, idx: usize) -> Option<&FnDef> {
+        self.fns.get(idx)
+    }
+
+    /// Innermost function containing token `tok` of file `file`.
+    pub fn enclosing_fn(&self, file: usize, tok: usize) -> Option<usize> {
+        self.fn_of_token.get(file)?.get(tok).copied().flatten()
+    }
+
+    /// Walks one file's token stream, recording fn defs via a brace-depth
+    /// context stack.
+    fn scan_items(&mut self, fi: usize) {
+        let Some(file) = self.files.get(fi) else {
+            return;
+        };
+        let tokens = &file.tokens;
+        let mut stack: Vec<Ctx> = Vec::new();
+        let mut pending: Option<Pending> = None;
+        let mut mods: Vec<String> = Vec::new();
+        let mut new_fns: Vec<FnDef> = Vec::new();
+        let mut open_fns: Vec<usize> = Vec::new(); // indices into new_fns
+        let mut brackets = 0i32;
+        let mut i = 0;
+        while i < tokens.len() {
+            match text(tokens, i) {
+                "mod" if tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident) => {
+                    let name = text(tokens, i + 1);
+                    if !name.is_empty() && text(tokens, i + 2) == "{" {
+                        pending = Some(Pending::Mod(name.to_string()));
+                    }
+                    i += 1;
+                }
+                "impl" if tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident) => {
+                    pending = impl_header(tokens, i).map(Pending::Impl);
+                }
+                // `fn` in type position (`fn(u8) -> u8`) has no name.
+                "fn" if tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && tokens
+                        .get(i + 1)
+                        .is_some_and(|t| t.kind == TokenKind::Ident) =>
+                {
+                    let in_test = tokens.get(i).is_some_and(|t| t.in_test);
+                    pending = Some(Pending::Fn {
+                        name: text(tokens, i + 1).to_string(),
+                        line: tokens.get(i).map(|t| t.line).unwrap_or(1),
+                        returns_guard: signature_returns_guard(tokens, i),
+                        in_test,
+                    });
+                }
+                "{" => {
+                    let ctx = match pending.take() {
+                        Some(Pending::Mod(name)) => {
+                            mods.push(name);
+                            Ctx::Mod
+                        }
+                        Some(Pending::Impl(ty)) => Ctx::Impl(ty),
+                        Some(Pending::Fn {
+                            name,
+                            line,
+                            returns_guard,
+                            in_test,
+                        }) => {
+                            let self_type = stack.iter().rev().find_map(|c| match c {
+                                Ctx::Impl(t) => Some(t.clone()),
+                                _ => None,
+                            });
+                            let mut segs: Vec<&str> = Vec::new();
+                            segs.push(&file.crate_id);
+                            segs.extend(file.mods.iter().map(String::as_str));
+                            segs.extend(mods.iter().map(String::as_str));
+                            if let Some(t) = self_type.as_deref() {
+                                segs.push(t);
+                            }
+                            segs.push(&name);
+                            let key = segs.join("::");
+                            let idx = new_fns.len();
+                            new_fns.push(FnDef {
+                                key,
+                                name,
+                                self_type,
+                                file: fi,
+                                line,
+                                body: (i, i), // end patched on close
+                                returns_guard,
+                                in_test,
+                            });
+                            open_fns.push(idx);
+                            Ctx::Fn(idx)
+                        }
+                        None => Ctx::Other,
+                    };
+                    stack.push(ctx);
+                }
+                "}" => match stack.pop() {
+                    Some(Ctx::Mod) => {
+                        mods.pop();
+                    }
+                    Some(Ctx::Fn(idx)) => {
+                        open_fns.pop();
+                        if let Some(f) = new_fns.get_mut(idx) {
+                            f.body.1 = i + 1;
+                        }
+                    }
+                    _ => {}
+                },
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                ";" if brackets <= 0 => {
+                    // Trait method without a body, `mod x;`, etc. The
+                    // bracket guard keeps `fn f(x: [u8; 4])` pending.
+                    pending = None;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Unterminated fns (malformed source): close at EOF.
+        for idx in open_fns {
+            if let Some(f) = new_fns.get_mut(idx) {
+                f.body.1 = tokens.len();
+            }
+        }
+        self.fns.extend(new_fns);
+    }
+
+    /// Records every `name: …<Primitive<Inner>>…` declaration (fields,
+    /// params, annotated lets, statics) in file `fi`.
+    fn scan_sync_decls(&mut self, fi: usize) {
+        let Some(file) = self.files.get(fi) else {
+            return;
+        };
+        let tokens = &file.tokens;
+        let mut decls = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.in_test {
+                continue;
+            }
+            let Some(&(_, kind)) = CONTAINERS.iter().find(|(n, _)| *n == t.text) else {
+                continue;
+            };
+            if text(tokens, i + 1) != "<" {
+                continue; // `Mutex::new(..)`, a bare mention, …
+            }
+            let Some(name) = declared_name(tokens, i) else {
+                continue;
+            };
+            let (inner, inner_generic) = type_arg(tokens, i + 1);
+            decls.push(SyncDecl {
+                kind,
+                name,
+                inner,
+                inner_generic,
+                file: fi,
+                line: t.line,
+            });
+        }
+        let crate_id = file.crate_id.clone();
+        for d in decls {
+            let idx = self.sync_decls.len();
+            self.decl_by_name
+                .entry((crate_id.clone(), d.name.clone()))
+                .or_default()
+                .push(idx);
+            self.sync_decls.push(d);
+        }
+    }
+
+    fn index_fns(&mut self) {
+        // Disambiguate duplicate keys deterministically.
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        for f in &mut self.fns {
+            let n = seen.entry(f.key.clone()).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                f.key = format!("{}#{}", f.key, *n);
+            }
+        }
+        for (idx, f) in self.fns.iter().enumerate() {
+            self.fn_by_key.insert(f.key.clone(), idx);
+            if let Some(ty) = &f.self_type {
+                self.methods_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(idx);
+                self.methods_by_type
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx);
+            } else {
+                self.free_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        // Token → innermost fn map: later (nested) defs overwrite outer.
+        self.fn_of_token = self
+            .files
+            .iter()
+            .map(|f| vec![None; f.tokens.len()])
+            .collect();
+        for (idx, f) in self.fns.iter().enumerate() {
+            if let Some(map) = self.fn_of_token.get_mut(f.file) {
+                for slot in map
+                    .iter_mut()
+                    .skip(f.body.0)
+                    .take(f.body.1.saturating_sub(f.body.0))
+                {
+                    *slot = Some(idx);
+                }
+            }
+        }
+    }
+
+    /// Finds and resolves every call site in every non-test fn body.
+    fn resolve_calls(&mut self) {
+        let mut calls: Vec<Vec<Call>> = self.fns.iter().map(|_| Vec::new()).collect();
+        let mut unresolved = BTreeSet::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            let tokens = &file.tokens;
+            for (i, t) in tokens.iter().enumerate() {
+                if t.kind != TokenKind::Ident
+                    || t.in_test
+                    || text(tokens, i + 1) != "("
+                    || NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                {
+                    continue;
+                }
+                let Some(caller) = self.enclosing_fn(fi, i) else {
+                    continue;
+                };
+                if text(tokens, i.wrapping_sub(1)) == "fn" {
+                    continue; // the definition itself
+                }
+                let resolution = if i.checked_sub(1).is_some_and(|p| text(tokens, p) == ".") {
+                    self.resolve_method(tokens, i, caller)
+                } else if is_path_sep(tokens, i.wrapping_sub(1)) {
+                    self.resolve_path_call(file, tokens, i)
+                } else {
+                    self.resolve_free(file, &t.text)
+                };
+                match resolution {
+                    Resolution::Fn(target) => {
+                        if let Some(c) = calls.get_mut(caller) {
+                            c.push(Call {
+                                tok: i,
+                                line: t.line,
+                                target,
+                            });
+                        }
+                    }
+                    Resolution::Unresolved(raw) => {
+                        unresolved.insert((file.path.clone(), raw));
+                    }
+                    Resolution::External => {}
+                }
+            }
+        }
+        self.calls = calls;
+        self.unresolved = unresolved;
+    }
+
+    fn resolve_method(&self, tokens: &[Token], i: usize, caller: usize) -> Resolution {
+        let name = text(tokens, i);
+        // `self.m()` resolves through the caller's impl type first.
+        let receiver_is_self = i
+            .checked_sub(2)
+            .is_some_and(|p| text(tokens, p) == "self" && text(tokens, p.wrapping_sub(1)) != ".");
+        if receiver_is_self {
+            if let Some(ty) = self.fns.get(caller).and_then(|f| f.self_type.clone()) {
+                if let Some(idx) = self.unique_method(&ty, name) {
+                    return Resolution::Fn(idx);
+                }
+            }
+        }
+        // Without receiver types, resolving `x.drain()` to the single
+        // workspace method named `drain` is usually wrong: the ubiquitous
+        // std collection/iterator names stay external unless dispatched
+        // through `self` above.
+        if STD_METHODS.contains(&name) {
+            return Resolution::External;
+        }
+        let candidates: Vec<usize> = self
+            .methods_by_name
+            .get(name)
+            .map(|v| v.iter().copied().filter(|&i| self.is_lintable(i)).collect())
+            .unwrap_or_default();
+        match candidates.as_slice() {
+            [] => Resolution::External,
+            [one] => Resolution::Fn(*one),
+            many => {
+                Resolution::Unresolved(format!(".{name} ({} workspace candidates)", many.len()))
+            }
+        }
+    }
+
+    fn resolve_path_call(&self, file: &SourceFile, tokens: &[Token], i: usize) -> Resolution {
+        // Collect the `a::b::name` path backwards from the callee name.
+        let mut segs: Vec<String> = vec![text(tokens, i).to_string()];
+        let mut j = i;
+        while j >= 2 && is_path_sep(tokens, j - 1) {
+            let prev = j - 2;
+            let Some(pt) = prev.checked_sub(1).and_then(|p| tokens.get(p)) else {
+                break;
+            };
+            if pt.kind != TokenKind::Ident {
+                break;
+            }
+            segs.push(pt.text.clone());
+            j = prev - 1;
+        }
+        segs.reverse();
+        let Some((name, qualifier)) = segs.split_last() else {
+            return Resolution::External;
+        };
+        if qualifier.is_empty() {
+            return self.resolve_free(file, name);
+        }
+        // `Type::method` / `Type::new` via the impl index.
+        if let Some(ty) = qualifier.last() {
+            if ty.chars().next().is_some_and(char::is_uppercase) {
+                if let Some(idx) = self.unique_method(ty, name) {
+                    return Resolution::Fn(idx);
+                }
+            }
+        }
+        // Normalize the leading segment to a crate id + module path.
+        let mut candidates: Vec<Vec<String>> = Vec::new();
+        let mut rooted = false;
+        if let Some(first) = qualifier.first() {
+            let rest: Vec<String> = qualifier.get(1..).unwrap_or(&[]).to_vec();
+            if first == "crate" {
+                rooted = true;
+                let mut c = vec![file.crate_id.clone()];
+                c.extend(rest.clone());
+                c.push(name.clone());
+                candidates.push(c);
+            } else if let Some(dep) = first.strip_prefix("bgpz_") {
+                rooted = true;
+                let mut c = vec![dep.to_string()];
+                c.extend(rest.clone());
+                c.push(name.clone());
+                candidates.push(c);
+            } else if first == "self" {
+                let mut c = vec![file.crate_id.clone()];
+                c.extend(file.mods.iter().cloned());
+                c.extend(rest.clone());
+                c.push(name.clone());
+                candidates.push(c);
+            } else {
+                // A sibling module of this file (`walk::sources(..)`) or a
+                // module imported by `use` (`use crate::lexer;`).
+                let mut c = vec![file.crate_id.clone()];
+                c.extend(file.mods.iter().cloned());
+                c.extend(qualifier.iter().cloned());
+                c.push(name.clone());
+                candidates.push(c);
+                let mut c2 = vec![file.crate_id.clone()];
+                c2.extend(qualifier.iter().cloned());
+                c2.push(name.clone());
+                candidates.push(c2);
+                if let Some(expansion) = file.use_map.get(first) {
+                    let mut c3 = self.expand_crate_path(file, expansion);
+                    c3.extend(rest);
+                    c3.push(name.clone());
+                    candidates.push(c3);
+                }
+            }
+        }
+        for c in &candidates {
+            if let Some(&idx) = self.fn_by_key.get(&c.join("::")) {
+                if self.is_lintable(idx) {
+                    return Resolution::Fn(idx);
+                }
+            }
+        }
+        if rooted {
+            return Resolution::Unresolved(segs.join("::"));
+        }
+        Resolution::External
+    }
+
+    fn resolve_free(&self, file: &SourceFile, name: &str) -> Resolution {
+        // Same file first, then the `use` map, then unique-in-crate,
+        // then unique-in-workspace.
+        let in_crate: Vec<usize> = self
+            .free_by_name
+            .get(name)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| self.is_lintable(i))
+                    .collect::<Vec<usize>>()
+            })
+            .unwrap_or_default();
+        let same_file: Vec<usize> = in_crate
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.fns.get(i).is_some_and(|f| {
+                    self.files.get(f.file).map(|sf| sf.path.as_str()) == Some(file.path.as_str())
+                })
+            })
+            .collect();
+        if let [one] = same_file.as_slice() {
+            return Resolution::Fn(*one);
+        }
+        if let Some(expansion) = file.use_map.get(name) {
+            let key = self.expand_crate_path(file, expansion).join("::");
+            if let Some(&idx) = self.fn_by_key.get(&key) {
+                if self.is_lintable(idx) {
+                    return Resolution::Fn(idx);
+                }
+            }
+        }
+        let crate_local: Vec<usize> = in_crate
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.fns
+                    .get(i)
+                    .and_then(|f| self.files.get(f.file))
+                    .map(|sf| sf.crate_id.as_str())
+                    == Some(file.crate_id.as_str())
+            })
+            .collect();
+        match (crate_local.as_slice(), in_crate.as_slice()) {
+            ([one], _) => Resolution::Fn(*one),
+            ([], [one]) => Resolution::Fn(*one),
+            ([], []) => Resolution::External,
+            _ => {
+                Resolution::Unresolved(format!("{name} ({} workspace candidates)", in_crate.len()))
+            }
+        }
+    }
+
+    /// Rewrites a `use`-path expansion into index key segments.
+    fn expand_crate_path(&self, file: &SourceFile, segs: &[String]) -> Vec<String> {
+        let mut out = Vec::new();
+        match segs.first().map(String::as_str) {
+            Some("crate") => {
+                out.push(file.crate_id.clone());
+                out.extend(segs.get(1..).unwrap_or(&[]).iter().cloned());
+            }
+            Some(first) => {
+                if let Some(dep) = first.strip_prefix("bgpz_") {
+                    out.push(dep.to_string());
+                    out.extend(segs.get(1..).unwrap_or(&[]).iter().cloned());
+                } else {
+                    out.extend(segs.iter().cloned());
+                }
+            }
+            None => {}
+        }
+        out
+    }
+
+    fn unique_method(&self, ty: &str, name: &str) -> Option<usize> {
+        let v = self
+            .methods_by_type
+            .get(&(ty.to_string(), name.to_string()))?;
+        let lintable: Vec<usize> = v.iter().copied().filter(|&i| self.is_lintable(i)).collect();
+        lintable.first().copied()
+    }
+
+    fn is_lintable(&self, idx: usize) -> bool {
+        self.fns.get(idx).is_some_and(|f| !f.in_test)
+    }
+}
+
+enum Resolution {
+    Fn(usize),
+    /// Matched no or several workspace definitions: recorded, no edge.
+    Unresolved(String),
+    /// Std / external-crate call: not part of the workspace graph.
+    External,
+}
+
+/// Impl type of the header starting at `tokens[i] == "impl"`: the first
+/// type ident after `for` when present, else after the generics.
+fn impl_header(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut after_for: Option<usize> = None;
+    while j < tokens.len() {
+        match text(tokens, j) {
+            "{" if angle <= 0 => break,
+            "<" => angle += 1,
+            ">" if text(tokens, j.wrapping_sub(1)) != "-" => angle -= 1,
+            "for" if angle <= 0 => after_for = Some(j),
+            ";" => return None, // `impl Trait for Type;` — not a block
+            _ => {}
+        }
+        j += 1;
+    }
+    let start = after_for.map(|f| f + 1).unwrap_or(i + 1);
+    let mut k = start;
+    let mut depth = 0i32;
+    while k < j {
+        match text(tokens, k) {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "&" | "'" | "mut" | "dyn" => {}
+            _ => {
+                if depth <= 0 && tokens.get(k).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    // Skip path prefixes: take the last segment.
+                    let mut last = text(tokens, k).to_string();
+                    let mut m = k;
+                    while is_path_sep(tokens, m + 2) && m + 3 < j {
+                        if tokens
+                            .get(m + 3)
+                            .is_some_and(|t| t.kind == TokenKind::Ident)
+                        {
+                            last = text(tokens, m + 3).to_string();
+                            m += 3;
+                        } else {
+                            break;
+                        }
+                    }
+                    return Some(last);
+                }
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Does the signature of the fn at `tokens[i] == "fn"` declare a guard
+/// return type? (Scans from the close of the parameter list to the body.)
+fn signature_returns_guard(tokens: &[Token], i: usize) -> bool {
+    // Find the parameter list.
+    let mut j = i + 1;
+    while j < tokens.len() && text(tokens, j) != "(" {
+        if text(tokens, j) == "{" || text(tokens, j) == ";" {
+            return false;
+        }
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match text(tokens, j) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Scan the return type / where clause up to the body or `;`.
+    let mut k = j + 1;
+    while k < tokens.len() {
+        match text(tokens, k) {
+            "{" | ";" => return false,
+            _ => {
+                if tokens
+                    .get(k)
+                    .is_some_and(|t| t.kind == TokenKind::Ident && t.text.ends_with("Guard"))
+                {
+                    return true;
+                }
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Declared name owning the sync container at token `i`: walks back over
+/// type syntax (`Arc<`, `&`, path segments) to the `name :` introducer.
+fn declared_name(tokens: &[Token], i: usize) -> Option<String> {
+    let mut j = i.checked_sub(1)?;
+    loop {
+        let t = tokens.get(j)?;
+        if t.text == ":" {
+            if j.checked_sub(1).is_some_and(|p| text(tokens, p) == ":") {
+                // `::` path separator: skip it and its left segment.
+                j = j.checked_sub(3)?;
+                continue;
+            }
+            let owner = j.checked_sub(1).and_then(|p| tokens.get(p))?;
+            if owner.kind == TokenKind::Ident && !owner.text.is_empty() {
+                return Some(owner.text.clone());
+            }
+            return None;
+        }
+        let ok = match t.kind {
+            TokenKind::Ident => true,
+            TokenKind::Punct => matches!(t.text.as_str(), "<" | "&" | "'"),
+            _ => false,
+        };
+        if !ok {
+            return None;
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// First type argument after the `<` at `open`: the last segment of its
+/// path, and whether that type is itself generic.
+fn type_arg(tokens: &[Token], open: usize) -> (Option<String>, bool) {
+    let mut j = open + 1;
+    let mut last: Option<String> = None;
+    while j < tokens.len() {
+        let t = text(tokens, j);
+        if tokens.get(j).is_some_and(|t| t.kind == TokenKind::Ident) {
+            if t == "dyn" || t == "mut" {
+                j += 1;
+                continue;
+            }
+            last = Some(t.to_string());
+            // Path segment? keep walking `::Ident`.
+            while is_path_sep(tokens, j + 2)
+                && tokens
+                    .get(j + 3)
+                    .is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                last = Some(text(tokens, j + 3).to_string());
+                j += 3;
+            }
+            let generic = text(tokens, j + 1) == "<";
+            return (last, generic);
+        }
+        match t {
+            "&" | "'" => j += 1,
+            _ => return (None, false),
+        }
+    }
+    (last, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        Workspace::build(&sources)
+    }
+
+    #[test]
+    fn indexes_free_fns_methods_and_modules() {
+        let w = ws(&[(
+            "crates/serve/src/http.rs",
+            "pub struct Router;\nimpl Router {\n    pub fn cached(&self) -> u8 { helper() }\n}\npub fn helper() -> u8 { 7 }\nmod inner {\n    pub fn deep() {}\n}\n",
+        )]);
+        let keys: Vec<&str> = w.fns.iter().map(|f| f.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "serve::http::Router::cached",
+                "serve::http::helper",
+                "serve::http::inner::deep"
+            ]
+        );
+        // cached() calls helper(): one resolved edge.
+        let cached_calls = w.calls.first().map(Vec::len);
+        assert_eq!(cached_calls, Some(1));
+    }
+
+    #[test]
+    fn resolves_cross_crate_paths_and_use_imports() {
+        let w = ws(&[
+            (
+                "crates/core/src/scan.rs",
+                "pub fn run_scan() {}\n",
+            ),
+            (
+                "crates/analysis/src/stats.rs",
+                "use bgpz_core::scan::run_scan;\npub fn summarize() {\n    run_scan();\n    bgpz_core::scan::run_scan();\n}\n",
+            ),
+        ]);
+        let summarize = w
+            .fns
+            .iter()
+            .position(|f| f.name == "summarize")
+            .unwrap_or(usize::MAX);
+        let calls = w.calls.get(summarize).map(Vec::len);
+        assert_eq!(calls, Some(2), "both call forms resolve");
+        assert!(w.unresolved.is_empty(), "{:?}", w.unresolved);
+    }
+
+    #[test]
+    fn ambiguous_methods_land_in_the_unresolved_bucket() {
+        let w = ws(&[(
+            "crates/core/src/a.rs",
+            "pub struct X;\npub struct Y;\nimpl X { pub fn run(&self) {} }\nimpl Y { pub fn run(&self) {} }\npub fn go(v: &X) { v.run(); }\n",
+        )]);
+        assert!(
+            w.unresolved.iter().any(|u| u.1.starts_with(".run")),
+            "{:?}",
+            w.unresolved
+        );
+    }
+
+    #[test]
+    fn self_method_calls_resolve_through_the_impl_type() {
+        let w = ws(&[(
+            "crates/obs/src/metrics.rs",
+            "pub struct Metrics;\npub struct Other;\nimpl Metrics {\n    fn lock(&self) -> std::sync::MutexGuard<'_, u8> { todo() }\n    fn counter(&self) { self.lock(); }\n}\nimpl Other { fn lock(&self) {} }\n",
+        )]);
+        let counter = w
+            .fns
+            .iter()
+            .position(|f| f.name == "counter")
+            .unwrap_or(usize::MAX);
+        let target = w
+            .calls
+            .get(counter)
+            .and_then(|c| c.first())
+            .and_then(|c| w.fn_def(c.target))
+            .map(|f| f.key.as_str());
+        assert_eq!(target, Some("obs::metrics::Metrics::lock"));
+        let lock = w
+            .fns
+            .iter()
+            .find(|f| f.key == "obs::metrics::Metrics::lock");
+        assert!(lock.is_some_and(|f| f.returns_guard));
+    }
+
+    #[test]
+    fn sync_decls_capture_kind_name_and_inner_type() {
+        let w = ws(&[(
+            "crates/serve/src/ingest.rs",
+            "pub struct ShardSender {\n    tx: SyncSender<ShardMsg>,\n    depth: u64,\n}\npub struct Worker {\n    pub state: Arc<Mutex<ServeState>>,\n    cache: Mutex<HashMap<u8, u8>>,\n    file: Mutex<std::fs::File>,\n}\n",
+        )]);
+        let find = |name: &str| w.sync_decls.iter().find(|d| d.name == name);
+        let tx = find("tx");
+        assert!(tx.is_some_and(
+            |d| d.kind == SyncKind::SyncSender && d.inner.as_deref() == Some("ShardMsg")
+        ));
+        let state = find("state");
+        assert!(state.is_some_and(|d| d.kind == SyncKind::Mutex
+            && d.inner.as_deref() == Some("ServeState")
+            && !d.inner_generic));
+        let cache = find("cache");
+        assert!(cache.is_some_and(|d| d.inner.as_deref() == Some("HashMap") && d.inner_generic));
+        let file = find("file");
+        assert!(file.is_some_and(|d| d.inner.as_deref() == Some("File") && !d.inner_generic));
+    }
+
+    #[test]
+    fn test_fns_are_indexed_but_not_linted() {
+        let w = ws(&[(
+            "crates/core/src/a.rs",
+            "pub fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { super::lib_fn(); }\n}\n",
+        )]);
+        let helper = w.fns.iter().find(|f| f.name == "helper");
+        assert!(helper.is_some_and(|f| f.in_test));
+        // No call edges out of test code.
+        let helper_idx = w
+            .fns
+            .iter()
+            .position(|f| f.name == "helper")
+            .unwrap_or(usize::MAX);
+        assert_eq!(w.calls.get(helper_idx).map(Vec::len), Some(0));
+    }
+
+    #[test]
+    fn trait_impl_duplicate_keys_are_disambiguated() {
+        let w = ws(&[(
+            "crates/types/src/x.rs",
+            "pub struct X;\nimpl Fmt for X { fn fmt(&self) {} }\nimpl Dbg for X { fn fmt(&self) {} }\n",
+        )]);
+        let keys: Vec<&str> = w.fns.iter().map(|f| f.key.as_str()).collect();
+        assert_eq!(keys, vec!["types::x::X::fmt", "types::x::X::fmt#2"]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Phase-2 determinism taint: nondeterminism sources reachable from
+//! artifact-writing code, anywhere in the workspace.
+//!
+//! The paper's headline reproducibility claim is byte-identical
+//! artifacts at any `--jobs`/shard count, so everything a metrics /
+//! report / cache-payload writer (see [`crate::policy::artifact_module`])
+//! can transitively reach must be order-deterministic. The pass:
+//!
+//! 1. takes every non-test fn defined in an artifact module as a root,
+//! 2. walks the phase-1 call graph to the set of reachable fns, tagging
+//!    each with the (deterministically first) root that reaches it,
+//! 3. flags nondeterminism sources inside that set: unordered
+//!    `HashMap`/`HashSet` iteration (unless an adjacent sort / ordered
+//!    collect / order-independent reduction neutralizes it — the same
+//!    window the old per-file `hash_iteration` lint used) and
+//!    `thread::current().id()` feeding artifact-visible values.
+//!
+//! This subsumes the old intra-file `hash_iteration` lint: the same
+//! sites fire when the iteration happens *inside* an artifact module,
+//! and new ones fire when the iteration is three crates away. Jobs-count
+//! and float-fold-order sources are documented limits (DESIGN.md §7a):
+//! they need value-flow tracking, not just call reachability.
+//! Findings are ratcheted via `lint-baseline.toml` and carry the
+//! `// lint: allow(determinism_taint) — <reason>` escape.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::lints::{allowed, hash_bindings, hash_iteration_sites, order_safe};
+use crate::policy;
+use crate::resolve::{is_path_sep, text, Workspace};
+use crate::Finding;
+
+pub fn taint_pass(ws: &Workspace) -> Vec<Finding> {
+    // Roots: non-test fns defined in artifact modules, in key order so
+    // every witness assignment is deterministic.
+    let mut roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.in_test
+                && ws
+                    .files
+                    .get(f.file)
+                    .is_some_and(|sf| policy::artifact_module(&sf.path))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    roots.sort_by(|a, b| {
+        let ka = ws.fn_def(*a).map(|f| f.key.as_str()).unwrap_or("");
+        let kb = ws.fn_def(*b).map(|f| f.key.as_str()).unwrap_or("");
+        ka.cmp(kb)
+    });
+    // Multi-source BFS: first root (by key) to reach a fn wins.
+    let mut witness: Vec<Option<usize>> = ws.fns.iter().map(|_| None).collect();
+    for &root in &roots {
+        let mut queue = vec![root];
+        while let Some(f) = queue.pop() {
+            if witness.get(f).is_some_and(Option::is_some) {
+                continue;
+            }
+            if let Some(slot) = witness.get_mut(f) {
+                *slot = Some(root);
+            }
+            for c in ws.calls.get(f).into_iter().flatten() {
+                queue.push(c.target);
+            }
+        }
+    }
+    // Nondeterminism sources, cached per file.
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    // Per file: (hash-iteration sites with their receiver, thread-id sites).
+    type FileSites = (Vec<(usize, String)>, Vec<usize>);
+    let per_file: Vec<FileSites> = ws
+        .files
+        .iter()
+        .map(|file| {
+            let bindings = hash_bindings(&file.tokens);
+            (
+                hash_iteration_sites(&file.tokens, &bindings),
+                thread_id_sites(file),
+            )
+        })
+        .collect();
+    for (fidx, w) in witness.iter().enumerate() {
+        let Some(&root) = w.as_ref() else {
+            continue;
+        };
+        let Some(def) = ws.fn_def(fidx) else {
+            continue;
+        };
+        let Some(file) = ws.files.get(def.file) else {
+            continue;
+        };
+        let root_key = ws.fn_def(root).map(|f| f.key.as_str()).unwrap_or("?");
+        let first = file.tokens.get(def.body.0).map(|t| t.line).unwrap_or(0);
+        let last = file
+            .tokens
+            .get(def.body.1.saturating_sub(1))
+            .map(|t| t.line)
+            .unwrap_or(usize::MAX);
+        let in_body = |line: usize| line >= first && line <= last;
+        let (hash_sites, id_sites) = per_file.get(def.file).cloned().unwrap_or_default();
+        for (line, name) in hash_sites {
+            if !in_body(line)
+                || order_safe(&file.masked, line)
+                || allowed(&file.masked, line, "determinism_taint")
+                || !seen.insert((file.path.clone(), line, name.clone()))
+            {
+                continue;
+            }
+            out.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: "determinism_taint",
+                message: format!(
+                    "iteration over hash-ordered `{name}` reaches artifact output (via `{root_key}`); sort or collect into a BTreeMap first"
+                ),
+            });
+        }
+        for line in id_sites {
+            if !in_body(line)
+                || allowed(&file.masked, line, "determinism_taint")
+                || !seen.insert((file.path.clone(), line, "thread::id".to_string()))
+            {
+                continue;
+            }
+            out.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: "determinism_taint",
+                message: format!(
+                    "`thread::current().id()` reaches artifact output (via `{root_key}`); derive stable ids from the work items instead"
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out
+}
+
+/// Lines with a `thread::current().id()` chain outside tests.
+fn thread_id_sites(file: &crate::resolve::SourceFile) -> Vec<usize> {
+    let tokens = &file.tokens;
+    let mut lines = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident || t.text != "current" {
+            continue;
+        }
+        let qualified = is_path_sep(tokens, i.wrapping_sub(1))
+            && i.checked_sub(3)
+                .is_some_and(|p| text(tokens, p) == "thread");
+        if qualified
+            && text(tokens, i + 1) == "("
+            && text(tokens, i + 2) == ")"
+            && text(tokens, i + 3) == "."
+            && text(tokens, i + 4) == "id"
+            && text(tokens, i + 5) == "("
+        {
+            lines.push(t.line);
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let ws = Workspace::build(&sources);
+        taint_pass(&ws)
+    }
+
+    #[test]
+    fn hash_iteration_inside_an_artifact_module_still_fires() {
+        let src =
+            "fn render(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
+        let got = findings(&[("crates/analysis/src/demo.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = got.first().map(|f| (f.line, f.lint));
+        assert_eq!(f, Some((2, "determinism_taint")));
+    }
+
+    #[test]
+    fn taint_crosses_crates_through_the_call_graph() {
+        let core = "pub fn summarize(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.values().copied().collect()\n}\n";
+        let analysis =
+            "use bgpz_core::stats::summarize;\npub fn render(m: &HashMap<u32, u32>) {\n    summarize(m);\n}\n";
+        let got = findings(&[
+            ("crates/core/src/stats.rs", core),
+            ("crates/analysis/src/demo.rs", analysis),
+        ]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = got.first();
+        assert!(
+            f.is_some_and(|f| f.file == "crates/core/src/stats.rs" && f.line == 2),
+            "{got:?}"
+        );
+        assert!(
+            f.is_some_and(|f| f.message.contains("analysis::demo::render")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn unreached_code_is_not_tainted() {
+        let core = "pub fn summarize(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.values().copied().collect()\n}\n";
+        let got = findings(&[("crates/core/src/stats.rs", core)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn sorted_windows_and_markers_suppress() {
+        let sorted = "fn render(m: &HashMap<u32, u32>) -> Vec<u32> {\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort_unstable();\n    v\n}\n";
+        assert!(findings(&[("crates/analysis/src/demo.rs", sorted)]).is_empty());
+        let marked = "fn render(m: &HashMap<u32, u32>) -> u32 {\n    // lint: allow(determinism_taint) \u{2014} reduced through a commutative xor\n    m.keys().fold2()\n}\n";
+        assert!(findings(&[("crates/analysis/src/demo.rs", marked)]).is_empty());
+    }
+
+    #[test]
+    fn thread_id_in_reachable_code_is_flagged() {
+        let src = "pub fn tag() -> String {\n    format!(\"{:?}\", thread::current().id())\n}\n";
+        let got = findings(&[("crates/bench/src/demo.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(
+            got.first()
+                .is_some_and(|f| f.message.contains("thread::current")),
+            "{got:?}"
+        );
+    }
+}

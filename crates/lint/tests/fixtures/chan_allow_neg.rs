@@ -1,0 +1,6 @@
+// Negative fixture: a justified unbounded channel carries a marker.
+fn spawn_pipeline() {
+    // lint: allow(channel_topology) — drained every tick by the collector
+    let (tx, rx) = mpsc::channel();
+    let _ = (tx, rx);
+}

@@ -1,0 +1,12 @@
+// Positive fixture: a consumer that re-enqueues into its own bounded
+// queue deadlocks once the queue fills under OverloadPolicy::Block.
+pub struct Shard {
+    tx: SyncSender<Msg>,
+    rx: Receiver<Msg>,
+}
+impl Shard {
+    fn run(&self) {
+        self.rx.recv();
+        self.tx.send(1);
+    }
+}

@@ -1,0 +1,5 @@
+// Negative fixture: a bounded sync_channel with no send/recv cycle.
+fn spawn_pipeline(cap: usize) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    let _ = (tx, rx);
+}

@@ -1,0 +1,5 @@
+// Positive fixture: an unbounded channel gives producers no backpressure.
+fn spawn_pipeline() {
+    let (tx, rx) = mpsc::channel();
+    let _ = (tx, rx);
+}

@@ -1,0 +1,13 @@
+// Negative fixture: an allow marker with a reason suppresses lock_order.
+pub struct S {
+    state: Mutex<Inner>,
+    rx: Receiver<Msg>,
+}
+impl S {
+    fn run(&self) {
+        let g = self.state.lock();
+        // lint: allow(lock_order) — the sender never takes this lock
+        self.rx.recv();
+        drop(g);
+    }
+}

@@ -1,0 +1,13 @@
+// Negative fixture: the guard is a temporary that dies at the `;`, so
+// nothing is held across the blocking receive.
+pub struct S {
+    state: Mutex<Inner>,
+    rx: Receiver<Msg>,
+}
+impl S {
+    fn run(&self) {
+        let n = self.state.lock().len();
+        self.rx.recv();
+        let _ = n;
+    }
+}

@@ -1,0 +1,13 @@
+// Positive fixture: a blocking receive while a lock guard is held —
+// the consumer on the other end may need this very lock to progress.
+pub struct S {
+    state: Mutex<Inner>,
+    rx: Receiver<Msg>,
+}
+impl S {
+    fn run(&self) {
+        let g = self.state.lock();
+        self.rx.recv();
+        drop(g);
+    }
+}

@@ -1,0 +1,5 @@
+// Negative fixture: a justified hash-order traversal carries a marker.
+fn tags(m: &HashMap<u32, u64>) -> Vec<String> {
+    // lint: allow(determinism_taint) — output order is normalized downstream
+    m.values().map(tag).collect()
+}

@@ -69,6 +69,122 @@ fn binary_exits_zero_on_shipped_tree() {
     );
 }
 
+/// The lint crate holds itself to its own standard: zero findings and no
+/// baseline entries — the analyzer is not allowed to ratchet itself.
+#[test]
+fn lint_crate_is_self_clean() {
+    let root = workspace_root();
+    let findings = analyze_tree(&root).expect("workspace sources readable");
+    let own: Vec<String> = findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/lint/"))
+        .map(|f| f.render())
+        .collect();
+    assert!(
+        own.is_empty(),
+        "bgpz-lint findings in its own crate: {own:?}"
+    );
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml present");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let ratcheted: Vec<&String> = baseline
+        .counts
+        .keys()
+        .filter(|p| p.starts_with("crates/lint/"))
+        .collect();
+    assert!(
+        ratcheted.is_empty(),
+        "the lint crate may not baseline its own findings: {ratcheted:?}"
+    );
+}
+
+/// The recovered lock/channel graph for crates/serve is byte-deterministic
+/// and matches the checked-in golden dump (regenerate with
+/// `cargo run -p bgpz-lint -- --graph-dump crates/serve > crates/lint/tests/golden/serve_graph.txt`).
+#[test]
+fn serve_graph_dump_matches_golden() {
+    let root = workspace_root();
+    let dump = |_: ()| {
+        let out = Command::new(env!("CARGO_BIN_EXE_bgpz-lint"))
+            .args(["--root"])
+            .arg(&root)
+            .args(["--graph-dump", "crates/serve"])
+            .output()
+            .expect("bgpz-lint runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("dump is UTF-8")
+    };
+    let first = dump(());
+    let second = dump(());
+    assert_eq!(first, second, "graph dump is not byte-deterministic");
+    let golden = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_graph.txt"),
+    )
+    .expect("golden dump present");
+    assert_eq!(
+        first, golden,
+        "serve graph drifted from tests/golden/serve_graph.txt; regenerate it if the change is intended"
+    );
+}
+
+/// Writes a one-crate workspace under a unique temp dir and runs the
+/// release binary over it; returns (exit code, stdout).
+fn run_on_injected(tag: &str, rel_path: &str, source: &str) -> (Option<i32>, String) {
+    let dir = std::env::temp_dir().join(format!("bgpz-lint-{tag}-{}", std::process::id()));
+    let file = dir.join(rel_path);
+    std::fs::create_dir_all(file.parent().expect("rel path has a parent"))
+        .expect("temp tree created");
+    std::fs::write(&file, source).expect("fixture written");
+    std::fs::write(dir.join("lint-baseline.toml"), "").expect("baseline written");
+    let out = Command::new(env!("CARGO_BIN_EXE_bgpz-lint"))
+        .args(["--root"])
+        .arg(&dir)
+        .output()
+        .expect("bgpz-lint runs");
+    std::fs::remove_dir_all(&dir).ok();
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Each workspace-analysis family flips the exit code on an injected
+/// violation — none of them can be baselined, so an empty baseline plus
+/// one finding must exit 1.
+#[test]
+fn injected_lock_order_violation_flips_exit_code() {
+    let src = "#![forbid(unsafe_code)]\n\
+        pub struct S {\n    state: Mutex<Inner>,\n    rx: Receiver<Msg>,\n}\n\
+        impl S {\n    fn run(&self) {\n        let g = self.state.lock();\n        self.rx.recv();\n        drop(g);\n    }\n}\n";
+    let (code, stdout) = run_on_injected("lock", "crates/demo/src/lib.rs", src);
+    assert_eq!(code, Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("lock_order"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn injected_channel_topology_violation_flips_exit_code() {
+    let src = "#![forbid(unsafe_code)]\n\
+        pub fn spawn_pipeline() {\n    let (tx, rx) = mpsc::channel();\n    let _ = (tx, rx);\n}\n";
+    let (code, stdout) = run_on_injected("chan", "crates/demo/src/lib.rs", src);
+    assert_eq!(code, Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("channel_topology"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn injected_determinism_taint_violation_flips_exit_code() {
+    // Artifact scope: only paths under crates/analysis (and friends) sink
+    // into run artifacts, so the injection goes there.
+    let src = "#![forbid(unsafe_code)]\n\
+        pub fn rows(m: &HashMap<u32, Row>) -> Vec<String> {\n    m.values().map(render).collect()\n}\n";
+    let (code, stdout) = run_on_injected("taint", "crates/analysis/src/lib.rs", src);
+    assert_eq!(code, Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("determinism_taint"), "stdout:\n{stdout}");
+}
+
 #[test]
 fn binary_exits_nonzero_on_injected_violation() {
     // A minimal workspace with one library crate containing a hard

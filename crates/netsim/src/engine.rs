@@ -307,14 +307,17 @@ impl Simulator {
             let b = sim.node_of(reset.b);
             sim.push(reset.time, EventKind::SessionReset { a, b });
         }
+        // lint: allow(determinism_taint) — map-to-map transfer keyed by node; iteration order cannot show
         for (&asn, &p) in &plan.sticky {
             let node = sim.node_of(asn);
             sim.sticky.insert(node, p);
         }
+        // lint: allow(determinism_taint) — same keyed transfer per node
         for (&asn, prefixes) in &plan.sticky_prefixes {
             let node = sim.node_of(asn);
             sim.sticky_prefixes.insert(node, prefixes.clone());
         }
+        // lint: allow(determinism_taint) — `plan.sticky_windows` is a Vec; only the sim's field of the same name is a map
         for &(asn, prefix, start, end) in &plan.sticky_windows {
             let node = sim.node_of(asn);
             sim.sticky_windows

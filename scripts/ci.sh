@@ -9,10 +9,21 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo run -p bgpz-lint --release
 scripts/bench.sh --smoke
+# Lint machine surface: the JSON report must validate against the in-repo
+# checker, and the recovered lock/channel graph for crates/serve must
+# match the golden dump byte for byte (regenerate the golden with
+# `cargo run -p bgpz-lint --release -- --graph-dump crates/serve` when a
+# change to serve's locking or channel topology is intended).
+LINT_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$LINT_SMOKE_DIR"' EXIT
+cargo run --release -q -p bgpz-lint -- --format json > "$LINT_SMOKE_DIR/lint.json"
+cargo run --release -q -p bgpz-bench --bin lint_check -- report-validate "$LINT_SMOKE_DIR/lint.json"
+cargo run --release -q -p bgpz-lint -- --graph-dump crates/serve > "$LINT_SMOKE_DIR/serve_graph.txt"
+diff crates/lint/tests/golden/serve_graph.txt "$LINT_SMOKE_DIR/serve_graph.txt"
 # Cache smoke: a warm `bgpz simulate` must reproduce the cold run's
 # archive bytes exactly from the substrate cache.
 CACHE_SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$CACHE_SMOKE_DIR"' EXIT
+trap 'rm -rf "$LINT_SMOKE_DIR" "$CACHE_SMOKE_DIR"' EXIT
 cargo run --release -q -p bgpz-cli -- simulate --out "$CACHE_SMOKE_DIR/cold" \
   --scale bench --seed 7 --cache-dir "$CACHE_SMOKE_DIR/cache"
 cargo run --release -q -p bgpz-cli -- simulate --out "$CACHE_SMOKE_DIR/warm" \
